@@ -1,0 +1,66 @@
+//! Ablation: checkpointed trajectory replay vs naive re-simulation.
+//!
+//! DESIGN.md §5 claims the checkpoint table saves most of the
+//! per-trajectory work at realistic error rates (the first error lands
+//! deep in the circuit). This bench quantifies it on the paper's QFA
+//! geometry: replays with a single late insertion, under three table
+//! configurations — no checkpoints (one initial snapshot only), the
+//! default memory budget, and per-gate checkpoints.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qfab_bench::fixed_add_instance;
+use qfab_circuit::Gate;
+use qfab_core::AqftDepth;
+use qfab_sim::{CheckpointTable, Insertion};
+use qfab_transpile::{transpile, Basis};
+use std::hint::black_box;
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let inst = fixed_add_instance();
+    let circuit = transpile(&inst.circuit(AqftDepth::Full), Basis::CxPlus1q);
+    let initial = inst.initial_state();
+    let gates = circuit.len();
+
+    // Positions: early (worst case for checkpoints), middle, late
+    // (where most first errors land at hardware rates).
+    let positions = [gates / 10, gates / 2, gates * 9 / 10];
+
+    let tables = [
+        ("none", CheckpointTable::build(circuit.clone(), &initial, gates + 1)),
+        (
+            "budget_16MiB",
+            CheckpointTable::build_with_budget(
+                circuit.clone(),
+                &initial,
+                CheckpointTable::DEFAULT_BUDGET_BYTES,
+            ),
+        ),
+        ("every_8_gates", CheckpointTable::build(circuit.clone(), &initial, 8)),
+    ];
+
+    let mut group = c.benchmark_group("ablation_checkpoint");
+    group.sample_size(20);
+    for (label, table) in &tables {
+        for &pos in &positions {
+            let ins = [Insertion { after_gate: pos, gate: Gate::X(3) }];
+            group.bench_with_input(
+                BenchmarkId::new(*label, format!("err_at_{}pct", pos * 100 / gates)),
+                &ins,
+                |b, ins| b.iter(|| black_box(table.run_with_insertions(black_box(ins)))),
+            );
+        }
+    }
+    group.bench_function("table_construction_budget_16MiB", |b| {
+        b.iter(|| {
+            black_box(CheckpointTable::build_with_budget(
+                circuit.clone(),
+                &initial,
+                CheckpointTable::DEFAULT_BUDGET_BYTES,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Ablation: state-vector kernel parallelism on/off across state sizes.
+//!
+//! DESIGN.md §5: inner (per-gate) rayon parallelism only pays above a
+//! size threshold, and should be off when an outer loop saturates the
+//! cores. This bench measures a representative gate mix at several
+//! qubit counts with the flag in both positions (on a single-core host
+//! the "on" rows expose pure overhead; on a many-core host they show
+//! the crossover).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qfab_circuit::Circuit;
+use qfab_sim::StateVector;
+use std::hint::black_box;
+
+fn gate_mix(n: u32) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    for q in 0..n {
+        c.rz(0.1 + q as f64 * 0.01, q);
+    }
+    for q in 0..n - 1 {
+        c.cphase(0.3, q, q + 1);
+    }
+    c
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_parallel");
+    group.sample_size(10);
+    for n in [12u32, 15, 18] {
+        let circuit = gate_mix(n);
+        group.throughput(Throughput::Elements(circuit.len() as u64));
+        for parallel in [false, true] {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("gate_mix_{}q", n),
+                    if parallel { "parallel" } else { "sequential" },
+                ),
+                &parallel,
+                |b, &parallel| {
+                    b.iter_batched(
+                        || {
+                            let mut s = StateVector::zero_state(n);
+                            s.set_parallel(parallel);
+                            s
+                        },
+                        |mut s| {
+                            s.apply_circuit(&circuit);
+                            black_box(s)
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

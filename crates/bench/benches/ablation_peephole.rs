@@ -1,0 +1,67 @@
+//! Ablation: the peephole optimizer — its own cost, what it removes,
+//! and what the removal buys in simulation time.
+//!
+//! The paper's counts are unoptimized (the reproduction harness keeps
+//! it off); this bench shows the trade-off the pass offers on the
+//! arithmetic circuits and on a maximally reducible input.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qfab_bench::fixed_add_instance;
+use qfab_core::AqftDepth;
+use qfab_sim::StateVector;
+use qfab_transpile::{optimize, transpile, Basis};
+use std::hint::black_box;
+
+fn bench_peephole(c: &mut Criterion) {
+    let inst = fixed_add_instance();
+    let lowered = transpile(&inst.circuit(AqftDepth::Full), Basis::CxPlus1q);
+    // A mirrored circuit: worst case amount of cancellation work.
+    let mut mirrored = lowered.clone();
+    mirrored.extend(&lowered.inverse());
+
+    let mut group = c.benchmark_group("ablation_peephole");
+    group.sample_size(20);
+
+    group.bench_function("optimize_qfa_lowered", |b| {
+        b.iter(|| black_box(optimize(black_box(&lowered))))
+    });
+    group.bench_function("optimize_mirrored_full_cancellation", |b| {
+        b.iter(|| black_box(optimize(black_box(&mirrored))))
+    });
+
+    let (optimized, report) = optimize(&lowered);
+    // Reporting the effect once, for the bench log.
+    eprintln!(
+        "peephole on lowered QFA: {} -> {} gates (cancelled {}, merged {}, pruned {})",
+        report.gates_before, report.gates_after, report.cancelled, report.merged, report.pruned
+    );
+
+    for (label, circuit) in [("unoptimized", &lowered), ("optimized", &optimized)] {
+        group.bench_with_input(
+            BenchmarkId::new("simulate_qfa", label),
+            circuit,
+            |b, circuit| {
+                b.iter_batched(
+                    || inst.initial_state(),
+                    |mut s| {
+                        s.apply_circuit(circuit);
+                        black_box(s)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+
+    // Sanity outside measurement: optimized circuit still adds.
+    let mut s: StateVector = inst.initial_state();
+    s.apply_circuit(&optimized);
+    let expected = inst.expected_outputs();
+    let mass: f64 = expected.iter().map(|&i| s.probability(i)).sum();
+    assert!((mass - 1.0).abs() < 1e-6, "optimized QFA broke arithmetic");
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_peephole);
+criterion_main!(benches);

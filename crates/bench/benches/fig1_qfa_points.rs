@@ -1,0 +1,77 @@
+//! Fig. 1: one miniature QFA success-rate point per panel class.
+//!
+//! Measures the full per-point pipeline — prepare (transpile +
+//! noiseless checkpointed simulation) and sample (clean split + noisy
+//! trajectory replays) — for a 1:2 instance at the paper's geometry,
+//! under each error class and a spread of depths, at a reduced shot
+//! count. The noise-free case isolates preparation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qfab_bench::fixed_add_instance;
+use qfab_core::pipeline::PreparedInstance;
+use qfab_core::{AqftDepth, RunConfig};
+use qfab_math::rng::Xoshiro256StarStar;
+use qfab_noise::NoiseModel;
+use std::hint::black_box;
+
+const SHOTS: u64 = 64;
+
+fn bench_fig1(c: &mut Criterion) {
+    let inst = fixed_add_instance();
+    let config = RunConfig { shots: SHOTS, ..RunConfig::default() };
+
+    let mut group = c.benchmark_group("fig1_qfa");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SHOTS));
+
+    for (dlabel, depth) in [
+        ("d1", AqftDepth::Limited(1)),
+        ("d3", AqftDepth::Limited(3)),
+        ("full", AqftDepth::Full),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("prepare", dlabel),
+            &depth,
+            |b, &depth| {
+                b.iter(|| {
+                    black_box(PreparedInstance::new(
+                        &inst.circuit(depth),
+                        inst.initial_state(),
+                        &config,
+                    ))
+                })
+            },
+        );
+    }
+
+    let models = [
+        ("noiseless", NoiseModel::ideal()),
+        ("1q_0.2pct", NoiseModel::only_1q_depolarizing(0.002)),
+        ("2q_1.0pct", NoiseModel::only_2q_depolarizing(0.010)),
+        ("2q_4.0pct", NoiseModel::only_2q_depolarizing(0.040)),
+    ];
+    let prep = PreparedInstance::new(
+        &inst.circuit(AqftDepth::Limited(3)),
+        inst.initial_state(),
+        &config,
+    );
+    for (label, model) in &models {
+        let run = prep.noisy(model);
+        group.bench_with_input(
+            BenchmarkId::new("sample_64_shots_d3", label),
+            &run,
+            |b, run| {
+                let mut stream = 0u64;
+                b.iter(|| {
+                    stream += 1;
+                    let mut rng = Xoshiro256StarStar::for_stream(42, stream);
+                    black_box(run.sample_counts(SHOTS, &mut rng))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

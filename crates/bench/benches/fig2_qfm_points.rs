@@ -1,0 +1,72 @@
+//! Fig. 2: one miniature QFM success-rate point per panel class.
+//!
+//! The QFM circuits are ~6× longer and one qubit wider than the QFA's,
+//! which is why the paper's multiplication success collapses at error
+//! rates an order of magnitude lower — and why this bench uses very few
+//! shots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qfab_bench::fixed_mul_instance;
+use qfab_core::pipeline::PreparedInstance;
+use qfab_core::{AqftDepth, RunConfig};
+use qfab_math::rng::Xoshiro256StarStar;
+use qfab_noise::NoiseModel;
+use std::hint::black_box;
+
+const SHOTS: u64 = 16;
+
+fn bench_fig2(c: &mut Criterion) {
+    let inst = fixed_mul_instance();
+    let config = RunConfig { shots: SHOTS, ..RunConfig::default() };
+
+    let mut group = c.benchmark_group("fig2_qfm");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SHOTS));
+
+    for (dlabel, depth) in [("d1", AqftDepth::Limited(1)), ("full", AqftDepth::Full)] {
+        group.bench_with_input(
+            BenchmarkId::new("prepare", dlabel),
+            &depth,
+            |b, &depth| {
+                b.iter(|| {
+                    black_box(PreparedInstance::new(
+                        &inst.circuit(depth),
+                        inst.initial_state(),
+                        &config,
+                    ))
+                })
+            },
+        );
+    }
+
+    let models = [
+        ("noiseless", NoiseModel::ideal()),
+        ("1q_0.02pct", NoiseModel::only_1q_depolarizing(0.0002)),
+        ("2q_0.05pct", NoiseModel::only_2q_depolarizing(0.0005)),
+        ("2q_1.0pct", NoiseModel::only_2q_depolarizing(0.010)),
+    ];
+    let prep = PreparedInstance::new(
+        &inst.circuit(AqftDepth::Full),
+        inst.initial_state(),
+        &config,
+    );
+    for (label, model) in &models {
+        let run = prep.noisy(model);
+        group.bench_with_input(
+            BenchmarkId::new("sample_16_shots_full", label),
+            &run,
+            |b, run| {
+                let mut stream = 0u64;
+                b.iter(|| {
+                    stream += 1;
+                    let mut rng = Xoshiro256StarStar::for_stream(43, stream);
+                    black_box(run.sample_counts(SHOTS, &mut rng))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Microbenchmarks of the raw state-vector gate kernels — the
+//! foundation every figure's cost rests on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qfab_circuit::Gate;
+use qfab_core::{aqft, AqftDepth};
+use qfab_math::rng::Xoshiro256StarStar;
+use qfab_sim::{ShotSampler, StateVector};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+    for n in [14u32, 17] {
+        let amps = 1u64 << n;
+        group.throughput(Throughput::Elements(amps));
+        let gates = [
+            ("h_low", Gate::H(0)),
+            ("h_high", Gate::H(n - 1)),
+            ("x", Gate::X(n / 2)),
+            ("rz", Gate::Rz(n / 2, 0.31)),
+            ("cx", Gate::Cx { control: 0, target: n - 1 }),
+            ("cphase", Gate::Cphase { control: 1, target: n - 2, theta: 0.4 }),
+        ];
+        for (label, gate) in gates {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{n}q"), label),
+                &gate,
+                |b, gate| {
+                    let mut s = StateVector::zero_state(n);
+                    s.set_parallel(false);
+                    // Spread amplitude so the kernel does real work.
+                    for q in 0..n {
+                        s.apply_gate(&Gate::H(q));
+                    }
+                    b.iter(|| {
+                        s.apply_gate(black_box(gate));
+                    })
+                },
+            );
+        }
+    }
+
+    group.finish();
+
+    // Whole-transform benchmarks: the paper's basic building block.
+    let mut group2 = c.benchmark_group("qft");
+    group2.sample_size(10);
+    for n in [8u32, 12, 16] {
+        for (label, depth) in [("full", AqftDepth::Full), ("d3", AqftDepth::Limited(3))] {
+            let circuit = aqft(n, depth);
+            group2.bench_with_input(
+                BenchmarkId::new(format!("{n}q"), label),
+                &circuit,
+                |b, circuit| {
+                    b.iter_batched(
+                        || {
+                            let mut s = StateVector::basis_state(n, 1);
+                            s.set_parallel(false);
+                            s
+                        },
+                        |mut s| {
+                            s.apply_circuit(circuit);
+                            black_box(s)
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group2.finish();
+
+    // Measurement sampling paths.
+    let mut group3 = c.benchmark_group("sampling");
+    group3.sample_size(20);
+    let n = 16u32;
+    let mut s = StateVector::zero_state(n);
+    s.set_parallel(false);
+    for q in 0..n {
+        s.apply_gate(&Gate::H(q));
+    }
+    group3.bench_function("sample_once_16q", |b| {
+        let mut rng = Xoshiro256StarStar::new(1);
+        b.iter(|| black_box(ShotSampler::sample_once(&s, &mut rng)))
+    });
+    group3.bench_function("sample_2048_shots_alias_16q", |b| {
+        let mut rng = Xoshiro256StarStar::new(2);
+        b.iter(|| black_box(ShotSampler::sample_counts(&s, 2048, &mut rng)))
+    });
+    group3.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Table I: building, transpiling and counting every tabulated circuit
+//! configuration. Also asserts (once, outside measurement) that each
+//! count matches the paper exactly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qfab_core::{qfa, qfm, AqftDepth};
+use qfab_experiments::table1::run_table1;
+use qfab_transpile::{transpile, Basis};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // Correctness gate: the bench regenerates the paper's table.
+    for e in run_table1() {
+        assert!(e.matches(), "Table I mismatch: {e:?}");
+    }
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20);
+
+    let qfa_depths = [
+        ("d1", AqftDepth::Limited(1)),
+        ("d4", AqftDepth::Limited(4)),
+        ("full", AqftDepth::Full),
+    ];
+    for (label, depth) in qfa_depths {
+        group.bench_with_input(
+            BenchmarkId::new("qfa_build_transpile_count", label),
+            &depth,
+            |b, &depth| {
+                b.iter(|| {
+                    let circuit = qfa(7, 8, depth).circuit;
+                    let counts = transpile(black_box(&circuit), Basis::CxPlus1q).counts();
+                    black_box((counts.one_qubit, counts.two_qubit))
+                })
+            },
+        );
+    }
+    let qfm_depths = [("d1", AqftDepth::Limited(1)), ("full", AqftDepth::Full)];
+    for (label, depth) in qfm_depths {
+        group.bench_with_input(
+            BenchmarkId::new("qfm_build_transpile_count", label),
+            &depth,
+            |b, &depth| {
+                b.iter(|| {
+                    let circuit = qfm(4, 4, depth).circuit;
+                    let counts = transpile(black_box(&circuit), Basis::CxPlus1q).counts();
+                    black_box((counts.one_qubit, counts.two_qubit))
+                })
+            },
+        );
+    }
+    group.bench_function("full_table_regeneration", |b| {
+        b.iter(|| black_box(run_table1()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! Shared helpers for the qfab benchmark suite.
+//!
+//! Each Criterion bench regenerates (a miniature of) one paper artifact
+//! and measures the machinery behind it:
+//!
+//! | bench | paper artifact / question |
+//! |---|---|
+//! | `table1_gate_counts` | Table I — build + transpile + count each configuration |
+//! | `fig1_qfa_points` | Fig. 1 — one QFA success-rate point per panel class |
+//! | `fig2_qfm_points` | Fig. 2 — one QFM success-rate point per panel class |
+//! | `ablation_checkpoint` | checkpointed replay vs naive full re-simulation |
+//! | `ablation_parallel` | gate-kernel parallel threshold |
+//! | `ablation_peephole` | optimizer cost and its effect on simulation time |
+//! | `simulator_kernels` | raw per-gate kernel throughput |
+//!
+//! Full-scale figure regeneration is the `repro` binary's job; benches
+//! run reduced workloads so `cargo bench` completes in minutes.
+
+use qfab_core::{AddInstance, MulInstance, Qinteger};
+
+/// A fixed, representative QFA instance (paper geometry, 1:2 orders).
+pub fn fixed_add_instance() -> AddInstance {
+    AddInstance {
+        n: 7,
+        m: 8,
+        x: Qinteger::new(7, vec![53]),
+        y: Qinteger::new(8, vec![19, 101]),
+    }
+}
+
+/// A fixed, representative QFM instance (paper geometry, 1:2 orders).
+pub fn fixed_mul_instance() -> MulInstance {
+    MulInstance {
+        n: 4,
+        m: 4,
+        x: Qinteger::new(4, vec![11]),
+        y: Qinteger::new(4, vec![6, 13]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_have_paper_geometry() {
+        let a = fixed_add_instance();
+        assert_eq!((a.n, a.m), (7, 8));
+        assert_eq!((a.x.order(), a.y.order()), (1, 2));
+        let m = fixed_mul_instance();
+        assert_eq!((m.n, m.m), (4, 4));
+        assert_eq!(m.num_qubits(), 16);
+    }
+}

@@ -1,0 +1,367 @@
+//! The circuit container and its structural transforms.
+
+use crate::gate::Gate;
+use crate::stats::GateCounts;
+use std::fmt;
+
+/// A flat quantum circuit: a qubit count and an ordered gate list.
+///
+/// Builder methods return `&mut Self` so construction chains:
+///
+/// ```
+/// use qfab_circuit::Circuit;
+/// let mut c = Circuit::new(3);
+/// c.h(0).cx(0, 1).cphase(std::f64::consts::PI / 4.0, 1, 2);
+/// assert_eq!(c.len(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Circuit {
+    num_qubits: u32,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// An empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: u32) -> Self {
+        Self { num_qubits, gates: Vec::new() }
+    }
+
+    /// An empty circuit with gate-list capacity reserved up front.
+    pub fn with_capacity(num_qubits: u32, capacity: usize) -> Self {
+        Self { num_qubits, gates: Vec::with_capacity(capacity) }
+    }
+
+    /// The number of qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// The gate list.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True when the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Appends one gate, validating its qubit indices.
+    pub fn push(&mut self, gate: Gate) -> &mut Self {
+        let q = gate.qubits();
+        let ops = q.as_slice();
+        for &qubit in ops {
+            assert!(
+                qubit < self.num_qubits,
+                "gate {gate} uses qubit {qubit} but circuit has {} qubits",
+                self.num_qubits
+            );
+        }
+        // Operands must be distinct (a gate can't use a qubit twice).
+        for i in 0..ops.len() {
+            for j in (i + 1)..ops.len() {
+                assert!(ops[i] != ops[j], "gate {gate} repeats qubit {}", ops[i]);
+            }
+        }
+        self.gates.push(gate);
+        self
+    }
+
+    /// Appends every gate of `other` (qubit indices must already fit).
+    pub fn extend(&mut self, other: &Circuit) -> &mut Self {
+        assert!(
+            other.num_qubits <= self.num_qubits,
+            "cannot extend a {}-qubit circuit with a {}-qubit circuit",
+            self.num_qubits,
+            other.num_qubits
+        );
+        self.gates.extend_from_slice(&other.gates);
+        self
+    }
+
+    /// Appends `other` with its qubit `i` mapped to `placement[i]`.
+    pub fn extend_mapped(&mut self, other: &Circuit, placement: &[u32]) -> &mut Self {
+        assert_eq!(
+            placement.len(),
+            other.num_qubits as usize,
+            "placement must cover every qubit of the sub-circuit"
+        );
+        for gate in &other.gates {
+            self.push(gate.map_qubits(|q| placement[q as usize]));
+        }
+        self
+    }
+
+    /// The inverse circuit: gates reversed, each inverted.
+    pub fn inverse(&self) -> Circuit {
+        Circuit {
+            num_qubits: self.num_qubits,
+            gates: self.gates.iter().rev().map(Gate::inverse).collect(),
+        }
+    }
+
+    /// Lifts every gate to its controlled version on `control` — the
+    /// construction used for the paper's cQFT / cadd / cQFA.
+    ///
+    /// Returns `None` if any gate cannot be controlled within the gate
+    /// set. The control qubit must not appear in the circuit.
+    pub fn controlled_by(&self, control: u32) -> Option<Circuit> {
+        assert!(control < self.num_qubits, "control qubit out of range");
+        let mut out = Circuit::with_capacity(self.num_qubits, self.gates.len());
+        for gate in &self.gates {
+            assert!(
+                !gate.qubits().as_slice().contains(&control),
+                "control qubit {control} already used by {gate}"
+            );
+            out.gates.push(gate.controlled(control)?);
+        }
+        Some(out)
+    }
+
+    /// Gate-count statistics (1q/2q/3q split — the paper's Table I
+    /// quantities after transpilation).
+    pub fn counts(&self) -> GateCounts {
+        GateCounts::of(self)
+    }
+
+    /// Critical-path depth: the longest chain of gates that share qubits.
+    pub fn depth(&self) -> usize {
+        let mut frontier = vec![0usize; self.num_qubits as usize];
+        let mut depth = 0usize;
+        for gate in &self.gates {
+            let level = gate
+                .qubits()
+                .as_slice()
+                .iter()
+                .map(|&q| frontier[q as usize])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for &q in gate.qubits().as_slice() {
+                frontier[q as usize] = level;
+            }
+            depth = depth.max(level);
+        }
+        depth
+    }
+
+    // ---- builder shorthands ------------------------------------------
+
+    /// Identity on `q`.
+    pub fn id(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::I(q))
+    }
+    /// Pauli X on `q`.
+    pub fn x(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::X(q))
+    }
+    /// Pauli Y on `q`.
+    pub fn y(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::Y(q))
+    }
+    /// Pauli Z on `q`.
+    pub fn z(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::Z(q))
+    }
+    /// Hadamard on `q`.
+    pub fn h(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::H(q))
+    }
+    /// S gate on `q`.
+    pub fn s(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::S(q))
+    }
+    /// T gate on `q`.
+    pub fn t(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::T(q))
+    }
+    /// √X on `q`.
+    pub fn sx(&mut self, q: u32) -> &mut Self {
+        self.push(Gate::Sx(q))
+    }
+    /// Z-rotation by `theta` on `q`.
+    pub fn rz(&mut self, theta: f64, q: u32) -> &mut Self {
+        self.push(Gate::Rz(q, theta))
+    }
+    /// X-rotation by `theta` on `q`.
+    pub fn rx(&mut self, theta: f64, q: u32) -> &mut Self {
+        self.push(Gate::Rx(q, theta))
+    }
+    /// Y-rotation by `theta` on `q`.
+    pub fn ry(&mut self, theta: f64, q: u32) -> &mut Self {
+        self.push(Gate::Ry(q, theta))
+    }
+    /// Phase gate diag(1, e^{iθ}) on `q`.
+    pub fn phase(&mut self, theta: f64, q: u32) -> &mut Self {
+        self.push(Gate::Phase(q, theta))
+    }
+    /// CNOT with the given control and target.
+    pub fn cx(&mut self, control: u32, target: u32) -> &mut Self {
+        self.push(Gate::Cx { control, target })
+    }
+    /// Controlled-Z.
+    pub fn cz(&mut self, a: u32, b: u32) -> &mut Self {
+        self.push(Gate::Cz(a, b))
+    }
+    /// Controlled-phase by `theta`.
+    pub fn cphase(&mut self, theta: f64, control: u32, target: u32) -> &mut Self {
+        self.push(Gate::Cphase { control, target, theta })
+    }
+    /// Controlled-Hadamard.
+    pub fn ch(&mut self, control: u32, target: u32) -> &mut Self {
+        self.push(Gate::Ch { control, target })
+    }
+    /// SWAP.
+    pub fn swap(&mut self, a: u32, b: u32) -> &mut Self {
+        self.push(Gate::Swap(a, b))
+    }
+    /// Toffoli.
+    pub fn ccx(&mut self, c0: u32, c1: u32, target: u32) -> &mut Self {
+        self.push(Gate::Ccx { c0, c1, target })
+    }
+    /// Doubly-controlled phase by `theta` (the paper's `cR_l`).
+    pub fn ccphase(&mut self, theta: f64, c0: u32, c1: u32, target: u32) -> &mut Self {
+        self.push(Gate::Ccphase { c0, c1, target, theta })
+    }
+    /// Fredkin (controlled swap).
+    pub fn cswap(&mut self, control: u32, a: u32, b: u32) -> &mut Self {
+        self.push(Gate::Cswap { control, a, b })
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "circuit: {} qubits, {} gates, depth {}",
+            self.num_qubits,
+            self.gates.len(),
+            self.depth()
+        )?;
+        for g in &self.gates {
+            writeln!(f, "  {g}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn builder_chains_and_counts() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ccphase(PI / 4.0, 0, 1, 2).rz(0.5, 2);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.num_qubits(), 3);
+        let counts = c.counts();
+        assert_eq!(counts.one_qubit, 2);
+        assert_eq!(counts.two_qubit, 1);
+        assert_eq!(counts.three_qubit, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "uses qubit 3")]
+    fn rejects_out_of_range_qubit() {
+        Circuit::new(3).cx(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats qubit")]
+    fn rejects_duplicate_operands() {
+        Circuit::new(3).cx(1, 1);
+    }
+
+    #[test]
+    fn inverse_reverses_and_inverts() {
+        let mut c = Circuit::new(2);
+        c.h(0).s(1).cphase(0.7, 0, 1);
+        let inv = c.inverse();
+        assert_eq!(inv.len(), 3);
+        assert_eq!(inv.gates()[0], Gate::Cphase { control: 0, target: 1, theta: -0.7 });
+        assert_eq!(inv.gates()[1], Gate::Sdg(1));
+        assert_eq!(inv.gates()[2], Gate::H(0));
+        // Involution.
+        assert_eq!(inv.inverse(), c);
+    }
+
+    #[test]
+    fn depth_tracks_critical_path() {
+        let mut c = Circuit::new(3);
+        assert_eq!(c.depth(), 0);
+        c.h(0).h(1).h(2); // parallel layer
+        assert_eq!(c.depth(), 1);
+        c.cx(0, 1); // joins 0 and 1
+        assert_eq!(c.depth(), 2);
+        c.h(2); // still parallel with everything above
+        assert_eq!(c.depth(), 2);
+        c.cx(1, 2); // chains after cx(0,1) and h(2)
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn extend_and_extend_mapped() {
+        let mut inner = Circuit::new(2);
+        inner.h(0).cx(0, 1);
+        let mut outer = Circuit::new(5);
+        outer.extend(&inner);
+        assert_eq!(outer.gates()[1], Gate::Cx { control: 0, target: 1 });
+        let mut shifted = Circuit::new(5);
+        shifted.extend_mapped(&inner, &[3, 4]);
+        assert_eq!(shifted.gates()[0], Gate::H(3));
+        assert_eq!(shifted.gates()[1], Gate::Cx { control: 3, target: 4 });
+    }
+
+    #[test]
+    #[should_panic(expected = "placement must cover")]
+    fn extend_mapped_requires_full_placement() {
+        let mut inner = Circuit::new(2);
+        inner.h(0);
+        Circuit::new(5).extend_mapped(&inner, &[3]);
+    }
+
+    #[test]
+    fn controlled_by_lifts_every_gate() {
+        let mut c = Circuit::new(3);
+        c.h(1).cphase(0.5, 1, 2).x(2);
+        let controlled = c.controlled_by(0).expect("all controllable");
+        assert_eq!(controlled.gates()[0], Gate::Ch { control: 0, target: 1 });
+        assert_eq!(
+            controlled.gates()[1],
+            Gate::Ccphase { c0: 0, c1: 1, target: 2, theta: 0.5 }
+        );
+        assert_eq!(controlled.gates()[2], Gate::Cx { control: 0, target: 2 });
+    }
+
+    #[test]
+    fn controlled_by_fails_on_uncontrollable() {
+        let mut c = Circuit::new(2);
+        c.ry(0.3, 1);
+        assert!(c.controlled_by(0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already used")]
+    fn controlled_by_rejects_overlapping_control() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        let _ = c.controlled_by(0);
+    }
+
+    #[test]
+    fn display_lists_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let s = format!("{c}");
+        assert!(s.contains("2 qubits"));
+        assert!(s.contains("h q0"));
+        assert!(s.contains("cx q0,q1"));
+    }
+}

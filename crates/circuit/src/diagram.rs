@@ -1,0 +1,141 @@
+//! Compact text diagrams for debugging and examples.
+//!
+//! Renders a circuit as one line per qubit with gates placed left to
+//! right in depth order (gates that can share a time step are drawn in
+//! the same column). Controls are `●`, targets show the gate mnemonic,
+//! and vertical connectivity is implied by the shared column.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Renders the circuit as a multi-line text diagram.
+pub fn render(circuit: &Circuit) -> String {
+    let n = circuit.num_qubits() as usize;
+    if n == 0 {
+        return String::new();
+    }
+    // Assign each gate a column: earliest level after all its operands.
+    let mut frontier = vec![0usize; n];
+    let mut columns: Vec<Vec<(usize, String)>> = Vec::new(); // col -> (qubit, label)
+    for gate in circuit.gates() {
+        let col = gate
+            .qubits()
+            .as_slice()
+            .iter()
+            .map(|&q| frontier[q as usize])
+            .max()
+            .unwrap_or(0);
+        if col == columns.len() {
+            columns.push(Vec::new());
+        }
+        for &q in gate.qubits().as_slice() {
+            frontier[q as usize] = col + 1;
+        }
+        place(&mut columns[col], gate);
+    }
+
+    // Column widths = widest label in the column.
+    let widths: Vec<usize> = columns
+        .iter()
+        .map(|c| c.iter().map(|(_, l)| l.chars().count()).max().unwrap_or(1))
+        .collect();
+
+    let mut lines = vec![String::new(); n];
+    for (q, line) in lines.iter_mut().enumerate() {
+        line.push_str(&format!("q{q:<3}: "));
+    }
+    for (col, cells) in columns.iter().enumerate() {
+        let w = widths[col];
+        for (q, line) in lines.iter_mut().enumerate() {
+            let label = cells
+                .iter()
+                .find(|(qubit, _)| *qubit == q)
+                .map(|(_, l)| l.clone())
+                .unwrap_or_else(|| "─".repeat(w));
+            let pad = w - label.chars().count();
+            line.push('─');
+            line.push_str(&label);
+            line.push_str(&"─".repeat(pad + 1));
+        }
+    }
+    lines.join("\n")
+}
+
+fn place(cells: &mut Vec<(usize, String)>, gate: &Gate) {
+    let qubits = gate.qubits();
+    let ops = qubits.as_slice();
+    let label = match gate.angle() {
+        Some(t) => format!("{}({:.3})", gate.name(), t),
+        None => gate.name().to_string(),
+    };
+    match *gate {
+        Gate::Cx { control, target }
+        | Gate::Cphase { control, target, .. }
+        | Gate::Ch { control, target } => {
+            cells.push((control as usize, "●".to_string()));
+            cells.push((target as usize, label));
+        }
+        Gate::Ccx { c0, c1, target } | Gate::Ccphase { c0, c1, target, .. } => {
+            cells.push((c0 as usize, "●".to_string()));
+            cells.push((c1 as usize, "●".to_string()));
+            cells.push((target as usize, label));
+        }
+        Gate::Cswap { control, a, b } => {
+            cells.push((control as usize, "●".to_string()));
+            cells.push((a as usize, "×".to_string()));
+            cells.push((b as usize, "×".to_string()));
+        }
+        Gate::Swap(a, b) => {
+            cells.push((a as usize, "×".to_string()));
+            cells.push((b as usize, "×".to_string()));
+        }
+        Gate::Cz(a, b) => {
+            cells.push((a as usize, "●".to_string()));
+            cells.push((b as usize, "●".to_string()));
+        }
+        _ => {
+            cells.push((ops[0] as usize, label));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_one_line_per_qubit() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cphase(0.5, 1, 2);
+        let d = render(&c);
+        assert_eq!(d.lines().count(), 3);
+        assert!(d.contains("q0"));
+        assert!(d.contains("h"));
+        assert!(d.contains("●"));
+        assert!(d.contains("cp(0.500)"));
+    }
+
+    #[test]
+    fn empty_circuit_renders_prefixes() {
+        let d = render(&Circuit::new(2));
+        assert_eq!(d.lines().count(), 2);
+    }
+
+    #[test]
+    fn parallel_gates_share_a_column() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1);
+        let d = render(&c);
+        let lines: Vec<&str> = d.lines().collect();
+        // Both h's land in the same column, so line lengths match.
+        assert_eq!(lines[0].chars().count(), lines[1].chars().count());
+    }
+
+    #[test]
+    fn swap_uses_cross_markers() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let d = render(&c);
+        assert_eq!(d.matches('×').count(), 2);
+    }
+}

@@ -1,0 +1,789 @@
+//! The gate set.
+//!
+//! Gates carry their qubit operands directly (no separate operand table),
+//! so a `Gate` is a small `Copy` value and a circuit is a flat
+//! `Vec<Gate>` with good cache behaviour during simulation.
+//!
+//! ## Qubit-ordering convention for matrices
+//!
+//! [`Gate::matrix`] returns the gate's unitary over the *listed* qubits,
+//! with `qubits()[0]` as the **least significant** bit of the matrix
+//! index. So for `Cx { control, target }` with `qubits() = [control,
+//! target]`, matrix index `i = (t << 1) | c`. All matrices are generated
+//! programmatically from the gate's semantic action on basis states,
+//! which keeps the convention impossible to get wrong by hand.
+
+use qfab_math::complex::{c64, Complex64};
+use qfab_math::matrix::{Mat2, Mat4, Mat8};
+use std::f64::consts::{FRAC_1_SQRT_2, PI};
+use std::fmt;
+
+/// A quantum gate instance, bound to concrete qubit indices.
+///
+/// Angles are in radians. The paper's `R_l` controlled rotation is
+/// `Cphase { theta: 2π / 2^l }` and its doubly-controlled `cR_l` is
+/// `Ccphase` with the same angle.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Gate {
+    /// Identity (explicit, so noise models can attach idle error).
+    I(u32),
+    /// Pauli X.
+    X(u32),
+    /// Pauli Y.
+    Y(u32),
+    /// Pauli Z.
+    Z(u32),
+    /// Hadamard.
+    H(u32),
+    /// Phase gate S = diag(1, i).
+    S(u32),
+    /// S†.
+    Sdg(u32),
+    /// T = diag(1, e^{iπ/4}).
+    T(u32),
+    /// T†.
+    Tdg(u32),
+    /// √X — one of the IBM basis gates.
+    Sx(u32),
+    /// (√X)†.
+    Sxdg(u32),
+    /// Rotation about X: `exp(-iθX/2)`.
+    Rx(u32, f64),
+    /// Rotation about Y: `exp(-iθY/2)`.
+    Ry(u32, f64),
+    /// Rotation about Z: `exp(-iθZ/2)` — an IBM basis gate (virtual).
+    Rz(u32, f64),
+    /// Phase gate diag(1, e^{iθ}) — equals Rz(θ) up to global phase.
+    Phase(u32, f64),
+    /// Generic 1q unitary U(θ, φ, λ) in the OpenQASM convention.
+    U(u32, f64, f64, f64),
+    /// Controlled-X (CNOT) — the IBM entangling basis gate.
+    Cx {
+        /// Control qubit.
+        control: u32,
+        /// Target qubit (flipped when the control is |1>).
+        target: u32,
+    },
+    /// Controlled-Z.
+    Cz(u32, u32),
+    /// Controlled-phase diag(1,1,1,e^{iθ}) — the paper's `R_l` with
+    /// `θ = 2π/2^l`.
+    Cphase {
+        /// Control qubit (CP is symmetric; the labels follow Fig. 2).
+        control: u32,
+        /// Target qubit.
+        target: u32,
+        /// Phase angle in radians.
+        theta: f64,
+    },
+    /// Controlled-Hadamard — the paper's `cH`.
+    Ch {
+        /// Control qubit.
+        control: u32,
+        /// Target qubit (Hadamard applied when the control is |1>).
+        target: u32,
+    },
+    /// SWAP.
+    Swap(u32, u32),
+    /// Toffoli (CCX).
+    Ccx {
+        /// First control qubit.
+        c0: u32,
+        /// Second control qubit.
+        c1: u32,
+        /// Target qubit.
+        target: u32,
+    },
+    /// Doubly-controlled phase — the paper's `cR_l`.
+    Ccphase {
+        /// First control qubit.
+        c0: u32,
+        /// Second control qubit.
+        c1: u32,
+        /// Target qubit (CCP is symmetric; labels follow the paper).
+        target: u32,
+        /// Phase angle in radians.
+        theta: f64,
+    },
+    /// Fredkin (controlled SWAP).
+    Cswap {
+        /// Control qubit.
+        control: u32,
+        /// First swapped qubit.
+        a: u32,
+        /// Second swapped qubit.
+        b: u32,
+    },
+}
+
+/// A gate's unitary matrix, sized by arity.
+#[derive(Clone, Copy, Debug)]
+pub enum GateMatrix {
+    /// Single-qubit operator.
+    One(Mat2),
+    /// Two-qubit operator (see module docs for index convention).
+    Two(Mat4),
+    /// Three-qubit operator.
+    Three(Mat8),
+}
+
+/// Up to three qubit operands, in gate-definition order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Operands {
+    buf: [u32; 3],
+    len: u8,
+}
+
+impl Operands {
+    fn one(a: u32) -> Self {
+        Self { buf: [a, 0, 0], len: 1 }
+    }
+    fn two(a: u32, b: u32) -> Self {
+        Self { buf: [a, b, 0], len: 2 }
+    }
+    fn three(a: u32, b: u32, c: u32) -> Self {
+        Self { buf: [a, b, c], len: 3 }
+    }
+
+    /// The operands as a slice.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// Number of operands.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Never true: every gate has at least one operand.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Index<usize> for Operands {
+    type Output = u32;
+    fn index(&self, i: usize) -> &u32 {
+        &self.as_slice()[i]
+    }
+}
+
+impl<'a> IntoIterator for &'a Operands {
+    type Item = u32;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, u32>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl Gate {
+    /// The qubits this gate touches, in definition order (controls before
+    /// targets where applicable).
+    pub fn qubits(&self) -> Operands {
+        use Gate::*;
+        match *self {
+            I(q) | X(q) | Y(q) | Z(q) | H(q) | S(q) | Sdg(q) | T(q) | Tdg(q) | Sx(q)
+            | Sxdg(q) => Operands::one(q),
+            Rx(q, _) | Ry(q, _) | Rz(q, _) | Phase(q, _) => Operands::one(q),
+            U(q, ..) => Operands::one(q),
+            Cx { control, target } => Operands::two(control, target),
+            Cz(a, b) => Operands::two(a, b),
+            Cphase { control, target, .. } => Operands::two(control, target),
+            Ch { control, target } => Operands::two(control, target),
+            Swap(a, b) => Operands::two(a, b),
+            Ccx { c0, c1, target } => Operands::three(c0, c1, target),
+            Ccphase { c0, c1, target, .. } => Operands::three(c0, c1, target),
+            Cswap { control, a, b } => Operands::three(control, a, b),
+        }
+    }
+
+    /// Number of qubits the gate acts on (1, 2 or 3).
+    pub fn arity(&self) -> usize {
+        self.qubits().len()
+    }
+
+    /// The gate's lowercase mnemonic (matches the OpenQASM spelling where
+    /// one exists).
+    pub fn name(&self) -> &'static str {
+        use Gate::*;
+        match self {
+            I(_) => "id",
+            X(_) => "x",
+            Y(_) => "y",
+            Z(_) => "z",
+            H(_) => "h",
+            S(_) => "s",
+            Sdg(_) => "sdg",
+            T(_) => "t",
+            Tdg(_) => "tdg",
+            Sx(_) => "sx",
+            Sxdg(_) => "sxdg",
+            Rx(..) => "rx",
+            Ry(..) => "ry",
+            Rz(..) => "rz",
+            Phase(..) => "p",
+            U(..) => "u",
+            Cx { .. } => "cx",
+            Cz(..) => "cz",
+            Cphase { .. } => "cp",
+            Ch { .. } => "ch",
+            Swap(..) => "swap",
+            Ccx { .. } => "ccx",
+            Ccphase { .. } => "ccp",
+            Cswap { .. } => "cswap",
+        }
+    }
+
+    /// The inverse gate (always exists and is a single gate in this set).
+    pub fn inverse(&self) -> Gate {
+        use Gate::*;
+        match *self {
+            S(q) => Sdg(q),
+            Sdg(q) => S(q),
+            T(q) => Tdg(q),
+            Tdg(q) => T(q),
+            Sx(q) => Sxdg(q),
+            Sxdg(q) => Sx(q),
+            Rx(q, t) => Rx(q, -t),
+            Ry(q, t) => Ry(q, -t),
+            Rz(q, t) => Rz(q, -t),
+            Phase(q, t) => Phase(q, -t),
+            U(q, theta, phi, lam) => U(q, -theta, -lam, -phi),
+            Cphase { control, target, theta } => Cphase { control, target, theta: -theta },
+            Ccphase { c0, c1, target, theta } => Ccphase { c0, c1, target, theta: -theta },
+            // Self-inverse gates.
+            g => g,
+        }
+    }
+
+    /// True when the gate's matrix is diagonal in the computational basis
+    /// (the simulator has a cheaper kernel for these).
+    pub fn is_diagonal(&self) -> bool {
+        use Gate::*;
+        matches!(
+            self,
+            I(_) | Z(_) | S(_) | Sdg(_) | T(_) | Tdg(_) | Rz(..) | Phase(..) | Cz(..)
+                | Cphase { .. }
+                | Ccphase { .. }
+        )
+    }
+
+    /// The unitary matrix over the listed qubits (see module docs for the
+    /// index convention).
+    pub fn matrix(&self) -> GateMatrix {
+        use Gate::*;
+        match *self {
+            I(_) => GateMatrix::One(Mat2::identity()),
+            X(_) => GateMatrix::One(mat2_x()),
+            Y(_) => GateMatrix::One(Mat2::from_rows([
+                [Complex64::ZERO, c64(0.0, -1.0)],
+                [c64(0.0, 1.0), Complex64::ZERO],
+            ])),
+            Z(_) => GateMatrix::One(Mat2::diagonal([Complex64::ONE, -Complex64::ONE])),
+            H(_) => GateMatrix::One(mat2_h()),
+            S(_) => GateMatrix::One(Mat2::diagonal([Complex64::ONE, Complex64::I])),
+            Sdg(_) => GateMatrix::One(Mat2::diagonal([Complex64::ONE, -Complex64::I])),
+            T(_) => GateMatrix::One(Mat2::diagonal([Complex64::ONE, Complex64::cis(PI / 4.0)])),
+            Tdg(_) => {
+                GateMatrix::One(Mat2::diagonal([Complex64::ONE, Complex64::cis(-PI / 4.0)]))
+            }
+            Sx(_) => GateMatrix::One(mat2_sx()),
+            Sxdg(_) => GateMatrix::One(mat2_sx().adjoint()),
+            Rx(_, t) => GateMatrix::One(mat2_rx(t)),
+            Ry(_, t) => GateMatrix::One(mat2_ry(t)),
+            Rz(_, t) => GateMatrix::One(mat2_rz(t)),
+            Phase(_, t) => GateMatrix::One(Mat2::diagonal([Complex64::ONE, Complex64::cis(t)])),
+            U(_, theta, phi, lam) => GateMatrix::One(mat2_u(theta, phi, lam)),
+            Cx { .. } => GateMatrix::Two(controlled_two(&mat2_x())),
+            Cz(..) => GateMatrix::Two(controlled_two(&Mat2::diagonal([
+                Complex64::ONE,
+                -Complex64::ONE,
+            ]))),
+            Cphase { theta, .. } => GateMatrix::Two(controlled_two(&Mat2::diagonal([
+                Complex64::ONE,
+                Complex64::cis(theta),
+            ]))),
+            Ch { .. } => GateMatrix::Two(controlled_two(&mat2_h())),
+            Swap(..) => GateMatrix::Two(swap_matrix()),
+            Ccx { .. } => GateMatrix::Three(controlled_three(&controlled_two(&mat2_x()))),
+            Ccphase { theta, .. } => {
+                GateMatrix::Three(controlled_three(&controlled_two(&Mat2::diagonal([
+                    Complex64::ONE,
+                    Complex64::cis(theta),
+                ]))))
+            }
+            Cswap { .. } => GateMatrix::Three(cswap_matrix()),
+        }
+    }
+
+    /// Remaps every qubit index through `f` (used when splicing a
+    /// sub-circuit into a larger register layout).
+    pub fn map_qubits(&self, f: impl Fn(u32) -> u32) -> Gate {
+        use Gate::*;
+        match *self {
+            I(q) => I(f(q)),
+            X(q) => X(f(q)),
+            Y(q) => Y(f(q)),
+            Z(q) => Z(f(q)),
+            H(q) => H(f(q)),
+            S(q) => S(f(q)),
+            Sdg(q) => Sdg(f(q)),
+            T(q) => T(f(q)),
+            Tdg(q) => Tdg(f(q)),
+            Sx(q) => Sx(f(q)),
+            Sxdg(q) => Sxdg(f(q)),
+            Rx(q, t) => Rx(f(q), t),
+            Ry(q, t) => Ry(f(q), t),
+            Rz(q, t) => Rz(f(q), t),
+            Phase(q, t) => Phase(f(q), t),
+            U(q, a, b, c) => U(f(q), a, b, c),
+            Cx { control, target } => Cx { control: f(control), target: f(target) },
+            Cz(a, b) => Cz(f(a), f(b)),
+            Cphase { control, target, theta } => {
+                Cphase { control: f(control), target: f(target), theta }
+            }
+            Ch { control, target } => Ch { control: f(control), target: f(target) },
+            Swap(a, b) => Swap(f(a), f(b)),
+            Ccx { c0, c1, target } => Ccx { c0: f(c0), c1: f(c1), target: f(target) },
+            Ccphase { c0, c1, target, theta } => {
+                Ccphase { c0: f(c0), c1: f(c1), target: f(target), theta }
+            }
+            Cswap { control, a, b } => Cswap { control: f(control), a: f(a), b: f(b) },
+        }
+    }
+
+    /// Lifts the gate to its singly-controlled version on `control`
+    /// (the construction behind the paper's cQFT / cadd / cQFA).
+    ///
+    /// Returns `None` when the controlled version falls outside this gate
+    /// set (e.g. controlling a 3-qubit gate would need 4 qubits).
+    pub fn controlled(&self, control: u32) -> Option<Gate> {
+        use Gate::*;
+        debug_assert!(
+            !self.qubits().as_slice().contains(&control),
+            "control qubit overlaps gate operands"
+        );
+        Some(match *self {
+            I(_) => I(control), // controlled identity is identity anywhere
+            X(q) => Cx { control, target: q },
+            Z(q) => Cz(control, q),
+            H(q) => Ch { control, target: q },
+            Phase(q, t) => Cphase { control, target: q, theta: t },
+            Cx { control: c, target } => Ccx { c0: control, c1: c, target },
+            Cz(a, b) => Ccphase { c0: control, c1: a, target: b, theta: PI },
+            Cphase { control: c, target, theta } => {
+                Ccphase { c0: control, c1: c, target, theta }
+            }
+            Swap(a, b) => Cswap { control, a, b },
+            _ => return None,
+        })
+    }
+
+    /// The rotation angle for parameterized gates, if any.
+    pub fn angle(&self) -> Option<f64> {
+        use Gate::*;
+        match *self {
+            Rx(_, t) | Ry(_, t) | Rz(_, t) | Phase(_, t) => Some(t),
+            Cphase { theta, .. } | Ccphase { theta, .. } => Some(theta),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())?;
+        if let Some(t) = self.angle() {
+            write!(f, "({t:.6})")?;
+        }
+        if let Gate::U(_, a, b, c) = self {
+            write!(f, "({a:.6},{b:.6},{c:.6})")?;
+        }
+        let q = self.qubits();
+        let strs: Vec<String> = q.as_slice().iter().map(|x| format!("q{x}")).collect();
+        write!(f, " {}", strs.join(","))
+    }
+}
+
+// ---- matrix construction helpers -------------------------------------
+
+fn mat2_x() -> Mat2 {
+    Mat2::from_rows([
+        [Complex64::ZERO, Complex64::ONE],
+        [Complex64::ONE, Complex64::ZERO],
+    ])
+}
+
+fn mat2_h() -> Mat2 {
+    let h = FRAC_1_SQRT_2;
+    Mat2::from_rows([[c64(h, 0.0), c64(h, 0.0)], [c64(h, 0.0), c64(-h, 0.0)]])
+}
+
+fn mat2_sx() -> Mat2 {
+    // SX = (1/2) [[1+i, 1-i], [1-i, 1+i]]
+    Mat2::from_rows([
+        [c64(0.5, 0.5), c64(0.5, -0.5)],
+        [c64(0.5, -0.5), c64(0.5, 0.5)],
+    ])
+}
+
+fn mat2_rx(t: f64) -> Mat2 {
+    let (s, c) = (t / 2.0).sin_cos();
+    Mat2::from_rows([[c64(c, 0.0), c64(0.0, -s)], [c64(0.0, -s), c64(c, 0.0)]])
+}
+
+fn mat2_ry(t: f64) -> Mat2 {
+    let (s, c) = (t / 2.0).sin_cos();
+    Mat2::from_rows([[c64(c, 0.0), c64(-s, 0.0)], [c64(s, 0.0), c64(c, 0.0)]])
+}
+
+fn mat2_rz(t: f64) -> Mat2 {
+    Mat2::diagonal([Complex64::cis(-t / 2.0), Complex64::cis(t / 2.0)])
+}
+
+/// OpenQASM-convention U(θ, φ, λ).
+fn mat2_u(theta: f64, phi: f64, lam: f64) -> Mat2 {
+    let (s, c) = (theta / 2.0).sin_cos();
+    Mat2::from_rows([
+        [c64(c, 0.0), -Complex64::cis(lam).scale(s)],
+        [
+            Complex64::cis(phi).scale(s),
+            Complex64::cis(phi + lam).scale(c),
+        ],
+    ])
+}
+
+/// Controlled 1q gate in *our* operand order: control is operand 0 =
+/// least significant matrix bit, target is operand 1.
+/// Index i = (t << 1) | c; the gate applies `u` to t when c = 1.
+fn controlled_two(u: &Mat2) -> Mat4 {
+    let mut out = Mat4::zero();
+    // c = 0 columns: identity on t.
+    out.m[0][0] = Complex64::ONE; // |t=0,c=0>
+    out.m[2][2] = Complex64::ONE; // |t=1,c=0>
+    // c = 1 block: u acts on t (t is matrix bit 1).
+    out.m[1][1] = u.m[0][0];
+    out.m[1][3] = u.m[0][1];
+    out.m[3][1] = u.m[1][0];
+    out.m[3][3] = u.m[1][1];
+    out
+}
+
+/// Adds one more control as operand 0 (least significant bit) to a
+/// 2-qubit matrix built by [`controlled_two`]: new index
+/// i = (old_index << 1) | c_new.
+fn controlled_three(u: &Mat4) -> Mat8 {
+    let mut out = Mat8::zero();
+    for r in 0..4 {
+        for c in 0..4 {
+            // c_new = 0: identity; c_new = 1: u on the other two qubits.
+            if r == c {
+                out.m[r * 2][c * 2] = Complex64::ONE;
+            }
+            out.m[r * 2 + 1][c * 2 + 1] = u.m[r][c];
+        }
+    }
+    out
+}
+
+fn swap_matrix() -> Mat4 {
+    let mut out = Mat4::zero();
+    // Basis |b a> with a = bit0: swap exchanges |01> (idx 1) and |10> (idx 2).
+    out.m[0][0] = Complex64::ONE;
+    out.m[1][2] = Complex64::ONE;
+    out.m[2][1] = Complex64::ONE;
+    out.m[3][3] = Complex64::ONE;
+    out
+}
+
+fn cswap_matrix() -> Mat8 {
+    // Operands (control, a, b); index i = (b << 2) | (a << 1) | control.
+    let mut out = Mat8::zero();
+    for i in 0..8usize {
+        let ctrl = i & 1;
+        let a = (i >> 1) & 1;
+        let b = (i >> 2) & 1;
+        let j = if ctrl == 1 {
+            (a << 2) | (b << 1) | ctrl
+        } else {
+            i
+        };
+        out.m[j][i] = Complex64::ONE;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    fn all_sample_gates() -> Vec<Gate> {
+        use Gate::*;
+        vec![
+            I(0),
+            X(0),
+            Y(0),
+            Z(0),
+            H(0),
+            S(0),
+            Sdg(0),
+            T(0),
+            Tdg(0),
+            Sx(0),
+            Sxdg(0),
+            Rx(0, 0.3),
+            Ry(0, -1.1),
+            Rz(0, 2.2),
+            Phase(0, 0.7),
+            U(0, 0.4, 1.3, -0.2),
+            Cx { control: 0, target: 1 },
+            Cz(0, 1),
+            Cphase { control: 0, target: 1, theta: 0.9 },
+            Ch { control: 0, target: 1 },
+            Swap(0, 1),
+            Ccx { c0: 0, c1: 1, target: 2 },
+            Ccphase { c0: 0, c1: 1, target: 2, theta: -0.6 },
+            Cswap { control: 0, a: 1, b: 2 },
+        ]
+    }
+
+    #[test]
+    fn every_gate_matrix_is_unitary() {
+        for g in all_sample_gates() {
+            let ok = match g.matrix() {
+                GateMatrix::One(m) => m.is_unitary(TOL),
+                GateMatrix::Two(m) => m.is_unitary(TOL),
+                GateMatrix::Three(m) => m.is_unitary(TOL),
+            };
+            assert!(ok, "{g} is not unitary");
+        }
+    }
+
+    #[test]
+    fn inverse_matrix_is_adjoint() {
+        for g in all_sample_gates() {
+            let inv = g.inverse();
+            match (g.matrix(), inv.matrix()) {
+                (GateMatrix::One(a), GateMatrix::One(b)) => {
+                    assert!(
+                        a.matmul(&b).approx_eq_up_to_phase(&Mat2::identity(), 1e-10),
+                        "{g}: inverse fails"
+                    )
+                }
+                (GateMatrix::Two(a), GateMatrix::Two(b)) => {
+                    assert!(
+                        a.matmul(&b).approx_eq_up_to_phase(&Mat4::identity(), 1e-10),
+                        "{g}: inverse fails"
+                    )
+                }
+                (GateMatrix::Three(a), GateMatrix::Three(b)) => {
+                    assert!(
+                        a.matmul(&b).approx_eq_up_to_phase(&Mat8::identity(), 1e-10),
+                        "{g}: inverse fails"
+                    )
+                }
+                _ => panic!("{g}: inverse changed arity"),
+            }
+        }
+    }
+
+    #[test]
+    fn u_inverse_is_exact_not_just_up_to_phase() {
+        let g = Gate::U(0, 0.4, 1.3, -0.2);
+        let (GateMatrix::One(a), GateMatrix::One(b)) = (g.matrix(), g.inverse().matrix()) else {
+            unreachable!()
+        };
+        assert!(a.matmul(&b).approx_eq(&Mat2::identity(), 1e-10));
+    }
+
+    #[test]
+    fn arity_and_operands() {
+        assert_eq!(Gate::H(3).arity(), 1);
+        assert_eq!(Gate::Cx { control: 2, target: 5 }.qubits().as_slice(), &[2, 5]);
+        assert_eq!(
+            Gate::Ccphase { c0: 1, c1: 2, target: 3, theta: 0.1 }
+                .qubits()
+                .as_slice(),
+            &[1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn cx_matrix_convention() {
+        // Index i = (t << 1) | c. CX maps (c=1,t=0) [idx 1] to (c=1,t=1)
+        // [idx 3] and vice versa.
+        let GateMatrix::Two(m) = (Gate::Cx { control: 0, target: 1 }).matrix() else {
+            unreachable!()
+        };
+        assert!(m.m[0][0].approx_eq(Complex64::ONE, TOL));
+        assert!(m.m[3][1].approx_eq(Complex64::ONE, TOL));
+        assert!(m.m[1][3].approx_eq(Complex64::ONE, TOL));
+        assert!(m.m[2][2].approx_eq(Complex64::ONE, TOL));
+    }
+
+    #[test]
+    fn cphase_is_symmetric_diagonal() {
+        let GateMatrix::Two(m) =
+            (Gate::Cphase { control: 0, target: 1, theta: 0.9 }).matrix()
+        else {
+            unreachable!()
+        };
+        assert!(m.m[0][0].approx_eq(Complex64::ONE, TOL));
+        assert!(m.m[1][1].approx_eq(Complex64::ONE, TOL));
+        assert!(m.m[2][2].approx_eq(Complex64::ONE, TOL));
+        assert!(m.m[3][3].approx_eq(Complex64::cis(0.9), TOL));
+    }
+
+    #[test]
+    fn ccphase_only_phases_all_ones() {
+        let GateMatrix::Three(m) =
+            (Gate::Ccphase { c0: 0, c1: 1, target: 2, theta: 1.1 }).matrix()
+        else {
+            unreachable!()
+        };
+        for i in 0..7 {
+            assert!(m.m[i][i].approx_eq(Complex64::ONE, TOL), "diag {i}");
+        }
+        assert!(m.m[7][7].approx_eq(Complex64::cis(1.1), TOL));
+    }
+
+    #[test]
+    fn swap_and_cswap_permutations() {
+        let GateMatrix::Two(sw) = Gate::Swap(0, 1).matrix() else { unreachable!() };
+        assert!(sw.m[1][2].approx_eq(Complex64::ONE, TOL));
+        assert!(sw.m[2][1].approx_eq(Complex64::ONE, TOL));
+
+        let GateMatrix::Three(fs) = (Gate::Cswap { control: 0, a: 1, b: 2 }).matrix() else {
+            unreachable!()
+        };
+        // With control (bit0) = 1: swap bits 1 and 2.
+        // |c=1,a=1,b=0> = idx 3 <-> |c=1,a=0,b=1> = idx 5.
+        assert!(fs.m[5][3].approx_eq(Complex64::ONE, TOL));
+        assert!(fs.m[3][5].approx_eq(Complex64::ONE, TOL));
+        // Control = 0 states are fixed.
+        assert!(fs.m[2][2].approx_eq(Complex64::ONE, TOL));
+        assert!(fs.m[4][4].approx_eq(Complex64::ONE, TOL));
+    }
+
+    #[test]
+    fn phase_equals_rz_up_to_global_phase() {
+        let (GateMatrix::One(p), GateMatrix::One(rz)) =
+            (Gate::Phase(0, 0.8).matrix(), Gate::Rz(0, 0.8).matrix())
+        else {
+            unreachable!()
+        };
+        assert!(p.approx_eq_up_to_phase(&rz, 1e-10));
+        assert!(!p.approx_eq(&rz, 1e-10));
+    }
+
+    #[test]
+    fn sx_squared_is_x() {
+        let GateMatrix::One(sx) = Gate::Sx(0).matrix() else { unreachable!() };
+        let GateMatrix::One(x) = Gate::X(0).matrix() else { unreachable!() };
+        assert!(sx.matmul(&sx).approx_eq(&x, TOL));
+    }
+
+    #[test]
+    fn u_covers_standard_gates() {
+        // H = U(π/2, 0, π) up to global phase.
+        let (GateMatrix::One(u), GateMatrix::One(h)) =
+            (Gate::U(0, PI / 2.0, 0.0, PI).matrix(), Gate::H(0).matrix())
+        else {
+            unreachable!()
+        };
+        assert!(u.approx_eq_up_to_phase(&h, 1e-10));
+        // X = U(π, 0, π).
+        let (GateMatrix::One(ux), GateMatrix::One(x)) =
+            (Gate::U(0, PI, 0.0, PI).matrix(), Gate::X(0).matrix())
+        else {
+            unreachable!()
+        };
+        assert!(ux.approx_eq_up_to_phase(&x, 1e-10));
+    }
+
+    #[test]
+    fn controlled_lifting() {
+        assert_eq!(
+            Gate::X(1).controlled(0),
+            Some(Gate::Cx { control: 0, target: 1 })
+        );
+        assert_eq!(
+            Gate::H(1).controlled(0),
+            Some(Gate::Ch { control: 0, target: 1 })
+        );
+        let cp = Gate::Cphase { control: 1, target: 2, theta: 0.3 }.controlled(0);
+        assert_eq!(
+            cp,
+            Some(Gate::Ccphase { c0: 0, c1: 1, target: 2, theta: 0.3 })
+        );
+        // 3-qubit gates can't gain another control in this set.
+        assert_eq!(
+            Gate::Ccx { c0: 0, c1: 1, target: 2 }.controlled(3),
+            None
+        );
+        // Rotations other than phase-type can't be controlled directly.
+        assert_eq!(Gate::Ry(1, 0.5).controlled(0), None);
+    }
+
+    #[test]
+    fn controlled_matrix_matches_lifting() {
+        // Verify Ch against manually controlled H through basis action.
+        let g = Gate::H(1).controlled(0).unwrap();
+        let GateMatrix::Two(m) = g.matrix() else { unreachable!() };
+        // Control (bit 0) = 0: identity on target.
+        assert!(m.m[0][0].approx_eq(Complex64::ONE, TOL));
+        assert!(m.m[2][2].approx_eq(Complex64::ONE, TOL));
+        // Control = 1: Hadamard on target bit (bit 1): columns 1 and 3.
+        let h = FRAC_1_SQRT_2;
+        assert!(m.m[1][1].approx_eq(c64(h, 0.0), TOL));
+        assert!(m.m[3][1].approx_eq(c64(h, 0.0), TOL));
+        assert!(m.m[1][3].approx_eq(c64(h, 0.0), TOL));
+        assert!(m.m[3][3].approx_eq(c64(-h, 0.0), TOL));
+    }
+
+    #[test]
+    fn map_qubits_relabels() {
+        let g = Gate::Ccphase { c0: 0, c1: 1, target: 2, theta: 0.5 };
+        let mapped = g.map_qubits(|q| q + 10);
+        assert_eq!(mapped.qubits().as_slice(), &[10, 11, 12]);
+        assert_eq!(mapped.angle(), Some(0.5));
+    }
+
+    #[test]
+    fn diagonal_classification() {
+        assert!(Gate::Rz(0, 1.0).is_diagonal());
+        assert!(Gate::Cphase { control: 0, target: 1, theta: 1.0 }.is_diagonal());
+        assert!(Gate::Ccphase { c0: 0, c1: 1, target: 2, theta: 1.0 }.is_diagonal());
+        assert!(!Gate::H(0).is_diagonal());
+        assert!(!Gate::Cx { control: 0, target: 1 }.is_diagonal());
+        // Verify the classification against the actual matrices.
+        for g in all_sample_gates() {
+            let diag_by_matrix = match g.matrix() {
+                GateMatrix::One(m) => is_diag2(&m),
+                GateMatrix::Two(m) => is_diag4(&m),
+                GateMatrix::Three(m) => is_diag8(&m),
+            };
+            assert_eq!(g.is_diagonal(), diag_by_matrix, "{g}");
+        }
+    }
+
+    fn is_diag2(m: &Mat2) -> bool {
+        (0..2).all(|r| (0..2).all(|c| r == c || m.m[r][c].norm_sqr() < 1e-20))
+    }
+    fn is_diag4(m: &Mat4) -> bool {
+        (0..4).all(|r| (0..4).all(|c| r == c || m.m[r][c].norm_sqr() < 1e-20))
+    }
+    fn is_diag8(m: &Mat8) -> bool {
+        (0..8).all(|r| (0..8).all(|c| r == c || m.m[r][c].norm_sqr() < 1e-20))
+    }
+
+    #[test]
+    fn display_contains_name_and_qubits() {
+        let s = format!("{}", Gate::Cphase { control: 3, target: 7, theta: 0.25 });
+        assert!(s.contains("cp"));
+        assert!(s.contains("q3"));
+        assert!(s.contains("q7"));
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Quantum circuit intermediate representation for the qfab workspace.
+//!
+//! The IR is deliberately flat and simple: a [`Circuit`] is a qubit count
+//! plus an ordered list of [`Gate`]s. Everything downstream — the
+//! transpiler, the state-vector simulator, the noise-model trajectory
+//! sampler — walks that list. There is no implicit qubit mapping or
+//! connectivity: like the paper, we assume an idealized all-to-all
+//! layout.
+//!
+//! Modules:
+//!
+//! * [`gate`] — the gate set (1q Cliffords + rotations, CX/CZ/CP/CH/SWAP,
+//!   CCX/CCP/CSWAP) with exact matrices, inverses and metadata.
+//! * [`circuit`] — the circuit container and builder API, plus structural
+//!   transforms: inversion and adding a control to every gate (the
+//!   paper's cQFT/cadd construction).
+//! * [`register`] — named, contiguous qubit registers and a tiny layout
+//!   allocator, so arithmetic circuits can talk about "the x register"
+//!   rather than raw indices.
+//! * [`stats`] — gate counting (the paper's Table I quantities) and
+//!   critical-path depth.
+//! * [`qasm`] — OpenQASM 2.0 export for interchange with other stacks.
+//! * [`diagram`] — a compact text rendering for examples and debugging.
+
+pub mod circuit;
+pub mod diagram;
+pub mod gate;
+pub mod qasm;
+pub mod qasm_parse;
+pub mod register;
+pub mod stats;
+
+pub use circuit::Circuit;
+pub use gate::{Gate, GateMatrix};
+pub use register::{Layout, Register};
+pub use stats::GateCounts;

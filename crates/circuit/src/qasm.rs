@@ -1,0 +1,140 @@
+//! OpenQASM 2.0 export.
+//!
+//! Emits a `qelib1.inc`-compatible program so circuits can be checked
+//! against other toolchains (e.g. the paper's Qiskit stack). Gates
+//! without a qelib1 primitive (`ccp`, `cswap` is `cswap` in qelib1,
+//! `ccp` is decomposed) are lowered to supported forms inline.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use std::fmt::Write as _;
+
+/// Renders the circuit as an OpenQASM 2.0 program over one register `q`.
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    for gate in circuit.gates() {
+        emit(&mut out, gate);
+    }
+    out
+}
+
+fn emit(out: &mut String, gate: &Gate) {
+    use Gate::*;
+    match *gate {
+        I(q) => ln(out, format_args!("id q[{q}];")),
+        X(q) => ln(out, format_args!("x q[{q}];")),
+        Y(q) => ln(out, format_args!("y q[{q}];")),
+        Z(q) => ln(out, format_args!("z q[{q}];")),
+        H(q) => ln(out, format_args!("h q[{q}];")),
+        S(q) => ln(out, format_args!("s q[{q}];")),
+        Sdg(q) => ln(out, format_args!("sdg q[{q}];")),
+        T(q) => ln(out, format_args!("t q[{q}];")),
+        Tdg(q) => ln(out, format_args!("tdg q[{q}];")),
+        Sx(q) => ln(out, format_args!("sx q[{q}];")),
+        Sxdg(q) => ln(out, format_args!("sxdg q[{q}];")),
+        Rx(q, t) => ln(out, format_args!("rx({t}) q[{q}];")),
+        Ry(q, t) => ln(out, format_args!("ry({t}) q[{q}];")),
+        Rz(q, t) => ln(out, format_args!("rz({t}) q[{q}];")),
+        Phase(q, t) => ln(out, format_args!("u1({t}) q[{q}];")),
+        U(q, a, b, c) => ln(out, format_args!("u3({a},{b},{c}) q[{q}];")),
+        Cx { control, target } => ln(out, format_args!("cx q[{control}],q[{target}];")),
+        Cz(a, b) => ln(out, format_args!("cz q[{a}],q[{b}];")),
+        Cphase { control, target, theta } => {
+            ln(out, format_args!("cu1({theta}) q[{control}],q[{target}];"))
+        }
+        Ch { control, target } => ln(out, format_args!("ch q[{control}],q[{target}];")),
+        Swap(a, b) => ln(out, format_args!("swap q[{a}],q[{b}];")),
+        Ccx { c0, c1, target } => ln(out, format_args!("ccx q[{c0}],q[{c1}],q[{target}];")),
+        Ccphase { c0, c1, target, theta } => {
+            // qelib1 has no ccp primitive; standard decomposition into
+            // three cu1(θ/2) and two cx, exactly unitary-equivalent.
+            let half = theta / 2.0;
+            ln(out, format_args!("cu1({half}) q[{c1}],q[{target}];"));
+            ln(out, format_args!("cx q[{c0}],q[{c1}];"));
+            ln(out, format_args!("cu1({}) q[{c1}],q[{target}];", -half));
+            ln(out, format_args!("cx q[{c0}],q[{c1}];"));
+            ln(out, format_args!("cu1({half}) q[{c0}],q[{target}];"));
+        }
+        Cswap { control, a, b } => {
+            ln(out, format_args!("cswap q[{control}],q[{a}],q[{b}];"))
+        }
+    }
+}
+
+fn ln(out: &mut String, args: std::fmt::Arguments<'_>) {
+    let _ = writeln!(out, "{args}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_register() {
+        let c = Circuit::new(5);
+        let q = to_qasm(&c);
+        assert!(q.starts_with("OPENQASM 2.0;"));
+        assert!(q.contains("include \"qelib1.inc\";"));
+        assert!(q.contains("qreg q[5];"));
+    }
+
+    #[test]
+    fn basic_gates_render() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cphase(0.5, 1, 2).rz(-0.25, 2);
+        let q = to_qasm(&c);
+        assert!(q.contains("h q[0];"));
+        assert!(q.contains("cx q[0],q[1];"));
+        assert!(q.contains("cu1(0.5) q[1],q[2];"));
+        assert!(q.contains("rz(-0.25) q[2];"));
+    }
+
+    #[test]
+    fn ccphase_lowers_to_five_gates() {
+        let mut c = Circuit::new(3);
+        c.ccphase(1.0, 0, 1, 2);
+        let q = to_qasm(&c);
+        let cu1_count = q.matches("cu1(").count();
+        let cx_count = q.matches("cx ").count();
+        assert_eq!(cu1_count, 3);
+        assert_eq!(cx_count, 2);
+        assert!(q.contains("cu1(0.5)"));
+        assert!(q.contains("cu1(-0.5)"));
+    }
+
+    #[test]
+    fn every_gate_kind_emits_something() {
+        let mut c = Circuit::new(3);
+        c.id(0)
+            .x(0)
+            .y(0)
+            .z(0)
+            .h(0)
+            .s(0)
+            .t(0)
+            .sx(0)
+            .rx(0.1, 0)
+            .ry(0.2, 0)
+            .rz(0.3, 0)
+            .phase(0.4, 0)
+            .cx(0, 1)
+            .cz(0, 1)
+            .ch(0, 1)
+            .swap(0, 1)
+            .ccx(0, 1, 2)
+            .cswap(0, 1, 2);
+        c.push(Gate::U(0, 0.1, 0.2, 0.3));
+        c.push(Gate::Sdg(0));
+        c.push(Gate::Tdg(0));
+        c.push(Gate::Sxdg(0));
+        let q = to_qasm(&c);
+        // 3 header lines + one line per gate (none of these lower to
+        // multiple lines).
+        assert_eq!(q.lines().count(), 3 + c.len());
+        assert!(q.contains("u3(0.1,0.2,0.3) q[0];"));
+        assert!(q.contains("cswap q[0],q[1],q[2];"));
+    }
+}

@@ -1,0 +1,399 @@
+//! OpenQASM 2.0 import.
+//!
+//! Parses the subset of OpenQASM 2.0 that [`crate::qasm::to_qasm`]
+//! emits (plus whitespace/comment tolerance): a single quantum
+//! register and the qelib1 gates used by the arithmetic circuits. This
+//! gives a round-trip path for interchange with other toolchains.
+//!
+//! Supported statements: `OPENQASM 2.0;`, `include "qelib1.inc";`,
+//! `qreg <name>[n];`, gate applications from the set
+//! {id, x, y, z, h, s, sdg, t, tdg, sx, sxdg, rx, ry, rz, u1/p, u3/u,
+//! cx, cz, cu1/cp, ch, swap, ccx, cswap}, and `barrier`/`creg`/
+//! `measure` statements (ignored). Angle expressions support decimal
+//! literals, `pi`, unary minus, and `*`/`/` by a literal.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use std::f64::consts::PI;
+
+/// A parse failure with line context.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QasmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for QasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "QASM parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+/// Parses an OpenQASM 2.0 program into a [`Circuit`].
+pub fn from_qasm(source: &str) -> Result<Circuit, QasmError> {
+    let mut circuit: Option<Circuit> = None;
+    let mut reg_name: Option<String> = None;
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let text = strip_comment(raw).trim();
+        if text.is_empty() {
+            continue;
+        }
+        for stmt in text.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            parse_statement(stmt, line, &mut circuit, &mut reg_name)?;
+        }
+    }
+    circuit.ok_or(QasmError {
+        line: 0,
+        message: "no qreg declaration found".to_string(),
+    })
+}
+
+fn strip_comment(s: &str) -> &str {
+    match s.find("//") {
+        Some(i) => &s[..i],
+        None => s,
+    }
+}
+
+fn parse_statement(
+    stmt: &str,
+    line: usize,
+    circuit: &mut Option<Circuit>,
+    reg_name: &mut Option<String>,
+) -> Result<(), QasmError> {
+    let err = |message: String| QasmError { line, message };
+
+    if stmt.starts_with("OPENQASM") || stmt.starts_with("include") {
+        return Ok(());
+    }
+    if let Some(rest) = stmt.strip_prefix("qreg") {
+        let rest = rest.trim();
+        let (name, size) = parse_decl(rest).ok_or_else(|| err(format!("bad qreg: {rest}")))?;
+        if circuit.is_some() {
+            return Err(err("multiple qreg declarations are not supported".into()));
+        }
+        *circuit = Some(Circuit::new(size));
+        *reg_name = Some(name);
+        return Ok(());
+    }
+    if stmt.starts_with("creg") || stmt.starts_with("barrier") || stmt.starts_with("measure") {
+        return Ok(()); // classical bookkeeping: ignored
+    }
+
+    // Gate application: name[(params)] operand[, operand…]
+    let circuit = circuit
+        .as_mut()
+        .ok_or_else(|| err("gate before qreg declaration".into()))?;
+    let reg = reg_name.as_deref().unwrap_or("q");
+
+    let (head, operands_text) = match stmt.find(|c: char| c.is_whitespace()) {
+        Some(i) if !stmt[..i].contains('(') || stmt[..i].contains(')') => {
+            (&stmt[..i], &stmt[i..])
+        }
+        _ => {
+            // Parameterized names may contain spaces inside parens; find
+            // the closing paren first.
+            match stmt.find(')') {
+                Some(i) => (&stmt[..=i], &stmt[i + 1..]),
+                None => return Err(err(format!("malformed statement: {stmt}"))),
+            }
+        }
+    };
+    let (name, params) = split_params(head, line)?;
+    let qubits = parse_operands(operands_text, reg, line)?;
+
+    let q = |i: usize| -> Result<u32, QasmError> {
+        qubits
+            .get(i)
+            .copied()
+            .ok_or_else(|| err(format!("{name}: missing operand {i}")))
+    };
+    let p = |i: usize| -> Result<f64, QasmError> {
+        params
+            .get(i)
+            .copied()
+            .ok_or_else(|| err(format!("{name}: missing parameter {i}")))
+    };
+
+    let gate = match name.as_str() {
+        "id" => Gate::I(q(0)?),
+        "x" => Gate::X(q(0)?),
+        "y" => Gate::Y(q(0)?),
+        "z" => Gate::Z(q(0)?),
+        "h" => Gate::H(q(0)?),
+        "s" => Gate::S(q(0)?),
+        "sdg" => Gate::Sdg(q(0)?),
+        "t" => Gate::T(q(0)?),
+        "tdg" => Gate::Tdg(q(0)?),
+        "sx" => Gate::Sx(q(0)?),
+        "sxdg" => Gate::Sxdg(q(0)?),
+        "rx" => Gate::Rx(q(0)?, p(0)?),
+        "ry" => Gate::Ry(q(0)?, p(0)?),
+        "rz" => Gate::Rz(q(0)?, p(0)?),
+        "u1" | "p" => Gate::Phase(q(0)?, p(0)?),
+        "u3" | "u" => Gate::U(q(0)?, p(0)?, p(1)?, p(2)?),
+        "cx" => Gate::Cx { control: q(0)?, target: q(1)? },
+        "cz" => Gate::Cz(q(0)?, q(1)?),
+        "cu1" | "cp" => Gate::Cphase { control: q(0)?, target: q(1)?, theta: p(0)? },
+        "ch" => Gate::Ch { control: q(0)?, target: q(1)? },
+        "swap" => Gate::Swap(q(0)?, q(1)?),
+        "ccx" => Gate::Ccx { c0: q(0)?, c1: q(1)?, target: q(2)? },
+        "cswap" => Gate::Cswap { control: q(0)?, a: q(1)?, b: q(2)? },
+        other => return Err(err(format!("unsupported gate '{other}'"))),
+    };
+    circuit.push(gate);
+    Ok(())
+}
+
+/// Parses `name[size]`.
+fn parse_decl(s: &str) -> Option<(String, u32)> {
+    let open = s.find('[')?;
+    let close = s.find(']')?;
+    let name = s[..open].trim().to_string();
+    let size: u32 = s[open + 1..close].trim().parse().ok()?;
+    (!name.is_empty() && size > 0).then_some((name, size))
+}
+
+/// Splits `name(p1,p2)` into the name and parsed parameters.
+fn split_params(head: &str, line: usize) -> Result<(String, Vec<f64>), QasmError> {
+    match head.find('(') {
+        None => Ok((head.trim().to_string(), Vec::new())),
+        Some(open) => {
+            let close = head.rfind(')').ok_or(QasmError {
+                line,
+                message: format!("unclosed parameter list in '{head}'"),
+            })?;
+            let name = head[..open].trim().to_string();
+            let params = head[open + 1..close]
+                .split(',')
+                .map(|e| parse_angle(e.trim(), line))
+                .collect::<Result<Vec<f64>, _>>()?;
+            Ok((name, params))
+        }
+    }
+}
+
+/// Parses `reg[i], reg[j], …` into qubit indices.
+fn parse_operands(s: &str, reg: &str, line: usize) -> Result<Vec<u32>, QasmError> {
+    s.split(',')
+        .map(|op| {
+            let op = op.trim();
+            let open = op.find('[');
+            let close = op.find(']');
+            match (open, close) {
+                (Some(o), Some(c)) if op[..o].trim() == reg => {
+                    op[o + 1..c].trim().parse().map_err(|_| QasmError {
+                        line,
+                        message: format!("bad qubit index in '{op}'"),
+                    })
+                }
+                _ => Err(QasmError { line, message: format!("bad operand '{op}'") }),
+            }
+        })
+        .collect()
+}
+
+/// Evaluates a restricted angle expression: `[-]a[*b][/c]` where each
+/// atom is a decimal literal or `pi`.
+fn parse_angle(expr: &str, line: usize) -> Result<f64, QasmError> {
+    let err = || QasmError { line, message: format!("bad angle expression '{expr}'") };
+    let expr = expr.trim();
+    let (neg, body) = match expr.strip_prefix('-') {
+        Some(b) => (true, b.trim()),
+        None => (false, expr),
+    };
+    // Split on '/' first (lowest precedence in our restricted grammar).
+    let (num_part, den): (&str, f64) = match body.split_once('/') {
+        Some((n, d)) => (n.trim(), parse_atom(d.trim()).ok_or_else(err)?),
+        None => (body, 1.0),
+    };
+    let num: f64 = num_part
+        .split('*')
+        .map(|a| parse_atom(a.trim()))
+        .try_fold(1.0, |acc, v| v.map(|v| acc * v))
+        .ok_or_else(err)?;
+    let value = num / den;
+    Ok(if neg { -value } else { value })
+}
+
+fn parse_atom(s: &str) -> Option<f64> {
+    if s.eq_ignore_ascii_case("pi") {
+        Some(PI)
+    } else {
+        s.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qasm::to_qasm;
+
+    #[test]
+    fn roundtrip_simple_circuit() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cphase(0.5, 1, 2).rz(-0.25, 2).swap(0, 2);
+        let text = to_qasm(&c);
+        let parsed = from_qasm(&text).unwrap();
+        assert_eq!(parsed.num_qubits(), 3);
+        assert_eq!(parsed.gates(), c.gates());
+    }
+
+    #[test]
+    fn roundtrip_every_directly_exported_gate() {
+        let mut c = Circuit::new(3);
+        c.id(0)
+            .x(0)
+            .y(1)
+            .z(2)
+            .h(0)
+            .s(1)
+            .t(2)
+            .sx(0)
+            .rx(0.1, 0)
+            .ry(0.2, 1)
+            .rz(0.3, 2)
+            .phase(0.4, 0)
+            .cx(0, 1)
+            .cz(1, 2)
+            .ch(0, 2)
+            .swap(1, 2)
+            .ccx(0, 1, 2)
+            .cswap(0, 1, 2);
+        c.push(Gate::U(1, 0.1, 0.2, 0.3));
+        c.push(Gate::Sdg(0));
+        c.push(Gate::Tdg(1));
+        c.push(Gate::Sxdg(2));
+        let parsed = from_qasm(&to_qasm(&c)).unwrap();
+        assert_eq!(parsed.gates(), c.gates());
+    }
+
+    #[test]
+    fn ccphase_roundtrips_semantically() {
+        // The exporter lowers ccp to cu1/cx; parsing gives the lowered
+        // form, which must be unitary-equivalent to the original.
+        let mut c = Circuit::new(3);
+        c.ccphase(0.9, 0, 1, 2);
+        let parsed = from_qasm(&to_qasm(&c)).unwrap();
+        assert_eq!(parsed.len(), 5);
+        // Compare matrices through simulation on all basis states.
+        use qfab_math::bits::dim;
+        for basis in 0..dim(3) {
+            let probs_a = simulate(&c, basis);
+            let probs_b = simulate(&parsed, basis);
+            for (a, b) in probs_a.iter().zip(&probs_b) {
+                assert!((a.re - b.re).abs() < 1e-10 && (a.im - b.im).abs() < 1e-10);
+            }
+        }
+    }
+
+    fn simulate(c: &Circuit, basis: usize) -> Vec<qfab_math::Complex64> {
+        // Minimal local simulation via expanded matrices (avoids a dev
+        // dependency on qfab-sim from this crate).
+        use crate::gate::GateMatrix;
+        use qfab_math::bits::{dim, gather_bits, scatter_bits};
+        use qfab_math::Complex64;
+        let d = dim(c.num_qubits());
+        let mut state = vec![Complex64::ZERO; d];
+        state[basis] = Complex64::ONE;
+        for gate in c.gates() {
+            let qubits = gate.qubits();
+            let ops = qubits.as_slice();
+            let flat: Vec<Complex64> = match gate.matrix() {
+                GateMatrix::One(m) => m.m.concat(),
+                GateMatrix::Two(m) => m.m.concat(),
+                GateMatrix::Three(m) => m.m.concat(),
+            };
+            let ld = 1usize << ops.len();
+            let mut next = vec![Complex64::ZERO; d];
+            for (col, amp) in state.iter().enumerate() {
+                if amp.norm_sqr() == 0.0 {
+                    continue;
+                }
+                let lc = gather_bits(col, ops);
+                for lr in 0..ld {
+                    let coeff = flat[lr * ld + lc];
+                    if coeff.norm_sqr() > 0.0 {
+                        next[scatter_bits(col, lr, ops)] += coeff * *amp;
+                    }
+                }
+            }
+            state = next;
+        }
+        state
+    }
+
+    #[test]
+    fn parses_pi_expressions() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\nrz(pi/2) q[0];\nrz(-pi/4) q[0];\nrz(2*pi) q[0];\nrz(0.5) q[0];\n";
+        let c = from_qasm(src).unwrap();
+        let angles: Vec<f64> = c.gates().iter().filter_map(|g| g.angle()).collect();
+        assert!((angles[0] - PI / 2.0).abs() < 1e-12);
+        assert!((angles[1] + PI / 4.0).abs() < 1e-12);
+        assert!((angles[2] - 2.0 * PI).abs() < 1e-12);
+        assert!((angles[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerates_comments_blank_lines_and_measure() {
+        let src = "\
+OPENQASM 2.0;
+include \"qelib1.inc\";
+// a comment
+qreg q[2];
+creg c[2];
+
+h q[0]; cx q[0],q[1]; // inline comment
+barrier q[0], q[1];
+measure q[0] -> c[0];
+";
+        let c = from_qasm(src).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn error_on_unknown_gate() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];\n";
+        let e = from_qasm(src).unwrap_err();
+        assert!(e.message.contains("frobnicate"));
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn error_on_gate_before_qreg() {
+        let e = from_qasm("OPENQASM 2.0;\nh q[0];\n").unwrap_err();
+        assert!(e.message.contains("before qreg"));
+    }
+
+    #[test]
+    fn error_on_missing_qreg() {
+        let e = from_qasm("OPENQASM 2.0;\n").unwrap_err();
+        assert!(e.message.contains("no qreg"));
+    }
+
+    #[test]
+    fn error_on_bad_index() {
+        let e = from_qasm("OPENQASM 2.0;\nqreg q[2];\nh q[xyz];\n").unwrap_err();
+        assert!(e.message.contains("bad qubit index"));
+    }
+
+    #[test]
+    fn respects_custom_register_name() {
+        let src = "OPENQASM 2.0;\nqreg data[2];\nh data[1];\n";
+        let c = from_qasm(src).unwrap();
+        assert_eq!(c.gates()[0], Gate::H(1));
+        // Wrong register name in an operand is an error.
+        let bad = "OPENQASM 2.0;\nqreg data[2];\nh other[0];\n";
+        assert!(from_qasm(bad).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Named qubit registers and a tiny layout allocator.
+//!
+//! Arithmetic circuits are naturally expressed over *registers* ("the x
+//! operand", "the product register") rather than raw qubit indices. A
+//! [`Register`] is a contiguous, named index range; a [`Layout`]
+//! allocates registers in order and yields the total qubit count.
+//!
+//! Register bit `i` is the integer's bit `i` (LSB first), matching the
+//! paper's `y = y_1·2^0 + y_2·2^1 + …` convention and the workspace-wide
+//! rule that qubit `q` is bit `q` of the basis index.
+
+use std::fmt;
+
+/// A contiguous, named range of qubits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Register {
+    name: String,
+    start: u32,
+    len: u32,
+}
+
+impl Register {
+    /// Creates a register starting at qubit `start` with `len` qubits.
+    pub fn new(name: impl Into<String>, start: u32, len: u32) -> Self {
+        assert!(len > 0, "register must have at least one qubit");
+        Self { name: name.into(), start, len }
+    }
+
+    /// The register's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Registers are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// First (least significant) qubit index.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// The global qubit index of register bit `i` (LSB first).
+    pub fn qubit(&self, i: u32) -> u32 {
+        assert!(i < self.len, "bit {i} out of range for {}-bit register", self.len);
+        self.start + i
+    }
+
+    /// Iterates the register's qubit indices, LSB first.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = u32> + ExactSizeIterator {
+        self.start..self.start + self.len
+    }
+
+    /// Global qubit indices as a vector (LSB first), for use with
+    /// [`crate::Circuit::extend_mapped`].
+    pub fn qubits(&self) -> Vec<u32> {
+        self.iter().collect()
+    }
+
+    /// Extracts this register's value from a full basis-state index.
+    pub fn extract(&self, basis_index: usize) -> usize {
+        (basis_index >> self.start) & ((1usize << self.len) - 1)
+    }
+
+    /// Embeds a register value into a full basis-state index (other bits
+    /// must be provided by `rest`, which must be zero in this range).
+    pub fn embed(&self, value: usize, rest: usize) -> usize {
+        let mask = ((1usize << self.len) - 1) << self.start;
+        debug_assert_eq!(rest & mask, 0, "rest has bits in register range");
+        debug_assert!(value < (1usize << self.len), "value too wide for register");
+        rest | (value << self.start)
+    }
+}
+
+impl fmt::Display for Register {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[q{}..q{}]", self.name, self.start, self.start + self.len - 1)
+    }
+}
+
+/// Sequential register allocator.
+#[derive(Clone, Debug, Default)]
+pub struct Layout {
+    next: u32,
+    registers: Vec<Register>,
+}
+
+impl Layout {
+    /// An empty layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates the next `len` qubits as a named register.
+    pub fn alloc(&mut self, name: impl Into<String>, len: u32) -> Register {
+        let reg = Register::new(name, self.next, len);
+        self.next += len;
+        self.registers.push(reg.clone());
+        reg
+    }
+
+    /// Total qubits allocated so far.
+    pub fn num_qubits(&self) -> u32 {
+        self.next
+    }
+
+    /// All allocated registers, in allocation order.
+    pub fn registers(&self) -> &[Register] {
+        &self.registers
+    }
+
+    /// Finds a register by name.
+    pub fn get(&self, name: &str) -> Option<&Register> {
+        self.registers.iter().find(|r| r.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_indexing() {
+        let r = Register::new("y", 8, 9);
+        assert_eq!(r.qubit(0), 8);
+        assert_eq!(r.qubit(8), 16);
+        assert_eq!(r.len(), 9);
+        assert_eq!(r.qubits(), (8..17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn register_bounds_checked() {
+        Register::new("x", 0, 4).qubit(4);
+    }
+
+    #[test]
+    fn extract_and_embed_roundtrip() {
+        let x = Register::new("x", 0, 4);
+        let y = Register::new("y", 4, 5);
+        for xv in 0..16usize {
+            for yv in [0usize, 7, 31] {
+                let idx = y.embed(yv, x.embed(xv, 0));
+                assert_eq!(x.extract(idx), xv);
+                assert_eq!(y.extract(idx), yv);
+            }
+        }
+    }
+
+    #[test]
+    fn layout_allocates_contiguously() {
+        let mut l = Layout::new();
+        let x = l.alloc("x", 8);
+        let y = l.alloc("y", 9);
+        assert_eq!(x.start(), 0);
+        assert_eq!(y.start(), 8);
+        assert_eq!(l.num_qubits(), 17);
+        assert_eq!(l.get("y").unwrap(), &y);
+        assert!(l.get("z").is_none());
+        assert_eq!(l.registers().len(), 2);
+    }
+
+    #[test]
+    fn display_shows_range() {
+        let r = Register::new("prod", 3, 2);
+        assert_eq!(format!("{r}"), "prod[q3..q4]");
+    }
+}

@@ -1,0 +1,98 @@
+//! Gate-count statistics.
+//!
+//! The paper's Table I reports 1q and 2q gate counts of the transpiled
+//! arithmetic circuits; [`GateCounts`] computes those (plus a 3q bucket
+//! for pre-transpilation circuits and per-mnemonic tallies).
+
+use crate::circuit::Circuit;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Gate totals bucketed by arity, plus a per-mnemonic breakdown.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GateCounts {
+    /// Number of 1-qubit gates.
+    pub one_qubit: usize,
+    /// Number of 2-qubit gates.
+    pub two_qubit: usize,
+    /// Number of 3-qubit gates (zero after transpilation).
+    pub three_qubit: usize,
+    /// Count per gate mnemonic (`"h"`, `"cx"`, …), sorted by name.
+    pub by_name: BTreeMap<&'static str, usize>,
+}
+
+impl GateCounts {
+    /// Counts the gates of a circuit.
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut out = GateCounts::default();
+        for gate in circuit.gates() {
+            match gate.arity() {
+                1 => out.one_qubit += 1,
+                2 => out.two_qubit += 1,
+                3 => out.three_qubit += 1,
+                _ => unreachable!("gate arity is always 1..=3"),
+            }
+            *out.by_name.entry(gate.name()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Total gates of any arity.
+    pub fn total(&self) -> usize {
+        self.one_qubit + self.two_qubit + self.three_qubit
+    }
+
+    /// Count of a specific mnemonic.
+    pub fn named(&self, name: &str) -> usize {
+        self.by_name.get(name).copied().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for GateCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "1q: {}, 2q: {}, 3q: {} (total {})",
+            self.one_qubit,
+            self.two_qubit,
+            self.three_qubit,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_arity_and_name() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).cx(0, 1).ccphase(0.1, 0, 1, 2).rz(0.2, 2).cphase(0.3, 1, 2);
+        let counts = c.counts();
+        assert_eq!(counts.one_qubit, 3);
+        assert_eq!(counts.two_qubit, 2);
+        assert_eq!(counts.three_qubit, 1);
+        assert_eq!(counts.total(), 6);
+        assert_eq!(counts.named("h"), 2);
+        assert_eq!(counts.named("cx"), 1);
+        assert_eq!(counts.named("ccp"), 1);
+        assert_eq!(counts.named("nonexistent"), 0);
+    }
+
+    #[test]
+    fn empty_circuit_counts() {
+        let counts = Circuit::new(4).counts();
+        assert_eq!(counts.total(), 0);
+        assert_eq!(counts, GateCounts::default());
+    }
+
+    #[test]
+    fn display_mentions_buckets() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let s = format!("{}", c.counts());
+        assert!(s.contains("1q: 1"));
+        assert!(s.contains("2q: 1"));
+    }
+}

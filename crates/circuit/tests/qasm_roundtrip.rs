@@ -1,0 +1,59 @@
+//! Property test: QASM export → import round-trips for arbitrary
+//! circuits over the directly exported gate set.
+
+use proptest::prelude::*;
+use qfab_circuit::qasm::to_qasm;
+use qfab_circuit::qasm_parse::from_qasm;
+use qfab_circuit::{Circuit, Gate};
+
+fn arb_gate(qubits: u32) -> impl Strategy<Value = Option<Gate>> {
+    (0u8..14, 0..qubits, 0..qubits, 0..qubits, -3.0f64..3.0).prop_map(
+        move |(kind, a, b, t, angle)| match kind {
+            0 => Some(Gate::H(a)),
+            1 => Some(Gate::X(a)),
+            2 => Some(Gate::Y(a)),
+            3 => Some(Gate::Z(a)),
+            4 => Some(Gate::S(a)),
+            5 => Some(Gate::Tdg(a)),
+            6 => Some(Gate::Sx(a)),
+            7 => Some(Gate::Rz(a, angle)),
+            8 => Some(Gate::Phase(a, angle)),
+            9 => Some(Gate::U(a, angle, angle / 2.0, -angle)),
+            10 if a != b => Some(Gate::Cx { control: a, target: b }),
+            11 if a != b => Some(Gate::Cphase { control: a, target: b, theta: angle }),
+            12 if a != b => Some(Gate::Swap(a, b)),
+            13 if a != b && b != t && a != t => Some(Gate::Ccx { c0: a, c1: b, target: t }),
+            _ => None,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn qasm_roundtrip(gates in prop::collection::vec(arb_gate(5), 0..24)) {
+        let mut c = Circuit::new(5);
+        for g in gates.into_iter().flatten() {
+            c.push(g);
+        }
+        let text = to_qasm(&c);
+        let parsed = from_qasm(&text).expect("exporter output must parse");
+        prop_assert_eq!(parsed.num_qubits(), c.num_qubits());
+        prop_assert_eq!(parsed.gates().len(), c.gates().len());
+        for (a, b) in c.gates().iter().zip(parsed.gates()) {
+            match (a, b) {
+                // Angles survive the decimal formatting to high precision.
+                (x, y) if x == y => {}
+                (x, y) => {
+                    prop_assert_eq!(x.name(), y.name());
+                    prop_assert_eq!(x.qubits(), y.qubits());
+                    let (Some(ta), Some(tb)) = (x.angle(), y.angle()) else {
+                        return Err(TestCaseError::fail(format!("gates differ: {x} vs {y}")));
+                    };
+                    prop_assert!((ta - tb).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! Quantum Fourier Addition (the Draper adder; paper Fig. 2).
+//!
+//! `QFA |x>|y> = |x>|(x + y) mod 2^m>` for an `n`-qubit addend `x` and
+//! an `m`-qubit target `y`. Choosing `m ≥ n + 1` and inputs below `2^n`
+//! makes the addition non-modular (no overflow), exactly as the paper
+//! prescribes; `m = n` gives the natural mod-`2^n` adder.
+//!
+//! Construction: (A)QFT on `y` → phase-addition step → inverse (A)QFT.
+//! After the Fourier transform, target qubit `t` (1-based) carries phase
+//! `2π·(y mod 2^t)/2^t`; adding `x` means adding `2π·(x mod 2^t)/2^t`,
+//! which is the rotation `R_{t−i+1}` controlled by each addend bit
+//! `x_i ≤ t`. Target `t` therefore receives `min(t, n)` controlled
+//! rotations — for `n = m − 1` this is precisely the paper's Fig. 2
+//! (the top qubit gets `R_2 … R_{m}`, no `R_1`).
+//!
+//! The module also provides:
+//! * [`qfa_inverse`] — running the adder backwards subtracts:
+//!   `|x>|y> → |x>|(y − x) mod 2^m>`;
+//! * controlled QFA ([`cqfa`]) — every gate gains a control qubit
+//!   (H→CH, CP→CCP), the building block of the multiplier;
+//! * an optional **approximate addition step** (`add_cap`): dropping
+//!   addition rotations `R_l` with `l > cap`, the extension the paper
+//!   explicitly leaves to future work (§III).
+
+use crate::depth::AqftDepth;
+use crate::qft::{aqft_on, rotation_angle};
+use qfab_circuit::{Circuit, Layout, Register};
+
+/// A built QFA circuit together with its register layout.
+#[derive(Clone, Debug)]
+pub struct QfaCircuit {
+    /// The full circuit (QFT · add · QFT⁻¹).
+    pub circuit: Circuit,
+    /// The addend register `x` (unchanged by the operation).
+    pub x: Register,
+    /// The target register `y` (receives the sum mod `2^m`).
+    pub y: Register,
+}
+
+/// Builds the addition step only (phase rotations in the Fourier
+/// domain), for a transform already applied to `y`.
+///
+/// `add_cap = None` keeps every rotation (the paper's configuration);
+/// `Some(c)` drops rotations `R_l` with `l > c`.
+pub fn qfa_add_step(
+    num_qubits: u32,
+    x: &Register,
+    y: &Register,
+    add_cap: Option<u32>,
+) -> Circuit {
+    let n = x.len();
+    let m = y.len();
+    let mut c = Circuit::new(num_qubits);
+    // Mirror Fig. 2's ordering: highest target first.
+    for t in (1..=m).rev() {
+        for i in (1..=t.min(n)).rev() {
+            let l = t - i + 1;
+            if add_cap.is_some_and(|cap| l > cap) {
+                continue;
+            }
+            c.cphase(rotation_angle(l), x.qubit(i - 1), y.qubit(t - 1));
+        }
+    }
+    c
+}
+
+/// Builds the full QFA: `|x>|y> → |x>|(x+y) mod 2^m>` with an `n`-qubit
+/// `x` and `m`-qubit `y`, at AQFT depth `depth`.
+pub fn qfa(n: u32, m: u32, depth: AqftDepth) -> QfaCircuit {
+    qfa_with_add_cap(n, m, depth, None)
+}
+
+/// [`qfa`] with the approximate-addition-step extension.
+pub fn qfa_with_add_cap(
+    n: u32,
+    m: u32,
+    depth: AqftDepth,
+    add_cap: Option<u32>,
+) -> QfaCircuit {
+    assert!(n >= 1 && m >= 1, "registers must be non-empty");
+    let mut layout = Layout::new();
+    let x = layout.alloc("x", n);
+    let y = layout.alloc("y", m);
+    let total = layout.num_qubits();
+
+    let mut circuit = Circuit::new(total);
+    circuit.extend(&aqft_on(total, &y, depth));
+    circuit.extend(&qfa_add_step(total, &x, &y, add_cap));
+    circuit.extend(&aqft_on(total, &y, depth).inverse());
+    QfaCircuit { circuit, x, y }
+}
+
+/// The subtractor: `|x>|y> → |x>|(y − x) mod 2^m>`, i.e. the exact
+/// inverse circuit of [`qfa`].
+pub fn qfa_inverse(n: u32, m: u32, depth: AqftDepth) -> QfaCircuit {
+    let built = qfa(n, m, depth);
+    QfaCircuit {
+        circuit: built.circuit.inverse(),
+        x: built.x,
+        y: built.y,
+    }
+}
+
+/// A controlled QFA: the whole adder (transform, addition, inverse
+/// transform) controlled on one extra qubit, as the paper's cQFA.
+///
+/// `control` is a global qubit index outside both registers. Gate
+/// mapping: H→CH, CP→CCP (the paper's `cH` and `cR_l`).
+pub fn cqfa(
+    num_qubits: u32,
+    control: u32,
+    x: &Register,
+    y: &Register,
+    depth: AqftDepth,
+) -> Circuit {
+    let mut plain = Circuit::new(num_qubits);
+    plain.extend(&aqft_on(num_qubits, y, depth));
+    plain.extend(&qfa_add_step(num_qubits, x, y, None));
+    plain.extend(&aqft_on(num_qubits, y, depth).inverse());
+    plain
+        .controlled_by(control)
+        .expect("QFA gates (H, CP) are all controllable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfab_sim::StateVector;
+
+    const TOL: f64 = 1e-9;
+
+    /// Runs the adder on basis inputs and returns the measured (x, y)
+    /// register values of the (deterministic) output.
+    fn run_add(built: &QfaCircuit, xv: usize, yv: usize) -> (usize, usize) {
+        let total = built.x.len() + built.y.len();
+        let index = built.y.embed(yv, built.x.embed(xv, 0));
+        let mut s = StateVector::basis_state(total, index);
+        s.apply_circuit(&built.circuit);
+        // Output must be a single basis state.
+        let probs = s.probabilities();
+        let (best, p) = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert!((p - 1.0).abs() < TOL, "output not deterministic: p={p}");
+        (built.x.extract(best), built.y.extract(best))
+    }
+
+    #[test]
+    fn exhaustive_small_addition() {
+        let built = qfa(3, 4, AqftDepth::Full);
+        for xv in 0..8 {
+            for yv in 0..16 {
+                let (xo, yo) = run_add(&built, xv, yv);
+                assert_eq!(xo, xv, "x register must be preserved");
+                assert_eq!(yo, (xv + yv) % 16, "sum wrong for {xv}+{yv}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_modular_when_target_has_headroom() {
+        // n-bit inputs, (n+1)-bit target: exact sums, never wrapped.
+        let built = qfa(3, 4, AqftDepth::Full);
+        for xv in 0..8 {
+            for yv in 0..8 {
+                let (_, yo) = run_add(&built, xv, yv);
+                assert_eq!(yo, xv + yv);
+            }
+        }
+    }
+
+    #[test]
+    fn modular_wraparound_with_equal_widths() {
+        let built = qfa(3, 3, AqftDepth::Full);
+        let (_, yo) = run_add(&built, 5, 6);
+        assert_eq!(yo, (5 + 6) % 8);
+        let (_, yo) = run_add(&built, 7, 7);
+        assert_eq!(yo, 6);
+    }
+
+    #[test]
+    fn full_depth_aqft_addition_is_exact() {
+        // Full-depth AQFT (cap = m−1) is the QFT: addition stays exact.
+        let built = qfa(3, 4, AqftDepth::Limited(3));
+        for (xv, yv) in [(0, 0), (1, 7), (5, 9), (7, 15)] {
+            let (_, yo) = run_add(&built, xv, yv);
+            assert_eq!(yo, (xv + yv) % 16);
+        }
+    }
+
+    #[test]
+    fn superposed_addend_adds_in_parallel() {
+        // x in (|1> + |2>)/√2, y = |4>: output should be an even mix of
+        // |1>|5> and |2>|6> — the parallelism the paper's intro touts.
+        let built = qfa(3, 4, AqftDepth::Full);
+        let total = 7;
+        let amp = qfab_math::complex::c64(std::f64::consts::FRAC_1_SQRT_2, 0.0);
+        let e1 = built.y.embed(4, built.x.embed(1, 0));
+        let e2 = built.y.embed(4, built.x.embed(2, 0));
+        let mut s = StateVector::from_sparse(total, &[(e1, amp), (e2, amp)]);
+        s.apply_circuit(&built.circuit);
+        let o1 = built.y.embed(5, built.x.embed(1, 0));
+        let o2 = built.y.embed(6, built.x.embed(2, 0));
+        assert!((s.probability(o1) - 0.5).abs() < TOL);
+        assert!((s.probability(o2) - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn subtractor_inverts_adder() {
+        let add = qfa(3, 4, AqftDepth::Full);
+        let sub = qfa_inverse(3, 4, AqftDepth::Full);
+        for (xv, yv) in [(3, 9), (7, 0), (5, 15)] {
+            let index = add.y.embed(yv, add.x.embed(xv, 0));
+            let mut s = StateVector::basis_state(7, index);
+            s.apply_circuit(&add.circuit);
+            s.apply_circuit(&sub.circuit);
+            assert!((s.probability(index) - 1.0).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn subtraction_computes_difference() {
+        let sub = qfa_inverse(3, 4, AqftDepth::Full);
+        // y − x mod 16: 9 − 3 = 6.
+        let index = sub.y.embed(9, sub.x.embed(3, 0));
+        let mut s = StateVector::basis_state(7, index);
+        s.apply_circuit(&sub.circuit);
+        let out = sub.y.embed(6, sub.x.embed(3, 0));
+        assert!((s.probability(out) - 1.0).abs() < TOL);
+        // Underflow wraps: 2 − 5 = −3 ≡ 13 (mod 16).
+        let index = sub.y.embed(2, sub.x.embed(5, 0));
+        let mut s = StateVector::basis_state(7, index);
+        s.apply_circuit(&sub.circuit);
+        let out = sub.y.embed(13, sub.x.embed(5, 0));
+        assert!((s.probability(out) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn add_step_rotation_counts_match_fig2() {
+        // n = m−1: targets t = 1..n get t rotations, target m gets n.
+        for n in 2..=7u32 {
+            let m = n + 1;
+            let mut layout = Layout::new();
+            let x = layout.alloc("x", n);
+            let y = layout.alloc("y", m);
+            let c = qfa_add_step(layout.num_qubits(), &x, &y, None);
+            let expect = (n * (n + 1) / 2 + n) as usize;
+            assert_eq!(c.counts().named("cp"), expect, "n={n}");
+        }
+        // The Table I geometry: x = 7, y = 8 → 35 rotations.
+        let mut layout = Layout::new();
+        let x = layout.alloc("x", 7);
+        let y = layout.alloc("y", 8);
+        let c = qfa_add_step(layout.num_qubits(), &x, &y, None);
+        assert_eq!(c.counts().named("cp"), 35);
+    }
+
+    #[test]
+    fn approximate_add_step_drops_deep_rotations() {
+        let mut layout = Layout::new();
+        let x = layout.alloc("x", 7);
+        let y = layout.alloc("y", 8);
+        let full = qfa_add_step(layout.num_qubits(), &x, &y, None);
+        let capped = qfa_add_step(layout.num_qubits(), &x, &y, Some(3));
+        assert!(capped.counts().named("cp") < full.counts().named("cp"));
+        // Every remaining rotation angle is ≥ 2π/2³.
+        for g in capped.gates() {
+            if let Some(theta) = g.angle() {
+                assert!(theta >= rotation_angle(3) - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_addition_still_roughly_adds() {
+        // With a generous cap the most-significant bits still come out
+        // right for typical inputs.
+        let built = qfa_with_add_cap(4, 5, AqftDepth::Full, Some(4));
+        let index = built.y.embed(3, built.x.embed(9, 0));
+        let mut s = StateVector::basis_state(9, index);
+        s.apply_circuit(&built.circuit);
+        let exact = built.y.embed(12, built.x.embed(9, 0));
+        // Not necessarily deterministic, but the exact sum dominates.
+        assert!(s.probability(exact) > 0.5);
+    }
+
+    #[test]
+    fn controlled_qfa_respects_control() {
+        let mut layout = Layout::new();
+        let ctrl = layout.alloc("c", 1);
+        let x = layout.alloc("x", 2);
+        let y = layout.alloc("y", 3);
+        let total = layout.num_qubits();
+        let c = cqfa(total, ctrl.qubit(0), &x, &y, AqftDepth::Full);
+        // Control off: nothing happens.
+        let idx_off = y.embed(3, x.embed(2, 0));
+        let mut s = StateVector::basis_state(total, idx_off);
+        s.apply_circuit(&c);
+        assert!((s.probability(idx_off) - 1.0).abs() < TOL);
+        // Control on: adds.
+        let idx_on = ctrl.embed(1, idx_off);
+        let mut s = StateVector::basis_state(total, idx_on);
+        s.apply_circuit(&c);
+        let out = ctrl.embed(1, y.embed(5, x.embed(2, 0)));
+        assert!((s.probability(out) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn cqfa_gate_set_is_controlled() {
+        let mut layout = Layout::new();
+        let ctrl = layout.alloc("c", 1);
+        let x = layout.alloc("x", 2);
+        let y = layout.alloc("y", 3);
+        let c = cqfa(layout.num_qubits(), ctrl.qubit(0), &x, &y, AqftDepth::Full);
+        for g in c.gates() {
+            assert!(
+                matches!(
+                    g,
+                    qfab_circuit::Gate::Ch { .. } | qfab_circuit::Gate::Ccphase { .. }
+                ),
+                "unexpected gate {g} in cQFA"
+            );
+        }
+    }
+
+    #[test]
+    fn aqft_depth_changes_transform_but_addition_of_zero_is_identity() {
+        // Adding x = 0 must be the identity at any depth (QFT·QFT⁻¹).
+        let built = qfa(3, 4, AqftDepth::Limited(1));
+        for yv in [0usize, 7, 12, 15] {
+            let index = built.y.embed(yv, 0);
+            let mut s = StateVector::basis_state(7, index);
+            s.apply_circuit(&built.circuit);
+            assert!(
+                (s.probability(index) - 1.0).abs() < TOL,
+                "identity broken at depth 1 for y={yv}"
+            );
+        }
+    }
+
+    #[test]
+    fn shallow_depth_leaks_probability_but_keeps_argmax() {
+        // On basis-state (order-1) inputs, the depth-1 AQFA is no longer
+        // exact -- probability leaks off the correct sum -- but the exact
+        // sum stays the most likely outcome. (The paper's observed d=1
+        // *failures* arise from superposed operands and finite shots; see
+        // the pipeline and integration tests.)
+        let built = qfa(3, 4, AqftDepth::Limited(1));
+        let mut max_leak = 0.0f64;
+        for xv in 0..8 {
+            for yv in 0..16 {
+                let index = built.y.embed(yv, built.x.embed(xv, 0));
+                let mut s = StateVector::basis_state(7, index);
+                s.apply_circuit(&built.circuit);
+                let exact = built.y.embed((xv + yv) % 16, built.x.embed(xv, 0));
+                let p_exact = s.probability(exact);
+                let probs = s.probabilities();
+                let best = probs
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0;
+                assert_eq!(best, exact, "argmax moved for {xv}+{yv}");
+                max_leak = max_leak.max(1.0 - p_exact);
+            }
+        }
+        assert!(
+            max_leak > 1e-3,
+            "depth 1 should leak probability somewhere, max leak {max_leak}"
+        );
+    }
+}

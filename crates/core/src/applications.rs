@@ -1,0 +1,216 @@
+//! QFT applications beyond arithmetic: phase estimation and
+//! comparison.
+//!
+//! The paper frames the QFT as "a phase-estimation algorithm" and the
+//! arithmetic as groundwork for algorithms built on it. This module
+//! closes that loop with two canonical consumers:
+//!
+//! * [`qpe_phase`] — textbook quantum phase estimation of a
+//!   single-qubit phase unitary `P(2πφ)`, reading out an `m`-bit
+//!   estimate of `φ` through the inverse (A)QFT. Running it at reduced
+//!   AQFT depth exposes exactly the approximation trade-off the paper
+//!   studies for arithmetic.
+//! * [`comparator`] — `|x>|y>|0> → |x>|y>|x > y>`: compares two
+//!   registers by computing the sign of `y − x` with the Fourier
+//!   subtractor, copying it out, and uncomputing.
+
+use crate::adder::qfa_add_step;
+use crate::depth::AqftDepth;
+use crate::qft::aqft_on;
+use qfab_circuit::{Circuit, Layout, Register};
+use std::f64::consts::PI;
+
+/// A built phase-estimation circuit.
+#[derive(Clone, Debug)]
+pub struct QpeCircuit {
+    /// The circuit (includes eigenstate preparation).
+    pub circuit: Circuit,
+    /// The counting register; measuring it yields `round(φ·2^m) mod 2^m`.
+    pub counting: Register,
+    /// The single eigenstate qubit (prepared in `|1>`).
+    pub eigenstate: Register,
+}
+
+/// Builds QPE for the unitary `U = P(2πφ)` acting on one qubit, with an
+/// `m`-qubit counting register and the inverse (A)QFT at `depth`.
+pub fn qpe_phase(m: u32, phi: f64, depth: AqftDepth) -> QpeCircuit {
+    assert!(m >= 1, "need at least one counting qubit");
+    let mut layout = Layout::new();
+    let counting = layout.alloc("t", m);
+    let eigenstate = layout.alloc("u", 1);
+    let total = layout.num_qubits();
+
+    let mut circuit = Circuit::new(total);
+    // Eigenstate |1> of P(θ) with eigenvalue e^{iθ}.
+    circuit.x(eigenstate.qubit(0));
+    for q in 0..m {
+        circuit.h(counting.qubit(q));
+    }
+    // Controlled U^{2^q}: CP(2πφ·2^q).
+    for q in 0..m {
+        let theta = 2.0 * PI * phi * (1u64 << q) as f64;
+        circuit.cphase(theta, counting.qubit(q), eigenstate.qubit(0));
+    }
+    // The counting register now holds the bit-reversed Fourier encoding
+    // of y = φ·2^m; reverse, then the inverse (A)QFT maps it to |y>.
+    for q in 0..m / 2 {
+        circuit.swap(counting.qubit(q), counting.qubit(m - 1 - q));
+    }
+    circuit.extend(&aqft_on(total, &counting, depth).inverse());
+    QpeCircuit { circuit, counting, eigenstate }
+}
+
+/// A built comparator circuit.
+#[derive(Clone, Debug)]
+pub struct ComparatorCircuit {
+    /// The circuit.
+    pub circuit: Circuit,
+    /// First operand (n qubits, preserved).
+    pub x: Register,
+    /// Second operand (n qubits, preserved).
+    pub y: Register,
+    /// Output flag: flipped iff `x > y`.
+    pub flag: Register,
+}
+
+/// Builds `|x>|y>|f> → |x>|y>|f ⊕ (x > y)>` for `n`-bit unsigned
+/// operands, using an `(n+1)`-qubit work extension of `y` so the sign
+/// of `y − x` is a clean borrow bit. The subtraction is uncomputed, so
+/// `x` and `y` come back unchanged.
+pub fn comparator(n: u32, depth: AqftDepth) -> ComparatorCircuit {
+    assert!(n >= 1, "operands must be non-empty");
+    let mut layout = Layout::new();
+    let x = layout.alloc("x", n);
+    // y plus one headroom/sign qubit (must start |0>, comes back |0>).
+    let y_ext = layout.alloc("y", n + 1);
+    let flag = layout.alloc("flag", 1);
+    let total = layout.num_qubits();
+
+    // y − x in (n+1) bits: top bit set iff y < x … i.e. x > y.
+    let mut subtract = Circuit::new(total);
+    subtract.extend(&aqft_on(total, &y_ext, depth));
+    subtract.extend(&qfa_add_step(total, &x, &y_ext, None));
+    subtract.extend(&aqft_on(total, &y_ext, depth).inverse());
+    let subtract = subtract.inverse(); // adder reversed = subtractor
+
+    let mut circuit = Circuit::new(total);
+    circuit.extend(&subtract);
+    circuit.cx(y_ext.qubit(n), flag.qubit(0));
+    circuit.extend(&subtract.inverse());
+    ComparatorCircuit {
+        circuit,
+        x,
+        y: Register::new("y_low", y_ext.start(), n),
+        flag,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfab_sim::StateVector;
+
+    #[test]
+    fn qpe_recovers_dyadic_phases_exactly() {
+        let m = 4;
+        for y in 0..16usize {
+            let phi = y as f64 / 16.0;
+            let built = qpe_phase(m, phi, AqftDepth::Full);
+            let mut s = StateVector::zero_state(m + 1);
+            s.apply_circuit(&built.circuit);
+            let expect = built.eigenstate.embed(1, built.counting.embed(y, 0));
+            assert!(
+                (s.probability(expect) - 1.0).abs() < 1e-8,
+                "QPE failed for φ = {y}/16: P = {}",
+                s.probability(expect)
+            );
+        }
+    }
+
+    #[test]
+    fn qpe_non_dyadic_phase_peaks_at_nearest_estimate() {
+        let m = 5;
+        let phi = 0.3; // ·32 = 9.6 → best estimates 10 (and 9)
+        let built = qpe_phase(m, phi, AqftDepth::Full);
+        let mut s = StateVector::zero_state(m + 1);
+        s.apply_circuit(&built.circuit);
+        // Marginalize over the eigenstate qubit (it stays |1>).
+        let p10 = s.probability(built.eigenstate.embed(1, built.counting.embed(10, 0)));
+        assert!(p10 > 0.4, "nearest estimate should dominate: {p10}");
+        let mut total = p10;
+        total += s.probability(built.eigenstate.embed(1, built.counting.embed(9, 0)));
+        assert!(total > 0.6, "9/10 together should carry most mass: {total}");
+    }
+
+    #[test]
+    fn qpe_at_shallow_depth_still_estimates_but_blurs() {
+        let m = 5;
+        let y = 11usize;
+        let phi = y as f64 / 32.0;
+        let full = qpe_phase(m, phi, AqftDepth::Full);
+        let shallow = qpe_phase(m, phi, AqftDepth::Limited(2));
+        let mut sf = StateVector::zero_state(m + 1);
+        sf.apply_circuit(&full.circuit);
+        let mut ss = StateVector::zero_state(m + 1);
+        ss.apply_circuit(&shallow.circuit);
+        let exact_idx = full.eigenstate.embed(1, full.counting.embed(y, 0));
+        let pf = sf.probability(exact_idx);
+        let ps = ss.probability(exact_idx);
+        assert!((pf - 1.0).abs() < 1e-8, "full QPE must be exact on dyadic φ");
+        assert!(ps < pf, "approximation must blur the estimate");
+        // But the AQFT at depth 2 keeps the argmax.
+        let probs = ss.probabilities();
+        let best = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, exact_idx, "shallow QPE argmax moved");
+    }
+
+    #[test]
+    fn comparator_exhaustive_3bit() {
+        let built = comparator(3, AqftDepth::Full);
+        let total = 3 + 4 + 1;
+        for xv in 0..8usize {
+            for yv in 0..8usize {
+                let input = built.y.embed(yv, built.x.embed(xv, 0));
+                let mut s = StateVector::basis_state(total, input);
+                s.apply_circuit(&built.circuit);
+                let expect_flag = usize::from(xv > yv);
+                let expect = built.flag.embed(expect_flag, input);
+                assert!(
+                    (s.probability(expect) - 1.0).abs() < 1e-7,
+                    "compare({xv}, {yv}) wrong"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_preserves_operands_and_work_qubit() {
+        let built = comparator(2, AqftDepth::Full);
+        let input = built.y.embed(1, built.x.embed(3, 0));
+        let mut s = StateVector::basis_state(6, input);
+        s.apply_circuit(&built.circuit);
+        // Output: same x, y; flag 1 (3 > 1); headroom qubit back to 0.
+        let out = built.flag.embed(1, input);
+        assert!((s.probability(out) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn comparator_on_superposed_inputs() {
+        // x = |2>, y in (|1> + |3>)/√2: flag entangles with the branch.
+        let built = comparator(2, AqftDepth::Full);
+        let amp = qfab_math::complex::c64(std::f64::consts::FRAC_1_SQRT_2, 0.0);
+        let e1 = built.y.embed(1, built.x.embed(2, 0));
+        let e3 = built.y.embed(3, built.x.embed(2, 0));
+        let mut s = StateVector::from_sparse(6, &[(e1, amp), (e3, amp)]);
+        s.apply_circuit(&built.circuit);
+        let o1 = built.flag.embed(1, e1); // 2 > 1
+        let o3 = built.flag.embed(0, e3); // 2 < 3
+        assert!((s.probability(o1) - 0.5).abs() < 1e-7);
+        assert!((s.probability(o3) - 0.5).abs() < 1e-7);
+    }
+}

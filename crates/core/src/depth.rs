@@ -1,0 +1,126 @@
+//! The AQFT approximation depth.
+//!
+//! The paper's `d` caps the number of conditional rotation gates applied
+//! to each qubit of the (A)QFT: qubit `q` (1-based) receives rotations
+//! `R_2 … R_{min(q, d+1)}`, so a cap of `m − 1` on an `m`-qubit register
+//! keeps every gate — the full QFT. The paper reports that full setting
+//! by the label `m − 1` for the QFA (e.g. `d = 7` for its 8-qubit
+//! transform) and by `n − 1` for the QFM's 5-qubit controlled transform
+//! (labelled `3`); [`AqftDepth::Full`] captures "no gate removed"
+//! unambiguously, and [`AqftDepth::paper_label`] renders the paper's
+//! column headings.
+
+use std::fmt;
+
+/// Approximation depth of the AQFT.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AqftDepth {
+    /// The full QFT: no conditional rotation removed.
+    Full,
+    /// At most `d ≥ 1` conditional rotations per qubit.
+    Limited(u32),
+}
+
+impl AqftDepth {
+    /// The per-qubit rotation cap effective on an `m`-qubit register.
+    pub fn cap(self, m: u32) -> u32 {
+        match self {
+            AqftDepth::Full => m.saturating_sub(1),
+            AqftDepth::Limited(d) => {
+                assert!(d >= 1, "approximation depth must be at least 1");
+                d.min(m.saturating_sub(1))
+            }
+        }
+    }
+
+    /// True when this depth keeps every rotation of an `m`-qubit QFT.
+    pub fn is_full_for(self, m: u32) -> bool {
+        self.cap(m) >= m.saturating_sub(1)
+    }
+
+    /// The label the paper's figures use: the numeric depth, or `full`.
+    pub fn paper_label(self) -> String {
+        match self {
+            AqftDepth::Full => "full".to_string(),
+            AqftDepth::Limited(d) => d.to_string(),
+        }
+    }
+
+    /// Number of conditional-rotation gates in an `m`-qubit AQFT at this
+    /// depth: `Σ_{q=1}^{m} min(q−1, cap)` — the paper's `(2n−d)(d−1)/2`
+    /// accounting specialized to the per-qubit-cap convention.
+    pub fn rotation_count(self, m: u32) -> usize {
+        let cap = self.cap(m);
+        (1..=m).map(|q| (q - 1).min(cap) as usize).sum()
+    }
+
+    /// The depth `log2 m` rounded to nearest — the Barenco et al.
+    /// heuristic optimum the paper evaluates against.
+    pub fn barenco_heuristic(m: u32) -> AqftDepth {
+        AqftDepth::Limited(((m as f64).log2().round() as u32).max(1))
+    }
+}
+
+impl fmt::Display for AqftDepth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.paper_label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_semantics() {
+        assert_eq!(AqftDepth::Full.cap(8), 7);
+        assert_eq!(AqftDepth::Limited(3).cap(8), 3);
+        // Caps larger than m−1 saturate: they are already "full".
+        assert_eq!(AqftDepth::Limited(100).cap(8), 7);
+        assert_eq!(AqftDepth::Full.cap(1), 0);
+    }
+
+    #[test]
+    fn fullness_detection() {
+        assert!(AqftDepth::Full.is_full_for(8));
+        assert!(AqftDepth::Limited(7).is_full_for(8));
+        assert!(!AqftDepth::Limited(6).is_full_for(8));
+        assert!(AqftDepth::Limited(4).is_full_for(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_depth_rejected() {
+        let _ = AqftDepth::Limited(0).cap(8);
+    }
+
+    #[test]
+    fn rotation_counts_match_paper_table() {
+        // The paper's QFA transform runs on 8 qubits:
+        // d=1 → 7, d=2 → 13, d=3 → 18, d=4 → 22, full → 28.
+        assert_eq!(AqftDepth::Limited(1).rotation_count(8), 7);
+        assert_eq!(AqftDepth::Limited(2).rotation_count(8), 13);
+        assert_eq!(AqftDepth::Limited(3).rotation_count(8), 18);
+        assert_eq!(AqftDepth::Limited(4).rotation_count(8), 22);
+        assert_eq!(AqftDepth::Full.rotation_count(8), 28);
+        // The QFM's controlled transform runs on 5 qubits:
+        // d=1 → 4, d=2 → 7, full → 10.
+        assert_eq!(AqftDepth::Limited(1).rotation_count(5), 4);
+        assert_eq!(AqftDepth::Limited(2).rotation_count(5), 7);
+        assert_eq!(AqftDepth::Full.rotation_count(5), 10);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(AqftDepth::Full.paper_label(), "full");
+        assert_eq!(AqftDepth::Limited(3).paper_label(), "3");
+        assert_eq!(format!("{}", AqftDepth::Full), "full");
+    }
+
+    #[test]
+    fn barenco_heuristic_values() {
+        assert_eq!(AqftDepth::barenco_heuristic(8), AqftDepth::Limited(3));
+        assert_eq!(AqftDepth::barenco_heuristic(16), AqftDepth::Limited(4));
+        assert_eq!(AqftDepth::barenco_heuristic(2), AqftDepth::Limited(1));
+    }
+}

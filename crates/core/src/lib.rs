@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! Noisy approximate quantum Fourier arithmetic — the primary
+//! contribution of the reproduced paper.
+//!
+//! This crate implements, on top of the `qfab-*` substrates:
+//!
+//! * [`qint`] — quantum integers ("qintegers"): superpositions of integer
+//!   states on a register, with the paper's *order of superposition*
+//!   terminology, two's-complement signed encodings, and random
+//!   instance generation.
+//! * [`depth`] — the AQFT approximation-depth parameter, including the
+//!   paper's labeling convention where "full" is reported as `m − 1`.
+//! * [`qft`] — QFT / AQFT / inverse circuits (paper Fig. 1 structure,
+//!   bit-reversed Fourier-basis convention, no terminal swaps).
+//! * [`adder`] — Quantum Fourier Addition (Draper-style; paper Fig. 2),
+//!   its inverse (subtraction), controlled QFA, and an *approximate
+//!   addition step* extension the paper defers to future work.
+//! * [`multiplier`] — weighted-sum Quantum Fourier Multiplication
+//!   (Ruiz-Pérez-style; paper Fig. 3) built from controlled QFAs.
+//! * [`constant`] — classical-operand variants the paper's §III closing
+//!   remark describes: constant addition/subtraction in Fourier space,
+//!   weighted sums of qubits, and shift-add constant modular
+//!   multiplication toward modular exponentiation.
+//! * [`ops`] — arithmetic instance specifications (operand value sets,
+//!   expected outputs, initial-state preparation).
+//! * [`pipeline`] — the noisy evaluation engine: transpile, checkpoint,
+//!   split clean/noisy shots, replay trajectories, tabulate counts.
+//! * [`metric`] — the paper's success metric and error-bar statistic.
+
+pub mod adder;
+pub mod applications;
+pub mod constant;
+pub mod depth;
+pub mod initializer;
+pub mod metric;
+pub mod mitigation;
+pub mod multiplier;
+pub mod multiplier_fourier;
+pub mod ops;
+pub mod pipeline;
+pub mod qft;
+pub mod qint;
+
+pub use adder::{qfa, qfa_add_step, QfaCircuit};
+pub use applications::{comparator, qpe_phase, ComparatorCircuit, QpeCircuit};
+pub use depth::AqftDepth;
+pub use initializer::{disentangle, initialize};
+pub use metric::{EnsembleStats, InstanceOutcome};
+pub use mitigation::{fold_global, mitigate_readout, richardson_extrapolate, ZneResult};
+pub use multiplier::{qfm, QfmCircuit};
+pub use multiplier_fourier::{qfm_single_transform, FourierMulCircuit, Signedness};
+pub use ops::{AddInstance, MulInstance};
+pub use pipeline::{NoisyRun, OwnedNoisyRun, PreparedInstance, RunConfig};
+pub use qft::{aqft, aqft_inverse, aqft_natural_order};
+pub use qint::Qinteger;

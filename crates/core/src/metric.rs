@@ -1,0 +1,212 @@
+//! The paper's success metric and error-bar statistic (§IV).
+//!
+//! Per instance: tabulate the shot counts, then the instance is
+//! *successful* iff no incorrect output has more counts than any one of
+//! the correct outputs. The recorded statistic is the **minimum gap**
+//! `min_correct_count − max_incorrect_count` (positive for comfortable
+//! successes, negative for failures).
+//!
+//! Per ensemble (one plotted point): the success rate in percent, and
+//! error bars built from the standard deviation σ of the per-instance
+//! minimum gaps: the lower bar is the fraction of *successful* instances
+//! whose gap is within σ of failure, the upper bar the fraction of
+//! *failed* instances within σ of success.
+
+use qfab_math::stats::Welford;
+use qfab_sim::Counts;
+
+/// The outcome of one arithmetic instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InstanceOutcome {
+    /// Whether every correct output out-counted every incorrect one.
+    pub success: bool,
+    /// `min(correct counts) − max(incorrect counts)`.
+    pub min_gap: i64,
+}
+
+/// Evaluates the paper's success criterion for one instance.
+///
+/// `expected` must be non-empty and deduplicated (as produced by
+/// [`crate::ops::AddInstance::expected_outputs`]).
+pub fn evaluate_instance(counts: &Counts, expected: &[usize]) -> InstanceOutcome {
+    assert!(!expected.is_empty(), "need at least one expected output");
+    let min_correct = counts.min_count_among(expected.iter().copied()) as i64;
+    let max_incorrect = counts
+        .iter()
+        .filter(|(outcome, _)| !expected.contains(outcome))
+        .map(|(_, c)| c)
+        .max()
+        .unwrap_or(0) as i64;
+    let min_gap = min_correct - max_incorrect;
+    InstanceOutcome {
+        // "Instances were deemed unsuccessful if any incorrect output
+        // possessed more counts than any one of the correct outputs."
+        success: max_incorrect <= min_correct && counts.total_shots() > 0,
+        min_gap,
+    }
+}
+
+/// Aggregate statistics for one ensemble of instances (one plotted
+/// point in the paper's figures).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnsembleStats {
+    /// Number of instances aggregated.
+    pub instances: usize,
+    /// Successful instances.
+    pub successes: usize,
+    /// Success rate in percent (the paper's vertical axis).
+    pub success_rate_pct: f64,
+    /// Standard deviation of the per-instance minimum count gaps.
+    pub gap_sigma: f64,
+    /// Mean minimum gap.
+    pub gap_mean: f64,
+    /// Percent of successful instances within one σ of failure
+    /// (rendered as the *lower* error bar).
+    pub lower_bar_pct: f64,
+    /// Percent of failed instances within one σ of success (the
+    /// *upper* error bar).
+    pub upper_bar_pct: f64,
+}
+
+impl EnsembleStats {
+    /// Aggregates instance outcomes.
+    pub fn from_outcomes(outcomes: &[InstanceOutcome]) -> Self {
+        if outcomes.is_empty() {
+            return Self::default();
+        }
+        let n = outcomes.len();
+        let successes = outcomes.iter().filter(|o| o.success).count();
+        let gaps: Welford = outcomes.iter().map(|o| o.min_gap as f64).collect();
+        let sigma = gaps.stddev_sample();
+        let near_fail = outcomes
+            .iter()
+            .filter(|o| o.success && (o.min_gap as f64) < sigma)
+            .count();
+        let near_success = outcomes
+            .iter()
+            .filter(|o| !o.success && (o.min_gap as f64) > -sigma)
+            .count();
+        Self {
+            instances: n,
+            successes,
+            success_rate_pct: 100.0 * successes as f64 / n as f64,
+            gap_sigma: sigma,
+            gap_mean: gaps.mean(),
+            lower_bar_pct: 100.0 * near_fail as f64 / n as f64,
+            upper_bar_pct: 100.0 * near_success as f64 / n as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts_from(pairs: &[(usize, u64)]) -> Counts {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn clear_success() {
+        let counts = counts_from(&[(3, 1800), (9, 200), (4, 48)]);
+        let out = evaluate_instance(&counts, &[3]);
+        assert!(out.success);
+        assert_eq!(out.min_gap, 1600);
+    }
+
+    #[test]
+    fn clear_failure() {
+        let counts = counts_from(&[(3, 100), (9, 1900)]);
+        let out = evaluate_instance(&counts, &[3]);
+        assert!(!out.success);
+        assert_eq!(out.min_gap, -1800);
+    }
+
+    #[test]
+    fn multiple_expected_all_must_dominate() {
+        // One of the two correct outputs has fewer counts than the best
+        // incorrect output -> fail, per the paper's criterion.
+        let counts = counts_from(&[(1, 1000), (2, 100), (7, 500)]);
+        let out = evaluate_instance(&counts, &[1, 2]);
+        assert!(!out.success);
+        assert_eq!(out.min_gap, 100 - 500);
+        // Both correct above all incorrect -> success.
+        let counts = counts_from(&[(1, 1000), (2, 600), (7, 500)]);
+        let out = evaluate_instance(&counts, &[1, 2]);
+        assert!(out.success);
+        assert_eq!(out.min_gap, 100);
+    }
+
+    #[test]
+    fn unobserved_expected_output_fails_when_noise_present() {
+        let counts = counts_from(&[(5, 100)]);
+        let out = evaluate_instance(&counts, &[3]);
+        assert!(!out.success);
+        assert_eq!(out.min_gap, -100);
+    }
+
+    #[test]
+    fn tie_counts_as_success() {
+        // "More counts than" is strict: a tie is not a failure.
+        let counts = counts_from(&[(3, 500), (9, 500)]);
+        let out = evaluate_instance(&counts, &[3]);
+        assert!(out.success);
+        assert_eq!(out.min_gap, 0);
+    }
+
+    #[test]
+    fn no_incorrect_outputs_at_all() {
+        let counts = counts_from(&[(3, 1024), (4, 1024)]);
+        let out = evaluate_instance(&counts, &[3, 4]);
+        assert!(out.success);
+        assert_eq!(out.min_gap, 1024);
+    }
+
+    #[test]
+    fn empty_counts_is_failure() {
+        let out = evaluate_instance(&Counts::new(), &[3]);
+        assert!(!out.success);
+    }
+
+    #[test]
+    fn ensemble_success_rate() {
+        let outcomes: Vec<InstanceOutcome> = (0..10)
+            .map(|i| InstanceOutcome { success: i < 7, min_gap: if i < 7 { 100 } else { -50 } })
+            .collect();
+        let stats = EnsembleStats::from_outcomes(&outcomes);
+        assert_eq!(stats.instances, 10);
+        assert_eq!(stats.successes, 7);
+        assert!((stats.success_rate_pct - 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_bars_count_near_threshold_instances() {
+        // Gaps: successes at 5 and 300, failure at −5. σ of {5, 300, −5}
+        // ≈ 172: the success at 5 is within σ of failing (lower bar),
+        // the failure at −5 is within σ of succeeding (upper bar).
+        let outcomes = [
+            InstanceOutcome { success: true, min_gap: 5 },
+            InstanceOutcome { success: true, min_gap: 300 },
+            InstanceOutcome { success: false, min_gap: -5 },
+        ];
+        let stats = EnsembleStats::from_outcomes(&outcomes);
+        assert!(stats.gap_sigma > 100.0);
+        assert!((stats.lower_bar_pct - 100.0 / 3.0).abs() < 1e-9);
+        assert!((stats.upper_bar_pct - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_comfortable_successes_have_no_bars() {
+        let outcomes = vec![InstanceOutcome { success: true, min_gap: 2000 }; 20];
+        let stats = EnsembleStats::from_outcomes(&outcomes);
+        assert_eq!(stats.success_rate_pct, 100.0);
+        assert_eq!(stats.gap_sigma, 0.0);
+        assert_eq!(stats.lower_bar_pct, 0.0);
+        assert_eq!(stats.upper_bar_pct, 0.0);
+    }
+
+    #[test]
+    fn empty_ensemble_is_default() {
+        assert_eq!(EnsembleStats::from_outcomes(&[]), EnsembleStats::default());
+    }
+}

@@ -1,0 +1,311 @@
+//! Error mitigation: zero-noise extrapolation and readout-error
+//! inversion.
+//!
+//! The paper's conclusion defers "the impact of error mitigation" to
+//! future work; this module implements the two standard techniques its
+//! setting supports:
+//!
+//! * **Zero-noise extrapolation (ZNE)** — measure an expectation at
+//!   amplified noise levels and Richardson-extrapolate to zero noise.
+//!   Two amplification mechanisms are provided: *model scaling*
+//!   (multiply the depolarizing rates — available because we own the
+//!   noise model) and *global folding* `C → C·C⁻¹·C·…` (the hardware
+//!   technique, which amplifies noise by odd factors without touching
+//!   the model).
+//! * **Readout mitigation** — invert the per-qubit measurement
+//!   confusion matrix on a register's marginal distribution (the
+//!   tensored calibration method).
+
+use crate::pipeline::{NoisyRun, RunConfig};
+use qfab_circuit::Circuit;
+use qfab_math::rng::Xoshiro256StarStar;
+use qfab_noise::{NoiseModel, ReadoutError};
+use qfab_sim::{Counts, StateVector};
+
+/// Richardson extrapolation to zero of points `(x_i, y_i)` with
+/// distinct non-negative `x_i`: evaluates the degree-(n−1) Lagrange
+/// interpolant at `x = 0`.
+pub fn richardson_extrapolate(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "extrapolation needs at least two points");
+    let mut total = 0.0;
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        let mut weight = 1.0;
+        for (j, &(xj, _)) in points.iter().enumerate() {
+            if i != j {
+                assert!(
+                    (xi - xj).abs() > 1e-12,
+                    "extrapolation nodes must be distinct"
+                );
+                weight *= xj / (xj - xi);
+            }
+        }
+        total += weight * yi;
+    }
+    total
+}
+
+/// Global folding: `C → C · (C⁻¹ · C)^k`, which implements the same
+/// unitary with `(2k+1)×` the gates — the standard odd-factor noise
+/// amplifier for ZNE on hardware.
+pub fn fold_global(circuit: &Circuit, k: usize) -> Circuit {
+    let mut out = circuit.clone();
+    let inverse = circuit.inverse();
+    for _ in 0..k {
+        out.extend(&inverse);
+        out.extend(circuit);
+    }
+    out
+}
+
+/// The result of a ZNE run.
+#[derive(Clone, Debug)]
+pub struct ZneResult {
+    /// `(noise scale, measured value)` pairs, ascending scale.
+    pub points: Vec<(f64, f64)>,
+    /// The Richardson-extrapolated zero-noise estimate.
+    pub mitigated: f64,
+}
+
+/// ZNE by **model scaling**: measures the total probability mass on
+/// `expected` outcomes at depolarizing rates `scale × (p1, p2)` for
+/// each scale, then extrapolates to zero.
+///
+/// `scales` must be distinct and ≥ 0 (typically `[1.0, 2.0, 3.0]`).
+#[allow(clippy::too_many_arguments)]
+pub fn zne_by_model_scaling(
+    circuit: &Circuit,
+    initial: &StateVector,
+    expected: &[usize],
+    p1: f64,
+    p2: f64,
+    scales: &[f64],
+    config: &RunConfig,
+    seed: u64,
+) -> ZneResult {
+    let mut points = Vec::with_capacity(scales.len());
+    for (i, &scale) in scales.iter().enumerate() {
+        let model = if scale == 0.0 {
+            NoiseModel::ideal()
+        } else {
+            NoiseModel::depolarizing(p1 * scale, p2 * scale)
+        };
+        let run = NoisyRun::prepare(circuit, initial.clone(), &model, config);
+        let mut rng = Xoshiro256StarStar::for_stream(seed, i as u64 + 1);
+        let counts = run.sample_counts(config.shots, &mut rng);
+        points.push((scale, mass_on(&counts, expected)));
+    }
+    let mitigated = richardson_extrapolate(&points);
+    ZneResult { points, mitigated }
+}
+
+/// ZNE by **global folding**: runs the circuit folded to odd factors
+/// `1, 3, 5, …` under a *fixed* noise model and extrapolates the
+/// expected-outcome mass to zero effective noise.
+pub fn zne_by_folding(
+    circuit: &Circuit,
+    initial: &StateVector,
+    expected: &[usize],
+    model: &NoiseModel,
+    folds: &[usize],
+    config: &RunConfig,
+    seed: u64,
+) -> ZneResult {
+    let mut points = Vec::with_capacity(folds.len());
+    for (i, &k) in folds.iter().enumerate() {
+        let folded = fold_global(circuit, k);
+        let run = NoisyRun::prepare(&folded, initial.clone(), model, config);
+        let mut rng = Xoshiro256StarStar::for_stream(seed, 100 + i as u64);
+        let counts = run.sample_counts(config.shots, &mut rng);
+        points.push(((2 * k + 1) as f64, mass_on(&counts, expected)));
+    }
+    let mitigated = richardson_extrapolate(&points);
+    ZneResult { points, mitigated }
+}
+
+fn mass_on(counts: &Counts, expected: &[usize]) -> f64 {
+    let total = counts.total_shots().max(1) as f64;
+    expected.iter().map(|&o| counts.get(o) as f64).sum::<f64>() / total
+}
+
+/// Inverts a symmetric-or-asymmetric per-qubit readout error on a
+/// `k`-qubit marginal distribution (tensored calibration): returns the
+/// mitigated probability vector (may contain small negative entries —
+/// standard for matrix-inversion mitigation).
+pub fn mitigate_readout(counts: &Counts, k: u32, readout: &ReadoutError) -> Vec<f64> {
+    assert!(k >= 1 && k <= 20, "marginal register too wide");
+    let dim = 1usize << k;
+    let total = counts.total_shots().max(1) as f64;
+    let mut probs = vec![0.0f64; dim];
+    for (outcome, c) in counts.iter() {
+        assert!(outcome < dim, "outcome {outcome} outside the {k}-qubit register");
+        probs[outcome] = c as f64 / total;
+    }
+    // Per-qubit confusion matrix A = [[1−p01, p10], [p01, 1−p10]] maps
+    // true → measured; apply A⁻¹ along every axis in place.
+    let det = (1.0 - readout.p01) * (1.0 - readout.p10) - readout.p01 * readout.p10;
+    assert!(det.abs() > 1e-9, "confusion matrix is singular");
+    let inv = [
+        (1.0 - readout.p10) / det,
+        -readout.p10 / det,
+        -readout.p01 / det,
+        (1.0 - readout.p01) / det,
+    ];
+    for q in 0..k {
+        let bit = 1usize << q;
+        for base in 0..dim {
+            if base & bit != 0 {
+                continue;
+            }
+            let (a, b) = (probs[base], probs[base | bit]);
+            probs[base] = inv[0] * a + inv[1] * b;
+            probs[base | bit] = inv[2] * a + inv[3] * b;
+        }
+    }
+    probs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adder::qfa;
+    use crate::depth::AqftDepth;
+    use crate::ops::AddInstance;
+    use crate::qint::Qinteger;
+
+    #[test]
+    fn richardson_recovers_linear_and_quadratic() {
+        // y = 3 − 2x: two points suffice.
+        let lin = richardson_extrapolate(&[(1.0, 1.0), (2.0, -1.0)]);
+        assert!((lin - 3.0).abs() < 1e-12);
+        // y = 1 − x + 0.5 x²: three points give the exact intercept.
+        let f = |x: f64| 1.0 - x + 0.5 * x * x;
+        let quad =
+            richardson_extrapolate(&[(1.0, f(1.0)), (2.0, f(2.0)), (3.0, f(3.0))]);
+        assert!((quad - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn richardson_rejects_repeated_nodes() {
+        let _ = richardson_extrapolate(&[(1.0, 0.5), (1.0, 0.6)]);
+    }
+
+    #[test]
+    fn folding_preserves_unitary_and_scales_gates() {
+        let built = qfa(2, 3, AqftDepth::Full);
+        let folded = fold_global(&built.circuit, 1);
+        assert_eq!(folded.len(), 3 * built.circuit.len());
+        // Semantics preserved: |2>|3> -> |2>|5>.
+        let input = built.y.embed(3, built.x.embed(2, 0));
+        let mut s = StateVector::basis_state(5, input);
+        s.apply_circuit(&folded);
+        let out = built.y.embed(5, built.x.embed(2, 0));
+        assert!((s.probability(out) - 1.0).abs() < 1e-8);
+    }
+
+    fn small_instance() -> AddInstance {
+        AddInstance {
+            n: 3,
+            m: 4,
+            x: Qinteger::new(3, vec![5]),
+            y: Qinteger::new(4, vec![6]),
+        }
+    }
+
+    #[test]
+    fn zne_model_scaling_improves_the_estimate() {
+        let inst = small_instance();
+        let circuit = inst.circuit(AqftDepth::Full);
+        let expected = inst.expected_outputs();
+        let config = RunConfig { shots: 3000, ..RunConfig::default() };
+        let (p1, p2) = (0.002, 0.008);
+        let zne = zne_by_model_scaling(
+            &circuit,
+            &inst.initial_state(),
+            &expected,
+            p1,
+            p2,
+            &[1.0, 2.0, 3.0],
+            &config,
+            7,
+        );
+        let raw = zne.points[0].1;
+        assert!(raw < 0.97, "noise should visibly depress the raw value ({raw})");
+        // The true zero-noise value is 1.0: mitigation must get closer.
+        assert!(
+            (zne.mitigated - 1.0).abs() < (raw - 1.0).abs(),
+            "ZNE did not improve: raw {raw}, mitigated {}",
+            zne.mitigated
+        );
+        assert!(zne.mitigated > 0.97 && zne.mitigated < 1.1);
+    }
+
+    #[test]
+    fn zne_folding_points_decrease_with_fold_factor() {
+        let inst = small_instance();
+        let circuit = inst.circuit(AqftDepth::Full);
+        let expected = inst.expected_outputs();
+        let config = RunConfig { shots: 1500, ..RunConfig::default() };
+        let model = NoiseModel::only_2q_depolarizing(0.004);
+        let zne = zne_by_folding(
+            &circuit,
+            &inst.initial_state(),
+            &expected,
+            &model,
+            &[0, 1, 2],
+            &config,
+            9,
+        );
+        assert_eq!(zne.points.len(), 3);
+        assert!(zne.points[0].1 > zne.points[2].1, "folding must amplify noise");
+        let raw = zne.points[0].1;
+        assert!(
+            (zne.mitigated - 1.0).abs() < (raw - 1.0).abs() + 0.02,
+            "folded ZNE should not be worse than raw: {} vs {raw}",
+            zne.mitigated
+        );
+    }
+
+    #[test]
+    fn readout_mitigation_inverts_corruption() {
+        // A known 3-qubit distribution corrupted by readout error, then
+        // mitigated: recovers the original within sampling error.
+        let readout = ReadoutError::new(0.03, 0.05);
+        let true_probs = [0.5, 0.0, 0.2, 0.0, 0.0, 0.3, 0.0, 0.0];
+        let mut rng = Xoshiro256StarStar::new(3);
+        let mut counts = Counts::new();
+        let shots = 200_000u64;
+        for _ in 0..shots {
+            let mut u = rng.next_f64();
+            let mut outcome = 7;
+            for (i, &p) in true_probs.iter().enumerate() {
+                if u < p {
+                    outcome = i;
+                    break;
+                }
+                u -= p;
+            }
+            counts.add(readout.apply(outcome, 3, &mut rng), 1);
+        }
+        let mitigated = mitigate_readout(&counts, 3, &readout);
+        for (i, &t) in true_probs.iter().enumerate() {
+            assert!(
+                (mitigated[i] - t).abs() < 0.01,
+                "outcome {i}: mitigated {} vs true {t}",
+                mitigated[i]
+            );
+        }
+        // Probability is conserved by the inversion.
+        let total: f64 = mitigated.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn readout_mitigation_is_identity_at_zero_error() {
+        let readout = ReadoutError::symmetric(0.0);
+        let counts: Counts = [(0usize, 70u64), (3, 30)].into_iter().collect();
+        let mitigated = mitigate_readout(&counts, 2, &readout);
+        assert!((mitigated[0] - 0.7).abs() < 1e-12);
+        assert!((mitigated[3] - 0.3).abs() < 1e-12);
+    }
+}

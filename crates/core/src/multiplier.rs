@@ -1,0 +1,185 @@
+//! Quantum Fourier Multiplication (paper Fig. 3).
+//!
+//! The weighted-sum construction of Ruiz-Pérez: both multiplicands are
+//! preserved and a zero-initialized product register accumulates
+//! `x · y`. For each multiplicand bit `x_i` (1-based), a controlled QFA
+//! adds `y · 2^{i−1}` into the product — realized by running the cQFA on
+//! the register *slice* `z_i … z_{i+m}` (the shift) under control of
+//! `x_i`.
+//!
+//! Register sizes: `x`: n qubits, `y`: m qubits, `z`: n + m qubits —
+//! "at least as large as the combined sizes of the two multiplicand
+//! registers" per the paper, so no overflow is possible. Each cQFA's
+//! controlled transform acts on an `(m+1)`-qubit slice, which is where
+//! the paper's QFM depth labels live (`full` = cap `m`, labelled
+//! `n − 1` in its Table I).
+
+use crate::adder::cqfa;
+use crate::depth::AqftDepth;
+use qfab_circuit::{Circuit, Layout, Register};
+
+/// A built QFM circuit with its register layout.
+#[derive(Clone, Debug)]
+pub struct QfmCircuit {
+    /// The full circuit (n controlled QFAs).
+    pub circuit: Circuit,
+    /// First multiplicand (n qubits, preserved).
+    pub x: Register,
+    /// Second multiplicand (m qubits, preserved).
+    pub y: Register,
+    /// Product register (n+m qubits, must start at `|0…0>`).
+    pub z: Register,
+}
+
+/// Builds the QFM: `|x>|y>|0> → |x>|y>|x·y>` with `n`- and `m`-qubit
+/// multiplicands, at AQFT depth `depth` (applied inside every cQFA).
+pub fn qfm(n: u32, m: u32, depth: AqftDepth) -> QfmCircuit {
+    assert!(n >= 1 && m >= 1, "registers must be non-empty");
+    let mut layout = Layout::new();
+    let x = layout.alloc("x", n);
+    let y = layout.alloc("y", m);
+    let z = layout.alloc("z", n + m);
+    let total = layout.num_qubits();
+
+    let mut circuit = Circuit::new(total);
+    for i in 1..=n {
+        // Slice z_i .. z_{i+m} (1-based), m+1 qubits: adding y (m bits)
+        // shifted by i−1 cannot overflow an (m+1)-bit window whose own
+        // higher carries land in later slices... the window receives
+        // y + previous-partial-sum bits and carries out through its top
+        // qubit, which is the next slice's territory.
+        let slice = Register::new(
+            format!("z[{}..{}]", i - 1, i + m - 1),
+            z.qubit(i - 1),
+            m + 1,
+        );
+        circuit.extend(&cqfa(total, x.qubit(i - 1), &y, &slice, depth));
+    }
+    QfmCircuit { circuit, x, y, z }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfab_sim::StateVector;
+
+    const TOL: f64 = 1e-9;
+
+    fn run_mul(built: &QfmCircuit, xv: usize, yv: usize) -> usize {
+        let total = built.x.len() + built.y.len() + built.z.len();
+        let index = built.y.embed(yv, built.x.embed(xv, 0));
+        let mut s = StateVector::basis_state(total, index);
+        s.apply_circuit(&built.circuit);
+        let probs = s.probabilities();
+        let (best, p) = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert!((p - 1.0).abs() < TOL, "output not deterministic: p={p}");
+        assert_eq!(built.x.extract(best), xv, "x register must be preserved");
+        assert_eq!(built.y.extract(best), yv, "y register must be preserved");
+        built.z.extract(best)
+    }
+
+    #[test]
+    fn exhaustive_3x3_multiplication() {
+        let built = qfm(3, 3, AqftDepth::Full);
+        for xv in 0..8 {
+            for yv in 0..8 {
+                assert_eq!(run_mul(&built, xv, yv), xv * yv, "{xv}·{yv}");
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_register_sizes() {
+        let built = qfm(2, 4, AqftDepth::Full);
+        for xv in 0..4 {
+            for yv in [0usize, 1, 7, 15] {
+                assert_eq!(run_mul(&built, xv, yv), xv * yv);
+            }
+        }
+        let built = qfm(4, 2, AqftDepth::Full);
+        for xv in [0usize, 5, 9, 15] {
+            for yv in 0..4 {
+                assert_eq!(run_mul(&built, xv, yv), xv * yv);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_geometry_4x4_spot_checks() {
+        // The paper's n = 4 configuration (16 qubits total) — spot
+        // checks including the maximal product 15·15 = 225.
+        let built = qfm(4, 4, AqftDepth::Full);
+        for (xv, yv) in [(0, 0), (1, 1), (3, 5), (7, 9), (15, 15), (12, 13)] {
+            assert_eq!(run_mul(&built, xv, yv), xv * yv, "{xv}·{yv}");
+        }
+    }
+
+    #[test]
+    fn multiply_by_zero_gives_zero() {
+        let built = qfm(3, 3, AqftDepth::Limited(1));
+        // x = 0 disables every cQFA: exact at any depth.
+        assert_eq!(run_mul(&built, 0, 7), 0);
+    }
+
+    #[test]
+    fn superposed_multiplicand_computes_all_products() {
+        // x in (|2> + |3>)/√2, y = |3>: mix of |2,3,6> and |3,3,9>.
+        let built = qfm(3, 3, AqftDepth::Full);
+        let amp = qfab_math::complex::c64(std::f64::consts::FRAC_1_SQRT_2, 0.0);
+        let e2 = built.y.embed(3, built.x.embed(2, 0));
+        let e3 = built.y.embed(3, built.x.embed(3, 0));
+        let mut s = StateVector::from_sparse(12, &[(e2, amp), (e3, amp)]);
+        s.apply_circuit(&built.circuit);
+        let o2 = built.z.embed(6, built.y.embed(3, built.x.embed(2, 0)));
+        let o3 = built.z.embed(9, built.y.embed(3, built.x.embed(3, 0)));
+        assert!((s.probability(o2) - 0.5).abs() < TOL);
+        assert!((s.probability(o3) - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn gate_inventory_matches_paper_model() {
+        // n = m = 4: n cQFAs, each with a 5-qubit controlled transform:
+        // per cQFA, 2 × 5 cH + (2 × rot(d) + 14) cCP.
+        for (depth, rot) in [
+            (AqftDepth::Limited(1), 4usize),
+            (AqftDepth::Limited(2), 7),
+            (AqftDepth::Full, 10),
+        ] {
+            let built = qfm(4, 4, depth);
+            let counts = built.circuit.counts();
+            assert_eq!(counts.named("ch"), 4 * 10, "cH at {depth}");
+            assert_eq!(
+                counts.named("ccp"),
+                4 * (2 * rot + 14),
+                "cCP at {depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn shallow_depth_multiplication_leaks_probability() {
+        // Like the adder, the depth-1 QFM keeps the exact product as the
+        // argmax on basis inputs but leaks probability off it.
+        let built = qfm(3, 3, AqftDepth::Limited(1));
+        let mut max_leak = 0.0f64;
+        for xv in 0..8 {
+            for yv in 0..8 {
+                let index = built.y.embed(yv, built.x.embed(xv, 0));
+                let mut s = StateVector::basis_state(12, index);
+                s.apply_circuit(&built.circuit);
+                let exact = built
+                    .z
+                    .embed(xv * yv, built.y.embed(yv, built.x.embed(xv, 0)));
+                max_leak = max_leak.max(1.0 - s.probability(exact));
+            }
+        }
+        assert!(
+            max_leak > 1e-3,
+            "depth 1 QFM should leak probability somewhere, max leak {max_leak}"
+        );
+    }
+}

@@ -1,0 +1,280 @@
+//! Single-transform Fourier multiplication, unsigned and **signed** —
+//! the "signed QFM" extension the paper's conclusion calls for.
+//!
+//! Instead of `n` controlled QFAs (each with its own transform pair,
+//! as in [`crate::multiplier::qfm`]), this construction performs **one**
+//! QFT over the product register, applies every partial-product phase
+//! `x_i · y_j · 2^{i+j−2}` directly as a doubly-controlled rotation,
+//! and transforms back:
+//!
+//! ```text
+//! |x>|y> QFT(z) ·  Π_{i,j,t} ccR(±2π·2^{i+j−2}/2^t)  · QFT⁻¹(z)
+//! ```
+//!
+//! Because the phase arithmetic is mod `2^{n+m}`, **negative weights
+//! wrap to two's complement for free**: interpreting the sign bits of
+//! `x` and `y` with weight `−2^{n−1}` / `−2^{m−1}` (i.e. flipping the
+//! sign of every partial product involving a sign bit) yields the
+//! signed product directly — no sign-extension registers, no
+//! Baugh–Wooley correction rows.
+//!
+//! The same depth cap as the AQFT applies: a rotation with denominator
+//! `2^l` (where `l = t − (i+j−2)`) is dropped when `l > cap`, giving an
+//! approximate multiplier whose cost/fidelity trade-off mirrors the
+//! paper's study.
+
+use crate::depth::AqftDepth;
+use crate::qft::{aqft_on, rotation_angle};
+use qfab_circuit::{Circuit, Layout, Register};
+
+/// Signedness of the multiplier's operands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Signedness {
+    /// Operands are unsigned integers.
+    Unsigned,
+    /// Operands are two's-complement signed integers.
+    Signed,
+}
+
+/// A built single-transform multiplier with its register layout.
+#[derive(Clone, Debug)]
+pub struct FourierMulCircuit {
+    /// The full circuit.
+    pub circuit: Circuit,
+    /// First multiplicand (n qubits, preserved).
+    pub x: Register,
+    /// Second multiplicand (m qubits, preserved).
+    pub y: Register,
+    /// Product register (n+m qubits, starts at `|0…0>`; holds the
+    /// product mod `2^{n+m}`, two's complement when signed).
+    pub z: Register,
+}
+
+/// Builds the single-transform multiplier
+/// `|x>|y>|0> → |x>|y>|x·y mod 2^{n+m}>` (two's-complement product for
+/// [`Signedness::Signed`]). `depth` caps both the product-register
+/// (A)QFT and the partial-product rotations.
+pub fn qfm_single_transform(
+    n: u32,
+    m: u32,
+    signedness: Signedness,
+    depth: AqftDepth,
+) -> FourierMulCircuit {
+    assert!(n >= 1 && m >= 1, "registers must be non-empty");
+    let mut layout = Layout::new();
+    let x = layout.alloc("x", n);
+    let y = layout.alloc("y", m);
+    let z = layout.alloc("z", n + m);
+    let total = layout.num_qubits();
+    let p = n + m;
+    let cap = depth.cap(p);
+
+    let mut circuit = Circuit::new(total);
+    circuit.extend(&aqft_on(total, &z, depth));
+    // Partial products: bit i of x (1-based) times bit j of y carries
+    // weight ±2^{i+j−2}; on Fourier-space qubit t (phase denominator
+    // 2^t) that is a rotation R_l with l = t − (i+j−2), kept for
+    // 1 ≤ l ≤ cap+1 (mirroring the AQFT's per-qubit rotation budget).
+    for i in 1..=n {
+        for j in 1..=m {
+            let negative = match signedness {
+                Signedness::Unsigned => false,
+                // Exactly one sign bit in the pair flips the weight;
+                // both sign bits together flip it back.
+                Signedness::Signed => (i == n) ^ (j == m),
+            };
+            let shift = i + j - 2;
+            for t in (shift + 1)..=p {
+                let l = t - shift;
+                if l > cap + 1 {
+                    continue;
+                }
+                let theta = if negative {
+                    -rotation_angle(l)
+                } else {
+                    rotation_angle(l)
+                };
+                circuit.ccphase(theta, x.qubit(i - 1), y.qubit(j - 1), z.qubit(t - 1));
+            }
+        }
+    }
+    circuit.extend(&aqft_on(total, &z, depth).inverse());
+    FourierMulCircuit { circuit, x, y, z }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiplier::qfm;
+    use qfab_math::frac::{decode_twos_complement, encode_twos_complement};
+    use qfab_sim::StateVector;
+
+    const TOL: f64 = 1e-9;
+
+    fn run(built: &FourierMulCircuit, xv: usize, yv: usize) -> usize {
+        let total = built.x.len() + built.y.len() + built.z.len();
+        let input = built.y.embed(yv, built.x.embed(xv, 0));
+        let mut s = StateVector::basis_state(total, input);
+        s.apply_circuit(&built.circuit);
+        let probs = s.probabilities();
+        let (best, p) = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert!((p - 1.0).abs() < TOL, "not deterministic: {p}");
+        assert_eq!(built.x.extract(best), xv);
+        assert_eq!(built.y.extract(best), yv);
+        built.z.extract(best)
+    }
+
+    #[test]
+    fn unsigned_exhaustive_3x3() {
+        let built = qfm_single_transform(3, 3, Signedness::Unsigned, AqftDepth::Full);
+        for xv in 0..8 {
+            for yv in 0..8 {
+                assert_eq!(run(&built, xv, yv), xv * yv, "{xv}·{yv}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsigned_matches_slice_qfm() {
+        let single = qfm_single_transform(2, 3, Signedness::Unsigned, AqftDepth::Full);
+        let sliced = qfm(2, 3, AqftDepth::Full);
+        for xv in 0..4 {
+            for yv in 0..8 {
+                let a = run(&single, xv, yv);
+                // Slice QFM measured the same way.
+                let input = sliced.y.embed(yv, sliced.x.embed(xv, 0));
+                let mut s = StateVector::basis_state(10, input);
+                s.apply_circuit(&sliced.circuit);
+                let out = sliced
+                    .z
+                    .embed(xv * yv, sliced.y.embed(yv, sliced.x.embed(xv, 0)));
+                assert!((s.probability(out) - 1.0).abs() < TOL);
+                assert_eq!(a, xv * yv);
+            }
+        }
+    }
+
+    #[test]
+    fn signed_exhaustive_3x3() {
+        // Every pair of signed 3-bit operands: x, y ∈ [−4, 3].
+        let built = qfm_single_transform(3, 3, Signedness::Signed, AqftDepth::Full);
+        for xs in -4i64..=3 {
+            for ys in -4i64..=3 {
+                let xv = encode_twos_complement(xs, 3).unwrap();
+                let yv = encode_twos_complement(ys, 3).unwrap();
+                let zv = run(&built, xv, yv);
+                let got = decode_twos_complement(zv, 6);
+                assert_eq!(got, xs * ys, "{xs}·{ys} gave {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_asymmetric_widths() {
+        let built = qfm_single_transform(2, 4, Signedness::Signed, AqftDepth::Full);
+        for xs in -2i64..=1 {
+            for ys in [-8i64, -3, 0, 5, 7] {
+                let xv = encode_twos_complement(xs, 2).unwrap();
+                let yv = encode_twos_complement(ys, 4).unwrap();
+                let zv = run(&built, xv, yv);
+                assert_eq!(decode_twos_complement(zv, 6), xs * ys, "{xs}·{ys}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_and_unsigned_agree_on_nonnegative_inputs() {
+        let s = qfm_single_transform(3, 3, Signedness::Signed, AqftDepth::Full);
+        let u = qfm_single_transform(3, 3, Signedness::Unsigned, AqftDepth::Full);
+        // Non-negative two's-complement values: sign bits clear.
+        for xv in 0..4usize {
+            for yv in 0..4usize {
+                assert_eq!(run(&s, xv, yv), run(&u, xv, yv));
+            }
+        }
+    }
+
+    #[test]
+    fn single_transform_uses_fewer_transforms_more_rotations() {
+        // Structural comparison with the slice construction: one QFT
+        // pair total (no cH at all), but O(n·m·(n+m)) ccphase gates.
+        let single = qfm_single_transform(4, 4, Signedness::Unsigned, AqftDepth::Full);
+        let sliced = qfm(4, 4, AqftDepth::Full);
+        let sc = single.circuit.counts();
+        let lc = sliced.circuit.counts();
+        assert_eq!(sc.named("ch"), 0);
+        assert_eq!(sc.named("h"), 16); // one QFT + inverse over 8 qubits
+        assert!(lc.named("ch") > 0);
+        assert!(sc.named("ccp") > 0);
+    }
+
+    #[test]
+    fn depth_cap_prunes_rotations() {
+        let full = qfm_single_transform(3, 3, Signedness::Unsigned, AqftDepth::Full);
+        let capped =
+            qfm_single_transform(3, 3, Signedness::Unsigned, AqftDepth::Limited(2));
+        assert!(
+            capped.circuit.counts().named("ccp") < full.circuit.counts().named("ccp")
+        );
+        // Multiplying by zero is exact at any depth.
+        assert_eq!(run(&capped, 0, 5), 0);
+    }
+
+    #[test]
+    fn capped_multiplier_keeps_argmax_on_most_inputs() {
+        let built = qfm_single_transform(3, 3, Signedness::Unsigned, AqftDepth::Limited(3));
+        let mut wrong = 0;
+        for xv in 0..8 {
+            for yv in 0..8 {
+                let total = 12;
+                let input = built.y.embed(yv, built.x.embed(xv, 0));
+                let mut s = StateVector::basis_state(total, input);
+                s.apply_circuit(&built.circuit);
+                let exact = built
+                    .z
+                    .embed(xv * yv, built.y.embed(yv, built.x.embed(xv, 0)));
+                let probs = s.probabilities();
+                let best = probs
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0;
+                if best != exact {
+                    wrong += 1;
+                }
+            }
+        }
+        assert!(wrong <= 16, "cap 3 should keep most products right, {wrong}/64 wrong");
+    }
+
+    #[test]
+    fn superposed_signed_inputs_multiply_in_parallel() {
+        let built = qfm_single_transform(3, 3, Signedness::Signed, AqftDepth::Full);
+        let amp = qfab_math::complex::c64(std::f64::consts::FRAC_1_SQRT_2, 0.0);
+        let x_neg2 = encode_twos_complement(-2, 3).unwrap();
+        let x_pos3 = encode_twos_complement(3, 3).unwrap();
+        let yv = encode_twos_complement(-3, 3).unwrap();
+        let entries = [
+            (built.y.embed(yv, built.x.embed(x_neg2, 0)), amp),
+            (built.y.embed(yv, built.x.embed(x_pos3, 0)), amp),
+        ];
+        let mut s = StateVector::from_sparse(12, &entries);
+        s.apply_circuit(&built.circuit);
+        // −2·−3 = 6 and 3·−3 = −9, in 6-bit two's complement.
+        let o1 = built.z.embed(
+            encode_twos_complement(6, 6).unwrap(),
+            built.y.embed(yv, built.x.embed(x_neg2, 0)),
+        );
+        let o2 = built.z.embed(
+            encode_twos_complement(-9, 6).unwrap(),
+            built.y.embed(yv, built.x.embed(x_pos3, 0)),
+        );
+        assert!((s.probability(o1) - 0.5).abs() < TOL);
+        assert!((s.probability(o2) - 0.5).abs() < TOL);
+    }
+}

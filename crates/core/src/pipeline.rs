@@ -1,0 +1,432 @@
+//! The noisy evaluation pipeline.
+//!
+//! Everything between "an arithmetic instance" and "a count table" —
+//! the engine behind every data point in the paper's figures:
+//!
+//! 1. transpile the arithmetic circuit to CX + atomic 1q gates (the
+//!    granularity the paper's noise model attaches errors at);
+//! 2. build the noiseless [`CheckpointTable`] from the instance's
+//!    initial state ([`PreparedInstance`] — reusable across noise
+//!    models, since the clean states don't depend on the error rate);
+//! 3. bind a noise model ([`NoisyRun`]) and split the shot budget into
+//!    clean shots (drawn in one batch from the noiseless output
+//!    distribution) and noisy shots (each sampling a conditioned error
+//!    trajectory, replaying from the nearest checkpoint, and drawing
+//!    one measurement);
+//! 4. optionally corrupt outcomes with readout error; tabulate.
+//!
+//! The pipeline is deterministic given `(instance, model, config,
+//! seed)` regardless of thread scheduling.
+
+use crate::depth::AqftDepth;
+use crate::metric::{evaluate_instance, InstanceOutcome};
+use crate::ops::{AddInstance, MulInstance};
+use qfab_circuit::Circuit;
+use qfab_math::rng::Xoshiro256StarStar;
+use qfab_math::sampling::AliasTable;
+use qfab_noise::{NoiseModel, TrajectoryPlan};
+use qfab_sim::{CheckpointTable, Counts, ShotSampler, StateVector};
+use qfab_transpile::{transpile, Basis};
+
+/// Tunable knobs of a noisy evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Shots per instance (the paper uses 2048).
+    pub shots: u64,
+    /// Memory budget for the noiseless checkpoint table, in bytes.
+    pub checkpoint_budget: usize,
+    /// Run the peephole optimizer before simulating (the paper does
+    /// not; default off).
+    pub optimize: bool,
+    /// Use per-gate-kernel parallelism inside the state vector (turn
+    /// off when an outer loop already saturates the cores).
+    pub inner_parallel: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            shots: 2048,
+            checkpoint_budget: CheckpointTable::DEFAULT_BUDGET_BYTES,
+            optimize: false,
+            inner_parallel: false,
+        }
+    }
+}
+
+/// A transpiled circuit with its noiseless checkpoint table and output
+/// distribution — everything about an instance that does *not* depend
+/// on the noise model. Build once, then bind any number of models.
+pub struct PreparedInstance {
+    table: CheckpointTable,
+    clean_dist: AliasTable,
+    num_qubits: u32,
+    transpiled_gates: usize,
+}
+
+impl PreparedInstance {
+    /// Transpiles `circuit` and simulates the noiseless run, snapshotting
+    /// checkpoints.
+    pub fn new(circuit: &Circuit, mut initial: StateVector, config: &RunConfig) -> Self {
+        let mut lowered = transpile(circuit, Basis::CxPlus1q);
+        if config.optimize {
+            lowered = qfab_transpile::optimize(&lowered).0;
+        }
+        initial.set_parallel(config.inner_parallel);
+        let transpiled_gates = lowered.len();
+        let num_qubits = initial.num_qubits();
+        let table =
+            CheckpointTable::build_with_budget(lowered, &initial, config.checkpoint_budget);
+        let clean_dist = AliasTable::new(&table.final_state().probabilities());
+        Self { table, clean_dist, num_qubits, transpiled_gates }
+    }
+
+    /// The transpiled gate count (the paper's Table I granularity).
+    pub fn transpiled_gates(&self) -> usize {
+        self.transpiled_gates
+    }
+
+    /// The transpiled circuit.
+    pub fn circuit(&self) -> &Circuit {
+        self.table.circuit()
+    }
+
+    /// The noiseless output state.
+    pub fn clean_state(&self) -> &StateVector {
+        self.table.final_state()
+    }
+
+    /// Binds a noise model, producing a sampler.
+    pub fn noisy<'a>(&'a self, model: &NoiseModel) -> NoisyRun<'a> {
+        NoisyRun {
+            prep: self,
+            plan: TrajectoryPlan::new(self.table.circuit(), model),
+            readout: model.readout().copied(),
+        }
+    }
+}
+
+/// A prepared instance bound to a noise model, ready to sample shots.
+pub struct NoisyRun<'a> {
+    prep: &'a PreparedInstance,
+    plan: TrajectoryPlan,
+    readout: Option<qfab_noise::ReadoutError>,
+}
+
+impl NoisyRun<'_> {
+    /// Convenience one-step preparation (owned variant): transpile,
+    /// checkpoint, and bind in one call. For sweeps over many models
+    /// prefer [`PreparedInstance::new`] + [`PreparedInstance::noisy`].
+    pub fn prepare(
+        circuit: &Circuit,
+        initial: StateVector,
+        model: &NoiseModel,
+        config: &RunConfig,
+    ) -> OwnedNoisyRun {
+        let prep = PreparedInstance::new(circuit, initial, config);
+        let plan = TrajectoryPlan::new(prep.table.circuit(), model);
+        OwnedNoisyRun { readout: model.readout().copied(), prep, plan }
+    }
+
+    /// The transpiled gate count (diagnostic).
+    pub fn transpiled_gates(&self) -> usize {
+        self.prep.transpiled_gates
+    }
+
+    /// Probability that a shot is error-free under the model.
+    pub fn clean_prob(&self) -> f64 {
+        self.plan.clean_prob()
+    }
+
+    /// The noiseless output state.
+    pub fn clean_state(&self) -> &StateVector {
+        self.prep.table.final_state()
+    }
+
+    /// Samples a batch of `shots` measurements.
+    pub fn sample_counts(&self, shots: u64, rng: &mut Xoshiro256StarStar) -> Counts {
+        sample_counts_impl(self.prep, &self.plan, self.readout.as_ref(), shots, rng)
+    }
+}
+
+/// An owning variant of [`NoisyRun`] for single-model callers.
+pub struct OwnedNoisyRun {
+    prep: PreparedInstance,
+    plan: TrajectoryPlan,
+    readout: Option<qfab_noise::ReadoutError>,
+}
+
+impl OwnedNoisyRun {
+    /// The transpiled gate count (diagnostic).
+    pub fn transpiled_gates(&self) -> usize {
+        self.prep.transpiled_gates
+    }
+
+    /// Probability that a shot is error-free under the model.
+    pub fn clean_prob(&self) -> f64 {
+        self.plan.clean_prob()
+    }
+
+    /// The noiseless output state.
+    pub fn clean_state(&self) -> &StateVector {
+        self.prep.table.final_state()
+    }
+
+    /// Samples a batch of `shots` measurements.
+    pub fn sample_counts(&self, shots: u64, rng: &mut Xoshiro256StarStar) -> Counts {
+        sample_counts_impl(&self.prep, &self.plan, self.readout.as_ref(), shots, rng)
+    }
+}
+
+fn sample_counts_impl(
+    prep: &PreparedInstance,
+    plan: &TrajectoryPlan,
+    readout: Option<&qfab_noise::ReadoutError>,
+    shots: u64,
+    rng: &mut Xoshiro256StarStar,
+) -> Counts {
+    let mut counts = Counts::new();
+    let clean = if plan.num_sites() == 0 {
+        shots
+    } else {
+        qfab_math::sampling::sample_binomial(shots, plan.clean_prob(), rng)
+    };
+    let record = |counts: &mut Counts, outcome: usize, rng: &mut Xoshiro256StarStar| {
+        let outcome = match readout {
+            Some(ro) => ro.apply(outcome, prep.num_qubits, rng),
+            None => outcome,
+        };
+        counts.add(outcome, 1);
+    };
+    for _ in 0..clean {
+        let outcome = prep.clean_dist.sample(rng);
+        record(&mut counts, outcome, rng);
+    }
+    for _ in 0..(shots - clean) {
+        let trajectory = plan.sample_noisy(rng);
+        let state = prep.table.run_with_insertions(&trajectory);
+        let outcome = ShotSampler::sample_once(&state, rng);
+        record(&mut counts, outcome, rng);
+    }
+    counts
+}
+
+/// Runs one addition instance end to end and scores it.
+pub fn run_add_instance(
+    instance: &AddInstance,
+    depth: AqftDepth,
+    model: &NoiseModel,
+    config: &RunConfig,
+    seed: u64,
+) -> (Counts, InstanceOutcome) {
+    let mut rng = Xoshiro256StarStar::for_stream(seed, 0);
+    let run =
+        NoisyRun::prepare(&instance.circuit(depth), instance.initial_state(), model, config);
+    let counts = run.sample_counts(config.shots, &mut rng);
+    let outcome = evaluate_instance(&counts, &instance.expected_outputs());
+    (counts, outcome)
+}
+
+/// Runs one multiplication instance end to end and scores it.
+pub fn run_mul_instance(
+    instance: &MulInstance,
+    depth: AqftDepth,
+    model: &NoiseModel,
+    config: &RunConfig,
+    seed: u64,
+) -> (Counts, InstanceOutcome) {
+    let mut rng = Xoshiro256StarStar::for_stream(seed, 0);
+    let run =
+        NoisyRun::prepare(&instance.circuit(depth), instance.initial_state(), model, config);
+    let counts = run.sample_counts(config.shots, &mut rng);
+    let outcome = evaluate_instance(&counts, &instance.expected_outputs());
+    (counts, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qint::Qinteger;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::new(seed)
+    }
+
+    fn small_add() -> AddInstance {
+        AddInstance {
+            n: 3,
+            m: 4,
+            x: Qinteger::new(3, vec![5]),
+            y: Qinteger::new(4, vec![6]),
+        }
+    }
+
+    #[test]
+    fn noiseless_run_puts_all_shots_on_expected() {
+        let inst = small_add();
+        let config = RunConfig { shots: 256, ..RunConfig::default() };
+        let (counts, outcome) =
+            run_add_instance(&inst, AqftDepth::Full, &NoiseModel::ideal(), &config, 7);
+        assert!(outcome.success);
+        assert_eq!(counts.total_shots(), 256);
+        let expected = inst.expected_outputs();
+        assert_eq!(counts.get(expected[0]), 256);
+    }
+
+    #[test]
+    fn pipeline_is_deterministic_per_seed() {
+        let inst = small_add();
+        let model = NoiseModel::depolarizing(0.02, 0.05);
+        let config = RunConfig { shots: 128, ..RunConfig::default() };
+        let (a, oa) = run_add_instance(&inst, AqftDepth::Full, &model, &config, 99);
+        let (b, ob) = run_add_instance(&inst, AqftDepth::Full, &model, &config, 99);
+        assert_eq!(a, b);
+        assert_eq!(oa, ob);
+        let (c, _) = run_add_instance(&inst, AqftDepth::Full, &model, &config, 100);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn prepared_instance_reuse_across_models_matches_fresh_runs() {
+        let inst = small_add();
+        let config = RunConfig { shots: 200, ..RunConfig::default() };
+        let prep =
+            PreparedInstance::new(&inst.circuit(AqftDepth::Full), inst.initial_state(), &config);
+        for p in [0.005, 0.02] {
+            let model = NoiseModel::only_2q_depolarizing(p);
+            let shared = prep.noisy(&model).sample_counts(200, &mut rng(4));
+            let fresh = NoisyRun::prepare(
+                &inst.circuit(AqftDepth::Full),
+                inst.initial_state(),
+                &model,
+                &config,
+            )
+            .sample_counts(200, &mut rng(4));
+            assert_eq!(shared, fresh, "shared-prep sampling must match fresh at p={p}");
+        }
+    }
+
+    #[test]
+    fn heavy_noise_degrades_success() {
+        let inst = small_add();
+        let config = RunConfig { shots: 512, ..RunConfig::default() };
+        let model = NoiseModel::depolarizing(0.9, 0.9);
+        let (counts, _) = run_add_instance(&inst, AqftDepth::Full, &model, &config, 3);
+        let expected = inst.expected_outputs();
+        assert!(counts.get(expected[0]) < 300);
+        assert!(counts.distinct() > 10, "heavy noise should scatter outcomes");
+    }
+
+    #[test]
+    fn moderate_noise_still_mostly_succeeds() {
+        let inst = small_add();
+        let config = RunConfig { shots: 512, ..RunConfig::default() };
+        let model = NoiseModel::only_2q_depolarizing(0.01);
+        let mut successes = 0;
+        for seed in 0..10 {
+            let (_, outcome) = run_add_instance(&inst, AqftDepth::Full, &model, &config, seed);
+            if outcome.success {
+                successes += 1;
+            }
+        }
+        assert!(successes >= 8, "only {successes}/10 succeeded at 1% 2q error");
+    }
+
+    #[test]
+    fn clean_prob_reflects_gate_counts() {
+        let inst = small_add();
+        let run = NoisyRun::prepare(
+            &inst.circuit(AqftDepth::Full),
+            inst.initial_state(),
+            &NoiseModel::only_2q_depolarizing(0.01),
+            &RunConfig::default(),
+        );
+        // QFA(3,4): QFT(4) 6 CP + add 9 CP + IQFT 6 CP = 21 CP = 42 CX.
+        let expect = (1.0 - 0.01 * 15.0 / 16.0f64).powi(42);
+        assert!((run.clean_prob() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_counts_totals() {
+        let inst = small_add();
+        let run = NoisyRun::prepare(
+            &inst.circuit(AqftDepth::Full),
+            inst.initial_state(),
+            &NoiseModel::depolarizing(0.01, 0.01),
+            &RunConfig::default(),
+        );
+        let counts = run.sample_counts(1000, &mut rng(5));
+        assert_eq!(counts.total_shots(), 1000);
+    }
+
+    #[test]
+    fn optimizer_preserves_statistics() {
+        let inst = small_add();
+        let base = RunConfig { shots: 400, ..RunConfig::default() };
+        let optimized = RunConfig { optimize: true, ..base };
+        let (a, _) = run_add_instance(&inst, AqftDepth::Full, &NoiseModel::ideal(), &base, 1);
+        let (b, _) =
+            run_add_instance(&inst, AqftDepth::Full, &NoiseModel::ideal(), &optimized, 1);
+        let expected = inst.expected_outputs()[0];
+        assert_eq!(a.get(expected), 400);
+        assert_eq!(b.get(expected), 400);
+    }
+
+    #[test]
+    fn optimizer_collapses_mirrored_basis_circuits() {
+        // Transpile the adder first, then append the basis-level inverse:
+        // a perfect mirror that the cancellation cascade must erase.
+        let inst = small_add();
+        let lowered =
+            qfab_transpile::transpile(&inst.circuit(AqftDepth::Full), qfab_transpile::Basis::CxPlus1q);
+        let mut mirrored = lowered.clone();
+        mirrored.extend(&lowered.inverse());
+        let base = NoisyRun::prepare(
+            &mirrored,
+            inst.initial_state(),
+            &NoiseModel::ideal(),
+            &RunConfig::default(),
+        );
+        let opt = NoisyRun::prepare(
+            &mirrored,
+            inst.initial_state(),
+            &NoiseModel::ideal(),
+            &RunConfig { optimize: true, ..RunConfig::default() },
+        );
+        assert!(base.transpiled_gates() > 0);
+        assert_eq!(opt.transpiled_gates(), 0, "mirrored circuit should vanish");
+    }
+
+    #[test]
+    fn readout_error_scatters_deterministic_output() {
+        let inst = small_add();
+        let model =
+            NoiseModel::ideal().with_readout(qfab_noise::ReadoutError::symmetric(0.05));
+        let run = NoisyRun::prepare(
+            &inst.circuit(AqftDepth::Full),
+            inst.initial_state(),
+            &model,
+            &RunConfig::default(),
+        );
+        let counts = run.sample_counts(2000, &mut rng(6));
+        let expected = inst.expected_outputs()[0];
+        let hit = counts.get(expected) as f64 / 2000.0;
+        // P(no flip on 7 qubits) = 0.95^7 ≈ 0.698.
+        assert!((hit - 0.95f64.powi(7)).abs() < 0.05, "hit rate {hit}");
+    }
+
+    #[test]
+    fn mul_instance_runs_noiselessly() {
+        let inst = MulInstance {
+            n: 2,
+            m: 2,
+            x: Qinteger::new(2, vec![3]),
+            y: Qinteger::new(2, vec![2]),
+        };
+        let config = RunConfig { shots: 64, ..RunConfig::default() };
+        let (counts, outcome) =
+            run_mul_instance(&inst, AqftDepth::Full, &NoiseModel::ideal(), &config, 11);
+        assert!(outcome.success);
+        assert_eq!(counts.get(inst.expected_outputs()[0]), 64);
+    }
+}

@@ -1,0 +1,262 @@
+//! The Quantum Fourier Transform and its approximation.
+//!
+//! Circuits follow the paper's Fig. 1 exactly: qubits are processed from
+//! most significant to least; each receives a Hadamard followed by up to
+//! `d` controlled rotations `R_l = CP(2π/2^l)` controlled by the next
+//! lower qubits. **No terminal SWAP network is appended** — the output
+//! is in the standard bit-reversed Fourier-basis convention, which is
+//! what the Draper adder construction in [`crate::adder`] expects:
+//! after this transform, register qubit `t` (1-based) carries the phase
+//! `2π·(y mod 2^t)/2^t` on its `|1>` component.
+
+use crate::depth::AqftDepth;
+use qfab_circuit::{Circuit, Register};
+use std::f64::consts::PI;
+
+/// The rotation angle of the paper's `R_l` gate: `2π / 2^l`.
+pub fn rotation_angle(l: u32) -> f64 {
+    2.0 * PI / (1u64 << l) as f64
+}
+
+/// Builds the (A)QFT over `register` inside a circuit of `num_qubits`
+/// total qubits.
+pub fn aqft_on(num_qubits: u32, register: &Register, depth: AqftDepth) -> Circuit {
+    let m = register.len();
+    let cap = depth.cap(m);
+    let mut c = Circuit::with_capacity(
+        num_qubits,
+        m as usize + depth.rotation_count(m),
+    );
+    // Paper Fig. 1: start with the most significant qubit y_m.
+    for t in (1..=m).rev() {
+        c.h(register.qubit(t - 1));
+        // Rotations R_2 … R_{min(t, cap+1)}, controlled by the qubit
+        // l−1 places below the target.
+        for l in 2..=t.min(cap + 1) {
+            c.cphase(
+                rotation_angle(l),
+                register.qubit(t - l),
+                register.qubit(t - 1),
+            );
+        }
+    }
+    c
+}
+
+/// The (A)QFT over a standalone `m`-qubit register.
+pub fn aqft(m: u32, depth: AqftDepth) -> Circuit {
+    aqft_on(m, &Register::new("y", 0, m), depth)
+}
+
+/// The inverse (A)QFT over `register`.
+pub fn aqft_inverse_on(num_qubits: u32, register: &Register, depth: AqftDepth) -> Circuit {
+    aqft_on(num_qubits, register, depth).inverse()
+}
+
+/// The inverse (A)QFT over a standalone `m`-qubit register.
+pub fn aqft_inverse(m: u32, depth: AqftDepth) -> Circuit {
+    aqft(m, depth).inverse()
+}
+
+/// The (A)QFT with a terminal SWAP network, producing the
+/// natural-order (non-bit-reversed) Fourier coefficients:
+/// amplitude of `|k>` is `e^{2πi·y·k/2^m}/√2^m`.
+///
+/// The arithmetic circuits never need this (the Draper adder works in
+/// the bit-reversed convention and saves `⌊m/2⌋` SWAPs ≙ `3⌊m/2⌋` CX),
+/// but phase-estimation-style callers do.
+pub fn aqft_natural_order(m: u32, depth: AqftDepth) -> Circuit {
+    let mut c = aqft(m, depth);
+    for q in 0..m / 2 {
+        c.swap(q, m - 1 - q);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfab_math::approx::approx_eq_slice;
+    use qfab_math::bits::dim;
+    use qfab_math::complex::Complex64;
+    use qfab_sim::StateVector;
+
+    const TOL: f64 = 1e-10;
+
+    /// The mathematical QFT in the paper's bit-reversed circuit
+    /// convention: qubit t (1-based) carries phase 2π (y mod 2^t)/2^t.
+    /// Equivalently, amplitude of output index k is
+    /// (1/√N)·e^{2πi·y·rev(k)/N} where rev is an m-bit reversal.
+    fn reference_qft_state(m: u32, y: usize) -> Vec<Complex64> {
+        let n = dim(m);
+        let norm = 1.0 / (n as f64).sqrt();
+        (0..n)
+            .map(|k| {
+                let krev = qfab_math::bits::reverse_bits(k, m);
+                Complex64::cis(2.0 * PI * (y as f64) * (krev as f64) / n as f64).scale(norm)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_qft_matches_reference_for_every_basis_state() {
+        for m in 1..=5u32 {
+            let circuit = aqft(m, AqftDepth::Full);
+            for y in 0..dim(m) {
+                let mut s = StateVector::basis_state(m, y);
+                s.apply_circuit(&circuit);
+                let expect = reference_qft_state(m, y);
+                assert!(
+                    approx_eq_slice(s.amplitudes(), &expect, TOL),
+                    "QFT({m}) wrong on |{y}>"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qft_gate_budget_matches_paper_formula() {
+        // Full QFT on m qubits: m Hadamards + m(m−1)/2 rotations.
+        for m in 1..=9u32 {
+            let c = aqft(m, AqftDepth::Full);
+            let counts = c.counts();
+            assert_eq!(counts.named("h"), m as usize);
+            assert_eq!(counts.named("cp"), (m as usize * (m as usize - 1)) / 2);
+        }
+    }
+
+    #[test]
+    fn aqft_rotation_counts() {
+        for m in 2..=9u32 {
+            for d in 1..m {
+                let c = aqft(m, AqftDepth::Limited(d));
+                assert_eq!(
+                    c.counts().named("cp"),
+                    AqftDepth::Limited(d).rotation_count(m),
+                    "m={m}, d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_qubit_rotation_cap_is_respected() {
+        let m = 8;
+        let d = 3;
+        let c = aqft(m, AqftDepth::Limited(d));
+        let mut rot_per_target = vec![0u32; m as usize];
+        for g in c.gates() {
+            if let qfab_circuit::Gate::Cphase { target, .. } = g {
+                rot_per_target[*target as usize] += 1;
+            }
+        }
+        for (q, &r) in rot_per_target.iter().enumerate() {
+            assert!(r <= d, "target qubit {q} has {r} rotations, cap {d}");
+            // Qubit q (0-based) can host at most q rotations.
+            assert_eq!(r, d.min(q as u32));
+        }
+    }
+
+    #[test]
+    fn inverse_undoes_qft() {
+        let m = 6;
+        for depth in [AqftDepth::Full, AqftDepth::Limited(2)] {
+            let f = aqft(m, depth);
+            let b = aqft_inverse(m, depth);
+            let mut s = StateVector::basis_state(m, 45);
+            s.apply_circuit(&f);
+            s.apply_circuit(&b);
+            assert!((s.probability(45) - 1.0).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn aqft_approaches_qft_as_depth_grows() {
+        // Fidelity of AQFT output with exact QFT output increases in d.
+        let m = 7;
+        let y = 93usize;
+        let exact = reference_qft_state(m, y);
+        let exact_sv = StateVector::from_amplitudes(m, exact);
+        let mut last = 0.0;
+        for d in 1..m {
+            let mut s = StateVector::basis_state(m, y);
+            s.apply_circuit(&aqft(m, AqftDepth::Limited(d)));
+            let f = s.fidelity(&exact_sv);
+            assert!(
+                f >= last - 1e-9,
+                "fidelity not monotone at d={d}: {f} < {last}"
+            );
+            last = f;
+        }
+        assert!((last - 1.0).abs() < TOL, "d=m−1 must be exact, got {last}");
+    }
+
+    #[test]
+    fn aqft_depth1_is_hadamards_only() {
+        let c = aqft(5, AqftDepth::Limited(1));
+        // d = 1 in the per-qubit-cap convention keeps R_2 on each qubit
+        // except the lowest — 4 rotations on 5 qubits.
+        assert_eq!(c.counts().named("cp"), 4);
+        assert_eq!(c.counts().named("h"), 5);
+    }
+
+    #[test]
+    fn aqft_on_subregister_leaves_rest_alone() {
+        let reg = Register::new("y", 2, 3);
+        let c = aqft_on(6, &reg, AqftDepth::Full);
+        for g in c.gates() {
+            for &q in g.qubits().as_slice() {
+                assert!((2..5).contains(&q), "gate {g} leaves the register");
+            }
+        }
+        assert_eq!(c.num_qubits(), 6);
+    }
+
+    #[test]
+    fn rotation_angle_values() {
+        assert!((rotation_angle(1) - PI).abs() < 1e-15);
+        assert!((rotation_angle(2) - PI / 2.0).abs() < 1e-15);
+        assert!((rotation_angle(3) - PI / 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn natural_order_qft_matches_unreversed_dft() {
+        // With the terminal swaps, amplitude of |k> is e^{2πi yk/N}/√N.
+        for m in 2..=5u32 {
+            let circuit = aqft_natural_order(m, AqftDepth::Full);
+            let n = dim(m);
+            for y in [1usize, n / 2, n - 1] {
+                let mut s = StateVector::basis_state(m, y);
+                s.apply_circuit(&circuit);
+                let norm = 1.0 / (n as f64).sqrt();
+                let expect: Vec<Complex64> = (0..n)
+                    .map(|k| {
+                        Complex64::cis(2.0 * PI * (y as f64) * (k as f64) / n as f64)
+                            .scale(norm)
+                    })
+                    .collect();
+                assert!(
+                    approx_eq_slice(s.amplitudes(), &expect, TOL),
+                    "natural-order QFT({m}) wrong on |{y}>"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qft_of_uniform_superposition_is_basis_state() {
+        // QFT maps the uniform superposition (y-sum) back to |0…0>:
+        // actually QFT|+…+> = |0> since |+…+> = QFT|0> and QFT·QFT =
+        // bit-reversal·parity — use inverse for the clean statement:
+        // QFT⁻¹ applied to |+…+> gives |0>.
+        let m = 4;
+        let mut s = StateVector::zero_state(m);
+        let mut h_all = Circuit::new(m);
+        for q in 0..m {
+            h_all.h(q);
+        }
+        s.apply_circuit(&h_all);
+        s.apply_circuit(&aqft_inverse(m, AqftDepth::Full));
+        assert!((s.probability(0) - 1.0).abs() < TOL);
+    }
+}

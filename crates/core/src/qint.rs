@@ -1,0 +1,235 @@
+//! Quantum integers ("qintegers").
+//!
+//! The paper defines an order-`j` qinteger as a superposition of `j`
+//! unique integer states with nonzero amplitude. Its experiments use
+//! *uniform* superpositions over randomly drawn distinct values, which
+//! is what [`Qinteger`] models (general amplitude profiles can always be
+//! built directly through [`qfab_sim::StateVector::from_sparse`]).
+
+use qfab_math::complex::Complex64;
+use qfab_math::frac::{decode_twos_complement, encode_twos_complement};
+use qfab_math::rng::Xoshiro256StarStar;
+
+/// A uniform superposition of distinct integer values on a register of
+/// `width` qubits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Qinteger {
+    width: u32,
+    values: Vec<usize>,
+}
+
+impl Qinteger {
+    /// A classical (order-1) qinteger.
+    pub fn classical(width: u32, value: usize) -> Self {
+        Self::new(width, vec![value])
+    }
+
+    /// A uniform superposition of the given distinct values.
+    pub fn new(width: u32, values: Vec<usize>) -> Self {
+        assert!(width >= 1 && width <= 63, "width out of range");
+        assert!(!values.is_empty(), "qinteger needs at least one value");
+        let limit = 1usize << width;
+        for &v in &values {
+            assert!(v < limit, "value {v} does not fit in {width} bits");
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), values.len(), "qinteger values must be distinct");
+        Self { width, values }
+    }
+
+    /// A signed qinteger: values encoded in two's complement.
+    pub fn from_signed(width: u32, values: &[i64]) -> Self {
+        let encoded = values
+            .iter()
+            .map(|&v| {
+                encode_twos_complement(v, width)
+                    .unwrap_or_else(|| panic!("{v} does not fit in {width} signed bits"))
+            })
+            .collect();
+        Self::new(width, encoded)
+    }
+
+    /// Draws an order-`order` qinteger with distinct values uniform in
+    /// `[0, max_exclusive)`.
+    pub fn random(
+        width: u32,
+        order: usize,
+        max_exclusive: usize,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Self {
+        assert!(order >= 1, "order must be at least 1");
+        assert!(
+            max_exclusive >= order,
+            "cannot draw {order} distinct values below {max_exclusive}"
+        );
+        assert!(
+            max_exclusive <= 1usize << width,
+            "value bound exceeds register capacity"
+        );
+        let mut values = Vec::with_capacity(order);
+        while values.len() < order {
+            let v = rng.next_bounded(max_exclusive as u64) as usize;
+            if !values.contains(&v) {
+                values.push(v);
+            }
+        }
+        Self::new(width, values)
+    }
+
+    /// Register width in qubits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The paper's order of superposition.
+    pub fn order(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The superposed values (insertion order).
+    pub fn values(&self) -> &[usize] {
+        &self.values
+    }
+
+    /// The signed interpretations of the values (two's complement).
+    pub fn signed_values(&self) -> Vec<i64> {
+        self.values
+            .iter()
+            .map(|&v| decode_twos_complement(v, self.width))
+            .collect()
+    }
+
+    /// The uniform amplitude each value carries.
+    pub fn amplitude(&self) -> Complex64 {
+        Complex64::from_real(1.0 / (self.order() as f64).sqrt())
+    }
+
+    /// Sparse register-local state entries `(value, amplitude)`.
+    pub fn sparse_entries(&self) -> Vec<(usize, Complex64)> {
+        let amp = self.amplitude();
+        self.values.iter().map(|&v| (v, amp)).collect()
+    }
+}
+
+/// Tensor product of register-local sparse states into full-circuit
+/// sparse entries: `parts[i]` lives on register `i` of `registers`, and
+/// the output enumerates every combination.
+pub fn product_state(
+    registers: &[&qfab_circuit::Register],
+    parts: &[&Qinteger],
+) -> Vec<(usize, Complex64)> {
+    assert_eq!(registers.len(), parts.len(), "register/part count mismatch");
+    for (reg, part) in registers.iter().zip(parts) {
+        assert_eq!(reg.len(), part.width(), "register width mismatch for {}", reg.name());
+    }
+    let mut acc: Vec<(usize, Complex64)> = vec![(0, Complex64::ONE)];
+    for (reg, part) in registers.iter().zip(parts) {
+        let mut next = Vec::with_capacity(acc.len() * part.order());
+        for &(idx, amp) in &acc {
+            for &(v, a) in &part.sparse_entries() {
+                next.push((reg.embed(v, idx), amp * a));
+            }
+        }
+        acc = next;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfab_circuit::Register;
+
+    #[test]
+    fn classical_qinteger() {
+        let q = Qinteger::classical(4, 9);
+        assert_eq!(q.order(), 1);
+        assert_eq!(q.values(), &[9]);
+        assert!((q.amplitude().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_two_amplitudes() {
+        let q = Qinteger::new(4, vec![3, 12]);
+        assert_eq!(q.order(), 2);
+        let amp = q.amplitude();
+        assert!((amp.re - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert_eq!(q.sparse_entries().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_values_rejected() {
+        Qinteger::new(4, vec![3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_rejected() {
+        Qinteger::new(3, vec![8]);
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        let q = Qinteger::from_signed(4, &[-3, 5]);
+        assert_eq!(q.values(), &[13, 5]);
+        assert_eq!(q.signed_values(), vec![-3, 5]);
+    }
+
+    #[test]
+    fn random_qintegers_are_distinct_and_bounded() {
+        let mut rng = Xoshiro256StarStar::new(9);
+        for _ in 0..100 {
+            let q = Qinteger::random(8, 2, 128, &mut rng);
+            assert_eq!(q.order(), 2);
+            assert_ne!(q.values()[0], q.values()[1]);
+            assert!(q.values().iter().all(|&v| v < 128));
+        }
+    }
+
+    #[test]
+    fn random_order_one() {
+        let mut rng = Xoshiro256StarStar::new(10);
+        let q = Qinteger::random(8, 1, 256, &mut rng);
+        assert_eq!(q.order(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn random_rejects_impossible_order() {
+        let mut rng = Xoshiro256StarStar::new(11);
+        let _ = Qinteger::random(2, 5, 4, &mut rng);
+    }
+
+    #[test]
+    fn product_state_enumerates_combinations() {
+        let x_reg = Register::new("x", 0, 3);
+        let y_reg = Register::new("y", 3, 4);
+        let x = Qinteger::new(3, vec![1, 2]);
+        let y = Qinteger::new(4, vec![5]);
+        let entries = product_state(&[&x_reg, &y_reg], &[&x, &y]);
+        assert_eq!(entries.len(), 2);
+        let expect_1 = y_reg.embed(5, x_reg.embed(1, 0));
+        let expect_2 = y_reg.embed(5, x_reg.embed(2, 0));
+        let indices: Vec<usize> = entries.iter().map(|e| e.0).collect();
+        assert!(indices.contains(&expect_1) && indices.contains(&expect_2));
+        // Norm is 1.
+        let norm: f64 = entries.iter().map(|e| e.1.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_state_order_2x2() {
+        let x_reg = Register::new("x", 0, 3);
+        let y_reg = Register::new("y", 3, 3);
+        let x = Qinteger::new(3, vec![0, 7]);
+        let y = Qinteger::new(3, vec![1, 6]);
+        let entries = product_state(&[&x_reg, &y_reg], &[&x, &y]);
+        assert_eq!(entries.len(), 4);
+        for (_, amp) in &entries {
+            assert!((amp.re - 0.5).abs() < 1e-12);
+        }
+    }
+}

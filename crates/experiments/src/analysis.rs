@@ -1,0 +1,210 @@
+//! Derived analyses backing the paper's discussion-section claims.
+//!
+//! * [`optimal_depths`] — per error rate, which AQFT depth wins (the
+//!   paper: "depths 2, 3 and 4 are the most common optima", clustering
+//!   near the Barenco heuristic `log2 n = 3` but varying with noise).
+//! * [`superposition_drop`] — the §V quantitative claim: moving 1:2 →
+//!   2:2 addition at the hardware-reference 2q rate (1.0%) costs over
+//!   50% accuracy, but only ≈3% at an improved 0.7% rate.
+
+use crate::runner::{run_panel, PanelResult};
+use crate::scale::Scale;
+use crate::sweep::{ErrorTarget, OpKind, PanelSpec};
+use qfab_core::AqftDepth;
+
+/// The winning depth at one error rate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptimalDepth {
+    /// Gate error rate (fraction).
+    pub rate: f64,
+    /// The depth with the highest success rate (ties broken toward
+    /// shallower depths, which cost fewer gates).
+    pub depth: AqftDepth,
+    /// Its success rate (percent).
+    pub success_pct: f64,
+}
+
+/// Extracts the optimal depth per error rate from a finished panel.
+pub fn optimal_depths(result: &PanelResult) -> Vec<OptimalDepth> {
+    let spec = &result.spec;
+    spec.rates
+        .iter()
+        .enumerate()
+        .map(|(ri, &rate)| {
+            let mut best: Option<(usize, f64)> = None;
+            for di in 0..spec.depths.len() {
+                let pct = result.point(ri, di).stats.success_rate_pct;
+                let better = match best {
+                    None => true,
+                    Some((_, b)) => pct > b + 1e-12,
+                };
+                if better {
+                    best = Some((di, pct));
+                }
+            }
+            let (di, pct) = best.expect("panel has at least one depth");
+            OptimalDepth { rate, depth: spec.depths[di], success_pct: pct }
+        })
+        .collect()
+}
+
+/// Renders the optimal-depth summary for a panel.
+pub fn format_optimal_depths(result: &PanelResult) -> String {
+    let mut s = format!("Optimal AQFT depth per error rate — {}\n", result.spec.id);
+    let heuristic = AqftDepth::barenco_heuristic(result.spec.m);
+    s.push_str(&format!(
+        "(Barenco heuristic for this register: d = log2 m = {})\n",
+        heuristic.paper_label()
+    ));
+    for o in optimal_depths(result) {
+        s.push_str(&format!(
+            "  rate {:>7.3}%  ->  d = {:<4}  ({:.1}% success)\n",
+            o.rate * 100.0,
+            o.depth.paper_label(),
+            o.success_pct
+        ));
+    }
+    s
+}
+
+/// The §V superposition-drop experiment result.
+#[derive(Clone, Debug)]
+pub struct SuperpositionDrop {
+    /// 2q error rate (fraction).
+    pub rate: f64,
+    /// Success at 1:2 (percent), at the optimal depth for that cell.
+    pub success_12: f64,
+    /// Success at 2:2 (percent), at the optimal depth for that cell.
+    pub success_22: f64,
+}
+
+impl SuperpositionDrop {
+    /// The accuracy drop 1:2 → 2:2 in percentage points.
+    pub fn drop_points(&self) -> f64 {
+        self.success_12 - self.success_22
+    }
+}
+
+/// Runs the targeted §V comparison: QFA at 2q rates 1.0% and 0.7%,
+/// superposition 1:2 vs 2:2, reporting the best depth per cell.
+pub fn superposition_drop(scale: Scale, seed: u64) -> Vec<SuperpositionDrop> {
+    superposition_drop_at(scale, seed, &[0.010, 0.007, 0.014, 0.020, 0.028])
+}
+
+/// [`superposition_drop`] over an explicit 2q rate grid (the default
+/// includes the paper's 1.0%/0.7% pair plus higher rates, since the
+/// reproduction's absolute success levels sit above the paper's and
+/// the drop regime appears at roughly twice the rate).
+pub fn superposition_drop_at(
+    scale: Scale,
+    seed: u64,
+    rates: &[f64],
+) -> Vec<SuperpositionDrop> {
+    let rates = rates.to_vec();
+    let depths = vec![
+        AqftDepth::Limited(2),
+        AqftDepth::Limited(3),
+        AqftDepth::Limited(4),
+        AqftDepth::Full,
+    ];
+    let mut spec_12 = PanelSpec {
+        id: "drop12",
+        title: "QFA 1:2 targeted".into(),
+        op: OpKind::Add,
+        n: 7,
+        m: 8,
+        order_x: 1,
+        order_y: 2,
+        error_target: ErrorTarget::TwoQubit,
+        rates: rates.clone(),
+        depths: depths.clone(),
+        reference_rate: 0.010,
+    };
+    let mut spec_22 = spec_12.clone();
+    spec_22.id = "drop22";
+    spec_22.title = "QFA 2:2 targeted".into();
+    spec_22.order_x = 2;
+    spec_12.depths = depths.clone();
+    spec_22.depths = depths;
+
+    let r12 = run_panel(&spec_12, scale, seed, |_, _| {});
+    let r22 = run_panel(&spec_22, scale, seed, |_, _| {});
+    let best12 = optimal_depths(&r12);
+    let best22 = optimal_depths(&r22);
+    rates
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| SuperpositionDrop {
+            rate,
+            success_12: best12[i].success_pct,
+            success_22: best22[i].success_pct,
+        })
+        .collect()
+}
+
+/// Renders the superposition-drop comparison.
+pub fn format_superposition_drop(drops: &[SuperpositionDrop]) -> String {
+    let mut s = String::from(
+        "Superposition drop (QFA n=8, optimal depth per cell) — paper §V:\n\
+         \"over a 50% drop at the current 2q rate (~1%), only ~3% at 0.7%\"\n",
+    );
+    for d in drops {
+        s.push_str(&format!(
+            "  2q rate {:>5.2}%:  1:2 {:>6.1}%  ->  2:2 {:>6.1}%   (drop {:>5.1} points)\n",
+            d.rate * 100.0,
+            d.success_12,
+            d.success_22,
+            d.drop_points()
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_panel_result() -> PanelResult {
+        let spec = PanelSpec {
+            id: "opt",
+            title: "tiny".into(),
+            op: OpKind::Add,
+            n: 3,
+            m: 4,
+            order_x: 1,
+            order_y: 1,
+            error_target: ErrorTarget::TwoQubit,
+            rates: vec![0.0, 0.3],
+            depths: vec![AqftDepth::Limited(1), AqftDepth::Full],
+            reference_rate: 0.3,
+        };
+        run_panel(&spec, Scale { instances: 3, shots: 64 }, 4, |_, _| {})
+    }
+
+    #[test]
+    fn optimal_depth_per_rate() {
+        let r = tiny_panel_result();
+        let opt = optimal_depths(&r);
+        assert_eq!(opt.len(), 2);
+        // At zero noise on order-1 operands, everything succeeds; the
+        // tie must break toward the shallower depth.
+        assert_eq!(opt[0].depth, AqftDepth::Limited(1));
+        assert_eq!(opt[0].success_pct, 100.0);
+    }
+
+    #[test]
+    fn formatting_mentions_heuristic() {
+        let r = tiny_panel_result();
+        let s = format_optimal_depths(&r);
+        assert!(s.contains("Barenco"));
+        assert!(s.contains("d ="));
+    }
+
+    #[test]
+    fn drop_points_arithmetic() {
+        let d = SuperpositionDrop { rate: 0.01, success_12: 80.0, success_22: 30.0 };
+        assert!((d.drop_points() - 50.0).abs() < 1e-12);
+        let s = format_superposition_drop(&[d]);
+        assert!(s.contains("drop  50.0 points"));
+    }
+}

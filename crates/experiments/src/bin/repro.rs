@@ -1,0 +1,276 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro list                        # what can be regenerated
+//! repro table1                      # Table I gate counts (exact match)
+//! repro fig1a [options]             # one panel
+//! repro fig1 | fig2 | all [options] # panel groups
+//! repro optimal-depth [options]     # §IV optimal-depth summary
+//! repro superposition-drop [opts]   # §V quantitative claim
+//!
+//! options:
+//!   --scale quick|default|paper   preset instance/shot counts
+//!   --instances N                 override instance count
+//!   --shots N                     override shots per instance
+//!   --seed N                      root seed (default 20220513)
+//!   --out DIR                     also write <id>.txt / <id>.csv
+//! ```
+
+use qfab_experiments::analysis::{
+    format_optimal_depths, format_superposition_drop, superposition_drop,
+};
+use qfab_experiments::report::{format_panel, write_panel};
+use qfab_experiments::scale::OpCost;
+use qfab_experiments::sweep::panel_by_id;
+use qfab_experiments::table1::{format_table1, run_table1};
+use qfab_experiments::{fig1_panels, fig2_panels, run_panel, OpKind, PanelSpec, Scale};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const DEFAULT_SEED: u64 = 20220513;
+
+struct Options {
+    scale_name: String,
+    instances: Option<usize>,
+    shots: Option<u64>,
+    seed: u64,
+    out: Option<PathBuf>,
+}
+
+impl Options {
+    fn scale_for(&self, op: OpKind) -> Scale {
+        let cost = match op {
+            OpKind::Add => OpCost::Adder,
+            OpKind::Mul => OpCost::Multiplier,
+        };
+        let mut scale = match self.scale_name.as_str() {
+            "quick" => Scale::quick_for(cost),
+            "default" => Scale::default_for(cost),
+            "paper" => Scale::paper(),
+            other => {
+                eprintln!("unknown scale '{other}', using default");
+                Scale::default_for(cost)
+            }
+        };
+        if let Some(i) = self.instances {
+            scale.instances = i;
+        }
+        if let Some(s) = self.shots {
+            scale.shots = s;
+        }
+        scale
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        scale_name: "quick".to_string(),
+        instances: None,
+        shots: None,
+        seed: DEFAULT_SEED,
+        out: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1).ok_or_else(|| format!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--scale" => {
+                opts.scale_name = need_value(i)?.clone();
+                i += 2;
+            }
+            "--instances" => {
+                opts.instances =
+                    Some(need_value(i)?.parse().map_err(|e| format!("--instances: {e}"))?);
+                i += 2;
+            }
+            "--shots" => {
+                opts.shots = Some(need_value(i)?.parse().map_err(|e| format!("--shots: {e}"))?);
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = need_value(i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+                i += 2;
+            }
+            "--out" => {
+                opts.out = Some(PathBuf::from(need_value(i)?));
+                i += 2;
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_one(spec: &PanelSpec, opts: &Options) {
+    let scale = opts.scale_for(spec.op);
+    eprintln!(
+        "running {} at {} instances x {} shots ...",
+        spec.id, scale.instances, scale.shots
+    );
+    let result = run_panel(spec, scale, opts.seed, |done, total| {
+        eprint!("\r  instance {done}/{total}");
+        if done == total {
+            eprintln!();
+        }
+    });
+    println!("{}", format_panel(&result));
+    if let Some(dir) = &opts.out {
+        match write_panel(dir, &result) {
+            Ok(()) => eprintln!("wrote {}/{}.{{txt,csv}}", dir.display(), spec.id),
+            Err(e) => eprintln!("failed writing outputs: {e}"),
+        }
+    }
+}
+
+fn list() {
+    println!("available experiments:");
+    println!("  table1               Table I transpiled gate counts (exact reproduction)");
+    for p in fig1_panels().into_iter().chain(fig2_panels()) {
+        println!("  {:<20} {}", p.id, p.title);
+    }
+    println!("  fig1                 all six QFA panels");
+    println!("  fig2                 all six QFM panels");
+    println!("  all                  table1 + every panel");
+    println!("  optimal-depth        per-rate winning depth (paper SIV)");
+    println!("  superposition-drop   1:2 vs 2:2 at 1.0%/0.7% 2q error (paper SV)");
+    println!("  dump qfa|qfm|qft <depth|full> [--basis logical|cx|ibm] [--qasm]");
+    println!("                       print a circuit (diagram or OpenQASM)");
+}
+
+fn dump(args: &[String]) -> Result<(), String> {
+    use qfab_core::AqftDepth;
+    let kind = args.first().ok_or("dump needs a circuit kind (qfa|qfm|qft)")?;
+    let depth_arg = args.get(1).ok_or("dump needs a depth (number or 'full')")?;
+    let depth = if depth_arg == "full" {
+        AqftDepth::Full
+    } else {
+        AqftDepth::Limited(depth_arg.parse().map_err(|e| format!("bad depth: {e}"))?)
+    };
+    let mut basis: Option<qfab_transpile::Basis> = None;
+    let mut qasm = false;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--basis" => {
+                basis = match args.get(i + 1).map(String::as_str) {
+                    Some("logical") => None,
+                    Some("cx") => Some(qfab_transpile::Basis::CxPlus1q),
+                    Some("ibm") => Some(qfab_transpile::Basis::Ibm),
+                    other => return Err(format!("unknown basis {other:?}")),
+                };
+                i += 2;
+            }
+            "--qasm" => {
+                qasm = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown dump option '{other}'")),
+        }
+    }
+    let circuit = match kind.as_str() {
+        "qfa" => qfab_core::qfa(7, 8, depth).circuit,
+        "qfm" => qfab_core::qfm(4, 4, depth).circuit,
+        "qft" => qfab_core::aqft(8, depth),
+        other => return Err(format!("unknown circuit kind '{other}'")),
+    };
+    let circuit = match basis {
+        Some(b) => qfab_transpile::transpile(&circuit, b),
+        None => circuit,
+    };
+    if qasm {
+        print!("{}", qfab_circuit::qasm::to_qasm(&circuit));
+    } else {
+        let counts = circuit.counts();
+        println!(
+            "{kind} at depth {}: {} gates ({counts}), depth {}",
+            depth.paper_label(),
+            circuit.len(),
+            circuit.depth()
+        );
+        println!("{}", qfab_circuit::diagram::render(&circuit));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        list();
+        return ExitCode::SUCCESS;
+    };
+    if command == "dump" {
+        return match dump(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let opts = match parse_options(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match command.as_str() {
+        "list" => list(),
+        "table1" => {
+            let entries = run_table1();
+            print!("{}", format_table1(&entries));
+            if entries.iter().any(|e| !e.matches()) {
+                eprintln!("WARNING: some entries deviate from the paper");
+                return ExitCode::FAILURE;
+            }
+        }
+        "fig1" => {
+            for spec in fig1_panels() {
+                run_one(&spec, &opts);
+            }
+        }
+        "fig2" => {
+            for spec in fig2_panels() {
+                run_one(&spec, &opts);
+            }
+        }
+        "all" => {
+            print!("{}", format_table1(&run_table1()));
+            println!();
+            for spec in fig1_panels().into_iter().chain(fig2_panels()) {
+                run_one(&spec, &opts);
+            }
+        }
+        "optimal-depth" => {
+            // The depth question is most interesting where noise bites:
+            // the 2:2 2q-error panels of both figures.
+            for id in ["fig1f", "fig2f"] {
+                let spec = panel_by_id(id).expect("known panel");
+                let scale = opts.scale_for(spec.op);
+                eprintln!("running {} for the optimal-depth summary ...", spec.id);
+                let result = run_panel(&spec, scale, opts.seed, |_, _| {});
+                println!("{}", format_optimal_depths(&result));
+            }
+        }
+        "superposition-drop" => {
+            let scale = opts.scale_for(OpKind::Add);
+            eprintln!(
+                "running targeted 1:2 / 2:2 comparison at {} instances x {} shots ...",
+                scale.instances, scale.shots
+            );
+            let drops = superposition_drop(scale, opts.seed);
+            println!("{}", format_superposition_drop(&drops));
+        }
+        id => match panel_by_id(id) {
+            Some(spec) => run_one(&spec, &opts),
+            None => {
+                eprintln!("unknown experiment '{id}' (try 'repro list')");
+                return ExitCode::FAILURE;
+            }
+        },
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Workload generation, parameter sweeps, and the paper-reproduction
+//! harness.
+//!
+//! Each table/figure of the paper maps to a runnable experiment:
+//!
+//! | experiment | paper artifact | entry point |
+//! |---|---|---|
+//! | gate counts | Table I | [`table1::run_table1`] |
+//! | QFA success sweeps | Fig. 1 (a)–(f) | [`sweep::fig1_panels`] + [`runner::run_panel`] |
+//! | QFM success sweeps | Fig. 2 (a)–(f) | [`sweep::fig2_panels`] + [`runner::run_panel`] |
+//! | optimal-depth summary | §IV discussion | [`analysis::optimal_depths`] |
+//! | superposition drop | §V quantitative claim | [`analysis::superposition_drop`] |
+//!
+//! The `repro` binary drives all of them and writes aligned text tables
+//! plus CSV files.
+//!
+//! Scale: the paper uses 200 instances × 2048 shots per point. That is
+//! available (`Scale::paper()`), but the default scales are reduced so a
+//! laptop-class machine regenerates every figure in minutes; the
+//! success-rate estimator is unbiased at any scale — only the error
+//! bars widen.
+
+pub mod analysis;
+pub mod report;
+pub mod runner;
+pub mod scale;
+pub mod sweep;
+pub mod table1;
+pub mod workload;
+
+pub use runner::{run_panel, PanelResult, PointResult};
+pub use scale::Scale;
+pub use sweep::{fig1_panels, fig2_panels, ErrorTarget, OpKind, PanelSpec};

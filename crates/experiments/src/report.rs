@@ -1,0 +1,212 @@
+//! Result rendering: aligned text tables and CSV.
+
+use crate::runner::PanelResult;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Renders a panel as an aligned text table: one row per error rate,
+/// one column per AQFT depth, each cell `success% (↓lower/↑upper)`.
+pub fn format_panel(result: &PanelResult) -> String {
+    let spec = &result.spec;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{} — {} [{} instances × {} shots, seed {}] ({:.1}s)",
+        spec.id,
+        spec.title,
+        result.scale.instances,
+        result.scale.shots,
+        result.seed,
+        result.elapsed_secs
+    );
+    let _ = write!(s, "{:>9} |", "err rate");
+    for d in &spec.depths {
+        let _ = write!(s, " {:>18} |", format!("d={}", d.paper_label()));
+    }
+    s.push('\n');
+    let width = 11 + spec.depths.len() * 21;
+    s.push_str(&"-".repeat(width));
+    s.push('\n');
+    for (ri, &rate) in spec.rates.iter().enumerate() {
+        let marker = if (rate - spec.reference_rate).abs() < 1e-12 {
+            "*"
+        } else {
+            " "
+        };
+        let _ = write!(s, "{:>7.3}%{} |", rate * 100.0, marker);
+        for di in 0..spec.depths.len() {
+            let st = &result.point(ri, di).stats;
+            let _ = write!(
+                s,
+                " {:>6.1}% (↓{:>2.0}/↑{:>2.0}) |",
+                st.success_rate_pct, st.lower_bar_pct, st.upper_bar_pct
+            );
+        }
+        s.push('\n');
+    }
+    s.push_str("(* = IBM hardware reference rate; ↓/↑ = % of instances within 1σ of the\n");
+    s.push_str(" success/failure threshold — the paper's error-bar statistic)\n");
+    s
+}
+
+/// Renders a panel as an ASCII chart: success rate (y, 0–100%) against
+/// the error-rate grid (x), one symbol per AQFT depth series — a quick
+/// visual of the figure's shape without leaving the terminal.
+pub fn format_panel_chart(result: &PanelResult) -> String {
+    const ROWS: usize = 11; // 0%, 10%, …, 100%
+    let spec = &result.spec;
+    let n_rates = spec.rates.len();
+    let col_width = 6;
+    let symbols: Vec<char> = spec
+        .depths
+        .iter()
+        .map(|d| match d.paper_label().as_str() {
+            "full" => 'F',
+            other => other.chars().next().unwrap_or('?'),
+        })
+        .collect();
+
+    // grid[row][col]: row 0 = 100%.
+    let mut grid = vec![vec![' '; n_rates * col_width]; ROWS];
+    for (ri, _) in spec.rates.iter().enumerate() {
+        for (di, _) in spec.depths.iter().enumerate() {
+            let pct = result.point(ri, di).stats.success_rate_pct;
+            let row = ROWS - 1 - ((pct / 100.0 * (ROWS - 1) as f64).round() as usize);
+            // Spread depth series horizontally within the rate's column
+            // block, like the paper's clustered points.
+            let col = ri * col_width + 1 + di.min(col_width - 2);
+            let cell = &mut grid[row][col];
+            *cell = if *cell == ' ' { symbols[di] } else { '*' };
+        }
+    }
+
+    let mut s = format!("{} — success rate vs error rate\n", spec.id);
+    for (row, line) in grid.iter().enumerate() {
+        let pct = 100 - row * 10;
+        s.push_str(&format!("{pct:>4}% |"));
+        s.extend(line.iter());
+        s.push('\n');
+    }
+    s.push_str("      +");
+    s.push_str(&"-".repeat(n_rates * col_width));
+    s.push('\n');
+    s.push_str("       ");
+    for &rate in &spec.rates {
+        s.push_str(&format!("{:<width$}", format!("{:.2}%", rate * 100.0), width = col_width));
+    }
+    s.push('\n');
+    s.push_str("  series: ");
+    for (d, sym) in spec.depths.iter().zip(&symbols) {
+        s.push_str(&format!("{sym}=d{}  ", d.paper_label()));
+    }
+    s.push_str("*=overlap\n");
+    s
+}
+
+/// Renders a panel as CSV: `rate,depth,success_pct,lower_pct,upper_pct,\
+/// gap_mean,gap_sigma,instances,shots`.
+pub fn panel_csv(result: &PanelResult) -> String {
+    let mut s = String::from(
+        "rate,depth,success_pct,lower_bar_pct,upper_bar_pct,gap_mean,gap_sigma,instances,shots\n",
+    );
+    for p in &result.points {
+        let _ = writeln!(
+            s,
+            "{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{},{}",
+            p.rate,
+            p.depth.paper_label(),
+            p.stats.success_rate_pct,
+            p.stats.lower_bar_pct,
+            p.stats.upper_bar_pct,
+            p.stats.gap_mean,
+            p.stats.gap_sigma,
+            p.stats.instances,
+            result.scale.shots
+        );
+    }
+    s
+}
+
+/// Writes `<id>.txt` (table + ASCII chart) and `<id>.csv` into `dir`
+/// (created if missing).
+pub fn write_panel(dir: &Path, result: &PanelResult) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let text = format!("{}\n{}", format_panel(result), format_panel_chart(result));
+    std::fs::write(dir.join(format!("{}.txt", result.spec.id)), text)?;
+    std::fs::write(dir.join(format!("{}.csv", result.spec.id)), panel_csv(result))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_panel;
+    use crate::scale::Scale;
+    use crate::sweep::{ErrorTarget, OpKind, PanelSpec};
+    use qfab_core::AqftDepth;
+
+    fn tiny_result() -> PanelResult {
+        let spec = PanelSpec {
+            id: "testpanel",
+            title: "tiny".into(),
+            op: OpKind::Add,
+            n: 2,
+            m: 3,
+            order_x: 1,
+            order_y: 1,
+            error_target: ErrorTarget::TwoQubit,
+            rates: vec![0.0, 0.01],
+            depths: vec![AqftDepth::Limited(1), AqftDepth::Full],
+            reference_rate: 0.01,
+        };
+        run_panel(&spec, Scale { instances: 2, shots: 32 }, 1, |_, _| {})
+    }
+
+    #[test]
+    fn text_table_structure() {
+        let r = tiny_result();
+        let s = format_panel(&r);
+        assert!(s.contains("testpanel"));
+        assert!(s.contains("d=1"));
+        assert!(s.contains("d=full"));
+        assert!(s.contains("0.000%"));
+        assert!(s.contains("1.000%*"), "reference marker missing:\n{s}");
+    }
+
+    #[test]
+    fn chart_renders_axes_and_series() {
+        let r = tiny_result();
+        let chart = format_panel_chart(&r);
+        assert!(chart.contains("100% |"));
+        assert!(chart.contains("   0% |"));
+        assert!(chart.contains("1=d1"));
+        assert!(chart.contains("F=dfull"));
+        assert!(chart.contains("0.00%"));
+        assert!(chart.contains("1.00%"));
+        // The noiseless full-depth point sits on the 100% row.
+        let top_row = chart.lines().find(|l| l.starts_with(" 100% |")).unwrap();
+        assert!(top_row.contains('F') || top_row.contains('*'));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let r = tiny_result();
+        let csv = panel_csv(&r);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 4); // header + 2 rates × 2 depths
+        assert!(lines[0].starts_with("rate,depth,success_pct"));
+        assert!(lines[1].starts_with("0,1,"));
+    }
+
+    #[test]
+    fn write_panel_creates_files() {
+        let r = tiny_result();
+        let dir = std::env::temp_dir().join("qfab_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_panel(&dir, &r).unwrap();
+        assert!(dir.join("testpanel.txt").exists());
+        assert!(dir.join("testpanel.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,245 @@
+//! Panel execution.
+//!
+//! One panel = one ensemble of instances × a grid of (error rate ×
+//! AQFT depth) cells. The expensive artifact — the noiseless
+//! checkpointed simulation of an instance at a given depth — is built
+//! once per (instance, depth) and shared across every error rate, and
+//! instances run in parallel under rayon (a no-op on one core,
+//! deterministic on any number of cores by stream-seeded RNGs).
+
+use crate::scale::Scale;
+use crate::sweep::{ErrorTarget, PanelSpec};
+use crate::workload::{ensemble_for, Ensemble};
+use qfab_core::{
+    metric::evaluate_instance, pipeline::PreparedInstance, AqftDepth, EnsembleStats,
+    InstanceOutcome, RunConfig,
+};
+use qfab_math::rng::Xoshiro256StarStar;
+use qfab_noise::NoiseModel;
+use rayon::prelude::*;
+
+/// One plotted point: a (rate, depth) cell's aggregate statistics.
+#[derive(Clone, Debug)]
+pub struct PointResult {
+    /// Gate error rate (fraction).
+    pub rate: f64,
+    /// AQFT depth.
+    pub depth: AqftDepth,
+    /// Aggregated success statistics.
+    pub stats: EnsembleStats,
+}
+
+/// A completed panel.
+#[derive(Clone, Debug)]
+pub struct PanelResult {
+    /// The panel definition.
+    pub spec: PanelSpec,
+    /// The scale it ran at.
+    pub scale: Scale,
+    /// The root seed.
+    pub seed: u64,
+    /// Every (rate, depth) point, rates outer, depths inner.
+    pub points: Vec<PointResult>,
+    /// Wall-clock seconds the panel took.
+    pub elapsed_secs: f64,
+}
+
+impl PanelResult {
+    /// The point for a given (rate index, depth index).
+    pub fn point(&self, rate_idx: usize, depth_idx: usize) -> &PointResult {
+        &self.points[rate_idx * self.spec.depths.len() + depth_idx]
+    }
+}
+
+fn model_for(target: ErrorTarget, rate: f64) -> NoiseModel {
+    if rate == 0.0 {
+        return NoiseModel::ideal();
+    }
+    match target {
+        ErrorTarget::OneQubit => NoiseModel::only_1q_depolarizing(rate),
+        ErrorTarget::TwoQubit => NoiseModel::only_2q_depolarizing(rate),
+    }
+}
+
+/// Runs a full panel at the given scale and seed.
+///
+/// `progress` is invoked after each completed instance with
+/// `(done, total)` — pass `|_, _| {}` to ignore.
+pub fn run_panel(
+    spec: &PanelSpec,
+    scale: Scale,
+    seed: u64,
+    progress: impl Fn(usize, usize) + Sync,
+) -> PanelResult {
+    let start = std::time::Instant::now();
+    let ensemble = ensemble_for(spec, seed, scale.instances);
+    let config = RunConfig { shots: scale.shots, ..RunConfig::default() };
+
+    // outcomes[instance][rate][depth]
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    let outcomes: Vec<Vec<Vec<InstanceOutcome>>> = (0..scale.instances)
+        .into_par_iter()
+        .map(|i| {
+            let result = run_instance_grid(spec, &ensemble, i, &config, seed);
+            let d = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            progress(d, scale.instances);
+            result
+        })
+        .collect();
+
+    let mut points = Vec::with_capacity(spec.rates.len() * spec.depths.len());
+    for (ri, &rate) in spec.rates.iter().enumerate() {
+        for (di, &depth) in spec.depths.iter().enumerate() {
+            let cell: Vec<InstanceOutcome> =
+                outcomes.iter().map(|per_inst| per_inst[ri][di]).collect();
+            points.push(PointResult {
+                rate,
+                depth,
+                stats: EnsembleStats::from_outcomes(&cell),
+            });
+        }
+    }
+    PanelResult {
+        spec: spec.clone(),
+        scale,
+        seed,
+        points,
+        elapsed_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs every (rate, depth) cell for one instance, sharing the
+/// noiseless preparation across rates.
+fn run_instance_grid(
+    spec: &PanelSpec,
+    ensemble: &Ensemble,
+    index: usize,
+    config: &RunConfig,
+    seed: u64,
+) -> Vec<Vec<InstanceOutcome>> {
+    let (circuit_for, initial, expected): (
+        Box<dyn Fn(AqftDepth) -> qfab_circuit::Circuit>,
+        qfab_sim::StateVector,
+        Vec<usize>,
+    ) = match ensemble {
+        Ensemble::Add(v) => {
+            let inst = v[index].clone();
+            let initial = inst.initial_state();
+            let expected = inst.expected_outputs();
+            (Box::new(move |d| inst.circuit(d)), initial, expected)
+        }
+        Ensemble::Mul(v) => {
+            let inst = v[index].clone();
+            let initial = inst.initial_state();
+            let expected = inst.expected_outputs();
+            (Box::new(move |d| inst.circuit(d)), initial, expected)
+        }
+    };
+
+    // rate-major output to match the aggregation layout.
+    let mut out =
+        vec![
+            vec![InstanceOutcome { success: false, min_gap: 0 }; spec.depths.len()];
+            spec.rates.len()
+        ];
+    for (di, &depth) in spec.depths.iter().enumerate() {
+        let prep = PreparedInstance::new(&circuit_for(depth), initial.clone(), config);
+        for (ri, &rate) in spec.rates.iter().enumerate() {
+            let model = model_for(spec.error_target, rate);
+            let run = prep.noisy(&model);
+            // Stream id: unique per (instance, depth, rate) cell.
+            let stream = ((index as u64) << 24) | ((di as u64) << 16) | (ri as u64 + 1);
+            let mut rng = Xoshiro256StarStar::for_stream(seed ^ 0xA5A5_5A5A, stream);
+            let counts = run.sample_counts(config.shots, &mut rng);
+            out[ri][di] = evaluate_instance(&counts, &expected);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{fig1_panels, OpKind};
+
+    fn tiny_spec() -> PanelSpec {
+        // A shrunken QFA panel for fast tests.
+        PanelSpec {
+            id: "test",
+            title: "tiny".into(),
+            op: OpKind::Add,
+            n: 3,
+            m: 4,
+            order_x: 1,
+            order_y: 2,
+            error_target: ErrorTarget::TwoQubit,
+            rates: vec![0.0, 0.01, 0.2],
+            depths: vec![AqftDepth::Limited(2), AqftDepth::Full],
+            reference_rate: 0.01,
+        }
+    }
+
+    #[test]
+    fn tiny_panel_runs_and_aggregates() {
+        let scale = Scale { instances: 4, shots: 96 };
+        let result = run_panel(&tiny_spec(), scale, 5, |_, _| {});
+        assert_eq!(result.points.len(), 6);
+        for p in &result.points {
+            assert_eq!(p.stats.instances, 4);
+        }
+        // Noise-free origin at full depth: everything succeeds.
+        let origin_full = result.point(0, 1);
+        assert_eq!(origin_full.stats.success_rate_pct, 100.0);
+        // Extreme noise: success collapses below the noise-free level.
+        let heavy_full = result.point(2, 1);
+        assert!(
+            heavy_full.stats.success_rate_pct < origin_full.stats.success_rate_pct + 1e-9
+        );
+    }
+
+    #[test]
+    fn panel_is_deterministic() {
+        let scale = Scale { instances: 3, shots: 64 };
+        let a = run_panel(&tiny_spec(), scale, 9, |_, _| {});
+        let b = run_panel(&tiny_spec(), scale, 9, |_, _| {});
+        for (x, y) in a.points.iter().zip(&b.points) {
+            assert_eq!(x.stats, y.stats);
+        }
+    }
+
+    #[test]
+    fn point_indexing_layout() {
+        let scale = Scale { instances: 2, shots: 32 };
+        let spec = tiny_spec();
+        let result = run_panel(&spec, scale, 1, |_, _| {});
+        for (ri, &rate) in spec.rates.iter().enumerate() {
+            for (di, &depth) in spec.depths.iter().enumerate() {
+                let p = result.point(ri, di);
+                assert_eq!(p.rate, rate);
+                assert_eq!(p.depth, depth);
+            }
+        }
+    }
+
+    #[test]
+    fn progress_callback_fires_per_instance() {
+        let scale = Scale { instances: 3, shots: 16 };
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        let _ = run_panel(&tiny_spec(), scale, 2, |_, total| {
+            assert_eq!(total, 3);
+            hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn real_fig1_spec_is_runnable_at_tiny_scale() {
+        // Smoke-test the actual paper geometry with minimal work.
+        let mut spec = fig1_panels().swap_remove(0);
+        spec.rates = vec![0.0];
+        spec.depths = vec![AqftDepth::Full];
+        let result = run_panel(&spec, Scale { instances: 1, shots: 32 }, 3, |_, _| {});
+        assert_eq!(result.points.len(), 1);
+        assert_eq!(result.points[0].stats.success_rate_pct, 100.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Experiment scale presets.
+
+/// How many instances and shots each plotted point aggregates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// Random arithmetic instances per point (the paper: 200).
+    pub instances: usize,
+    /// Measurement shots per instance (the paper: 2048).
+    pub shots: u64,
+}
+
+impl Scale {
+    /// The paper's full scale: 200 instances × 2048 shots.
+    pub fn paper() -> Self {
+        Self { instances: 200, shots: 2048 }
+    }
+
+    /// A balanced reduced scale for interactive use.
+    pub fn default_for(op_cost: OpCost) -> Self {
+        match op_cost {
+            OpCost::Adder => Self { instances: 24, shots: 384 },
+            OpCost::Multiplier => Self { instances: 10, shots: 128 },
+        }
+    }
+
+    /// The cheapest preset that still shows every figure's shape.
+    pub fn quick_for(op_cost: OpCost) -> Self {
+        match op_cost {
+            OpCost::Adder => Self { instances: 8, shots: 128 },
+            OpCost::Multiplier => Self { instances: 5, shots: 64 },
+        }
+    }
+}
+
+/// Coarse circuit-cost class used to pick preset scales.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpCost {
+    /// ~15-qubit, ~500-gate circuits.
+    Adder,
+    /// ~16-qubit, ~2600-gate circuits.
+    Multiplier,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        for cost in [OpCost::Adder, OpCost::Multiplier] {
+            let q = Scale::quick_for(cost);
+            let d = Scale::default_for(cost);
+            let p = Scale::paper();
+            assert!(q.instances <= d.instances && d.instances <= p.instances);
+            assert!(q.shots <= d.shots && d.shots <= p.shots);
+        }
+    }
+
+    #[test]
+    fn paper_scale_matches_paper() {
+        let p = Scale::paper();
+        assert_eq!(p.instances, 200);
+        assert_eq!(p.shots, 2048);
+    }
+}

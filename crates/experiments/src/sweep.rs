@@ -1,0 +1,243 @@
+//! Panel definitions for every figure of the paper.
+//!
+//! Both figures are 3×2 grids: rows are superposition orders
+//! (1:1 / 1:2 / 2:2), columns are the varied error class (1q / 2q).
+//! Each panel sweeps a set of gate error rates at several AQFT depths.
+//!
+//! Register geometry follows the configuration whose transpiled gate
+//! counts reproduce the paper's Table I exactly: the QFA's updated
+//! register has 8 qubits (7-bit operand values, so the sum never
+//! overflows), and the QFM multiplies two 4-qubit qintegers into an
+//! 8-qubit product.
+//!
+//! The IBM hardware reference rates the paper marks with dashed lines —
+//! 0.2% (1q) and 1.0% (2q) — appear in the corresponding sweeps.
+
+use qfab_core::AqftDepth;
+
+/// Which arithmetic operation a panel exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Quantum Fourier Addition (Fig. 1).
+    Add,
+    /// Quantum Fourier Multiplication (Fig. 2).
+    Mul,
+}
+
+/// Which gate class the panel's noise model targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorTarget {
+    /// Depolarizing error on every single-qubit gate.
+    OneQubit,
+    /// Depolarizing error on every two-qubit gate.
+    TwoQubit,
+}
+
+/// One figure panel: an operation, a superposition row, an error
+/// column, and its sweep grid.
+#[derive(Clone, Debug)]
+pub struct PanelSpec {
+    /// Identifier matching the paper ("fig1a" … "fig2f").
+    pub id: &'static str,
+    /// Human-readable description.
+    pub title: String,
+    /// The arithmetic operation.
+    pub op: OpKind,
+    /// First-operand register width.
+    pub n: u32,
+    /// Second-operand / target register width.
+    pub m: u32,
+    /// Superposition order of the first operand.
+    pub order_x: usize,
+    /// Superposition order of the second operand (for addition this is
+    /// the *updated* register, per the paper's 1:2 convention).
+    pub order_y: usize,
+    /// The error class swept on the horizontal axis.
+    pub error_target: ErrorTarget,
+    /// Gate error rates (fractions; 0.002 = 0.2%).
+    pub rates: Vec<f64>,
+    /// AQFT depths (color-coded series in the paper).
+    pub depths: Vec<AqftDepth>,
+    /// The IBM reference rate the paper marks with a dashed line.
+    pub reference_rate: f64,
+}
+
+/// The QFA error-rate grids (column a/c/e: 1q, column b/d/f: 2q).
+fn fig1_rates(target: ErrorTarget) -> Vec<f64> {
+    match target {
+        ErrorTarget::OneQubit => vec![0.0, 0.002, 0.004, 0.007, 0.010, 0.014],
+        ErrorTarget::TwoQubit => vec![0.0, 0.003, 0.007, 0.010, 0.020, 0.040],
+    }
+}
+
+/// The QFM error-rate grids — an order of magnitude lower, because its
+/// circuits are ~6× longer and success collapses much earlier.
+fn fig2_rates(target: ErrorTarget) -> Vec<f64> {
+    match target {
+        ErrorTarget::OneQubit => vec![0.0, 0.0002, 0.0005, 0.001, 0.002],
+        ErrorTarget::TwoQubit => vec![0.0, 0.0002, 0.0005, 0.001, 0.003, 0.010],
+    }
+}
+
+fn fig1_depths() -> Vec<AqftDepth> {
+    vec![
+        AqftDepth::Limited(1),
+        AqftDepth::Limited(2),
+        AqftDepth::Limited(3),
+        AqftDepth::Limited(4),
+        AqftDepth::Full,
+    ]
+}
+
+fn fig2_depths() -> Vec<AqftDepth> {
+    vec![AqftDepth::Limited(1), AqftDepth::Limited(2), AqftDepth::Full]
+}
+
+fn reference_rate(target: ErrorTarget) -> f64 {
+    match target {
+        ErrorTarget::OneQubit => 0.002,
+        ErrorTarget::TwoQubit => 0.010,
+    }
+}
+
+/// All six QFA panels of the paper's Fig. 1, in (a)–(f) order.
+pub fn fig1_panels() -> Vec<PanelSpec> {
+    let rows = [(1usize, 1usize), (1, 2), (2, 2)];
+    let cols = [ErrorTarget::OneQubit, ErrorTarget::TwoQubit];
+    let ids = ["fig1a", "fig1b", "fig1c", "fig1d", "fig1e", "fig1f"];
+    let mut out = Vec::new();
+    for (r, &(ox, oy)) in rows.iter().enumerate() {
+        for (c, &target) in cols.iter().enumerate() {
+            let id = ids[r * 2 + c];
+            out.push(PanelSpec {
+                id,
+                title: format!(
+                    "QFA n=8: {ox}:{oy} superposition, {} error sweep",
+                    match target {
+                        ErrorTarget::OneQubit => "1q-gate",
+                        ErrorTarget::TwoQubit => "2q-gate",
+                    }
+                ),
+                op: OpKind::Add,
+                n: 7,
+                m: 8,
+                order_x: ox,
+                order_y: oy,
+                error_target: target,
+                rates: fig1_rates(target),
+                depths: fig1_depths(),
+                reference_rate: reference_rate(target),
+            });
+        }
+    }
+    out
+}
+
+/// All six QFM panels of the paper's Fig. 2, in (a)–(f) order.
+pub fn fig2_panels() -> Vec<PanelSpec> {
+    let rows = [(1usize, 1usize), (1, 2), (2, 2)];
+    let cols = [ErrorTarget::OneQubit, ErrorTarget::TwoQubit];
+    let ids = ["fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig2f"];
+    let mut out = Vec::new();
+    for (r, &(ox, oy)) in rows.iter().enumerate() {
+        for (c, &target) in cols.iter().enumerate() {
+            let id = ids[r * 2 + c];
+            out.push(PanelSpec {
+                id,
+                title: format!(
+                    "QFM n=4: {ox}:{oy} superposition, {} error sweep",
+                    match target {
+                        ErrorTarget::OneQubit => "1q-gate",
+                        ErrorTarget::TwoQubit => "2q-gate",
+                    }
+                ),
+                op: OpKind::Mul,
+                n: 4,
+                m: 4,
+                order_x: ox,
+                order_y: oy,
+                error_target: target,
+                rates: fig2_rates(target),
+                depths: fig2_depths(),
+                reference_rate: reference_rate(target),
+            });
+        }
+    }
+    out
+}
+
+/// Looks a panel up by id across both figures.
+pub fn panel_by_id(id: &str) -> Option<PanelSpec> {
+    fig1_panels()
+        .into_iter()
+        .chain(fig2_panels())
+        .find(|p| p.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_panels_total() {
+        assert_eq!(fig1_panels().len(), 6);
+        assert_eq!(fig2_panels().len(), 6);
+    }
+
+    #[test]
+    fn panel_rows_follow_paper_layout() {
+        let p = fig1_panels();
+        // (a): 1:1 with 1q error, (b): 1:1 with 2q, (c): 1:2 with 1q …
+        assert_eq!(p[0].id, "fig1a");
+        assert_eq!((p[0].order_x, p[0].order_y), (1, 1));
+        assert_eq!(p[0].error_target, ErrorTarget::OneQubit);
+        assert_eq!(p[1].error_target, ErrorTarget::TwoQubit);
+        assert_eq!((p[2].order_x, p[2].order_y), (1, 2));
+        assert_eq!((p[4].order_x, p[4].order_y), (2, 2));
+        assert_eq!(p[5].id, "fig1f");
+    }
+
+    #[test]
+    fn sweeps_include_noise_free_origin_and_reference_rate() {
+        for p in fig1_panels().into_iter().chain(fig2_panels()) {
+            assert_eq!(p.rates[0], 0.0, "{}: first point is the x-origin", p.id);
+            assert!(
+                p.rates.windows(2).all(|w| w[0] < w[1]),
+                "{}: rates must ascend",
+                p.id
+            );
+        }
+        // Fig 1 sweeps cross the paper's dashed reference rates.
+        for p in fig1_panels() {
+            assert!(p.rates.contains(&p.reference_rate), "{}", p.id);
+        }
+    }
+
+    #[test]
+    fn depth_grids_match_paper_series() {
+        let f1 = &fig1_panels()[0];
+        assert_eq!(f1.depths.len(), 5);
+        assert_eq!(f1.depths[4], AqftDepth::Full);
+        let f2 = &fig2_panels()[0];
+        assert_eq!(f2.depths.len(), 3);
+        assert_eq!(f2.depths[2], AqftDepth::Full);
+    }
+
+    #[test]
+    fn geometry_matches_table1_configuration() {
+        for p in fig1_panels() {
+            assert_eq!((p.n, p.m), (7, 8));
+        }
+        for p in fig2_panels() {
+            assert_eq!((p.n, p.m), (4, 4));
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(panel_by_id("fig1d").is_some());
+        assert!(panel_by_id("fig2f").is_some());
+        assert!(panel_by_id("fig3a").is_none());
+        assert_eq!(panel_by_id("fig2c").unwrap().op, OpKind::Mul);
+    }
+}

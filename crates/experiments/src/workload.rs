@@ -1,0 +1,170 @@
+//! Ensemble generation.
+//!
+//! The paper draws, for each figure row, one set of random operand
+//! qintegers and reuses it for every error rate, depth, and both error
+//! columns. Ensembles here depend only on `(seed, op, geometry,
+//! orders)` — not on the error target — so the same property holds:
+//! calling [`add_ensemble`] with the same arguments for the 1q and 2q
+//! panels of a row yields identical operand sets.
+
+use crate::sweep::{OpKind, PanelSpec};
+use qfab_core::{AddInstance, MulInstance};
+use qfab_math::rng::Xoshiro256StarStar;
+
+/// A generated workload: the instances behind one figure row.
+#[derive(Clone, Debug)]
+pub enum Ensemble {
+    /// Addition instances.
+    Add(Vec<AddInstance>),
+    /// Multiplication instances.
+    Mul(Vec<MulInstance>),
+}
+
+impl Ensemble {
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        match self {
+            Ensemble::Add(v) => v.len(),
+            Ensemble::Mul(v) => v.len(),
+        }
+    }
+
+    /// True when empty (never, for a generated ensemble).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Derives the ensemble RNG stream for a row. The stream index hashes
+/// the row parameters so different rows of the same figure (and the
+/// same row of different figures) get independent draws.
+fn row_stream(op: OpKind, n: u32, m: u32, order_x: usize, order_y: usize) -> u64 {
+    let op_tag = match op {
+        OpKind::Add => 1u64,
+        OpKind::Mul => 2u64,
+    };
+    op_tag
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add((n as u64) << 32)
+        .wrapping_add((m as u64) << 24)
+        .wrapping_add((order_x as u64) << 16)
+        .wrapping_add(order_y as u64)
+}
+
+/// Draws the addition ensemble for a row.
+pub fn add_ensemble(
+    seed: u64,
+    n: u32,
+    m: u32,
+    order_x: usize,
+    order_y: usize,
+    count: usize,
+) -> Vec<AddInstance> {
+    let stream = row_stream(OpKind::Add, n, m, order_x, order_y);
+    let mut rng = Xoshiro256StarStar::for_stream(seed, stream);
+    (0..count)
+        .map(|_| AddInstance::random(n, m, order_x, order_y, &mut rng))
+        .collect()
+}
+
+/// Draws the multiplication ensemble for a row.
+pub fn mul_ensemble(
+    seed: u64,
+    n: u32,
+    m: u32,
+    order_x: usize,
+    order_y: usize,
+    count: usize,
+) -> Vec<MulInstance> {
+    let stream = row_stream(OpKind::Mul, n, m, order_x, order_y);
+    let mut rng = Xoshiro256StarStar::for_stream(seed, stream);
+    (0..count)
+        .map(|_| MulInstance::random(n, m, order_x, order_y, &mut rng))
+        .collect()
+}
+
+/// Draws the ensemble a panel needs.
+pub fn ensemble_for(spec: &PanelSpec, seed: u64, count: usize) -> Ensemble {
+    match spec.op {
+        OpKind::Add => Ensemble::Add(add_ensemble(
+            seed,
+            spec.n,
+            spec.m,
+            spec.order_x,
+            spec.order_y,
+            count,
+        )),
+        OpKind::Mul => Ensemble::Mul(mul_ensemble(
+            seed,
+            spec.n,
+            spec.m,
+            spec.order_x,
+            spec.order_y,
+            count,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::fig1_panels;
+
+    #[test]
+    fn ensembles_are_deterministic() {
+        let a = add_ensemble(7, 7, 8, 1, 2, 5);
+        let b = add_ensemble(7, 7, 8, 1, 2, 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.x.values(), y.x.values());
+            assert_eq!(x.y.values(), y.y.values());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = add_ensemble(7, 7, 8, 1, 2, 5);
+        let b = add_ensemble(8, 7, 8, 1, 2, 5);
+        let same = a
+            .iter()
+            .zip(&b)
+            .filter(|(x, y)| x.x.values() == y.x.values() && x.y.values() == y.y.values())
+            .count();
+        assert!(same < a.len(), "seeds should change the draw");
+    }
+
+    #[test]
+    fn rows_are_independent_streams() {
+        let r11 = add_ensemble(7, 7, 8, 1, 1, 3);
+        let r22 = add_ensemble(7, 7, 8, 2, 2, 3);
+        assert_ne!(r11[0].x.values()[0], r22[0].x.values()[0]);
+    }
+
+    #[test]
+    fn panel_columns_share_the_row_ensemble() {
+        // The paper reuses one operand set for the 1q and 2q columns of
+        // a row: panels (c) and (d) share orders, so their ensembles
+        // must match.
+        let panels = fig1_panels();
+        let c = ensemble_for(&panels[2], 42, 4);
+        let d = ensemble_for(&panels[3], 42, 4);
+        let (Ensemble::Add(c), Ensemble::Add(d)) = (c, d) else {
+            panic!("wrong kinds")
+        };
+        for (x, y) in c.iter().zip(&d) {
+            assert_eq!(x.x.values(), y.x.values());
+            assert_eq!(x.y.values(), y.y.values());
+        }
+    }
+
+    #[test]
+    fn instance_orders_respect_row() {
+        for inst in add_ensemble(3, 7, 8, 1, 2, 4) {
+            assert_eq!(inst.x.order(), 1);
+            assert_eq!(inst.y.order(), 2);
+        }
+        for inst in mul_ensemble(3, 4, 4, 2, 2, 4) {
+            assert_eq!(inst.x.order(), 2);
+            assert_eq!(inst.y.order(), 2);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Tolerant floating-point comparisons shared by tests across the
+//! workspace.
+
+use crate::complex::Complex64;
+
+/// Default absolute tolerance used by most unitary/state comparisons.
+pub const DEFAULT_TOL: f64 = 1e-10;
+
+/// Absolute-difference comparison for reals.
+#[inline]
+pub fn approx_eq_f64(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Relative comparison for reals with an absolute floor: true when
+/// `|a − b| ≤ tol · max(1, |a|, |b|)`.
+#[inline]
+pub fn approx_eq_rel(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * 1.0f64.max(a.abs()).max(b.abs())
+}
+
+/// Element-wise absolute comparison for complex slices (state vectors).
+pub fn approx_eq_slice(a: &[Complex64], b: &[Complex64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.approx_eq(*y, tol))
+}
+
+/// Largest absolute element-wise deviation between two complex slices.
+/// Panics when lengths differ.
+pub fn max_abs_diff_slice(a: &[Complex64], b: &[Complex64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "slice length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = *x - *y;
+            d.re.abs().max(d.im.abs())
+        })
+        .fold(0.0, f64::max)
+}
+
+/// State-vector equality up to a global phase: compares `|<a|b>|` to 1.
+/// Both inputs must be normalized for the result to be meaningful.
+pub fn states_equal_up_to_phase(a: &[Complex64], b: &[Complex64], tol: f64) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let inner: Complex64 = a.iter().zip(b).map(|(x, y)| x.conj() * *y).sum();
+    (inner.norm() - 1.0).abs() <= tol
+}
+
+/// The fidelity `|<a|b>|²` between two pure states.
+pub fn state_fidelity(a: &[Complex64], b: &[Complex64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "state length mismatch");
+    let inner: Complex64 = a.iter().zip(b).map(|(x, y)| x.conj() * *y).sum();
+    inner.norm_sqr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    #[test]
+    fn scalar_comparisons() {
+        assert!(approx_eq_f64(1.0, 1.0 + 1e-12, 1e-10));
+        assert!(!approx_eq_f64(1.0, 1.1, 1e-10));
+        assert!(approx_eq_rel(1e9, 1e9 + 1.0, 1e-8));
+        assert!(!approx_eq_rel(1e-9, 2e-9, 1e-10));
+    }
+
+    #[test]
+    fn slice_comparisons() {
+        let a = [c64(1.0, 0.0), c64(0.0, 1.0)];
+        let b = [c64(1.0, 1e-12), c64(0.0, 1.0)];
+        assert!(approx_eq_slice(&a, &b, 1e-10));
+        assert!(!approx_eq_slice(&a, &b[..1], 1e-10));
+        assert!(max_abs_diff_slice(&a, &b) < 1e-10);
+    }
+
+    #[test]
+    fn phase_insensitive_state_equality() {
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        let a = [c64(h, 0.0), c64(h, 0.0)];
+        let phase = Complex64::cis(1.234);
+        let b = [a[0] * phase, a[1] * phase];
+        assert!(states_equal_up_to_phase(&a, &b, 1e-10));
+        let c = [c64(1.0, 0.0), c64(0.0, 0.0)];
+        assert!(!states_equal_up_to_phase(&a, &c, 1e-10));
+    }
+
+    #[test]
+    fn fidelity_bounds_and_values() {
+        let a = [c64(1.0, 0.0), c64(0.0, 0.0)];
+        let b = [c64(0.0, 0.0), c64(1.0, 0.0)];
+        assert!(state_fidelity(&a, &a) > 1.0 - 1e-12);
+        assert!(state_fidelity(&a, &b) < 1e-12);
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        let plus = [c64(h, 0.0), c64(h, 0.0)];
+        assert!((state_fidelity(&a, &plus) - 0.5).abs() < 1e-12);
+    }
+}

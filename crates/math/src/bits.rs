@@ -1,0 +1,261 @@
+//! Bit-twiddling helpers for state-vector index arithmetic.
+//!
+//! A state vector over `n` qubits has `2^n` amplitudes indexed by basis
+//! states. Applying a gate to qubit `q` means pairing indices that differ
+//! only in bit `q`; applying a two-qubit gate means grouping indices by
+//! the values of two bits, and so on. The helpers here generate those
+//! index patterns without branching in the inner loop.
+//!
+//! Qubit numbering convention (shared by the whole workspace): qubit `q`
+//! corresponds to bit `q` of the basis-state index, i.e. qubit 0 is the
+//! **least significant** bit. Registers store their least significant
+//! qubit first, matching the paper's `y = y_1·2^0 + y_2·2^1 + …` layout.
+
+/// Returns `true` if bit `bit` of `index` is set.
+#[inline(always)]
+pub fn test_bit(index: usize, bit: u32) -> bool {
+    (index >> bit) & 1 == 1
+}
+
+/// Sets bit `bit` of `index`.
+#[inline(always)]
+pub fn set_bit(index: usize, bit: u32) -> usize {
+    index | (1usize << bit)
+}
+
+/// Clears bit `bit` of `index`.
+#[inline(always)]
+pub fn clear_bit(index: usize, bit: u32) -> usize {
+    index & !(1usize << bit)
+}
+
+/// Flips bit `bit` of `index`.
+#[inline(always)]
+pub fn flip_bit(index: usize, bit: u32) -> usize {
+    index ^ (1usize << bit)
+}
+
+/// Inserts a zero bit at position `bit`, shifting higher bits left.
+///
+/// Maps a compact counter `k ∈ [0, 2^{n−1})` to the index of the
+/// basis state whose bit `bit` is 0, enumerating all such states as `k`
+/// sweeps its range. The partner state (bit = 1) is `insert_zero_bit(k,
+/// bit) | (1 << bit)`.
+#[inline(always)]
+pub fn insert_zero_bit(k: usize, bit: u32) -> usize {
+    let low_mask = (1usize << bit) - 1;
+    ((k & !low_mask) << 1) | (k & low_mask)
+}
+
+/// Inserts zero bits at two positions (`b0 < b1` required), shifting
+/// higher bits accordingly.
+///
+/// Maps a compact counter `k ∈ [0, 2^{n−2})` to the basis index with
+/// zeros at both positions.
+#[inline(always)]
+pub fn insert_two_zero_bits(k: usize, b0: u32, b1: u32) -> usize {
+    debug_assert!(b0 < b1);
+    let first = insert_zero_bit(k, b0);
+    insert_zero_bit(first, b1)
+}
+
+/// Inserts zero bits at three positions (`b0 < b1 < b2` required).
+#[inline(always)]
+pub fn insert_three_zero_bits(k: usize, b0: u32, b1: u32, b2: u32) -> usize {
+    debug_assert!(b0 < b1 && b1 < b2);
+    insert_zero_bit(insert_two_zero_bits(k, b0, b1), b2)
+}
+
+/// Extracts the bits of `index` selected by `positions` (ascending
+/// significance in the output: `positions[0]` becomes output bit 0).
+#[inline]
+pub fn gather_bits(index: usize, positions: &[u32]) -> usize {
+    let mut out = 0usize;
+    for (i, &p) in positions.iter().enumerate() {
+        out |= usize::from(test_bit(index, p)) << i;
+    }
+    out
+}
+
+/// Scatters the low bits of `value` into `index` at the given positions
+/// (`value` bit `i` lands at `positions[i]`); all other bits of the
+/// result come from `index`.
+#[inline]
+pub fn scatter_bits(index: usize, value: usize, positions: &[u32]) -> usize {
+    let mut out = index;
+    for (i, &p) in positions.iter().enumerate() {
+        out = if test_bit(value, i as u32) {
+            set_bit(out, p)
+        } else {
+            clear_bit(out, p)
+        };
+    }
+    out
+}
+
+/// Reverses the low `n` bits of `x` (bit 0 ↔ bit n−1, …).
+///
+/// The textbook QFT ends with its output in bit-reversed order unless
+/// SWAPs are appended; this helper lets tests reason about either form.
+#[inline]
+pub fn reverse_bits(x: usize, n: u32) -> usize {
+    let mut out = 0usize;
+    for i in 0..n {
+        out |= usize::from(test_bit(x, i)) << (n - 1 - i);
+    }
+    out
+}
+
+/// Number of basis states of an `n`-qubit register.
+#[inline(always)]
+pub fn dim(n: u32) -> usize {
+    1usize << n
+}
+
+/// Formats the low `n` bits of `index` as a bitstring, most significant
+/// bit first (the order measurement results are conventionally printed).
+pub fn to_bitstring(index: usize, n: u32) -> String {
+    (0..n)
+        .rev()
+        .map(|b| if test_bit(index, b) { '1' } else { '0' })
+        .collect()
+}
+
+/// Parses a bitstring (most significant bit first) into an index.
+/// Returns `None` on any character other than `0`/`1` or on overflow.
+pub fn from_bitstring(s: &str) -> Option<usize> {
+    if s.is_empty() || s.len() > usize::BITS as usize {
+        return None;
+    }
+    let mut out = 0usize;
+    for ch in s.chars() {
+        out = out.checked_shl(1)?;
+        match ch {
+            '0' => {}
+            '1' => out |= 1,
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bit_ops() {
+        assert!(test_bit(0b1010, 1));
+        assert!(!test_bit(0b1010, 0));
+        assert_eq!(set_bit(0b1010, 0), 0b1011);
+        assert_eq!(clear_bit(0b1010, 3), 0b0010);
+        assert_eq!(flip_bit(0b1010, 1), 0b1000);
+        assert_eq!(flip_bit(0b1010, 0), 0b1011);
+    }
+
+    #[test]
+    fn insert_zero_bit_enumerates_zero_states() {
+        // For 3 qubits and target bit 1, k=0..4 must enumerate exactly the
+        // indices with bit 1 clear: 0,1,4,5.
+        let got: Vec<usize> = (0..4).map(|k| insert_zero_bit(k, 1)).collect();
+        assert_eq!(got, vec![0, 1, 4, 5]);
+        // And the partners are 2,3,6,7.
+        let partners: Vec<usize> = got.iter().map(|&i| set_bit(i, 1)).collect();
+        assert_eq!(partners, vec![2, 3, 6, 7]);
+    }
+
+    #[test]
+    fn insert_zero_bit_covers_all_indices_disjointly() {
+        for bit in 0..5u32 {
+            let n = 5u32;
+            let mut seen = vec![false; dim(n)];
+            for k in 0..dim(n - 1) {
+                let zero = insert_zero_bit(k, bit);
+                let one = set_bit(zero, bit);
+                assert!(!test_bit(zero, bit));
+                assert!(test_bit(one, bit));
+                assert!(!seen[zero] && !seen[one]);
+                seen[zero] = true;
+                seen[one] = true;
+            }
+            assert!(seen.into_iter().all(|b| b));
+        }
+    }
+
+    #[test]
+    fn insert_two_zero_bits_covers_quadruples() {
+        let (b0, b1) = (1u32, 3u32);
+        let n = 5u32;
+        let mut seen = vec![false; dim(n)];
+        for k in 0..dim(n - 2) {
+            let base = insert_two_zero_bits(k, b0, b1);
+            assert!(!test_bit(base, b0) && !test_bit(base, b1));
+            for v in 0..4usize {
+                let idx = scatter_bits(base, v, &[b0, b1]);
+                assert!(!seen[idx]);
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn insert_three_zero_bits_covers_octuples() {
+        let (b0, b1, b2) = (0u32, 2u32, 4u32);
+        let n = 6u32;
+        let mut seen = vec![false; dim(n)];
+        for k in 0..dim(n - 3) {
+            let base = insert_three_zero_bits(k, b0, b1, b2);
+            for v in 0..8usize {
+                let idx = scatter_bits(base, v, &[b0, b1, b2]);
+                assert!(!seen[idx]);
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let positions = [0u32, 2, 5];
+        for idx in 0..64usize {
+            let v = gather_bits(idx, &positions);
+            let back = scatter_bits(idx, v, &positions);
+            assert_eq!(back, idx);
+        }
+        // Scatter then gather recovers the value.
+        for v in 0..8usize {
+            let idx = scatter_bits(0, v, &positions);
+            assert_eq!(gather_bits(idx, &positions), v);
+        }
+    }
+
+    #[test]
+    fn reverse_bits_involution() {
+        for x in 0..32usize {
+            assert_eq!(reverse_bits(reverse_bits(x, 5), 5), x);
+        }
+        assert_eq!(reverse_bits(0b00001, 5), 0b10000);
+        assert_eq!(reverse_bits(0b01100, 5), 0b00110);
+    }
+
+    #[test]
+    fn bitstring_roundtrip() {
+        assert_eq!(to_bitstring(0b1011, 4), "1011");
+        assert_eq!(to_bitstring(0b1011, 6), "001011");
+        assert_eq!(from_bitstring("1011"), Some(0b1011));
+        assert_eq!(from_bitstring("001011"), Some(0b1011));
+        assert_eq!(from_bitstring(""), None);
+        assert_eq!(from_bitstring("10x1"), None);
+        for x in 0..64usize {
+            assert_eq!(from_bitstring(&to_bitstring(x, 6)), Some(x));
+        }
+    }
+
+    #[test]
+    fn dim_powers() {
+        assert_eq!(dim(0), 1);
+        assert_eq!(dim(1), 2);
+        assert_eq!(dim(10), 1024);
+    }
+}

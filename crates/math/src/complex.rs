@@ -1,0 +1,378 @@
+//! Double-precision complex numbers.
+//!
+//! A tiny, `#[repr(C)]`, `Copy` complex type. Keeping it local (instead of
+//! pulling in `num-complex`) keeps the workspace dependency-free in its
+//! hottest type and lets the simulator rely on a known memory layout when
+//! it iterates over amplitude slices.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Shorthand constructor: `c64(re, im)`.
+#[inline(always)]
+pub const fn c64(re: f64, im: f64) -> Complex64 {
+    Complex64 { re, im }
+}
+
+impl Complex64 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex64 = c64(0.0, 0.0);
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex64 = c64(1.0, 0.0);
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex64 = c64(0.0, 1.0);
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        c64(re, im)
+    }
+
+    /// Creates a purely real complex number.
+    #[inline(always)]
+    pub const fn from_real(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+
+    /// `e^{iθ} = cos θ + i sin θ` — the unit phase with angle `theta`.
+    ///
+    /// This is the single most common constructor in Fourier-basis
+    /// arithmetic: every controlled rotation is `cis(2π / 2^l)`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        c64(c, s)
+    }
+
+    /// Creates a complex number from polar coordinates `r · e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        c64(r * c, r * s)
+    }
+
+    /// The complex conjugate `re − i·im`.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        c64(self.re, -self.im)
+    }
+
+    /// The squared modulus `re² + im²`.
+    ///
+    /// For a quantum amplitude this is the Born-rule probability, so it is
+    /// on the critical path of every measurement-distribution extraction.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The modulus `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// The argument (phase angle) in `(−π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// The multiplicative inverse `1/z`. Returns NaNs for zero input.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        c64(self.re / d, -self.im / d)
+    }
+
+    /// Multiplies by the imaginary unit (a 90° rotation) without a full
+    /// complex multiply.
+    #[inline(always)]
+    pub fn mul_i(self) -> Self {
+        c64(-self.im, self.re)
+    }
+
+    /// Multiplies by `−i` (a −90° rotation) without a full complex
+    /// multiply.
+    #[inline(always)]
+    pub fn mul_neg_i(self) -> Self {
+        c64(self.im, -self.re)
+    }
+
+    /// Scales by a real factor.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        c64(self.re * s, self.im * s)
+    }
+
+    /// Fused multiply-add on the real representation: `self * b + acc`.
+    ///
+    /// Written so the compiler can keep everything in registers inside
+    /// matrix–vector kernels.
+    #[inline(always)]
+    pub fn mul_add(self, b: Complex64, acc: Complex64) -> Complex64 {
+        c64(
+            self.re * b.re - self.im * b.im + acc.re,
+            self.re * b.im + self.im * b.re + acc.im,
+        )
+    }
+
+    /// True when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Tolerant equality with absolute tolerance `tol` on both parts.
+    #[inline]
+    pub fn approx_eq(self, other: Complex64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        c64(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        c64(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        c64(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.recip()
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn div(self, rhs: f64) -> Complex64 {
+        c64(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn neg(self) -> Complex64 {
+        c64(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline(always)]
+    fn from(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn constructors_and_constants() {
+        assert_eq!(Complex64::ZERO, c64(0.0, 0.0));
+        assert_eq!(Complex64::ONE, c64(1.0, 0.0));
+        assert_eq!(Complex64::I, c64(0.0, 1.0));
+        assert_eq!(Complex64::from_real(2.5), c64(2.5, 0.0));
+        assert_eq!(Complex64::from(3.0), c64(3.0, 0.0));
+    }
+
+    #[test]
+    fn cis_quarter_turns() {
+        assert!(Complex64::cis(0.0).approx_eq(Complex64::ONE, TOL));
+        assert!(Complex64::cis(FRAC_PI_2).approx_eq(Complex64::I, TOL));
+        assert!(Complex64::cis(PI).approx_eq(-Complex64::ONE, TOL));
+        assert!(Complex64::cis(-FRAC_PI_2).approx_eq(-Complex64::I, TOL));
+    }
+
+    #[test]
+    fn from_polar_matches_cis_scaled() {
+        let z = Complex64::from_polar(2.0, 0.7);
+        assert!(z.approx_eq(Complex64::cis(0.7).scale(2.0), TOL));
+        assert!((z.norm() - 2.0).abs() < TOL);
+        assert!((z.arg() - 0.7).abs() < TOL);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = c64(1.0, 2.0);
+        let b = c64(-0.5, 3.0);
+        assert!((a + b - b).approx_eq(a, TOL));
+        assert!((a * b / b).approx_eq(a, TOL));
+        assert!((a * b).approx_eq(b * a, TOL));
+        assert!((-a + a).approx_eq(Complex64::ZERO, TOL));
+        assert!((a * a.recip()).approx_eq(Complex64::ONE, TOL));
+    }
+
+    #[test]
+    fn conjugation_and_norm() {
+        let a = c64(3.0, -4.0);
+        assert_eq!(a.conj(), c64(3.0, 4.0));
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.norm(), 5.0);
+        // z * conj(z) = |z|^2 on the real axis.
+        assert!((a * a.conj()).approx_eq(c64(25.0, 0.0), TOL));
+    }
+
+    #[test]
+    fn mul_i_shortcuts() {
+        let a = c64(1.25, -0.5);
+        assert!(a.mul_i().approx_eq(a * Complex64::I, TOL));
+        assert!(a.mul_neg_i().approx_eq(a * -Complex64::I, TOL));
+    }
+
+    #[test]
+    fn mul_add_matches_expanded_form() {
+        let a = c64(0.3, 0.4);
+        let b = c64(-1.1, 2.2);
+        let acc = c64(5.0, -6.0);
+        assert!(a.mul_add(b, acc).approx_eq(a * b + acc, TOL));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = c64(1.0, 1.0);
+        z += c64(1.0, 0.0);
+        assert_eq!(z, c64(2.0, 1.0));
+        z -= c64(0.0, 1.0);
+        assert_eq!(z, c64(2.0, 0.0));
+        z *= c64(0.0, 1.0);
+        assert!(z.approx_eq(c64(0.0, 2.0), TOL));
+        z /= c64(0.0, 2.0);
+        assert!(z.approx_eq(Complex64::ONE, TOL));
+    }
+
+    #[test]
+    fn real_scalar_ops() {
+        let a = c64(1.0, -2.0);
+        assert_eq!(a * 2.0, c64(2.0, -4.0));
+        assert_eq!(2.0 * a, c64(2.0, -4.0));
+        assert_eq!(a / 2.0, c64(0.5, -1.0));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Complex64 = (0..4).map(|k| Complex64::cis(PI * k as f64 / 2.0)).sum();
+        // 1 + i - 1 - i = 0.
+        assert!(total.approx_eq(Complex64::ZERO, TOL));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", c64(1.0, 2.0)), "1.000000+2.000000i");
+        assert_eq!(format!("{}", c64(1.0, -2.0)), "1.000000-2.000000i");
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(c64(1.0, 2.0).is_finite());
+        assert!(!c64(f64::NAN, 0.0).is_finite());
+        assert!(!c64(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,179 @@
+//! Binary fractions and two's-complement encodings for quantum integers.
+//!
+//! The QFT literature writes phases as binary fractions
+//! `[0.y]_{i,j} = 0.y_i y_{i−1} … y_j = y_i/2 + y_{i−1}/4 + … +
+//! y_j/2^{i−j+1}` (the paper's Eq. 3 shorthand). These helpers compute
+//! such fractions, along with the two's-complement integer encoding the
+//! paper uses for signed qintegers.
+
+use crate::bits::test_bit;
+
+/// The binary fraction `[0.y]_{i,j}` of the paper, with `y` given as a
+/// basis index whose bit `k−1` is the paper's `y_k` (1-based digits).
+///
+/// `i` and `j` are 1-based digit positions with `i ≥ j ≥ 1`; the result is
+/// `y_i/2 + y_{i−1}/4 + … + y_j / 2^{i−j+1}` ∈ [0, 1).
+pub fn binary_fraction(y: usize, i: u32, j: u32) -> f64 {
+    assert!(j >= 1 && i >= j, "need i >= j >= 1, got i={i}, j={j}");
+    let mut acc = 0.0;
+    let mut denom = 2.0;
+    // Walk digits y_i, y_{i-1}, …, y_j; digit y_k is bit (k-1).
+    for k in (j..=i).rev() {
+        if test_bit(y, k - 1) {
+            acc += 1.0 / denom;
+        }
+        denom *= 2.0;
+    }
+    acc
+}
+
+/// The full fraction `y / 2^n` for an `n`-bit value — the per-qubit QFT
+/// phase for the most significant output qubit.
+pub fn full_fraction(y: usize, n: u32) -> f64 {
+    debug_assert!(n as usize <= usize::BITS as usize);
+    y as f64 / (1u64 << n) as f64
+}
+
+/// Encodes a signed integer into `n`-bit two's complement.
+///
+/// Returns `None` when `v` is outside `[−2^{n−1}, 2^{n−1} − 1]`.
+pub fn encode_twos_complement(v: i64, n: u32) -> Option<usize> {
+    assert!(n >= 1 && n <= 63, "register width out of range: {n}");
+    let lo = -(1i64 << (n - 1));
+    let hi = (1i64 << (n - 1)) - 1;
+    if v < lo || v > hi {
+        return None;
+    }
+    let mask = (1u64 << n) - 1;
+    Some(((v as u64) & mask) as usize)
+}
+
+/// Decodes an `n`-bit two's-complement pattern into a signed integer.
+pub fn decode_twos_complement(bits: usize, n: u32) -> i64 {
+    assert!(n >= 1 && n <= 63, "register width out of range: {n}");
+    let mask = (1usize << n) - 1;
+    let bits = bits & mask;
+    if test_bit(bits, n - 1) {
+        bits as i64 - (1i64 << n)
+    } else {
+        bits as i64
+    }
+}
+
+/// Encodes an unsigned integer into `n` bits; `None` if it does not fit.
+pub fn encode_unsigned(v: u64, n: u32) -> Option<usize> {
+    assert!(n >= 1 && n <= 63, "register width out of range: {n}");
+    if v >> n != 0 {
+        return None;
+    }
+    Some(v as usize)
+}
+
+/// Reduces an arbitrary signed value into the canonical `n`-bit modular
+/// residue `v mod 2^n` (always in `[0, 2^n)`).
+pub fn wrap_mod_2n(v: i64, n: u32) -> usize {
+    assert!(n >= 1 && n <= 63, "register width out of range: {n}");
+    let m = 1i64 << n;
+    (((v % m) + m) % m) as usize
+}
+
+/// Sign-extends the low `from` bits of `bits` to `to` bits
+/// (`from ≤ to`), as a two's-complement widening.
+pub fn sign_extend(bits: usize, from: u32, to: u32) -> usize {
+    assert!(from >= 1 && from <= to && to <= 63);
+    let v = decode_twos_complement(bits, from);
+    encode_twos_complement(v, to).expect("sign extension cannot overflow")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-15;
+
+    #[test]
+    fn binary_fraction_single_digit() {
+        // [0.y]_{1,1} = y_1 / 2.
+        assert_eq!(binary_fraction(0b0, 1, 1), 0.0);
+        assert_eq!(binary_fraction(0b1, 1, 1), 0.5);
+    }
+
+    #[test]
+    fn binary_fraction_two_digits() {
+        // [0.y]_{2,1} = y_2/2 + y_1/4.
+        assert!((binary_fraction(0b11, 2, 1) - 0.75).abs() < TOL);
+        assert!((binary_fraction(0b10, 2, 1) - 0.5).abs() < TOL);
+        assert!((binary_fraction(0b01, 2, 1) - 0.25).abs() < TOL);
+    }
+
+    #[test]
+    fn binary_fraction_with_truncation() {
+        // Truncated fraction [0.y]_{3,2} ignores y_1.
+        let y = 0b111;
+        assert!((binary_fraction(y, 3, 2) - 0.75).abs() < TOL);
+        // Full [0.y]_{3,1} = 0.875.
+        assert!((binary_fraction(y, 3, 1) - 0.875).abs() < TOL);
+    }
+
+    #[test]
+    fn full_fraction_matches_binary_fraction() {
+        for y in 0..16usize {
+            assert!((full_fraction(y, 4) - binary_fraction(y, 4, 1)).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn twos_complement_roundtrip() {
+        for n in [1u32, 2, 4, 8, 16] {
+            let lo = -(1i64 << (n - 1));
+            let hi = (1i64 << (n - 1)) - 1;
+            for v in lo..=hi.min(lo + 600) {
+                let enc = encode_twos_complement(v, n).unwrap();
+                assert!(enc < (1usize << n));
+                assert_eq!(decode_twos_complement(enc, n), v);
+            }
+        }
+    }
+
+    #[test]
+    fn twos_complement_bounds() {
+        assert_eq!(encode_twos_complement(-5, 4), Some(0b1011));
+        assert_eq!(encode_twos_complement(7, 4), Some(0b0111));
+        assert_eq!(encode_twos_complement(8, 4), None);
+        assert_eq!(encode_twos_complement(-9, 4), None);
+        assert_eq!(decode_twos_complement(0b1000, 4), -8);
+        assert_eq!(decode_twos_complement(0b1111, 4), -1);
+    }
+
+    #[test]
+    fn unsigned_encoding() {
+        assert_eq!(encode_unsigned(255, 8), Some(255));
+        assert_eq!(encode_unsigned(256, 8), None);
+        assert_eq!(encode_unsigned(0, 1), Some(0));
+    }
+
+    #[test]
+    fn wrapping_matches_modular_arithmetic() {
+        assert_eq!(wrap_mod_2n(-1, 4), 15);
+        assert_eq!(wrap_mod_2n(16, 4), 0);
+        assert_eq!(wrap_mod_2n(17, 4), 1);
+        assert_eq!(wrap_mod_2n(-17, 4), 15);
+        // Addition then wrap equals wrap of sum (homomorphism check).
+        for a in -20i64..20 {
+            for b in -20i64..20 {
+                let lhs = wrap_mod_2n(a + b, 5);
+                let rhs = (wrap_mod_2n(a, 5) + wrap_mod_2n(b, 5)) % 32;
+                assert_eq!(lhs, rhs);
+            }
+        }
+    }
+
+    #[test]
+    fn sign_extension_preserves_value() {
+        for v in -8i64..8 {
+            let enc4 = encode_twos_complement(v, 4).unwrap();
+            let enc8 = sign_extend(enc4, 4, 8);
+            assert_eq!(decode_twos_complement(enc8, 8), v);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Mathematical foundations for the qfab quantum-arithmetic stack.
+//!
+//! This crate is deliberately dependency-light: it provides exactly the
+//! numerics the rest of the workspace needs and nothing more.
+//!
+//! * [`complex`] — a `Copy` double-precision complex number, [`Complex64`],
+//!   with the handful of operations quantum simulation needs (`cis`,
+//!   `conj`, `norm_sqr`, …).
+//! * [`matrix`] — dense 2×2 / 4×4 / 8×8 complex matrices used as 1-, 2-
+//!   and 3-qubit unitaries, with multiplication, adjoints, Kronecker
+//!   products, and unitarity checks.
+//! * [`bits`] — the bit-twiddling kernel helpers that state-vector gate
+//!   application is built on (index expansion around fixed qubit
+//!   positions, masks, popcounts).
+//! * [`frac`] — binary fractions `[0.y]_{i,j}` from the QFT literature and
+//!   two's-complement encode/decode for signed quantum integers.
+//! * [`stats`] — streaming mean/variance (Welford) and the small set of
+//!   summary statistics the paper's error-bar metric needs.
+//! * [`sampling`] — exact binomial sampling and alias-method discrete
+//!   sampling used to draw measurement shots from output distributions.
+//! * [`rng`] — SplitMix64 / xoshiro256** deterministic generators with
+//!   stream splitting, so experiments are reproducible under any thread
+//!   schedule.
+//! * [`approx`] — tolerant floating-point comparison helpers shared by
+//!   tests across the workspace.
+
+pub mod approx;
+pub mod bits;
+pub mod complex;
+pub mod frac;
+pub mod matrix;
+pub mod rng;
+pub mod sampling;
+pub mod stats;
+
+pub use complex::Complex64;
+pub use matrix::{Mat2, Mat4, Mat8};
+pub use rng::{SplitMix64, Xoshiro256StarStar};

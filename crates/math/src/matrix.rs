@@ -1,0 +1,433 @@
+//! Small dense complex matrices used as 1-, 2- and 3-qubit unitaries.
+//!
+//! The simulator only ever applies gates of at most three qubits, so fixed
+//! size 2×2, 4×4 and 8×8 matrices (stored row-major in arrays, fully on
+//! the stack) cover every need with no allocation. A macro generates the
+//! shared operations for each size.
+
+use crate::complex::Complex64;
+#[cfg(test)]
+use crate::complex::c64;
+
+macro_rules! define_matrix {
+    ($(#[$meta:meta])* $name:ident, $dim:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Debug)]
+        pub struct $name {
+            /// Row-major entries: `m[r][c]`.
+            pub m: [[Complex64; $dim]; $dim],
+        }
+
+        impl $name {
+            /// Matrix dimension (number of rows = columns).
+            pub const DIM: usize = $dim;
+
+            /// The zero matrix.
+            pub fn zero() -> Self {
+                Self { m: [[Complex64::ZERO; $dim]; $dim] }
+            }
+
+            /// The identity matrix.
+            pub fn identity() -> Self {
+                let mut out = Self::zero();
+                for i in 0..$dim {
+                    out.m[i][i] = Complex64::ONE;
+                }
+                out
+            }
+
+            /// Builds a matrix from row-major entries.
+            pub const fn from_rows(m: [[Complex64; $dim]; $dim]) -> Self {
+                Self { m }
+            }
+
+            /// A diagonal matrix with the given diagonal.
+            pub fn diagonal(d: [Complex64; $dim]) -> Self {
+                let mut out = Self::zero();
+                for i in 0..$dim {
+                    out.m[i][i] = d[i];
+                }
+                out
+            }
+
+            /// Matrix product `self · rhs`.
+            pub fn matmul(&self, rhs: &Self) -> Self {
+                let mut out = Self::zero();
+                for r in 0..$dim {
+                    for k in 0..$dim {
+                        let a = self.m[r][k];
+                        if a == Complex64::ZERO {
+                            continue;
+                        }
+                        for c in 0..$dim {
+                            out.m[r][c] = a.mul_add(rhs.m[k][c], out.m[r][c]);
+                        }
+                    }
+                }
+                out
+            }
+
+            /// Conjugate transpose `self†`.
+            pub fn adjoint(&self) -> Self {
+                let mut out = Self::zero();
+                for r in 0..$dim {
+                    for c in 0..$dim {
+                        out.m[c][r] = self.m[r][c].conj();
+                    }
+                }
+                out
+            }
+
+            /// Transpose without conjugation.
+            pub fn transpose(&self) -> Self {
+                let mut out = Self::zero();
+                for r in 0..$dim {
+                    for c in 0..$dim {
+                        out.m[c][r] = self.m[r][c];
+                    }
+                }
+                out
+            }
+
+            /// Entry-wise complex conjugate.
+            pub fn conj(&self) -> Self {
+                let mut out = *self;
+                for r in 0..$dim {
+                    for c in 0..$dim {
+                        out.m[r][c] = out.m[r][c].conj();
+                    }
+                }
+                out
+            }
+
+            /// Scales every entry by a complex factor.
+            pub fn scale(&self, s: Complex64) -> Self {
+                let mut out = *self;
+                for r in 0..$dim {
+                    for c in 0..$dim {
+                        out.m[r][c] *= s;
+                    }
+                }
+                out
+            }
+
+            /// Matrix sum.
+            pub fn add(&self, rhs: &Self) -> Self {
+                let mut out = *self;
+                for r in 0..$dim {
+                    for c in 0..$dim {
+                        out.m[r][c] += rhs.m[r][c];
+                    }
+                }
+                out
+            }
+
+            /// Matrix–vector product `self · v`.
+            pub fn apply(&self, v: &[Complex64; $dim]) -> [Complex64; $dim] {
+                let mut out = [Complex64::ZERO; $dim];
+                for r in 0..$dim {
+                    let mut acc = Complex64::ZERO;
+                    for c in 0..$dim {
+                        acc = self.m[r][c].mul_add(v[c], acc);
+                    }
+                    out[r] = acc;
+                }
+                out
+            }
+
+            /// Trace (sum of the diagonal).
+            pub fn trace(&self) -> Complex64 {
+                let mut t = Complex64::ZERO;
+                for i in 0..$dim {
+                    t += self.m[i][i];
+                }
+                t
+            }
+
+            /// Maximum absolute entry-wise difference to `other`.
+            pub fn max_abs_diff(&self, other: &Self) -> f64 {
+                let mut worst: f64 = 0.0;
+                for r in 0..$dim {
+                    for c in 0..$dim {
+                        let d = self.m[r][c] - other.m[r][c];
+                        worst = worst.max(d.re.abs()).max(d.im.abs());
+                    }
+                }
+                worst
+            }
+
+            /// Tolerant entry-wise equality.
+            pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+                self.max_abs_diff(other) <= tol
+            }
+
+            /// True when `self† · self ≈ I` within `tol`.
+            pub fn is_unitary(&self, tol: f64) -> bool {
+                self.adjoint().matmul(self).approx_eq(&Self::identity(), tol)
+            }
+
+            /// Tolerant equality *up to a global phase*: true when there is
+            /// a unit scalar `e^{iφ}` with `self ≈ e^{iφ}·other`.
+            ///
+            /// Global phases are unobservable, so transpile-equivalence
+            /// checks must ignore them.
+            pub fn approx_eq_up_to_phase(&self, other: &Self, tol: f64) -> bool {
+                // Find the largest-magnitude entry of `other` to anchor the
+                // phase estimate; fall back to exact comparison if zero.
+                let mut best = (0usize, 0usize);
+                let mut best_norm = 0.0f64;
+                for r in 0..$dim {
+                    for c in 0..$dim {
+                        let n = other.m[r][c].norm_sqr();
+                        if n > best_norm {
+                            best_norm = n;
+                            best = (r, c);
+                        }
+                    }
+                }
+                if best_norm == 0.0 {
+                    return self.approx_eq(other, tol);
+                }
+                let phase = self.m[best.0][best.1] / other.m[best.0][best.1];
+                // Reject if the anchor ratio is not a unit phase.
+                if (phase.norm() - 1.0).abs() > tol.max(1e-9) {
+                    return false;
+                }
+                self.approx_eq(&other.scale(phase), tol)
+            }
+        }
+    };
+}
+
+define_matrix!(
+    /// A 2×2 complex matrix: a single-qubit operator.
+    Mat2,
+    2
+);
+define_matrix!(
+    /// A 4×4 complex matrix: a two-qubit operator.
+    Mat4,
+    4
+);
+define_matrix!(
+    /// An 8×8 complex matrix: a three-qubit operator.
+    Mat8,
+    8
+);
+
+impl Mat2 {
+    /// Kronecker product `self ⊗ rhs` producing a two-qubit operator.
+    ///
+    /// Convention: `self` acts on the *more significant* qubit of the
+    /// resulting 4-dimensional space (big-endian, matching the textbook
+    /// matrix convention used in the paper).
+    pub fn kron(&self, rhs: &Mat2) -> Mat4 {
+        let mut out = Mat4::zero();
+        for r1 in 0..2 {
+            for c1 in 0..2 {
+                for r2 in 0..2 {
+                    for c2 in 0..2 {
+                        out.m[r1 * 2 + r2][c1 * 2 + c2] = self.m[r1][c1] * rhs.m[r2][c2];
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Mat4 {
+    /// Kronecker product `self ⊗ rhs` producing a three-qubit operator,
+    /// with `self` on the two more significant qubits.
+    pub fn kron2(&self, rhs: &Mat2) -> Mat8 {
+        let mut out = Mat8::zero();
+        for r1 in 0..4 {
+            for c1 in 0..4 {
+                for r2 in 0..2 {
+                    for c2 in 0..2 {
+                        out.m[r1 * 2 + r2][c1 * 2 + c2] = self.m[r1][c1] * rhs.m[r2][c2];
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Embeds a 1-qubit operator as a 2-qubit controlled operator
+/// `|0><0| ⊗ I + |1><1| ⊗ u` (control on the more significant qubit).
+pub fn controlled(u: &Mat2) -> Mat4 {
+    let mut out = Mat4::identity();
+    for r in 0..2 {
+        for c in 0..2 {
+            out.m[2 + r][2 + c] = u.m[r][c];
+            if r != c {
+                out.m[2 + r][2 + c] = u.m[r][c];
+            }
+        }
+    }
+    // Clear the identity entries we are overwriting in the lower block.
+    out.m[2][2] = u.m[0][0];
+    out.m[2][3] = u.m[0][1];
+    out.m[3][2] = u.m[1][0];
+    out.m[3][3] = u.m[1][1];
+    out
+}
+
+/// Embeds a 2-qubit operator as a 3-qubit controlled operator with the
+/// control on the most significant qubit.
+pub fn controlled2(u: &Mat4) -> Mat8 {
+    let mut out = Mat8::identity();
+    for r in 0..4 {
+        for c in 0..4 {
+            out.m[4 + r][4 + c] = u.m[r][c];
+        }
+    }
+    // The identity block we started from had ones on the diagonal of the
+    // lower-right 4×4; they were overwritten above, so nothing to fix.
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_1_SQRT_2;
+
+    const TOL: f64 = 1e-12;
+
+    fn hadamard() -> Mat2 {
+        let h = FRAC_1_SQRT_2;
+        Mat2::from_rows([[c64(h, 0.0), c64(h, 0.0)], [c64(h, 0.0), c64(-h, 0.0)]])
+    }
+
+    fn pauli_x() -> Mat2 {
+        Mat2::from_rows([
+            [Complex64::ZERO, Complex64::ONE],
+            [Complex64::ONE, Complex64::ZERO],
+        ])
+    }
+
+    fn pauli_z() -> Mat2 {
+        Mat2::diagonal([Complex64::ONE, -Complex64::ONE])
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let h = hadamard();
+        assert!(h.matmul(&Mat2::identity()).approx_eq(&h, TOL));
+        assert!(Mat2::identity().matmul(&h).approx_eq(&h, TOL));
+    }
+
+    #[test]
+    fn hadamard_is_self_inverse_and_unitary() {
+        let h = hadamard();
+        assert!(h.matmul(&h).approx_eq(&Mat2::identity(), TOL));
+        assert!(h.is_unitary(TOL));
+    }
+
+    #[test]
+    fn hzh_equals_x() {
+        let h = hadamard();
+        let hzh = h.matmul(&pauli_z()).matmul(&h);
+        assert!(hzh.approx_eq(&pauli_x(), TOL));
+    }
+
+    #[test]
+    fn adjoint_reverses_products() {
+        let a = hadamard();
+        let b = pauli_z();
+        let lhs = a.matmul(&b).adjoint();
+        let rhs = b.adjoint().matmul(&a.adjoint());
+        assert!(lhs.approx_eq(&rhs, TOL));
+    }
+
+    #[test]
+    fn transpose_and_conj_compose_to_adjoint() {
+        let m = Mat2::from_rows([[c64(1.0, 2.0), c64(3.0, -1.0)], [c64(0.0, 1.0), c64(2.0, 2.0)]]);
+        assert!(m.transpose().conj().approx_eq(&m.adjoint(), TOL));
+    }
+
+    #[test]
+    fn apply_matches_matmul_column() {
+        let h = hadamard();
+        let v = [Complex64::ONE, Complex64::ZERO];
+        let out = h.apply(&v);
+        assert!(out[0].approx_eq(c64(FRAC_1_SQRT_2, 0.0), TOL));
+        assert!(out[1].approx_eq(c64(FRAC_1_SQRT_2, 0.0), TOL));
+    }
+
+    #[test]
+    fn trace_of_identity_is_dim() {
+        assert!(Mat2::identity().trace().approx_eq(c64(2.0, 0.0), TOL));
+        assert!(Mat4::identity().trace().approx_eq(c64(4.0, 0.0), TOL));
+        assert!(Mat8::identity().trace().approx_eq(c64(8.0, 0.0), TOL));
+    }
+
+    #[test]
+    fn kron_of_identities_is_identity() {
+        assert!(Mat2::identity()
+            .kron(&Mat2::identity())
+            .approx_eq(&Mat4::identity(), TOL));
+        assert!(Mat4::identity()
+            .kron2(&Mat2::identity())
+            .approx_eq(&Mat8::identity(), TOL));
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD)
+        let a = hadamard();
+        let b = pauli_x();
+        let c = pauli_z();
+        let d = hadamard();
+        let lhs = a.kron(&b).matmul(&c.kron(&d));
+        let rhs = a.matmul(&c).kron(&b.matmul(&d));
+        assert!(lhs.approx_eq(&rhs, TOL));
+    }
+
+    #[test]
+    fn controlled_x_is_cnot() {
+        let cx = controlled(&pauli_x());
+        // |10> -> |11>, |11> -> |10>, |00>/|01> fixed.
+        let expect = Mat4::from_rows([
+            [Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO],
+            [Complex64::ZERO, Complex64::ONE, Complex64::ZERO, Complex64::ZERO],
+            [Complex64::ZERO, Complex64::ZERO, Complex64::ZERO, Complex64::ONE],
+            [Complex64::ZERO, Complex64::ZERO, Complex64::ONE, Complex64::ZERO],
+        ]);
+        assert!(cx.approx_eq(&expect, TOL));
+        assert!(cx.is_unitary(TOL));
+    }
+
+    #[test]
+    fn controlled2_embeds_in_lower_block() {
+        let ccx = controlled2(&controlled(&pauli_x()));
+        assert!(ccx.is_unitary(TOL));
+        // Only the |110> <-> |111> pair is swapped.
+        for i in 0..6 {
+            assert!(ccx.m[i][i].approx_eq(Complex64::ONE, TOL));
+        }
+        assert!(ccx.m[6][7].approx_eq(Complex64::ONE, TOL));
+        assert!(ccx.m[7][6].approx_eq(Complex64::ONE, TOL));
+    }
+
+    #[test]
+    fn phase_insensitive_equality() {
+        let h = hadamard();
+        let phased = h.scale(Complex64::cis(0.42));
+        assert!(!h.approx_eq(&phased, TOL));
+        assert!(h.approx_eq_up_to_phase(&phased, 1e-10));
+        // Differing by more than a phase must fail.
+        assert!(!h.approx_eq_up_to_phase(&pauli_x(), 1e-10));
+        // Non-unit scalings must fail too.
+        assert!(!h.approx_eq_up_to_phase(&h.scale(c64(2.0, 0.0)), 1e-10));
+    }
+
+    #[test]
+    fn scale_and_add() {
+        let z = Mat2::zero();
+        let i = Mat2::identity();
+        assert!(z.add(&i).approx_eq(&i, TOL));
+        assert!(i.scale(c64(2.0, 0.0)).trace().approx_eq(c64(4.0, 0.0), TOL));
+    }
+}

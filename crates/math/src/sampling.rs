@@ -1,0 +1,327 @@
+//! Discrete sampling primitives for measurement shots and noise events.
+//!
+//! Two workhorses:
+//!
+//! * [`AliasTable`] — Walker/Vose alias method: O(n) setup, O(1) per draw.
+//!   Used to sample measurement outcomes from an output probability
+//!   distribution with thousands of shots.
+//! * [`sample_binomial`] — exact binomial sampling (inversion for small
+//!   mean, BTPE-free rejection via repeated Bernoulli fallback kept exact
+//!   with a normal-approx fast path only when both `np` and `n(1−p)` are
+//!   large). Used for splitting shots into "clean" vs "noisy" trajectory
+//!   groups.
+
+use crate::rng::Xoshiro256StarStar;
+
+/// Walker alias table over a fixed discrete distribution.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights. Weights need not
+    /// be normalized. Panics if the slice is empty, any weight is
+    /// negative/non-finite, or all weights are zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        assert!(weights.len() <= u32::MAX as usize, "too many outcomes");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "all weights are zero");
+
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+
+        // Vose's stable partition into small/large stacks.
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            // Large donor gives away (1 - prob[s]) of its mass.
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Residual entries are exactly 1 up to rounding.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no outcomes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome index.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> usize {
+        let n = self.prob.len();
+        let col = rng.next_bounded(n as u64) as usize;
+        if rng.next_f64() < self.prob[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+
+    /// Draws `shots` outcomes and tallies them into a count vector of the
+    /// same length as the distribution.
+    pub fn sample_counts(&self, shots: u64, rng: &mut Xoshiro256StarStar) -> Vec<u64> {
+        let mut counts = vec![0u64; self.prob.len()];
+        for _ in 0..shots {
+            counts[self.sample(rng)] += 1;
+        }
+        counts
+    }
+}
+
+/// Exact sample from Binomial(n, p).
+///
+/// * inversion (sequential CDF walk) when `n·min(p,1−p) ≤ 30` — exact and
+///   fast for the small-mean cases that dominate trajectory splitting;
+/// * otherwise a simple exact Bernoulli-block method chunked through the
+///   RNG (still O(n) worst case but only reached for large `n·p`, where
+///   each call is amortized across thousands of shots anyway).
+pub fn sample_binomial(n: u64, p: f64, rng: &mut Xoshiro256StarStar) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "p out of range: {p}");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    // Exploit symmetry so the inversion mean stays small.
+    let flipped = p > 0.5;
+    let q = if flipped { 1.0 - p } else { p };
+    let mean = n as f64 * q;
+    let k = if mean <= 30.0 {
+        binomial_inversion(n, q, rng)
+    } else {
+        binomial_bernoulli(n, q, rng)
+    };
+    if flipped {
+        n - k
+    } else {
+        k
+    }
+}
+
+/// Inversion method: walk the CDF using the recurrence
+/// `P(k+1) = P(k) · (n−k)/(k+1) · p/(1−p)`.
+fn binomial_inversion(n: u64, p: f64, rng: &mut Xoshiro256StarStar) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    let mut pk = q.powf(n as f64); // P(0)
+    let mut cdf = pk;
+    let u = rng.next_f64();
+    let mut k = 0u64;
+    while u > cdf && k < n {
+        k += 1;
+        pk *= s * (n - k + 1) as f64 / k as f64;
+        cdf += pk;
+        // Numerical floor: if pk underflows, the remaining tail mass is
+        // negligible; bail out.
+        if pk < 1e-300 {
+            break;
+        }
+    }
+    k
+}
+
+/// Direct Bernoulli summation (exact for any n, used for large means).
+fn binomial_bernoulli(n: u64, p: f64, rng: &mut Xoshiro256StarStar) -> u64 {
+    let mut k = 0u64;
+    for _ in 0..n {
+        if rng.next_f64() < p {
+            k += 1;
+        }
+    }
+    k
+}
+
+/// Draws a multinomial sample: `shots` draws over `weights`, returned as
+/// counts. Convenience wrapper over [`AliasTable`].
+pub fn sample_multinomial(
+    weights: &[f64],
+    shots: u64,
+    rng: &mut Xoshiro256StarStar,
+) -> Vec<u64> {
+    AliasTable::new(weights).sample_counts(shots, rng)
+}
+
+/// Samples an index from a short unnormalized weight slice by linear CDF
+/// scan — cheaper than building an alias table when the distribution is
+/// used only once (e.g. choosing which Pauli to insert at one gate).
+#[inline]
+pub fn sample_weighted_once(weights: &[f64], rng: &mut Xoshiro256StarStar) -> usize {
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0);
+    let mut u = rng.next_f64() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::new(seed)
+    }
+
+    #[test]
+    fn alias_table_single_outcome() {
+        let t = AliasTable::new(&[3.0]);
+        let mut r = rng(1);
+        for _ in 0..10 {
+            assert_eq!(t.sample(&mut r), 0);
+        }
+    }
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights);
+        let mut r = rng(2);
+        let shots = 200_000u64;
+        let counts = t.sample_counts(shots, &mut r);
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = shots as f64 * w / total;
+            let got = counts[i] as f64;
+            assert!(
+                (got - expect).abs() < expect * 0.05,
+                "outcome {i}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_table_zero_weight_outcomes_never_drawn() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 1.0]);
+        let mut r = rng(3);
+        let counts = t.sample_counts(10_000, &mut r);
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[2], 0);
+        assert_eq!(counts[1] + counts[3], 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn alias_table_rejects_empty() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all weights are zero")]
+    fn alias_table_rejects_all_zero() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn alias_table_rejects_negative() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut r = rng(4);
+        assert_eq!(sample_binomial(0, 0.5, &mut r), 0);
+        assert_eq!(sample_binomial(100, 0.0, &mut r), 0);
+        assert_eq!(sample_binomial(100, 1.0, &mut r), 100);
+    }
+
+    #[test]
+    fn binomial_small_mean_statistics() {
+        let mut r = rng(5);
+        let (n, p) = (2048u64, 0.002);
+        let trials = 2000;
+        let mut sum = 0u64;
+        for _ in 0..trials {
+            let k = sample_binomial(n, p, &mut r);
+            assert!(k <= n);
+            sum += k;
+        }
+        let mean = sum as f64 / trials as f64;
+        let expect = n as f64 * p; // ≈ 4.1
+        assert!((mean - expect).abs() < 0.3, "mean {mean}, expect {expect}");
+    }
+
+    #[test]
+    fn binomial_large_mean_statistics() {
+        let mut r = rng(6);
+        let (n, p) = (2048u64, 0.4);
+        let trials = 500;
+        let mut acc = crate::stats::Welford::new();
+        for _ in 0..trials {
+            acc.push(sample_binomial(n, p, &mut r) as f64);
+        }
+        let expect_mean = n as f64 * p;
+        let expect_sd = (n as f64 * p * (1.0 - p)).sqrt();
+        assert!((acc.mean() - expect_mean).abs() < 4.0 * expect_sd / (trials as f64).sqrt());
+        assert!((acc.stddev_sample() - expect_sd).abs() < expect_sd * 0.15);
+    }
+
+    #[test]
+    fn binomial_symmetry_flip() {
+        // p close to 1 goes through the flipped path; check the mean.
+        let mut r = rng(7);
+        let (n, p) = (1000u64, 0.995);
+        let trials = 500;
+        let mean: f64 =
+            (0..trials).map(|_| sample_binomial(n, p, &mut r) as f64).sum::<f64>() / trials as f64;
+        assert!((mean - 995.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn multinomial_total_preserved() {
+        let mut r = rng(8);
+        let counts = sample_multinomial(&[0.2, 0.3, 0.5], 4096, &mut r);
+        assert_eq!(counts.iter().sum::<u64>(), 4096);
+    }
+
+    #[test]
+    fn weighted_once_respects_zero_and_distribution() {
+        let mut r = rng(9);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[sample_weighted_once(&[1.0, 0.0, 3.0], &mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+}

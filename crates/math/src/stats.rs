@@ -1,0 +1,226 @@
+//! Streaming summary statistics.
+//!
+//! The paper's error bars are built from the standard deviation of
+//! per-instance minimum count gaps; [`Welford`] provides the numerically
+//! stable single-pass mean/variance accumulation used for that, and a few
+//! convenience reductions cover the rest of the harness's needs.
+
+/// Numerically stable streaming mean/variance accumulator (Welford's
+/// algorithm).
+#[derive(Clone, Debug, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Merges another accumulator (parallel reduction; Chan et al.).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// The population variance (divides by `n`; 0 if fewer than 1 sample).
+    pub fn variance_population(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// The sample variance (divides by `n − 1`; 0 if fewer than 2 samples).
+    pub fn variance_sample(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// The sample standard deviation.
+    pub fn stddev_sample(&self) -> f64 {
+        self.variance_sample().sqrt()
+    }
+
+    /// The population standard deviation.
+    pub fn stddev_population(&self) -> f64 {
+        self.variance_population().sqrt()
+    }
+}
+
+impl FromIterator<f64> for Welford {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut w = Welford::new();
+        for x in iter {
+            w.push(x);
+        }
+        w
+    }
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation of a slice (0 for fewer than 2 elements).
+pub fn stddev_sample(xs: &[f64]) -> f64 {
+    xs.iter().copied().collect::<Welford>().stddev_sample()
+}
+
+/// Standard error of the mean for a Bernoulli success-rate estimate
+/// `p̂ = successes / trials` (Wald). Returns 0 for zero trials.
+pub fn bernoulli_standard_error(successes: u64, trials: u64) -> f64 {
+    if trials == 0 {
+        return 0.0;
+    }
+    let p = successes as f64 / trials as f64;
+    (p * (1.0 - p) / trials as f64).sqrt()
+}
+
+/// Wilson score interval for a binomial proportion at `z` standard
+/// normal quantiles (z≈1.96 for 95%). Returns `(low, high)` ⊂ [0, 1].
+///
+/// Preferred over the Wald interval near 0%/100% success rates, which is
+/// exactly where the paper's plots saturate.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn welford_empty() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance_sample(), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [1.0, 2.5, -3.0, 4.25, 0.0, 7.5];
+        let w: Welford = xs.iter().copied().collect();
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - m).abs() < TOL);
+        assert!((w.variance_sample() - var).abs() < TOL);
+        assert!((w.stddev_sample() - var.sqrt()).abs() < TOL);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let seq: Welford = xs.iter().copied().collect();
+        let mut a: Welford = xs[..37].iter().copied().collect();
+        let b: Welford = xs[37..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-10);
+        assert!((a.variance_sample() - seq.variance_sample()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a: Welford = [1.0, 2.0].iter().copied().collect();
+        a.merge(&Welford::new());
+        assert_eq!(a.count(), 2);
+        let mut e = Welford::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 2);
+        assert!((e.mean() - 1.5).abs() < TOL);
+    }
+
+    #[test]
+    fn slice_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < TOL);
+        assert_eq!(stddev_sample(&[5.0]), 0.0);
+        assert!((stddev_sample(&[1.0, 3.0]) - 2f64.sqrt()).abs() < TOL);
+    }
+
+    #[test]
+    fn bernoulli_se_known_values() {
+        assert_eq!(bernoulli_standard_error(0, 0), 0.0);
+        // p = 0.5, n = 100 -> se = 0.05.
+        assert!((bernoulli_standard_error(50, 100) - 0.05).abs() < TOL);
+        // Degenerate p = 0 or 1 -> se = 0 under Wald.
+        assert_eq!(bernoulli_standard_error(0, 100), 0.0);
+        assert_eq!(bernoulli_standard_error(100, 100), 0.0);
+    }
+
+    #[test]
+    fn wilson_interval_properties() {
+        let (lo, hi) = wilson_interval(50, 100, 1.96);
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert!(lo > 0.39 && hi < 0.61);
+        // Never degenerate at the boundaries, unlike Wald.
+        let (lo0, hi0) = wilson_interval(0, 100, 1.96);
+        assert_eq!(lo0, 0.0);
+        assert!(hi0 > 0.0 && hi0 < 0.06);
+        let (lo1, hi1) = wilson_interval(100, 100, 1.96);
+        assert!(lo1 > 0.94 && lo1 < 1.0);
+        assert!(hi1 > 0.999 && hi1 <= 1.0);
+        // Zero trials -> vacuous interval.
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the math substrate.
+
+use proptest::prelude::*;
+use rand::RngCore;
+use qfab_math::bits::{
+    from_bitstring, gather_bits, insert_zero_bit, reverse_bits, scatter_bits, to_bitstring,
+};
+use qfab_math::complex::{c64, Complex64};
+use qfab_math::frac::{
+    binary_fraction, decode_twos_complement, encode_twos_complement, wrap_mod_2n,
+};
+use qfab_math::rng::Xoshiro256StarStar;
+use qfab_math::sampling::{sample_binomial, AliasTable};
+use qfab_math::stats::Welford;
+
+fn arb_c64() -> impl Strategy<Value = Complex64> {
+    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| c64(re, im))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn complex_field_axioms(a in arb_c64(), b in arb_c64(), c in arb_c64()) {
+        let tol = 1e-9;
+        prop_assert!(((a + b) + c).approx_eq(a + (b + c), tol));
+        prop_assert!((a * b).approx_eq(b * a, tol));
+        prop_assert!(((a * b) * c).approx_eq(a * (b * c), 1e-7));
+        prop_assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-7));
+    }
+
+    #[test]
+    fn conjugation_is_an_involution_and_multiplicative(a in arb_c64(), b in arb_c64()) {
+        prop_assert!(a.conj().conj().approx_eq(a, 1e-12));
+        prop_assert!((a * b).conj().approx_eq(a.conj() * b.conj(), 1e-8));
+        prop_assert!((a.norm_sqr() - (a * a.conj()).re).abs() < 1e-8);
+    }
+
+    #[test]
+    fn cis_is_a_homomorphism(x in -6.0f64..6.0, y in -6.0f64..6.0) {
+        let lhs = Complex64::cis(x) * Complex64::cis(y);
+        prop_assert!(lhs.approx_eq(Complex64::cis(x + y), 1e-10));
+        prop_assert!((Complex64::cis(x).norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in arb_c64(), b in arb_c64()) {
+        prop_assume!(b.norm_sqr() > 1e-6);
+        prop_assert!(((a * b) / b).approx_eq(a, 1e-7));
+    }
+
+    #[test]
+    fn bit_insert_partition(k in 0usize..1024, bit in 0u32..10) {
+        let zero = insert_zero_bit(k, bit);
+        prop_assert_eq!(zero >> bit & 1, 0);
+        // Removing the inserted bit recovers k.
+        let low = zero & ((1 << bit) - 1);
+        let high = zero >> (bit + 1);
+        prop_assert_eq!((high << bit) | low, k);
+    }
+
+    #[test]
+    fn gather_scatter_inverse(idx in 0usize..4096, p0 in 0u32..12, p1 in 0u32..12, p2 in 0u32..12) {
+        prop_assume!(p0 != p1 && p1 != p2 && p0 != p2);
+        let positions = [p0, p1, p2];
+        let v = gather_bits(idx, &positions);
+        prop_assert_eq!(gather_bits(scatter_bits(idx, v, &positions), &positions), v);
+        prop_assert_eq!(scatter_bits(idx, v, &positions), idx);
+    }
+
+    #[test]
+    fn bit_reversal_involution(x in 0usize..4096, n in 1u32..13) {
+        let x = x & ((1 << n) - 1);
+        prop_assert_eq!(reverse_bits(reverse_bits(x, n), n), x);
+    }
+
+    #[test]
+    fn bitstring_roundtrip(x in 0usize..65536, n in 1u32..17) {
+        let x = x & ((1 << n) - 1);
+        prop_assert_eq!(from_bitstring(&to_bitstring(x, n)), Some(x));
+    }
+
+    #[test]
+    fn twos_complement_total_roundtrip(v in -32768i64..32767, n in 1u32..17) {
+        let lo = -(1i64 << (n - 1));
+        let hi = (1i64 << (n - 1)) - 1;
+        let v = lo + v.rem_euclid(hi - lo + 1);
+        let enc = encode_twos_complement(v, n).unwrap();
+        prop_assert!(enc < (1usize << n));
+        prop_assert_eq!(decode_twos_complement(enc, n), v);
+    }
+
+    #[test]
+    fn wrap_is_additive_homomorphism(a in -1000i64..1000, b in -1000i64..1000, n in 1u32..12) {
+        let lhs = wrap_mod_2n(a + b, n);
+        let rhs = (wrap_mod_2n(a, n) + wrap_mod_2n(b, n)) % (1usize << n);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn binary_fraction_bounds_and_truncation(y in 0usize..256, i in 1u32..9) {
+        let f = binary_fraction(y, i, 1);
+        prop_assert!((0.0..1.0).contains(&f));
+        // Truncating from below only removes non-negative mass.
+        for j in 2..=i {
+            let t = binary_fraction(y, i, j);
+            prop_assert!(t <= f + 1e-12);
+        }
+    }
+
+    #[test]
+    fn welford_merge_associativity(xs in prop::collection::vec(-100.0f64..100.0, 3..60), split in 1usize..50) {
+        let split = split.min(xs.len() - 1);
+        let whole: Welford = xs.iter().copied().collect();
+        let mut left: Welford = xs[..split].iter().copied().collect();
+        let right: Welford = xs[split..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-8);
+        prop_assert!((left.variance_sample() - whole.variance_sample()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binomial_samples_in_range(n in 0u64..5000, p in 0.0f64..1.0, seed in any::<u64>()) {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let k = sample_binomial(n, p, &mut rng);
+        prop_assert!(k <= n);
+    }
+
+    #[test]
+    fn alias_table_total_counts(weights in prop::collection::vec(0.0f64..10.0, 1..20), seed in any::<u64>()) {
+        prop_assume!(weights.iter().sum::<f64>() > 1e-6);
+        let table = AliasTable::new(&weights);
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let counts = table.sample_counts(500, &mut rng);
+        prop_assert_eq!(counts.iter().sum::<u64>(), 500);
+        // Zero-weight outcomes are never drawn.
+        for (i, &w) in weights.iter().enumerate() {
+            if w == 0.0 {
+                prop_assert_eq!(counts[i], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn rng_streams_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+        let mut a = Xoshiro256StarStar::for_stream(seed, stream);
+        let mut b = Xoshiro256StarStar::for_stream(seed, stream);
+        for _ in 0..8 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Tunable noise models and Monte-Carlo trajectory sampling.
+//!
+//! The paper isolates two error sources — depolarizing error on
+//! single-qubit gates and on two-qubit gates — with everything else
+//! (reset, measurement, connectivity) switched off. This crate builds
+//! that model, plus the sources the paper defers to future work, from
+//! first principles:
+//!
+//! * [`channel`] — quantum error channels. Pauli-mixture channels
+//!   (depolarizing, bit/phase flip) carry both a trajectory form (sample
+//!   a Pauli, insert it after the gate) and a Kraus form; purely
+//!   non-unitary channels (amplitude/phase damping, thermal relaxation)
+//!   carry Kraus forms for exact density-matrix evolution.
+//! * [`model`] — a [`NoiseModel`] binds channels to gate arities exactly
+//!   like Qiskit's `depolarizing_error(p, k)` attachments in the paper:
+//!   every 1q gate gets the 1q channel, every CX gets the 2q channel.
+//! * [`trajectory`] — per-shot Monte-Carlo sampling of error insertions.
+//!   Includes the *conditioned* sampler used by the evaluation pipeline:
+//!   the probability that a shot is error-free is computed in closed
+//!   form (so those shots share one noiseless simulation), and noisy
+//!   shots sample their insertion set conditioned on at least one error,
+//!   exactly — no rejection of whole simulations.
+//! * [`readout`] — classical measurement (readout) error applied to
+//!   sampled bitstrings.
+
+pub mod channel;
+pub mod model;
+pub mod readout;
+pub mod trajectory;
+
+pub use channel::{KrausChannel, PauliChannel};
+pub use model::NoiseModel;
+pub use readout::ReadoutError;
+pub use trajectory::{TrajectoryPlan, TrajectorySampler};

@@ -1,0 +1,96 @@
+//! Classical readout (measurement) error.
+//!
+//! One of the error sources the paper defers to future work; included
+//! here for completeness. Applied *after* sampling: each measured bit
+//! flips `0→1` with probability `p01` and `1→0` with probability `p10`,
+//! independently per qubit — the standard symmetric-or-asymmetric
+//! confusion-matrix model.
+
+use qfab_math::rng::Xoshiro256StarStar;
+
+/// Independent per-qubit bit-flip readout error.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReadoutError {
+    /// Probability a true 0 is read as 1.
+    pub p01: f64,
+    /// Probability a true 1 is read as 0.
+    pub p10: f64,
+}
+
+impl ReadoutError {
+    /// Symmetric readout error: both flip directions share `p`.
+    pub fn symmetric(p: f64) -> Self {
+        Self::new(p, p)
+    }
+
+    /// Asymmetric readout error.
+    pub fn new(p01: f64, p10: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p01), "p01 out of range");
+        assert!((0.0..=1.0).contains(&p10), "p10 out of range");
+        Self { p01, p10 }
+    }
+
+    /// Corrupts a measured `n`-qubit outcome.
+    pub fn apply(&self, outcome: usize, n: u32, rng: &mut Xoshiro256StarStar) -> usize {
+        let mut out = outcome;
+        for q in 0..n {
+            let bit = (outcome >> q) & 1;
+            let p = if bit == 0 { self.p01 } else { self.p10 };
+            if p > 0.0 && rng.next_f64() < p {
+                out ^= 1usize << q;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_is_identity() {
+        let ro = ReadoutError::symmetric(0.0);
+        let mut rng = Xoshiro256StarStar::new(1);
+        for v in 0..16 {
+            assert_eq!(ro.apply(v, 4, &mut rng), v);
+        }
+    }
+
+    #[test]
+    fn certain_error_flips_everything() {
+        let ro = ReadoutError::new(1.0, 1.0);
+        let mut rng = Xoshiro256StarStar::new(2);
+        assert_eq!(ro.apply(0b0101, 4, &mut rng), 0b1010);
+    }
+
+    #[test]
+    fn asymmetric_rates() {
+        // p01 = 0 means zeros never flip; p10 = 1 means ones always do.
+        let ro = ReadoutError::new(0.0, 1.0);
+        let mut rng = Xoshiro256StarStar::new(3);
+        assert_eq!(ro.apply(0b1111, 4, &mut rng), 0);
+        assert_eq!(ro.apply(0b0000, 4, &mut rng), 0);
+    }
+
+    #[test]
+    fn flip_statistics() {
+        let ro = ReadoutError::symmetric(0.1);
+        let mut rng = Xoshiro256StarStar::new(4);
+        let trials = 100_000;
+        let mut flips = 0usize;
+        for _ in 0..trials {
+            if ro.apply(0, 1, &mut rng) == 1 {
+                flips += 1;
+            }
+        }
+        let rate = flips as f64 / trials as f64;
+        assert!((rate - 0.1).abs() < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "p01 out of range")]
+    fn rejects_bad_probability() {
+        ReadoutError::new(1.5, 0.0);
+    }
+}

@@ -1,0 +1,393 @@
+//! Monte-Carlo trajectory sampling of gate errors.
+//!
+//! A Pauli-mixture noise model turns one noisy execution ("shot") into:
+//! the ideal circuit, plus a sparse set of Pauli gates inserted after
+//! the gates whose channel fired. [`TrajectoryPlan`] precomputes, once
+//! per circuit × model:
+//!
+//! * which gate indices carry a channel and with what error rate,
+//! * the closed-form probability `p_clean = Π(1−λ_g)` that a shot has
+//!   **no** error at all,
+//! * prefix products enabling exact O(gates) sampling of a trajectory
+//!   *conditioned on at least one error* — no rejection of whole
+//!   simulations.
+//!
+//! The evaluation pipeline splits `shots` into `Binomial(shots,
+//! p_clean)` clean shots (which all share one noiseless simulation) and
+//! noisy shots (each sampling a conditioned trajectory and one
+//! measurement). This is exactly equivalent to per-shot Bernoulli
+//! sampling — validated against both the unconditional sampler and
+//! exact density-matrix evolution in the tests below.
+
+use crate::channel::PauliChannel;
+use crate::model::NoiseModel;
+use qfab_circuit::Circuit;
+use qfab_math::rng::Xoshiro256StarStar;
+use qfab_math::sampling::sample_weighted_once;
+use qfab_sim::Insertion;
+
+/// A noise site: a gate index that carries an error channel.
+#[derive(Clone, Debug)]
+struct Site {
+    gate_index: usize,
+    /// Operand qubits of the gate (channel Paulis land here).
+    qubits: Vec<u32>,
+    /// Which of the plan's channels applies (index into `channels`).
+    channel: usize,
+}
+
+/// Precomputed trajectory-sampling tables for one circuit × model pair.
+#[derive(Clone, Debug)]
+pub struct TrajectoryPlan {
+    sites: Vec<Site>,
+    channels: Vec<ChannelTables>,
+    /// `prefix_clean[i]` = probability that sites `0..i` all stay clean.
+    prefix_clean: Vec<f64>,
+    clean_prob: f64,
+}
+
+#[derive(Clone, Debug)]
+struct ChannelTables {
+    channel: PauliChannel,
+    error_prob: f64,
+    /// Non-identity Pauli indices and conditional weights.
+    err_indices: Vec<usize>,
+    err_weights: Vec<f64>,
+}
+
+impl TrajectoryPlan {
+    /// Builds the plan. The circuit must already be transpiled to 1q/2q
+    /// gates (the model panics on 3-qubit gates, like the paper's).
+    pub fn new(circuit: &Circuit, model: &NoiseModel) -> Self {
+        let mut channels: Vec<ChannelTables> = Vec::new();
+        let mut sites = Vec::new();
+        for (i, gate) in circuit.gates().iter().enumerate() {
+            let Some(ch) = model.channel_for(gate) else {
+                continue;
+            };
+            if ch.error_prob() == 0.0 {
+                continue;
+            }
+            let channel = match channels.iter().position(|t| &t.channel == ch) {
+                Some(idx) => idx,
+                None => {
+                    let (err_indices, err_weights) = ch.error_distribution();
+                    channels.push(ChannelTables {
+                        channel: ch.clone(),
+                        error_prob: ch.error_prob(),
+                        err_indices,
+                        err_weights,
+                    });
+                    channels.len() - 1
+                }
+            };
+            sites.push(Site {
+                gate_index: i,
+                qubits: gate.qubits().as_slice().to_vec(),
+                channel,
+            });
+        }
+        let mut prefix_clean = Vec::with_capacity(sites.len() + 1);
+        let mut acc = 1.0f64;
+        prefix_clean.push(1.0);
+        for s in &sites {
+            acc *= 1.0 - channels[s.channel].error_prob;
+            prefix_clean.push(acc);
+        }
+        Self { sites, channels, prefix_clean, clean_prob: acc }
+    }
+
+    /// Probability that a shot sees no error anywhere.
+    pub fn clean_prob(&self) -> f64 {
+        self.clean_prob
+    }
+
+    /// Number of noise sites (gates carrying a channel).
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Samples a trajectory by independent per-site Bernoulli draws
+    /// (may be empty). Reference semantics; the pipeline prefers
+    /// [`Self::sample_noisy`] plus the binomial clean split.
+    pub fn sample_unconditional(&self, rng: &mut Xoshiro256StarStar) -> Vec<Insertion> {
+        let mut out = Vec::new();
+        for site in &self.sites {
+            let t = &self.channels[site.channel];
+            if rng.next_f64() < t.error_prob {
+                self.push_error(&mut out, site, t, rng);
+            }
+        }
+        out
+    }
+
+    /// Samples a trajectory conditioned on **at least one** error, with
+    /// the exact conditional distribution:
+    ///
+    /// 1. the first erroring site is drawn from
+    ///    `P(first = i) = prefix_clean[i] · λ_i / (1 − p_clean)`;
+    /// 2. sites after it fire independently at their native rates.
+    ///
+    /// Panics if the plan has no sites or a zero total error rate.
+    pub fn sample_noisy(&self, rng: &mut Xoshiro256StarStar) -> Vec<Insertion> {
+        assert!(
+            self.clean_prob < 1.0,
+            "cannot sample a noisy trajectory from a noiseless plan"
+        );
+        let mut out = Vec::new();
+        // Draw the first erroring site by inverse CDF over the exact
+        // first-error distribution.
+        let total = 1.0 - self.clean_prob;
+        let mut u = rng.next_f64() * total;
+        let mut first = self.sites.len() - 1;
+        for (i, site) in self.sites.iter().enumerate() {
+            let p_first = self.prefix_clean[i] * self.channels[site.channel].error_prob;
+            if u < p_first {
+                first = i;
+                break;
+            }
+            u -= p_first;
+        }
+        let site = &self.sites[first];
+        let t = &self.channels[site.channel];
+        self.push_error(&mut out, site, t, rng);
+        // Everything after the first error is unconditioned.
+        for site in &self.sites[first + 1..] {
+            let t = &self.channels[site.channel];
+            if rng.next_f64() < t.error_prob {
+                self.push_error(&mut out, site, t, rng);
+            }
+        }
+        out
+    }
+
+    fn push_error(
+        &self,
+        out: &mut Vec<Insertion>,
+        site: &Site,
+        tables: &ChannelTables,
+        rng: &mut Xoshiro256StarStar,
+    ) {
+        let which = sample_weighted_once(&tables.err_weights, rng);
+        let pauli_index = tables.err_indices[which];
+        for gate in tables.channel.gates_for_index(pauli_index, &site.qubits) {
+            out.push(Insertion { after_gate: site.gate_index, gate });
+        }
+    }
+}
+
+/// Convenience: splits `shots` into (clean, noisy) according to the
+/// plan's clean probability.
+pub struct TrajectorySampler;
+
+impl TrajectorySampler {
+    /// Samples how many of `shots` executions are error-free.
+    pub fn split_clean_shots(
+        plan: &TrajectoryPlan,
+        shots: u64,
+        rng: &mut Xoshiro256StarStar,
+    ) -> (u64, u64) {
+        let clean = qfab_math::sampling::sample_binomial(shots, plan.clean_prob(), rng);
+        (clean, shots - clean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfab_circuit::Gate;
+    use qfab_sim::{CheckpointTable, DensityMatrix, StateVector};
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::new(seed)
+    }
+
+    fn small_circuit() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).rz(0.3, 1).cx(1, 2).h(2).x(0);
+        c
+    }
+
+    #[test]
+    fn plan_counts_sites_correctly() {
+        let c = small_circuit();
+        let m1 = NoiseModel::only_1q_depolarizing(0.01);
+        let plan1 = TrajectoryPlan::new(&c, &m1);
+        assert_eq!(plan1.num_sites(), 4); // h, rz, h, x
+
+        let m2 = NoiseModel::only_2q_depolarizing(0.02);
+        let plan2 = TrajectoryPlan::new(&c, &m2);
+        assert_eq!(plan2.num_sites(), 2); // both cx
+
+        let both = NoiseModel::depolarizing(0.01, 0.02);
+        assert_eq!(TrajectoryPlan::new(&c, &both).num_sites(), 6);
+
+        let ideal = TrajectoryPlan::new(&c, &NoiseModel::ideal());
+        assert_eq!(ideal.num_sites(), 0);
+        assert_eq!(ideal.clean_prob(), 1.0);
+    }
+
+    #[test]
+    fn clean_prob_matches_model() {
+        let c = small_circuit();
+        let m = NoiseModel::depolarizing(0.01, 0.02);
+        let plan = TrajectoryPlan::new(&c, &m);
+        assert!((plan.clean_prob() - m.clean_shot_probability(&c)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unconditional_error_rate_statistics() {
+        let c = small_circuit();
+        let m = NoiseModel::depolarizing(0.05, 0.1);
+        let plan = TrajectoryPlan::new(&c, &m);
+        let mut r = rng(1);
+        let trials = 50_000;
+        let empty = (0..trials)
+            .filter(|_| plan.sample_unconditional(&mut r).is_empty())
+            .count();
+        let rate = empty as f64 / trials as f64;
+        assert!(
+            (rate - plan.clean_prob()).abs() < 0.01,
+            "empty rate {rate} vs clean prob {}",
+            plan.clean_prob()
+        );
+    }
+
+    #[test]
+    fn conditioned_sampler_never_returns_empty() {
+        let c = small_circuit();
+        let plan = TrajectoryPlan::new(&c, &NoiseModel::depolarizing(0.01, 0.01));
+        let mut r = rng(2);
+        for _ in 0..2000 {
+            let t = plan.sample_noisy(&mut r);
+            assert!(!t.is_empty());
+            // Insertions are sorted by construction.
+            assert!(t.windows(2).all(|w| w[0].after_gate <= w[1].after_gate));
+        }
+    }
+
+    #[test]
+    fn conditioned_matches_unconditional_given_nonempty() {
+        // The distribution of the first error position must agree
+        // between (a) unconditional sampling filtered to non-empty and
+        // (b) the conditioned sampler.
+        let c = small_circuit();
+        let plan = TrajectoryPlan::new(&c, &NoiseModel::depolarizing(0.08, 0.15));
+        let mut r = rng(3);
+        let trials = 40_000;
+        let mut hist_a = vec![0usize; c.len()];
+        let mut got_a = 0usize;
+        while got_a < trials {
+            let t = plan.sample_unconditional(&mut r);
+            if let Some(first) = t.first() {
+                hist_a[first.after_gate] += 1;
+                got_a += 1;
+            }
+        }
+        let mut hist_b = vec![0usize; c.len()];
+        for _ in 0..trials {
+            let t = plan.sample_noisy(&mut r);
+            hist_b[t[0].after_gate] += 1;
+        }
+        for i in 0..c.len() {
+            let (a, b) = (hist_a[i] as f64, hist_b[i] as f64);
+            let scale = (a.max(b)).max(200.0);
+            assert!(
+                (a - b).abs() < 5.0 * scale.sqrt(),
+                "first-error histogram mismatch at gate {i}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "noiseless plan")]
+    fn conditioned_sampler_rejects_ideal_plan() {
+        let c = small_circuit();
+        let plan = TrajectoryPlan::new(&c, &NoiseModel::ideal());
+        let _ = plan.sample_noisy(&mut rng(4));
+    }
+
+    #[test]
+    fn split_clean_shots_statistics() {
+        let c = small_circuit();
+        let plan = TrajectoryPlan::new(&c, &NoiseModel::depolarizing(0.02, 0.05));
+        let mut r = rng(5);
+        let shots = 2048u64;
+        let mut total_clean = 0u64;
+        let reps = 200;
+        for _ in 0..reps {
+            let (clean, noisy) = TrajectorySampler::split_clean_shots(&plan, shots, &mut r);
+            assert_eq!(clean + noisy, shots);
+            total_clean += clean;
+        }
+        let rate = total_clean as f64 / (shots * reps) as f64;
+        assert!((rate - plan.clean_prob()).abs() < 0.01, "clean rate {rate}");
+    }
+
+    #[test]
+    fn insertions_are_paulis_on_gate_operands() {
+        let c = small_circuit();
+        let plan = TrajectoryPlan::new(&c, &NoiseModel::depolarizing(0.3, 0.5));
+        let mut r = rng(6);
+        for _ in 0..500 {
+            for ins in plan.sample_noisy(&mut r) {
+                assert!(matches!(
+                    ins.gate,
+                    Gate::X(_) | Gate::Y(_) | Gate::Z(_)
+                ));
+                // The inserted qubit belongs to the gate it follows.
+                let host = &c.gates()[ins.after_gate];
+                let q = ins.gate.qubits()[0];
+                assert!(host.qubits().as_slice().contains(&q));
+            }
+        }
+    }
+
+    /// The decisive correctness test: Monte-Carlo trajectories must
+    /// converge to the exact density-matrix channel evolution.
+    #[test]
+    fn trajectories_converge_to_exact_channel() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).rz(0.4, 0).cx(0, 1);
+        let model = NoiseModel::depolarizing(0.08, 0.12);
+
+        // Exact: density matrix with Kraus channels after each gate.
+        let mut rho = DensityMatrix::basis_state(2, 0);
+        for g in c.gates() {
+            rho.apply_gate(g);
+            if let Some(ch) = model.channel_for(g) {
+                let kraus = ch.to_kraus();
+                rho.apply_kraus(g.qubits().as_slice(), kraus.ops());
+            }
+        }
+        let exact = rho.probabilities();
+
+        // Monte-Carlo: average over trajectories (clean + noisy split).
+        let plan = TrajectoryPlan::new(&c, &model);
+        let init = StateVector::zero_state(2);
+        let table = CheckpointTable::build(c.clone(), &init, 2);
+        let mut r = rng(7);
+        let trials = 60_000u64;
+        let clean = qfab_math::sampling::sample_binomial(trials, plan.clean_prob(), &mut r);
+        let mut acc = vec![0.0f64; 4];
+        let clean_probs = table.final_state().probabilities();
+        for (a, p) in acc.iter_mut().zip(&clean_probs) {
+            *a += p * clean as f64;
+        }
+        for _ in 0..(trials - clean) {
+            let t = plan.sample_noisy(&mut r);
+            let state = table.run_with_insertions(&t);
+            for (a, p) in acc.iter_mut().zip(state.probabilities()) {
+                *a += p;
+            }
+        }
+        for (i, a) in acc.iter().enumerate() {
+            let mc = a / trials as f64;
+            assert!(
+                (mc - exact[i]).abs() < 0.01,
+                "outcome {i}: MC {mc} vs exact {}",
+                exact[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Circuit execution with checkpointed trajectory replay.
+//!
+//! Monte-Carlo noise simulation runs the *same* circuit thousands of
+//! times per instance, differing only in a sparse set of injected error
+//! gates ("insertions"). At realistic error rates most trajectories have
+//! their first error deep into the circuit — so re-simulating the clean
+//! prefix every time is wasted work.
+//!
+//! [`CheckpointTable`] snapshots the noiseless state every `interval`
+//! gates. Replaying a trajectory whose first insertion follows gate `g`
+//! starts from checkpoint `⌊g/interval⌋` instead of from the initial
+//! state. The memory/speed trade-off is controlled by a byte budget
+//! (more checkpoints, shorter replays).
+//!
+//! The table itself is immutable after construction, so one table is
+//! shared by reference across all trajectory replays of an instance —
+//! including rayon-parallel replays.
+
+use crate::statevector::StateVector;
+use qfab_circuit::{Circuit, Gate};
+
+/// An error gate injected *after* the circuit gate at `after_gate`
+/// (matching Qiskit's convention of attaching gate error following the
+/// ideal gate).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Insertion {
+    /// Index into the circuit's gate list after which `gate` fires.
+    pub after_gate: usize,
+    /// The injected error gate (a Pauli, for the depolarizing channels).
+    pub gate: Gate,
+}
+
+/// Immutable table of noiseless intermediate states.
+#[derive(Clone, Debug)]
+pub struct CheckpointTable {
+    circuit: Circuit,
+    /// `states[j]` is the state after applying gates `[0, j·interval)`.
+    states: Vec<StateVector>,
+    /// State after the full circuit.
+    final_state: StateVector,
+    interval: usize,
+}
+
+impl CheckpointTable {
+    /// Default memory budget for checkpoint storage (16 MiB), chosen so
+    /// that one table per rayon worker stays comfortably in RAM for the
+    /// paper's 16–17 qubit circuits.
+    pub const DEFAULT_BUDGET_BYTES: usize = 16 << 20;
+
+    /// Builds a table with an explicit checkpoint interval (in gates).
+    pub fn build(circuit: Circuit, initial: &StateVector, interval: usize) -> Self {
+        assert!(interval >= 1, "interval must be at least 1");
+        let mut state = initial.clone();
+        let mut states = vec![state.clone()];
+        for (i, gate) in circuit.gates().iter().enumerate() {
+            state.apply_gate(gate);
+            if (i + 1) % interval == 0 && i + 1 < circuit.len() {
+                states.push(state.clone());
+            }
+        }
+        Self { circuit, states, final_state: state, interval }
+    }
+
+    /// Builds a table whose checkpoint count fits in `budget_bytes`
+    /// (always keeping at least the initial state).
+    pub fn build_with_budget(
+        circuit: Circuit,
+        initial: &StateVector,
+        budget_bytes: usize,
+    ) -> Self {
+        let state_bytes = initial.amplitudes().len() * std::mem::size_of::<qfab_math::Complex64>();
+        let max_checkpoints = (budget_bytes / state_bytes.max(1)).max(1);
+        let interval = circuit.len().div_ceil(max_checkpoints).max(1);
+        Self::build(circuit, initial, interval)
+    }
+
+    /// The circuit this table was built for.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The checkpoint interval in gates.
+    pub fn interval(&self) -> usize {
+        self.interval
+    }
+
+    /// Number of stored checkpoints (including the initial state).
+    pub fn num_checkpoints(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The noiseless final state.
+    pub fn final_state(&self) -> &StateVector {
+        &self.final_state
+    }
+
+    /// Replays the circuit with error-gate insertions and returns the
+    /// final state.
+    ///
+    /// `insertions` must be sorted ascending by `after_gate` and every
+    /// `after_gate` must be a valid gate index. With no insertions this
+    /// returns a clone of the noiseless final state without replaying.
+    pub fn run_with_insertions(&self, insertions: &[Insertion]) -> StateVector {
+        if insertions.is_empty() {
+            return self.final_state.clone();
+        }
+        debug_assert!(
+            insertions.windows(2).all(|w| w[0].after_gate <= w[1].after_gate),
+            "insertions must be sorted by position"
+        );
+        let first = insertions[0].after_gate;
+        assert!(
+            insertions.last().unwrap().after_gate < self.circuit.len(),
+            "insertion index out of range"
+        );
+        // Latest checkpoint at or before `first`: checkpoint j holds the
+        // state after j·interval gates, so we need j·interval ≤ first.
+        let j = (first / self.interval).min(self.states.len() - 1);
+        let mut state = self.states[j].clone();
+        let mut pending = insertions.iter().peekable();
+        for (i, gate) in self.circuit.gates().iter().enumerate().skip(j * self.interval) {
+            state.apply_gate(gate);
+            while pending.peek().is_some_and(|ins| ins.after_gate == i) {
+                state.apply_gate(&pending.next().unwrap().gate);
+            }
+        }
+        debug_assert!(pending.next().is_none(), "unapplied insertion");
+        state
+    }
+
+    /// Fraction of gate applications avoided for a trajectory whose first
+    /// insertion follows gate `first` (diagnostic for the ablation bench).
+    pub fn savings_fraction(&self, first: usize) -> f64 {
+        if self.circuit.is_empty() {
+            return 0.0;
+        }
+        let j = (first / self.interval).min(self.states.len() - 1);
+        (j * self.interval) as f64 / self.circuit.len() as f64
+    }
+}
+
+/// Runs a circuit on a copy of `initial` (no checkpoints, no noise).
+pub fn run_clean(circuit: &Circuit, initial: &StateVector) -> StateVector {
+    let mut state = initial.clone();
+    state.apply_circuit(circuit);
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfab_math::approx::approx_eq_slice;
+
+    fn sample_circuit(n: u32, gates: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        // Deterministic pseudo-random but meaningful gate sequence.
+        for i in 0..gates {
+            match i % 5 {
+                0 => c.h((i as u32) % n),
+                1 => c.cx((i as u32) % n, ((i as u32) + 1) % n),
+                2 => c.rz(0.1 + (i as f64) * 0.01, (i as u32 + 2) % n),
+                3 => c.cphase(0.3, (i as u32) % n, ((i as u32) + 2) % n),
+                _ => c.x((i as u32 + 1) % n),
+            };
+        }
+        c
+    }
+
+    /// Reference: naive full replay with insertions.
+    fn naive_run(circuit: &Circuit, initial: &StateVector, insertions: &[Insertion]) -> StateVector {
+        let mut state = initial.clone();
+        let mut pending = insertions.iter().peekable();
+        for (i, gate) in circuit.gates().iter().enumerate() {
+            state.apply_gate(gate);
+            while pending.peek().is_some_and(|ins| ins.after_gate == i) {
+                state.apply_gate(&pending.next().unwrap().gate);
+            }
+        }
+        state
+    }
+
+    #[test]
+    fn empty_insertions_return_clean_state() {
+        let c = sample_circuit(4, 20);
+        let init = StateVector::zero_state(4);
+        let table = CheckpointTable::build(c.clone(), &init, 5);
+        let clean = run_clean(&c, &init);
+        let replay = table.run_with_insertions(&[]);
+        assert!(approx_eq_slice(replay.amplitudes(), clean.amplitudes(), 1e-12));
+    }
+
+    #[test]
+    fn replay_matches_naive_for_every_insertion_point() {
+        let c = sample_circuit(4, 23);
+        let init = StateVector::zero_state(4);
+        let table = CheckpointTable::build(c.clone(), &init, 4);
+        for g in 0..c.len() {
+            let ins = [Insertion { after_gate: g, gate: Gate::X(1) }];
+            let fast = table.run_with_insertions(&ins);
+            let slow = naive_run(&c, &init, &ins);
+            assert!(
+                approx_eq_slice(fast.amplitudes(), slow.amplitudes(), 1e-10),
+                "divergence at insertion after gate {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_with_multiple_insertions() {
+        let c = sample_circuit(5, 31);
+        let init = StateVector::zero_state(5);
+        let table = CheckpointTable::build(c.clone(), &init, 7);
+        let ins = [
+            Insertion { after_gate: 3, gate: Gate::Z(0) },
+            Insertion { after_gate: 3, gate: Gate::X(2) },
+            Insertion { after_gate: 17, gate: Gate::Y(4) },
+            Insertion { after_gate: 30, gate: Gate::X(1) },
+        ];
+        let fast = table.run_with_insertions(&ins);
+        let slow = naive_run(&c, &init, &ins);
+        assert!(approx_eq_slice(fast.amplitudes(), slow.amplitudes(), 1e-10));
+    }
+
+    #[test]
+    fn interval_one_checkpoints_every_gate() {
+        let c = sample_circuit(3, 10);
+        let init = StateVector::zero_state(3);
+        let table = CheckpointTable::build(c, &init, 1);
+        // 10 gates: initial + after gates 1..9 (final not stored in list).
+        assert_eq!(table.num_checkpoints(), 10);
+        assert_eq!(table.interval(), 1);
+    }
+
+    #[test]
+    fn budgeted_build_respects_memory() {
+        let c = sample_circuit(6, 64);
+        let init = StateVector::zero_state(6); // 64 amps · 16 B = 1 KiB
+        // 4 KiB budget -> at most 4 checkpoints -> interval >= 16.
+        let table = CheckpointTable::build_with_budget(c, &init, 4 << 10);
+        assert!(table.num_checkpoints() <= 4);
+        assert!(table.interval() >= 16);
+    }
+
+    #[test]
+    fn savings_scale_with_insertion_position() {
+        let c = sample_circuit(4, 40);
+        let init = StateVector::zero_state(4);
+        let table = CheckpointTable::build(c, &init, 10);
+        assert_eq!(table.savings_fraction(0), 0.0);
+        assert_eq!(table.savings_fraction(9), 0.0);
+        assert_eq!(table.savings_fraction(10), 0.25);
+        assert_eq!(table.savings_fraction(39), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_insertion() {
+        let c = sample_circuit(3, 5);
+        let init = StateVector::zero_state(3);
+        let table = CheckpointTable::build(c, &init, 2);
+        let _ = table.run_with_insertions(&[Insertion { after_gate: 5, gate: Gate::X(0) }]);
+    }
+
+    #[test]
+    fn final_state_agrees_with_run_clean() {
+        let c = sample_circuit(5, 17);
+        let init = StateVector::zero_state(5);
+        let table = CheckpointTable::build(c.clone(), &init, 6);
+        let clean = run_clean(&c, &init);
+        assert!(approx_eq_slice(
+            table.final_state().amplitudes(),
+            clean.amplitudes(),
+            1e-12
+        ));
+    }
+}

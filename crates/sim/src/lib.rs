@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Quantum simulators for the qfab workspace.
+//!
+//! Two engines:
+//!
+//! * [`statevector`] — the workhorse: a dense state vector over up to
+//!   ~24 qubits with in-place, allocation-free, optionally rayon-parallel
+//!   gate kernels. This is the engine the paper-reproduction harness
+//!   drives for the 16–17 qubit arithmetic circuits.
+//! * [`density`] — an exact density-matrix engine for small systems,
+//!   used to cross-validate the Monte-Carlo noise trajectories against
+//!   exact channel evolution (and for fidelity-based metrics).
+//!
+//! Supporting modules:
+//!
+//! * [`measure`] — measurement distributions, shot sampling, and count
+//!   tables in the form the paper's success metric consumes.
+//! * [`executor`] — circuit execution with **checkpointed replay**: the
+//!   noiseless state is snapshotted every K gates so a noisy trajectory
+//!   whose first error lands at gate g can restart from checkpoint
+//!   ⌊g/K⌋ instead of from scratch. At realistic error rates this saves
+//!   most of the per-trajectory work (ablated in `qfab-bench`).
+
+pub mod density;
+pub mod executor;
+pub mod measure;
+pub mod observable;
+pub mod statevector;
+pub mod tomography;
+
+pub use density::DensityMatrix;
+pub use executor::{CheckpointTable, Insertion};
+pub use measure::{Counts, ShotSampler};
+pub use observable::{Observable, PauliOp, PauliString};
+pub use statevector::StateVector;

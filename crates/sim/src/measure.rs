@@ -1,0 +1,273 @@
+//! Measurement: distributions, shot sampling, and count tables.
+//!
+//! The paper's protocol measures *every* qubit of the arithmetic circuit
+//! for 2048 shots and tabulates bitstring frequencies; the success metric
+//! then compares the most frequent outputs against the expected set.
+//! [`Counts`] is that tabulation; [`ShotSampler`] draws the shots.
+
+use crate::statevector::StateVector;
+use qfab_math::rng::Xoshiro256StarStar;
+use qfab_math::sampling::AliasTable;
+use std::collections::HashMap;
+
+/// A table of measurement outcomes: basis-state index → shot count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counts {
+    map: HashMap<usize, u64>,
+    shots: u64,
+}
+
+impl Counts {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `k` observations of `outcome`.
+    pub fn add(&mut self, outcome: usize, k: u64) {
+        if k == 0 {
+            return;
+        }
+        *self.map.entry(outcome).or_insert(0) += k;
+        self.shots += k;
+    }
+
+    /// Merges another count table into this one.
+    pub fn merge(&mut self, other: &Counts) {
+        for (&outcome, &k) in &other.map {
+            self.add(outcome, k);
+        }
+    }
+
+    /// Total number of shots recorded.
+    pub fn total_shots(&self) -> u64 {
+        self.shots
+    }
+
+    /// The count for one outcome (0 if never observed).
+    pub fn get(&self, outcome: usize) -> u64 {
+        self.map.get(&outcome).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct outcomes observed.
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates `(outcome, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.map.iter().map(|(&o, &c)| (o, c))
+    }
+
+    /// Outcomes sorted by descending count (ties broken by index so the
+    /// order is deterministic).
+    pub fn sorted_by_count(&self) -> Vec<(usize, u64)> {
+        let mut v: Vec<(usize, u64)> = self.iter().collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The most frequent outcome, if any shots were recorded.
+    pub fn mode(&self) -> Option<(usize, u64)> {
+        self.sorted_by_count().into_iter().next()
+    }
+
+    /// The largest count among `outcomes` (0 when none observed).
+    pub fn max_count_among(&self, outcomes: impl IntoIterator<Item = usize>) -> u64 {
+        outcomes.into_iter().map(|o| self.get(o)).max().unwrap_or(0)
+    }
+
+    /// The smallest count among `outcomes` (0 when any is unobserved).
+    pub fn min_count_among(&self, outcomes: impl IntoIterator<Item = usize>) -> u64 {
+        outcomes.into_iter().map(|o| self.get(o)).min().unwrap_or(0)
+    }
+
+    /// The empirical probability of one outcome (0 for an empty table).
+    pub fn frequency(&self, outcome: usize) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.get(outcome) as f64 / self.shots as f64
+        }
+    }
+
+    /// Projects the table onto a register: outcomes are re-keyed by the
+    /// register's extracted value, merging everything else out — e.g.
+    /// the distribution of just the sum register of a QFA run.
+    pub fn marginal(&self, register: &qfab_circuit::Register) -> Counts {
+        let mut out = Counts::new();
+        for (outcome, k) in self.iter() {
+            out.add(register.extract(outcome), k);
+        }
+        out
+    }
+}
+
+impl FromIterator<(usize, u64)> for Counts {
+    fn from_iter<I: IntoIterator<Item = (usize, u64)>>(iter: I) -> Self {
+        let mut c = Counts::new();
+        for (o, k) in iter {
+            c.add(o, k);
+        }
+        c
+    }
+}
+
+/// Draws measurement shots from a state's Born distribution.
+///
+/// Two modes:
+/// * [`ShotSampler::sample_counts`] builds an alias table once and draws
+///   many shots in O(1) each — used for the noiseless distribution that
+///   the clean-trajectory group shares.
+/// * [`ShotSampler::sample_once`] draws a single outcome by inverse-CDF
+///   scan without any setup — used for per-trajectory single shots,
+///   where building a table per trajectory would dominate.
+pub struct ShotSampler;
+
+impl ShotSampler {
+    /// Draws `shots` outcomes from `state` and tabulates them.
+    pub fn sample_counts(
+        state: &StateVector,
+        shots: u64,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Counts {
+        let probs = state.probabilities();
+        let table = AliasTable::new(&probs);
+        let mut counts = Counts::new();
+        for _ in 0..shots {
+            counts.add(table.sample(rng), 1);
+        }
+        counts
+    }
+
+    /// Draws a single outcome by inverse-CDF scan over the amplitudes.
+    pub fn sample_once(state: &StateVector, rng: &mut Xoshiro256StarStar) -> usize {
+        let amps = state.amplitudes();
+        let mut u = rng.next_f64();
+        for (i, a) in amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            if u < p {
+                return i;
+            }
+            u -= p;
+        }
+        // Floating-point slack: fall back to the last nonzero amplitude.
+        amps.iter()
+            .rposition(|a| a.norm_sqr() > 0.0)
+            .unwrap_or(amps.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfab_circuit::Circuit;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::new(seed)
+    }
+
+    #[test]
+    fn counts_basic_accounting() {
+        let mut c = Counts::new();
+        c.add(3, 10);
+        c.add(5, 4);
+        c.add(3, 1);
+        c.add(9, 0); // no-op
+        assert_eq!(c.total_shots(), 15);
+        assert_eq!(c.get(3), 11);
+        assert_eq!(c.get(5), 4);
+        assert_eq!(c.get(9), 0);
+        assert_eq!(c.distinct(), 2);
+        assert_eq!(c.mode(), Some((3, 11)));
+    }
+
+    #[test]
+    fn counts_merge() {
+        let a: Counts = [(1usize, 5u64), (2, 3)].into_iter().collect();
+        let mut b: Counts = [(2usize, 2u64), (4, 7)].into_iter().collect();
+        b.merge(&a);
+        assert_eq!(b.total_shots(), 17);
+        assert_eq!(b.get(2), 5);
+        assert_eq!(b.get(1), 5);
+        assert_eq!(b.get(4), 7);
+    }
+
+    #[test]
+    fn sorted_by_count_is_deterministic() {
+        let c: Counts = [(7usize, 5u64), (2, 5), (9, 8)].into_iter().collect();
+        assert_eq!(c.sorted_by_count(), vec![(9, 8), (2, 5), (7, 5)]);
+    }
+
+    #[test]
+    fn min_max_among_subsets() {
+        let c: Counts = [(0usize, 10u64), (1, 20), (2, 5)].into_iter().collect();
+        assert_eq!(c.max_count_among([0, 1]), 20);
+        assert_eq!(c.min_count_among([0, 1]), 10);
+        // Unobserved outcome drags the min to zero.
+        assert_eq!(c.min_count_among([0, 3]), 0);
+        // Empty set conventions.
+        assert_eq!(c.max_count_among([]), 0);
+        assert_eq!(c.min_count_among([]), 0);
+    }
+
+    #[test]
+    fn frequency_and_marginal() {
+        use qfab_circuit::Register;
+        // Outcomes over a 2+3 qubit layout: x = bits 0..2, y = bits 2..5.
+        let x = Register::new("x", 0, 2);
+        let y = Register::new("y", 2, 3);
+        let mut c = Counts::new();
+        c.add(y.embed(5, x.embed(1, 0)), 30);
+        c.add(y.embed(5, x.embed(2, 0)), 50);
+        c.add(y.embed(3, x.embed(1, 0)), 20);
+        assert!((c.frequency(y.embed(5, x.embed(2, 0))) - 0.5).abs() < 1e-12);
+        let my = c.marginal(&y);
+        assert_eq!(my.get(5), 80);
+        assert_eq!(my.get(3), 20);
+        assert_eq!(my.total_shots(), 100);
+        let mx = c.marginal(&x);
+        assert_eq!(mx.get(1), 50);
+        assert_eq!(mx.get(2), 50);
+        // Empty table frequency.
+        assert_eq!(Counts::new().frequency(0), 0.0);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut s = StateVector::zero_state(2);
+        let mut circ = Circuit::new(2);
+        circ.h(0).h(1);
+        s.apply_circuit(&circ);
+        let mut r = rng(1);
+        let counts = ShotSampler::sample_counts(&s, 40_000, &mut r);
+        assert_eq!(counts.total_shots(), 40_000);
+        for i in 0..4 {
+            let c = counts.get(i) as f64;
+            assert!((c - 10_000.0).abs() < 600.0, "outcome {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn sampling_deterministic_outcome() {
+        let s = StateVector::basis_state(3, 6);
+        let mut r = rng(2);
+        let counts = ShotSampler::sample_counts(&s, 100, &mut r);
+        assert_eq!(counts.get(6), 100);
+        assert_eq!(counts.distinct(), 1);
+        for _ in 0..20 {
+            assert_eq!(ShotSampler::sample_once(&s, &mut r), 6);
+        }
+    }
+
+    #[test]
+    fn sample_once_distribution() {
+        let mut s = StateVector::zero_state(1);
+        s.apply_gate(&qfab_circuit::Gate::H(0));
+        let mut r = rng(3);
+        let ones = (0..20_000)
+            .filter(|_| ShotSampler::sample_once(&s, &mut r) == 1)
+            .count();
+        assert!((ones as f64 - 10_000.0).abs() < 500.0, "ones {ones}");
+    }
+}

@@ -1,0 +1,280 @@
+//! Pauli-string observables and expectation values.
+//!
+//! An [`Observable`] is a real-weighted sum of Pauli strings
+//! `Σ_k c_k · P_k`, `P_k ∈ {I, X, Y, Z}^⊗n`. Expectation values
+//! `<ψ|O|ψ>` are computed without materializing any matrix: each Pauli
+//! string is applied to a scratch copy of the state (X/Y permute
+//! amplitude pairs, Z flips signs) and reduced against the original.
+//!
+//! This is the standard measurement-layer abstraction the arithmetic
+//! study itself doesn't need (its metric is count-based), but any
+//! downstream use of the simulator — variational algorithms, energy
+//! estimates, entanglement witnesses — does.
+
+use crate::statevector::StateVector;
+use qfab_math::complex::Complex64;
+use std::fmt;
+
+/// One Pauli operator on one qubit within a string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PauliOp {
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+}
+
+/// A Pauli string: a sparse set of `(qubit, PauliOp)` factors (identity
+/// elsewhere).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PauliString {
+    factors: Vec<(u32, PauliOp)>,
+}
+
+impl PauliString {
+    /// The identity string.
+    pub fn identity() -> Self {
+        Self { factors: Vec::new() }
+    }
+
+    /// Builds a string from `(qubit, op)` factors; qubits must be
+    /// distinct.
+    pub fn new(mut factors: Vec<(u32, PauliOp)>) -> Self {
+        factors.sort_unstable_by_key(|f| f.0);
+        for w in factors.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "duplicate qubit {} in Pauli string", w[0].0);
+        }
+        Self { factors }
+    }
+
+    /// Parses compact text like `"ZZ"`, `"XIZ"`, `"IYI"` — leftmost
+    /// character acts on the *highest* qubit (bitstring convention).
+    pub fn parse(s: &str) -> Option<Self> {
+        let n = s.len() as u32;
+        let mut factors = Vec::new();
+        for (i, ch) in s.chars().enumerate() {
+            let q = n - 1 - i as u32;
+            match ch.to_ascii_uppercase() {
+                'I' => {}
+                'X' => factors.push((q, PauliOp::X)),
+                'Y' => factors.push((q, PauliOp::Y)),
+                'Z' => factors.push((q, PauliOp::Z)),
+                _ => return None,
+            }
+        }
+        Some(Self::new(factors))
+    }
+
+    /// The non-identity factors, sorted by qubit.
+    pub fn factors(&self) -> &[(u32, PauliOp)] {
+        &self.factors
+    }
+
+    /// Weight (number of non-identity factors).
+    pub fn weight(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Applies the string to a state in place: `|ψ> → P|ψ>`.
+    pub fn apply(&self, state: &mut StateVector) {
+        for &(q, op) in &self.factors {
+            match op {
+                PauliOp::X => state.apply_gate(&qfab_circuit::Gate::X(q)),
+                PauliOp::Y => state.apply_gate(&qfab_circuit::Gate::Y(q)),
+                PauliOp::Z => state.apply_gate(&qfab_circuit::Gate::Z(q)),
+            }
+        }
+    }
+
+    /// `<ψ|P|ψ>` (always real for Hermitian P; the real part is
+    /// returned, the imaginary part is numerical noise).
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        let mut scratch = state.clone();
+        self.apply(&mut scratch);
+        let inner: Complex64 = state
+            .amplitudes()
+            .iter()
+            .zip(scratch.amplitudes())
+            .map(|(a, b)| a.conj() * *b)
+            .sum();
+        inner.re
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.factors.is_empty() {
+            return write!(f, "I");
+        }
+        let parts: Vec<String> = self
+            .factors
+            .iter()
+            .map(|(q, op)| format!("{op:?}{q}"))
+            .collect();
+        write!(f, "{}", parts.join("·"))
+    }
+}
+
+/// A real-weighted sum of Pauli strings.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Observable {
+    terms: Vec<(f64, PauliString)>,
+}
+
+impl Observable {
+    /// The zero observable.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// A single weighted string.
+    pub fn term(coefficient: f64, string: PauliString) -> Self {
+        Self { terms: vec![(coefficient, string)] }
+    }
+
+    /// Adds a weighted string.
+    pub fn add_term(mut self, coefficient: f64, string: PauliString) -> Self {
+        self.terms.push((coefficient, string));
+        self
+    }
+
+    /// The terms.
+    pub fn terms(&self) -> &[(f64, PauliString)] {
+        &self.terms
+    }
+
+    /// `<ψ|O|ψ> = Σ c_k <ψ|P_k|ψ>`.
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        self.terms
+            .iter()
+            .map(|(c, p)| c * p.expectation(state))
+            .sum()
+    }
+
+    /// The Z-magnetization observable `Σ_q Z_q`.
+    pub fn total_z(n: u32) -> Self {
+        let mut o = Self::zero();
+        for q in 0..n {
+            o = o.add_term(1.0, PauliString::new(vec![(q, PauliOp::Z)]));
+        }
+        o
+    }
+
+    /// The number operator `Σ_q (I − Z_q)/2`, counting set bits; its
+    /// expectation is the mean Hamming weight of measurement outcomes.
+    pub fn hamming_weight(n: u32) -> Self {
+        let mut o = Self::term(n as f64 / 2.0, PauliString::identity());
+        for q in 0..n {
+            o = o.add_term(-0.5, PauliString::new(vec![(q, PauliOp::Z)]));
+        }
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfab_circuit::Circuit;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn z_expectation_on_basis_states() {
+        let z0 = PauliString::new(vec![(0, PauliOp::Z)]);
+        assert!((z0.expectation(&StateVector::basis_state(2, 0)) - 1.0).abs() < TOL);
+        assert!((z0.expectation(&StateVector::basis_state(2, 1)) + 1.0).abs() < TOL);
+        // Z on qubit 1 ignores qubit 0.
+        let z1 = PauliString::new(vec![(1, PauliOp::Z)]);
+        assert!((z1.expectation(&StateVector::basis_state(2, 1)) - 1.0).abs() < TOL);
+        assert!((z1.expectation(&StateVector::basis_state(2, 2)) + 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn x_expectation_on_plus_state() {
+        let mut plus = StateVector::zero_state(1);
+        plus.apply_gate(&qfab_circuit::Gate::H(0));
+        let x = PauliString::new(vec![(0, PauliOp::X)]);
+        assert!((x.expectation(&plus) - 1.0).abs() < TOL);
+        let z = PauliString::new(vec![(0, PauliOp::Z)]);
+        assert!(z.expectation(&plus).abs() < TOL);
+    }
+
+    #[test]
+    fn bell_state_correlations() {
+        let mut bell = StateVector::zero_state(2);
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        bell.apply_circuit(&c);
+        // <ZZ> = <XX> = 1, <YY> = −1, single-qubit <Z> = 0.
+        assert!((PauliString::parse("ZZ").unwrap().expectation(&bell) - 1.0).abs() < TOL);
+        assert!((PauliString::parse("XX").unwrap().expectation(&bell) - 1.0).abs() < TOL);
+        assert!((PauliString::parse("YY").unwrap().expectation(&bell) + 1.0).abs() < TOL);
+        assert!(PauliString::parse("ZI").unwrap().expectation(&bell).abs() < TOL);
+    }
+
+    #[test]
+    fn parse_conventions() {
+        // "XI": X on the higher qubit (1), identity on qubit 0.
+        let p = PauliString::parse("XI").unwrap();
+        assert_eq!(p.factors(), &[(1, PauliOp::X)]);
+        assert_eq!(PauliString::parse("II").unwrap().weight(), 0);
+        assert!(PauliString::parse("XQ").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate qubit")]
+    fn duplicate_qubits_rejected() {
+        PauliString::new(vec![(0, PauliOp::X), (0, PauliOp::Z)]);
+    }
+
+    #[test]
+    fn identity_expectation_is_one() {
+        let s = StateVector::basis_state(3, 5);
+        assert!((PauliString::identity().expectation(&s) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn observable_linearity() {
+        let s = StateVector::basis_state(2, 0b01);
+        let o = Observable::zero()
+            .add_term(2.0, PauliString::parse("IZ").unwrap()) // Z on qubit 0 -> −1
+            .add_term(3.0, PauliString::parse("ZI").unwrap()); // Z on qubit 1 -> +1
+        assert!((o.expectation(&s) - (2.0 * -1.0 + 3.0 * 1.0)).abs() < TOL);
+    }
+
+    #[test]
+    fn hamming_weight_counts_bits() {
+        for (idx, expect) in [(0usize, 0.0), (0b101, 2.0), (0b111, 3.0)] {
+            let s = StateVector::basis_state(3, idx);
+            assert!(
+                (Observable::hamming_weight(3).expectation(&s) - expect).abs() < TOL,
+                "index {idx}"
+            );
+        }
+        // Uniform superposition: expected weight n/2.
+        let mut s = StateVector::zero_state(3);
+        for q in 0..3 {
+            s.apply_gate(&qfab_circuit::Gate::H(q));
+        }
+        assert!((Observable::hamming_weight(3).expectation(&s) - 1.5).abs() < TOL);
+    }
+
+    #[test]
+    fn total_z_on_ghz() {
+        let mut s = StateVector::zero_state(3);
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        s.apply_circuit(&c);
+        // GHZ: half |000> (Z-sum +3), half |111> (−3): mean 0.
+        assert!(Observable::total_z(3).expectation(&s).abs() < TOL);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", PauliString::identity()), "I");
+        let p = PauliString::new(vec![(0, PauliOp::X), (2, PauliOp::Z)]);
+        assert_eq!(format!("{p}"), "X0·Z2");
+    }
+}

@@ -1,0 +1,319 @@
+//! Euler-angle decomposition of single-qubit unitaries onto the IBM
+//! native set {RZ, SX, X}.
+//!
+//! Any U ∈ U(2) factors (up to global phase) as
+//! `U = e^{iα} · U3(θ, φ, λ)` with
+//!
+//! ```text
+//! U3(θ,φ,λ) = [ cos(θ/2)            −e^{iλ}  sin(θ/2)      ]
+//!             [ e^{iφ} sin(θ/2)      e^{i(φ+λ)} cos(θ/2)   ]
+//! ```
+//!
+//! and `U3(θ,φ,λ) ≅ RZ(φ+π) · SX · RZ(θ+π) · SX · RZ(λ)` (the "ZSX"
+//! form used by IBM backends, where RZ is a virtual frame change). The
+//! emitter specializes the cheap cases: a diagonal U becomes a single
+//! RZ, and a θ = π/2 rotation needs only one SX.
+
+use qfab_circuit::gate::{Gate, GateMatrix};
+use qfab_math::matrix::Mat2;
+use std::f64::consts::PI;
+
+/// Angle tolerance under which rotations are treated as exact multiples
+/// (avoids emitting RZ(1e-17) noise gates).
+const ANGLE_TOL: f64 = 1e-12;
+
+/// The extracted U3 angles of a single-qubit unitary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ZsxDecomposition {
+    /// Polar rotation angle θ ∈ [0, π].
+    pub theta: f64,
+    /// Phase angle φ.
+    pub phi: f64,
+    /// Phase angle λ.
+    pub lambda: f64,
+}
+
+impl ZsxDecomposition {
+    /// Extracts U3 angles from a unitary matrix (global phase dropped).
+    pub fn of(u: &Mat2) -> Self {
+        let m00 = u.m[0][0];
+        let m10 = u.m[1][0];
+        let c = m00.norm().clamp(0.0, 1.0);
+        let s = m10.norm().clamp(0.0, 1.0);
+        let theta = 2.0 * s.atan2(c);
+        if s <= ANGLE_TOL {
+            // Diagonal: only φ+λ matters; put it all in λ.
+            let lambda = (u.m[1][1] / m00).arg();
+            return Self { theta: 0.0, phi: 0.0, lambda };
+        }
+        if c <= ANGLE_TOL {
+            // Anti-diagonal: only φ−(λ+π) matters... conventionally set
+            // λ from −m01 and φ = arg ratio.
+            let phi = (m10 / (-u.m[0][1])).arg();
+            return Self { theta: PI, phi, lambda: 0.0 };
+        }
+        let alpha = m00.arg();
+        let phi = m10.arg() - alpha;
+        let lambda = (-u.m[0][1]).arg() - alpha;
+        Self { theta, phi, lambda }
+    }
+
+    /// Emits the minimal RZ/SX/X sequence realizing this rotation on
+    /// qubit `q` (up to global phase), in circuit order.
+    pub fn emit(&self, q: u32) -> Vec<Gate> {
+        let theta = self.theta;
+        let mut out = Vec::with_capacity(5);
+        if norm_angle(theta).abs() <= ANGLE_TOL {
+            // Pure phase.
+            push_rz(&mut out, q, self.phi + self.lambda);
+            return out;
+        }
+        if (norm_angle(theta - PI)).abs() <= ANGLE_TOL {
+            // θ = π: RZ(a)·X realizes U3(π,φ,λ) up to phase with
+            // a = φ − λ + π (only φ−λ is physical at θ=π). One or two
+            // native gates instead of the general form's four.
+            out.push(Gate::X(q));
+            push_rz(&mut out, q, self.phi - self.lambda + PI);
+            return out;
+        }
+        if (norm_angle(theta - PI / 2.0)).abs() <= ANGLE_TOL {
+            // One-SX form: U3(π/2, φ, λ) ≅ RZ(φ+π/2)·SX·RZ(λ−π/2).
+            push_rz(&mut out, q, self.lambda - PI / 2.0);
+            out.push(Gate::Sx(q));
+            push_rz(&mut out, q, self.phi + PI / 2.0);
+            return out;
+        }
+        // General two-SX form: RZ(φ+π)·SX·RZ(θ+π)·SX·RZ(λ).
+        push_rz(&mut out, q, self.lambda);
+        out.push(Gate::Sx(q));
+        push_rz(&mut out, q, theta + PI);
+        out.push(Gate::Sx(q));
+        push_rz(&mut out, q, self.phi + PI);
+        out
+    }
+}
+
+/// Decomposes any single-qubit gate to the IBM native set, in circuit
+/// order. Gates already in the set pass through unchanged; identities
+/// produce an empty sequence.
+pub fn lower_1q_to_ibm(gate: &Gate) -> Vec<Gate> {
+    match *gate {
+        Gate::I(_) => vec![],
+        Gate::X(_) | Gate::Sx(_) | Gate::Rz(..) => vec![*gate],
+        ref g => {
+            let GateMatrix::One(m) = g.matrix() else {
+                panic!("lower_1q_to_ibm called with multi-qubit gate {g}")
+            };
+            let q = g.qubits()[0];
+            ZsxDecomposition::of(&m).emit(q)
+        }
+    }
+}
+
+fn push_rz(out: &mut Vec<Gate>, q: u32, angle: f64) {
+    let a = norm_angle(angle);
+    if a.abs() > ANGLE_TOL {
+        out.push(Gate::Rz(q, a));
+    }
+}
+
+/// Normalizes an angle into (−π, π].
+fn norm_angle(a: f64) -> f64 {
+    let two_pi = 2.0 * PI;
+    let mut x = a % two_pi;
+    if x > PI {
+        x -= two_pi;
+    } else if x <= -PI {
+        x += two_pi;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfab_math::complex::c64;
+    use qfab_math::matrix::Mat2;
+
+    fn matrix_of_sequence(gates: &[Gate]) -> Mat2 {
+        let mut acc = Mat2::identity();
+        for g in gates {
+            let GateMatrix::One(m) = g.matrix() else { panic!("not 1q") };
+            acc = m.matmul(&acc); // circuit order: later gates multiply on the left
+        }
+        acc
+    }
+
+    fn gate_matrix(g: &Gate) -> Mat2 {
+        let GateMatrix::One(m) = g.matrix() else { panic!("not 1q") };
+        m
+    }
+
+    fn check_roundtrip(g: Gate) {
+        let seq = lower_1q_to_ibm(&g);
+        let got = matrix_of_sequence(&seq);
+        let want = gate_matrix(&g);
+        assert!(
+            got.approx_eq_up_to_phase(&want, 1e-9),
+            "decomposition of {g} wrong: emitted {seq:?}"
+        );
+        // Everything emitted is in the native set.
+        for e in &seq {
+            assert!(
+                matches!(e, Gate::X(_) | Gate::Sx(_) | Gate::Rz(..)),
+                "{e} not in IBM basis"
+            );
+        }
+    }
+
+    #[test]
+    fn standard_gates_roundtrip() {
+        for g in [
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::H(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::T(0),
+            Gate::Tdg(0),
+            Gate::Sx(0),
+            Gate::Sxdg(0),
+        ] {
+            check_roundtrip(g);
+        }
+    }
+
+    #[test]
+    fn rotations_roundtrip() {
+        for &t in &[0.0, 0.3, -1.2, PI / 2.0, PI, 2.7, -PI / 2.0, 3.0 * PI / 2.0] {
+            check_roundtrip(Gate::Rx(0, t));
+            check_roundtrip(Gate::Ry(0, t));
+            check_roundtrip(Gate::Rz(0, t));
+            check_roundtrip(Gate::Phase(0, t));
+        }
+    }
+
+    #[test]
+    fn generic_u_roundtrip() {
+        for (i, &(a, b, c)) in [
+            (0.3, 1.1, -0.4),
+            (PI - 1e-3, 0.2, 0.9),
+            (1e-3, -2.0, 2.0),
+            (2.2, PI, -PI / 3.0),
+        ]
+        .iter()
+        .enumerate()
+        {
+            check_roundtrip(Gate::U(0, a, b, c));
+            let _ = i;
+        }
+    }
+
+    #[test]
+    fn identity_emits_nothing() {
+        assert!(lower_1q_to_ibm(&Gate::I(3)).is_empty());
+        // Phase(0) is an identity too.
+        assert!(lower_1q_to_ibm(&Gate::Phase(0, 0.0)).is_empty());
+        // Rz(2π) is a global phase = identity up to phase.
+        let seq = lower_1q_to_ibm(&Gate::Phase(0, 2.0 * PI));
+        assert!(seq.is_empty(), "got {seq:?}");
+    }
+
+    #[test]
+    fn diagonal_gates_cost_one_rz() {
+        for g in [Gate::Z(0), Gate::S(0), Gate::T(0), Gate::Phase(0, 0.77)] {
+            let seq = lower_1q_to_ibm(&g);
+            assert_eq!(seq.len(), 1, "{g}: {seq:?}");
+            assert!(matches!(seq[0], Gate::Rz(..)));
+        }
+    }
+
+    #[test]
+    fn hadamard_costs_three_native_gates() {
+        let seq = lower_1q_to_ibm(&Gate::H(0));
+        // RZ · SX · RZ.
+        assert_eq!(seq.len(), 3, "{seq:?}");
+        assert!(matches!(seq[1], Gate::Sx(_)));
+    }
+
+    #[test]
+    fn x_passes_through_native() {
+        assert_eq!(lower_1q_to_ibm(&Gate::X(2)), vec![Gate::X(2)]);
+        // Y differs from X by phases, needs more.
+        assert!(lower_1q_to_ibm(&Gate::Y(2)).len() >= 1);
+        check_roundtrip(Gate::Y(2));
+    }
+
+    #[test]
+    fn angle_extraction_matches_u3_definition() {
+        let (theta, phi, lam) = (1.234, 0.567, -0.891);
+        let GateMatrix::One(u) = Gate::U(0, theta, phi, lam).matrix() else {
+            unreachable!()
+        };
+        let d = ZsxDecomposition::of(&u);
+        assert!((d.theta - theta).abs() < 1e-10);
+        assert!((norm_angle(d.phi - phi)).abs() < 1e-10);
+        assert!((norm_angle(d.lambda - lam)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn random_unitaries_roundtrip() {
+        // Random unitaries via U3 angles + extra global phase.
+        let mut rng = qfab_math::rng::Xoshiro256StarStar::new(77);
+        for _ in 0..200 {
+            let theta = rng.next_f64() * PI;
+            let phi = (rng.next_f64() - 0.5) * 4.0 * PI;
+            let lam = (rng.next_f64() - 0.5) * 4.0 * PI;
+            let alpha = rng.next_f64() * 2.0 * PI;
+            let GateMatrix::One(base) = Gate::U(0, theta, phi, lam).matrix() else {
+                unreachable!()
+            };
+            let u = base.scale(qfab_math::Complex64::cis(alpha));
+            let seq = ZsxDecomposition::of(&u).emit(0);
+            let got = matrix_of_sequence(&seq);
+            assert!(got.approx_eq_up_to_phase(&u, 1e-8));
+            assert!(seq.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn sequence_length_is_minimal_for_special_angles() {
+        // θ=π/2 family uses a single SX.
+        let seq = lower_1q_to_ibm(&Gate::Ry(0, PI / 2.0));
+        let sx_count = seq.iter().filter(|g| matches!(g, Gate::Sx(_))).count();
+        assert_eq!(sx_count, 1, "{seq:?}");
+        // Generic θ needs two SX.
+        let seq = lower_1q_to_ibm(&Gate::Ry(0, 1.0));
+        let sx_count = seq.iter().filter(|g| matches!(g, Gate::Sx(_))).count();
+        assert_eq!(sx_count, 2, "{seq:?}");
+    }
+
+    #[test]
+    fn norm_angle_range() {
+        assert!((norm_angle(3.0 * PI) - PI).abs() < 1e-12);
+        assert!((norm_angle(-3.0 * PI) - PI).abs() < 1e-12);
+        assert!((norm_angle(0.5) - 0.5).abs() < 1e-15);
+        assert!(norm_angle(2.0 * PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anti_diagonal_case() {
+        // A θ=π gate with nontrivial phases, e.g. Y.
+        let GateMatrix::One(y) = Gate::Y(0).matrix() else { unreachable!() };
+        let d = ZsxDecomposition::of(&y);
+        assert!((d.theta - PI).abs() < 1e-12);
+        let got = matrix_of_sequence(&d.emit(0));
+        assert!(got.approx_eq_up_to_phase(&y, 1e-9));
+    }
+
+    #[test]
+    fn near_identity_unitary() {
+        let u = Mat2::from_rows([
+            [c64(1.0, 0.0), c64(0.0, 0.0)],
+            [c64(0.0, 0.0), c64(1.0, 1e-15)],
+        ]);
+        let seq = ZsxDecomposition::of(&u).emit(0);
+        assert!(seq.len() <= 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Equivalence checking between circuits by direct simulation.
+//!
+//! Two circuits over `n` qubits implement the same unitary (up to a
+//! global phase) iff they act identically on a basis of states. Rather
+//! than compare full `2^n × 2^n` matrices, we act on `2^n` basis states
+//! — and, for a cheap randomized check, on a handful of random states,
+//! which catches any discrepancy with overwhelming probability.
+
+use qfab_circuit::Circuit;
+use qfab_math::complex::{c64, Complex64};
+use qfab_math::rng::Xoshiro256StarStar;
+use qfab_sim::StateVector;
+
+/// Exhaustive check: compares the action of both circuits on every
+/// computational basis state, up to one *common* global phase. Cost is
+/// `O(4^n)`; intended for tests with small `n`.
+pub fn equivalent_up_to_phase_exhaustive(a: &Circuit, b: &Circuit, tol: f64) -> bool {
+    assert_eq!(a.num_qubits(), b.num_qubits(), "qubit count mismatch");
+    let n = a.num_qubits();
+    let d = 1usize << n;
+    let mut phase: Option<Complex64> = None;
+    for basis in 0..d {
+        let mut sa = StateVector::basis_state(n, basis);
+        let mut sb = StateVector::basis_state(n, basis);
+        sa.apply_circuit(a);
+        sb.apply_circuit(b);
+        // Determine / reuse the global phase from the first basis state
+        // with non-negligible amplitude.
+        let amps_a = sa.amplitudes();
+        let amps_b = sb.amplitudes();
+        for i in 0..d {
+            let (x, y) = (amps_a[i], amps_b[i]);
+            let (nx, ny) = (x.norm(), y.norm());
+            if (nx - ny).abs() > tol {
+                return false;
+            }
+            if nx > 1e-7 {
+                let ratio = x / y;
+                match phase {
+                    None => phase = Some(ratio),
+                    Some(p) => {
+                        if !(ratio - p).norm_sqr().sqrt().le(&tol) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Randomized check: compares the action on `trials` random states via
+/// the overlap `|<ψ_a|ψ_b>| ≈ 1`. Cost `O(trials · gates · 2^n)`.
+pub fn equivalent_up_to_phase_randomized(
+    a: &Circuit,
+    b: &Circuit,
+    trials: usize,
+    tol: f64,
+    seed: u64,
+) -> bool {
+    assert_eq!(a.num_qubits(), b.num_qubits(), "qubit count mismatch");
+    let n = a.num_qubits();
+    let d = 1usize << n;
+    let mut rng = Xoshiro256StarStar::new(seed);
+    for _ in 0..trials {
+        let amps: Vec<Complex64> = (0..d)
+            .map(|_| c64(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+            .collect();
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        let amps: Vec<Complex64> = amps.into_iter().map(|a| a / norm).collect();
+        let mut sa = StateVector::from_amplitudes(n, amps.clone());
+        let mut sb = StateVector::from_amplitudes(n, amps);
+        sa.apply_circuit(a);
+        sb.apply_circuit(b);
+        if !qfab_math::approx::states_equal_up_to_phase(sa.amplitudes(), sb.amplitudes(), tol)
+        {
+            return false;
+        }
+    }
+    true
+}
+
+/// Panics with a diagnostic when the circuits are not equivalent up to a
+/// global phase (exhaustive check — use in tests on small circuits).
+pub fn assert_equivalent_up_to_phase(a: &Circuit, b: &Circuit, tol: f64) {
+    assert!(
+        equivalent_up_to_phase_exhaustive(a, b, tol),
+        "circuits are not equivalent up to global phase:\n--- a ---\n{a}\n--- b ---\n{b}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn identical_circuits_are_equivalent() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cphase(0.4, 1, 2);
+        assert!(equivalent_up_to_phase_exhaustive(&c, &c, 1e-10));
+        assert!(equivalent_up_to_phase_randomized(&c, &c, 5, 1e-10, 1));
+    }
+
+    #[test]
+    fn global_phase_is_ignored() {
+        // RZ(θ) vs Phase(θ) differ by exactly a global phase.
+        let mut a = Circuit::new(2);
+        a.rz(0.7, 0).h(1);
+        let mut b = Circuit::new(2);
+        b.phase(0.7, 0).h(1);
+        assert!(equivalent_up_to_phase_exhaustive(&a, &b, 1e-10));
+        assert!(equivalent_up_to_phase_randomized(&a, &b, 5, 1e-9, 2));
+    }
+
+    #[test]
+    fn relative_phase_differences_are_caught() {
+        // S vs T differ by a *relative* phase — not equivalent.
+        let mut a = Circuit::new(1);
+        a.s(0);
+        let mut b = Circuit::new(1);
+        b.t(0);
+        assert!(!equivalent_up_to_phase_exhaustive(&a, &b, 1e-10));
+        assert!(!equivalent_up_to_phase_randomized(&a, &b, 5, 1e-9, 3));
+    }
+
+    #[test]
+    fn different_permutations_are_caught() {
+        let mut a = Circuit::new(2);
+        a.cx(0, 1);
+        let mut b = Circuit::new(2);
+        b.cx(1, 0);
+        assert!(!equivalent_up_to_phase_exhaustive(&a, &b, 1e-10));
+        assert!(!equivalent_up_to_phase_randomized(&a, &b, 3, 1e-9, 4));
+    }
+
+    #[test]
+    fn hzh_equals_x_as_circuits() {
+        let mut a = Circuit::new(1);
+        a.h(0).z(0).h(0);
+        let mut b = Circuit::new(1);
+        b.x(0);
+        assert_equivalent_up_to_phase(&a, &b, 1e-10);
+    }
+
+    #[test]
+    fn cz_symmetry() {
+        let mut a = Circuit::new(2);
+        a.cz(0, 1);
+        let mut b = Circuit::new(2);
+        b.cz(1, 0);
+        assert_equivalent_up_to_phase(&a, &b, 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "not equivalent")]
+    fn assert_panics_on_mismatch() {
+        let mut a = Circuit::new(1);
+        a.x(0);
+        let b = Circuit::new(1);
+        assert_equivalent_up_to_phase(&a, &b, 1e-10);
+    }
+
+    #[test]
+    fn qft_like_circuit_vs_itself_rebuilt() {
+        let build = || {
+            let mut c = Circuit::new(3);
+            c.h(2)
+                .cphase(PI / 2.0, 1, 2)
+                .cphase(PI / 4.0, 0, 2)
+                .h(1)
+                .cphase(PI / 2.0, 0, 1)
+                .h(0)
+                .swap(0, 2);
+            c
+        };
+        assert_equivalent_up_to_phase(&build(), &build(), 1e-10);
+    }
+}

@@ -1,0 +1,61 @@
+//! How good is the approximate QFT, really?
+//!
+//! ```sh
+//! cargo run --release --example aqft_fidelity
+//! ```
+//!
+//! For registers of growing size, computes the state fidelity between
+//! the AQFT output and the exact QFT output (averaged over random
+//! inputs), alongside the gate-count savings — the trade-off at the
+//! heart of the paper. Also prints the Barenco heuristic depth
+//! `d ≈ log2 m` the paper evaluates against.
+
+use qfab::core::{aqft, AqftDepth};
+use qfab::math::rng::Xoshiro256StarStar;
+use qfab::sim::StateVector;
+use qfab::transpile::{transpile, Basis};
+
+fn main() {
+    let trials = 24;
+    for m in [6u32, 8, 10, 12] {
+        let full = aqft(m, AqftDepth::Full);
+        let full_counts = transpile(&full, Basis::CxPlus1q).counts();
+        println!(
+            "\nAQFT on {m} qubits (full QFT: {} gates; Barenco heuristic d = {}):",
+            full_counts.total(),
+            AqftDepth::barenco_heuristic(m).paper_label()
+        );
+        println!("  depth |  avg fidelity |  min fidelity | gates saved");
+        let mut rng = Xoshiro256StarStar::new(m as u64);
+        for d in 1..m {
+            let depth = AqftDepth::Limited(d);
+            let approx = aqft(m, depth);
+            let counts = transpile(&approx, Basis::CxPlus1q).counts();
+            let saved = full_counts.total() - counts.total();
+            let (mut sum, mut min) = (0.0f64, 1.0f64);
+            for _ in 0..trials {
+                let y = rng.next_bounded(1 << m) as usize;
+                let mut exact = StateVector::basis_state(m, y);
+                exact.apply_circuit(&full);
+                let mut test = StateVector::basis_state(m, y);
+                test.apply_circuit(&approx);
+                let f = exact.fidelity(&test);
+                sum += f;
+                min = min.min(f);
+            }
+            println!(
+                "  {:>5} |      {:.6} |      {:.6} | {:>6}",
+                d,
+                sum / trials as f64,
+                min,
+                saved
+            );
+        }
+    }
+    println!(
+        "\nReading: fidelity climbs steeply up to d ≈ log2 m and saturates — the\n\
+         rotations the AQFT drops are exponentially close to the identity, which\n\
+         is why, under hardware noise, the shallower transform wins (Fig. 1-2\n\
+         of the paper; regenerate with the `repro` binary)."
+    );
+}

@@ -1,0 +1,77 @@
+//! Quickstart: add and multiply integers in the quantum Fourier basis.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a Draper adder and a weighted-sum multiplier, runs them on a
+//! noiseless state-vector simulator, and prints circuit statistics at
+//! several AQFT approximation depths.
+
+use qfab::core::{qfa, qfm, AqftDepth};
+use qfab::sim::StateVector;
+use qfab::transpile::{transpile, Basis};
+
+fn main() {
+    // ---- addition: |x=11>|y=5> -> |11>|16> -------------------------
+    let adder = qfa(4, 5, AqftDepth::Full);
+    let (xv, yv) = (11usize, 5usize);
+    let input = adder.y.embed(yv, adder.x.embed(xv, 0));
+    let mut state = StateVector::basis_state(9, input);
+    state.apply_circuit(&adder.circuit);
+
+    let output = adder.y.embed(xv + yv, adder.x.embed(xv, 0));
+    println!(
+        "QFA: |{xv}>|{yv}>  ->  |{xv}>|{}>   (P = {:.6})",
+        xv + yv,
+        state.probability(output)
+    );
+    assert!((state.probability(output) - 1.0).abs() < 1e-9);
+
+    // ---- multiplication: |x=6>|y=7>|0> -> |6>|7>|42> ---------------
+    let mul = qfm(3, 3, AqftDepth::Full);
+    let (xv, yv) = (6usize, 7usize);
+    let input = mul.y.embed(yv, mul.x.embed(xv, 0));
+    let mut state = StateVector::basis_state(12, input);
+    state.apply_circuit(&mul.circuit);
+
+    let output = mul.z.embed(xv * yv, mul.y.embed(yv, mul.x.embed(xv, 0)));
+    println!(
+        "QFM: |{xv}>|{yv}>|0>  ->  |{xv}>|{yv}>|{}>   (P = {:.6})",
+        xv * yv,
+        state.probability(output)
+    );
+    assert!((state.probability(output) - 1.0).abs() < 1e-9);
+
+    // ---- superposition: one circuit, two additions at once ---------
+    let adder = qfa(3, 4, AqftDepth::Full);
+    let amp = qfab::math::Complex64::from_real(std::f64::consts::FRAC_1_SQRT_2);
+    let e1 = adder.y.embed(4, adder.x.embed(2, 0));
+    let e2 = adder.y.embed(4, adder.x.embed(5, 0));
+    let mut state = StateVector::from_sparse(7, &[(e1, amp), (e2, amp)]);
+    state.apply_circuit(&adder.circuit);
+    println!("\nsuperposed addend (|2> + |5>)/sqrt(2), y = |4>:");
+    for (xv, sum) in [(2usize, 6usize), (5, 9)] {
+        let out = adder.y.embed(sum, adder.x.embed(xv, 0));
+        println!("  P(|{xv}>|{sum}>) = {:.4}", state.probability(out));
+    }
+
+    // ---- approximation depth vs circuit size -----------------------
+    println!("\nAQFT depth vs transpiled gate counts, QFA (paper Table I geometry):");
+    for depth in [
+        AqftDepth::Limited(1),
+        AqftDepth::Limited(2),
+        AqftDepth::Limited(3),
+        AqftDepth::Limited(4),
+        AqftDepth::Full,
+    ] {
+        let circuit = qfa(7, 8, depth).circuit;
+        let counts = transpile(&circuit, Basis::CxPlus1q).counts();
+        println!(
+            "  d = {:<4}  1q: {:>4}   2q (CX): {:>4}",
+            depth.paper_label(),
+            counts.one_qubit,
+            counts.two_qubit
+        );
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # qfab — noisy approximate quantum Fourier arithmetic
+//!
+//! A from-scratch Rust reproduction of *"Performance Evaluations of
+//! Noisy Approximate Quantum Fourier Arithmetic"* (Basili et al., IPPS
+//! 2022): quantum Fourier addition (QFA) and multiplication (QFM) built
+//! on the approximate QFT, evaluated under tunable depolarizing noise
+//! models on a state-vector simulator — all implemented in this
+//! workspace, no quantum SDK required.
+//!
+//! This umbrella crate re-exports the public API of the sub-crates:
+//!
+//! * [`math`] — complex numbers, small unitaries, bit utilities,
+//!   samplers, deterministic RNG streams ([`qfab_math`]).
+//! * [`circuit`] — the gate set and circuit IR ([`qfab_circuit`]).
+//! * [`transpile`] — lowering to CX+1q and IBM {Id,X,RZ,SX,CX} bases,
+//!   peephole optimization ([`qfab_transpile`]).
+//! * [`sim`] — state-vector and density-matrix engines with
+//!   checkpointed trajectory replay ([`qfab_sim`]).
+//! * [`noise`] — depolarizing/damping channels, noise models,
+//!   Monte-Carlo trajectory sampling ([`qfab_noise`]).
+//! * [`core`] — the paper's arithmetic (QFT/AQFT, QFA, QFM, constant
+//!   and weighted-sum variants) and its evaluation pipeline and metrics
+//!   ([`qfab_core`]).
+//! * [`experiments`] — the table/figure reproduction harness
+//!   ([`qfab_experiments`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qfab::core::{qfa, AqftDepth};
+//! use qfab::sim::StateVector;
+//!
+//! // |x=3>|y=4>  ->  |3>|7>, exactly, with the full QFT.
+//! let adder = qfa(3, 4, AqftDepth::Full);
+//! let input = adder.y.embed(4, adder.x.embed(3, 0));
+//! let mut state = StateVector::basis_state(7, input);
+//! state.apply_circuit(&adder.circuit);
+//! let output = adder.y.embed(7, adder.x.embed(3, 0));
+//! assert!((state.probability(output) - 1.0).abs() < 1e-9);
+//! ```
+//!
+//! See `examples/` for noisy evaluation, weighted sums, AQFT fidelity
+//! scans, and modular exponentiation, and the `repro` binary
+//! (`cargo run --release -p qfab-experiments --bin repro`) for the
+//! paper's tables and figures.
+
+pub use qfab_circuit as circuit;
+pub use qfab_core as core;
+pub use qfab_experiments as experiments;
+pub use qfab_math as math;
+pub use qfab_noise as noise;
+pub use qfab_sim as sim;
+pub use qfab_transpile as transpile;

@@ -1,0 +1,176 @@
+//! Cross-crate integration: arithmetic circuits through both transpile
+//! targets and the simulator.
+
+use qfab::core::constant::{add_const, mul_const_mod, weighted_sum};
+use qfab::core::{aqft, aqft_inverse, qfa, qfm, AqftDepth};
+use qfab::sim::StateVector;
+use qfab::transpile::verify::equivalent_up_to_phase_randomized;
+use qfab::transpile::{optimize, transpile, Basis};
+
+#[test]
+fn qfa_survives_transpilation_to_both_bases() {
+    let built = qfa(3, 4, AqftDepth::Full);
+    for basis in [Basis::CxPlus1q, Basis::Ibm] {
+        let lowered = transpile(&built.circuit, basis);
+        assert!(
+            equivalent_up_to_phase_randomized(&built.circuit, &lowered, 4, 1e-7, 11),
+            "QFA not preserved by {basis:?}"
+        );
+    }
+}
+
+#[test]
+fn qfm_survives_transpilation_and_still_multiplies() {
+    let built = qfm(2, 2, AqftDepth::Full);
+    let lowered = transpile(&built.circuit, Basis::Ibm);
+    for (xv, yv) in [(1usize, 3usize), (2, 2), (3, 3)] {
+        let input = built.y.embed(yv, built.x.embed(xv, 0));
+        let mut state = StateVector::basis_state(8, input);
+        state.apply_circuit(&lowered);
+        let out = built.z.embed(xv * yv, built.y.embed(yv, built.x.embed(xv, 0)));
+        assert!(
+            (state.probability(out) - 1.0).abs() < 1e-7,
+            "{xv}*{yv} wrong after IBM transpile"
+        );
+    }
+}
+
+#[test]
+fn optimized_transpiled_adder_still_adds() {
+    let built = qfa(4, 5, AqftDepth::Full);
+    let lowered = transpile(&built.circuit, Basis::CxPlus1q);
+    let (opt, report) = optimize(&lowered);
+    assert_eq!(report.gates_after, opt.len());
+    for (xv, yv) in [(0usize, 0usize), (7, 9), (15, 15), (3, 28)] {
+        let input = built.y.embed(yv, built.x.embed(xv, 0));
+        let mut state = StateVector::basis_state(9, input);
+        state.apply_circuit(&opt);
+        let out = built.y.embed((xv + yv) % 32, built.x.embed(xv, 0));
+        assert!((state.probability(out) - 1.0).abs() < 1e-7);
+    }
+}
+
+#[test]
+fn chained_arithmetic_add_then_subtract_then_multiply() {
+    // (y + x) − x = y, then multiply by a constant — mixing the
+    // arithmetic building blocks over shared registers.
+    let add = qfa(3, 4, AqftDepth::Full);
+    let sub = add.circuit.inverse();
+    let (xv, yv) = (5usize, 9usize);
+    let input = add.y.embed(yv, add.x.embed(xv, 0));
+    let mut state = StateVector::basis_state(7, input);
+    state.apply_circuit(&add.circuit);
+    state.apply_circuit(&sub);
+    assert!((state.probability(input) - 1.0).abs() < 1e-8);
+}
+
+#[test]
+fn const_adder_matches_register_adder() {
+    // Adding a classical constant must agree with the two-register QFA.
+    let m = 5u32;
+    for a in [1usize, 7, 19, 31] {
+        let const_circ = add_const(m, a as i64, AqftDepth::Full);
+        for yv in [0usize, 3, 17, 31] {
+            let mut s = StateVector::basis_state(m, yv);
+            s.apply_circuit(&const_circ);
+            let expect = (yv + a) % 32;
+            assert!(
+                (s.probability(expect) - 1.0).abs() < 1e-8,
+                "{yv} + {a} misadded"
+            );
+        }
+    }
+}
+
+#[test]
+fn weighted_sum_equals_repeated_const_multiplication() {
+    // Σ w_i b_i with all bits set equals Σ w_i.
+    let weights = [2i64, 3, 7];
+    let ws = weighted_sum(&weights, 5, AqftDepth::Full);
+    let all_on = ws.bits.embed(0b111, 0);
+    let mut s = StateVector::basis_state(8, all_on);
+    s.apply_circuit(&ws.circuit);
+    let out = ws.acc.embed(12, all_on);
+    assert!((s.probability(out) - 1.0).abs() < 1e-8);
+}
+
+#[test]
+fn mul_const_agrees_with_qfm_for_classical_operands() {
+    let a = 5usize;
+    let const_mul = mul_const_mod(3, a as i64, 6, AqftDepth::Full);
+    let register_mul = qfm(3, 3, AqftDepth::Full);
+    for yv in 0..8usize {
+        let mut s1 = StateVector::basis_state(9, const_mul.y.embed(yv, 0));
+        s1.apply_circuit(&const_mul.circuit);
+        let o1 = const_mul.z.embed(a * yv, const_mul.y.embed(yv, 0));
+
+        let input = register_mul.y.embed(yv, register_mul.x.embed(a, 0));
+        let mut s2 = StateVector::basis_state(12, input);
+        s2.apply_circuit(&register_mul.circuit);
+        let o2 = register_mul
+            .z
+            .embed(a * yv, register_mul.y.embed(yv, register_mul.x.embed(a, 0)));
+
+        assert!((s1.probability(o1) - 1.0).abs() < 1e-8);
+        assert!((s2.probability(o2) - 1.0).abs() < 1e-8);
+    }
+}
+
+#[test]
+fn aqft_roundtrip_identity_at_every_depth() {
+    let m = 7u32;
+    for d in 1..m {
+        let mut c = aqft(m, AqftDepth::Limited(d));
+        c.extend(&aqft_inverse(m, AqftDepth::Limited(d)));
+        for y in [0usize, 1, 64, 127] {
+            let mut s = StateVector::basis_state(m, y);
+            s.apply_circuit(&c);
+            assert!(
+                (s.probability(y) - 1.0).abs() < 1e-9,
+                "AQFT_{d} roundtrip broke |{y}>"
+            );
+        }
+    }
+}
+
+#[test]
+fn signed_addition_via_twos_complement() {
+    // (−3) + 5 = 2 on 5-bit two's complement registers (m = n here, so
+    // wraparound is exactly two's-complement arithmetic).
+    use qfab::math::frac::{decode_twos_complement, encode_twos_complement};
+    let built = qfa(5, 5, AqftDepth::Full);
+    let xv = encode_twos_complement(-3, 5).unwrap();
+    let yv = encode_twos_complement(5, 5).unwrap();
+    let input = built.y.embed(yv, built.x.embed(xv, 0));
+    let mut s = StateVector::basis_state(10, input);
+    s.apply_circuit(&built.circuit);
+    let probs = s.probabilities();
+    let best = probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    let sum = decode_twos_complement(built.y.extract(best), 5);
+    assert_eq!(sum, 2);
+}
+
+#[test]
+fn qasm_export_of_arithmetic_circuit_is_wellformed() {
+    let built = qfa(2, 3, AqftDepth::Full);
+    let qasm = qfab::circuit::qasm::to_qasm(&built.circuit);
+    assert!(qasm.starts_with("OPENQASM 2.0;"));
+    assert!(qasm.contains("qreg q[5];"));
+    // Every gate line ends with a semicolon.
+    for line in qasm.lines().skip(3) {
+        assert!(line.ends_with(';'), "malformed line: {line}");
+    }
+}
+
+#[test]
+fn diagram_renders_arithmetic_circuit() {
+    let built = qfa(2, 3, AqftDepth::Limited(1));
+    let d = qfab::circuit::diagram::render(&built.circuit);
+    assert_eq!(d.lines().count(), 5);
+    assert!(d.contains('●'));
+}

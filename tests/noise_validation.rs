@@ -1,0 +1,175 @@
+//! Validation of the Monte-Carlo noise machinery against exact channel
+//! evolution, on real arithmetic circuits.
+
+use qfab::core::{qfa, AqftDepth};
+use qfab::math::rng::Xoshiro256StarStar;
+use qfab::noise::{NoiseModel, TrajectoryPlan};
+use qfab::sim::{CheckpointTable, DensityMatrix, StateVector};
+use qfab::transpile::{transpile, Basis};
+
+/// Exact density-matrix evolution of a circuit under a noise model.
+fn exact_noisy_probabilities(
+    circuit: &qfab::circuit::Circuit,
+    initial_index: usize,
+    model: &NoiseModel,
+) -> Vec<f64> {
+    let mut rho = DensityMatrix::basis_state(circuit.num_qubits(), initial_index);
+    for gate in circuit.gates() {
+        rho.apply_gate(gate);
+        if let Some(ch) = model.channel_for(gate) {
+            let kraus = ch.to_kraus();
+            rho.apply_kraus(gate.qubits().as_slice(), kraus.ops());
+        }
+    }
+    rho.probabilities()
+}
+
+/// Monte-Carlo estimate of the same distribution via trajectories.
+fn mc_noisy_probabilities(
+    circuit: &qfab::circuit::Circuit,
+    initial_index: usize,
+    model: &NoiseModel,
+    trials: u64,
+    seed: u64,
+) -> Vec<f64> {
+    let n = circuit.num_qubits();
+    let initial = StateVector::basis_state(n, initial_index);
+    let table = CheckpointTable::build(circuit.clone(), &initial, 16);
+    let plan = TrajectoryPlan::new(circuit, model);
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let clean = qfab::math::sampling::sample_binomial(trials, plan.clean_prob(), &mut rng);
+    let dim = 1usize << n;
+    let mut acc = vec![0.0f64; dim];
+    for (a, p) in acc.iter_mut().zip(table.final_state().probabilities()) {
+        *a += p * clean as f64;
+    }
+    for _ in 0..(trials - clean) {
+        let state = table.run_with_insertions(&plan.sample_noisy(&mut rng));
+        for (a, p) in acc.iter_mut().zip(state.probabilities()) {
+            *a += p;
+        }
+    }
+    acc.into_iter().map(|a| a / trials as f64).collect()
+}
+
+#[test]
+fn trajectories_match_exact_channel_on_a_real_adder() {
+    // QFA(2,3) transpiled: small enough for the density matrix, real
+    // enough to exercise the whole pipeline.
+    let built = qfa(2, 3, AqftDepth::Full);
+    let lowered = transpile(&built.circuit, Basis::CxPlus1q);
+    let input = built.y.embed(3, built.x.embed(2, 0));
+    let model = NoiseModel::depolarizing(0.01, 0.02);
+
+    let exact = exact_noisy_probabilities(&lowered, input, &model);
+    let mc = mc_noisy_probabilities(&lowered, input, &model, 40_000, 3);
+
+    for (i, (e, m)) in exact.iter().zip(&mc).enumerate() {
+        assert!(
+            (e - m).abs() < 0.012,
+            "outcome {i}: exact {e:.4} vs MC {m:.4}"
+        );
+    }
+    // The correct sum remains the argmax at these rates.
+    let best = exact
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    assert_eq!(best, built.y.embed(5, built.x.embed(2, 0)));
+}
+
+#[test]
+fn only_2q_noise_leaves_1q_only_circuits_clean() {
+    let mut c = qfab::circuit::Circuit::new(3);
+    c.h(0).h(1).h(2).rz(0.3, 1).x(2);
+    let model = NoiseModel::only_2q_depolarizing(0.5);
+    let plan = TrajectoryPlan::new(&c, &model);
+    assert_eq!(plan.num_sites(), 0);
+    assert_eq!(plan.clean_prob(), 1.0);
+}
+
+#[test]
+fn clean_probability_decreases_with_depth_and_rate() {
+    // More gates (deeper AQFT) and higher rates both shrink the clean
+    // fraction — the mechanism behind the paper's depth trade-off.
+    let mut last = 1.0;
+    for depth in [AqftDepth::Limited(1), AqftDepth::Limited(3), AqftDepth::Full] {
+        let built = qfa(7, 8, depth);
+        let lowered = transpile(&built.circuit, Basis::CxPlus1q);
+        let model = NoiseModel::only_2q_depolarizing(0.01);
+        let plan = TrajectoryPlan::new(&lowered, &model);
+        assert!(
+            plan.clean_prob() < last,
+            "deeper transform must have lower clean probability"
+        );
+        last = plan.clean_prob();
+    }
+    let built = qfa(7, 8, AqftDepth::Full);
+    let lowered = transpile(&built.circuit, Basis::CxPlus1q);
+    let p_low = TrajectoryPlan::new(&lowered, &NoiseModel::only_2q_depolarizing(0.001))
+        .clean_prob();
+    let p_high = TrajectoryPlan::new(&lowered, &NoiseModel::only_2q_depolarizing(0.02))
+        .clean_prob();
+    assert!(p_low > p_high);
+}
+
+#[test]
+fn checkpoint_replay_equals_full_replay_on_arithmetic_circuit() {
+    use qfab::sim::Insertion;
+    let built = qfa(3, 4, AqftDepth::Full);
+    let lowered = transpile(&built.circuit, Basis::CxPlus1q);
+    let input = built.y.embed(7, built.x.embed(4, 0));
+    let initial = StateVector::basis_state(7, input);
+
+    let fine = CheckpointTable::build(lowered.clone(), &initial, 1);
+    let coarse = CheckpointTable::build(lowered.clone(), &initial, 64);
+    let insertions = [
+        Insertion { after_gate: 10, gate: qfab::circuit::Gate::X(2) },
+        Insertion { after_gate: 50, gate: qfab::circuit::Gate::Z(5) },
+    ];
+    let a = fine.run_with_insertions(&insertions);
+    let b = coarse.run_with_insertions(&insertions);
+    assert!(qfab::math::approx::approx_eq_slice(
+        a.amplitudes(),
+        b.amplitudes(),
+        1e-10
+    ));
+}
+
+#[test]
+fn thermal_relaxation_limits_to_amplitude_damping() {
+    // With T2 = 2·T1 the thermal channel is pure amplitude damping: the
+    // |1> population decays by e^{−t/T1} with no extra dephasing.
+    use qfab::noise::KrausChannel;
+    let (t, t1) = (1.0f64, 2.0f64);
+    let ch = KrausChannel::thermal_relaxation(t, t1, 2.0 * t1);
+    let mut rho = DensityMatrix::basis_state(1, 1);
+    rho.apply_kraus(&[0], ch.ops());
+    let p1 = rho.probabilities()[1];
+    let expect = (-t / t1).exp();
+    assert!((p1 - expect).abs() < 1e-10, "p1 {p1} vs {expect}");
+}
+
+#[test]
+fn readout_error_composes_with_gate_noise() {
+    let built = qfa(2, 3, AqftDepth::Full);
+    let model = NoiseModel::only_2q_depolarizing(0.01)
+        .with_readout(qfab::noise::ReadoutError::symmetric(0.02));
+    let config = qfab::core::RunConfig { shots: 4000, ..Default::default() };
+    let run = qfab::core::pipeline::NoisyRun::prepare(
+        &built.circuit,
+        StateVector::basis_state(5, built.y.embed(1, built.x.embed(1, 0))),
+        &model,
+        &config,
+    );
+    let mut rng = Xoshiro256StarStar::new(5);
+    let counts = run.sample_counts(4000, &mut rng);
+    assert_eq!(counts.total_shots(), 4000);
+    // The exact output still dominates but readout spreads mass.
+    let expected = built.y.embed(2, built.x.embed(1, 0));
+    let hit = counts.get(expected) as f64 / 4000.0;
+    assert!(hit > 0.75 && hit < 0.98, "hit rate {hit}");
+    assert!(counts.distinct() > 3);
+}

@@ -1,0 +1,126 @@
+//! Reduced-scale checks of the paper's qualitative claims — the
+//! *shape* of the results, which is what a reproduction must preserve.
+
+use qfab::core::pipeline::{run_add_instance, RunConfig};
+use qfab::core::{AddInstance, AqftDepth, EnsembleStats};
+use qfab::experiments::table1::run_table1;
+use qfab::math::rng::Xoshiro256StarStar;
+use qfab::noise::NoiseModel;
+
+fn ensemble(n: u32, m: u32, ox: usize, oy: usize, count: usize, seed: u64) -> Vec<AddInstance> {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    (0..count).map(|_| AddInstance::random(n, m, ox, oy, &mut rng)).collect()
+}
+
+fn success_rate(
+    instances: &[AddInstance],
+    depth: AqftDepth,
+    model: &NoiseModel,
+    shots: u64,
+) -> f64 {
+    let config = RunConfig { shots, ..RunConfig::default() };
+    let outcomes: Vec<_> = instances
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| run_add_instance(inst, depth, model, &config, 1000 + i as u64).1)
+        .collect();
+    EnsembleStats::from_outcomes(&outcomes).success_rate_pct
+}
+
+/// Table I is the paper's only exact artifact: it must match digit for
+/// digit.
+#[test]
+fn table1_reproduces_exactly() {
+    for e in run_table1() {
+        assert!(
+            e.matches(),
+            "{} d={}: ({}, {}) vs paper ({}, {})",
+            e.op,
+            e.depth_label,
+            e.ours_1q,
+            e.ours_2q,
+            e.paper_1q,
+            e.paper_2q
+        );
+    }
+}
+
+/// Paper Fig. 1(a)/(b): 1:1 addition is insensitive to gate errors in
+/// the hardware regime at depths above 1.
+#[test]
+fn one_to_one_addition_is_robust_at_hardware_rates() {
+    let insts = ensemble(7, 8, 1, 1, 8, 21);
+    for model in [
+        NoiseModel::only_1q_depolarizing(0.002),
+        NoiseModel::only_2q_depolarizing(0.010),
+    ] {
+        let rate = success_rate(&insts, AqftDepth::Limited(3), &model, 128);
+        assert!(rate >= 85.0, "1:1 addition should be robust, got {rate}%");
+    }
+}
+
+/// Paper §IV: sensitivity grows with the order of superposition —
+/// 2:2 under-performs 1:1 at the same (elevated) error rate.
+#[test]
+fn superposition_order_increases_sensitivity() {
+    let shots = 128;
+    let model = NoiseModel::only_2q_depolarizing(0.03);
+    let r11 = success_rate(&ensemble(7, 8, 1, 1, 8, 22), AqftDepth::Full, &model, shots);
+    let r22 = success_rate(&ensemble(7, 8, 2, 2, 8, 23), AqftDepth::Full, &model, shots);
+    assert!(
+        r22 < r11,
+        "2:2 ({r22}%) should underperform 1:1 ({r11}%) at 3% 2q error"
+    );
+}
+
+/// Paper §IV: depth 1 is *worse* than the optimum even without noise
+/// once operands are superposed.
+#[test]
+fn depth_one_hurts_superposed_operands_noiselessly() {
+    let insts = ensemble(7, 8, 2, 2, 12, 24);
+    let ideal = NoiseModel::ideal();
+    let r1 = success_rate(&insts, AqftDepth::Limited(1), &ideal, 256);
+    let r3 = success_rate(&insts, AqftDepth::Limited(3), &ideal, 256);
+    assert!((r3 - 100.0).abs() < 1e-9, "depth 3 noiseless should be perfect");
+    assert!(r1 < r3, "depth 1 ({r1}%) should trail depth 3 ({r3}%)");
+}
+
+/// Paper §IV: near the optimum, the AQFT matches or beats the full QFT
+/// under noise (it has fewer noisy gates).
+#[test]
+fn aqft_at_heuristic_depth_competes_with_full_qft_under_noise() {
+    let insts = ensemble(7, 8, 1, 2, 10, 25);
+    let model = NoiseModel::only_2q_depolarizing(0.02);
+    let shots = 192;
+    let r3 = success_rate(&insts, AqftDepth::Limited(3), &model, shots);
+    let rf = success_rate(&insts, AqftDepth::Full, &model, shots);
+    // Allow a small statistical slack in the comparison.
+    assert!(
+        r3 + 15.0 >= rf,
+        "AQFT d=3 ({r3}%) should be competitive with full ({rf}%)"
+    );
+}
+
+/// Paper abstract/§V: success collapses toward 0% at sufficiently high
+/// error rates and superposition orders.
+#[test]
+fn success_collapses_at_high_error() {
+    let insts = ensemble(7, 8, 2, 2, 6, 26);
+    let model = NoiseModel::only_2q_depolarizing(0.15);
+    let rate = success_rate(&insts, AqftDepth::Full, &model, 96);
+    assert!(rate <= 20.0, "expected collapse, got {rate}%");
+}
+
+/// The noise-free origin points of every figure: all-success at full
+/// depth for every superposition row.
+#[test]
+fn noise_free_origin_is_perfect_at_full_depth() {
+    for (ox, oy) in [(1usize, 1usize), (1, 2), (2, 2)] {
+        let insts = ensemble(7, 8, ox, oy, 6, 30 + (ox * 2 + oy) as u64);
+        let rate = success_rate(&insts, AqftDepth::Full, &NoiseModel::ideal(), 128);
+        assert!(
+            (rate - 100.0).abs() < 1e-9,
+            "{ox}:{oy} noiseless full-depth should be 100%, got {rate}"
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests over the core invariants.
+
+use proptest::prelude::*;
+use qfab::circuit::{Circuit, Gate};
+use qfab::core::constant::add_const;
+use qfab::core::{aqft, qfa, qfm, AqftDepth};
+use qfab::math::frac::{decode_twos_complement, encode_twos_complement, wrap_mod_2n};
+use qfab::math::rng::Xoshiro256StarStar;
+use qfab::sim::StateVector;
+use qfab::transpile::verify::equivalent_up_to_phase_exhaustive;
+use qfab::transpile::{optimize, transpile, Basis};
+
+/// A strategy over random small circuits from the arithmetic gate set.
+fn arb_circuit(qubits: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    let gate = (0u8..8, 0..qubits, 0..qubits, 0..qubits, -3.0f64..3.0);
+    prop::collection::vec(gate, 0..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(qubits);
+        for (kind, a, b, t, angle) in gates {
+            let (a, b, t) = (a % qubits, b % qubits, t % qubits);
+            match kind {
+                0 => {
+                    c.h(a);
+                }
+                1 => {
+                    c.x(a);
+                }
+                2 => {
+                    c.phase(angle, a);
+                }
+                3 if a != b => {
+                    c.cx(a, b);
+                }
+                4 if a != b => {
+                    c.cphase(angle, a, b);
+                }
+                5 if a != b => {
+                    c.ch(a, b);
+                }
+                6 if a != b && b != t && a != t => {
+                    c.ccphase(angle, a, b, t);
+                }
+                7 if a != b => {
+                    c.swap(a, b);
+                }
+                _ => {}
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// QFA computes (x + y) mod 2^m for every operand pair and width.
+    #[test]
+    fn qfa_adds_correctly(
+        n in 1u32..5,
+        extra in 0u32..2,
+        x_seed in any::<u64>(),
+    ) {
+        let m = n + extra;
+        let mut rng = Xoshiro256StarStar::new(x_seed);
+        let xv = rng.next_bounded(1 << n) as usize;
+        let yv = rng.next_bounded(1 << m) as usize;
+        let built = qfa(n, m, AqftDepth::Full);
+        let input = built.y.embed(yv, built.x.embed(xv, 0));
+        let mut s = StateVector::basis_state(n + m, input);
+        s.apply_circuit(&built.circuit);
+        let out = built.y.embed((xv + yv) % (1 << m), built.x.embed(xv, 0));
+        prop_assert!((s.probability(out) - 1.0).abs() < 1e-8);
+    }
+
+    /// QFM computes x·y for random operands and asymmetric widths.
+    #[test]
+    fn qfm_multiplies_correctly(
+        n in 1u32..4,
+        m in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let xv = rng.next_bounded(1 << n) as usize;
+        let yv = rng.next_bounded(1 << m) as usize;
+        let built = qfm(n, m, AqftDepth::Full);
+        let input = built.y.embed(yv, built.x.embed(xv, 0));
+        let mut s = StateVector::basis_state(2 * (n + m), input);
+        s.apply_circuit(&built.circuit);
+        let out = built
+            .z
+            .embed(xv * yv, built.y.embed(yv, built.x.embed(xv, 0)));
+        prop_assert!((s.probability(out) - 1.0).abs() < 1e-8);
+    }
+
+    /// AQFT followed by its inverse is the identity at every depth.
+    #[test]
+    fn aqft_inverse_roundtrips(m in 1u32..7, d in 1u32..7, y_seed in any::<u64>()) {
+        let depth = AqftDepth::Limited(d);
+        let y = (y_seed % (1u64 << m)) as usize;
+        let mut c = aqft(m, depth);
+        c.extend(&aqft(m, depth).inverse());
+        let mut s = StateVector::basis_state(m, y);
+        s.apply_circuit(&c);
+        prop_assert!((s.probability(y) - 1.0).abs() < 1e-9);
+    }
+
+    /// Transpilation preserves the unitary up to global phase, for both
+    /// bases, on arbitrary circuits from the arithmetic gate set.
+    #[test]
+    fn transpile_preserves_semantics(c in arb_circuit(4, 12)) {
+        for basis in [Basis::CxPlus1q, Basis::Ibm] {
+            let lowered = transpile(&c, basis);
+            prop_assert!(
+                equivalent_up_to_phase_exhaustive(&c, &lowered, 1e-7),
+                "basis {basis:?} broke equivalence"
+            );
+        }
+    }
+
+    /// The peephole optimizer never changes the unitary (up to phase)
+    /// and never grows the circuit.
+    #[test]
+    fn optimizer_is_sound(c in arb_circuit(4, 16)) {
+        let lowered = transpile(&c, Basis::CxPlus1q);
+        let (opt, report) = optimize(&lowered);
+        prop_assert!(opt.len() <= lowered.len());
+        prop_assert_eq!(report.gates_after, opt.len());
+        prop_assert!(equivalent_up_to_phase_exhaustive(&lowered, &opt, 1e-7));
+    }
+
+    /// Circuit inversion is an involution and a true inverse under
+    /// simulation.
+    #[test]
+    fn circuit_inverse_involution(c in arb_circuit(4, 10), seed in any::<u64>()) {
+        prop_assert_eq!(c.inverse().inverse(), c.clone());
+        let y = (seed % 16) as usize;
+        let mut s = StateVector::basis_state(4, y);
+        s.apply_circuit(&c);
+        s.apply_circuit(&c.inverse());
+        prop_assert!((s.probability(y) - 1.0).abs() < 1e-8);
+    }
+
+    /// Constant addition agrees with modular integer arithmetic.
+    #[test]
+    fn const_addition_matches_wrapping(m in 1u32..6, a in -100i64..100, y_seed in any::<u64>()) {
+        let y = (y_seed % (1u64 << m)) as usize;
+        let circuit = add_const(m, a, AqftDepth::Full);
+        let mut s = StateVector::basis_state(m, y);
+        s.apply_circuit(&circuit);
+        let expect = wrap_mod_2n(y as i64 + a, m);
+        prop_assert!((s.probability(expect) - 1.0).abs() < 1e-8);
+    }
+
+    /// Two's-complement encode/decode roundtrip over the full range.
+    #[test]
+    fn twos_complement_roundtrip(n in 1u32..16, v in any::<i64>()) {
+        let lo = -(1i64 << (n - 1));
+        let hi = (1i64 << (n - 1)) - 1;
+        let v = lo + (v.rem_euclid(hi - lo + 1));
+        let enc = encode_twos_complement(v, n).unwrap();
+        prop_assert_eq!(decode_twos_complement(enc, n), v);
+    }
+
+    /// Pauli insertions never change the norm of the state.
+    #[test]
+    fn pauli_insertions_preserve_norm(c in arb_circuit(4, 10), q in 0u32..4, k in 0u8..3) {
+        let mut s = StateVector::basis_state(4, 5);
+        s.apply_circuit(&c);
+        let pauli = match k {
+            0 => Gate::X(q),
+            1 => Gate::Y(q),
+            _ => Gate::Z(q),
+        };
+        s.apply_gate(&pauli);
+        prop_assert!((s.norm() - 1.0).abs() < 1e-8);
+    }
+
+    /// Gate counts after transpilation follow the fixed per-gate costs.
+    #[test]
+    fn transpile_cost_model(theta in -3.0f64..3.0) {
+        let mut c = Circuit::new(3);
+        c.cphase(theta, 0, 1).ccphase(theta, 0, 1, 2).ch(0, 2).h(1);
+        let lowered = transpile(&c, Basis::CxPlus1q);
+        let counts = lowered.counts();
+        // 3 + 9 + 6 + 1 one-qubit, 2 + 8 + 1 two-qubit.
+        prop_assert_eq!(counts.one_qubit, 19);
+        prop_assert_eq!(counts.two_qubit, 11);
+    }
+}
