@@ -26,7 +26,10 @@ fn bench_checkpoint(c: &mut Criterion) {
     let positions = [gates / 10, gates / 2, gates * 9 / 10];
 
     let tables = [
-        ("none", CheckpointTable::build(circuit.clone(), &initial, gates + 1)),
+        (
+            "none",
+            CheckpointTable::build(circuit.clone(), &initial, gates + 1),
+        ),
         (
             "budget_16MiB",
             CheckpointTable::build_with_budget(
@@ -35,14 +38,20 @@ fn bench_checkpoint(c: &mut Criterion) {
                 CheckpointTable::DEFAULT_BUDGET_BYTES,
             ),
         ),
-        ("every_8_gates", CheckpointTable::build(circuit.clone(), &initial, 8)),
+        (
+            "every_8_gates",
+            CheckpointTable::build(circuit.clone(), &initial, 8),
+        ),
     ];
 
     let mut group = c.benchmark_group("ablation_checkpoint");
     group.sample_size(20);
     for (label, table) in &tables {
         for &pos in &positions {
-            let ins = [Insertion { after_gate: pos, gate: Gate::X(3) }];
+            let ins = [Insertion {
+                after_gate: pos,
+                gate: Gate::X(3),
+            }];
             group.bench_with_input(
                 BenchmarkId::new(*label, format!("err_at_{}pct", pos * 100 / gates)),
                 &ins,

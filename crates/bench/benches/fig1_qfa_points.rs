@@ -18,7 +18,10 @@ const SHOTS: u64 = 64;
 
 fn bench_fig1(c: &mut Criterion) {
     let inst = fixed_add_instance();
-    let config = RunConfig { shots: SHOTS, ..RunConfig::default() };
+    let config = RunConfig {
+        shots: SHOTS,
+        ..RunConfig::default()
+    };
 
     let mut group = c.benchmark_group("fig1_qfa");
     group.sample_size(10);
@@ -29,19 +32,15 @@ fn bench_fig1(c: &mut Criterion) {
         ("d3", AqftDepth::Limited(3)),
         ("full", AqftDepth::Full),
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("prepare", dlabel),
-            &depth,
-            |b, &depth| {
-                b.iter(|| {
-                    black_box(PreparedInstance::new(
-                        &inst.circuit(depth),
-                        inst.initial_state(),
-                        &config,
-                    ))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("prepare", dlabel), &depth, |b, &depth| {
+            b.iter(|| {
+                black_box(PreparedInstance::new(
+                    &inst.circuit(depth),
+                    inst.initial_state(),
+                    &config,
+                ))
+            })
+        });
     }
 
     let models = [

@@ -17,26 +17,25 @@ const SHOTS: u64 = 16;
 
 fn bench_fig2(c: &mut Criterion) {
     let inst = fixed_mul_instance();
-    let config = RunConfig { shots: SHOTS, ..RunConfig::default() };
+    let config = RunConfig {
+        shots: SHOTS,
+        ..RunConfig::default()
+    };
 
     let mut group = c.benchmark_group("fig2_qfm");
     group.sample_size(10);
     group.throughput(Throughput::Elements(SHOTS));
 
     for (dlabel, depth) in [("d1", AqftDepth::Limited(1)), ("full", AqftDepth::Full)] {
-        group.bench_with_input(
-            BenchmarkId::new("prepare", dlabel),
-            &depth,
-            |b, &depth| {
-                b.iter(|| {
-                    black_box(PreparedInstance::new(
-                        &inst.circuit(depth),
-                        inst.initial_state(),
-                        &config,
-                    ))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("prepare", dlabel), &depth, |b, &depth| {
+            b.iter(|| {
+                black_box(PreparedInstance::new(
+                    &inst.circuit(depth),
+                    inst.initial_state(),
+                    &config,
+                ))
+            })
+        });
     }
 
     let models = [

@@ -1,7 +1,7 @@
 //! Microbenchmarks of the raw state-vector gate kernels — the
 //! foundation every figure's cost rests on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use qfab_circuit::Gate;
 use qfab_core::{aqft, AqftDepth};
 use qfab_math::rng::Xoshiro256StarStar;
@@ -19,8 +19,21 @@ fn bench_kernels(c: &mut Criterion) {
             ("h_high", Gate::H(n - 1)),
             ("x", Gate::X(n / 2)),
             ("rz", Gate::Rz(n / 2, 0.31)),
-            ("cx", Gate::Cx { control: 0, target: n - 1 }),
-            ("cphase", Gate::Cphase { control: 1, target: n - 2, theta: 0.4 }),
+            (
+                "cx",
+                Gate::Cx {
+                    control: 0,
+                    target: n - 1,
+                },
+            ),
+            (
+                "cphase",
+                Gate::Cphase {
+                    control: 1,
+                    target: n - 2,
+                    theta: 0.4,
+                },
+            ),
         ];
         for (label, gate) in gates {
             group.bench_with_input(
@@ -91,5 +104,83 @@ fn bench_kernels(c: &mut Criterion) {
     group3.finish();
 }
 
+/// Hand-timed pass over the same kernel set, recorded through the
+/// telemetry histograms and emitted as `BENCH_kernels.json` via the
+/// manifest encoder — the machine-readable feed for cross-run
+/// performance tracking (criterion's own stats stay in
+/// `target/criterion`). Writes into `$QFAB_BENCH_OUT` or the current
+/// directory.
+fn emit_kernel_manifest() {
+    use qfab_telemetry as telemetry;
+    use std::path::PathBuf;
+
+    telemetry::set_mode(telemetry::Mode::Detail);
+    telemetry::reset();
+    const REPS: usize = 25;
+    for n in [14u32, 17] {
+        let gates = [
+            ("h_low", Gate::H(0)),
+            ("h_high", Gate::H(n - 1)),
+            ("x", Gate::X(n / 2)),
+            ("rz", Gate::Rz(n / 2, 0.31)),
+            (
+                "cx",
+                Gate::Cx {
+                    control: 0,
+                    target: n - 1,
+                },
+            ),
+            (
+                "cphase",
+                Gate::Cphase {
+                    control: 1,
+                    target: n - 2,
+                    theta: 0.4,
+                },
+            ),
+        ];
+        for (label, gate) in gates {
+            // Histogram names are `&'static`; bench labels are few and
+            // the process exits right after, so leaking them is fine.
+            let name: &'static str =
+                Box::leak(format!("bench.kernels.{n}q.{label}_ns").into_boxed_str());
+            let hist = telemetry::histogram(name);
+            let mut s = StateVector::zero_state(n);
+            s.set_parallel(false);
+            for q in 0..n {
+                s.apply_gate(&Gate::H(q));
+            }
+            for _ in 0..REPS {
+                let span = hist.span();
+                s.apply_gate(black_box(&gate));
+                drop(span);
+            }
+            black_box(&s);
+        }
+    }
+
+    let manifest = telemetry::Manifest::new("BENCH_kernels")
+        .field("reps", REPS)
+        .field(
+            "sizes_qubits",
+            telemetry::Json::Arr(vec![telemetry::Json::U64(14), telemetry::Json::U64(17)]),
+        )
+        .metrics(&telemetry::snapshot());
+    telemetry::set_mode(telemetry::Mode::Off);
+    let dir = std::env::var_os("QFAB_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let path = dir.join("BENCH_kernels.json");
+    match manifest.write_to(&path) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed writing {}: {e}", path.display()),
+    }
+}
+
 criterion_group!(benches, bench_kernels);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+    emit_kernel_manifest();
+}

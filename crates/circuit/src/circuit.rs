@@ -23,12 +23,18 @@ pub struct Circuit {
 impl Circuit {
     /// An empty circuit over `num_qubits` qubits.
     pub fn new(num_qubits: u32) -> Self {
-        Self { num_qubits, gates: Vec::new() }
+        Self {
+            num_qubits,
+            gates: Vec::new(),
+        }
     }
 
     /// An empty circuit with gate-list capacity reserved up front.
     pub fn with_capacity(num_qubits: u32, capacity: usize) -> Self {
-        Self { num_qubits, gates: Vec::with_capacity(capacity) }
+        Self {
+            num_qubits,
+            gates: Vec::with_capacity(capacity),
+        }
     }
 
     /// The number of qubits.
@@ -210,7 +216,11 @@ impl Circuit {
     }
     /// Controlled-phase by `theta`.
     pub fn cphase(&mut self, theta: f64, control: u32, target: u32) -> &mut Self {
-        self.push(Gate::Cphase { control, target, theta })
+        self.push(Gate::Cphase {
+            control,
+            target,
+            theta,
+        })
     }
     /// Controlled-Hadamard.
     pub fn ch(&mut self, control: u32, target: u32) -> &mut Self {
@@ -226,7 +236,12 @@ impl Circuit {
     }
     /// Doubly-controlled phase by `theta` (the paper's `cR_l`).
     pub fn ccphase(&mut self, theta: f64, c0: u32, c1: u32, target: u32) -> &mut Self {
-        self.push(Gate::Ccphase { c0, c1, target, theta })
+        self.push(Gate::Ccphase {
+            c0,
+            c1,
+            target,
+            theta,
+        })
     }
     /// Fredkin (controlled swap).
     pub fn cswap(&mut self, control: u32, a: u32, b: u32) -> &mut Self {
@@ -285,7 +300,14 @@ mod tests {
         c.h(0).s(1).cphase(0.7, 0, 1);
         let inv = c.inverse();
         assert_eq!(inv.len(), 3);
-        assert_eq!(inv.gates()[0], Gate::Cphase { control: 0, target: 1, theta: -0.7 });
+        assert_eq!(
+            inv.gates()[0],
+            Gate::Cphase {
+                control: 0,
+                target: 1,
+                theta: -0.7
+            }
+        );
         assert_eq!(inv.gates()[1], Gate::Sdg(1));
         assert_eq!(inv.gates()[2], Gate::H(0));
         // Involution.
@@ -312,11 +334,23 @@ mod tests {
         inner.h(0).cx(0, 1);
         let mut outer = Circuit::new(5);
         outer.extend(&inner);
-        assert_eq!(outer.gates()[1], Gate::Cx { control: 0, target: 1 });
+        assert_eq!(
+            outer.gates()[1],
+            Gate::Cx {
+                control: 0,
+                target: 1
+            }
+        );
         let mut shifted = Circuit::new(5);
         shifted.extend_mapped(&inner, &[3, 4]);
         assert_eq!(shifted.gates()[0], Gate::H(3));
-        assert_eq!(shifted.gates()[1], Gate::Cx { control: 3, target: 4 });
+        assert_eq!(
+            shifted.gates()[1],
+            Gate::Cx {
+                control: 3,
+                target: 4
+            }
+        );
     }
 
     #[test]
@@ -332,12 +366,29 @@ mod tests {
         let mut c = Circuit::new(3);
         c.h(1).cphase(0.5, 1, 2).x(2);
         let controlled = c.controlled_by(0).expect("all controllable");
-        assert_eq!(controlled.gates()[0], Gate::Ch { control: 0, target: 1 });
+        assert_eq!(
+            controlled.gates()[0],
+            Gate::Ch {
+                control: 0,
+                target: 1
+            }
+        );
         assert_eq!(
             controlled.gates()[1],
-            Gate::Ccphase { c0: 0, c1: 1, target: 2, theta: 0.5 }
+            Gate::Ccphase {
+                c0: 0,
+                c1: 1,
+                target: 2,
+                theta: 0.5
+            }
         );
-        assert_eq!(controlled.gates()[2], Gate::Cx { control: 0, target: 2 });
+        assert_eq!(
+            controlled.gates()[2],
+            Gate::Cx {
+                control: 0,
+                target: 2
+            }
+        );
     }
 
     #[test]

@@ -70,7 +70,9 @@ fn place(cells: &mut Vec<(usize, String)>, gate: &Gate) {
     };
     match *gate {
         Gate::Cx { control, target }
-        | Gate::Cphase { control, target, .. }
+        | Gate::Cphase {
+            control, target, ..
+        }
         | Gate::Ch { control, target } => {
             cells.push((control as usize, "●".to_string()));
             cells.push((target as usize, label));

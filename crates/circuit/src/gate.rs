@@ -117,6 +117,10 @@ pub enum Gate {
 }
 
 /// A gate's unitary matrix, sized by arity.
+///
+/// Deliberately unboxed: matrices are transient stack values consumed
+/// immediately by the kernels, and the type must stay `Copy`.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Copy, Debug)]
 pub enum GateMatrix {
     /// Single-qubit operator.
@@ -136,13 +140,22 @@ pub struct Operands {
 
 impl Operands {
     fn one(a: u32) -> Self {
-        Self { buf: [a, 0, 0], len: 1 }
+        Self {
+            buf: [a, 0, 0],
+            len: 1,
+        }
     }
     fn two(a: u32, b: u32) -> Self {
-        Self { buf: [a, b, 0], len: 2 }
+        Self {
+            buf: [a, b, 0],
+            len: 2,
+        }
     }
     fn three(a: u32, b: u32, c: u32) -> Self {
-        Self { buf: [a, b, c], len: 3 }
+        Self {
+            buf: [a, b, c],
+            len: 3,
+        }
     }
 
     /// The operands as a slice.
@@ -182,13 +195,16 @@ impl Gate {
     pub fn qubits(&self) -> Operands {
         use Gate::*;
         match *self {
-            I(q) | X(q) | Y(q) | Z(q) | H(q) | S(q) | Sdg(q) | T(q) | Tdg(q) | Sx(q)
-            | Sxdg(q) => Operands::one(q),
+            I(q) | X(q) | Y(q) | Z(q) | H(q) | S(q) | Sdg(q) | T(q) | Tdg(q) | Sx(q) | Sxdg(q) => {
+                Operands::one(q)
+            }
             Rx(q, _) | Ry(q, _) | Rz(q, _) | Phase(q, _) => Operands::one(q),
             U(q, ..) => Operands::one(q),
             Cx { control, target } => Operands::two(control, target),
             Cz(a, b) => Operands::two(a, b),
-            Cphase { control, target, .. } => Operands::two(control, target),
+            Cphase {
+                control, target, ..
+            } => Operands::two(control, target),
             Ch { control, target } => Operands::two(control, target),
             Swap(a, b) => Operands::two(a, b),
             Ccx { c0, c1, target } => Operands::three(c0, c1, target),
@@ -249,8 +265,26 @@ impl Gate {
             Rz(q, t) => Rz(q, -t),
             Phase(q, t) => Phase(q, -t),
             U(q, theta, phi, lam) => U(q, -theta, -lam, -phi),
-            Cphase { control, target, theta } => Cphase { control, target, theta: -theta },
-            Ccphase { c0, c1, target, theta } => Ccphase { c0, c1, target, theta: -theta },
+            Cphase {
+                control,
+                target,
+                theta,
+            } => Cphase {
+                control,
+                target,
+                theta: -theta,
+            },
+            Ccphase {
+                c0,
+                c1,
+                target,
+                theta,
+            } => Ccphase {
+                c0,
+                c1,
+                target,
+                theta: -theta,
+            },
             // Self-inverse gates.
             g => g,
         }
@@ -262,7 +296,14 @@ impl Gate {
         use Gate::*;
         matches!(
             self,
-            I(_) | Z(_) | S(_) | Sdg(_) | T(_) | Tdg(_) | Rz(..) | Phase(..) | Cz(..)
+            I(_) | Z(_)
+                | S(_)
+                | Sdg(_)
+                | T(_)
+                | Tdg(_)
+                | Rz(..)
+                | Phase(..)
+                | Cz(..)
                 | Cphase { .. }
                 | Ccphase { .. }
         )
@@ -284,9 +325,7 @@ impl Gate {
             S(_) => GateMatrix::One(Mat2::diagonal([Complex64::ONE, Complex64::I])),
             Sdg(_) => GateMatrix::One(Mat2::diagonal([Complex64::ONE, -Complex64::I])),
             T(_) => GateMatrix::One(Mat2::diagonal([Complex64::ONE, Complex64::cis(PI / 4.0)])),
-            Tdg(_) => {
-                GateMatrix::One(Mat2::diagonal([Complex64::ONE, Complex64::cis(-PI / 4.0)]))
-            }
+            Tdg(_) => GateMatrix::One(Mat2::diagonal([Complex64::ONE, Complex64::cis(-PI / 4.0)])),
             Sx(_) => GateMatrix::One(mat2_sx()),
             Sxdg(_) => GateMatrix::One(mat2_sx().adjoint()),
             Rx(_, t) => GateMatrix::One(mat2_rx(t)),
@@ -337,18 +376,46 @@ impl Gate {
             Rz(q, t) => Rz(f(q), t),
             Phase(q, t) => Phase(f(q), t),
             U(q, a, b, c) => U(f(q), a, b, c),
-            Cx { control, target } => Cx { control: f(control), target: f(target) },
+            Cx { control, target } => Cx {
+                control: f(control),
+                target: f(target),
+            },
             Cz(a, b) => Cz(f(a), f(b)),
-            Cphase { control, target, theta } => {
-                Cphase { control: f(control), target: f(target), theta }
-            }
-            Ch { control, target } => Ch { control: f(control), target: f(target) },
+            Cphase {
+                control,
+                target,
+                theta,
+            } => Cphase {
+                control: f(control),
+                target: f(target),
+                theta,
+            },
+            Ch { control, target } => Ch {
+                control: f(control),
+                target: f(target),
+            },
             Swap(a, b) => Swap(f(a), f(b)),
-            Ccx { c0, c1, target } => Ccx { c0: f(c0), c1: f(c1), target: f(target) },
-            Ccphase { c0, c1, target, theta } => {
-                Ccphase { c0: f(c0), c1: f(c1), target: f(target), theta }
-            }
-            Cswap { control, a, b } => Cswap { control: f(control), a: f(a), b: f(b) },
+            Ccx { c0, c1, target } => Ccx {
+                c0: f(c0),
+                c1: f(c1),
+                target: f(target),
+            },
+            Ccphase {
+                c0,
+                c1,
+                target,
+                theta,
+            } => Ccphase {
+                c0: f(c0),
+                c1: f(c1),
+                target: f(target),
+                theta,
+            },
+            Cswap { control, a, b } => Cswap {
+                control: f(control),
+                a: f(a),
+                b: f(b),
+            },
         }
     }
 
@@ -368,12 +435,32 @@ impl Gate {
             X(q) => Cx { control, target: q },
             Z(q) => Cz(control, q),
             H(q) => Ch { control, target: q },
-            Phase(q, t) => Cphase { control, target: q, theta: t },
-            Cx { control: c, target } => Ccx { c0: control, c1: c, target },
-            Cz(a, b) => Ccphase { c0: control, c1: a, target: b, theta: PI },
-            Cphase { control: c, target, theta } => {
-                Ccphase { c0: control, c1: c, target, theta }
-            }
+            Phase(q, t) => Cphase {
+                control,
+                target: q,
+                theta: t,
+            },
+            Cx { control: c, target } => Ccx {
+                c0: control,
+                c1: c,
+                target,
+            },
+            Cz(a, b) => Ccphase {
+                c0: control,
+                c1: a,
+                target: b,
+                theta: PI,
+            },
+            Cphase {
+                control: c,
+                target,
+                theta,
+            } => Ccphase {
+                c0: control,
+                c1: c,
+                target,
+                theta,
+            },
             Swap(a, b) => Cswap { control, a, b },
             _ => return None,
         })
@@ -461,7 +548,7 @@ fn controlled_two(u: &Mat2) -> Mat4 {
     // c = 0 columns: identity on t.
     out.m[0][0] = Complex64::ONE; // |t=0,c=0>
     out.m[2][2] = Complex64::ONE; // |t=1,c=0>
-    // c = 1 block: u acts on t (t is matrix bit 1).
+                                  // c = 1 block: u acts on t (t is matrix bit 1).
     out.m[1][1] = u.m[0][0];
     out.m[1][3] = u.m[0][1];
     out.m[3][1] = u.m[1][0];
@@ -538,14 +625,37 @@ mod tests {
             Rz(0, 2.2),
             Phase(0, 0.7),
             U(0, 0.4, 1.3, -0.2),
-            Cx { control: 0, target: 1 },
+            Cx {
+                control: 0,
+                target: 1,
+            },
             Cz(0, 1),
-            Cphase { control: 0, target: 1, theta: 0.9 },
-            Ch { control: 0, target: 1 },
+            Cphase {
+                control: 0,
+                target: 1,
+                theta: 0.9,
+            },
+            Ch {
+                control: 0,
+                target: 1,
+            },
             Swap(0, 1),
-            Ccx { c0: 0, c1: 1, target: 2 },
-            Ccphase { c0: 0, c1: 1, target: 2, theta: -0.6 },
-            Cswap { control: 0, a: 1, b: 2 },
+            Ccx {
+                c0: 0,
+                c1: 1,
+                target: 2,
+            },
+            Ccphase {
+                c0: 0,
+                c1: 1,
+                target: 2,
+                theta: -0.6,
+            },
+            Cswap {
+                control: 0,
+                a: 1,
+                b: 2,
+            },
         ]
     }
 
@@ -601,11 +711,24 @@ mod tests {
     #[test]
     fn arity_and_operands() {
         assert_eq!(Gate::H(3).arity(), 1);
-        assert_eq!(Gate::Cx { control: 2, target: 5 }.qubits().as_slice(), &[2, 5]);
         assert_eq!(
-            Gate::Ccphase { c0: 1, c1: 2, target: 3, theta: 0.1 }
-                .qubits()
-                .as_slice(),
+            Gate::Cx {
+                control: 2,
+                target: 5
+            }
+            .qubits()
+            .as_slice(),
+            &[2, 5]
+        );
+        assert_eq!(
+            Gate::Ccphase {
+                c0: 1,
+                c1: 2,
+                target: 3,
+                theta: 0.1
+            }
+            .qubits()
+            .as_slice(),
             &[1, 2, 3]
         );
     }
@@ -614,7 +737,11 @@ mod tests {
     fn cx_matrix_convention() {
         // Index i = (t << 1) | c. CX maps (c=1,t=0) [idx 1] to (c=1,t=1)
         // [idx 3] and vice versa.
-        let GateMatrix::Two(m) = (Gate::Cx { control: 0, target: 1 }).matrix() else {
+        let GateMatrix::Two(m) = (Gate::Cx {
+            control: 0,
+            target: 1,
+        })
+        .matrix() else {
             unreachable!()
         };
         assert!(m.m[0][0].approx_eq(Complex64::ONE, TOL));
@@ -625,9 +752,12 @@ mod tests {
 
     #[test]
     fn cphase_is_symmetric_diagonal() {
-        let GateMatrix::Two(m) =
-            (Gate::Cphase { control: 0, target: 1, theta: 0.9 }).matrix()
-        else {
+        let GateMatrix::Two(m) = (Gate::Cphase {
+            control: 0,
+            target: 1,
+            theta: 0.9,
+        })
+        .matrix() else {
             unreachable!()
         };
         assert!(m.m[0][0].approx_eq(Complex64::ONE, TOL));
@@ -638,9 +768,13 @@ mod tests {
 
     #[test]
     fn ccphase_only_phases_all_ones() {
-        let GateMatrix::Three(m) =
-            (Gate::Ccphase { c0: 0, c1: 1, target: 2, theta: 1.1 }).matrix()
-        else {
+        let GateMatrix::Three(m) = (Gate::Ccphase {
+            c0: 0,
+            c1: 1,
+            target: 2,
+            theta: 1.1,
+        })
+        .matrix() else {
             unreachable!()
         };
         for i in 0..7 {
@@ -651,11 +785,18 @@ mod tests {
 
     #[test]
     fn swap_and_cswap_permutations() {
-        let GateMatrix::Two(sw) = Gate::Swap(0, 1).matrix() else { unreachable!() };
+        let GateMatrix::Two(sw) = Gate::Swap(0, 1).matrix() else {
+            unreachable!()
+        };
         assert!(sw.m[1][2].approx_eq(Complex64::ONE, TOL));
         assert!(sw.m[2][1].approx_eq(Complex64::ONE, TOL));
 
-        let GateMatrix::Three(fs) = (Gate::Cswap { control: 0, a: 1, b: 2 }).matrix() else {
+        let GateMatrix::Three(fs) = (Gate::Cswap {
+            control: 0,
+            a: 1,
+            b: 2,
+        })
+        .matrix() else {
             unreachable!()
         };
         // With control (bit0) = 1: swap bits 1 and 2.
@@ -680,8 +821,12 @@ mod tests {
 
     #[test]
     fn sx_squared_is_x() {
-        let GateMatrix::One(sx) = Gate::Sx(0).matrix() else { unreachable!() };
-        let GateMatrix::One(x) = Gate::X(0).matrix() else { unreachable!() };
+        let GateMatrix::One(sx) = Gate::Sx(0).matrix() else {
+            unreachable!()
+        };
+        let GateMatrix::One(x) = Gate::X(0).matrix() else {
+            unreachable!()
+        };
         assert!(sx.matmul(&sx).approx_eq(&x, TOL));
     }
 
@@ -707,20 +852,41 @@ mod tests {
     fn controlled_lifting() {
         assert_eq!(
             Gate::X(1).controlled(0),
-            Some(Gate::Cx { control: 0, target: 1 })
+            Some(Gate::Cx {
+                control: 0,
+                target: 1
+            })
         );
         assert_eq!(
             Gate::H(1).controlled(0),
-            Some(Gate::Ch { control: 0, target: 1 })
+            Some(Gate::Ch {
+                control: 0,
+                target: 1
+            })
         );
-        let cp = Gate::Cphase { control: 1, target: 2, theta: 0.3 }.controlled(0);
+        let cp = Gate::Cphase {
+            control: 1,
+            target: 2,
+            theta: 0.3,
+        }
+        .controlled(0);
         assert_eq!(
             cp,
-            Some(Gate::Ccphase { c0: 0, c1: 1, target: 2, theta: 0.3 })
+            Some(Gate::Ccphase {
+                c0: 0,
+                c1: 1,
+                target: 2,
+                theta: 0.3
+            })
         );
         // 3-qubit gates can't gain another control in this set.
         assert_eq!(
-            Gate::Ccx { c0: 0, c1: 1, target: 2 }.controlled(3),
+            Gate::Ccx {
+                c0: 0,
+                c1: 1,
+                target: 2
+            }
+            .controlled(3),
             None
         );
         // Rotations other than phase-type can't be controlled directly.
@@ -731,7 +897,9 @@ mod tests {
     fn controlled_matrix_matches_lifting() {
         // Verify Ch against manually controlled H through basis action.
         let g = Gate::H(1).controlled(0).unwrap();
-        let GateMatrix::Two(m) = g.matrix() else { unreachable!() };
+        let GateMatrix::Two(m) = g.matrix() else {
+            unreachable!()
+        };
         // Control (bit 0) = 0: identity on target.
         assert!(m.m[0][0].approx_eq(Complex64::ONE, TOL));
         assert!(m.m[2][2].approx_eq(Complex64::ONE, TOL));
@@ -745,7 +913,12 @@ mod tests {
 
     #[test]
     fn map_qubits_relabels() {
-        let g = Gate::Ccphase { c0: 0, c1: 1, target: 2, theta: 0.5 };
+        let g = Gate::Ccphase {
+            c0: 0,
+            c1: 1,
+            target: 2,
+            theta: 0.5,
+        };
         let mapped = g.map_qubits(|q| q + 10);
         assert_eq!(mapped.qubits().as_slice(), &[10, 11, 12]);
         assert_eq!(mapped.angle(), Some(0.5));
@@ -754,10 +927,25 @@ mod tests {
     #[test]
     fn diagonal_classification() {
         assert!(Gate::Rz(0, 1.0).is_diagonal());
-        assert!(Gate::Cphase { control: 0, target: 1, theta: 1.0 }.is_diagonal());
-        assert!(Gate::Ccphase { c0: 0, c1: 1, target: 2, theta: 1.0 }.is_diagonal());
+        assert!(Gate::Cphase {
+            control: 0,
+            target: 1,
+            theta: 1.0
+        }
+        .is_diagonal());
+        assert!(Gate::Ccphase {
+            c0: 0,
+            c1: 1,
+            target: 2,
+            theta: 1.0
+        }
+        .is_diagonal());
         assert!(!Gate::H(0).is_diagonal());
-        assert!(!Gate::Cx { control: 0, target: 1 }.is_diagonal());
+        assert!(!Gate::Cx {
+            control: 0,
+            target: 1
+        }
+        .is_diagonal());
         // Verify the classification against the actual matrices.
         for g in all_sample_gates() {
             let diag_by_matrix = match g.matrix() {
@@ -781,7 +969,14 @@ mod tests {
 
     #[test]
     fn display_contains_name_and_qubits() {
-        let s = format!("{}", Gate::Cphase { control: 3, target: 7, theta: 0.25 });
+        let s = format!(
+            "{}",
+            Gate::Cphase {
+                control: 3,
+                target: 7,
+                theta: 0.25
+            }
+        );
         assert!(s.contains("cp"));
         assert!(s.contains("q3"));
         assert!(s.contains("q7"));

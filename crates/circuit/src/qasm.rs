@@ -42,13 +42,20 @@ fn emit(out: &mut String, gate: &Gate) {
         U(q, a, b, c) => ln(out, format_args!("u3({a},{b},{c}) q[{q}];")),
         Cx { control, target } => ln(out, format_args!("cx q[{control}],q[{target}];")),
         Cz(a, b) => ln(out, format_args!("cz q[{a}],q[{b}];")),
-        Cphase { control, target, theta } => {
-            ln(out, format_args!("cu1({theta}) q[{control}],q[{target}];"))
-        }
+        Cphase {
+            control,
+            target,
+            theta,
+        } => ln(out, format_args!("cu1({theta}) q[{control}],q[{target}];")),
         Ch { control, target } => ln(out, format_args!("ch q[{control}],q[{target}];")),
         Swap(a, b) => ln(out, format_args!("swap q[{a}],q[{b}];")),
         Ccx { c0, c1, target } => ln(out, format_args!("ccx q[{c0}],q[{c1}],q[{target}];")),
-        Ccphase { c0, c1, target, theta } => {
+        Ccphase {
+            c0,
+            c1,
+            target,
+            theta,
+        } => {
             // qelib1 has no ccp primitive; standard decomposition into
             // three cu1(θ/2) and two cx, exactly unitary-equivalent.
             let half = theta / 2.0;
@@ -58,9 +65,7 @@ fn emit(out: &mut String, gate: &Gate) {
             ln(out, format_args!("cx q[{c0}],q[{c1}];"));
             ln(out, format_args!("cu1({half}) q[{c0}],q[{target}];"));
         }
-        Cswap { control, a, b } => {
-            ln(out, format_args!("cswap q[{control}],q[{a}],q[{b}];"))
-        }
+        Cswap { control, a, b } => ln(out, format_args!("cswap q[{control}],q[{a}],q[{b}];")),
     }
 }
 

@@ -27,7 +27,11 @@ pub struct QasmError {
 
 impl std::fmt::Display for QasmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "QASM parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "QASM parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -97,9 +101,7 @@ fn parse_statement(
     let reg = reg_name.as_deref().unwrap_or("q");
 
     let (head, operands_text) = match stmt.find(|c: char| c.is_whitespace()) {
-        Some(i) if !stmt[..i].contains('(') || stmt[..i].contains(')') => {
-            (&stmt[..i], &stmt[i..])
-        }
+        Some(i) if !stmt[..i].contains('(') || stmt[..i].contains(')') => (&stmt[..i], &stmt[i..]),
         _ => {
             // Parameterized names may contain spaces inside parens; find
             // the closing paren first.
@@ -142,13 +144,31 @@ fn parse_statement(
         "rz" => Gate::Rz(q(0)?, p(0)?),
         "u1" | "p" => Gate::Phase(q(0)?, p(0)?),
         "u3" | "u" => Gate::U(q(0)?, p(0)?, p(1)?, p(2)?),
-        "cx" => Gate::Cx { control: q(0)?, target: q(1)? },
+        "cx" => Gate::Cx {
+            control: q(0)?,
+            target: q(1)?,
+        },
         "cz" => Gate::Cz(q(0)?, q(1)?),
-        "cu1" | "cp" => Gate::Cphase { control: q(0)?, target: q(1)?, theta: p(0)? },
-        "ch" => Gate::Ch { control: q(0)?, target: q(1)? },
+        "cu1" | "cp" => Gate::Cphase {
+            control: q(0)?,
+            target: q(1)?,
+            theta: p(0)?,
+        },
+        "ch" => Gate::Ch {
+            control: q(0)?,
+            target: q(1)?,
+        },
         "swap" => Gate::Swap(q(0)?, q(1)?),
-        "ccx" => Gate::Ccx { c0: q(0)?, c1: q(1)?, target: q(2)? },
-        "cswap" => Gate::Cswap { control: q(0)?, a: q(1)?, b: q(2)? },
+        "ccx" => Gate::Ccx {
+            c0: q(0)?,
+            c1: q(1)?,
+            target: q(2)?,
+        },
+        "cswap" => Gate::Cswap {
+            control: q(0)?,
+            a: q(1)?,
+            b: q(2)?,
+        },
         other => return Err(err(format!("unsupported gate '{other}'"))),
     };
     circuit.push(gate);
@@ -197,7 +217,10 @@ fn parse_operands(s: &str, reg: &str, line: usize) -> Result<Vec<u32>, QasmError
                         message: format!("bad qubit index in '{op}'"),
                     })
                 }
-                _ => Err(QasmError { line, message: format!("bad operand '{op}'") }),
+                _ => Err(QasmError {
+                    line,
+                    message: format!("bad operand '{op}'"),
+                }),
             }
         })
         .collect()
@@ -206,7 +229,10 @@ fn parse_operands(s: &str, reg: &str, line: usize) -> Result<Vec<u32>, QasmError
 /// Evaluates a restricted angle expression: `[-]a[*b][/c]` where each
 /// atom is a decimal literal or `pi`.
 fn parse_angle(expr: &str, line: usize) -> Result<f64, QasmError> {
-    let err = || QasmError { line, message: format!("bad angle expression '{expr}'") };
+    let err = || QasmError {
+        line,
+        message: format!("bad angle expression '{expr}'"),
+    };
     let expr = expr.trim();
     let (neg, body) = match expr.strip_prefix('-') {
         Some(b) => (true, b.trim()),

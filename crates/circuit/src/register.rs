@@ -23,7 +23,11 @@ impl Register {
     /// Creates a register starting at qubit `start` with `len` qubits.
     pub fn new(name: impl Into<String>, start: u32, len: u32) -> Self {
         assert!(len > 0, "register must have at least one qubit");
-        Self { name: name.into(), start, len }
+        Self {
+            name: name.into(),
+            start,
+            len,
+        }
     }
 
     /// The register's name.
@@ -48,7 +52,11 @@ impl Register {
 
     /// The global qubit index of register bit `i` (LSB first).
     pub fn qubit(&self, i: u32) -> u32 {
-        assert!(i < self.len, "bit {i} out of range for {}-bit register", self.len);
+        assert!(
+            i < self.len,
+            "bit {i} out of range for {}-bit register",
+            self.len
+        );
         self.start + i
     }
 
@@ -80,7 +88,13 @@ impl Register {
 
 impl fmt::Display for Register {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[q{}..q{}]", self.name, self.start, self.start + self.len - 1)
+        write!(
+            f,
+            "{}[q{}..q{}]",
+            self.name,
+            self.start,
+            self.start + self.len - 1
+        )
     }
 }
 

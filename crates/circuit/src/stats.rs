@@ -68,7 +68,12 @@ mod tests {
     #[test]
     fn counts_by_arity_and_name() {
         let mut c = Circuit::new(3);
-        c.h(0).h(1).cx(0, 1).ccphase(0.1, 0, 1, 2).rz(0.2, 2).cphase(0.3, 1, 2);
+        c.h(0)
+            .h(1)
+            .cx(0, 1)
+            .ccphase(0.1, 0, 1, 2)
+            .rz(0.2, 2)
+            .cphase(0.3, 1, 2);
         let counts = c.counts();
         assert_eq!(counts.one_qubit, 3);
         assert_eq!(counts.two_qubit, 2);

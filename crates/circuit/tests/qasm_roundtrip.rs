@@ -19,10 +19,21 @@ fn arb_gate(qubits: u32) -> impl Strategy<Value = Option<Gate>> {
             7 => Some(Gate::Rz(a, angle)),
             8 => Some(Gate::Phase(a, angle)),
             9 => Some(Gate::U(a, angle, angle / 2.0, -angle)),
-            10 if a != b => Some(Gate::Cx { control: a, target: b }),
-            11 if a != b => Some(Gate::Cphase { control: a, target: b, theta: angle }),
+            10 if a != b => Some(Gate::Cx {
+                control: a,
+                target: b,
+            }),
+            11 if a != b => Some(Gate::Cphase {
+                control: a,
+                target: b,
+                theta: angle,
+            }),
             12 if a != b => Some(Gate::Swap(a, b)),
-            13 if a != b && b != t && a != t => Some(Gate::Ccx { c0: a, c1: b, target: t }),
+            13 if a != b && b != t && a != t => Some(Gate::Ccx {
+                c0: a,
+                c1: b,
+                target: t,
+            }),
             _ => None,
         },
     )

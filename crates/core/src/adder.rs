@@ -42,12 +42,7 @@ pub struct QfaCircuit {
 ///
 /// `add_cap = None` keeps every rotation (the paper's configuration);
 /// `Some(c)` drops rotations `R_l` with `l > c`.
-pub fn qfa_add_step(
-    num_qubits: u32,
-    x: &Register,
-    y: &Register,
-    add_cap: Option<u32>,
-) -> Circuit {
+pub fn qfa_add_step(num_qubits: u32, x: &Register, y: &Register, add_cap: Option<u32>) -> Circuit {
     let n = x.len();
     let m = y.len();
     let mut c = Circuit::new(num_qubits);
@@ -71,12 +66,7 @@ pub fn qfa(n: u32, m: u32, depth: AqftDepth) -> QfaCircuit {
 }
 
 /// [`qfa`] with the approximate-addition-step extension.
-pub fn qfa_with_add_cap(
-    n: u32,
-    m: u32,
-    depth: AqftDepth,
-    add_cap: Option<u32>,
-) -> QfaCircuit {
+pub fn qfa_with_add_cap(n: u32, m: u32, depth: AqftDepth, add_cap: Option<u32>) -> QfaCircuit {
     assert!(n >= 1 && m >= 1, "registers must be non-empty");
     let mut layout = Layout::new();
     let x = layout.alloc("x", n);

@@ -57,7 +57,11 @@ pub fn qpe_phase(m: u32, phi: f64, depth: AqftDepth) -> QpeCircuit {
         circuit.swap(counting.qubit(q), counting.qubit(m - 1 - q));
     }
     circuit.extend(&aqft_on(total, &counting, depth).inverse());
-    QpeCircuit { circuit, counting, eigenstate }
+    QpeCircuit {
+        circuit,
+        counting,
+        eigenstate,
+    }
 }
 
 /// A built comparator circuit.
@@ -156,7 +160,10 @@ mod tests {
         let exact_idx = full.eigenstate.embed(1, full.counting.embed(y, 0));
         let pf = sf.probability(exact_idx);
         let ps = ss.probability(exact_idx);
-        assert!((pf - 1.0).abs() < 1e-8, "full QPE must be exact on dyadic φ");
+        assert!(
+            (pf - 1.0).abs() < 1e-8,
+            "full QPE must be exact on dyadic φ"
+        );
         assert!(ps < pf, "approximation must blur the estimate");
         // But the AQFT at depth 2 keeps the argmax.
         let probs = ss.probabilities();

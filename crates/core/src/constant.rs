@@ -51,7 +51,11 @@ pub fn add_const(m: u32, a: i64, depth: AqftDepth) -> Circuit {
 
 /// `|y> → |(y − a) mod 2^m>`.
 pub fn sub_const(m: u32, a: i64, depth: AqftDepth) -> Circuit {
-    add_const(m, a.checked_neg().expect("constant negation overflow"), depth)
+    add_const(
+        m,
+        a.checked_neg().expect("constant negation overflow"),
+        depth,
+    )
 }
 
 /// Constant addition under one control qubit: phases become controlled

@@ -81,8 +81,12 @@ fn emit_ucrot(circuit: &mut Circuit, angles: &[f64], controls: &[u32], target: u
     // first half of `angles` is its |0> branch, the second its |1>.
     let (c_top, rest) = controls.split_last().expect("non-empty controls");
     let half = angles.len() / 2;
-    let plus: Vec<f64> = (0..half).map(|i| (angles[i] + angles[i + half]) / 2.0).collect();
-    let minus: Vec<f64> = (0..half).map(|i| (angles[i] - angles[i + half]) / 2.0).collect();
+    let plus: Vec<f64> = (0..half)
+        .map(|i| (angles[i] + angles[i + half]) / 2.0)
+        .collect();
+    let minus: Vec<f64> = (0..half)
+        .map(|i| (angles[i] - angles[i + half]) / 2.0)
+        .collect();
     emit_ucrot(circuit, &plus, rest, target, axis);
     // The CX flips the sign of subsequent rotations when the control is
     // |1>, turning (plus, minus) into per-branch angles.

@@ -171,7 +171,10 @@ mod tests {
     #[test]
     fn ensemble_success_rate() {
         let outcomes: Vec<InstanceOutcome> = (0..10)
-            .map(|i| InstanceOutcome { success: i < 7, min_gap: if i < 7 { 100 } else { -50 } })
+            .map(|i| InstanceOutcome {
+                success: i < 7,
+                min_gap: if i < 7 { 100 } else { -50 },
+            })
             .collect();
         let stats = EnsembleStats::from_outcomes(&outcomes);
         assert_eq!(stats.instances, 10);
@@ -185,9 +188,18 @@ mod tests {
         // ≈ 172: the success at 5 is within σ of failing (lower bar),
         // the failure at −5 is within σ of succeeding (upper bar).
         let outcomes = [
-            InstanceOutcome { success: true, min_gap: 5 },
-            InstanceOutcome { success: true, min_gap: 300 },
-            InstanceOutcome { success: false, min_gap: -5 },
+            InstanceOutcome {
+                success: true,
+                min_gap: 5,
+            },
+            InstanceOutcome {
+                success: true,
+                min_gap: 300,
+            },
+            InstanceOutcome {
+                success: false,
+                min_gap: -5,
+            },
         ];
         let stats = EnsembleStats::from_outcomes(&outcomes);
         assert!(stats.gap_sigma > 100.0);
@@ -197,7 +209,13 @@ mod tests {
 
     #[test]
     fn uniform_comfortable_successes_have_no_bars() {
-        let outcomes = vec![InstanceOutcome { success: true, min_gap: 2000 }; 20];
+        let outcomes = vec![
+            InstanceOutcome {
+                success: true,
+                min_gap: 2000
+            };
+            20
+        ];
         let stats = EnsembleStats::from_outcomes(&outcomes);
         assert_eq!(stats.success_rate_pct, 100.0);
         assert_eq!(stats.gap_sigma, 0.0);

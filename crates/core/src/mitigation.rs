@@ -132,12 +132,15 @@ fn mass_on(counts: &Counts, expected: &[usize]) -> f64 {
 /// mitigated probability vector (may contain small negative entries —
 /// standard for matrix-inversion mitigation).
 pub fn mitigate_readout(counts: &Counts, k: u32, readout: &ReadoutError) -> Vec<f64> {
-    assert!(k >= 1 && k <= 20, "marginal register too wide");
+    assert!((1..=20).contains(&k), "marginal register too wide");
     let dim = 1usize << k;
     let total = counts.total_shots().max(1) as f64;
     let mut probs = vec![0.0f64; dim];
     for (outcome, c) in counts.iter() {
-        assert!(outcome < dim, "outcome {outcome} outside the {k}-qubit register");
+        assert!(
+            outcome < dim,
+            "outcome {outcome} outside the {k}-qubit register"
+        );
         probs[outcome] = c as f64 / total;
     }
     // Per-qubit confusion matrix A = [[1−p01, p10], [p01, 1−p10]] maps
@@ -179,8 +182,7 @@ mod tests {
         assert!((lin - 3.0).abs() < 1e-12);
         // y = 1 − x + 0.5 x²: three points give the exact intercept.
         let f = |x: f64| 1.0 - x + 0.5 * x * x;
-        let quad =
-            richardson_extrapolate(&[(1.0, f(1.0)), (2.0, f(2.0)), (3.0, f(3.0))]);
+        let quad = richardson_extrapolate(&[(1.0, f(1.0)), (2.0, f(2.0)), (3.0, f(3.0))]);
         assert!((quad - 1.0).abs() < 1e-12);
     }
 
@@ -217,7 +219,10 @@ mod tests {
         let inst = small_instance();
         let circuit = inst.circuit(AqftDepth::Full);
         let expected = inst.expected_outputs();
-        let config = RunConfig { shots: 3000, ..RunConfig::default() };
+        let config = RunConfig {
+            shots: 3000,
+            ..RunConfig::default()
+        };
         let (p1, p2) = (0.002, 0.008);
         let zne = zne_by_model_scaling(
             &circuit,
@@ -230,7 +235,10 @@ mod tests {
             7,
         );
         let raw = zne.points[0].1;
-        assert!(raw < 0.97, "noise should visibly depress the raw value ({raw})");
+        assert!(
+            raw < 0.97,
+            "noise should visibly depress the raw value ({raw})"
+        );
         // The true zero-noise value is 1.0: mitigation must get closer.
         assert!(
             (zne.mitigated - 1.0).abs() < (raw - 1.0).abs(),
@@ -245,7 +253,10 @@ mod tests {
         let inst = small_instance();
         let circuit = inst.circuit(AqftDepth::Full);
         let expected = inst.expected_outputs();
-        let config = RunConfig { shots: 1500, ..RunConfig::default() };
+        let config = RunConfig {
+            shots: 1500,
+            ..RunConfig::default()
+        };
         let model = NoiseModel::only_2q_depolarizing(0.004);
         let zne = zne_by_folding(
             &circuit,
@@ -257,7 +268,10 @@ mod tests {
             9,
         );
         assert_eq!(zne.points.len(), 3);
-        assert!(zne.points[0].1 > zne.points[2].1, "folding must amplify noise");
+        assert!(
+            zne.points[0].1 > zne.points[2].1,
+            "folding must amplify noise"
+        );
         let raw = zne.points[0].1;
         assert!(
             (zne.mitigated - 1.0).abs() < (raw - 1.0).abs() + 0.02,

@@ -152,11 +152,7 @@ mod tests {
             let built = qfm(4, 4, depth);
             let counts = built.circuit.counts();
             assert_eq!(counts.named("ch"), 4 * 10, "cH at {depth}");
-            assert_eq!(
-                counts.named("ccp"),
-                4 * (2 * rot + 14),
-                "cCP at {depth}"
-            );
+            assert_eq!(counts.named("ccp"), 4 * (2 * rot + 14), "cCP at {depth}");
         }
     }
 

@@ -215,11 +215,8 @@ mod tests {
     #[test]
     fn depth_cap_prunes_rotations() {
         let full = qfm_single_transform(3, 3, Signedness::Unsigned, AqftDepth::Full);
-        let capped =
-            qfm_single_transform(3, 3, Signedness::Unsigned, AqftDepth::Limited(2));
-        assert!(
-            capped.circuit.counts().named("ccp") < full.circuit.counts().named("ccp")
-        );
+        let capped = qfm_single_transform(3, 3, Signedness::Unsigned, AqftDepth::Limited(2));
+        assert!(capped.circuit.counts().named("ccp") < full.circuit.counts().named("ccp"));
         // Multiplying by zero is exact at any depth.
         assert_eq!(run(&capped, 0, 5), 0);
     }
@@ -249,7 +246,10 @@ mod tests {
                 }
             }
         }
-        assert!(wrong <= 16, "cap 3 should keep most products right, {wrong}/64 wrong");
+        assert!(
+            wrong <= 16,
+            "cap 3 should keep most products right, {wrong}/64 wrong"
+        );
     }
 
     #[test]

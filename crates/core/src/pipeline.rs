@@ -26,6 +26,7 @@ use qfab_math::rng::Xoshiro256StarStar;
 use qfab_math::sampling::AliasTable;
 use qfab_noise::{NoiseModel, TrajectoryPlan};
 use qfab_sim::{CheckpointTable, Counts, ShotSampler, StateVector};
+use qfab_telemetry as telemetry;
 use qfab_transpile::{transpile, Basis};
 
 /// Tunable knobs of a noisy evaluation.
@@ -68,6 +69,8 @@ impl PreparedInstance {
     /// Transpiles `circuit` and simulates the noiseless run, snapshotting
     /// checkpoints.
     pub fn new(circuit: &Circuit, mut initial: StateVector, config: &RunConfig) -> Self {
+        let _span = telemetry::histogram("pipeline.prepare_ns").span();
+        telemetry::counter("pipeline.instances_prepared").incr();
         let mut lowered = transpile(circuit, Basis::CxPlus1q);
         if config.optimize {
             lowered = qfab_transpile::optimize(&lowered).0;
@@ -75,10 +78,14 @@ impl PreparedInstance {
         initial.set_parallel(config.inner_parallel);
         let transpiled_gates = lowered.len();
         let num_qubits = initial.num_qubits();
-        let table =
-            CheckpointTable::build_with_budget(lowered, &initial, config.checkpoint_budget);
+        let table = CheckpointTable::build_with_budget(lowered, &initial, config.checkpoint_budget);
         let clean_dist = AliasTable::new(&table.final_state().probabilities());
-        Self { table, clean_dist, num_qubits, transpiled_gates }
+        Self {
+            table,
+            clean_dist,
+            num_qubits,
+            transpiled_gates,
+        }
     }
 
     /// The transpiled gate count (the paper's Table I granularity).
@@ -98,6 +105,7 @@ impl PreparedInstance {
 
     /// Binds a noise model, producing a sampler.
     pub fn noisy<'a>(&'a self, model: &NoiseModel) -> NoisyRun<'a> {
+        let _span = telemetry::histogram("pipeline.bind_ns").span();
         NoisyRun {
             prep: self,
             plan: TrajectoryPlan::new(self.table.circuit(), model),
@@ -125,7 +133,11 @@ impl NoisyRun<'_> {
     ) -> OwnedNoisyRun {
         let prep = PreparedInstance::new(circuit, initial, config);
         let plan = TrajectoryPlan::new(prep.table.circuit(), model);
-        OwnedNoisyRun { readout: model.readout().copied(), prep, plan }
+        OwnedNoisyRun {
+            readout: model.readout().copied(),
+            prep,
+            plan,
+        }
     }
 
     /// The transpiled gate count (diagnostic).
@@ -185,12 +197,17 @@ fn sample_counts_impl(
     shots: u64,
     rng: &mut Xoshiro256StarStar,
 ) -> Counts {
+    let _span = telemetry::histogram("pipeline.sample_ns").span();
     let mut counts = Counts::new();
     let clean = if plan.num_sites() == 0 {
         shots
     } else {
         qfab_math::sampling::sample_binomial(shots, plan.clean_prob(), rng)
     };
+    if telemetry::enabled() {
+        telemetry::counter("pipeline.shots.clean").add(clean);
+        telemetry::counter("pipeline.shots.noisy").add(shots - clean);
+    }
     let record = |counts: &mut Counts, outcome: usize, rng: &mut Xoshiro256StarStar| {
         let outcome = match readout {
             Some(ro) => ro.apply(outcome, prep.num_qubits, rng),
@@ -220,8 +237,12 @@ pub fn run_add_instance(
     seed: u64,
 ) -> (Counts, InstanceOutcome) {
     let mut rng = Xoshiro256StarStar::for_stream(seed, 0);
-    let run =
-        NoisyRun::prepare(&instance.circuit(depth), instance.initial_state(), model, config);
+    let run = NoisyRun::prepare(
+        &instance.circuit(depth),
+        instance.initial_state(),
+        model,
+        config,
+    );
     let counts = run.sample_counts(config.shots, &mut rng);
     let outcome = evaluate_instance(&counts, &instance.expected_outputs());
     (counts, outcome)
@@ -236,8 +257,12 @@ pub fn run_mul_instance(
     seed: u64,
 ) -> (Counts, InstanceOutcome) {
     let mut rng = Xoshiro256StarStar::for_stream(seed, 0);
-    let run =
-        NoisyRun::prepare(&instance.circuit(depth), instance.initial_state(), model, config);
+    let run = NoisyRun::prepare(
+        &instance.circuit(depth),
+        instance.initial_state(),
+        model,
+        config,
+    );
     let counts = run.sample_counts(config.shots, &mut rng);
     let outcome = evaluate_instance(&counts, &instance.expected_outputs());
     (counts, outcome)
@@ -264,7 +289,10 @@ mod tests {
     #[test]
     fn noiseless_run_puts_all_shots_on_expected() {
         let inst = small_add();
-        let config = RunConfig { shots: 256, ..RunConfig::default() };
+        let config = RunConfig {
+            shots: 256,
+            ..RunConfig::default()
+        };
         let (counts, outcome) =
             run_add_instance(&inst, AqftDepth::Full, &NoiseModel::ideal(), &config, 7);
         assert!(outcome.success);
@@ -277,7 +305,10 @@ mod tests {
     fn pipeline_is_deterministic_per_seed() {
         let inst = small_add();
         let model = NoiseModel::depolarizing(0.02, 0.05);
-        let config = RunConfig { shots: 128, ..RunConfig::default() };
+        let config = RunConfig {
+            shots: 128,
+            ..RunConfig::default()
+        };
         let (a, oa) = run_add_instance(&inst, AqftDepth::Full, &model, &config, 99);
         let (b, ob) = run_add_instance(&inst, AqftDepth::Full, &model, &config, 99);
         assert_eq!(a, b);
@@ -289,9 +320,15 @@ mod tests {
     #[test]
     fn prepared_instance_reuse_across_models_matches_fresh_runs() {
         let inst = small_add();
-        let config = RunConfig { shots: 200, ..RunConfig::default() };
-        let prep =
-            PreparedInstance::new(&inst.circuit(AqftDepth::Full), inst.initial_state(), &config);
+        let config = RunConfig {
+            shots: 200,
+            ..RunConfig::default()
+        };
+        let prep = PreparedInstance::new(
+            &inst.circuit(AqftDepth::Full),
+            inst.initial_state(),
+            &config,
+        );
         for p in [0.005, 0.02] {
             let model = NoiseModel::only_2q_depolarizing(p);
             let shared = prep.noisy(&model).sample_counts(200, &mut rng(4));
@@ -302,25 +339,37 @@ mod tests {
                 &config,
             )
             .sample_counts(200, &mut rng(4));
-            assert_eq!(shared, fresh, "shared-prep sampling must match fresh at p={p}");
+            assert_eq!(
+                shared, fresh,
+                "shared-prep sampling must match fresh at p={p}"
+            );
         }
     }
 
     #[test]
     fn heavy_noise_degrades_success() {
         let inst = small_add();
-        let config = RunConfig { shots: 512, ..RunConfig::default() };
+        let config = RunConfig {
+            shots: 512,
+            ..RunConfig::default()
+        };
         let model = NoiseModel::depolarizing(0.9, 0.9);
         let (counts, _) = run_add_instance(&inst, AqftDepth::Full, &model, &config, 3);
         let expected = inst.expected_outputs();
         assert!(counts.get(expected[0]) < 300);
-        assert!(counts.distinct() > 10, "heavy noise should scatter outcomes");
+        assert!(
+            counts.distinct() > 10,
+            "heavy noise should scatter outcomes"
+        );
     }
 
     #[test]
     fn moderate_noise_still_mostly_succeeds() {
         let inst = small_add();
-        let config = RunConfig { shots: 512, ..RunConfig::default() };
+        let config = RunConfig {
+            shots: 512,
+            ..RunConfig::default()
+        };
         let model = NoiseModel::only_2q_depolarizing(0.01);
         let mut successes = 0;
         for seed in 0..10 {
@@ -329,7 +378,10 @@ mod tests {
                 successes += 1;
             }
         }
-        assert!(successes >= 8, "only {successes}/10 succeeded at 1% 2q error");
+        assert!(
+            successes >= 8,
+            "only {successes}/10 succeeded at 1% 2q error"
+        );
     }
 
     #[test]
@@ -362,11 +414,16 @@ mod tests {
     #[test]
     fn optimizer_preserves_statistics() {
         let inst = small_add();
-        let base = RunConfig { shots: 400, ..RunConfig::default() };
-        let optimized = RunConfig { optimize: true, ..base };
+        let base = RunConfig {
+            shots: 400,
+            ..RunConfig::default()
+        };
+        let optimized = RunConfig {
+            optimize: true,
+            ..base
+        };
         let (a, _) = run_add_instance(&inst, AqftDepth::Full, &NoiseModel::ideal(), &base, 1);
-        let (b, _) =
-            run_add_instance(&inst, AqftDepth::Full, &NoiseModel::ideal(), &optimized, 1);
+        let (b, _) = run_add_instance(&inst, AqftDepth::Full, &NoiseModel::ideal(), &optimized, 1);
         let expected = inst.expected_outputs()[0];
         assert_eq!(a.get(expected), 400);
         assert_eq!(b.get(expected), 400);
@@ -377,8 +434,10 @@ mod tests {
         // Transpile the adder first, then append the basis-level inverse:
         // a perfect mirror that the cancellation cascade must erase.
         let inst = small_add();
-        let lowered =
-            qfab_transpile::transpile(&inst.circuit(AqftDepth::Full), qfab_transpile::Basis::CxPlus1q);
+        let lowered = qfab_transpile::transpile(
+            &inst.circuit(AqftDepth::Full),
+            qfab_transpile::Basis::CxPlus1q,
+        );
         let mut mirrored = lowered.clone();
         mirrored.extend(&lowered.inverse());
         let base = NoisyRun::prepare(
@@ -391,7 +450,10 @@ mod tests {
             &mirrored,
             inst.initial_state(),
             &NoiseModel::ideal(),
-            &RunConfig { optimize: true, ..RunConfig::default() },
+            &RunConfig {
+                optimize: true,
+                ..RunConfig::default()
+            },
         );
         assert!(base.transpiled_gates() > 0);
         assert_eq!(opt.transpiled_gates(), 0, "mirrored circuit should vanish");
@@ -400,8 +462,7 @@ mod tests {
     #[test]
     fn readout_error_scatters_deterministic_output() {
         let inst = small_add();
-        let model =
-            NoiseModel::ideal().with_readout(qfab_noise::ReadoutError::symmetric(0.05));
+        let model = NoiseModel::ideal().with_readout(qfab_noise::ReadoutError::symmetric(0.05));
         let run = NoisyRun::prepare(
             &inst.circuit(AqftDepth::Full),
             inst.initial_state(),
@@ -423,7 +484,10 @@ mod tests {
             x: Qinteger::new(2, vec![3]),
             y: Qinteger::new(2, vec![2]),
         };
-        let config = RunConfig { shots: 64, ..RunConfig::default() };
+        let config = RunConfig {
+            shots: 64,
+            ..RunConfig::default()
+        };
         let (counts, outcome) =
             run_mul_instance(&inst, AqftDepth::Full, &NoiseModel::ideal(), &config, 11);
         assert!(outcome.success);

@@ -23,10 +23,7 @@ pub fn rotation_angle(l: u32) -> f64 {
 pub fn aqft_on(num_qubits: u32, register: &Register, depth: AqftDepth) -> Circuit {
     let m = register.len();
     let cap = depth.cap(m);
-    let mut c = Circuit::with_capacity(
-        num_qubits,
-        m as usize + depth.rotation_count(m),
-    );
+    let mut c = Circuit::with_capacity(num_qubits, m as usize + depth.rotation_count(m));
     // Paper Fig. 1: start with the most significant qubit y_m.
     for t in (1..=m).rev() {
         c.h(register.qubit(t - 1));
@@ -231,8 +228,7 @@ mod tests {
                 let norm = 1.0 / (n as f64).sqrt();
                 let expect: Vec<Complex64> = (0..n)
                     .map(|k| {
-                        Complex64::cis(2.0 * PI * (y as f64) * (k as f64) / n as f64)
-                            .scale(norm)
+                        Complex64::cis(2.0 * PI * (y as f64) * (k as f64) / n as f64).scale(norm)
                     })
                     .collect();
                 assert!(

@@ -26,7 +26,7 @@ impl Qinteger {
 
     /// A uniform superposition of the given distinct values.
     pub fn new(width: u32, values: Vec<usize>) -> Self {
-        assert!(width >= 1 && width <= 63, "width out of range");
+        assert!((1..=63).contains(&width), "width out of range");
         assert!(!values.is_empty(), "qinteger needs at least one value");
         let limit = 1usize << width;
         for &v in &values {
@@ -35,7 +35,11 @@ impl Qinteger {
         let mut sorted = values.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), values.len(), "qinteger values must be distinct");
+        assert_eq!(
+            sorted.len(),
+            values.len(),
+            "qinteger values must be distinct"
+        );
         Self { width, values }
     }
 
@@ -122,7 +126,12 @@ pub fn product_state(
 ) -> Vec<(usize, Complex64)> {
     assert_eq!(registers.len(), parts.len(), "register/part count mismatch");
     for (reg, part) in registers.iter().zip(parts) {
-        assert_eq!(reg.len(), part.width(), "register width mismatch for {}", reg.name());
+        assert_eq!(
+            reg.len(),
+            part.width(),
+            "register width mismatch for {}",
+            reg.name()
+        );
     }
     let mut acc: Vec<(usize, Complex64)> = vec![(0, Complex64::ONE)];
     for (reg, part) in registers.iter().zip(parts) {

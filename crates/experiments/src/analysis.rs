@@ -43,7 +43,11 @@ pub fn optimal_depths(result: &PanelResult) -> Vec<OptimalDepth> {
                 }
             }
             let (di, pct) = best.expect("panel has at least one depth");
-            OptimalDepth { rate, depth: spec.depths[di], success_pct: pct }
+            OptimalDepth {
+                rate,
+                depth: spec.depths[di],
+                success_pct: pct,
+            }
         })
         .collect()
 }
@@ -95,11 +99,7 @@ pub fn superposition_drop(scale: Scale, seed: u64) -> Vec<SuperpositionDrop> {
 /// includes the paper's 1.0%/0.7% pair plus higher rates, since the
 /// reproduction's absolute success levels sit above the paper's and
 /// the drop regime appears at roughly twice the rate).
-pub fn superposition_drop_at(
-    scale: Scale,
-    seed: u64,
-    rates: &[f64],
-) -> Vec<SuperpositionDrop> {
+pub fn superposition_drop_at(scale: Scale, seed: u64, rates: &[f64]) -> Vec<SuperpositionDrop> {
     let rates = rates.to_vec();
     let depths = vec![
         AqftDepth::Limited(2),
@@ -178,7 +178,15 @@ mod tests {
             depths: vec![AqftDepth::Limited(1), AqftDepth::Full],
             reference_rate: 0.3,
         };
-        run_panel(&spec, Scale { instances: 3, shots: 64 }, 4, |_, _| {})
+        run_panel(
+            &spec,
+            Scale {
+                instances: 3,
+                shots: 64,
+            },
+            4,
+            |_, _| {},
+        )
     }
 
     #[test]
@@ -202,7 +210,11 @@ mod tests {
 
     #[test]
     fn drop_points_arithmetic() {
-        let d = SuperpositionDrop { rate: 0.01, success_12: 80.0, success_22: 30.0 };
+        let d = SuperpositionDrop {
+            rate: 0.01,
+            success_12: 80.0,
+            success_22: 30.0,
+        };
         assert!((d.drop_points() - 50.0).abs() < 1e-12);
         let s = format_superposition_drop(&[d]);
         assert!(s.contains("drop  50.0 points"));

@@ -14,20 +14,44 @@
 //!   --shots N                     override shots per instance
 //!   --seed N                      root seed (default 20220513)
 //!   --out DIR                     also write <id>.txt / <id>.csv
+//!   --metrics                     collect telemetry, print a metrics
+//!                                 summary, and write <id>.manifest.json
 //! ```
 
 use qfab_experiments::analysis::{
     format_optimal_depths, format_superposition_drop, superposition_drop,
 };
-use qfab_experiments::report::{format_panel, write_panel};
+use qfab_experiments::report::{
+    format_metrics_summary, format_panel, panel_manifest, write_manifest, write_panel,
+};
 use qfab_experiments::scale::OpCost;
 use qfab_experiments::sweep::panel_by_id;
 use qfab_experiments::table1::{format_table1, run_table1};
-use qfab_experiments::{fig1_panels, fig2_panels, run_panel, OpKind, PanelSpec, Scale};
+use qfab_experiments::{
+    fig1_panels, fig2_panels, progress_line, run_panel, OpKind, PanelSpec, Scale,
+};
+use qfab_telemetry as telemetry;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const DEFAULT_SEED: u64 = 20220513;
+
+const USAGE: &str = "\
+usage: repro <experiment> [options]
+
+experiments: list | table1 | fig1 | fig2 | all | optimal-depth |
+             superposition-drop | dump | <panel id, e.g. fig1a>
+
+options:
+  --scale quick|default|paper   preset instance/shot counts
+  --instances N                 override instance count
+  --shots N                     override shots per instance
+  --seed N                      root seed (default 20220513)
+  --out DIR                     also write <id>.txt / <id>.csv
+  --metrics                     collect telemetry, print a metrics summary,
+                                and write <id>.manifest.json
+
+run 'repro list' for every regenerable artifact.";
 
 struct Options {
     scale_name: String,
@@ -35,6 +59,7 @@ struct Options {
     shots: Option<u64>,
     seed: u64,
     out: Option<PathBuf>,
+    metrics: bool,
 }
 
 impl Options {
@@ -43,14 +68,11 @@ impl Options {
             OpKind::Add => OpCost::Adder,
             OpKind::Mul => OpCost::Multiplier,
         };
+        // Unknown names are rejected in parse_options.
         let mut scale = match self.scale_name.as_str() {
             "quick" => Scale::quick_for(cost),
-            "default" => Scale::default_for(cost),
             "paper" => Scale::paper(),
-            other => {
-                eprintln!("unknown scale '{other}', using default");
-                Scale::default_for(cost)
-            }
+            _ => Scale::default_for(cost),
         };
         if let Some(i) = self.instances {
             scale.instances = i;
@@ -69,24 +91,39 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         shots: None,
         seed: DEFAULT_SEED,
         out: None,
+        metrics: false,
     };
     let mut i = 0;
     while i < args.len() {
         let need_value = |i: usize| -> Result<&String, String> {
-            args.get(i + 1).ok_or_else(|| format!("{} needs a value", args[i]))
+            args.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", args[i]))
         };
         match args[i].as_str() {
             "--scale" => {
-                opts.scale_name = need_value(i)?.clone();
+                let name = need_value(i)?.clone();
+                if !matches!(name.as_str(), "quick" | "default" | "paper") {
+                    return Err(format!(
+                        "unknown scale '{name}' (expected quick, default, or paper)"
+                    ));
+                }
+                opts.scale_name = name;
                 i += 2;
             }
             "--instances" => {
-                opts.instances =
-                    Some(need_value(i)?.parse().map_err(|e| format!("--instances: {e}"))?);
+                opts.instances = Some(
+                    need_value(i)?
+                        .parse()
+                        .map_err(|e| format!("--instances: {e}"))?,
+                );
                 i += 2;
             }
             "--shots" => {
-                opts.shots = Some(need_value(i)?.parse().map_err(|e| format!("--shots: {e}"))?);
+                opts.shots = Some(
+                    need_value(i)?
+                        .parse()
+                        .map_err(|e| format!("--shots: {e}"))?,
+                );
                 i += 2;
             }
             "--seed" => {
@@ -97,8 +134,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.out = Some(PathBuf::from(need_value(i)?));
                 i += 2;
             }
+            "--metrics" => {
+                opts.metrics = true;
+                i += 1;
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
+    }
+    if opts.metrics {
+        // Enable before any simulation so every handle registers live
+        // (see the qfab-telemetry enable-before-first-use rule).
+        telemetry::set_mode(telemetry::Mode::Detail);
     }
     Ok(opts)
 }
@@ -109,8 +155,16 @@ fn run_one(spec: &PanelSpec, opts: &Options) {
         "running {} at {} instances x {} shots ...",
         spec.id, scale.instances, scale.shots
     );
+    if telemetry::enabled() {
+        // Per-panel isolation: each manifest reflects exactly one panel.
+        telemetry::reset();
+    }
+    let started = std::time::Instant::now();
     let result = run_panel(spec, scale, opts.seed, |done, total| {
-        eprint!("\r  instance {done}/{total}");
+        eprint!(
+            "\r  {}",
+            progress_line(done, total, started.elapsed().as_secs_f64())
+        );
         if done == total {
             eprintln!();
         }
@@ -120,6 +174,16 @@ fn run_one(spec: &PanelSpec, opts: &Options) {
         match write_panel(dir, &result) {
             Ok(()) => eprintln!("wrote {}/{}.{{txt,csv}}", dir.display(), spec.id),
             Err(e) => eprintln!("failed writing outputs: {e}"),
+        }
+    }
+    if telemetry::enabled() {
+        let snap = telemetry::snapshot();
+        println!("{}", format_metrics_summary(&snap));
+        let manifest = panel_manifest(&result, Some(&snap));
+        let dir = opts.out.clone().unwrap_or_else(|| PathBuf::from("."));
+        match write_manifest(&dir, &manifest) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed writing manifest: {e}"),
         }
     }
 }
@@ -141,7 +205,9 @@ fn list() {
 
 fn dump(args: &[String]) -> Result<(), String> {
     use qfab_core::AqftDepth;
-    let kind = args.first().ok_or("dump needs a circuit kind (qfa|qfm|qft)")?;
+    let kind = args
+        .first()
+        .ok_or("dump needs a circuit kind (qfa|qfm|qft)")?;
     let depth_arg = args.get(1).ok_or("dump needs a depth (number or 'full')")?;
     let depth = if depth_arg == "full" {
         AqftDepth::Full
@@ -212,7 +278,7 @@ fn main() -> ExitCode {
     let opts = match parse_options(&args[1..]) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("error: {e}");
+            eprintln!("error: {e}\n\n{USAGE}");
             return ExitCode::FAILURE;
         }
     };
@@ -267,7 +333,7 @@ fn main() -> ExitCode {
         id => match panel_by_id(id) {
             Some(spec) => run_one(&spec, &opts),
             None => {
-                eprintln!("unknown experiment '{id}' (try 'repro list')");
+                eprintln!("error: unknown experiment '{id}'\n\n{USAGE}");
                 return ExitCode::FAILURE;
             }
         },

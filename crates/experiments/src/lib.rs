@@ -30,6 +30,6 @@ pub mod sweep;
 pub mod table1;
 pub mod workload;
 
-pub use runner::{run_panel, PanelResult, PointResult};
+pub use runner::{progress_line, run_panel, PanelResult, PointResult};
 pub use scale::Scale;
 pub use sweep::{fig1_panels, fig2_panels, ErrorTarget, OpKind, PanelSpec};

@@ -1,6 +1,9 @@
-//! Result rendering: aligned text tables and CSV.
+//! Result rendering: aligned text tables, CSV, metric summaries, and
+//! JSON run manifests.
 
 use crate::runner::PanelResult;
+use crate::sweep::OpKind;
+use qfab_telemetry::{Json, Manifest, MetricValue, Snapshot};
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -93,7 +96,11 @@ pub fn format_panel_chart(result: &PanelResult) -> String {
     s.push('\n');
     s.push_str("       ");
     for &rate in &spec.rates {
-        s.push_str(&format!("{:<width$}", format!("{:.2}%", rate * 100.0), width = col_width));
+        s.push_str(&format!(
+            "{:<width$}",
+            format!("{:.2}%", rate * 100.0),
+            width = col_width
+        ));
     }
     s.push('\n');
     s.push_str("  series: ");
@@ -128,13 +135,87 @@ pub fn panel_csv(result: &PanelResult) -> String {
     s
 }
 
+/// Renders a metrics snapshot as an aligned text table — the summary
+/// `repro --metrics` prints after each panel.
+pub fn format_metrics_summary(snapshot: &Snapshot) -> String {
+    let mut s = String::from("metrics\n");
+    let name_width = snapshot
+        .entries
+        .iter()
+        .map(|(n, _)| n.len())
+        .max()
+        .unwrap_or(0)
+        .max("name".len());
+    let _ = writeln!(s, "  {:<name_width$}  value", "name");
+    for (name, value) in &snapshot.entries {
+        let rendered = match value {
+            MetricValue::Counter(c) => format!("{c}"),
+            MetricValue::Gauge(last, high) => format!("{last} (high {high})"),
+            MetricValue::Histogram(h) => format!(
+                "n={} mean={:.0} p50={} p90={} p99={} max={}",
+                h.count, h.mean, h.p50, h.p90, h.p99, h.max
+            ),
+        };
+        let _ = writeln!(s, "  {name:<name_width$}  {rendered}");
+    }
+    s
+}
+
+/// Builds the run manifest for a completed panel: provenance header
+/// (spec id, seed, scale, thread count, elapsed), per-point results,
+/// and — when given — the telemetry snapshot of the run.
+pub fn panel_manifest(result: &PanelResult, snapshot: Option<&Snapshot>) -> Manifest {
+    let spec = &result.spec;
+    let points: Vec<Json> = result
+        .points
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("rate".into(), Json::F64(p.rate)),
+                ("depth".into(), Json::Str(p.depth.paper_label())),
+                ("success_pct".into(), Json::F64(p.stats.success_rate_pct)),
+                ("elapsed_secs".into(), Json::F64(p.elapsed_secs)),
+            ])
+        })
+        .collect();
+    let mut m = Manifest::new(spec.id)
+        .field("title", spec.title.as_str())
+        .field(
+            "op",
+            match spec.op {
+                OpKind::Add => "add",
+                OpKind::Mul => "mul",
+            },
+        )
+        .field("n", spec.n as u64)
+        .field("m", spec.m as u64)
+        .field("seed", result.seed)
+        .field("instances", result.scale.instances)
+        .field("shots", result.scale.shots)
+        .field("threads", rayon::current_num_threads())
+        .field("elapsed_secs", result.elapsed_secs)
+        .field("points", Json::Arr(points));
+    if let Some(snap) = snapshot {
+        m = m.metrics(snap);
+    }
+    m
+}
+
+/// Writes `<dir>/<id>.manifest.json` and returns the written path.
+pub fn write_manifest(dir: &Path, manifest: &Manifest) -> io::Result<std::path::PathBuf> {
+    manifest.write_to_dir(dir)
+}
+
 /// Writes `<id>.txt` (table + ASCII chart) and `<id>.csv` into `dir`
 /// (created if missing).
 pub fn write_panel(dir: &Path, result: &PanelResult) -> io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let text = format!("{}\n{}", format_panel(result), format_panel_chart(result));
     std::fs::write(dir.join(format!("{}.txt", result.spec.id)), text)?;
-    std::fs::write(dir.join(format!("{}.csv", result.spec.id)), panel_csv(result))?;
+    std::fs::write(
+        dir.join(format!("{}.csv", result.spec.id)),
+        panel_csv(result),
+    )?;
     Ok(())
 }
 
@@ -160,7 +241,15 @@ mod tests {
             depths: vec![AqftDepth::Limited(1), AqftDepth::Full],
             reference_rate: 0.01,
         };
-        run_panel(&spec, Scale { instances: 2, shots: 32 }, 1, |_, _| {})
+        run_panel(
+            &spec,
+            Scale {
+                instances: 2,
+                shots: 32,
+            },
+            1,
+            |_, _| {},
+        )
     }
 
     #[test]
@@ -197,6 +286,69 @@ mod tests {
         assert_eq!(lines.len(), 1 + 4); // header + 2 rates × 2 depths
         assert!(lines[0].starts_with("rate,depth,success_pct"));
         assert!(lines[1].starts_with("0,1,"));
+    }
+
+    #[test]
+    fn metrics_summary_renders_every_metric_kind() {
+        use qfab_telemetry::{HistogramSummary, MetricValue, Snapshot};
+        let snap = Snapshot {
+            entries: vec![
+                ("a.counter".into(), MetricValue::Counter(42)),
+                ("b.gauge".into(), MetricValue::Gauge(7, 9)),
+                (
+                    "c.hist".into(),
+                    MetricValue::Histogram(HistogramSummary {
+                        count: 3,
+                        sum: 30,
+                        mean: 10.0,
+                        min: 5,
+                        max: 15,
+                        p50: 10,
+                        p90: 15,
+                        p99: 15,
+                    }),
+                ),
+            ],
+        };
+        let s = format_metrics_summary(&snap);
+        assert!(s.contains("a.counter"));
+        assert!(s.contains("42"));
+        assert!(s.contains("7 (high 9)"));
+        assert!(s.contains("n=3 mean=10 p50=10 p90=15 p99=15 max=15"), "{s}");
+    }
+
+    #[test]
+    fn manifest_captures_panel_provenance_and_points() {
+        let r = tiny_result();
+        let m = panel_manifest(&r, None);
+        let encoded = m.to_json().encode();
+        assert!(
+            encoded.starts_with(r#"{"schema":"qfab.run.v1","id":"testpanel""#),
+            "{encoded}"
+        );
+        assert!(encoded.contains(r#""op":"add""#));
+        assert!(encoded.contains(r#""seed":1"#));
+        assert!(encoded.contains(r#""instances":2"#));
+        assert!(encoded.contains(r#""shots":32"#));
+        assert!(
+            encoded.contains(r#""points":[{"rate":0,"depth":"1""#),
+            "{encoded}"
+        );
+        // 2 rates × 2 depths.
+        assert_eq!(encoded.matches(r#""success_pct""#).count(), 4);
+        assert_eq!(m.file_name(), "testpanel.manifest.json");
+    }
+
+    #[test]
+    fn write_manifest_round_trips() {
+        let r = tiny_result();
+        let dir = std::env::temp_dir().join("qfab_manifest_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = write_manifest(&dir, &panel_manifest(&r, None)).unwrap();
+        assert!(path.ends_with("testpanel.manifest.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"schema\": \"qfab.run.v1\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

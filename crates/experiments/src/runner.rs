@@ -16,6 +16,7 @@ use qfab_core::{
 };
 use qfab_math::rng::Xoshiro256StarStar;
 use qfab_noise::NoiseModel;
+use qfab_telemetry as telemetry;
 use rayon::prelude::*;
 
 /// One plotted point: a (rate, depth) cell's aggregate statistics.
@@ -27,6 +28,9 @@ pub struct PointResult {
     pub depth: AqftDepth,
     /// Aggregated success statistics.
     pub stats: EnsembleStats,
+    /// CPU seconds spent on this cell, summed across instances (can
+    /// exceed the panel's wall clock under rayon).
+    pub elapsed_secs: f64,
 }
 
 /// A completed panel.
@@ -72,15 +76,22 @@ pub fn run_panel(
     progress: impl Fn(usize, usize) + Sync,
 ) -> PanelResult {
     let start = std::time::Instant::now();
+    telemetry::gauge("exp.threads").set(rayon::current_num_threads() as u64);
     let ensemble = ensemble_for(spec, seed, scale.instances);
-    let config = RunConfig { shots: scale.shots, ..RunConfig::default() };
+    let config = RunConfig {
+        shots: scale.shots,
+        ..RunConfig::default()
+    };
 
     // outcomes[instance][rate][depth]
     let done = std::sync::atomic::AtomicUsize::new(0);
-    let outcomes: Vec<Vec<Vec<InstanceOutcome>>> = (0..scale.instances)
+    let outcomes: Vec<Vec<Vec<(InstanceOutcome, f64)>>> = (0..scale.instances)
         .into_par_iter()
         .map(|i| {
+            let inst_span = telemetry::histogram("exp.instance_ns").span();
             let result = run_instance_grid(spec, &ensemble, i, &config, seed);
+            drop(inst_span);
+            telemetry::counter("exp.instances").incr();
             let d = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
             progress(d, scale.instances);
             result
@@ -91,11 +102,13 @@ pub fn run_panel(
     for (ri, &rate) in spec.rates.iter().enumerate() {
         for (di, &depth) in spec.depths.iter().enumerate() {
             let cell: Vec<InstanceOutcome> =
-                outcomes.iter().map(|per_inst| per_inst[ri][di]).collect();
+                outcomes.iter().map(|per_inst| per_inst[ri][di].0).collect();
+            let elapsed_secs: f64 = outcomes.iter().map(|per_inst| per_inst[ri][di].1).sum();
             points.push(PointResult {
                 rate,
                 depth,
                 stats: EnsembleStats::from_outcomes(&cell),
+                elapsed_secs,
             });
         }
     }
@@ -108,6 +121,9 @@ pub fn run_panel(
     }
 }
 
+/// Builds the instance's circuit at a given AQFT depth.
+type CircuitBuilder = Box<dyn Fn(AqftDepth) -> qfab_circuit::Circuit>;
+
 /// Runs every (rate, depth) cell for one instance, sharing the
 /// noiseless preparation across rates.
 fn run_instance_grid(
@@ -116,45 +132,71 @@ fn run_instance_grid(
     index: usize,
     config: &RunConfig,
     seed: u64,
-) -> Vec<Vec<InstanceOutcome>> {
-    let (circuit_for, initial, expected): (
-        Box<dyn Fn(AqftDepth) -> qfab_circuit::Circuit>,
-        qfab_sim::StateVector,
-        Vec<usize>,
-    ) = match ensemble {
-        Ensemble::Add(v) => {
-            let inst = v[index].clone();
-            let initial = inst.initial_state();
-            let expected = inst.expected_outputs();
-            (Box::new(move |d| inst.circuit(d)), initial, expected)
-        }
-        Ensemble::Mul(v) => {
-            let inst = v[index].clone();
-            let initial = inst.initial_state();
-            let expected = inst.expected_outputs();
-            (Box::new(move |d| inst.circuit(d)), initial, expected)
-        }
-    };
+) -> Vec<Vec<(InstanceOutcome, f64)>> {
+    let (circuit_for, initial, expected): (CircuitBuilder, qfab_sim::StateVector, Vec<usize>) =
+        match ensemble {
+            Ensemble::Add(v) => {
+                let inst = v[index].clone();
+                let initial = inst.initial_state();
+                let expected = inst.expected_outputs();
+                (Box::new(move |d| inst.circuit(d)), initial, expected)
+            }
+            Ensemble::Mul(v) => {
+                let inst = v[index].clone();
+                let initial = inst.initial_state();
+                let expected = inst.expected_outputs();
+                (Box::new(move |d| inst.circuit(d)), initial, expected)
+            }
+        };
 
     // rate-major output to match the aggregation layout.
-    let mut out =
+    let mut out = vec![
         vec![
-            vec![InstanceOutcome { success: false, min_gap: 0 }; spec.depths.len()];
-            spec.rates.len()
+            (
+                InstanceOutcome {
+                    success: false,
+                    min_gap: 0
+                },
+                0.0
+            );
+            spec.depths.len()
         ];
+        spec.rates.len()
+    ];
     for (di, &depth) in spec.depths.iter().enumerate() {
         let prep = PreparedInstance::new(&circuit_for(depth), initial.clone(), config);
         for (ri, &rate) in spec.rates.iter().enumerate() {
+            let cell_start = std::time::Instant::now();
             let model = model_for(spec.error_target, rate);
             let run = prep.noisy(&model);
             // Stream id: unique per (instance, depth, rate) cell.
             let stream = ((index as u64) << 24) | ((di as u64) << 16) | (ri as u64 + 1);
             let mut rng = Xoshiro256StarStar::for_stream(seed ^ 0xA5A5_5A5A, stream);
             let counts = run.sample_counts(config.shots, &mut rng);
-            out[ri][di] = evaluate_instance(&counts, &expected);
+            out[ri][di] = (
+                evaluate_instance(&counts, &expected),
+                cell_start.elapsed().as_secs_f64(),
+            );
         }
     }
     out
+}
+
+/// Formats the live progress line the `repro` binary prints after each
+/// completed instance: done/total, percent, elapsed, and a linear-rate
+/// ETA (blank until the first instance lands).
+pub fn progress_line(done: usize, total: usize, elapsed_secs: f64) -> String {
+    let pct = if total == 0 {
+        100.0
+    } else {
+        done as f64 / total as f64 * 100.0
+    };
+    let mut s = format!("instance {done}/{total} | {pct:3.0}% | {elapsed_secs:.1}s elapsed");
+    if done > 0 && done < total {
+        let eta = elapsed_secs / done as f64 * (total - done) as f64;
+        s.push_str(&format!(" | eta ~{eta:.1}s"));
+    }
+    s
 }
 
 #[cfg(test)]
@@ -181,7 +223,10 @@ mod tests {
 
     #[test]
     fn tiny_panel_runs_and_aggregates() {
-        let scale = Scale { instances: 4, shots: 96 };
+        let scale = Scale {
+            instances: 4,
+            shots: 96,
+        };
         let result = run_panel(&tiny_spec(), scale, 5, |_, _| {});
         assert_eq!(result.points.len(), 6);
         for p in &result.points {
@@ -192,14 +237,15 @@ mod tests {
         assert_eq!(origin_full.stats.success_rate_pct, 100.0);
         // Extreme noise: success collapses below the noise-free level.
         let heavy_full = result.point(2, 1);
-        assert!(
-            heavy_full.stats.success_rate_pct < origin_full.stats.success_rate_pct + 1e-9
-        );
+        assert!(heavy_full.stats.success_rate_pct < origin_full.stats.success_rate_pct + 1e-9);
     }
 
     #[test]
     fn panel_is_deterministic() {
-        let scale = Scale { instances: 3, shots: 64 };
+        let scale = Scale {
+            instances: 3,
+            shots: 64,
+        };
         let a = run_panel(&tiny_spec(), scale, 9, |_, _| {});
         let b = run_panel(&tiny_spec(), scale, 9, |_, _| {});
         for (x, y) in a.points.iter().zip(&b.points) {
@@ -209,7 +255,10 @@ mod tests {
 
     #[test]
     fn point_indexing_layout() {
-        let scale = Scale { instances: 2, shots: 32 };
+        let scale = Scale {
+            instances: 2,
+            shots: 32,
+        };
         let spec = tiny_spec();
         let result = run_panel(&spec, scale, 1, |_, _| {});
         for (ri, &rate) in spec.rates.iter().enumerate() {
@@ -223,7 +272,10 @@ mod tests {
 
     #[test]
     fn progress_callback_fires_per_instance() {
-        let scale = Scale { instances: 3, shots: 16 };
+        let scale = Scale {
+            instances: 3,
+            shots: 16,
+        };
         let hits = std::sync::atomic::AtomicUsize::new(0);
         let _ = run_panel(&tiny_spec(), scale, 2, |_, total| {
             assert_eq!(total, 3);
@@ -233,12 +285,57 @@ mod tests {
     }
 
     #[test]
+    fn points_carry_per_cell_elapsed() {
+        let scale = Scale {
+            instances: 2,
+            shots: 32,
+        };
+        let result = run_panel(&tiny_spec(), scale, 4, |_, _| {});
+        for p in &result.points {
+            assert!(
+                p.elapsed_secs > 0.0,
+                "cell {}/{:?} has no elapsed",
+                p.rate,
+                p.depth
+            );
+        }
+        let total: f64 = result.points.iter().map(|p| p.elapsed_secs).sum();
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn progress_line_formats_and_estimates() {
+        assert_eq!(
+            progress_line(0, 4, 0.0),
+            "instance 0/4 |   0% | 0.0s elapsed"
+        );
+        let mid = progress_line(1, 4, 2.0);
+        assert!(
+            mid.starts_with("instance 1/4 |  25% | 2.0s elapsed | eta ~6.0s"),
+            "{mid}"
+        );
+        // Finished: no ETA tail.
+        assert_eq!(
+            progress_line(4, 4, 8.0),
+            "instance 4/4 | 100% | 8.0s elapsed"
+        );
+    }
+
+    #[test]
     fn real_fig1_spec_is_runnable_at_tiny_scale() {
         // Smoke-test the actual paper geometry with minimal work.
         let mut spec = fig1_panels().swap_remove(0);
         spec.rates = vec![0.0];
         spec.depths = vec![AqftDepth::Full];
-        let result = run_panel(&spec, Scale { instances: 1, shots: 32 }, 3, |_, _| {});
+        let result = run_panel(
+            &spec,
+            Scale {
+                instances: 1,
+                shots: 32,
+            },
+            3,
+            |_, _| {},
+        );
         assert_eq!(result.points.len(), 1);
         assert_eq!(result.points[0].stats.success_rate_pct, 100.0);
     }

@@ -12,22 +12,37 @@ pub struct Scale {
 impl Scale {
     /// The paper's full scale: 200 instances × 2048 shots.
     pub fn paper() -> Self {
-        Self { instances: 200, shots: 2048 }
+        Self {
+            instances: 200,
+            shots: 2048,
+        }
     }
 
     /// A balanced reduced scale for interactive use.
     pub fn default_for(op_cost: OpCost) -> Self {
         match op_cost {
-            OpCost::Adder => Self { instances: 24, shots: 384 },
-            OpCost::Multiplier => Self { instances: 10, shots: 128 },
+            OpCost::Adder => Self {
+                instances: 24,
+                shots: 384,
+            },
+            OpCost::Multiplier => Self {
+                instances: 10,
+                shots: 128,
+            },
         }
     }
 
     /// The cheapest preset that still shows every figure's shape.
     pub fn quick_for(op_cost: OpCost) -> Self {
         match op_cost {
-            OpCost::Adder => Self { instances: 8, shots: 128 },
-            OpCost::Multiplier => Self { instances: 5, shots: 64 },
+            OpCost::Adder => Self {
+                instances: 8,
+                shots: 128,
+            },
+            OpCost::Multiplier => Self {
+                instances: 5,
+                shots: 64,
+            },
         }
     }
 }

@@ -90,7 +90,11 @@ fn fig1_depths() -> Vec<AqftDepth> {
 }
 
 fn fig2_depths() -> Vec<AqftDepth> {
-    vec![AqftDepth::Limited(1), AqftDepth::Limited(2), AqftDepth::Full]
+    vec![
+        AqftDepth::Limited(1),
+        AqftDepth::Limited(2),
+        AqftDepth::Full,
+    ]
 }
 
 fn reference_rate(target: ErrorTarget) -> f64 {

@@ -74,7 +74,11 @@ pub fn run_table1() -> Vec<Table1Entry> {
             paper_2q: p2,
         });
     }
-    let qfm_depths = [AqftDepth::Limited(1), AqftDepth::Limited(2), AqftDepth::Full];
+    let qfm_depths = [
+        AqftDepth::Limited(1),
+        AqftDepth::Limited(2),
+        AqftDepth::Full,
+    ];
     for (&(label, p1, p2), &depth) in PAPER_QFM.iter().zip(&qfm_depths) {
         let counts = counts_of(&qfm(4, 4, depth).circuit);
         out.push(Table1Entry {
@@ -93,12 +97,8 @@ pub fn run_table1() -> Vec<Table1Entry> {
 pub fn format_table1(entries: &[Table1Entry]) -> String {
     let mut s = String::new();
     s.push_str("Table I — Arithmetic circuit gate counts (transpiled, unoptimized)\n");
-    s.push_str(
-        "op   depth |  1q ours  1q paper |  2q ours  2q paper | match\n",
-    );
-    s.push_str(
-        "-----------+---------------------+---------------------+------\n",
-    );
+    s.push_str("op   depth |  1q ours  1q paper |  2q ours  2q paper | match\n");
+    s.push_str("-----------+---------------------+---------------------+------\n");
     for e in entries {
         s.push_str(&format!(
             "{:<4} {:>5} | {:>8}  {:>8} | {:>8}  {:>8} | {}\n",

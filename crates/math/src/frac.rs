@@ -38,7 +38,7 @@ pub fn full_fraction(y: usize, n: u32) -> f64 {
 ///
 /// Returns `None` when `v` is outside `[−2^{n−1}, 2^{n−1} − 1]`.
 pub fn encode_twos_complement(v: i64, n: u32) -> Option<usize> {
-    assert!(n >= 1 && n <= 63, "register width out of range: {n}");
+    assert!((1..=63).contains(&n), "register width out of range: {n}");
     let lo = -(1i64 << (n - 1));
     let hi = (1i64 << (n - 1)) - 1;
     if v < lo || v > hi {
@@ -50,7 +50,7 @@ pub fn encode_twos_complement(v: i64, n: u32) -> Option<usize> {
 
 /// Decodes an `n`-bit two's-complement pattern into a signed integer.
 pub fn decode_twos_complement(bits: usize, n: u32) -> i64 {
-    assert!(n >= 1 && n <= 63, "register width out of range: {n}");
+    assert!((1..=63).contains(&n), "register width out of range: {n}");
     let mask = (1usize << n) - 1;
     let bits = bits & mask;
     if test_bit(bits, n - 1) {
@@ -62,7 +62,7 @@ pub fn decode_twos_complement(bits: usize, n: u32) -> i64 {
 
 /// Encodes an unsigned integer into `n` bits; `None` if it does not fit.
 pub fn encode_unsigned(v: u64, n: u32) -> Option<usize> {
-    assert!(n >= 1 && n <= 63, "register width out of range: {n}");
+    assert!((1..=63).contains(&n), "register width out of range: {n}");
     if v >> n != 0 {
         return None;
     }
@@ -72,7 +72,7 @@ pub fn encode_unsigned(v: u64, n: u32) -> Option<usize> {
 /// Reduces an arbitrary signed value into the canonical `n`-bit modular
 /// residue `v mod 2^n` (always in `[0, 2^n)`).
 pub fn wrap_mod_2n(v: i64, n: u32) -> usize {
-    assert!(n >= 1 && n <= 63, "register width out of range: {n}");
+    assert!((1..=63).contains(&n), "register width out of range: {n}");
     let m = 1i64 << n;
     (((v % m) + m) % m) as usize
 }

@@ -5,9 +5,9 @@
 //! the stack) cover every need with no allocation. A macro generates the
 //! shared operations for each size.
 
-use crate::complex::Complex64;
 #[cfg(test)]
 use crate::complex::c64;
+use crate::complex::Complex64;
 
 macro_rules! define_matrix {
     ($(#[$meta:meta])* $name:ident, $dim:expr) => {
@@ -343,7 +343,10 @@ mod tests {
 
     #[test]
     fn transpose_and_conj_compose_to_adjoint() {
-        let m = Mat2::from_rows([[c64(1.0, 2.0), c64(3.0, -1.0)], [c64(0.0, 1.0), c64(2.0, 2.0)]]);
+        let m = Mat2::from_rows([
+            [c64(1.0, 2.0), c64(3.0, -1.0)],
+            [c64(0.0, 1.0), c64(2.0, 2.0)],
+        ]);
         assert!(m.transpose().conj().approx_eq(&m.adjoint(), TOL));
     }
 
@@ -390,10 +393,30 @@ mod tests {
         let cx = controlled(&pauli_x());
         // |10> -> |11>, |11> -> |10>, |00>/|01> fixed.
         let expect = Mat4::from_rows([
-            [Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO],
-            [Complex64::ZERO, Complex64::ONE, Complex64::ZERO, Complex64::ZERO],
-            [Complex64::ZERO, Complex64::ZERO, Complex64::ZERO, Complex64::ONE],
-            [Complex64::ZERO, Complex64::ZERO, Complex64::ONE, Complex64::ZERO],
+            [
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::ZERO,
+            ],
+            [
+                Complex64::ZERO,
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::ZERO,
+            ],
+            [
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::ONE,
+            ],
+            [
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::ONE,
+                Complex64::ZERO,
+            ],
         ]);
         assert!(cx.approx_eq(&expect, TOL));
         assert!(cx.is_unitary(TOL));

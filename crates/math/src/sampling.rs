@@ -168,11 +168,7 @@ fn binomial_bernoulli(n: u64, p: f64, rng: &mut Xoshiro256StarStar) -> u64 {
 
 /// Draws a multinomial sample: `shots` draws over `weights`, returned as
 /// counts. Convenience wrapper over [`AliasTable`].
-pub fn sample_multinomial(
-    weights: &[f64],
-    shots: u64,
-    rng: &mut Xoshiro256StarStar,
-) -> Vec<u64> {
+pub fn sample_multinomial(weights: &[f64], shots: u64, rng: &mut Xoshiro256StarStar) -> Vec<u64> {
     AliasTable::new(weights).sample_counts(shots, rng)
 }
 
@@ -301,8 +297,10 @@ mod tests {
         let mut r = rng(7);
         let (n, p) = (1000u64, 0.995);
         let trials = 500;
-        let mean: f64 =
-            (0..trials).map(|_| sample_binomial(n, p, &mut r) as f64).sum::<f64>() / trials as f64;
+        let mean: f64 = (0..trials)
+            .map(|_| sample_binomial(n, p, &mut r) as f64)
+            .sum::<f64>()
+            / trials as f64;
         assert!((mean - 995.0).abs() < 1.0, "mean {mean}");
     }
 

@@ -1,7 +1,6 @@
 //! Property-based tests for the math substrate.
 
 use proptest::prelude::*;
-use rand::RngCore;
 use qfab_math::bits::{
     from_bitstring, gather_bits, insert_zero_bit, reverse_bits, scatter_bits, to_bitstring,
 };
@@ -12,6 +11,7 @@ use qfab_math::frac::{
 use qfab_math::rng::Xoshiro256StarStar;
 use qfab_math::sampling::{sample_binomial, AliasTable};
 use qfab_math::stats::Welford;
+use rand::RngCore;
 
 fn arb_c64() -> impl Strategy<Value = Complex64> {
     (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| c64(re, im))

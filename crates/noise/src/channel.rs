@@ -278,7 +278,11 @@ impl KrausChannel {
         }
         for r in 0..dim {
             for c in 0..dim {
-                let want = if r == c { Complex64::ONE } else { Complex64::ZERO };
+                let want = if r == c {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                };
                 assert!(
                     acc[r * dim + c].approx_eq(want, 1e-9),
                     "Kraus completeness violated at ({r},{c}): {}",
@@ -304,7 +308,12 @@ impl KrausChannel {
     pub fn amplitude_damping(gamma: f64) -> Self {
         assert!((0.0..=1.0).contains(&gamma));
         let z = Complex64::ZERO;
-        let k0 = vec![Complex64::ONE, z, z, Complex64::from_real((1.0 - gamma).sqrt())];
+        let k0 = vec![
+            Complex64::ONE,
+            z,
+            z,
+            Complex64::from_real((1.0 - gamma).sqrt()),
+        ];
         let k1 = vec![z, Complex64::from_real(gamma.sqrt()), z, z];
         Self::new(2, vec![k0, k1])
     }
@@ -313,7 +322,12 @@ impl KrausChannel {
     pub fn phase_damping(lambda: f64) -> Self {
         assert!((0.0..=1.0).contains(&lambda));
         let z = Complex64::ZERO;
-        let k0 = vec![Complex64::ONE, z, z, Complex64::from_real((1.0 - lambda).sqrt())];
+        let k0 = vec![
+            Complex64::ONE,
+            z,
+            z,
+            Complex64::from_real((1.0 - lambda).sqrt()),
+        ];
         let k1 = vec![z, z, z, Complex64::from_real(lambda.sqrt())];
         Self::new(2, vec![k0, k1])
     }
@@ -518,7 +532,9 @@ mod tests {
             (Pauli::Y, Gate::Y(0)),
             (Pauli::Z, Gate::Z(0)),
         ] {
-            let GateMatrix::One(m) = g.matrix() else { unreachable!() };
+            let GateMatrix::One(m) = g.matrix() else {
+                unreachable!()
+            };
             let flat = p.matrix();
             for r in 0..2 {
                 for c in 0..2 {

@@ -94,9 +94,7 @@ impl NoiseModel {
                 }
             }
             2 => self.two_qubit.as_ref(),
-            _ => panic!(
-                "noise model applies to transpiled circuits; found 3-qubit gate {gate}"
-            ),
+            _ => panic!("noise model applies to transpiled circuits; found 3-qubit gate {gate}"),
         }
     }
 
@@ -139,7 +137,12 @@ mod tests {
         let m = NoiseModel::ideal();
         assert!(m.is_ideal());
         assert!(m.channel_for(&Gate::H(0)).is_none());
-        assert!(m.channel_for(&Gate::Cx { control: 0, target: 1 }).is_none());
+        assert!(m
+            .channel_for(&Gate::Cx {
+                control: 0,
+                target: 1
+            })
+            .is_none());
     }
 
     #[test]
@@ -147,15 +150,31 @@ mod tests {
         let m = NoiseModel::only_1q_depolarizing(0.01);
         assert!(m.channel_for(&Gate::H(0)).is_some());
         assert!(m.channel_for(&Gate::Rz(0, 0.5)).is_some());
-        assert!(m.channel_for(&Gate::Cx { control: 0, target: 1 }).is_none());
+        assert!(m
+            .channel_for(&Gate::Cx {
+                control: 0,
+                target: 1
+            })
+            .is_none());
     }
 
     #[test]
     fn only_2q_model_targets_2q_gates() {
         let m = NoiseModel::only_2q_depolarizing(0.02);
         assert!(m.channel_for(&Gate::H(0)).is_none());
-        assert!(m.channel_for(&Gate::Cx { control: 0, target: 1 }).is_some());
-        assert!(m.channel_for(&Gate::Cphase { control: 0, target: 1, theta: 0.3 }).is_some());
+        assert!(m
+            .channel_for(&Gate::Cx {
+                control: 0,
+                target: 1
+            })
+            .is_some());
+        assert!(m
+            .channel_for(&Gate::Cphase {
+                control: 0,
+                target: 1,
+                theta: 0.3
+            })
+            .is_some());
     }
 
     #[test]
@@ -170,7 +189,11 @@ mod tests {
     #[should_panic(expected = "3-qubit gate")]
     fn three_qubit_gates_rejected() {
         let m = NoiseModel::ideal();
-        let _ = m.channel_for(&Gate::Ccx { c0: 0, c1: 1, target: 2 });
+        let _ = m.channel_for(&Gate::Ccx {
+            c0: 0,
+            c1: 1,
+            target: 2,
+        });
     }
 
     #[test]

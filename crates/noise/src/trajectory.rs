@@ -94,7 +94,12 @@ impl TrajectoryPlan {
             acc *= 1.0 - channels[s.channel].error_prob;
             prefix_clean.push(acc);
         }
-        Self { sites, channels, prefix_clean, clean_prob: acc }
+        Self {
+            sites,
+            channels,
+            prefix_clean,
+            clean_prob: acc,
+        }
     }
 
     /// Probability that a shot sees no error anywhere.
@@ -158,6 +163,10 @@ impl TrajectoryPlan {
                 self.push_error(&mut out, site, t, rng);
             }
         }
+        if let Some((trajectories, insertions)) = telem_metrics() {
+            trajectories.incr();
+            insertions.record(out.len() as u64);
+        }
         out
     }
 
@@ -171,9 +180,34 @@ impl TrajectoryPlan {
         let which = sample_weighted_once(&tables.err_weights, rng);
         let pauli_index = tables.err_indices[which];
         for gate in tables.channel.gates_for_index(pauli_index, &site.qubits) {
-            out.push(Insertion { after_gate: site.gate_index, gate });
+            out.push(Insertion {
+                after_gate: site.gate_index,
+                gate,
+            });
         }
     }
+}
+
+/// Cached telemetry handles — `sample_noisy` runs once per noisy shot,
+/// so the registry lookup must not sit on that path.
+#[inline]
+fn telem_metrics() -> Option<(
+    &'static qfab_telemetry::Counter,
+    &'static qfab_telemetry::Histogram,
+)> {
+    if !qfab_telemetry::enabled() {
+        return None;
+    }
+    static CACHE: std::sync::OnceLock<(
+        &'static qfab_telemetry::Counter,
+        &'static qfab_telemetry::Histogram,
+    )> = std::sync::OnceLock::new();
+    Some(*CACHE.get_or_init(|| {
+        (
+            qfab_telemetry::counter("noise.trajectories"),
+            qfab_telemetry::histogram("noise.trajectory.insertions"),
+        )
+    }))
 }
 
 /// Convenience: splits `shots` into (clean, noisy) according to the
@@ -331,10 +365,7 @@ mod tests {
         let mut r = rng(6);
         for _ in 0..500 {
             for ins in plan.sample_noisy(&mut r) {
-                assert!(matches!(
-                    ins.gate,
-                    Gate::X(_) | Gate::Y(_) | Gate::Z(_)
-                ));
+                assert!(matches!(ins.gate, Gate::X(_) | Gate::Y(_) | Gate::Z(_)));
                 // The inserted qubit belongs to the gate it follows.
                 let host = &c.gates()[ins.after_gate];
                 let q = ins.gate.qubits()[0];
@@ -369,7 +400,7 @@ mod tests {
         let mut r = rng(7);
         let trials = 60_000u64;
         let clean = qfab_math::sampling::sample_binomial(trials, plan.clean_prob(), &mut r);
-        let mut acc = vec![0.0f64; 4];
+        let mut acc = [0.0f64; 4];
         let clean_probs = table.final_state().probabilities();
         for (a, p) in acc.iter_mut().zip(&clean_probs) {
             *a += p * clean as f64;

@@ -24,7 +24,7 @@ pub struct DensityMatrix {
 impl DensityMatrix {
     /// The pure state `|index><index|`.
     pub fn basis_state(n: u32, index: usize) -> Self {
-        assert!(n >= 1 && n <= 10, "density matrix limited to 10 qubits");
+        assert!((1..=10).contains(&n), "density matrix limited to 10 qubits");
         let d = dim(n);
         assert!(index < d);
         let mut rho = vec![Complex64::ZERO; d * d];
@@ -49,7 +49,7 @@ impl DensityMatrix {
 
     /// The maximally mixed state `I / 2^n`.
     pub fn maximally_mixed(n: u32) -> Self {
-        assert!(n >= 1 && n <= 10);
+        assert!((1..=10).contains(&n));
         let d = dim(n);
         let mut rho = vec![Complex64::ZERO; d * d];
         let p = Complex64::from_real(1.0 / d as f64);
@@ -63,7 +63,7 @@ impl DensityMatrix {
     /// vector, without physicality checks (finite-shot tomography can
     /// produce slightly non-physical estimates).
     pub fn from_raw(n: u32, rho: Vec<Complex64>) -> Self {
-        assert!(n >= 1 && n <= 10);
+        assert!((1..=10).contains(&n));
         let d = dim(n);
         assert_eq!(rho.len(), d * d, "raw density matrix has wrong length");
         Self { n, d, rho }
@@ -107,8 +107,8 @@ impl DensityMatrix {
         let mut acc = Complex64::ZERO;
         for r in 0..self.d {
             let mut row = Complex64::ZERO;
-            for c in 0..self.d {
-                row += self.rho[r * self.d + c] * a[c];
+            for (c, &ac) in a.iter().enumerate() {
+                row += self.rho[r * self.d + c] * ac;
             }
             acc += a[r].conj() * row;
         }
@@ -135,7 +135,10 @@ impl DensityMatrix {
     /// listed qubit = least significant local bit, the workspace-wide
     /// convention).
     pub fn apply_kraus(&mut self, qubits: &[u32], kraus: &[Vec<Complex64>]) {
-        assert!(!kraus.is_empty(), "channel needs at least one Kraus operator");
+        assert!(
+            !kraus.is_empty(),
+            "channel needs at least one Kraus operator"
+        );
         let ld = 1usize << qubits.len();
         let mut acc = vec![Complex64::ZERO; self.d * self.d];
         for k in kraus {
@@ -274,7 +277,10 @@ mod tests {
     fn unitary_preserves_trace_and_purity() {
         let mut rho = DensityMatrix::maximally_mixed(2);
         rho.apply_gate(&Gate::H(0));
-        rho.apply_gate(&Gate::Cx { control: 0, target: 1 });
+        rho.apply_gate(&Gate::Cx {
+            control: 0,
+            target: 1,
+        });
         assert!((rho.trace().re - 1.0).abs() < TOL);
         assert!((rho.purity() - 0.25).abs() < TOL);
     }
@@ -317,7 +323,10 @@ mod tests {
     fn expand_operator_matches_statevector_kernels() {
         // Apply an expanded CX to a random state via explicit matvec and
         // compare against the fast kernel.
-        let gate = Gate::Cx { control: 2, target: 0 };
+        let gate = Gate::Cx {
+            control: 2,
+            target: 0,
+        };
         let n = 3;
         let d = dim(n);
         let u = expand_operator(n, &gate);

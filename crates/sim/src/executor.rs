@@ -50,6 +50,7 @@ impl CheckpointTable {
     /// Builds a table with an explicit checkpoint interval (in gates).
     pub fn build(circuit: Circuit, initial: &StateVector, interval: usize) -> Self {
         assert!(interval >= 1, "interval must be at least 1");
+        let _span = crate::telem::metrics().map(|m| m.checkpoint_build_ns.span());
         let mut state = initial.clone();
         let mut states = vec![state.clone()];
         for (i, gate) in circuit.gates().iter().enumerate() {
@@ -58,17 +59,25 @@ impl CheckpointTable {
                 states.push(state.clone());
             }
         }
-        Self { circuit, states, final_state: state, interval }
+        if let Some(m) = crate::telem::metrics() {
+            let state_bytes = std::mem::size_of_val(initial.amplitudes());
+            m.checkpoint_builds.incr();
+            m.checkpoint_states.add(states.len() as u64);
+            m.checkpoint_bytes
+                .set(((states.len() + 1) * state_bytes) as u64);
+        }
+        Self {
+            circuit,
+            states,
+            final_state: state,
+            interval,
+        }
     }
 
     /// Builds a table whose checkpoint count fits in `budget_bytes`
     /// (always keeping at least the initial state).
-    pub fn build_with_budget(
-        circuit: Circuit,
-        initial: &StateVector,
-        budget_bytes: usize,
-    ) -> Self {
-        let state_bytes = initial.amplitudes().len() * std::mem::size_of::<qfab_math::Complex64>();
+    pub fn build_with_budget(circuit: Circuit, initial: &StateVector, budget_bytes: usize) -> Self {
+        let state_bytes = std::mem::size_of_val(initial.amplitudes());
         let max_checkpoints = (budget_bytes / state_bytes.max(1)).max(1);
         let interval = circuit.len().div_ceil(max_checkpoints).max(1);
         Self::build(circuit, initial, interval)
@@ -102,10 +111,15 @@ impl CheckpointTable {
     /// returns a clone of the noiseless final state without replaying.
     pub fn run_with_insertions(&self, insertions: &[Insertion]) -> StateVector {
         if insertions.is_empty() {
+            if let Some(m) = crate::telem::metrics() {
+                m.replays_clean.incr();
+            }
             return self.final_state.clone();
         }
         debug_assert!(
-            insertions.windows(2).all(|w| w[0].after_gate <= w[1].after_gate),
+            insertions
+                .windows(2)
+                .all(|w| w[0].after_gate <= w[1].after_gate),
             "insertions must be sorted by position"
         );
         let first = insertions[0].after_gate;
@@ -116,9 +130,20 @@ impl CheckpointTable {
         // Latest checkpoint at or before `first`: checkpoint j holds the
         // state after j·interval gates, so we need j·interval ≤ first.
         let j = (first / self.interval).min(self.states.len() - 1);
+        if let Some(m) = crate::telem::metrics() {
+            m.replays.incr();
+            m.replay_gates
+                .record((self.circuit.len() - j * self.interval) as u64);
+        }
         let mut state = self.states[j].clone();
         let mut pending = insertions.iter().peekable();
-        for (i, gate) in self.circuit.gates().iter().enumerate().skip(j * self.interval) {
+        for (i, gate) in self
+            .circuit
+            .gates()
+            .iter()
+            .enumerate()
+            .skip(j * self.interval)
+        {
             state.apply_gate(gate);
             while pending.peek().is_some_and(|ins| ins.after_gate == i) {
                 state.apply_gate(&pending.next().unwrap().gate);
@@ -167,7 +192,11 @@ mod tests {
     }
 
     /// Reference: naive full replay with insertions.
-    fn naive_run(circuit: &Circuit, initial: &StateVector, insertions: &[Insertion]) -> StateVector {
+    fn naive_run(
+        circuit: &Circuit,
+        initial: &StateVector,
+        insertions: &[Insertion],
+    ) -> StateVector {
         let mut state = initial.clone();
         let mut pending = insertions.iter().peekable();
         for (i, gate) in circuit.gates().iter().enumerate() {
@@ -186,7 +215,11 @@ mod tests {
         let table = CheckpointTable::build(c.clone(), &init, 5);
         let clean = run_clean(&c, &init);
         let replay = table.run_with_insertions(&[]);
-        assert!(approx_eq_slice(replay.amplitudes(), clean.amplitudes(), 1e-12));
+        assert!(approx_eq_slice(
+            replay.amplitudes(),
+            clean.amplitudes(),
+            1e-12
+        ));
     }
 
     #[test]
@@ -195,7 +228,10 @@ mod tests {
         let init = StateVector::zero_state(4);
         let table = CheckpointTable::build(c.clone(), &init, 4);
         for g in 0..c.len() {
-            let ins = [Insertion { after_gate: g, gate: Gate::X(1) }];
+            let ins = [Insertion {
+                after_gate: g,
+                gate: Gate::X(1),
+            }];
             let fast = table.run_with_insertions(&ins);
             let slow = naive_run(&c, &init, &ins);
             assert!(
@@ -211,10 +247,22 @@ mod tests {
         let init = StateVector::zero_state(5);
         let table = CheckpointTable::build(c.clone(), &init, 7);
         let ins = [
-            Insertion { after_gate: 3, gate: Gate::Z(0) },
-            Insertion { after_gate: 3, gate: Gate::X(2) },
-            Insertion { after_gate: 17, gate: Gate::Y(4) },
-            Insertion { after_gate: 30, gate: Gate::X(1) },
+            Insertion {
+                after_gate: 3,
+                gate: Gate::Z(0),
+            },
+            Insertion {
+                after_gate: 3,
+                gate: Gate::X(2),
+            },
+            Insertion {
+                after_gate: 17,
+                gate: Gate::Y(4),
+            },
+            Insertion {
+                after_gate: 30,
+                gate: Gate::X(1),
+            },
         ];
         let fast = table.run_with_insertions(&ins);
         let slow = naive_run(&c, &init, &ins);
@@ -235,7 +283,7 @@ mod tests {
     fn budgeted_build_respects_memory() {
         let c = sample_circuit(6, 64);
         let init = StateVector::zero_state(6); // 64 amps · 16 B = 1 KiB
-        // 4 KiB budget -> at most 4 checkpoints -> interval >= 16.
+                                               // 4 KiB budget -> at most 4 checkpoints -> interval >= 16.
         let table = CheckpointTable::build_with_budget(c, &init, 4 << 10);
         assert!(table.num_checkpoints() <= 4);
         assert!(table.interval() >= 16);
@@ -258,7 +306,10 @@ mod tests {
         let c = sample_circuit(3, 5);
         let init = StateVector::zero_state(3);
         let table = CheckpointTable::build(c, &init, 2);
-        let _ = table.run_with_insertions(&[Insertion { after_gate: 5, gate: Gate::X(0) }]);
+        let _ = table.run_with_insertions(&[Insertion {
+            after_gate: 5,
+            gate: Gate::X(0),
+        }]);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod executor;
 pub mod measure;
 pub mod observable;
 pub mod statevector;
+pub(crate) mod telem;
 pub mod tomography;
 
 pub use density::DensityMatrix;

@@ -126,11 +126,11 @@ pub struct ShotSampler;
 
 impl ShotSampler {
     /// Draws `shots` outcomes from `state` and tabulates them.
-    pub fn sample_counts(
-        state: &StateVector,
-        shots: u64,
-        rng: &mut Xoshiro256StarStar,
-    ) -> Counts {
+    pub fn sample_counts(state: &StateVector, shots: u64, rng: &mut Xoshiro256StarStar) -> Counts {
+        let _span = crate::telem::metrics().map(|m| {
+            m.sample_batch_shots.add(shots);
+            m.sample_batch_ns.span()
+        });
         let probs = state.probabilities();
         let table = AliasTable::new(&probs);
         let mut counts = Counts::new();
@@ -142,6 +142,9 @@ impl ShotSampler {
 
     /// Draws a single outcome by inverse-CDF scan over the amplitudes.
     pub fn sample_once(state: &StateVector, rng: &mut Xoshiro256StarStar) -> usize {
+        if let Some(m) = crate::telem::metrics() {
+            m.sample_single_shots.incr();
+        }
         let amps = state.amplitudes();
         let mut u = rng.next_f64();
         for (i, a) in amps.iter().enumerate() {

@@ -36,7 +36,9 @@ pub struct PauliString {
 impl PauliString {
     /// The identity string.
     pub fn identity() -> Self {
-        Self { factors: Vec::new() }
+        Self {
+            factors: Vec::new(),
+        }
     }
 
     /// Builds a string from `(qubit, op)` factors; qubits must be
@@ -131,7 +133,9 @@ impl Observable {
 
     /// A single weighted string.
     pub fn term(coefficient: f64, string: PauliString) -> Self {
-        Self { terms: vec![(coefficient, string)] }
+        Self {
+            terms: vec![(coefficient, string)],
+        }
     }
 
     /// Adds a weighted string.
@@ -241,7 +245,7 @@ mod tests {
         let o = Observable::zero()
             .add_term(2.0, PauliString::parse("IZ").unwrap()) // Z on qubit 0 -> −1
             .add_term(3.0, PauliString::parse("ZI").unwrap()); // Z on qubit 1 -> +1
-        assert!((o.expectation(&s) - (2.0 * -1.0 + 3.0 * 1.0)).abs() < TOL);
+        assert!((o.expectation(&s) - (-2.0 + 3.0)).abs() < TOL);
     }
 
     #[test]

@@ -46,10 +46,17 @@ pub struct StateVector {
 impl StateVector {
     /// The all-zeros computational basis state `|0…0>`.
     pub fn zero_state(n: u32) -> Self {
-        assert!(n >= 1 && n <= 28, "qubit count out of supported range: {n}");
+        assert!(
+            (1..=28).contains(&n),
+            "qubit count out of supported range: {n}"
+        );
         let mut amps = vec![Complex64::ZERO; dim(n)];
         amps[0] = Complex64::ONE;
-        Self { n, parallel: true, amps }
+        Self {
+            n,
+            parallel: true,
+            amps,
+        }
     }
 
     /// The computational basis state `|index>`.
@@ -93,7 +100,11 @@ impl StateVector {
     /// `2^n` and unit norm within `1e-6`).
     pub fn from_amplitudes(n: u32, amps: Vec<Complex64>) -> Self {
         assert_eq!(amps.len(), dim(n), "amplitude vector length mismatch");
-        let s = Self { n, parallel: true, amps };
+        let s = Self {
+            n,
+            parallel: true,
+            amps,
+        };
         let norm = s.norm();
         assert!(
             (norm - 1.0).abs() < 1e-6,
@@ -160,6 +171,9 @@ impl StateVector {
     /// Applies a single gate in place.
     pub fn apply_gate(&mut self, gate: &Gate) {
         use Gate::*;
+        if let Some(m) = crate::telem::metrics() {
+            m.count_gate(gate);
+        }
         match *gate {
             I(_) => {}
             Z(q) => self.phase_on_mask(1usize << q, 1usize << q, -Complex64::ONE),
@@ -181,24 +195,33 @@ impl StateVector {
                 let m = (1usize << a) | (1usize << b);
                 self.phase_on_mask(m, m, -Complex64::ONE)
             }
-            Cphase { control, target, theta } => {
+            Cphase {
+                control,
+                target,
+                theta,
+            } => {
                 let m = (1usize << control) | (1usize << target);
                 self.phase_on_mask(m, m, Complex64::cis(theta))
             }
-            Ccphase { c0, c1, target, theta } => {
+            Ccphase {
+                c0,
+                c1,
+                target,
+                theta,
+            } => {
                 let m = (1usize << c0) | (1usize << c1) | (1usize << target);
                 self.phase_on_mask(m, m, Complex64::cis(theta))
             }
             X(q) => self.apply_x(q),
             Cx { control, target } => self.controlled_x(1usize << control, target),
-            Ccx { c0, c1, target } => {
-                self.controlled_x((1usize << c0) | (1usize << c1), target)
-            }
+            Ccx { c0, c1, target } => self.controlled_x((1usize << c0) | (1usize << c1), target),
             Swap(a, b) => self.apply_swap(0, a, b),
             Cswap { control, a, b } => self.apply_swap(1usize << control, a, b),
             // Any remaining 1q unitary.
             ref g if g.arity() == 1 => {
-                let GateMatrix::One(m) = g.matrix() else { unreachable!() };
+                let GateMatrix::One(m) = g.matrix() else {
+                    unreachable!()
+                };
                 self.apply_mat2(g.qubits()[0], &m);
             }
             // Generic 2q / 3q fallback (untranspiled circuits only).
@@ -462,8 +485,8 @@ mod tests {
         flat: &[Complex64],
     ) {
         let local_dim = 1usize << ops.len();
-        for col_global in 0..d {
-            let amp = state[col_global];
+        debug_assert_eq!(state.len(), d);
+        for (col_global, &amp) in state.iter().enumerate() {
             if amp.norm_sqr() == 0.0 {
                 continue;
             }
@@ -485,10 +508,7 @@ mod tests {
             .map(|_| c64(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
             .collect();
         let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
-        StateVector::from_amplitudes(
-            n,
-            amps.into_iter().map(|a| a / norm).collect(),
-        )
+        StateVector::from_amplitudes(n, amps.into_iter().map(|a| a / norm).collect())
     }
 
     fn check_gate_against_reference(n: u32, gate: Gate, seed: u64) {
@@ -523,18 +543,52 @@ mod tests {
             Rz(3, 2.4),
             Phase(1, 0.81),
             U(2, 0.3, 1.0, -0.5),
-            Cx { control: 0, target: 2 },
-            Cx { control: 3, target: 1 },
+            Cx {
+                control: 0,
+                target: 2,
+            },
+            Cx {
+                control: 3,
+                target: 1,
+            },
             Cz(1, 3),
-            Cphase { control: 2, target: 0, theta: 0.9 },
-            Ch { control: 1, target: 3 },
+            Cphase {
+                control: 2,
+                target: 0,
+                theta: 0.9,
+            },
+            Ch {
+                control: 1,
+                target: 3,
+            },
             Swap(0, 3),
             Swap(2, 1),
-            Ccx { c0: 0, c1: 1, target: 3 },
-            Ccx { c0: 3, c1: 1, target: 0 },
-            Ccphase { c0: 2, c1: 0, target: 3, theta: -0.77 },
-            Cswap { control: 1, a: 0, b: 3 },
-            Cswap { control: 3, a: 2, b: 0 },
+            Ccx {
+                c0: 0,
+                c1: 1,
+                target: 3,
+            },
+            Ccx {
+                c0: 3,
+                c1: 1,
+                target: 0,
+            },
+            Ccphase {
+                c0: 2,
+                c1: 0,
+                target: 3,
+                theta: -0.77,
+            },
+            Cswap {
+                control: 1,
+                a: 0,
+                b: 3,
+            },
+            Cswap {
+                control: 3,
+                a: 2,
+                b: 0,
+            },
         ];
         for (i, gate) in gates.into_iter().enumerate() {
             check_gate_against_reference(4, gate, 100 + i as u64);
@@ -550,11 +604,25 @@ mod tests {
             H(0),
             X(7),
             Rz(7, 0.31),
-            Cx { control: 7, target: 0 },
-            Cx { control: 0, target: 7 },
-            Cphase { control: 6, target: 7, theta: 1.3 },
+            Cx {
+                control: 7,
+                target: 0,
+            },
+            Cx {
+                control: 0,
+                target: 7,
+            },
+            Cphase {
+                control: 6,
+                target: 7,
+                theta: 1.3,
+            },
             Swap(0, 7),
-            Ccx { c0: 6, c1: 7, target: 0 },
+            Ccx {
+                c0: 6,
+                c1: 7,
+                target: 0,
+            },
         ] {
             check_gate_against_reference(8, gate, 7);
         }
@@ -653,7 +721,13 @@ mod tests {
     fn circuit_inverse_restores_state() {
         let n = 6;
         let mut c = Circuit::new(n);
-        c.h(0).cx(0, 3).cphase(0.4, 1, 2).t(4).swap(2, 5).ccphase(0.9, 0, 1, 5).ry(0.3, 3);
+        c.h(0)
+            .cx(0, 3)
+            .cphase(0.4, 1, 2)
+            .t(4)
+            .swap(2, 5)
+            .ccphase(0.9, 0, 1, 5)
+            .ry(0.3, 3);
         let initial = random_state(n, 9);
         let mut s = initial.clone();
         s.apply_circuit(&c);
@@ -665,7 +739,13 @@ mod tests {
     fn unitarity_preserves_norm() {
         let mut s = random_state(8, 21);
         let mut c = Circuit::new(8);
-        c.h(0).cx(0, 1).cphase(1.1, 2, 3).ccx(4, 5, 6).ch(6, 7).sx(2).rz(0.2, 5);
+        c.h(0)
+            .cx(0, 1)
+            .cphase(1.1, 2, 3)
+            .ccx(4, 5, 6)
+            .ch(6, 7)
+            .sx(2)
+            .rz(0.2, 5);
         s.apply_circuit(&c);
         assert!((s.norm() - 1.0).abs() < 1e-9);
     }
@@ -677,7 +757,11 @@ mod tests {
         a.apply_gate(&Gate::Rz(1, 0.77));
         b.apply_gate(&Gate::Phase(1, 0.77));
         // Differ by global phase e^{-iθ/2} only.
-        assert!(states_equal_up_to_phase(a.amplitudes(), b.amplitudes(), 1e-10));
+        assert!(states_equal_up_to_phase(
+            a.amplitudes(),
+            b.amplitudes(),
+            1e-10
+        ));
         assert!(!approx_eq_slice(a.amplitudes(), b.amplitudes(), 1e-10));
     }
 
@@ -707,12 +791,7 @@ mod tests {
         let mut c = Circuit::new(2);
         c.h(1).cphase(PI / 2.0, 0, 1).h(0).swap(0, 1);
         s.apply_circuit(&c);
-        let expect = [
-            c64(0.5, 0.0),
-            c64(0.0, 0.5),
-            c64(-0.5, 0.0),
-            c64(0.0, -0.5),
-        ];
+        let expect = [c64(0.5, 0.0), c64(0.0, 0.5), c64(-0.5, 0.0), c64(0.0, -0.5)];
         assert!(approx_eq_slice(s.amplitudes(), &expect, TOL));
     }
 }

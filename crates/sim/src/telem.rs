@@ -1,0 +1,160 @@
+//! Cached telemetry handles for the simulator's hot paths.
+//!
+//! The registry lookup (a mutex + map walk) is far too slow to sit in
+//! `apply_gate`, so every metric the simulator touches is resolved once
+//! into a `OnceLock`-cached struct of `&'static` handles. [`metrics`]
+//! returns `None` when telemetry is disabled, which keeps the entire
+//! instrumentation path down to a single relaxed atomic load per gate.
+//!
+//! Handles are only resolved (and thus registered) while telemetry is
+//! enabled, so enabling it before the first simulation — as the `repro`
+//! binary does during argument parsing — guarantees live handles.
+
+use qfab_circuit::gate::Gate;
+use qfab_telemetry::{self as telemetry, Counter, Gauge, Histogram};
+use std::sync::OnceLock;
+
+/// All simulator metrics, resolved once.
+pub(crate) struct SimMetrics {
+    /// Every gate application, regardless of kernel.
+    pub gates_total: &'static Counter,
+    /// Identity gates (skipped without touching amplitudes).
+    pub gates_id: &'static Counter,
+    /// Diagonal kernels: Z/S/T/Phase/RZ/CZ/CP/CCP masked phase multiply.
+    pub gates_diag: &'static Counter,
+    /// Pauli-X pair swaps.
+    pub gates_x: &'static Counter,
+    /// Dense single-qubit unitaries (H, Y, SX, RX, RY, U, …).
+    pub gates_dense_1q: &'static Counter,
+    /// Controlled pair swaps (CX, CCX).
+    pub gates_cx: &'static Counter,
+    /// SWAP / CSWAP cross-pair exchanges.
+    pub gates_swap: &'static Counter,
+    /// Generic gather/apply 2q/3q fallback (untranspiled circuits only).
+    pub gates_generic: &'static Counter,
+
+    /// Checkpoint tables built.
+    pub checkpoint_builds: &'static Counter,
+    /// Checkpoint states stored across all builds.
+    pub checkpoint_states: &'static Counter,
+    /// Bytes held by the most recent table (high-water across builds).
+    pub checkpoint_bytes: &'static Gauge,
+    /// Wall time per checkpoint-table build.
+    pub checkpoint_build_ns: &'static Histogram,
+
+    /// Trajectory replays that actually re-simulated gates.
+    pub replays: &'static Counter,
+    /// Empty-insertion replays served by cloning the final state.
+    pub replays_clean: &'static Counter,
+    /// Gates re-simulated per replay (shorter = checkpoints helping).
+    pub replay_gates: &'static Histogram,
+
+    /// Wall time per batched `sample_counts` call.
+    pub sample_batch_ns: &'static Histogram,
+    /// Shots drawn through the batched alias-table path.
+    pub sample_batch_shots: &'static Counter,
+    /// Single shots drawn through the inverse-CDF path.
+    pub sample_single_shots: &'static Counter,
+}
+
+impl SimMetrics {
+    fn resolve() -> Self {
+        Self {
+            gates_total: telemetry::counter("sim.gates.total"),
+            gates_id: telemetry::counter("sim.gates.id"),
+            gates_diag: telemetry::counter("sim.gates.diag"),
+            gates_x: telemetry::counter("sim.gates.x"),
+            gates_dense_1q: telemetry::counter("sim.gates.dense_1q"),
+            gates_cx: telemetry::counter("sim.gates.cx"),
+            gates_swap: telemetry::counter("sim.gates.swap"),
+            gates_generic: telemetry::counter("sim.gates.generic"),
+            checkpoint_builds: telemetry::counter("sim.checkpoint.builds"),
+            checkpoint_states: telemetry::counter("sim.checkpoint.states"),
+            checkpoint_bytes: telemetry::gauge("sim.checkpoint.bytes"),
+            checkpoint_build_ns: telemetry::histogram("sim.checkpoint.build_ns"),
+            replays: telemetry::counter("sim.replay.noisy"),
+            replays_clean: telemetry::counter("sim.replay.clean"),
+            replay_gates: telemetry::histogram("sim.replay.gates"),
+            sample_batch_ns: telemetry::histogram("sim.sample.batch_ns"),
+            sample_batch_shots: telemetry::counter("sim.sample.batch_shots"),
+            sample_single_shots: telemetry::counter("sim.sample.single_shots"),
+        }
+    }
+
+    /// Counts one gate application under its kernel class. Mirrors the
+    /// dispatch in `StateVector::apply_gate` — update both together.
+    #[inline]
+    pub(crate) fn count_gate(&self, gate: &Gate) {
+        use Gate::*;
+        self.gates_total.incr();
+        let class = match *gate {
+            I(_) => self.gates_id,
+            Z(_)
+            | S(_)
+            | Sdg(_)
+            | T(_)
+            | Tdg(_)
+            | Phase(..)
+            | Rz(..)
+            | Cz(..)
+            | Cphase { .. }
+            | Ccphase { .. } => self.gates_diag,
+            X(_) => self.gates_x,
+            Cx { .. } | Ccx { .. } => self.gates_cx,
+            Swap(..) | Cswap { .. } => self.gates_swap,
+            ref g if g.arity() == 1 => self.gates_dense_1q,
+            _ => self.gates_generic,
+        };
+        class.incr();
+    }
+}
+
+/// The cached metrics, or `None` when telemetry is disabled.
+#[inline]
+pub(crate) fn metrics() -> Option<&'static SimMetrics> {
+    if !telemetry::enabled() {
+        return None;
+    }
+    static CACHE: OnceLock<SimMetrics> = OnceLock::new();
+    Some(CACHE.get_or_init(SimMetrics::resolve))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::statevector::StateVector;
+    use qfab_circuit::Circuit;
+    use qfab_telemetry::{self as telemetry, Mode};
+
+    #[test]
+    fn gate_counters_track_kernel_classes() {
+        let _guard = telemetry::exclusive_test_lock();
+        telemetry::set_mode(Mode::Summary);
+        let m = super::metrics().expect("enabled");
+        let total0 = m.gates_total.get();
+        let diag0 = m.gates_diag.get();
+        let cx0 = m.gates_cx.get();
+        let dense0 = m.gates_dense_1q.get();
+
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).rz(0.4, 2).t(1).x(0).swap(1, 2);
+        let mut s = StateVector::zero_state(3);
+        s.apply_circuit(&c);
+        telemetry::set_mode(Mode::Off);
+
+        assert_eq!(m.gates_total.get() - total0, 6);
+        assert_eq!(m.gates_diag.get() - diag0, 2, "rz + t");
+        assert_eq!(m.gates_cx.get() - cx0, 1);
+        assert_eq!(m.gates_dense_1q.get() - dense0, 1, "h");
+    }
+
+    #[test]
+    fn disabled_mode_skips_counting() {
+        let _guard = telemetry::exclusive_test_lock();
+        telemetry::set_mode(Mode::Off);
+        assert!(super::metrics().is_none());
+        let mut s = StateVector::zero_state(2);
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        s.apply_circuit(&c); // must not panic or register anything
+    }
+}

@@ -112,7 +112,10 @@ fn pauli_expectation(counts: &Counts, support: &[Option<Axis>]) -> f64 {
 /// [`measurement_bases`]; counts are over register-local outcomes
 /// (use [`Counts::marginal`] to project a full measurement).
 pub fn reconstruct(k: u32, data: &[(Basis, Counts)]) -> DensityMatrix {
-    assert!(k >= 1 && k <= 5, "tomography limited to 5 qubits (4^k terms)");
+    assert!(
+        (1..=5).contains(&k),
+        "tomography limited to 5 qubits (4^k terms)"
+    );
     let dim = 1usize << k;
     // Accumulate rho = (1/2^k) sum_P <P> P over all 4^k Pauli strings.
     // String encoding: per qubit 0=I, 1=X, 2=Y, 3=Z.
@@ -127,11 +130,7 @@ pub fn reconstruct(k: u32, data: &[(Basis, Counts)]) -> DensityMatrix {
         let mut used = 0usize;
         for (basis, counts) in data {
             let compatible = letters.iter().enumerate().all(|(i, &l)| {
-                l == 0
-                    || matches!(
-                        (l, basis[i]),
-                        (1, Axis::X) | (2, Axis::Y) | (3, Axis::Z)
-                    )
+                l == 0 || matches!((l, basis[i]), (1, Axis::X) | (2, Axis::Y) | (3, Axis::Z))
             });
             if !compatible {
                 continue;

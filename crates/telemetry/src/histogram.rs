@@ -1,0 +1,288 @@
+//! Log-bucketed concurrent histogram.
+//!
+//! Values are `u64` (nanoseconds for timers, plain counts for lengths).
+//! Bucket `0` holds exact zeros; bucket `b ≥ 1` holds values in
+//! `[2^(b-1), 2^b)`. Recording is wait-free (one `fetch_add` plus
+//! min/max updates); quantiles are estimated at snapshot time by linear
+//! interpolation inside the covering bucket, so any estimate is within
+//! a factor of 2 of the true order statistic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 65;
+
+/// A concurrent log-bucketed histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The index of the bucket covering `value`.
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample if telemetry is enabled.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.record_always(value);
+    }
+
+    /// Records one sample unconditionally (used by spans, which already
+    /// checked the mode when they captured their start time).
+    #[inline]
+    pub(crate) fn record_always(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Starts an RAII span timer that records elapsed nanoseconds into
+    /// this histogram on drop (a no-op when telemetry is off).
+    #[inline]
+    pub fn span(&'static self) -> crate::Span {
+        crate::Span::enter(self, crate::enabled())
+    }
+
+    /// Like [`Histogram::span`], but only active in [`crate::Mode::Detail`]
+    /// (for hot paths where even an `Instant::now` pair per event is
+    /// only worth paying when explicitly requested).
+    #[inline]
+    pub fn span_detail(&'static self) -> crate::Span {
+        crate::Span::enter(self, crate::detail())
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the histogram.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) of the recorded
+    /// samples, or 0 when empty. Exact for bucket boundaries and for
+    /// the extreme quantiles (which clamp to the recorded min/max);
+    /// otherwise within a factor of 2 by construction.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let min = self.min.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        if q <= 0.0 {
+            return min;
+        }
+        if q >= 1.0 {
+            return max;
+        }
+        // 1-based rank of the order statistic we are after.
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (b, slot) in self.buckets.iter().enumerate() {
+            let here = slot.load(Ordering::Relaxed);
+            if here == 0 {
+                continue;
+            }
+            if seen + here >= rank {
+                if b == 0 {
+                    return 0;
+                }
+                let lo = 1u64 << (b - 1);
+                let hi = if b >= 64 { u64::MAX } else { (1u64 << b) - 1 };
+                // Linear interpolation of the rank inside the bucket.
+                let into = (rank - seen) as f64 / here as f64;
+                let est = lo as f64 + (hi - lo) as f64 * into;
+                return (est as u64).clamp(min, max);
+            }
+            seen += here;
+        }
+        max
+    }
+
+    /// Freezes the histogram into a plain summary.
+    pub fn summarize(&self) -> HistogramSummary {
+        let count = self.count();
+        let sum = self.sum.load(Ordering::Relaxed);
+        HistogramSummary {
+            count,
+            sum,
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time summary of a [`Histogram`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exclusive_test_lock, set_mode, Mode};
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1 << 20), 21);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantiles_track_sorted_reference_within_bucket_resolution() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Summary);
+        let h = Histogram::new();
+        // A skewed deterministic sample set.
+        let mut reference: Vec<u64> = (1..=1000u64).map(|i| i * i % 7919 + 1).collect();
+        for &v in &reference {
+            h.record(v);
+        }
+        reference.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let rank = ((q * reference.len() as f64).ceil() as usize).max(1) - 1;
+            let truth = reference[rank] as f64;
+            let est = h.quantile(q) as f64;
+            assert!(
+                est >= truth / 2.0 && est <= truth * 2.0,
+                "q={q}: estimate {est} vs truth {truth}"
+            );
+        }
+        assert_eq!(h.quantile(0.0), *reference.first().unwrap());
+        assert_eq!(h.quantile(1.0), *reference.last().unwrap());
+        let s = h.summarize();
+        assert_eq!(s.count, 1000);
+        let true_mean = reference.iter().sum::<u64>() as f64 / 1000.0;
+        assert!((s.mean - true_mean).abs() < 1e-9);
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn empty_and_zero_samples() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Summary);
+        let h = Histogram::new();
+        assert_eq!(h.summarize().count, 0);
+        assert_eq!(h.quantile(0.5), 0);
+        h.record(0);
+        h.record(0);
+        let s = h.summarize();
+        assert_eq!((s.count, s.min, s.max, s.p50), (2, 0, 0, 0));
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Summary);
+        let h = Histogram::new();
+        h.record(17);
+        h.reset();
+        let s = h.summarize();
+        assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn disabled_mode_records_nothing() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Off);
+        let h = Histogram::new();
+        h.record(42);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_samples() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Summary);
+        static H: Histogram = Histogram::new();
+        H.reset();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        H.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(H.count(), 80_000);
+        assert_eq!(H.summarize().max, 79_999);
+        set_mode(Mode::Off);
+    }
+}

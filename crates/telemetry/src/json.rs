@@ -1,0 +1,262 @@
+//! A minimal hand-rolled JSON value and encoder.
+//!
+//! Deliberately tiny instead of pulling in `serde`: the manifest writer
+//! only needs construction and deterministic serialization. Objects
+//! preserve insertion order so encoded output is stable byte-for-byte,
+//! which lets tests pin golden strings the same way `qfab-circuit`'s
+//! QASM tests do.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (non-finite values encode as `null`).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Serializes compactly (no whitespace).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Serializes with two-space indentation and a trailing newline —
+    /// the on-disk manifest format.
+    pub fn encode_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => out.push_str(&v.to_string()),
+            Json::I64(v) => out.push_str(&v.to_string()),
+            Json::F64(v) => write_f64(*v, out),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_escaped(key, out);
+                    out.push_str(": ");
+                    value.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // `{}` prints integral floats without a fraction ("3"), which is
+        // still a valid JSON number and round-trips exactly.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::U64(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::U64(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::I64(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::F64(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_scalars() {
+        assert_eq!(Json::Null.encode(), "null");
+        assert_eq!(Json::Bool(true).encode(), "true");
+        assert_eq!(
+            Json::U64(18_446_744_073_709_551_615).encode(),
+            "18446744073709551615"
+        );
+        assert_eq!(Json::I64(-42).encode(), "-42");
+        assert_eq!(Json::F64(1.5).encode(), "1.5");
+        assert_eq!(Json::F64(3.0).encode(), "3");
+        assert_eq!(Json::F64(f64::NAN).encode(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).encode(), "null");
+    }
+
+    #[test]
+    fn golden_string_escaping() {
+        assert_eq!(Json::Str("plain".into()).encode(), r#""plain""#);
+        assert_eq!(
+            Json::Str("a\"b\\c\nd\te\r".into()).encode(),
+            r#""a\"b\\c\nd\te\r""#
+        );
+        assert_eq!(Json::Str("\u{1}".into()).encode(), "\"\\u0001\"");
+        assert_eq!(Json::Str("κβτ".into()).encode(), r#""κβτ""#);
+    }
+
+    #[test]
+    fn golden_compound() {
+        let v = Json::Obj(vec![
+            ("id".into(), Json::Str("fig1a".into())),
+            ("seed".into(), Json::U64(20220513)),
+            (
+                "rates".into(),
+                Json::Arr(vec![Json::F64(0.0), Json::F64(0.005)]),
+            ),
+            (
+                "nested".into(),
+                Json::Obj(vec![("ok".into(), Json::Bool(true))]),
+            ),
+            ("empty_arr".into(), Json::Arr(vec![])),
+            ("empty_obj".into(), Json::Obj(vec![])),
+        ]);
+        assert_eq!(
+            v.encode(),
+            r#"{"id":"fig1a","seed":20220513,"rates":[0,0.005],"nested":{"ok":true},"empty_arr":[],"empty_obj":{}}"#
+        );
+    }
+
+    #[test]
+    fn golden_pretty() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::U64(1)),
+            ("b".into(), Json::Arr(vec![Json::U64(2), Json::U64(3)])),
+        ]);
+        assert_eq!(
+            v.encode_pretty(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    2,\n    3\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn display_matches_encode() {
+        let v = Json::Arr(vec![Json::Null, Json::from("x")]);
+        assert_eq!(format!("{v}"), v.encode());
+    }
+}

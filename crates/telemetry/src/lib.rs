@@ -1,0 +1,163 @@
+#![warn(missing_docs)]
+
+//! Zero-dependency instrumentation for the qfab stack.
+//!
+//! Everything here is built from `std` only — atomics, `OnceLock`, a
+//! `Mutex`-guarded registry map, and a hand-rolled JSON encoder — so the
+//! crate can sit below every other workspace member without pulling in
+//! `serde` or `tracing`.
+//!
+//! ## Model
+//!
+//! * **Metrics** are process-global, named, and thread-safe:
+//!   [`Counter`] (monotonic `u64`), [`Gauge`] (last/max `u64`, for byte
+//!   budgets and pool sizes), and [`Histogram`] (log-bucketed `u64`
+//!   samples with p50/p90/p99 + mean, for latencies and replay lengths).
+//! * **Spans** ([`Span`]) are RAII timers that record elapsed
+//!   nanoseconds into a histogram on drop.
+//! * **Snapshots** ([`snapshot`]) freeze every registered metric into a
+//!   sorted, serializable [`Snapshot`], the payload of the JSON *run
+//!   manifest* ([`manifest::Manifest`]) written next to experiment
+//!   outputs.
+//!
+//! ## Runtime switch
+//!
+//! The global [`Mode`] comes from the `QFAB_TELEMETRY` environment
+//! variable (`off` | `summary` | `detail`, default *off*) and can be
+//! overridden programmatically with [`set_mode`] (e.g. by the
+//! `repro --metrics` flag). `summary` enables counters, gauges, and
+//! coarse per-phase spans; `detail` additionally enables hot-path
+//! histograms (per-trajectory replay lengths, per-shot sampling).
+//!
+//! When the mode is [`Mode::Off`], every recording operation — handle
+//! lookup included — is allocation-free and lock-free: lookups return a
+//! shared inert handle and recording methods reduce to one relaxed
+//! atomic load. Consequently handles acquired *while disabled* stay
+//! inert even if telemetry is enabled later: processes that want
+//! metrics must select a mode (env var or [`set_mode`]) before first
+//! use, which `repro` does during argument parsing.
+//!
+//! ```
+//! use qfab_telemetry as telemetry;
+//!
+//! let _guard = telemetry::exclusive_test_lock();
+//! telemetry::set_mode(telemetry::Mode::Detail);
+//! telemetry::reset();
+//!
+//! telemetry::counter("demo.events").add(3);
+//! {
+//!     let _span = telemetry::histogram("demo.work_ns").span();
+//!     // ... timed work ...
+//! }
+//! let snap = telemetry::snapshot();
+//! assert_eq!(snap.counter("demo.events"), Some(3));
+//! assert_eq!(snap.histogram("demo.work_ns").unwrap().count, 1);
+//! telemetry::set_mode(telemetry::Mode::Off);
+//! ```
+
+pub mod histogram;
+pub mod json;
+pub mod manifest;
+pub mod registry;
+pub mod span;
+
+pub use histogram::{Histogram, HistogramSummary};
+pub use json::Json;
+pub use manifest::Manifest;
+pub use registry::{
+    counter, gauge, histogram, reset, snapshot, Counter, Gauge, MetricValue, Snapshot,
+};
+pub use span::Span;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// How much the instrumentation layer records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Mode {
+    /// Record nothing; every instrumentation call is a near-no-op.
+    Off = 0,
+    /// Counters, gauges, and coarse (per-phase) span timers.
+    Summary = 1,
+    /// Everything, including hot-path histograms (per-trajectory,
+    /// per-shot instrumentation).
+    Detail = 2,
+}
+
+const MODE_UNSET: u8 = u8::MAX;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
+
+fn mode_from_env() -> Mode {
+    match std::env::var("QFAB_TELEMETRY").as_deref() {
+        Ok("summary") | Ok("on") | Ok("1") => Mode::Summary,
+        Ok("detail") | Ok("2") => Mode::Detail,
+        _ => Mode::Off,
+    }
+}
+
+/// The active telemetry mode (initialized from `QFAB_TELEMETRY` on
+/// first call).
+#[inline]
+pub fn mode() -> Mode {
+    match MODE.load(Ordering::Relaxed) {
+        0 => Mode::Off,
+        1 => Mode::Summary,
+        2 => Mode::Detail,
+        _ => {
+            let m = mode_from_env();
+            MODE.store(m as u8, Ordering::Relaxed);
+            m
+        }
+    }
+}
+
+/// Overrides the telemetry mode for the whole process.
+pub fn set_mode(mode: Mode) {
+    MODE.store(mode as u8, Ordering::Relaxed);
+}
+
+/// Whether anything at all is being recorded (`summary` or `detail`).
+#[inline]
+pub fn enabled() -> bool {
+    mode() != Mode::Off
+}
+
+/// Whether hot-path (per-trajectory / per-shot) instrumentation is on.
+#[inline]
+pub fn detail() -> bool {
+    mode() == Mode::Detail
+}
+
+/// Serializes tests that mutate the process-global mode or registry.
+///
+/// `cargo test` runs tests of one binary concurrently; any test that
+/// calls [`set_mode`] or [`reset`] must hold this lock to avoid
+/// interleaving with other such tests.
+pub fn exclusive_test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let lock = LOCK.get_or_init(|| Mutex::new(()));
+    lock.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_override_round_trips() {
+        let _guard = exclusive_test_lock();
+        let before = mode();
+        set_mode(Mode::Detail);
+        assert_eq!(mode(), Mode::Detail);
+        assert!(enabled());
+        assert!(detail());
+        set_mode(Mode::Summary);
+        assert!(enabled());
+        assert!(!detail());
+        set_mode(Mode::Off);
+        assert!(!enabled());
+        set_mode(before);
+    }
+}

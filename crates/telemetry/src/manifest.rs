@@ -1,0 +1,132 @@
+//! JSON run manifests.
+//!
+//! A *run manifest* is the machine-readable provenance record written
+//! next to each experiment's human-readable outputs: which artifact was
+//! produced, from which seed and scale, how long it took, on how many
+//! threads, and a full metrics snapshot. Manifests are the structured
+//! feed for cross-run performance tracking (the future `BENCH_*.json`
+//! trajectory).
+
+use crate::json::Json;
+use crate::registry::Snapshot;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Current manifest schema identifier.
+pub const SCHEMA: &str = "qfab.run.v1";
+
+/// Builder for a run manifest: a `schema`/`id` header, arbitrary
+/// provenance fields in insertion order, and an optional metrics
+/// snapshot appended last.
+#[derive(Clone, Debug)]
+pub struct Manifest {
+    id: String,
+    fields: Vec<(String, Json)>,
+}
+
+impl Manifest {
+    /// Starts a manifest for the run artifact `id` (e.g. `"fig1a"`).
+    pub fn new(id: &str) -> Self {
+        Self {
+            id: id.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// The artifact id this manifest describes.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Appends a provenance field (insertion order is preserved in the
+    /// encoded output).
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Appends the metrics snapshot under a `"metrics"` key.
+    pub fn metrics(self, snapshot: &Snapshot) -> Self {
+        let json = snapshot.to_json();
+        self.field("metrics", json)
+    }
+
+    /// The complete manifest as a JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("schema".to_string(), Json::Str(SCHEMA.to_string())),
+            ("id".to_string(), Json::Str(self.id.clone())),
+        ];
+        obj.extend(self.fields.iter().cloned());
+        Json::Obj(obj)
+    }
+
+    /// The conventional file name, `<id>.manifest.json`.
+    pub fn file_name(&self) -> String {
+        format!("{}.manifest.json", self.id)
+    }
+
+    /// Writes the manifest to an explicit path (pretty-printed).
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json().encode_pretty())
+    }
+
+    /// Writes `<dir>/<id>.manifest.json`, creating `dir` if missing,
+    /// and returns the written path.
+    pub fn write_to_dir(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        self.write_to(&path)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{counter, exclusive_test_lock, reset, set_mode, snapshot, Mode};
+
+    #[test]
+    fn golden_manifest_encoding() {
+        let m = Manifest::new("fig1a")
+            .field("seed", 20220513u64)
+            .field("instances", 8usize)
+            .field("shots", 128u64)
+            .field("elapsed_secs", 1.25)
+            .field("threads", 4usize);
+        assert_eq!(
+            m.to_json().encode(),
+            r#"{"schema":"qfab.run.v1","id":"fig1a","seed":20220513,"instances":8,"shots":128,"elapsed_secs":1.25,"threads":4}"#
+        );
+        assert_eq!(m.file_name(), "fig1a.manifest.json");
+    }
+
+    #[test]
+    fn manifest_with_metrics_snapshot_round_trips_to_disk() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Summary);
+        reset();
+        counter("manifest.test.counter").add(11);
+        let snap = snapshot();
+        set_mode(Mode::Off);
+
+        let m = Manifest::new("testrun").field("seed", 7u64).metrics(&snap);
+        let encoded = m.to_json().encode();
+        assert!(
+            encoded.starts_with(r#"{"schema":"qfab.run.v1","id":"testrun","seed":7,"metrics":{"#)
+        );
+        assert!(encoded.contains(r#""manifest.test.counter":11"#));
+
+        let dir = std::env::temp_dir().join("qfab_manifest_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = m.write_to_dir(&dir).unwrap();
+        assert_eq!(
+            path.file_name().unwrap().to_str().unwrap(),
+            "testrun.manifest.json"
+        );
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk, m.to_json().encode_pretty());
+        assert!(on_disk.ends_with("}\n"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

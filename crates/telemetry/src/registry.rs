@@ -1,0 +1,352 @@
+//! The process-global metric registry.
+//!
+//! Metrics are registered lazily by name on first lookup and live for
+//! the rest of the process (`Box::leak`), so handles are `&'static` and
+//! recording never touches the registry lock. While telemetry is
+//! [`crate::Mode::Off`], lookups skip the registry entirely and return
+//! a shared inert handle — no allocation, no lock (see the crate docs
+//! for the resulting enable-before-first-use rule).
+
+use crate::histogram::{Histogram, HistogramSummary};
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonic event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` if telemetry is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments by one if telemetry is enabled.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counter.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-written-value gauge that also tracks its high-water mark
+/// (byte budgets, table sizes, pool widths).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    high: AtomicU64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+            high: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the gauge if telemetry is enabled.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+            self.high.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The last value set.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The largest value ever set.
+    pub fn high_water(&self) -> u64 {
+        self.high.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the gauge and its high-water mark.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+        self.high.store(0, Ordering::Relaxed);
+    }
+}
+
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+    })
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+static NULL_COUNTER: Counter = Counter::new();
+static NULL_GAUGE: Gauge = Gauge::new();
+static NULL_HISTOGRAM: Histogram = Histogram::new();
+
+/// The counter registered under `name` (registered on first use).
+pub fn counter(name: &'static str) -> &'static Counter {
+    if !crate::enabled() {
+        return &NULL_COUNTER;
+    }
+    lock(&registry().counters)
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Counter::new())))
+}
+
+/// The gauge registered under `name` (registered on first use).
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    if !crate::enabled() {
+        return &NULL_GAUGE;
+    }
+    lock(&registry().gauges)
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Gauge::new())))
+}
+
+/// The histogram registered under `name` (registered on first use).
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    if !crate::enabled() {
+        return &NULL_HISTOGRAM;
+    }
+    lock(&registry().histograms)
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Histogram::new())))
+}
+
+/// Zeroes every registered metric (per-run isolation: `repro` resets
+/// between panels so each manifest reflects exactly one panel).
+pub fn reset() {
+    let reg = registry();
+    for c in lock(&reg.counters).values() {
+        c.reset();
+    }
+    for g in lock(&reg.gauges).values() {
+        g.reset();
+    }
+    for h in lock(&reg.histograms).values() {
+        h.reset();
+    }
+}
+
+/// One frozen metric value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A counter's total.
+    Counter(u64),
+    /// A gauge's `(last, high_water)` pair.
+    Gauge(u64, u64),
+    /// A histogram summary.
+    Histogram(HistogramSummary),
+}
+
+/// A sorted point-in-time capture of every registered metric.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` pairs, sorted by name within each metric kind.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// The value of a counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Counter(c) if n == name => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// The last value of a gauge, if registered.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Gauge(g, _) if n == name => Some(*g),
+            _ => None,
+        })
+    }
+
+    /// The summary of a histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Histogram(h) if n == name => Some(*h),
+            _ => None,
+        })
+    }
+
+    /// Encodes the snapshot as a JSON object with `counters`, `gauges`,
+    /// and `histograms` sub-objects (keys sorted, deterministic).
+    pub fn to_json(&self) -> Json {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(c) => counters.push((name.clone(), Json::U64(*c))),
+                MetricValue::Gauge(last, high) => gauges.push((
+                    name.clone(),
+                    Json::Obj(vec![
+                        ("last".into(), Json::U64(*last)),
+                        ("high_water".into(), Json::U64(*high)),
+                    ]),
+                )),
+                MetricValue::Histogram(h) => histograms.push((
+                    name.clone(),
+                    Json::Obj(vec![
+                        ("count".into(), Json::U64(h.count)),
+                        ("sum".into(), Json::U64(h.sum)),
+                        ("mean".into(), Json::F64(h.mean)),
+                        ("min".into(), Json::U64(h.min)),
+                        ("max".into(), Json::U64(h.max)),
+                        ("p50".into(), Json::U64(h.p50)),
+                        ("p90".into(), Json::U64(h.p90)),
+                        ("p99".into(), Json::U64(h.p99)),
+                    ]),
+                )),
+            }
+        }
+        Json::Obj(vec![
+            ("counters".into(), Json::Obj(counters)),
+            ("gauges".into(), Json::Obj(gauges)),
+            ("histograms".into(), Json::Obj(histograms)),
+        ])
+    }
+}
+
+/// Freezes every registered metric into a [`Snapshot`].
+pub fn snapshot() -> Snapshot {
+    let reg = registry();
+    let mut entries = Vec::new();
+    for (name, c) in lock(&reg.counters).iter() {
+        entries.push((name.to_string(), MetricValue::Counter(c.get())));
+    }
+    for (name, g) in lock(&reg.gauges).iter() {
+        entries.push((
+            name.to_string(),
+            MetricValue::Gauge(g.get(), g.high_water()),
+        ));
+    }
+    for (name, h) in lock(&reg.histograms).iter() {
+        entries.push((name.to_string(), MetricValue::Histogram(h.summarize())));
+    }
+    Snapshot { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exclusive_test_lock, set_mode, Mode};
+
+    #[test]
+    fn concurrent_counter_increments_from_many_threads() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Summary);
+        counter("test.concurrent").reset();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let c = counter("test.concurrent");
+                    for _ in 0..25_000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(counter("test.concurrent").get(), 200_000);
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn lookup_returns_the_same_handle() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Summary);
+        let a = counter("test.same") as *const Counter;
+        let b = counter("test.same") as *const Counter;
+        assert_eq!(a, b);
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn disabled_lookup_is_inert() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Off);
+        let c = counter("test.disabled.never_registered");
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let g = gauge("test.disabled.never_registered");
+        g.set(9);
+        assert_eq!(g.get(), 0);
+        set_mode(Mode::Summary);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.disabled.never_registered"), None);
+        assert_eq!(snap.gauge("test.disabled.never_registered"), None);
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Summary);
+        let g = gauge("test.gauge");
+        g.reset();
+        g.set(10);
+        g.set(4);
+        assert_eq!(g.get(), 4);
+        assert_eq!(g.high_water(), 10);
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn snapshot_reflects_and_reset_clears() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Summary);
+        reset();
+        counter("test.snap.c").add(7);
+        gauge("test.snap.g").set(3);
+        histogram("test.snap.h").record(100);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.snap.c"), Some(7));
+        assert_eq!(snap.gauge("test.snap.g"), Some(3));
+        assert_eq!(snap.histogram("test.snap.h").unwrap().count, 1);
+        reset();
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.snap.c"), Some(0));
+        assert_eq!(snap.histogram("test.snap.h").unwrap().count, 0);
+        set_mode(Mode::Off);
+    }
+}

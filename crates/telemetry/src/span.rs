@@ -1,0 +1,97 @@
+//! RAII span timers.
+
+use crate::histogram::Histogram;
+use std::time::Instant;
+
+/// An RAII timer: created via [`Histogram::span`] (or
+/// [`Histogram::span_detail`]), records elapsed nanoseconds into its
+/// histogram when dropped. When telemetry is off (or below the required
+/// mode) the span holds nothing and drop is free — `Instant::now` is
+/// never called.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    active: Option<(&'static Histogram, Instant)>,
+}
+
+impl Span {
+    #[inline]
+    pub(crate) fn enter(hist: &'static Histogram, active: bool) -> Self {
+        Self {
+            active: active.then(|| (hist, Instant::now())),
+        }
+    }
+
+    /// An inert span (never records).
+    pub fn disabled() -> Self {
+        Self { active: None }
+    }
+
+    /// Elapsed nanoseconds so far, saturated to `u64` (0 if inactive).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.active
+            .map(|(_, start)| u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX))
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some((hist, start)) = self.active.take() {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            hist.record_always(ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{exclusive_test_lock, histogram, set_mode, Mode};
+
+    #[test]
+    fn span_records_on_drop() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Summary);
+        let h = histogram("test.span.h");
+        h.reset();
+        {
+            let _s = h.span();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(
+            h.summarize().min >= 1_000_000,
+            "span under 1ms: {:?}",
+            h.summarize()
+        );
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn detail_span_is_inert_in_summary_mode() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Summary);
+        let h = histogram("test.span.detail");
+        h.reset();
+        drop(h.span_detail());
+        assert_eq!(h.count(), 0);
+        set_mode(Mode::Detail);
+        drop(h.span_detail());
+        assert_eq!(h.count(), 1);
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn disabled_span_never_records() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Summary);
+        let h = histogram("test.span.off");
+        h.reset();
+        set_mode(Mode::Off);
+        drop(h.span());
+        set_mode(Mode::Summary);
+        assert_eq!(h.count(), 0);
+        set_mode(Mode::Off);
+    }
+}

@@ -1,0 +1,54 @@
+//! Guard: with telemetry off, the entire instrumentation fast path —
+//! handle lookup, counter/gauge/histogram recording, span creation and
+//! drop — performs zero heap allocations.
+//!
+//! This file holds exactly one test so no concurrent test can allocate
+//! while the window is being measured.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_path_does_no_allocation() {
+    qfab_telemetry::set_mode(qfab_telemetry::Mode::Off);
+    // Warm up the mode cache (the very first query may read the
+    // environment, which allocates) before opening the window.
+    assert!(!qfab_telemetry::enabled());
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..1_000u64 {
+        let c = qfab_telemetry::counter("noalloc.counter");
+        c.add(i);
+        c.incr();
+        let g = qfab_telemetry::gauge("noalloc.gauge");
+        g.set(i);
+        let h = qfab_telemetry::histogram("noalloc.histogram");
+        h.record(i);
+        drop(h.span());
+        drop(h.span_detail());
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled telemetry path allocated {} times",
+        after - before
+    );
+}

@@ -19,9 +19,15 @@ pub enum Basis {
 /// unitary-equivalent for [`Basis::CxPlus1q`] and equivalent up to
 /// global phase for [`Basis::Ibm`].
 pub fn transpile(circuit: &Circuit, basis: Basis) -> Circuit {
+    let _span = qfab_telemetry::histogram("transpile.lower_ns").span();
     let mut out = Circuit::with_capacity(circuit.num_qubits(), circuit.len() * 3);
     for gate in circuit.gates() {
         lower_gate(&mut out, gate, basis);
+    }
+    if qfab_telemetry::enabled() {
+        qfab_telemetry::counter("transpile.lower.calls").incr();
+        qfab_telemetry::counter("transpile.lower.gates_in").add(circuit.len() as u64);
+        qfab_telemetry::counter("transpile.lower.gates_out").add(out.len() as u64);
     }
     out
 }
@@ -46,7 +52,11 @@ fn lower_gate(out: &mut Circuit, gate: &Gate, basis: Basis) {
         // CP(θ) = P(θ/2)c · CX · P(−θ/2)t · CX · P(θ/2)t  (3×1q + 2×CX,
         // exactly equal — this is the Qiskit cu1 rule the paper's Table I
         // counts follow).
-        Cphase { control, target, theta } => {
+        Cphase {
+            control,
+            target,
+            theta,
+        } => {
             let half = theta / 2.0;
             lower_gate(out, &Phase(control, half), basis);
             out.push(Cx { control, target });
@@ -56,7 +66,15 @@ fn lower_gate(out: &mut Circuit, gate: &Gate, basis: Basis) {
         }
         // CZ = CP(π).
         Cz(a, b) => {
-            lower_gate(out, &Cphase { control: a, target: b, theta: PI }, basis);
+            lower_gate(
+                out,
+                &Cphase {
+                    control: a,
+                    target: b,
+                    theta: PI,
+                },
+                basis,
+            );
         }
         // CH = (S·H·T)t · CX · (T†·H·S†)t, the Qiskit qelib1 rule
         // (6×1q + 1×CX, exact including phase).
@@ -71,44 +89,120 @@ fn lower_gate(out: &mut Circuit, gate: &Gate, basis: Basis) {
         }
         // SWAP = 3 CX.
         Swap(a, b) => {
-            out.push(Cx { control: a, target: b });
-            out.push(Cx { control: b, target: a });
-            out.push(Cx { control: a, target: b });
+            out.push(Cx {
+                control: a,
+                target: b,
+            });
+            out.push(Cx {
+                control: b,
+                target: a,
+            });
+            out.push(Cx {
+                control: a,
+                target: b,
+            });
         }
         // CCP(θ) = CP(θ/2)(c1,t) · CX(c0,c1) · CP(−θ/2)(c1,t)
         //        · CX(c0,c1) · CP(θ/2)(c0,t), CPs expanded
         // (9×1q + 8×CX total — the Table I cost of the paper's cR_l).
-        Ccphase { c0, c1, target, theta } => {
+        Ccphase {
+            c0,
+            c1,
+            target,
+            theta,
+        } => {
             let half = theta / 2.0;
-            lower_gate(out, &Cphase { control: c1, target, theta: half }, basis);
-            out.push(Cx { control: c0, target: c1 });
-            lower_gate(out, &Cphase { control: c1, target, theta: -half }, basis);
-            out.push(Cx { control: c0, target: c1 });
-            lower_gate(out, &Cphase { control: c0, target, theta: half }, basis);
+            lower_gate(
+                out,
+                &Cphase {
+                    control: c1,
+                    target,
+                    theta: half,
+                },
+                basis,
+            );
+            out.push(Cx {
+                control: c0,
+                target: c1,
+            });
+            lower_gate(
+                out,
+                &Cphase {
+                    control: c1,
+                    target,
+                    theta: -half,
+                },
+                basis,
+            );
+            out.push(Cx {
+                control: c0,
+                target: c1,
+            });
+            lower_gate(
+                out,
+                &Cphase {
+                    control: c0,
+                    target,
+                    theta: half,
+                },
+                basis,
+            );
         }
         // Standard Toffoli: 6 CX + H/T ladder (9×1q + 6×CX, exact).
         Ccx { c0, c1, target } => {
             lower_gate(out, &H(target), basis);
-            out.push(Cx { control: c1, target });
+            out.push(Cx {
+                control: c1,
+                target,
+            });
             lower_gate(out, &Tdg(target), basis);
-            out.push(Cx { control: c0, target });
+            out.push(Cx {
+                control: c0,
+                target,
+            });
             lower_gate(out, &T(target), basis);
-            out.push(Cx { control: c1, target });
+            out.push(Cx {
+                control: c1,
+                target,
+            });
             lower_gate(out, &Tdg(target), basis);
-            out.push(Cx { control: c0, target });
+            out.push(Cx {
+                control: c0,
+                target,
+            });
             lower_gate(out, &T(c1), basis);
             lower_gate(out, &T(target), basis);
             lower_gate(out, &H(target), basis);
-            out.push(Cx { control: c0, target: c1 });
+            out.push(Cx {
+                control: c0,
+                target: c1,
+            });
             lower_gate(out, &T(c0), basis);
             lower_gate(out, &Tdg(c1), basis);
-            out.push(Cx { control: c0, target: c1 });
+            out.push(Cx {
+                control: c0,
+                target: c1,
+            });
         }
         // Fredkin via CX-conjugated Toffoli.
         Cswap { control, a, b } => {
-            out.push(Cx { control: b, target: a });
-            lower_gate(out, &Ccx { c0: control, c1: a, target: b }, basis);
-            out.push(Cx { control: b, target: a });
+            out.push(Cx {
+                control: b,
+                target: a,
+            });
+            lower_gate(
+                out,
+                &Ccx {
+                    c0: control,
+                    c1: a,
+                    target: b,
+                },
+                basis,
+            );
+            out.push(Cx {
+                control: b,
+                target: a,
+            });
         }
         ref g => unreachable!("unhandled gate in lowering: {g}"),
     }

@@ -44,13 +44,21 @@ impl ZsxDecomposition {
         if s <= ANGLE_TOL {
             // Diagonal: only φ+λ matters; put it all in λ.
             let lambda = (u.m[1][1] / m00).arg();
-            return Self { theta: 0.0, phi: 0.0, lambda };
+            return Self {
+                theta: 0.0,
+                phi: 0.0,
+                lambda,
+            };
         }
         if c <= ANGLE_TOL {
             // Anti-diagonal: only φ−(λ+π) matters... conventionally set
             // λ from −m01 and φ = arg ratio.
             let phi = (m10 / (-u.m[0][1])).arg();
-            return Self { theta: PI, phi, lambda: 0.0 };
+            return Self {
+                theta: PI,
+                phi,
+                lambda: 0.0,
+            };
         }
         let alpha = m00.arg();
         let phi = m10.arg() - alpha;
@@ -138,14 +146,18 @@ mod tests {
     fn matrix_of_sequence(gates: &[Gate]) -> Mat2 {
         let mut acc = Mat2::identity();
         for g in gates {
-            let GateMatrix::One(m) = g.matrix() else { panic!("not 1q") };
+            let GateMatrix::One(m) = g.matrix() else {
+                panic!("not 1q")
+            };
             acc = m.matmul(&acc); // circuit order: later gates multiply on the left
         }
         acc
     }
 
     fn gate_matrix(g: &Gate) -> Mat2 {
-        let GateMatrix::One(m) = g.matrix() else { panic!("not 1q") };
+        let GateMatrix::One(m) = g.matrix() else {
+            panic!("not 1q")
+        };
         m
     }
 
@@ -241,7 +253,7 @@ mod tests {
     fn x_passes_through_native() {
         assert_eq!(lower_1q_to_ibm(&Gate::X(2)), vec![Gate::X(2)]);
         // Y differs from X by phases, needs more.
-        assert!(lower_1q_to_ibm(&Gate::Y(2)).len() >= 1);
+        assert!(!lower_1q_to_ibm(&Gate::Y(2)).is_empty());
         check_roundtrip(Gate::Y(2));
     }
 
@@ -300,7 +312,9 @@ mod tests {
     #[test]
     fn anti_diagonal_case() {
         // A θ=π gate with nontrivial phases, e.g. Y.
-        let GateMatrix::One(y) = Gate::Y(0).matrix() else { unreachable!() };
+        let GateMatrix::One(y) = Gate::Y(0).matrix() else {
+            unreachable!()
+        };
         let d = ZsxDecomposition::of(&y);
         assert!((d.theta - PI).abs() < 1e-12);
         let got = matrix_of_sequence(&d.emit(0));

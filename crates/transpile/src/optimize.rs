@@ -18,6 +18,7 @@
 //! pass off; `qfab-bench` ablates what it would save.
 
 use qfab_circuit::{Circuit, Gate};
+use qfab_telemetry as telemetry;
 use std::f64::consts::PI;
 
 const ANGLE_TOL: f64 = 1e-12;
@@ -41,6 +42,7 @@ pub struct OptimizeReport {
 
 /// Applies the peephole passes until no further rewrite fires.
 pub fn optimize(circuit: &Circuit) -> (Circuit, OptimizeReport) {
+    let _span = telemetry::histogram("transpile.optimize_ns").span();
     let mut report = OptimizeReport {
         gates_before: circuit.len(),
         ..OptimizeReport::default()
@@ -48,13 +50,24 @@ pub fn optimize(circuit: &Circuit) -> (Circuit, OptimizeReport) {
     let mut current = circuit.clone();
     loop {
         report.passes += 1;
+        let pass_span = telemetry::histogram("transpile.optimize.pass_ns").span_detail();
         let (next, changed) = one_pass(&current, &mut report);
+        drop(pass_span);
         current = next;
         if !changed || report.passes >= 32 {
             break;
         }
     }
     report.gates_after = current.len();
+    if telemetry::enabled() {
+        telemetry::counter("transpile.optimize.calls").incr();
+        telemetry::counter("transpile.optimize.passes").add(report.passes as u64);
+        telemetry::counter("transpile.optimize.cancelled").add(report.cancelled as u64);
+        telemetry::counter("transpile.optimize.merged").add(report.merged as u64);
+        telemetry::counter("transpile.optimize.pruned").add(report.pruned as u64);
+        telemetry::counter("transpile.optimize.gates_removed")
+            .add((report.gates_before - report.gates_after) as u64);
+    }
     (current, report)
 }
 
@@ -148,12 +161,8 @@ fn commutes(a: &Gate, b: &Gate) -> bool {
             let (ca, ta) = (cx_parts(a).unwrap().0, ta);
             ta != cb && tb != ca
         }
-        (Some((_, t)), None) if b.is_diagonal() => {
-            !b.qubits().as_slice().contains(&t)
-        }
-        (None, Some((_, t))) if a.is_diagonal() => {
-            !a.qubits().as_slice().contains(&t)
-        }
+        (Some((_, t)), None) if b.is_diagonal() => !b.qubits().as_slice().contains(&t),
+        (None, Some((_, t))) if a.is_diagonal() => !a.qubits().as_slice().contains(&t),
         _ => false,
     }
 }
@@ -186,7 +195,9 @@ fn is_inverse_pair(a: &Gate, b: &Gate) -> bool {
         return false;
     }
     match (*a, *b) {
-        (Rx(_, s), Rx(_, t)) | (Ry(_, s), Ry(_, t)) | (Rz(_, s), Rz(_, t))
+        (Rx(_, s), Rx(_, t))
+        | (Ry(_, s), Ry(_, t))
+        | (Rz(_, s), Rz(_, t))
         | (Phase(_, s), Phase(_, t)) => norm_angle(s + t).abs() <= ANGLE_TOL,
         (Cphase { theta: s, .. }, Cphase { theta: t, .. })
         | (Ccphase { theta: s, .. }, Ccphase { theta: t, .. }) => {
@@ -283,7 +294,13 @@ mod tests {
         c.phase(0.4, 0).cx(0, 1).phase(-0.4, 0);
         let (opt, _) = optimize(&c);
         assert_eq!(opt.len(), 1);
-        assert_eq!(opt.gates()[0], Gate::Cx { control: 0, target: 1 });
+        assert_eq!(
+            opt.gates()[0],
+            Gate::Cx {
+                control: 0,
+                target: 1
+            }
+        );
         assert!(equivalent_up_to_phase_exhaustive(&c, &opt, 1e-10));
     }
 
@@ -470,7 +487,10 @@ mod tests {
         let mut mirrored = lowered.clone();
         mirrored.extend(&lowered.inverse());
         let (opt, _) = optimize(&mirrored);
-        assert!(opt.is_empty(), "mirrored basis circuit should vanish, got {opt}");
+        assert!(
+            opt.is_empty(),
+            "mirrored basis circuit should vanish, got {opt}"
+        );
     }
 
     #[test]

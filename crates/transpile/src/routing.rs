@@ -107,7 +107,10 @@ impl CouplingMap {
 
     /// One shortest path from `a` to `b` (inclusive of both endpoints).
     pub fn shortest_path(&self, a: u32, b: u32) -> Vec<u32> {
-        assert!(self.distance(a, b) != u32::MAX, "qubits {a},{b} disconnected");
+        assert!(
+            self.distance(a, b) != u32::MAX,
+            "qubits {a},{b} disconnected"
+        );
         let mut path = vec![a];
         let mut cur = a;
         while cur != b {
@@ -199,7 +202,11 @@ pub fn route(circuit: &Circuit, coupling: &CouplingMap) -> RoutedCircuit {
             _ => panic!("route() requires a transpiled circuit; found {gate}"),
         }
     }
-    RoutedCircuit { circuit: out, final_layout: layout, swaps_inserted: swaps }
+    RoutedCircuit {
+        circuit: out,
+        final_layout: layout,
+        swaps_inserted: swaps,
+    }
 }
 
 /// Convenience: routes and then lowers inserted SWAPs to CX, returning

@@ -73,8 +73,7 @@ pub fn equivalent_up_to_phase_randomized(
         let mut sb = StateVector::from_amplitudes(n, amps);
         sa.apply_circuit(a);
         sb.apply_circuit(b);
-        if !qfab_math::approx::states_equal_up_to_phase(sa.amplitudes(), sb.amplitudes(), tol)
-        {
+        if !qfab_math::approx::states_equal_up_to_phase(sa.amplitudes(), sb.amplitudes(), tol) {
             return false;
         }
     }

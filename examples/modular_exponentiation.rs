@@ -40,7 +40,10 @@ fn main() {
     let e = 5u32;
     let p = 6u32; // modulus 2^6 = 64
 
-    println!("computing {a}^{e} mod {} by staged Fourier multipliers:\n", 1u64 << p);
+    println!(
+        "computing {a}^{e} mod {} by staged Fourier multipliers:\n",
+        1u64 << p
+    );
     let mut acc = 1usize;
     for step in 1..=e {
         let next = multiply_stage(acc, a, p, p);
@@ -56,16 +59,19 @@ fn main() {
     // two-branch input.
     let built = mul_const_mod(p, a, p, AqftDepth::Full);
     let amp = qfab::math::Complex64::from_real(std::f64::consts::FRAC_1_SQRT_2);
-    let entries = [
-        (built.y.embed(2, 0), amp),
-        (built.y.embed(9, 0), amp),
-    ];
+    let entries = [(built.y.embed(2, 0), amp), (built.y.embed(9, 0), amp)];
     let mut state = StateVector::from_sparse(2 * p, &entries);
     state.apply_circuit(&built.circuit);
     println!("\nsuperposed stage: (|2> + |9>)/sqrt(2) -> multiples of {a}:");
     for y in [2usize, 9] {
-        let out = built.z.embed((a as usize * y) % (1 << p), built.y.embed(y, 0));
-        println!("  P(|{y}>|{}>) = {:.4}", (a as usize * y) % (1 << p), state.probability(out));
+        let out = built
+            .z
+            .embed((a as usize * y) % (1 << p), built.y.embed(y, 0));
+        println!(
+            "  P(|{y}>|{}>) = {:.4}",
+            (a as usize * y) % (1 << p),
+            state.probability(out)
+        );
         assert!((state.probability(out) - 0.5).abs() < 1e-9);
     }
 }

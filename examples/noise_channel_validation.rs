@@ -50,7 +50,10 @@ fn main() {
 
     println!("2+3 adder |2>|3> -> |2>|5> under depolarizing (1q 1%, 2q 2%):");
     println!("clean-shot probability: {:.3}", plan.clean_prob());
-    println!("\noutcome   exact     Monte-Carlo ({} trajectories)", trials);
+    println!(
+        "\noutcome   exact     Monte-Carlo ({} trajectories)",
+        trials
+    );
     let mut worst = 0.0f64;
     for (i, (e, a)) in exact.iter().zip(&acc).enumerate() {
         let mc = a / trials as f64;
@@ -79,5 +82,8 @@ fn main() {
     let ideal = StateVector::basis_state(3, 5);
     println!("  trace    = {:.4}", rho_y.trace().re);
     println!("  purity   = {:.4}", rho_y.purity());
-    println!("  fidelity with ideal |5> = {:.4}", rho_y.fidelity_with_pure(&ideal));
+    println!(
+        "  fidelity with ideal |5> = {:.4}",
+        rho_y.fidelity_with_pure(&ideal)
+    );
 }

@@ -27,7 +27,9 @@ fn qfm_survives_transpilation_and_still_multiplies() {
         let input = built.y.embed(yv, built.x.embed(xv, 0));
         let mut state = StateVector::basis_state(8, input);
         state.apply_circuit(&lowered);
-        let out = built.z.embed(xv * yv, built.y.embed(yv, built.x.embed(xv, 0)));
+        let out = built
+            .z
+            .embed(xv * yv, built.y.embed(yv, built.x.embed(xv, 0)));
         assert!(
             (state.probability(out) - 1.0).abs() < 1e-7,
             "{xv}*{yv} wrong after IBM transpile"

@@ -51,7 +51,10 @@ fn routing_inflation_grows_with_sparser_topologies() {
     let (_, line) = route_and_lower(&lowered, &CouplingMap::linear(7));
     assert!((full - 1.0).abs() < 1e-9);
     assert!(grid > 1.0, "grid should cost something: {grid}");
-    assert!(line >= grid, "chain should cost at least the grid: {line} vs {grid}");
+    assert!(
+        line >= grid,
+        "chain should cost at least the grid: {line} vs {grid}"
+    );
 }
 
 #[test]
@@ -136,7 +139,10 @@ fn zne_pipeline_end_to_end() {
     let input_y = 2usize;
     let input = built.y.embed(input_y, built.x.embed(input_x, 0));
     let expected = vec![built.y.embed(3, built.x.embed(1, 0))];
-    let config = RunConfig { shots: 2000, ..RunConfig::default() };
+    let config = RunConfig {
+        shots: 2000,
+        ..RunConfig::default()
+    };
     let zne = zne_by_model_scaling(
         &built.circuit,
         &StateVector::basis_state(5, input),

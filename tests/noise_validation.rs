@@ -95,7 +95,11 @@ fn clean_probability_decreases_with_depth_and_rate() {
     // More gates (deeper AQFT) and higher rates both shrink the clean
     // fraction — the mechanism behind the paper's depth trade-off.
     let mut last = 1.0;
-    for depth in [AqftDepth::Limited(1), AqftDepth::Limited(3), AqftDepth::Full] {
+    for depth in [
+        AqftDepth::Limited(1),
+        AqftDepth::Limited(3),
+        AqftDepth::Full,
+    ] {
         let built = qfa(7, 8, depth);
         let lowered = transpile(&built.circuit, Basis::CxPlus1q);
         let model = NoiseModel::only_2q_depolarizing(0.01);
@@ -108,10 +112,10 @@ fn clean_probability_decreases_with_depth_and_rate() {
     }
     let built = qfa(7, 8, AqftDepth::Full);
     let lowered = transpile(&built.circuit, Basis::CxPlus1q);
-    let p_low = TrajectoryPlan::new(&lowered, &NoiseModel::only_2q_depolarizing(0.001))
-        .clean_prob();
-    let p_high = TrajectoryPlan::new(&lowered, &NoiseModel::only_2q_depolarizing(0.02))
-        .clean_prob();
+    let p_low =
+        TrajectoryPlan::new(&lowered, &NoiseModel::only_2q_depolarizing(0.001)).clean_prob();
+    let p_high =
+        TrajectoryPlan::new(&lowered, &NoiseModel::only_2q_depolarizing(0.02)).clean_prob();
     assert!(p_low > p_high);
 }
 
@@ -126,8 +130,14 @@ fn checkpoint_replay_equals_full_replay_on_arithmetic_circuit() {
     let fine = CheckpointTable::build(lowered.clone(), &initial, 1);
     let coarse = CheckpointTable::build(lowered.clone(), &initial, 64);
     let insertions = [
-        Insertion { after_gate: 10, gate: qfab::circuit::Gate::X(2) },
-        Insertion { after_gate: 50, gate: qfab::circuit::Gate::Z(5) },
+        Insertion {
+            after_gate: 10,
+            gate: qfab::circuit::Gate::X(2),
+        },
+        Insertion {
+            after_gate: 50,
+            gate: qfab::circuit::Gate::Z(5),
+        },
     ];
     let a = fine.run_with_insertions(&insertions);
     let b = coarse.run_with_insertions(&insertions);
@@ -157,7 +167,10 @@ fn readout_error_composes_with_gate_noise() {
     let built = qfa(2, 3, AqftDepth::Full);
     let model = NoiseModel::only_2q_depolarizing(0.01)
         .with_readout(qfab::noise::ReadoutError::symmetric(0.02));
-    let config = qfab::core::RunConfig { shots: 4000, ..Default::default() };
+    let config = qfab::core::RunConfig {
+        shots: 4000,
+        ..Default::default()
+    };
     let run = qfab::core::pipeline::NoisyRun::prepare(
         &built.circuit,
         StateVector::basis_state(5, built.y.embed(1, built.x.embed(1, 0))),

@@ -9,7 +9,9 @@ use qfab::noise::NoiseModel;
 
 fn ensemble(n: u32, m: u32, ox: usize, oy: usize, count: usize, seed: u64) -> Vec<AddInstance> {
     let mut rng = Xoshiro256StarStar::new(seed);
-    (0..count).map(|_| AddInstance::random(n, m, ox, oy, &mut rng)).collect()
+    (0..count)
+        .map(|_| AddInstance::random(n, m, ox, oy, &mut rng))
+        .collect()
 }
 
 fn success_rate(
@@ -18,7 +20,10 @@ fn success_rate(
     model: &NoiseModel,
     shots: u64,
 ) -> f64 {
-    let config = RunConfig { shots, ..RunConfig::default() };
+    let config = RunConfig {
+        shots,
+        ..RunConfig::default()
+    };
     let outcomes: Vec<_> = instances
         .iter()
         .enumerate()
@@ -81,7 +86,10 @@ fn depth_one_hurts_superposed_operands_noiselessly() {
     let ideal = NoiseModel::ideal();
     let r1 = success_rate(&insts, AqftDepth::Limited(1), &ideal, 256);
     let r3 = success_rate(&insts, AqftDepth::Limited(3), &ideal, 256);
-    assert!((r3 - 100.0).abs() < 1e-9, "depth 3 noiseless should be perfect");
+    assert!(
+        (r3 - 100.0).abs() < 1e-9,
+        "depth 3 noiseless should be perfect"
+    );
     assert!(r1 < r3, "depth 1 ({r1}%) should trail depth 3 ({r3}%)");
 }
 

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Asserts the workspace depends on no external crates beyond the frozen
+# allowlist below. qfab-telemetry exists precisely so observability adds
+# zero dependencies; this check keeps that invariant honest in CI.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ALLOWED="rand rayon proptest criterion crossbeam parking_lot"
+
+status=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    # External deps are declared `name = "version"` or
+    # `name.workspace = true` / `name = { workspace = true }`; workspace
+    # members are path deps (`qfab-*`). Pull every dependency name out
+    # of the dependency tables and diff against the allowlist.
+    deps=$(awk '
+        /^\[(workspace\.)?(dev-|build-)?dependencies\]/ { in_deps = 1; next }
+        /^\[/ { in_deps = 0 }
+        in_deps && /^[a-zA-Z0-9_-]+(\.workspace)? *=/ {
+            split($0, a, /[ .=]/); print a[1]
+        }
+    ' "$manifest")
+    for dep in $deps; do
+        case " qfab-telemetry qfab-math qfab-circuit qfab-transpile qfab-sim qfab-noise qfab-core qfab-experiments $ALLOWED " in
+            *" $dep "*) ;;
+            *)
+                echo "DISALLOWED dependency '$dep' in $manifest" >&2
+                status=1
+                ;;
+        esac
+    done
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "dependency allowlist OK (external: $ALLOWED)"
+fi
+exit "$status"
