@@ -1,0 +1,138 @@
+//! Stable configuration identity for content-addressed caching.
+//!
+//! A durable result store keys records by a digest of the *experiment
+//! identity* — every input that can change a cell's outcome. Those
+//! identities must stay byte-stable across runs, platforms, and
+//! refactors, so this module defines the canonical encoding once, next
+//! to the types themselves, instead of letting each caller improvise:
+//!
+//! * [`AqftDepth::identity_tag`] — the depth as a canonical string
+//!   (`"full"` or the decimal cap), independent of enum layout.
+//! * [`RunConfig::identity_json`] — the *outcome-relevant* subset of a
+//!   run configuration. Performance knobs (`checkpoint_budget`,
+//!   `inner_parallel`) are deliberately excluded: they change how fast
+//!   a cell computes, never what it computes.
+//! * [`f64_identity`] — floats canonicalized through their IEEE-754
+//!   bits so `0.1 + 0.2`-style representation drift can never alias two
+//!   different rates.
+//!
+//! The digest itself (BLAKE2s, in `qfab-store`) is applied by the
+//! caching layer; this module only guarantees the bytes being digested
+//! are canonical.
+
+use crate::depth::AqftDepth;
+use crate::pipeline::RunConfig;
+use qfab_telemetry::Json;
+
+impl AqftDepth {
+    /// Canonical identity tag: `"full"` or the decimal rotation cap.
+    ///
+    /// Matches [`AqftDepth::paper_label`] today, but is a separate
+    /// method because the *label* follows the paper's presentation
+    /// (free to change) while the *identity tag* is a persistence
+    /// format (frozen).
+    pub fn identity_tag(self) -> String {
+        match self {
+            AqftDepth::Full => "full".to_string(),
+            AqftDepth::Limited(d) => d.to_string(),
+        }
+    }
+
+    /// Parses a tag produced by [`AqftDepth::identity_tag`].
+    pub fn from_identity_tag(tag: &str) -> Option<Self> {
+        if tag == "full" {
+            return Some(AqftDepth::Full);
+        }
+        tag.parse::<u32>()
+            .ok()
+            .filter(|&d| d >= 1)
+            .map(AqftDepth::Limited)
+    }
+}
+
+impl RunConfig {
+    /// The outcome-relevant configuration as canonical JSON:
+    /// `{"shots":…,"optimize":…}`.
+    pub fn identity_json(&self) -> Json {
+        Json::Obj(vec![
+            ("shots".to_string(), Json::U64(self.shots)),
+            ("optimize".to_string(), Json::Bool(self.optimize)),
+        ])
+    }
+}
+
+/// A float as a canonical JSON identity. Rust's `{}` formatting is
+/// shortest-round-trip, so the decimal form alone is injective on
+/// finite values — two distinct `f64`s can never produce the same
+/// encoding. Non-finite values return `None` (they are never valid
+/// sweep parameters).
+pub fn f64_identity(v: f64) -> Option<Json> {
+    if !v.is_finite() {
+        return None;
+    }
+    // Normalize -0.0 to 0.0 so the two encodings cannot alias.
+    let v = if v == 0.0 { 0.0 } else { v };
+    Some(Json::F64(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_tags_round_trip() {
+        for d in [
+            AqftDepth::Full,
+            AqftDepth::Limited(1),
+            AqftDepth::Limited(4),
+            AqftDepth::Limited(31),
+        ] {
+            assert_eq!(AqftDepth::from_identity_tag(&d.identity_tag()), Some(d));
+        }
+        assert_eq!(AqftDepth::from_identity_tag("0"), None);
+        assert_eq!(AqftDepth::from_identity_tag("fullish"), None);
+        assert_eq!(AqftDepth::from_identity_tag(""), None);
+    }
+
+    #[test]
+    fn depth_tag_matches_paper_label_today() {
+        for d in [AqftDepth::Full, AqftDepth::Limited(3)] {
+            assert_eq!(d.identity_tag(), d.paper_label());
+        }
+    }
+
+    #[test]
+    fn run_config_identity_excludes_performance_knobs() {
+        let a = RunConfig {
+            shots: 128,
+            checkpoint_budget: 1,
+            optimize: false,
+            inner_parallel: true,
+        };
+        let b = RunConfig {
+            shots: 128,
+            checkpoint_budget: 1 << 30,
+            optimize: false,
+            inner_parallel: false,
+        };
+        assert_eq!(a.identity_json().encode(), b.identity_json().encode());
+        assert_eq!(
+            a.identity_json().encode(),
+            r#"{"shots":128,"optimize":false}"#
+        );
+        let c = RunConfig {
+            optimize: true,
+            ..a
+        };
+        assert_ne!(a.identity_json().encode(), c.identity_json().encode());
+    }
+
+    #[test]
+    fn float_identity_is_canonical() {
+        assert_eq!(f64_identity(0.003).unwrap().encode(), "0.003");
+        assert_eq!(f64_identity(-0.0).unwrap().encode(), "0");
+        assert_eq!(f64_identity(0.0).unwrap().encode(), "0");
+        assert!(f64_identity(f64::NAN).is_none());
+        assert!(f64_identity(f64::INFINITY).is_none());
+    }
+}

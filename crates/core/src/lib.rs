@@ -32,6 +32,7 @@ pub mod adder;
 pub mod applications;
 pub mod constant;
 pub mod depth;
+pub mod fingerprint;
 pub mod initializer;
 pub mod metric;
 pub mod mitigation;

@@ -7,6 +7,7 @@
 //! repro fig1 | fig2 | all [options] # panel groups
 //! repro optimal-depth [options]     # §IV optimal-depth summary
 //! repro superposition-drop [opts]   # §V quantitative claim
+//! repro --store-verify DIR          # integrity-check a result store
 //!
 //! options:
 //!   --scale quick|default|paper   preset instance/shot counts
@@ -16,19 +17,27 @@
 //!   --out DIR                     also write <id>.txt / <id>.csv
 //!   --metrics                     collect telemetry, print a metrics
 //!                                 summary, and write <id>.manifest.json
+//!   --store DIR                   durable cell store: reuse cached cells,
+//!                                 persist fresh ones (incremental sweeps)
+//!   --resume                      continue an interrupted --store run
+//!                                 (requires the store to already exist)
+//!   --no-cache                    with --store: recompute every cell and
+//!                                 overwrite its record (refresh)
 //! ```
 
 use qfab_experiments::analysis::{
     format_optimal_depths, format_superposition_drop, superposition_drop,
 };
 use qfab_experiments::report::{
-    format_metrics_summary, format_panel, panel_manifest, write_manifest, write_panel,
+    format_metrics_summary, format_panel, format_panel_timing, panel_manifest, write_manifest,
+    write_panel,
 };
 use qfab_experiments::scale::OpCost;
 use qfab_experiments::sweep::panel_by_id;
 use qfab_experiments::table1::{format_table1, run_table1};
 use qfab_experiments::{
-    fig1_panels, fig2_panels, progress_line, run_panel, OpKind, PanelSpec, Scale,
+    fig1_panels, fig2_panels, progress_line, run_panel_with, verify_store, CellCache, OpKind,
+    PanelSpec, Scale,
 };
 use qfab_telemetry as telemetry;
 use std::path::PathBuf;
@@ -38,6 +47,7 @@ const DEFAULT_SEED: u64 = 20220513;
 
 const USAGE: &str = "\
 usage: repro <experiment> [options]
+       repro --store-verify DIR
 
 experiments: list | table1 | fig1 | fig2 | all | optimal-depth |
              superposition-drop | dump | <panel id, e.g. fig1a>
@@ -50,6 +60,12 @@ options:
   --out DIR                     also write <id>.txt / <id>.csv
   --metrics                     collect telemetry, print a metrics summary,
                                 and write <id>.manifest.json
+  --store DIR                   durable cell store: reuse cached cells,
+                                persist fresh ones (incremental sweeps)
+  --resume                      continue an interrupted --store run
+                                (requires the store to already exist)
+  --no-cache                    with --store: recompute every cell and
+                                overwrite its record (refresh)
 
 run 'repro list' for every regenerable artifact.";
 
@@ -60,6 +76,9 @@ struct Options {
     seed: u64,
     out: Option<PathBuf>,
     metrics: bool,
+    store: Option<PathBuf>,
+    resume: bool,
+    no_cache: bool,
 }
 
 impl Options {
@@ -92,6 +111,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         seed: DEFAULT_SEED,
         out: None,
         metrics: false,
+        store: None,
+        resume: false,
+        no_cache: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -138,7 +160,36 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.metrics = true;
                 i += 1;
             }
+            "--store" => {
+                opts.store = Some(PathBuf::from(need_value(i)?));
+                i += 2;
+            }
+            "--resume" => {
+                opts.resume = true;
+                i += 1;
+            }
+            "--no-cache" => {
+                opts.no_cache = true;
+                i += 1;
+            }
             other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    if opts.store.is_none() && (opts.resume || opts.no_cache) {
+        return Err("--resume and --no-cache require --store DIR".to_string());
+    }
+    if opts.resume && opts.no_cache {
+        return Err("--resume and --no-cache are mutually exclusive".to_string());
+    }
+    if opts.resume {
+        // Resuming against a store that does not exist is almost always a
+        // mistyped path; a fresh run should omit --resume.
+        let dir = opts.store.as_ref().expect("checked above");
+        if !dir.is_dir() {
+            return Err(format!(
+                "--resume: store directory {} does not exist (drop --resume to start fresh)",
+                dir.display()
+            ));
         }
     }
     if opts.metrics {
@@ -149,7 +200,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn run_one(spec: &PanelSpec, opts: &Options) {
+fn run_one(spec: &PanelSpec, opts: &Options, cache: Option<&CellCache>) {
     let scale = opts.scale_for(spec.op);
     eprintln!(
         "running {} at {} instances x {} shots ...",
@@ -160,7 +211,7 @@ fn run_one(spec: &PanelSpec, opts: &Options) {
         telemetry::reset();
     }
     let started = std::time::Instant::now();
-    let result = run_panel(spec, scale, opts.seed, |done, total| {
+    let result = run_panel_with(spec, scale, opts.seed, cache, |done, total| {
         eprint!(
             "\r  {}",
             progress_line(done, total, started.elapsed().as_secs_f64())
@@ -170,6 +221,14 @@ fn run_one(spec: &PanelSpec, opts: &Options) {
         }
     });
     println!("{}", format_panel(&result));
+    eprintln!("{}", format_panel_timing(&result));
+    if let Some(cache) = cache {
+        // Durability point: everything this panel computed survives a
+        // kill from here on.
+        if let Err(e) = cache.checkpoint() {
+            eprintln!("warning: store checkpoint failed: {e}");
+        }
+    }
     if let Some(dir) = &opts.out {
         match write_panel(dir, &result) {
             Ok(()) => eprintln!("wrote {}/{}.{{txt,csv}}", dir.display(), spec.id),
@@ -260,6 +319,66 @@ fn dump(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn store_verify(dir: &std::path::Path) -> ExitCode {
+    if !dir.is_dir() {
+        // Both store files are optional, so a missing directory would
+        // verify vacuously clean — almost certainly a mistyped path.
+        eprintln!("error: {} is not a directory", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let verification = match verify_store(dir) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: cannot read store {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = &verification.report;
+    println!(
+        "store {}: {} intact records, {} live cells",
+        dir.display(),
+        report.intact_records,
+        report.live_keys
+    );
+    if report.is_clean() {
+        println!("store is clean");
+        ExitCode::SUCCESS
+    } else {
+        for issue in &report.issues {
+            println!("  {}: {}", issue.file, issue.detail);
+        }
+        eprintln!("error: store has {} issue(s)", report.issues.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn open_cache(opts: &Options) -> Result<Option<CellCache>, String> {
+    let Some(dir) = &opts.store else {
+        return Ok(None);
+    };
+    let cache = CellCache::open(dir, !opts.no_cache)
+        .map_err(|e| format!("cannot open store {}: {e}", dir.display()))?;
+    let recovery = cache.recovery();
+    if recovery.truncated_bytes > 0 {
+        eprintln!(
+            "store {}: dropped {} bytes of torn journal tail (crash recovery)",
+            dir.display(),
+            recovery.truncated_bytes
+        );
+    }
+    eprintln!(
+        "store {}: {} cached cells{}",
+        dir.display(),
+        cache.entries(),
+        if opts.no_cache {
+            " (reads disabled, refreshing)"
+        } else {
+            ""
+        }
+    );
+    Ok(Some(cache))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
@@ -275,10 +394,24 @@ fn main() -> ExitCode {
             }
         };
     }
+    if command == "--store-verify" {
+        let Some(dir) = args.get(1) else {
+            eprintln!("error: --store-verify needs a directory\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        return store_verify(std::path::Path::new(dir));
+    }
     let opts = match parse_options(&args[1..]) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cache = match open_cache(&opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -295,19 +428,19 @@ fn main() -> ExitCode {
         }
         "fig1" => {
             for spec in fig1_panels() {
-                run_one(&spec, &opts);
+                run_one(&spec, &opts, cache.as_ref());
             }
         }
         "fig2" => {
             for spec in fig2_panels() {
-                run_one(&spec, &opts);
+                run_one(&spec, &opts, cache.as_ref());
             }
         }
         "all" => {
             print!("{}", format_table1(&run_table1()));
             println!();
             for spec in fig1_panels().into_iter().chain(fig2_panels()) {
-                run_one(&spec, &opts);
+                run_one(&spec, &opts, cache.as_ref());
             }
         }
         "optimal-depth" => {
@@ -317,7 +450,7 @@ fn main() -> ExitCode {
                 let spec = panel_by_id(id).expect("known panel");
                 let scale = opts.scale_for(spec.op);
                 eprintln!("running {} for the optimal-depth summary ...", spec.id);
-                let result = run_panel(&spec, scale, opts.seed, |_, _| {});
+                let result = run_panel_with(&spec, scale, opts.seed, cache.as_ref(), |_, _| {});
                 println!("{}", format_optimal_depths(&result));
             }
         }
@@ -331,12 +464,19 @@ fn main() -> ExitCode {
             println!("{}", format_superposition_drop(&drops));
         }
         id => match panel_by_id(id) {
-            Some(spec) => run_one(&spec, &opts),
+            Some(spec) => run_one(&spec, &opts, cache.as_ref()),
             None => {
                 eprintln!("error: unknown experiment '{id}'\n\n{USAGE}");
                 return ExitCode::FAILURE;
             }
         },
+    }
+    if let Some(cache) = cache {
+        // Fold the journal into the index segment so the next open
+        // replays one sorted file instead of the whole append history.
+        if let Err(e) = cache.close() {
+            eprintln!("warning: store compaction failed: {e}");
+        }
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,602 @@
+//! The panel cell cache: experiment-identity keying over `qfab-store`.
+//!
+//! ## Keying scheme
+//!
+//! One record = one *cell*: the outcome of a single arithmetic instance
+//! at one (error rate × AQFT depth) grid position. The record key is
+//! the BLAKE2s-256 digest of the cell's canonical identity JSON, which
+//! covers **every input that can change the outcome**:
+//!
+//! ```json
+//! {"salt":"qfab-cell-v1","op":"add","n":7,"m":8,"ox":1,"oy":2,
+//!  "err":"2q","config":{"shots":128,"optimize":false},"seed":20220513,
+//!  "inst":3,"ri":2,"rate":0.007,"di":1,"depth":"2"}
+//! ```
+//!
+//! The grid *indices* (`ri`, `di`) are keyed alongside the values
+//! because the per-cell RNG stream is derived from them; the
+//! code-version `salt` is bumped whenever simulation semantics change,
+//! which retires every existing record at once (their digests no longer
+//! match any lookup). The instance *count* is deliberately absent:
+//! ensembles are drawn sequentially from a seeded stream, so instance
+//! `i` is identical for any scale with more than `i` instances and a
+//! grown sweep reuses every cell of a smaller one.
+//!
+//! ## Trust model
+//!
+//! A lookup never trusts a record blindly: the payload embeds the full
+//! identity, and [`CellCache::lookup_instance`] re-derives the digest
+//! and re-checks the salt before serving it. A record that fails either
+//! check is counted (`exp.cache.rejected`) and treated as a miss, so a
+//! stale or hand-edited store can cost time but never poison a panel.
+
+use crate::sweep::{ErrorTarget, OpKind, PanelSpec};
+use qfab_core::fingerprint::f64_identity;
+use qfab_core::{AqftDepth, InstanceOutcome, RunConfig};
+use qfab_store::{blake2s256, Key, RecoveryReport, Store};
+use qfab_telemetry::{self as telemetry, Json};
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// The code-version salt baked into every cell key and payload.
+///
+/// Bump this whenever a change alters what any cell *computes* —
+/// circuit construction, transpilation, noise insertion, RNG streams,
+/// the success metric. Every record written under the old salt is then
+/// unreachable (and `repro --store-verify` will still validate it
+/// against the salt it was written with).
+pub const CODE_SALT: &str = "qfab-cell-v1";
+
+/// Journal size that triggers compaction at the next checkpoint.
+const COMPACT_THRESHOLD: u64 = 256 * 1024;
+
+fn op_tag(op: OpKind) -> &'static str {
+    match op {
+        OpKind::Add => "add",
+        OpKind::Mul => "mul",
+    }
+}
+
+fn err_tag(target: ErrorTarget) -> &'static str {
+    match target {
+        ErrorTarget::OneQubit => "1q",
+        ErrorTarget::TwoQubit => "2q",
+    }
+}
+
+/// The canonical identity JSON of one cell.
+#[allow(clippy::too_many_arguments)]
+pub fn cell_identity(
+    spec: &PanelSpec,
+    config: &RunConfig,
+    seed: u64,
+    instance: usize,
+    rate_idx: usize,
+    rate: f64,
+    depth_idx: usize,
+    depth: AqftDepth,
+) -> Json {
+    let rate = f64_identity(rate).expect("sweep rates are finite");
+    Json::Obj(vec![
+        ("salt".into(), Json::Str(CODE_SALT.into())),
+        ("op".into(), Json::Str(op_tag(spec.op).into())),
+        ("n".into(), Json::U64(spec.n as u64)),
+        ("m".into(), Json::U64(spec.m as u64)),
+        ("ox".into(), Json::U64(spec.order_x as u64)),
+        ("oy".into(), Json::U64(spec.order_y as u64)),
+        ("err".into(), Json::Str(err_tag(spec.error_target).into())),
+        ("config".into(), config.identity_json()),
+        ("seed".into(), Json::U64(seed)),
+        ("inst".into(), Json::U64(instance as u64)),
+        ("ri".into(), Json::U64(rate_idx as u64)),
+        ("rate".into(), rate),
+        ("di".into(), Json::U64(depth_idx as u64)),
+        ("depth".into(), Json::Str(depth.identity_tag())),
+    ])
+}
+
+/// The content-address of an identity: BLAKE2s-256 of its compact
+/// encoding.
+pub fn identity_key(identity: &Json) -> Key {
+    blake2s256(identity.encode().as_bytes())
+}
+
+/// One cached cell result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellRecord {
+    /// The instance outcome at this cell.
+    pub outcome: InstanceOutcome,
+    /// Wall-clock seconds the cell took to compute originally.
+    pub wall_secs: f64,
+}
+
+/// Serializes a record payload: the identity plus the result fields.
+pub fn encode_record(identity: &Json, record: &CellRecord) -> Vec<u8> {
+    Json::Obj(vec![
+        ("id".into(), identity.clone()),
+        ("success".into(), Json::Bool(record.outcome.success)),
+        ("gap".into(), Json::I64(record.outcome.min_gap)),
+        ("wall_secs".into(), Json::F64(record.wall_secs)),
+    ])
+    .encode()
+    .into_bytes()
+}
+
+/// Decodes and validates a record payload against the key it was
+/// filed under. Returns `None` (a reject) when the payload does not
+/// parse, carries a different code-version salt, or its identity does
+/// not digest back to `key`.
+pub fn decode_record(key: &Key, payload: &[u8]) -> Option<CellRecord> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let value = Json::parse(text).ok()?;
+    let identity = value.get("id")?;
+    if identity.get("salt")?.as_str()? != CODE_SALT {
+        return None;
+    }
+    if &identity_key(identity) != key {
+        return None;
+    }
+    Some(CellRecord {
+        outcome: InstanceOutcome {
+            success: value.get("success")?.as_bool()?,
+            min_gap: value.get("gap")?.as_i64()?,
+        },
+        wall_secs: value.get("wall_secs")?.as_f64()?,
+    })
+}
+
+/// What a whole-instance lookup found.
+#[derive(Debug)]
+pub struct InstanceLookup {
+    /// The full rate-major grid, present only when *every* cell hit.
+    pub grid: Option<Vec<Vec<CellRecord>>>,
+    /// Records that failed salt/digest validation during this lookup.
+    pub rejected: u64,
+}
+
+/// A thread-safe durable cache of panel cells.
+pub struct CellCache {
+    store: Mutex<Store>,
+    read: bool,
+}
+
+impl CellCache {
+    /// Opens (creating if needed) the cache at `dir`. With `read` false
+    /// the cache is write-only: every lookup misses and fresh results
+    /// overwrite existing records (`repro --no-cache`).
+    pub fn open(dir: impl AsRef<Path>, read: bool) -> io::Result<Self> {
+        let store = Store::open(dir.as_ref().to_path_buf())?;
+        Ok(Self {
+            store: Mutex::new(store),
+            read,
+        })
+    }
+
+    /// What recovery found when the store was opened.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.lock().recovery()
+    }
+
+    /// Live records in the store.
+    pub fn entries(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Bytes currently in the append journal.
+    pub fn journal_bytes(&self) -> u64 {
+        self.lock().journal_bytes()
+    }
+
+    /// Whether lookups are enabled.
+    pub fn reads_enabled(&self) -> bool {
+        self.read
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Store> {
+        self.store.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks up every cell of one instance's grid (rate-major, matching
+    /// the runner's layout). All-or-nothing: the sweep recomputes the
+    /// whole instance unless every cell validates, because a partial
+    /// instance costs nearly as much as a full one (the noiseless
+    /// preparation dominates and is shared across rates).
+    pub fn lookup_instance(
+        &self,
+        spec: &PanelSpec,
+        config: &RunConfig,
+        seed: u64,
+        instance: usize,
+    ) -> InstanceLookup {
+        let mut rejected = 0u64;
+        if !self.read {
+            return InstanceLookup {
+                grid: None,
+                rejected,
+            };
+        }
+        let store = self.lock();
+        let mut grid = Vec::with_capacity(spec.rates.len());
+        for (ri, &rate) in spec.rates.iter().enumerate() {
+            let mut row = Vec::with_capacity(spec.depths.len());
+            for (di, &depth) in spec.depths.iter().enumerate() {
+                let identity = cell_identity(spec, config, seed, instance, ri, rate, di, depth);
+                let key = identity_key(&identity);
+                match store.get(&key) {
+                    Some(payload) => match decode_record(&key, payload) {
+                        Some(record) => row.push(record),
+                        None => {
+                            rejected += 1;
+                            telemetry::counter("exp.cache.rejected").incr();
+                            return InstanceLookup {
+                                grid: None,
+                                rejected,
+                            };
+                        }
+                    },
+                    None => {
+                        return InstanceLookup {
+                            grid: None,
+                            rejected,
+                        }
+                    }
+                }
+            }
+            grid.push(row);
+        }
+        InstanceLookup {
+            grid: Some(grid),
+            rejected,
+        }
+    }
+
+    /// Appends every cell of one freshly computed instance grid and
+    /// makes the batch durable (one `fdatasync` per instance).
+    pub fn store_instance(
+        &self,
+        spec: &PanelSpec,
+        config: &RunConfig,
+        seed: u64,
+        instance: usize,
+        grid: &[Vec<CellRecord>],
+    ) -> io::Result<()> {
+        let mut store = self.lock();
+        for (ri, &rate) in spec.rates.iter().enumerate() {
+            for (di, &depth) in spec.depths.iter().enumerate() {
+                let identity = cell_identity(spec, config, seed, instance, ri, rate, di, depth);
+                let key = identity_key(&identity);
+                store.put(key, encode_record(&identity, &grid[ri][di]))?;
+            }
+        }
+        store.sync()
+    }
+
+    /// Durability + space checkpoint: syncs the journal and compacts it
+    /// into the index segment once it outgrows the threshold.
+    pub fn checkpoint(&self) -> io::Result<()> {
+        let mut store = self.lock();
+        store.sync()?;
+        if store.journal_bytes() > COMPACT_THRESHOLD {
+            store.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Final sync + unconditional compaction (end of a run).
+    pub fn close(self) -> io::Result<()> {
+        let mut store = self.lock();
+        store.sync()?;
+        store.compact()
+    }
+}
+
+/// A content-level verification report for `repro --store-verify`.
+pub struct StoreVerification {
+    /// The structural + content report.
+    pub report: qfab_store::VerifyReport,
+}
+
+/// Verifies every record in the store at `dir`: framing and checksums
+/// (structural, from `qfab-store`) plus payload parse, salt, and
+/// key-digest match (content, from this layer). Records written under
+/// an older salt are validated against *their own* salt — they are
+/// stale, not corrupt.
+pub fn verify_store(dir: &Path) -> io::Result<StoreVerification> {
+    let report = qfab_store::verify_dir(dir, |key, payload| {
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| format!("record {} payload is not UTF-8", qfab_store::to_hex(key)))?;
+        let value =
+            Json::parse(text).map_err(|e| format!("record {}: {e}", qfab_store::to_hex(key)))?;
+        let identity = value
+            .get("id")
+            .ok_or_else(|| format!("record {} has no identity", qfab_store::to_hex(key)))?;
+        identity
+            .get("salt")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("record {} has no salt", qfab_store::to_hex(key)))?;
+        if &identity_key(identity) != key {
+            return Err(format!(
+                "record {} identity does not digest to its key",
+                qfab_store::to_hex(key)
+            ));
+        }
+        for (field, check) in [
+            (
+                "success",
+                value.get("success").and_then(Json::as_bool).is_some(),
+            ),
+            ("gap", value.get("gap").and_then(Json::as_i64).is_some()),
+            (
+                "wall_secs",
+                value.get("wall_secs").and_then(Json::as_f64).is_some(),
+            ),
+        ] {
+            if !check {
+                return Err(format!(
+                    "record {} is missing result field '{field}'",
+                    qfab_store::to_hex(key)
+                ));
+            }
+        }
+        Ok(())
+    })?;
+    Ok(StoreVerification { report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    fn tiny_spec() -> PanelSpec {
+        PanelSpec {
+            id: "cachetest",
+            title: "tiny".into(),
+            op: OpKind::Add,
+            n: 3,
+            m: 4,
+            order_x: 1,
+            order_y: 1,
+            error_target: ErrorTarget::TwoQubit,
+            rates: vec![0.0, 0.01],
+            depths: vec![AqftDepth::Limited(2), AqftDepth::Full],
+            reference_rate: 0.01,
+        }
+    }
+
+    fn config(shots: u64) -> RunConfig {
+        RunConfig {
+            shots,
+            ..RunConfig::default()
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("qfab_cache_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_grid(spec: &PanelSpec) -> Vec<Vec<CellRecord>> {
+        (0..spec.rates.len())
+            .map(|ri| {
+                (0..spec.depths.len())
+                    .map(|di| CellRecord {
+                        outcome: InstanceOutcome {
+                            success: (ri + di) % 2 == 0,
+                            min_gap: (ri as i64) * 10 - di as i64,
+                        },
+                        wall_secs: 0.25,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identity_is_canonical_and_sensitive() {
+        let spec = tiny_spec();
+        let cfg = config(64);
+        let base = cell_identity(&spec, &cfg, 7, 0, 1, 0.01, 0, AqftDepth::Limited(2));
+        assert_eq!(
+            base.encode(),
+            format!(
+                r#"{{"salt":"{CODE_SALT}","op":"add","n":3,"m":4,"ox":1,"oy":1,"err":"2q","config":{{"shots":64,"optimize":false}},"seed":7,"inst":0,"ri":1,"rate":0.01,"di":0,"depth":"2"}}"#
+            )
+        );
+        let base_key = identity_key(&base);
+        // Any keyed field flips the digest.
+        let variants = [
+            cell_identity(&spec, &cfg, 8, 0, 1, 0.01, 0, AqftDepth::Limited(2)),
+            cell_identity(&spec, &cfg, 7, 1, 1, 0.01, 0, AqftDepth::Limited(2)),
+            cell_identity(&spec, &cfg, 7, 0, 0, 0.01, 0, AqftDepth::Limited(2)),
+            cell_identity(&spec, &cfg, 7, 0, 1, 0.02, 0, AqftDepth::Limited(2)),
+            cell_identity(&spec, &cfg, 7, 0, 1, 0.01, 1, AqftDepth::Limited(2)),
+            cell_identity(&spec, &cfg, 7, 0, 1, 0.01, 0, AqftDepth::Full),
+            cell_identity(&spec, &config(65), 7, 0, 1, 0.01, 0, AqftDepth::Limited(2)),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(identity_key(v), base_key, "variant {i} should not alias");
+        }
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let spec = tiny_spec();
+        let cfg = config(64);
+        let identity = cell_identity(&spec, &cfg, 3, 2, 0, 0.0, 1, AqftDepth::Full);
+        let key = identity_key(&identity);
+        let record = CellRecord {
+            outcome: InstanceOutcome {
+                success: true,
+                min_gap: -12,
+            },
+            wall_secs: 1.5,
+        };
+        let payload = encode_record(&identity, &record);
+        assert_eq!(decode_record(&key, &payload), Some(record));
+    }
+
+    #[test]
+    fn decode_rejects_wrong_salt_and_wrong_key() {
+        let spec = tiny_spec();
+        let cfg = config(64);
+        let identity = cell_identity(&spec, &cfg, 3, 2, 0, 0.0, 1, AqftDepth::Full);
+        let key = identity_key(&identity);
+        let record = CellRecord {
+            outcome: InstanceOutcome {
+                success: true,
+                min_gap: 4,
+            },
+            wall_secs: 0.1,
+        };
+        // Wrong key (record filed under a different address).
+        let payload = encode_record(&identity, &record);
+        let mut other_key = key;
+        other_key[0] ^= 1;
+        assert_eq!(decode_record(&other_key, &payload), None);
+        // Wrong salt: rewrite the identity with a foreign salt. The
+        // digest over the *modified* identity keeps key and payload
+        // consistent, so only the salt check can reject it — exactly
+        // the stale-store scenario.
+        let stale = Json::parse(std::str::from_utf8(&payload).unwrap()).unwrap();
+        let Json::Obj(mut fields) = stale else {
+            panic!()
+        };
+        let Json::Obj(ref mut id_fields) = fields[0].1 else {
+            panic!()
+        };
+        id_fields[0].1 = Json::Str("qfab-cell-v0".into());
+        let stale_identity = fields[0].1.clone();
+        let stale_key = identity_key(&stale_identity);
+        let stale_payload = Json::Obj(fields).encode().into_bytes();
+        assert_eq!(decode_record(&stale_key, &stale_payload), None);
+        // Garbage payloads are rejects, not panics.
+        assert_eq!(decode_record(&key, b"not json"), None);
+        assert_eq!(decode_record(&key, &[0xFF, 0xFE]), None);
+    }
+
+    #[test]
+    fn cache_round_trips_instances_and_respects_read_flag() {
+        let dir = tmp("roundtrip");
+        let spec = tiny_spec();
+        let cfg = config(64);
+        let grid = sample_grid(&spec);
+        {
+            let cache = CellCache::open(&dir, true).unwrap();
+            assert!(cache.lookup_instance(&spec, &cfg, 5, 0).grid.is_none());
+            cache.store_instance(&spec, &cfg, 5, 0, &grid).unwrap();
+            let found = cache.lookup_instance(&spec, &cfg, 5, 0).grid.unwrap();
+            assert_eq!(found, grid);
+            // Other instances still miss.
+            assert!(cache.lookup_instance(&spec, &cfg, 5, 1).grid.is_none());
+            cache.close().unwrap();
+        }
+        // Survives reopen (now from the compacted segment).
+        let cache = CellCache::open(&dir, true).unwrap();
+        assert_eq!(cache.entries(), spec.rates.len() * spec.depths.len());
+        assert_eq!(cache.lookup_instance(&spec, &cfg, 5, 0).grid.unwrap(), grid);
+        // Write-only mode misses everything.
+        drop(cache);
+        let blind = CellCache::open(&dir, false).unwrap();
+        assert!(blind.lookup_instance(&spec, &cfg, 5, 0).grid.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn salt_mismatch_in_store_is_rejected_not_served() {
+        let dir = tmp("salt");
+        let spec = tiny_spec();
+        let cfg = config(64);
+        let grid = sample_grid(&spec);
+        let cache = CellCache::open(&dir, true).unwrap();
+        cache.store_instance(&spec, &cfg, 5, 0, &grid).unwrap();
+        drop(cache);
+
+        // Corrupt one record in place: swap its payload for a stale-salt
+        // payload filed under the *current* key (a poisoned store).
+        let identity = cell_identity(&spec, &cfg, 5, 0, 0, spec.rates[0], 0, spec.depths[0]);
+        let key = identity_key(&identity);
+        let mut store = Store::open(&dir).unwrap();
+        let stale = {
+            let Json::Obj(mut id_fields) = identity.clone() else {
+                panic!()
+            };
+            id_fields[0].1 = Json::Str("qfab-cell-v0".into());
+            Json::Obj(vec![
+                ("id".into(), Json::Obj(id_fields)),
+                ("success".into(), Json::Bool(true)),
+                ("gap".into(), Json::I64(999)),
+                ("wall_secs".into(), Json::F64(0.0)),
+            ])
+            .encode()
+            .into_bytes()
+        };
+        store.put(key, stale).unwrap();
+        store.sync().unwrap();
+        drop(store);
+
+        let cache = CellCache::open(&dir, true).unwrap();
+        let lookup = cache.lookup_instance(&spec, &cfg, 5, 0);
+        assert!(lookup.grid.is_none(), "poisoned record must not be served");
+        assert_eq!(lookup.rejected, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_store_flags_key_mismatch() {
+        let dir = tmp("verify");
+        let spec = tiny_spec();
+        let cfg = config(64);
+        let cache = CellCache::open(&dir, true).unwrap();
+        cache
+            .store_instance(&spec, &cfg, 5, 0, &sample_grid(&spec))
+            .unwrap();
+        drop(cache);
+        let v = verify_store(&dir).unwrap();
+        assert!(v.report.is_clean());
+        assert_eq!(
+            v.report.intact_records as usize,
+            spec.rates.len() * spec.depths.len()
+        );
+
+        // File a valid payload under the wrong key.
+        let identity = cell_identity(&spec, &cfg, 5, 9, 0, spec.rates[0], 0, spec.depths[0]);
+        let payload = encode_record(
+            &identity,
+            &CellRecord {
+                outcome: InstanceOutcome {
+                    success: true,
+                    min_gap: 0,
+                },
+                wall_secs: 0.0,
+            },
+        );
+        let mut wrong = identity_key(&identity);
+        wrong[5] ^= 0x10;
+        let mut store = Store::open(&dir).unwrap();
+        store.put(wrong, payload).unwrap();
+        store.sync().unwrap();
+        drop(store);
+        let v = verify_store(&dir).unwrap();
+        assert!(!v.report.is_clean());
+        assert!(v.report.issues[0].detail.contains("does not digest"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scale_is_not_part_of_the_key() {
+        // Growing the instance count must reuse smaller-run cells:
+        // only per-cell fields enter the identity.
+        let spec = tiny_spec();
+        let cfg = config(64);
+        let _ = Scale {
+            instances: 4,
+            shots: 64,
+        };
+        let a = cell_identity(&spec, &cfg, 7, 2, 0, 0.0, 0, AqftDepth::Limited(2));
+        // Identity has no field depending on the panel's instance count.
+        assert!(!a.encode().contains("instances"));
+    }
+}

@@ -23,6 +23,7 @@
 //! bars widen.
 
 pub mod analysis;
+pub mod cache;
 pub mod report;
 pub mod runner;
 pub mod scale;
@@ -30,6 +31,7 @@ pub mod sweep;
 pub mod table1;
 pub mod workload;
 
-pub use runner::{progress_line, run_panel, PanelResult, PointResult};
+pub use cache::{verify_store, CellCache, CODE_SALT};
+pub use runner::{progress_line, run_panel, run_panel_with, CacheStats, PanelResult, PointResult};
 pub use scale::Scale;
 pub use sweep::{fig1_panels, fig2_panels, ErrorTarget, OpKind, PanelSpec};

@@ -10,18 +10,17 @@ use std::path::Path;
 
 /// Renders a panel as an aligned text table: one row per error rate,
 /// one column per AQFT depth, each cell `success% (↓lower/↑upper)`.
+///
+/// Deliberately timing-free: two runs of the same panel — cold, cached,
+/// or resumed — produce byte-identical tables. Timing lives in
+/// [`format_panel_timing`] and the manifest.
 pub fn format_panel(result: &PanelResult) -> String {
     let spec = &result.spec;
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{} — {} [{} instances × {} shots, seed {}] ({:.1}s)",
-        spec.id,
-        spec.title,
-        result.scale.instances,
-        result.scale.shots,
-        result.seed,
-        result.elapsed_secs
+        "{} — {} [{} instances × {} shots, seed {}]",
+        spec.id, spec.title, result.scale.instances, result.scale.shots, result.seed,
     );
     let _ = write!(s, "{:>9} |", "err rate");
     for d in &spec.depths {
@@ -135,6 +134,31 @@ pub fn panel_csv(result: &PanelResult) -> String {
     s
 }
 
+/// One-line timing summary: panel wall clock against summed per-cell
+/// compute time (distinct measures — the sum spans all rayon workers),
+/// plus store traffic when a cache was attached. Printed to stderr by
+/// `repro` so the stdout tables stay byte-identical across runs.
+pub fn format_panel_timing(result: &PanelResult) -> String {
+    let cpu: f64 = result.points.iter().map(|p| p.cpu_secs).sum();
+    let mut s = format!(
+        "{}: wall {:.1}s, compute {:.1}s summed across instances",
+        result.spec.id, result.elapsed_secs, cpu
+    );
+    if let Some(cache) = &result.cache {
+        let _ = write!(
+            s,
+            " | store: {} hits / {} misses of {} cells",
+            cache.hits,
+            cache.misses,
+            cache.cells()
+        );
+        if cache.rejected > 0 {
+            let _ = write!(s, " ({} rejected)", cache.rejected);
+        }
+    }
+    s
+}
+
 /// Renders a metrics snapshot as an aligned text table — the summary
 /// `repro --metrics` prints after each panel.
 pub fn format_metrics_summary(snapshot: &Snapshot) -> String {
@@ -174,7 +198,8 @@ pub fn panel_manifest(result: &PanelResult, snapshot: Option<&Snapshot>) -> Mani
                 ("rate".into(), Json::F64(p.rate)),
                 ("depth".into(), Json::Str(p.depth.paper_label())),
                 ("success_pct".into(), Json::F64(p.stats.success_rate_pct)),
-                ("elapsed_secs".into(), Json::F64(p.elapsed_secs)),
+                ("cpu_secs".into(), Json::F64(p.cpu_secs)),
+                ("wall_secs".into(), Json::F64(p.wall_secs)),
             ])
         })
         .collect();
@@ -195,6 +220,16 @@ pub fn panel_manifest(result: &PanelResult, snapshot: Option<&Snapshot>) -> Mani
         .field("threads", rayon::current_num_threads())
         .field("elapsed_secs", result.elapsed_secs)
         .field("points", Json::Arr(points));
+    if let Some(cache) = &result.cache {
+        m = m.field(
+            "cache",
+            Json::Obj(vec![
+                ("hits".into(), Json::U64(cache.hits)),
+                ("misses".into(), Json::U64(cache.misses)),
+                ("rejected".into(), Json::U64(cache.rejected)),
+            ]),
+        );
+    }
     if let Some(snap) = snapshot {
         m = m.metrics(snap);
     }
@@ -276,6 +311,61 @@ mod tests {
         // The noiseless full-depth point sits on the 100% row.
         let top_row = chart.lines().find(|l| l.starts_with(" 100% |")).unwrap();
         assert!(top_row.contains('F') || top_row.contains('*'));
+    }
+
+    #[test]
+    fn panel_text_is_timing_free_and_reproducible() {
+        // Two runs of the same panel must render byte-identically —
+        // the property the resumable sweep's acceptance check rests on.
+        let a = tiny_result();
+        let b = tiny_result();
+        assert_eq!(format_panel(&a), format_panel(&b));
+        assert_eq!(format_panel_chart(&a), format_panel_chart(&b));
+        assert_eq!(panel_csv(&a), panel_csv(&b));
+    }
+
+    #[test]
+    fn timing_line_separates_wall_from_summed_compute() {
+        let mut r = tiny_result();
+        r.elapsed_secs = 2.0;
+        for p in &mut r.points {
+            p.cpu_secs = 1.0;
+            p.wall_secs = 0.5;
+        }
+        let line = format_panel_timing(&r);
+        assert!(line.contains("wall 2.0s"), "{line}");
+        assert!(line.contains("compute 4.0s summed"), "{line}");
+        assert!(!line.contains("store:"), "{line}");
+        r.cache = Some(crate::runner::CacheStats {
+            hits: 6,
+            misses: 2,
+            rejected: 1,
+        });
+        let line = format_panel_timing(&r);
+        assert!(
+            line.contains("store: 6 hits / 2 misses of 8 cells"),
+            "{line}"
+        );
+        assert!(line.contains("(1 rejected)"), "{line}");
+    }
+
+    #[test]
+    fn manifest_carries_cache_stats_when_present() {
+        let mut r = tiny_result();
+        assert!(!panel_manifest(&r, None)
+            .to_json()
+            .encode()
+            .contains("\"cache\""));
+        r.cache = Some(crate::runner::CacheStats {
+            hits: 10,
+            misses: 3,
+            rejected: 0,
+        });
+        let encoded = panel_manifest(&r, None).to_json().encode();
+        assert!(
+            encoded.contains(r#""cache":{"hits":10,"misses":3,"rejected":0}"#),
+            "{encoded}"
+        );
     }
 
     #[test]

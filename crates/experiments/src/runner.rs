@@ -1,4 +1,4 @@
-//! Panel execution.
+//! Panel execution and the resumable sweep engine.
 //!
 //! One panel = one ensemble of instances × a grid of (error rate ×
 //! AQFT depth) cells. The expensive artifact — the noiseless
@@ -6,7 +6,15 @@
 //! once per (instance, depth) and shared across every error rate, and
 //! instances run in parallel under rayon (a no-op on one core,
 //! deterministic on any number of cores by stream-seeded RNGs).
+//!
+//! With a [`CellCache`] attached ([`run_panel_with`]), the sweep is
+//! *resumable*: before computing an instance it consults the store, and
+//! after computing one it durably appends every cell. Because outcomes
+//! are exact integers keyed by the full experiment identity, a resumed
+//! panel is byte-identical to an uninterrupted one — the cache can only
+//! save time, never change results.
 
+use crate::cache::{CellCache, CellRecord};
 use crate::scale::Scale;
 use crate::sweep::{ErrorTarget, PanelSpec};
 use crate::workload::{ensemble_for, Ensemble};
@@ -18,6 +26,7 @@ use qfab_math::rng::Xoshiro256StarStar;
 use qfab_noise::NoiseModel;
 use qfab_telemetry as telemetry;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// One plotted point: a (rate, depth) cell's aggregate statistics.
 #[derive(Clone, Debug)]
@@ -28,9 +37,32 @@ pub struct PointResult {
     pub depth: AqftDepth,
     /// Aggregated success statistics.
     pub stats: EnsembleStats,
-    /// CPU seconds spent on this cell, summed across instances (can
-    /// exceed the panel's wall clock under rayon).
-    pub elapsed_secs: f64,
+    /// Compute seconds spent on this cell **summed across instances** —
+    /// CPU-time-like, can exceed the panel's wall clock under rayon.
+    /// Cells served from the store contribute their originally recorded
+    /// compute time.
+    pub cpu_secs: f64,
+    /// Compute seconds of the *slowest single instance* at this cell —
+    /// the cell's critical-path (wall-clock-like) cost.
+    pub wall_secs: f64,
+}
+
+/// Cache traffic of one panel run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cells served from the store.
+    pub hits: u64,
+    /// Cells computed (and appended) this run.
+    pub misses: u64,
+    /// Records rejected by salt/digest validation.
+    pub rejected: u64,
+}
+
+impl CacheStats {
+    /// Total cells the panel needed.
+    pub fn cells(&self) -> u64 {
+        self.hits + self.misses
+    }
 }
 
 /// A completed panel.
@@ -46,6 +78,8 @@ pub struct PanelResult {
     pub points: Vec<PointResult>,
     /// Wall-clock seconds the panel took.
     pub elapsed_secs: f64,
+    /// Store traffic, when the panel ran against a [`CellCache`].
+    pub cache: Option<CacheStats>,
 }
 
 impl PanelResult {
@@ -65,7 +99,7 @@ fn model_for(target: ErrorTarget, rate: f64) -> NoiseModel {
     }
 }
 
-/// Runs a full panel at the given scale and seed.
+/// Runs a full panel at the given scale and seed, without a store.
 ///
 /// `progress` is invoked after each completed instance with
 /// `(done, total)` — pass `|_, _| {}` to ignore.
@@ -75,6 +109,23 @@ pub fn run_panel(
     seed: u64,
     progress: impl Fn(usize, usize) + Sync,
 ) -> PanelResult {
+    run_panel_with(spec, scale, seed, None, progress)
+}
+
+/// Runs a full panel, consulting and populating `cache` when given.
+///
+/// Per instance: if every cell of the instance's grid validates in the
+/// store it is served from there (counted as hits); otherwise the whole
+/// grid is recomputed and durably appended before the instance reports
+/// progress — a killed run therefore restarts with whole-instance
+/// granularity and recomputes only what never reached the store.
+pub fn run_panel_with(
+    spec: &PanelSpec,
+    scale: Scale,
+    seed: u64,
+    cache: Option<&CellCache>,
+    progress: impl Fn(usize, usize) + Sync,
+) -> PanelResult {
     let start = std::time::Instant::now();
     telemetry::gauge("exp.threads").set(rayon::current_num_threads() as u64);
     let ensemble = ensemble_for(spec, seed, scale.instances);
@@ -82,17 +133,45 @@ pub fn run_panel(
         shots: scale.shots,
         ..RunConfig::default()
     };
+    let cells_per_instance = (spec.rates.len() * spec.depths.len()) as u64;
+
+    let done = AtomicUsize::new(0);
+    let hits = AtomicU64::new(0);
+    let misses = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
 
     // outcomes[instance][rate][depth]
-    let done = std::sync::atomic::AtomicUsize::new(0);
-    let outcomes: Vec<Vec<Vec<(InstanceOutcome, f64)>>> = (0..scale.instances)
+    let outcomes: Vec<Vec<Vec<CellRecord>>> = (0..scale.instances)
         .into_par_iter()
         .map(|i| {
-            let inst_span = telemetry::histogram("exp.instance_ns").span();
-            let result = run_instance_grid(spec, &ensemble, i, &config, seed);
-            drop(inst_span);
-            telemetry::counter("exp.instances").incr();
-            let d = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            let cached = cache.map(|c| c.lookup_instance(spec, &config, seed, i));
+            let result = match cached {
+                Some(lookup) => {
+                    rejected.fetch_add(lookup.rejected, Ordering::Relaxed);
+                    match lookup.grid {
+                        Some(grid) => {
+                            hits.fetch_add(cells_per_instance, Ordering::Relaxed);
+                            telemetry::counter("exp.cache.hits").add(cells_per_instance);
+                            grid
+                        }
+                        None => {
+                            let grid = compute_instance(spec, &ensemble, i, &config, seed);
+                            misses.fetch_add(cells_per_instance, Ordering::Relaxed);
+                            telemetry::counter("exp.cache.misses").add(cells_per_instance);
+                            if let Some(c) = cache {
+                                if let Err(e) = c.store_instance(spec, &config, seed, i, &grid) {
+                                    // The store is an accelerator, never a
+                                    // correctness dependency: log and go on.
+                                    eprintln!("warning: store append failed: {e}");
+                                }
+                            }
+                            grid
+                        }
+                    }
+                }
+                None => compute_instance(spec, &ensemble, i, &config, seed),
+            };
+            let d = done.fetch_add(1, Ordering::Relaxed) + 1;
             progress(d, scale.instances);
             result
         })
@@ -101,14 +180,24 @@ pub fn run_panel(
     let mut points = Vec::with_capacity(spec.rates.len() * spec.depths.len());
     for (ri, &rate) in spec.rates.iter().enumerate() {
         for (di, &depth) in spec.depths.iter().enumerate() {
-            let cell: Vec<InstanceOutcome> =
-                outcomes.iter().map(|per_inst| per_inst[ri][di].0).collect();
-            let elapsed_secs: f64 = outcomes.iter().map(|per_inst| per_inst[ri][di].1).sum();
+            let cell: Vec<InstanceOutcome> = outcomes
+                .iter()
+                .map(|per_inst| per_inst[ri][di].outcome)
+                .collect();
+            let cpu_secs: f64 = outcomes
+                .iter()
+                .map(|per_inst| per_inst[ri][di].wall_secs)
+                .sum();
+            let wall_secs = outcomes
+                .iter()
+                .map(|per_inst| per_inst[ri][di].wall_secs)
+                .fold(0.0, f64::max);
             points.push(PointResult {
                 rate,
                 depth,
                 stats: EnsembleStats::from_outcomes(&cell),
-                elapsed_secs,
+                cpu_secs,
+                wall_secs,
             });
         }
     }
@@ -118,7 +207,27 @@ pub fn run_panel(
         seed,
         points,
         elapsed_secs: start.elapsed().as_secs_f64(),
+        cache: cache.map(|_| CacheStats {
+            hits: hits.into_inner(),
+            misses: misses.into_inner(),
+            rejected: rejected.into_inner(),
+        }),
     }
+}
+
+/// Computes one instance's full grid, with telemetry.
+fn compute_instance(
+    spec: &PanelSpec,
+    ensemble: &Ensemble,
+    index: usize,
+    config: &RunConfig,
+    seed: u64,
+) -> Vec<Vec<CellRecord>> {
+    let inst_span = telemetry::histogram("exp.instance_ns").span();
+    let result = run_instance_grid(spec, ensemble, index, config, seed);
+    drop(inst_span);
+    telemetry::counter("exp.instances").incr();
+    result
 }
 
 /// Builds the instance's circuit at a given AQFT depth.
@@ -132,7 +241,7 @@ fn run_instance_grid(
     index: usize,
     config: &RunConfig,
     seed: u64,
-) -> Vec<Vec<(InstanceOutcome, f64)>> {
+) -> Vec<Vec<CellRecord>> {
     let (circuit_for, initial, expected): (CircuitBuilder, qfab_sim::StateVector, Vec<usize>) =
         match ensemble {
             Ensemble::Add(v) => {
@@ -152,13 +261,13 @@ fn run_instance_grid(
     // rate-major output to match the aggregation layout.
     let mut out = vec![
         vec![
-            (
-                InstanceOutcome {
+            CellRecord {
+                outcome: InstanceOutcome {
                     success: false,
                     min_gap: 0
                 },
-                0.0
-            );
+                wall_secs: 0.0
+            };
             spec.depths.len()
         ];
         spec.rates.len()
@@ -173,10 +282,10 @@ fn run_instance_grid(
             let stream = ((index as u64) << 24) | ((di as u64) << 16) | (ri as u64 + 1);
             let mut rng = Xoshiro256StarStar::for_stream(seed ^ 0xA5A5_5A5A, stream);
             let counts = run.sample_counts(config.shots, &mut rng);
-            out[ri][di] = (
-                evaluate_instance(&counts, &expected),
-                cell_start.elapsed().as_secs_f64(),
-            );
+            out[ri][di] = CellRecord {
+                outcome: evaluate_instance(&counts, &expected),
+                wall_secs: cell_start.elapsed().as_secs_f64(),
+            };
         }
     }
     out
@@ -285,7 +394,7 @@ mod tests {
     }
 
     #[test]
-    fn points_carry_per_cell_elapsed() {
+    fn points_carry_cpu_and_wall_timing() {
         let scale = Scale {
             instances: 2,
             shots: 32,
@@ -293,14 +402,60 @@ mod tests {
         let result = run_panel(&tiny_spec(), scale, 4, |_, _| {});
         for p in &result.points {
             assert!(
-                p.elapsed_secs > 0.0,
-                "cell {}/{:?} has no elapsed",
+                p.cpu_secs > 0.0,
+                "cell {}/{:?} has no cpu time",
                 p.rate,
                 p.depth
             );
+            // The summed-CPU figure can never undercut the slowest
+            // single instance — the two measures are now distinct.
+            assert!(p.wall_secs > 0.0 && p.wall_secs <= p.cpu_secs);
         }
-        let total: f64 = result.points.iter().map(|p| p.elapsed_secs).sum();
-        assert!(total > 0.0);
+        assert!(result.cache.is_none(), "no store attached");
+    }
+
+    #[test]
+    fn cached_rerun_hits_every_cell_and_matches() {
+        let dir =
+            std::env::temp_dir().join(format!("qfab_runner_cache_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let scale = Scale {
+            instances: 3,
+            shots: 64,
+        };
+        let spec = tiny_spec();
+        let cache = crate::cache::CellCache::open(&dir, true).unwrap();
+        let cold = run_panel_with(&spec, scale, 11, Some(&cache), |_, _| {});
+        let cells = (spec.rates.len() * spec.depths.len() * scale.instances) as u64;
+        assert_eq!(
+            cold.cache,
+            Some(CacheStats {
+                hits: 0,
+                misses: cells,
+                rejected: 0
+            })
+        );
+        let warm = run_panel_with(&spec, scale, 11, Some(&cache), |_, _| {});
+        assert_eq!(
+            warm.cache,
+            Some(CacheStats {
+                hits: cells,
+                misses: 0,
+                rejected: 0
+            })
+        );
+        for (a, b) in cold.points.iter().zip(&warm.points) {
+            assert_eq!(a.stats, b.stats);
+            // Cached cells report their originally recorded compute cost.
+            assert_eq!(a.cpu_secs, b.cpu_secs);
+        }
+        // A plain uncached run agrees too.
+        let plain = run_panel(&spec, scale, 11, |_, _| {});
+        for (a, b) in cold.points.iter().zip(&plain.points) {
+            assert_eq!(a.stats, b.stats);
+        }
+        cache.close().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Resume determinism: a sweep resumed from a half-populated store must
+//! produce byte-identical artifacts to an uninterrupted run, and a
+//! journal torn mid-record must only cost recomputation, never
+//! correctness.
+
+use qfab_core::AqftDepth;
+use qfab_experiments::report::{format_panel, panel_csv};
+use qfab_experiments::{
+    run_panel, run_panel_with, CellCache, ErrorTarget, OpKind, PanelSpec, Scale,
+};
+use std::path::PathBuf;
+
+fn spec() -> PanelSpec {
+    PanelSpec {
+        id: "resumetest",
+        title: "resume integration".into(),
+        op: OpKind::Add,
+        n: 3,
+        m: 4,
+        order_x: 1,
+        order_y: 1,
+        error_target: ErrorTarget::TwoQubit,
+        rates: vec![0.0, 0.02],
+        depths: vec![AqftDepth::Limited(2), AqftDepth::Full],
+        reference_rate: 0.02,
+    }
+}
+
+const SEED: u64 = 7;
+const SHOTS: u64 = 48;
+
+fn scale(instances: usize) -> Scale {
+    Scale {
+        instances,
+        shots: SHOTS,
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qfab_resume_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The cold-run reference artifacts at 6 instances.
+fn reference() -> (String, String) {
+    let result = run_panel(&spec(), scale(6), SEED, |_, _| {});
+    (format_panel(&result), panel_csv(&result))
+}
+
+#[test]
+fn resume_from_half_populated_store_is_byte_identical() {
+    let (ref_txt, ref_csv) = reference();
+    let dir = tmp("half");
+    let cells = (spec().rates.len() * spec().depths.len()) as u64;
+
+    // Interrupted run: only the first 3 instances reached the store.
+    // Instance count is not part of the cell key, so a grown sweep
+    // reuses the prefix.
+    let cache = CellCache::open(&dir, true).unwrap();
+    let half = run_panel_with(&spec(), scale(3), SEED, Some(&cache), |_, _| {});
+    let half_stats = half.cache.unwrap();
+    assert_eq!(half_stats.misses, 3 * cells);
+    assert_eq!(half_stats.hits, 0);
+    cache.close().unwrap();
+
+    // Resume at full scale: instances 0-2 come from the store, 3-5 are
+    // computed, and the artifacts match the uninterrupted run exactly.
+    let cache = CellCache::open(&dir, true).unwrap();
+    let resumed = run_panel_with(&spec(), scale(6), SEED, Some(&cache), |_, _| {});
+    let stats = resumed.cache.unwrap();
+    assert_eq!(stats.hits, 3 * cells);
+    assert_eq!(stats.misses, 3 * cells);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(format_panel(&resumed), ref_txt);
+    assert_eq!(panel_csv(&resumed), ref_csv);
+    cache.close().unwrap();
+
+    // A third pass is a pure replay: every cell hits, same bytes again.
+    let cache = CellCache::open(&dir, true).unwrap();
+    let warm = run_panel_with(&spec(), scale(6), SEED, Some(&cache), |_, _| {});
+    let warm_stats = warm.cache.unwrap();
+    assert_eq!(warm_stats.hits, 6 * cells);
+    assert_eq!(warm_stats.misses, 0);
+    assert_eq!(format_panel(&warm), ref_txt);
+    assert_eq!(panel_csv(&warm), ref_csv);
+    cache.close().unwrap();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_journal_tail_costs_recomputation_not_correctness() {
+    let (ref_txt, ref_csv) = reference();
+    let dir = tmp("torn");
+
+    // Populate the journal without compacting (no close), as a killed
+    // process would leave it.
+    let cache = CellCache::open(&dir, true).unwrap();
+    run_panel_with(&spec(), scale(6), SEED, Some(&cache), |_, _| {});
+    drop(cache);
+
+    // Tear the final record mid-payload, like a kill during append.
+    let journal = dir.join("journal.wal");
+    let bytes = std::fs::read(&journal).unwrap();
+    assert!(bytes.len() > 40, "journal unexpectedly small");
+    std::fs::write(&journal, &bytes[..bytes.len() - 17]).unwrap();
+
+    // Recovery drops the torn tail; the affected instance misses (its
+    // grid is incomplete) and is recomputed; output bytes are unchanged.
+    let cache = CellCache::open(&dir, true).unwrap();
+    assert!(cache.recovery().truncated_bytes > 0);
+    let resumed = run_panel_with(&spec(), scale(6), SEED, Some(&cache), |_, _| {});
+    let stats = resumed.cache.unwrap();
+    assert!(stats.hits > 0, "intact prefix should be served");
+    assert!(stats.misses > 0, "torn instance should be recomputed");
+    assert_eq!(format_panel(&resumed), ref_txt);
+    assert_eq!(panel_csv(&resumed), ref_csv);
+    cache.close().unwrap();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn no_cache_refresh_recomputes_but_matches() {
+    let (ref_txt, ref_csv) = reference();
+    let dir = tmp("refresh");
+
+    let cache = CellCache::open(&dir, true).unwrap();
+    run_panel_with(&spec(), scale(6), SEED, Some(&cache), |_, _| {});
+    cache.close().unwrap();
+
+    // Reads disabled (`repro --no-cache`): every cell recomputes and
+    // overwrites its record, results identical.
+    let cache = CellCache::open(&dir, false).unwrap();
+    let refreshed = run_panel_with(&spec(), scale(6), SEED, Some(&cache), |_, _| {});
+    let stats = refreshed.cache.unwrap();
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.misses, refreshed.cache.unwrap().cells());
+    assert_eq!(format_panel(&refreshed), ref_txt);
+    assert_eq!(panel_csv(&refreshed), ref_csv);
+    cache.close().unwrap();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

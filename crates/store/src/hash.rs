@@ -1,0 +1,220 @@
+//! Hand-rolled BLAKE2s-256 (RFC 7693), the store's content-address
+//! function.
+//!
+//! The store keys every record by a 256-bit digest of its canonical
+//! identity bytes and checksums every WAL record with a truncated
+//! digest of its payload. BLAKE2s is chosen over an ad-hoc hash because
+//! the keying must be collision-resistant (a collision would silently
+//! serve one experiment's results for another) and over a dependency
+//! because the workspace is frozen to its allowlist — the full
+//! implementation is ~120 lines and is pinned to the RFC test vectors
+//! below.
+
+const IV: [u32; 8] = [
+    0x6A09_E667,
+    0xBB67_AE85,
+    0x3C6E_F372,
+    0xA54F_F53A,
+    0x510E_527F,
+    0x9B05_688C,
+    0x1F83_D9AB,
+    0x5BE0_CD19,
+];
+
+const SIGMA: [[usize; 16]; 10] = [
+    [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
+    [14, 10, 4, 8, 9, 15, 13, 6, 1, 12, 0, 2, 11, 7, 5, 3],
+    [11, 8, 12, 0, 5, 2, 15, 13, 10, 14, 3, 6, 7, 1, 9, 4],
+    [7, 9, 3, 1, 13, 12, 11, 14, 2, 6, 5, 10, 4, 0, 15, 8],
+    [9, 0, 5, 7, 2, 4, 10, 15, 14, 1, 11, 12, 6, 8, 3, 13],
+    [2, 12, 6, 10, 0, 11, 8, 3, 4, 13, 7, 5, 15, 14, 1, 9],
+    [12, 5, 1, 15, 14, 13, 4, 10, 0, 7, 6, 3, 9, 2, 8, 11],
+    [13, 11, 7, 14, 12, 1, 3, 9, 5, 0, 15, 4, 8, 6, 2, 10],
+    [6, 15, 14, 9, 11, 3, 0, 8, 12, 2, 13, 7, 1, 4, 10, 5],
+    [10, 2, 8, 4, 7, 6, 1, 5, 15, 11, 9, 14, 3, 12, 13, 0],
+];
+
+const BLOCK: usize = 64;
+
+/// Incremental BLAKE2s-256 hasher (unkeyed, sequential mode).
+#[derive(Clone)]
+pub struct Blake2s {
+    h: [u32; 8],
+    buf: [u8; BLOCK],
+    buf_len: usize,
+    /// Total bytes compressed so far (excluding the buffered tail).
+    t: u64,
+}
+
+impl Default for Blake2s {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Blake2s {
+    /// Starts a fresh 32-byte-digest hasher.
+    pub fn new() -> Self {
+        let mut h = IV;
+        // Parameter block for digest_length=32, key_length=0,
+        // fanout=1, depth=1 — only h[0] is affected.
+        h[0] ^= 0x0101_0020;
+        Self {
+            h,
+            buf: [0; BLOCK],
+            buf_len: 0,
+            t: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) -> &mut Self {
+        let mut rest = data;
+        while !rest.is_empty() {
+            if self.buf_len == BLOCK {
+                // The buffer only compresses once more input arrives, so
+                // the final block (which needs the finalization flag) is
+                // always still buffered when `finalize` runs.
+                self.t += BLOCK as u64;
+                let block = self.buf;
+                self.compress(&block, false);
+                self.buf_len = 0;
+            }
+            let take = (BLOCK - self.buf_len).min(rest.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+        }
+        self
+    }
+
+    /// Completes the hash and returns the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        self.t += self.buf_len as u64;
+        self.buf[self.buf_len..].fill(0);
+        let block = self.buf;
+        self.compress(&block, true);
+        let mut out = [0u8; 32];
+        for (i, word) in self.h.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK], last: bool) {
+        let mut m = [0u32; 16];
+        for (i, word) in m.iter_mut().enumerate() {
+            *word = u32::from_le_bytes(block[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        let mut v = [0u32; 16];
+        v[..8].copy_from_slice(&self.h);
+        v[8..].copy_from_slice(&IV);
+        v[12] ^= self.t as u32;
+        v[13] ^= (self.t >> 32) as u32;
+        if last {
+            v[14] ^= u32::MAX;
+        }
+
+        #[inline(always)]
+        fn g(v: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize, x: u32, y: u32) {
+            v[a] = v[a].wrapping_add(v[b]).wrapping_add(x);
+            v[d] = (v[d] ^ v[a]).rotate_right(16);
+            v[c] = v[c].wrapping_add(v[d]);
+            v[b] = (v[b] ^ v[c]).rotate_right(12);
+            v[a] = v[a].wrapping_add(v[b]).wrapping_add(y);
+            v[d] = (v[d] ^ v[a]).rotate_right(8);
+            v[c] = v[c].wrapping_add(v[d]);
+            v[b] = (v[b] ^ v[c]).rotate_right(7);
+        }
+
+        for s in &SIGMA {
+            g(&mut v, 0, 4, 8, 12, m[s[0]], m[s[1]]);
+            g(&mut v, 1, 5, 9, 13, m[s[2]], m[s[3]]);
+            g(&mut v, 2, 6, 10, 14, m[s[4]], m[s[5]]);
+            g(&mut v, 3, 7, 11, 15, m[s[6]], m[s[7]]);
+            g(&mut v, 0, 5, 10, 15, m[s[8]], m[s[9]]);
+            g(&mut v, 1, 6, 11, 12, m[s[10]], m[s[11]]);
+            g(&mut v, 2, 7, 8, 13, m[s[12]], m[s[13]]);
+            g(&mut v, 3, 4, 9, 14, m[s[14]], m[s[15]]);
+        }
+        for i in 0..8 {
+            self.h[i] ^= v[i] ^ v[i + 8];
+        }
+    }
+}
+
+/// One-shot BLAKE2s-256 of `data`.
+pub fn blake2s256(data: &[u8]) -> [u8; 32] {
+    let mut h = Blake2s::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// The first 8 digest bytes as a little-endian `u64` — the WAL record
+/// checksum.
+pub fn checksum64(data: &[u8]) -> u64 {
+    let d = blake2s256(data);
+    u64::from_le_bytes(d[..8].try_into().unwrap())
+}
+
+/// Lower-hex rendering of a digest (for reports and file names).
+pub fn to_hex(digest: &[u8]) -> String {
+    let mut s = String::with_capacity(digest.len() * 2);
+    for b in digest {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(data: &[u8]) -> String {
+        to_hex(&blake2s256(data))
+    }
+
+    #[test]
+    fn rfc7693_abc_vector() {
+        // RFC 7693 appendix B: BLAKE2s-256("abc").
+        assert_eq!(
+            hex(b"abc"),
+            "508c5e8c327c14e2e1a72ba34eeb452f37458b209ed63a294d999b4c86675982"
+        );
+    }
+
+    #[test]
+    fn empty_input_vector() {
+        assert_eq!(
+            hex(b""),
+            "69217a3079908094e11121d042354a7c1f55b6482ca1a51e1b250dfd1ed0eef9"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_at_every_split() {
+        // Exercise every buffer-boundary path around one and two blocks.
+        let data: Vec<u8> = (0..200u16).map(|i| (i * 7 + 3) as u8).collect();
+        let expect = blake2s256(&data);
+        for split in 0..=data.len() {
+            let mut h = Blake2s::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), expect, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn multi_block_input_differs_per_byte() {
+        let a: Vec<u8> = vec![0x41; 130];
+        let mut b = a.clone();
+        b[129] ^= 1;
+        assert_ne!(blake2s256(&a), blake2s256(&b));
+        assert_ne!(checksum64(&a), checksum64(&b));
+    }
+
+    #[test]
+    fn hex_rendering() {
+        assert_eq!(to_hex(&[0x00, 0xff, 0x1a]), "00ff1a");
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Crash-safe content-addressed result store for the qfab stack.
+//!
+//! Panel sweeps are embarrassingly cell-structured — hundreds of
+//! instances × (error rate × AQFT depth) grids — and each cell is
+//! expensive to simulate but tiny to describe. This crate provides the
+//! durable substrate that makes sweeps incremental: a key→bytes store
+//! where **keys are BLAKE2s-256 digests of the cell's canonical
+//! identity** and values are the cell's serialized result.
+//!
+//! * [`hash`] — hand-rolled BLAKE2s-256 (RFC 7693, pinned to its test
+//!   vectors); no external crates.
+//! * [`wal`] — record framing: length-prefixed, checksummed records
+//!   and a scanner that recovers the longest intact prefix.
+//! * [`store`] — the [`Store`]: an `index.seg` compacted segment plus a
+//!   `journal.wal` append journal, atomic-rename compaction, and
+//!   recovery that truncates at the first corrupt or partial record.
+//!
+//! ## Guarantees
+//!
+//! * **Crash safety** — a process killed at any instant leaves a store
+//!   that reopens to exactly the records whose framing hit the disk
+//!   intact; at most the in-flight record is lost.
+//! * **Content addressing** — a record can only be served for the exact
+//!   identity it was computed from; changing any keyed field (seed,
+//!   rate, depth, shots, code-version salt, …) changes the digest.
+//! * **Zero dependencies** — `std` plus the workspace's own
+//!   `qfab-telemetry` (itself std-only) for counters and spans.
+//!
+//! The experiment-level keying scheme (which fields enter the digest
+//! and how they are canonicalized) lives in `qfab-experiments::cache`;
+//! this crate is deliberately ignorant of what the bytes mean.
+
+pub mod hash;
+pub mod store;
+pub mod wal;
+
+pub use hash::{blake2s256, checksum64, to_hex, Blake2s};
+pub use store::{verify_dir, RecoveryReport, Store, VerifyIssue, VerifyReport};
+pub use wal::{Key, Record, KEY_LEN};

@@ -1,0 +1,492 @@
+//! The on-disk store: an index segment plus an append journal.
+//!
+//! A store directory holds at most two files:
+//!
+//! * `index.seg` — the compacted segment: one intact record per live
+//!   key, written whole and published by atomic rename.
+//! * `journal.wal` — the append-only journal of records accepted since
+//!   the last compaction.
+//!
+//! Opening a store replays the segment and then the journal on top
+//! (later appends win), truncating each file to its longest intact
+//! prefix — a crash mid-append or mid-compaction never makes a store
+//! unopenable. Compaction rewrites the live map into a fresh segment
+//! (`index.seg.tmp` → fsync → rename) and only then resets the
+//! journal; a crash between those two steps merely replays journal
+//! records that are already in the segment, which is idempotent.
+
+use crate::hash::checksum64;
+use crate::wal::{encode_record, scan, Key, ScanOutcome, HEADER_LEN, KEY_LEN, MAX_PAYLOAD};
+use qfab_telemetry as telemetry;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Segment file name.
+pub const INDEX_FILE: &str = "index.seg";
+/// Journal file name.
+pub const JOURNAL_FILE: &str = "journal.wal";
+const INDEX_TMP: &str = "index.seg.tmp";
+
+/// What recovery found while opening a store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Intact records replayed from the index segment.
+    pub index_records: u64,
+    /// Intact records replayed from the journal.
+    pub journal_records: u64,
+    /// Garbage bytes dropped from the two files' tails.
+    pub truncated_bytes: u64,
+}
+
+/// A crash-safe content-addressed key→bytes store.
+pub struct Store {
+    dir: PathBuf,
+    map: HashMap<Key, Vec<u8>>,
+    journal: File,
+    journal_bytes: u64,
+    recovery: RecoveryReport,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store at `dir`, recovering to the
+    /// last intact record of each file.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        let _span = telemetry::histogram("store.open_ns").span();
+        std::fs::create_dir_all(&dir)?;
+
+        let mut recovery = RecoveryReport::default();
+        let mut map = HashMap::new();
+
+        let index = read_scan(&dir.join(INDEX_FILE))?;
+        recovery.index_records = index.records.len() as u64;
+        recovery.truncated_bytes += index.truncated;
+        for r in index.records {
+            map.insert(r.key, r.value);
+        }
+
+        let journal_path = dir.join(JOURNAL_FILE);
+        let mut journal_scan = read_scan(&journal_path)?;
+        recovery.journal_records = journal_scan.records.len() as u64;
+        recovery.truncated_bytes += journal_scan.truncated;
+        for r in journal_scan.records.drain(..) {
+            map.insert(r.key, r.value);
+        }
+
+        let mut journal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&journal_path)?;
+        if journal_scan.was_truncated() {
+            // Drop the corrupt tail so new appends extend the intact
+            // prefix instead of hiding behind garbage.
+            journal.set_len(journal_scan.clean_len)?;
+            journal.seek(SeekFrom::End(0))?;
+            telemetry::counter("store.recoveries").incr();
+        }
+        telemetry::counter("store.recovered_records")
+            .add(recovery.index_records + recovery.journal_records);
+        telemetry::counter("store.truncated_bytes").add(recovery.truncated_bytes);
+        telemetry::gauge("store.journal_bytes").set(journal_scan.clean_len);
+
+        Ok(Self {
+            dir,
+            map,
+            journal,
+            journal_bytes: journal_scan.clean_len,
+            recovery,
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// What recovery found when this handle was opened.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no key is live.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes currently in the journal (intact prefix only).
+    pub fn journal_bytes(&self) -> u64 {
+        self.journal_bytes
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, key: &Key) -> Option<&[u8]> {
+        self.map.get(key).map(Vec::as_slice)
+    }
+
+    /// True when `key` is live.
+    pub fn contains(&self, key: &Key) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Appends a record to the journal and makes it live. Durability is
+    /// deferred to [`Store::sync`] — batch appends, then sync once.
+    pub fn put(&mut self, key: Key, value: impl Into<Vec<u8>>) -> std::io::Result<()> {
+        let value = value.into();
+        let framed = encode_record(&key, &value);
+        self.journal.write_all(&framed)?;
+        self.journal_bytes += framed.len() as u64;
+        self.map.insert(key, value);
+        telemetry::counter("store.appends").incr();
+        telemetry::gauge("store.journal_bytes").set(self.journal_bytes);
+        Ok(())
+    }
+
+    /// Forces appended records to disk.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.journal.sync_data()
+    }
+
+    /// Rewrites the live map into a fresh index segment (atomic rename)
+    /// and resets the journal.
+    pub fn compact(&mut self) -> std::io::Result<()> {
+        let _span = telemetry::histogram("store.compact_ns").span();
+        let tmp = self.dir.join(INDEX_TMP);
+        {
+            let mut f = File::create(&tmp)?;
+            // Deterministic segment bytes: records sorted by key.
+            let mut keys: Vec<&Key> = self.map.keys().collect();
+            keys.sort_unstable();
+            for key in keys {
+                f.write_all(&encode_record(key, &self.map[key]))?;
+            }
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, self.dir.join(INDEX_FILE))?;
+        // Publish order matters: the segment is durable and renamed
+        // before the journal resets; a crash here only costs replaying
+        // duplicates.
+        self.journal.set_len(0)?;
+        self.journal.seek(SeekFrom::End(0))?;
+        self.journal_bytes = 0;
+        telemetry::counter("store.compactions").incr();
+        telemetry::gauge("store.journal_bytes").set(0);
+        Ok(())
+    }
+}
+
+fn read_scan(path: &Path) -> std::io::Result<ScanOutcome> {
+    match std::fs::read(path) {
+        Ok(bytes) => Ok(scan(&bytes)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(ScanOutcome::default()),
+        Err(e) => Err(e),
+    }
+}
+
+/// One structural problem found by [`verify_dir`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyIssue {
+    /// Which file the issue is in (`index.seg` / `journal.wal`).
+    pub file: String,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// The result of a structural store check.
+#[derive(Clone, Debug, Default)]
+pub struct VerifyReport {
+    /// Intact records across both files (duplicates counted).
+    pub intact_records: u64,
+    /// Live keys after replay.
+    pub live_keys: u64,
+    /// Every problem found.
+    pub issues: Vec<VerifyIssue>,
+}
+
+impl VerifyReport {
+    /// True when the store is structurally clean.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Structurally verifies the store at `dir` without opening it for
+/// writes: every record's framing and checksum is re-checked and any
+/// trailing garbage is reported. Each intact record is handed to
+/// `check_record(key, value)`, which may report a content-level issue
+/// (e.g. a key that does not match the payload's identity).
+pub fn verify_dir(
+    dir: &Path,
+    mut check_record: impl FnMut(&Key, &[u8]) -> Result<(), String>,
+) -> std::io::Result<VerifyReport> {
+    let mut report = VerifyReport::default();
+    let mut live: HashMap<Key, ()> = HashMap::new();
+    for name in [INDEX_FILE, JOURNAL_FILE] {
+        let path = dir.join(name);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        let out = scan(&bytes);
+        report.intact_records += out.records.len() as u64;
+        if out.was_truncated() {
+            report.issues.push(VerifyIssue {
+                file: name.to_string(),
+                detail: format!(
+                    "{} trailing bytes past the last intact record (intact prefix {})",
+                    out.truncated, out.clean_len
+                ),
+            });
+        }
+        for r in &out.records {
+            if let Err(detail) = check_record(&r.key, &r.value) {
+                report.issues.push(VerifyIssue {
+                    file: name.to_string(),
+                    detail,
+                });
+            }
+            live.insert(r.key, ());
+        }
+    }
+    report.live_keys = live.len() as u64;
+    Ok(report)
+}
+
+/// Re-exports the record checksum so callers can frame-check externally
+/// produced bytes the same way the store does.
+pub fn record_checksum(payload: &[u8]) -> u64 {
+    checksum64(payload)
+}
+
+/// Maximum value size a record can carry.
+pub fn max_value_len() -> usize {
+    MAX_PAYLOAD - KEY_LEN - HEADER_LEN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qfab_store_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(b: u8) -> Key {
+        [b; KEY_LEN]
+    }
+
+    #[test]
+    fn put_get_survives_reopen() {
+        let dir = tmp("reopen");
+        {
+            let mut s = Store::open(&dir).unwrap();
+            assert!(s.is_empty());
+            s.put(key(1), b"one".to_vec()).unwrap();
+            s.put(key(2), b"two".to_vec()).unwrap();
+            s.sync().unwrap();
+        }
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(&key(1)), Some(b"one".as_slice()));
+        assert_eq!(s.get(&key(2)), Some(b"two".as_slice()));
+        assert_eq!(s.recovery().journal_records, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn later_append_wins() {
+        let dir = tmp("update");
+        let mut s = Store::open(&dir).unwrap();
+        s.put(key(9), b"v1".to_vec()).unwrap();
+        s.put(key(9), b"v2".to_vec()).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&key(9)), Some(b"v2".as_slice()));
+        drop(s);
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.get(&key(9)), Some(b"v2".as_slice()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_moves_journal_into_segment() {
+        let dir = tmp("compact");
+        let mut s = Store::open(&dir).unwrap();
+        for b in 0..10u8 {
+            s.put(key(b), vec![b; 4]).unwrap();
+        }
+        assert!(s.journal_bytes() > 0);
+        s.compact().unwrap();
+        assert_eq!(s.journal_bytes(), 0);
+        assert_eq!(std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len(), 0);
+        assert!(std::fs::metadata(dir.join(INDEX_FILE)).unwrap().len() > 0);
+        drop(s);
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.recovery().index_records, 10);
+        assert_eq!(s.recovery().journal_records, 0);
+        assert_eq!(s.get(&key(7)), Some([7u8; 4].as_slice()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_is_deterministic() {
+        let a = tmp("det_a");
+        let b = tmp("det_b");
+        for dir in [&a, &b] {
+            let mut s = Store::open(dir).unwrap();
+            // Insertion orders differ; segment bytes must not.
+            let order: Vec<u8> = if dir == &a {
+                (0..8).collect()
+            } else {
+                (0..8).rev().collect()
+            };
+            for i in order {
+                s.put(key(i), vec![i; 3]).unwrap();
+            }
+            s.compact().unwrap();
+        }
+        let seg_a = std::fs::read(a.join(INDEX_FILE)).unwrap();
+        let seg_b = std::fs::read(b.join(INDEX_FILE)).unwrap();
+        assert_eq!(seg_a, seg_b);
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
+    }
+
+    #[test]
+    fn corrupt_journal_tail_is_truncated_on_open() {
+        let dir = tmp("tail");
+        {
+            let mut s = Store::open(&dir).unwrap();
+            s.put(key(1), b"keep".to_vec()).unwrap();
+            s.sync().unwrap();
+        }
+        // Simulate a torn append.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(dir.join(JOURNAL_FILE))
+            .unwrap();
+        f.write_all(&[0xAB, 0xCD, 0xEF]).unwrap();
+        drop(f);
+
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.recovery().truncated_bytes, 3);
+        let on_disk = std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len();
+        assert_eq!(on_disk, s.journal_bytes());
+        // And appending after recovery extends the intact prefix.
+        drop(s);
+        let mut s = Store::open(&dir).unwrap();
+        assert_eq!(s.recovery().truncated_bytes, 0);
+        s.put(key(2), b"after".to_vec()).unwrap();
+        drop(s);
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_between_segment_publish_and_journal_reset_is_idempotent() {
+        let dir = tmp("republish");
+        let mut s = Store::open(&dir).unwrap();
+        s.put(key(3), b"three".to_vec()).unwrap();
+        s.compact().unwrap();
+        // Simulate the crash window: the journal still holds a record
+        // that the segment already absorbed.
+        let seg = std::fs::read(dir.join(INDEX_FILE)).unwrap();
+        std::fs::write(dir.join(JOURNAL_FILE), {
+            let mut b = Vec::new();
+            b.extend_from_slice(&encode_record(&key(3), b"three"));
+            b
+        })
+        .unwrap();
+        drop(s);
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&key(3)), Some(b"three".as_slice()));
+        assert_eq!(std::fs::read(dir.join(INDEX_FILE)).unwrap(), seg);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_reports_clean_and_corrupt_stores() {
+        let dir = tmp("verify");
+        let mut s = Store::open(&dir).unwrap();
+        s.put(key(1), b"a".to_vec()).unwrap();
+        s.put(key(2), b"b".to_vec()).unwrap();
+        s.sync().unwrap();
+        drop(s);
+
+        let report = verify_dir(&dir, |_, _| Ok(())).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.intact_records, 2);
+        assert_eq!(report.live_keys, 2);
+
+        // Content-level issues surface through the callback.
+        let report = verify_dir(&dir, |k, _| {
+            if k == &key(1) {
+                Err("key mismatch".to_string())
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.issues.len(), 1);
+        assert_eq!(report.issues[0].file, JOURNAL_FILE);
+
+        // Structural corruption surfaces too.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(dir.join(JOURNAL_FILE))
+            .unwrap();
+        f.write_all(&[1, 2, 3, 4]).unwrap();
+        drop(f);
+        let report = verify_dir(&dir, |_, _| Ok(())).unwrap();
+        assert!(!report.is_clean());
+        assert!(report.issues[0].detail.contains("trailing bytes"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncating_journal_at_every_byte_of_the_final_record_recovers_prefix() {
+        // Satellite: cut the on-disk journal at every byte offset of the
+        // final record; opening must recover exactly the intact records
+        // and leave a writable store.
+        let dir = tmp("cutsweep");
+        {
+            let mut s = Store::open(&dir).unwrap();
+            s.put(key(1), b"first-record".to_vec()).unwrap();
+            s.put(key(2), b"second-record".to_vec()).unwrap();
+            s.put(key(3), b"the-final-record".to_vec()).unwrap();
+            s.sync().unwrap();
+        }
+        let full = std::fs::read(dir.join(JOURNAL_FILE)).unwrap();
+        let second_end = {
+            let two = [
+                encode_record(&key(1), b"first-record"),
+                encode_record(&key(2), b"second-record"),
+            ];
+            two[0].len() + two[1].len()
+        };
+        for cut in second_end..=full.len() {
+            let case = tmp("cutsweep_case");
+            std::fs::create_dir_all(&case).unwrap();
+            std::fs::write(case.join(JOURNAL_FILE), &full[..cut]).unwrap();
+            let s = Store::open(&case).unwrap();
+            let expect = if cut == full.len() { 3 } else { 2 };
+            assert_eq!(s.len(), expect, "cut at byte {cut}");
+            assert!(s.contains(&key(1)) && s.contains(&key(2)), "cut {cut}");
+            let _ = std::fs::remove_dir_all(&case);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -62,7 +62,7 @@ pub mod registry;
 pub mod span;
 
 pub use histogram::{Histogram, HistogramSummary};
-pub use json::Json;
+pub use json::{Json, JsonParseError};
 pub use manifest::Manifest;
 pub use registry::{
     counter, gauge, histogram, reset, snapshot, Counter, Gauge, MetricValue, Snapshot,

@@ -52,4 +52,5 @@ pub use qfab_experiments as experiments;
 pub use qfab_math as math;
 pub use qfab_noise as noise;
 pub use qfab_sim as sim;
+pub use qfab_store as store;
 pub use qfab_transpile as transpile;

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test for the qfab-store sweep cache.
+#
+# 1. Runs a panel cold and records its artifacts as the reference.
+# 2. Starts the same panel against a store, SIGKILLs it mid-sweep.
+# 3. Resumes with `--store ... --resume`, then byte-compares the
+#    artifacts with the reference and integrity-checks the store.
+#
+# A fast machine can finish step 2 before the kill lands; that is not a
+# failure of crash safety, so the script tolerates it (the resume run
+# then simply replays a complete store).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PANEL="${PANEL:-fig1a}"
+INSTANCES="${INSTANCES:-6}"
+SHOTS="${SHOTS:-64}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/qfab_kill_resume.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+REPRO="cargo run --release -q -p qfab-experiments --bin repro --"
+# Build first so the background run's startup cost is simulation, not
+# compilation, and the kill window is predictable.
+cargo build --release -q -p qfab-experiments
+
+echo "== reference run =="
+$REPRO "$PANEL" --instances "$INSTANCES" --shots "$SHOTS" --out "$WORK/ref"
+
+echo "== interrupted run (SIGKILL once the journal has records) =="
+$REPRO "$PANEL" --instances "$INSTANCES" --shots "$SHOTS" \
+    --store "$WORK/store" --out "$WORK/victim" &
+victim=$!
+killed=no
+for _ in $(seq 1 200); do
+    if ! kill -0 "$victim" 2>/dev/null; then
+        break # finished before we could kill it — fine, see header
+    fi
+    if [ -s "$WORK/store/journal.wal" ]; then
+        kill -KILL "$victim"
+        killed=yes
+        break
+    fi
+    sleep 0.05
+done
+wait "$victim" 2>/dev/null || true
+echo "victim killed: $killed"
+
+echo "== resumed run =="
+$REPRO "$PANEL" --instances "$INSTANCES" --shots "$SHOTS" \
+    --store "$WORK/store" --resume --out "$WORK/resumed"
+
+cmp "$WORK/ref/$PANEL.csv" "$WORK/resumed/$PANEL.csv"
+cmp "$WORK/ref/$PANEL.txt" "$WORK/resumed/$PANEL.txt"
+echo "artifacts byte-identical after resume"
+
+echo "== store integrity =="
+$REPRO --store-verify "$WORK/store"
+
+echo "kill-and-resume smoke OK"
