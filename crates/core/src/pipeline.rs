@@ -27,6 +27,7 @@ use qfab_math::sampling::AliasTable;
 use qfab_noise::{NoiseModel, TrajectoryPlan};
 use qfab_sim::{CheckpointTable, Counts, ShotSampler, StateVector};
 use qfab_telemetry as telemetry;
+use qfab_telemetry::trace;
 use qfab_transpile::{transpile, Basis};
 
 /// Tunable knobs of a noisy evaluation.
@@ -70,6 +71,10 @@ impl PreparedInstance {
     /// checkpoints.
     pub fn new(circuit: &Circuit, mut initial: StateVector, config: &RunConfig) -> Self {
         let _span = telemetry::histogram("pipeline.prepare_ns").span();
+        let _trace = trace::span_args(
+            "pipeline.prepare",
+            &[("gates", trace::ArgValue::U64(circuit.len() as u64))],
+        );
         telemetry::counter("pipeline.instances_prepared").incr();
         let mut lowered = transpile(circuit, Basis::CxPlus1q);
         if config.optimize {
@@ -106,6 +111,7 @@ impl PreparedInstance {
     /// Binds a noise model, producing a sampler.
     pub fn noisy<'a>(&'a self, model: &NoiseModel) -> NoisyRun<'a> {
         let _span = telemetry::histogram("pipeline.bind_ns").span();
+        let _trace = trace::span("pipeline.bind");
         NoisyRun {
             prep: self,
             plan: TrajectoryPlan::new(self.table.circuit(), model),
@@ -198,6 +204,8 @@ fn sample_counts_impl(
     rng: &mut Xoshiro256StarStar,
 ) -> Counts {
     let _span = telemetry::histogram("pipeline.sample_ns").span();
+    let sample_trace =
+        trace::span_args("pipeline.sample", &[("shots", trace::ArgValue::U64(shots))]);
     let mut counts = Counts::new();
     let clean = if plan.num_sites() == 0 {
         shots
@@ -219,12 +227,20 @@ fn sample_counts_impl(
         let outcome = prep.clean_dist.sample(rng);
         record(&mut counts, outcome, rng);
     }
+    let noisy_trace = trace::span_args(
+        "pipeline.sample.noisy_batch",
+        &[("noisy", trace::ArgValue::U64(shots - clean))],
+    );
+    let mut insertions_total = 0u64;
     for _ in 0..(shots - clean) {
         let trajectory = plan.sample_noisy(rng);
+        insertions_total += trajectory.len() as u64;
         let state = prep.table.run_with_insertions(&trajectory);
         let outcome = ShotSampler::sample_once(&state, rng);
         record(&mut counts, outcome, rng);
     }
+    noisy_trace.end_with_args(&[("insertions", trace::ArgValue::U64(insertions_total))]);
+    drop(sample_trace);
     counts
 }
 

@@ -127,8 +127,8 @@ pub fn superposition_drop_at(scale: Scale, seed: u64, rates: &[f64]) -> Vec<Supe
     spec_12.depths = depths.clone();
     spec_22.depths = depths;
 
-    let r12 = run_panel(&spec_12, scale, seed, |_, _| {});
-    let r22 = run_panel(&spec_22, scale, seed, |_, _| {});
+    let r12 = run_panel(&spec_12, scale, seed, |_| {});
+    let r22 = run_panel(&spec_22, scale, seed, |_| {});
     let best12 = optimal_depths(&r12);
     let best22 = optimal_depths(&r22);
     rates
@@ -185,7 +185,7 @@ mod tests {
                 shots: 64,
             },
             4,
-            |_, _| {},
+            |_| {},
         )
     }
 

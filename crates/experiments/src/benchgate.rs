@@ -1,0 +1,238 @@
+//! Kernel-benchmark regression gate — the engine behind
+//! `repro bench-gate`.
+//!
+//! Compares a freshly emitted `BENCH_kernels.json` manifest (see
+//! `qfab-bench`) against a committed baseline: for every
+//! `bench.kernels.*` histogram present in both, the gate flags a
+//! regression when `current_mean > baseline_mean × (1 + threshold%)`.
+//!
+//! The committed baseline is a coarse cross-machine guard, so CI runs
+//! with a generous threshold (orders of magnitude catch real breakage:
+//! an accidentally quadratic kernel, a lost fast path). For same-machine
+//! comparisons, regenerate the baseline locally and gate tightly.
+
+use qfab_telemetry::Json;
+use std::fmt::Write as _;
+
+/// Comparison of one kernel histogram between baseline and current.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelDelta {
+    /// Histogram name (e.g. `bench.kernels.14q.h_low_ns`).
+    pub name: String,
+    /// Baseline mean (ns).
+    pub baseline_mean: f64,
+    /// Current mean (ns).
+    pub current_mean: f64,
+    /// `current/baseline − 1`, as a percent (negative = faster).
+    pub change_pct: f64,
+    /// Whether the change exceeds the threshold.
+    pub regressed: bool,
+}
+
+/// The gate's verdict over all kernels.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    /// Every kernel present in both manifests, sorted by name.
+    pub deltas: Vec<KernelDelta>,
+    /// Kernels only in the baseline (vanished from the bench).
+    pub missing: Vec<String>,
+    /// Kernels only in the current run (new, ungated).
+    pub new: Vec<String>,
+    /// The threshold applied, in percent.
+    pub threshold_pct: f64,
+}
+
+impl GateReport {
+    /// True when no kernel regressed beyond the threshold.
+    pub fn passed(&self) -> bool {
+        self.deltas.iter().all(|d| !d.regressed)
+    }
+}
+
+/// Extracts `bench.kernels.*` histogram means from a manifest document.
+fn kernel_means(doc: &Json) -> Result<Vec<(String, f64)>, String> {
+    let Some(Json::Obj(hists)) = doc.get("metrics").and_then(|m| m.get("histograms")) else {
+        return Err("manifest has no metrics.histograms block".into());
+    };
+    let mut out: Vec<(String, f64)> = hists
+        .iter()
+        .filter(|(name, _)| name.starts_with("bench.kernels."))
+        .filter_map(|(name, h)| Some((name.clone(), h.get("mean")?.as_f64()?)))
+        .collect();
+    if out.is_empty() {
+        return Err("manifest has no bench.kernels.* histograms".into());
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+/// Runs the gate: baseline vs current manifests, threshold in percent.
+pub fn compare(baseline: &Json, current: &Json, threshold_pct: f64) -> Result<GateReport, String> {
+    let base = kernel_means(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur = kernel_means(current).map_err(|e| format!("current: {e}"))?;
+    let mut report = GateReport {
+        threshold_pct,
+        ..GateReport::default()
+    };
+    for (name, baseline_mean) in &base {
+        match cur.iter().find(|(n, _)| n == name) {
+            Some((_, current_mean)) => {
+                let change_pct = if *baseline_mean > 0.0 {
+                    (current_mean / baseline_mean - 1.0) * 100.0
+                } else {
+                    0.0
+                };
+                report.deltas.push(KernelDelta {
+                    name: name.clone(),
+                    baseline_mean: *baseline_mean,
+                    current_mean: *current_mean,
+                    change_pct,
+                    regressed: change_pct > threshold_pct,
+                });
+            }
+            None => report.missing.push(name.clone()),
+        }
+    }
+    for (name, _) in &cur {
+        if !base.iter().any(|(n, _)| n == name) {
+            report.new.push(name.clone());
+        }
+    }
+    Ok(report)
+}
+
+/// Renders the gate report.
+pub fn format_report(report: &GateReport) -> String {
+    let mut s = format!(
+        "bench gate: {} kernels, threshold +{:.0}%\n",
+        report.deltas.len(),
+        report.threshold_pct
+    );
+    let name_width = report
+        .deltas
+        .iter()
+        .map(|d| d.name.len())
+        .max()
+        .unwrap_or(0)
+        .max("kernel".len());
+    let _ = writeln!(
+        s,
+        "  {:<name_width$} {:>12} {:>12} {:>9}",
+        "kernel", "baseline", "current", "change"
+    );
+    for d in &report.deltas {
+        let _ = writeln!(
+            s,
+            "  {:<name_width$} {:>10.0}ns {:>10.0}ns {:>+8.1}%{}",
+            d.name,
+            d.baseline_mean,
+            d.current_mean,
+            d.change_pct,
+            if d.regressed { "  REGRESSED" } else { "" }
+        );
+    }
+    for name in &report.missing {
+        let _ = writeln!(s, "  {name}: in baseline but not in current run");
+    }
+    for name in &report.new {
+        let _ = writeln!(s, "  {name}: new kernel, no baseline (ungated)");
+    }
+    let _ = writeln!(
+        s,
+        "{}",
+        if report.passed() {
+            "bench gate PASSED"
+        } else {
+            "bench gate FAILED"
+        }
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(kernels: &[(&str, f64)]) -> Json {
+        let hists: Vec<String> = kernels
+            .iter()
+            .map(|(name, mean)| {
+                format!(
+                    r#""{name}":{{"count":25,"sum":100,"mean":{mean},"min":1,"max":9,"p50":4,"p90":8,"p99":9}}"#
+                )
+            })
+            .collect();
+        Json::parse(&format!(
+            r#"{{"schema":"qfab.run.v1","id":"BENCH_kernels","metrics":{{"counters":{{}},"gauges":{{}},"histograms":{{{}}}}}}}"#,
+            hists.join(",")
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn passes_within_threshold_and_flags_beyond() {
+        let base = manifest(&[
+            ("bench.kernels.14q.h_low_ns", 100.0),
+            ("bench.kernels.14q.cx_ns", 200.0),
+        ]);
+        let cur = manifest(&[
+            ("bench.kernels.14q.h_low_ns", 120.0),
+            ("bench.kernels.14q.cx_ns", 700.0),
+        ]);
+        let report = compare(&base, &cur, 50.0).unwrap();
+        assert_eq!(report.deltas.len(), 2);
+        assert!(!report.passed());
+        let cx = report
+            .deltas
+            .iter()
+            .find(|d| d.name.ends_with("cx_ns"))
+            .unwrap();
+        assert!(cx.regressed);
+        assert!((cx.change_pct - 250.0).abs() < 1e-9);
+        let h = report
+            .deltas
+            .iter()
+            .find(|d| d.name.ends_with("h_low_ns"))
+            .unwrap();
+        assert!(!h.regressed);
+        // Speedups never trip the gate.
+        let faster = manifest(&[
+            ("bench.kernels.14q.h_low_ns", 10.0),
+            ("bench.kernels.14q.cx_ns", 20.0),
+        ]);
+        assert!(compare(&base, &faster, 50.0).unwrap().passed());
+    }
+
+    #[test]
+    fn tracks_missing_and_new_kernels_without_failing() {
+        let base = manifest(&[("bench.kernels.14q.h_low_ns", 100.0)]);
+        let cur = manifest(&[("bench.kernels.17q.rz_ns", 80.0)]);
+        let report = compare(&base, &cur, 50.0).unwrap();
+        assert!(report.passed(), "coverage drift alone is not a regression");
+        assert_eq!(report.missing, vec!["bench.kernels.14q.h_low_ns"]);
+        assert_eq!(report.new, vec!["bench.kernels.17q.rz_ns"]);
+        let rendered = format_report(&report);
+        assert!(rendered.contains("in baseline but not"), "{rendered}");
+        assert!(rendered.contains("no baseline (ungated)"), "{rendered}");
+        assert!(rendered.contains("bench gate PASSED"), "{rendered}");
+    }
+
+    #[test]
+    fn rejects_manifests_without_kernel_histograms() {
+        let empty = Json::parse(r#"{"schema":"qfab.run.v1","id":"x"}"#).unwrap();
+        let base = manifest(&[("bench.kernels.14q.h_low_ns", 100.0)]);
+        assert!(compare(&empty, &base, 50.0).is_err());
+        assert!(compare(&base, &empty, 50.0).is_err());
+    }
+
+    #[test]
+    fn report_marks_regression_lines() {
+        let base = manifest(&[("bench.kernels.14q.x_ns", 100.0)]);
+        let cur = manifest(&[("bench.kernels.14q.x_ns", 400.0)]);
+        let report = compare(&base, &cur, 100.0).unwrap();
+        let rendered = format_report(&report);
+        assert!(rendered.contains("REGRESSED"), "{rendered}");
+        assert!(rendered.contains("bench gate FAILED"), "{rendered}");
+        assert!(rendered.contains("+300.0%"), "{rendered}");
+    }
+}

@@ -8,6 +8,8 @@
 //! repro optimal-depth [options]     # §IV optimal-depth summary
 //! repro superposition-drop [opts]   # §V quantitative claim
 //! repro --store-verify DIR          # integrity-check a result store
+//! repro trace-report FILE [--top N] # analyze a QFAB_TRACE capture
+//! repro bench-gate FILE [options]   # kernel-bench regression gate
 //!
 //! options:
 //!   --scale quick|default|paper   preset instance/shot counts
@@ -24,6 +26,10 @@
 //!   --no-cache                    with --store: recompute every cell and
 //!                                 overwrite its record (refresh)
 //! ```
+//!
+//! Set `QFAB_TRACE=on` (or `QFAB_TRACE=on:<path>`) to capture a Chrome
+//! `trace_event` JSON timeline of any run, loadable in Perfetto or
+//! `chrome://tracing` and analyzable offline with `repro trace-report`.
 
 use qfab_experiments::analysis::{
     format_optimal_depths, format_superposition_drop, superposition_drop,
@@ -48,6 +54,8 @@ const DEFAULT_SEED: u64 = 20220513;
 const USAGE: &str = "\
 usage: repro <experiment> [options]
        repro --store-verify DIR
+       repro trace-report FILE [--top N]
+       repro bench-gate FILE [--baseline FILE] [--threshold PCT]
 
 experiments: list | table1 | fig1 | fig2 | all | optimal-depth |
              superposition-drop | dump | <panel id, e.g. fig1a>
@@ -66,6 +74,10 @@ options:
                                 (requires the store to already exist)
   --no-cache                    with --store: recompute every cell and
                                 overwrite its record (refresh)
+
+environment:
+  QFAB_TRACE=on[:<path>]        capture a Chrome trace_event timeline
+                                (default path qfab_trace.json)
 
 run 'repro list' for every regenerable artifact.";
 
@@ -210,13 +222,16 @@ fn run_one(spec: &PanelSpec, opts: &Options, cache: Option<&CellCache>) {
         // Per-panel isolation: each manifest reflects exactly one panel.
         telemetry::reset();
     }
+    // Always-on crash forensics: if this panel panics, the last few
+    // hundred trace events land next to the panel's other outputs.
+    let dump_dir = opts.out.clone().unwrap_or_else(|| PathBuf::from("."));
+    telemetry::trace::install_flight_recorder(
+        &dump_dir.join(format!("{}.flightrec.json", spec.id)),
+    );
     let started = std::time::Instant::now();
-    let result = run_panel_with(spec, scale, opts.seed, cache, |done, total| {
-        eprint!(
-            "\r  {}",
-            progress_line(done, total, started.elapsed().as_secs_f64())
-        );
-        if done == total {
+    let result = run_panel_with(spec, scale, opts.seed, cache, |p| {
+        eprint!("\r  {}", progress_line(p, started.elapsed().as_secs_f64()));
+        if p.done == p.total {
             eprintln!();
         }
     });
@@ -260,6 +275,8 @@ fn list() {
     println!("  superposition-drop   1:2 vs 2:2 at 1.0%/0.7% 2q error (paper SV)");
     println!("  dump qfa|qfm|qft <depth|full> [--basis logical|cx|ibm] [--qasm]");
     println!("                       print a circuit (diagram or OpenQASM)");
+    println!("  trace-report FILE    wall-clock attribution for a QFAB_TRACE capture");
+    println!("  bench-gate FILE      compare BENCH_kernels.json against the baseline");
 }
 
 fn dump(args: &[String]) -> Result<(), String> {
@@ -317,6 +334,75 @@ fn dump(args: &[String]) -> Result<(), String> {
         println!("{}", qfab_circuit::diagram::render(&circuit));
     }
     Ok(())
+}
+
+fn load_json(path: &str) -> Result<telemetry::Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    telemetry::Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn trace_report(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("trace-report needs a trace file")?;
+    let mut top_k = 5usize;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--top" => {
+                top_k = args
+                    .get(i + 1)
+                    .ok_or("--top needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?;
+                i += 2;
+            }
+            other => return Err(format!("unknown trace-report option '{other}'")),
+        }
+    }
+    let doc = load_json(path)?;
+    let analysis = qfab_experiments::tracereport::analyze(&doc)?;
+    print!(
+        "{}",
+        qfab_experiments::tracereport::format_report(&analysis, top_k)
+    );
+    Ok(())
+}
+
+/// Committed cross-machine baseline; regenerate with
+/// `QFAB_BENCH_OUT=crates/bench/baseline cargo bench -p qfab-bench --bench simulator_kernels`.
+const DEFAULT_BASELINE: &str = "crates/bench/baseline/BENCH_kernels.json";
+/// Generous by design: the committed baseline comes from a different
+/// machine, so only order-of-magnitude regressions should trip CI.
+const DEFAULT_THRESHOLD_PCT: f64 = 300.0;
+
+fn bench_gate(args: &[String]) -> Result<bool, String> {
+    let current_path = args
+        .first()
+        .ok_or("bench-gate needs a current BENCH_kernels.json")?;
+    let mut baseline_path = DEFAULT_BASELINE.to_string();
+    let mut threshold = DEFAULT_THRESHOLD_PCT;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                baseline_path = args.get(i + 1).ok_or("--baseline needs a value")?.clone();
+                i += 2;
+            }
+            "--threshold" => {
+                threshold = args
+                    .get(i + 1)
+                    .ok_or("--threshold needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+                i += 2;
+            }
+            other => return Err(format!("unknown bench-gate option '{other}'")),
+        }
+    }
+    let baseline = load_json(&baseline_path)?;
+    let current = load_json(current_path)?;
+    let report = qfab_experiments::benchgate::compare(&baseline, &current, threshold)?;
+    print!("{}", qfab_experiments::benchgate::format_report(&report));
+    Ok(report.passed())
 }
 
 fn store_verify(dir: &std::path::Path) -> ExitCode {
@@ -394,6 +480,25 @@ fn main() -> ExitCode {
             }
         };
     }
+    if command == "trace-report" {
+        return match trace_report(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if command == "bench-gate" {
+        return match bench_gate(&args[1..]) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if command == "--store-verify" {
         let Some(dir) = args.get(1) else {
             eprintln!("error: --store-verify needs a directory\n\n{USAGE}");
@@ -450,7 +555,7 @@ fn main() -> ExitCode {
                 let spec = panel_by_id(id).expect("known panel");
                 let scale = opts.scale_for(spec.op);
                 eprintln!("running {} for the optimal-depth summary ...", spec.id);
-                let result = run_panel_with(&spec, scale, opts.seed, cache.as_ref(), |_, _| {});
+                let result = run_panel_with(&spec, scale, opts.seed, cache.as_ref(), |_| {});
                 println!("{}", format_optimal_depths(&result));
             }
         }
@@ -477,6 +582,11 @@ fn main() -> ExitCode {
         if let Err(e) = cache.close() {
             eprintln!("warning: store compaction failed: {e}");
         }
+    }
+    match telemetry::trace::write_configured_trace() {
+        Ok(Some(path)) => eprintln!("wrote trace {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("failed writing trace: {e}"),
     }
     ExitCode::SUCCESS
 }

@@ -23,15 +23,19 @@
 //! bars widen.
 
 pub mod analysis;
+pub mod benchgate;
 pub mod cache;
 pub mod report;
 pub mod runner;
 pub mod scale;
 pub mod sweep;
 pub mod table1;
+pub mod tracereport;
 pub mod workload;
 
 pub use cache::{verify_store, CellCache, CODE_SALT};
-pub use runner::{progress_line, run_panel, run_panel_with, CacheStats, PanelResult, PointResult};
+pub use runner::{
+    progress_line, run_panel, run_panel_with, CacheStats, PanelResult, PointResult, Progress,
+};
 pub use scale::Scale;
 pub use sweep::{fig1_panels, fig2_panels, ErrorTarget, OpKind, PanelSpec};

@@ -155,6 +155,9 @@ pub fn format_panel_timing(result: &PanelResult) -> String {
         if cache.rejected > 0 {
             let _ = write!(s, " ({} rejected)", cache.rejected);
         }
+        if cache.append_failed > 0 {
+            let _ = write!(s, " ({} appends FAILED)", cache.append_failed);
+        }
     }
     s
 }
@@ -227,6 +230,7 @@ pub fn panel_manifest(result: &PanelResult, snapshot: Option<&Snapshot>) -> Mani
                 ("hits".into(), Json::U64(cache.hits)),
                 ("misses".into(), Json::U64(cache.misses)),
                 ("rejected".into(), Json::U64(cache.rejected)),
+                ("append_failed".into(), Json::U64(cache.append_failed)),
             ]),
         );
     }
@@ -283,7 +287,7 @@ mod tests {
                 shots: 32,
             },
             1,
-            |_, _| {},
+            |_| {},
         )
     }
 
@@ -340,6 +344,7 @@ mod tests {
             hits: 6,
             misses: 2,
             rejected: 1,
+            append_failed: 0,
         });
         let line = format_panel_timing(&r);
         assert!(
@@ -347,6 +352,10 @@ mod tests {
             "{line}"
         );
         assert!(line.contains("(1 rejected)"), "{line}");
+        assert!(!line.contains("FAILED"), "{line}");
+        r.cache.as_mut().unwrap().append_failed = 3;
+        let line = format_panel_timing(&r);
+        assert!(line.contains("(3 appends FAILED)"), "{line}");
     }
 
     #[test]
@@ -360,10 +369,11 @@ mod tests {
             hits: 10,
             misses: 3,
             rejected: 0,
+            append_failed: 2,
         });
         let encoded = panel_manifest(&r, None).to_json().encode();
         assert!(
-            encoded.contains(r#""cache":{"hits":10,"misses":3,"rejected":0}"#),
+            encoded.contains(r#""cache":{"hits":10,"misses":3,"rejected":0,"append_failed":2}"#),
             "{encoded}"
         );
     }

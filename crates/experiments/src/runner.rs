@@ -25,6 +25,7 @@ use qfab_core::{
 use qfab_math::rng::Xoshiro256StarStar;
 use qfab_noise::NoiseModel;
 use qfab_telemetry as telemetry;
+use qfab_telemetry::trace;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
@@ -56,6 +57,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Records rejected by salt/digest validation.
     pub rejected: u64,
+    /// Instance grids whose store append failed (results kept in memory
+    /// but lost to future resumes — lossy persistence).
+    pub append_failed: u64,
 }
 
 impl CacheStats {
@@ -63,6 +67,17 @@ impl CacheStats {
     pub fn cells(&self) -> u64 {
         self.hits + self.misses
     }
+}
+
+/// A progress snapshot handed to the per-instance callback.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Progress {
+    /// Instances completed so far.
+    pub done: usize,
+    /// Instances the panel needs in total.
+    pub total: usize,
+    /// Cache traffic so far — `Some` only when a store is attached.
+    pub cache: Option<CacheStats>,
 }
 
 /// A completed panel.
@@ -101,13 +116,13 @@ fn model_for(target: ErrorTarget, rate: f64) -> NoiseModel {
 
 /// Runs a full panel at the given scale and seed, without a store.
 ///
-/// `progress` is invoked after each completed instance with
-/// `(done, total)` — pass `|_, _| {}` to ignore.
+/// `progress` is invoked after each completed instance with a
+/// [`Progress`] snapshot — pass `|_| {}` to ignore.
 pub fn run_panel(
     spec: &PanelSpec,
     scale: Scale,
     seed: u64,
-    progress: impl Fn(usize, usize) + Sync,
+    progress: impl Fn(Progress) + Sync,
 ) -> PanelResult {
     run_panel_with(spec, scale, seed, None, progress)
 }
@@ -124,10 +139,17 @@ pub fn run_panel_with(
     scale: Scale,
     seed: u64,
     cache: Option<&CellCache>,
-    progress: impl Fn(usize, usize) + Sync,
+    progress: impl Fn(Progress) + Sync,
 ) -> PanelResult {
     let start = std::time::Instant::now();
     telemetry::gauge("exp.threads").set(rayon::current_num_threads() as u64);
+    let panel_trace = trace::span_args(
+        "exp.panel",
+        &[
+            ("id", trace::ArgValue::Str(spec.id)),
+            ("instances", trace::ArgValue::U64(scale.instances as u64)),
+        ],
+    );
     let ensemble = ensemble_for(spec, seed, scale.instances);
     let config = RunConfig {
         shots: scale.shots,
@@ -139,6 +161,13 @@ pub fn run_panel_with(
     let hits = AtomicU64::new(0);
     let misses = AtomicU64::new(0);
     let rejected = AtomicU64::new(0);
+    let append_failed = AtomicU64::new(0);
+    let stats_now = || CacheStats {
+        hits: hits.load(Ordering::Relaxed),
+        misses: misses.load(Ordering::Relaxed),
+        rejected: rejected.load(Ordering::Relaxed),
+        append_failed: append_failed.load(Ordering::Relaxed),
+    };
 
     // outcomes[instance][rate][depth]
     let outcomes: Vec<Vec<Vec<CellRecord>>> = (0..scale.instances)
@@ -152,16 +181,32 @@ pub fn run_panel_with(
                         Some(grid) => {
                             hits.fetch_add(cells_per_instance, Ordering::Relaxed);
                             telemetry::counter("exp.cache.hits").add(cells_per_instance);
+                            trace::instant_args(
+                                "exp.cache.hit",
+                                &[("instance", trace::ArgValue::U64(i as u64))],
+                            );
                             grid
                         }
                         None => {
+                            trace::instant_args(
+                                "exp.cache.miss",
+                                &[("instance", trace::ArgValue::U64(i as u64))],
+                            );
                             let grid = compute_instance(spec, &ensemble, i, &config, seed);
                             misses.fetch_add(cells_per_instance, Ordering::Relaxed);
                             telemetry::counter("exp.cache.misses").add(cells_per_instance);
                             if let Some(c) = cache {
                                 if let Err(e) = c.store_instance(spec, &config, seed, i, &grid) {
                                     // The store is an accelerator, never a
-                                    // correctness dependency: log and go on.
+                                    // correctness dependency: log and go on —
+                                    // but count it so lossy persistence shows
+                                    // up in the manifest and progress line.
+                                    append_failed.fetch_add(1, Ordering::Relaxed);
+                                    telemetry::counter("exp.store.append_failed").incr();
+                                    trace::instant_args(
+                                        "exp.store.append_failed",
+                                        &[("instance", trace::ArgValue::U64(i as u64))],
+                                    );
                                     eprintln!("warning: store append failed: {e}");
                                 }
                             }
@@ -172,7 +217,11 @@ pub fn run_panel_with(
                 None => compute_instance(spec, &ensemble, i, &config, seed),
             };
             let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-            progress(d, scale.instances);
+            progress(Progress {
+                done: d,
+                total: scale.instances,
+                cache: cache.map(|_| stats_now()),
+            });
             result
         })
         .collect();
@@ -201,17 +250,14 @@ pub fn run_panel_with(
             });
         }
     }
+    drop(panel_trace);
     PanelResult {
         spec: spec.clone(),
         scale,
         seed,
         points,
         elapsed_secs: start.elapsed().as_secs_f64(),
-        cache: cache.map(|_| CacheStats {
-            hits: hits.into_inner(),
-            misses: misses.into_inner(),
-            rejected: rejected.into_inner(),
-        }),
+        cache: cache.map(|_| stats_now()),
     }
 }
 
@@ -224,7 +270,12 @@ fn compute_instance(
     seed: u64,
 ) -> Vec<Vec<CellRecord>> {
     let inst_span = telemetry::histogram("exp.instance_ns").span();
+    let inst_trace = trace::span_args(
+        "exp.instance",
+        &[("instance", trace::ArgValue::U64(index as u64))],
+    );
     let result = run_instance_grid(spec, ensemble, index, config, seed);
+    drop(inst_trace);
     drop(inst_span);
     telemetry::counter("exp.instances").incr();
     result
@@ -276,6 +327,19 @@ fn run_instance_grid(
         let prep = PreparedInstance::new(&circuit_for(depth), initial.clone(), config);
         for (ri, &rate) in spec.rates.iter().enumerate() {
             let cell_start = std::time::Instant::now();
+            // AQFT depth as a signed arg: −1 encodes Full.
+            let depth_arg = match depth {
+                AqftDepth::Full => -1i64,
+                AqftDepth::Limited(d) => d as i64,
+            };
+            let _cell_trace = trace::span_args(
+                "exp.cell",
+                &[
+                    ("rate", trace::ArgValue::F64(rate)),
+                    ("depth", trace::ArgValue::I64(depth_arg)),
+                    ("instance", trace::ArgValue::U64(index as u64)),
+                ],
+            );
             let model = model_for(spec.error_target, rate);
             let run = prep.noisy(&model);
             // Stream id: unique per (instance, depth, rate) cell.
@@ -292,9 +356,12 @@ fn run_instance_grid(
 }
 
 /// Formats the live progress line the `repro` binary prints after each
-/// completed instance: done/total, percent, elapsed, and a linear-rate
-/// ETA (blank until the first instance lands).
-pub fn progress_line(done: usize, total: usize, elapsed_secs: f64) -> String {
+/// completed instance: done/total, percent, elapsed, a linear-rate ETA
+/// (blank until the first instance lands), and — when a store is
+/// active — cache hit/miss/rejected counts, so resumed sweeps visibly
+/// distinguish replayed from recomputed cells.
+pub fn progress_line(progress: Progress, elapsed_secs: f64) -> String {
+    let Progress { done, total, cache } = progress;
     let pct = if total == 0 {
         100.0
     } else {
@@ -304,6 +371,15 @@ pub fn progress_line(done: usize, total: usize, elapsed_secs: f64) -> String {
     if done > 0 && done < total {
         let eta = elapsed_secs / done as f64 * (total - done) as f64;
         s.push_str(&format!(" | eta ~{eta:.1}s"));
+    }
+    if let Some(c) = cache {
+        s.push_str(&format!(
+            " | cache {} hit / {} miss / {} rejected",
+            c.hits, c.misses, c.rejected
+        ));
+        if c.append_failed > 0 {
+            s.push_str(&format!(" / {} append-failed", c.append_failed));
+        }
     }
     s
 }
@@ -336,7 +412,7 @@ mod tests {
             instances: 4,
             shots: 96,
         };
-        let result = run_panel(&tiny_spec(), scale, 5, |_, _| {});
+        let result = run_panel(&tiny_spec(), scale, 5, |_| {});
         assert_eq!(result.points.len(), 6);
         for p in &result.points {
             assert_eq!(p.stats.instances, 4);
@@ -355,8 +431,8 @@ mod tests {
             instances: 3,
             shots: 64,
         };
-        let a = run_panel(&tiny_spec(), scale, 9, |_, _| {});
-        let b = run_panel(&tiny_spec(), scale, 9, |_, _| {});
+        let a = run_panel(&tiny_spec(), scale, 9, |_| {});
+        let b = run_panel(&tiny_spec(), scale, 9, |_| {});
         for (x, y) in a.points.iter().zip(&b.points) {
             assert_eq!(x.stats, y.stats);
         }
@@ -369,7 +445,7 @@ mod tests {
             shots: 32,
         };
         let spec = tiny_spec();
-        let result = run_panel(&spec, scale, 1, |_, _| {});
+        let result = run_panel(&spec, scale, 1, |_| {});
         for (ri, &rate) in spec.rates.iter().enumerate() {
             for (di, &depth) in spec.depths.iter().enumerate() {
                 let p = result.point(ri, di);
@@ -386,8 +462,10 @@ mod tests {
             shots: 16,
         };
         let hits = std::sync::atomic::AtomicUsize::new(0);
-        let _ = run_panel(&tiny_spec(), scale, 2, |_, total| {
-            assert_eq!(total, 3);
+        let _ = run_panel(&tiny_spec(), scale, 2, |p| {
+            assert_eq!(p.total, 3);
+            assert!(p.done >= 1 && p.done <= 3);
+            assert!(p.cache.is_none(), "no store attached");
             hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         });
         assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 3);
@@ -399,7 +477,7 @@ mod tests {
             instances: 2,
             shots: 32,
         };
-        let result = run_panel(&tiny_spec(), scale, 4, |_, _| {});
+        let result = run_panel(&tiny_spec(), scale, 4, |_| {});
         for p in &result.points {
             assert!(
                 p.cpu_secs > 0.0,
@@ -425,23 +503,25 @@ mod tests {
         };
         let spec = tiny_spec();
         let cache = crate::cache::CellCache::open(&dir, true).unwrap();
-        let cold = run_panel_with(&spec, scale, 11, Some(&cache), |_, _| {});
+        let cold = run_panel_with(&spec, scale, 11, Some(&cache), |_| {});
         let cells = (spec.rates.len() * spec.depths.len() * scale.instances) as u64;
         assert_eq!(
             cold.cache,
             Some(CacheStats {
                 hits: 0,
                 misses: cells,
-                rejected: 0
+                rejected: 0,
+                append_failed: 0
             })
         );
-        let warm = run_panel_with(&spec, scale, 11, Some(&cache), |_, _| {});
+        let warm = run_panel_with(&spec, scale, 11, Some(&cache), |_| {});
         assert_eq!(
             warm.cache,
             Some(CacheStats {
                 hits: cells,
                 misses: 0,
-                rejected: 0
+                rejected: 0,
+                append_failed: 0
             })
         );
         for (a, b) in cold.points.iter().zip(&warm.points) {
@@ -450,7 +530,7 @@ mod tests {
             assert_eq!(a.cpu_secs, b.cpu_secs);
         }
         // A plain uncached run agrees too.
-        let plain = run_panel(&spec, scale, 11, |_, _| {});
+        let plain = run_panel(&spec, scale, 11, |_| {});
         for (a, b) in cold.points.iter().zip(&plain.points) {
             assert_eq!(a.stats, b.stats);
         }
@@ -460,19 +540,54 @@ mod tests {
 
     #[test]
     fn progress_line_formats_and_estimates() {
+        let p = |done, total| Progress {
+            done,
+            total,
+            cache: None,
+        };
         assert_eq!(
-            progress_line(0, 4, 0.0),
+            progress_line(p(0, 4), 0.0),
             "instance 0/4 |   0% | 0.0s elapsed"
         );
-        let mid = progress_line(1, 4, 2.0);
+        let mid = progress_line(p(1, 4), 2.0);
         assert!(
             mid.starts_with("instance 1/4 |  25% | 2.0s elapsed | eta ~6.0s"),
             "{mid}"
         );
         // Finished: no ETA tail.
         assert_eq!(
-            progress_line(4, 4, 8.0),
+            progress_line(p(4, 4), 8.0),
             "instance 4/4 | 100% | 8.0s elapsed"
+        );
+    }
+
+    #[test]
+    fn progress_line_shows_cache_traffic_when_store_active() {
+        let with_cache = Progress {
+            done: 4,
+            total: 4,
+            cache: Some(CacheStats {
+                hits: 18,
+                misses: 6,
+                rejected: 1,
+                append_failed: 0,
+            }),
+        };
+        assert_eq!(
+            progress_line(with_cache, 8.0),
+            "instance 4/4 | 100% | 8.0s elapsed | cache 18 hit / 6 miss / 1 rejected"
+        );
+        let lossy = Progress {
+            cache: Some(CacheStats {
+                append_failed: 2,
+                ..with_cache.cache.unwrap()
+            }),
+            ..with_cache
+        };
+        assert!(
+            progress_line(lossy, 8.0).ends_with("/ 2 append-failed"),
+            "{}",
+            progress_line(lossy, 8.0)
         );
     }
 
@@ -489,7 +604,7 @@ mod tests {
                 shots: 32,
             },
             3,
-            |_, _| {},
+            |_| {},
         );
         assert_eq!(result.points.len(), 1);
         assert_eq!(result.points[0].stats.success_rate_pct, 100.0);

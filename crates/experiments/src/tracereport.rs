@@ -1,0 +1,514 @@
+//! Offline analysis of Chrome `trace_event` JSON written by
+//! `qfab_telemetry::trace` — the engine behind `repro trace-report`.
+//!
+//! The analyzer rebuilds span trees from flat begin/end event streams
+//! (one stack per thread id), then attributes wall clock three ways:
+//!
+//! * **per-phase totals** — for every span name: count, total time,
+//!   *self* time (total minus time spent in child spans), and max;
+//! * **critical path** — starting from the slowest root span, descend
+//!   into the slowest child at each level;
+//! * **top-k slowest cells** — `exp.cell` spans ranked by duration,
+//!   with their `(rate, depth, instance)` arguments.
+//!
+//! Unmatched events (a begin with no end from a ring that overwrote
+//! its tail, or vice versa) are tolerated and counted, never fatal:
+//! truncated traces should still yield a useful report.
+
+use qfab_telemetry::Json;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One reconstructed span.
+#[derive(Clone, Debug)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: String,
+    /// Thread id that recorded it.
+    pub tid: u64,
+    /// Begin timestamp (µs).
+    pub start_us: u64,
+    /// Duration (µs).
+    pub dur_us: u64,
+    /// Time inside child spans (µs).
+    pub child_us: u64,
+    /// Arguments from the begin and end events, merged (end wins).
+    pub args: Vec<(String, String)>,
+    /// Indices (into [`Analysis::spans`]) of direct children.
+    pub children: Vec<usize>,
+    /// Index of the parent span, if any.
+    pub parent: Option<usize>,
+}
+
+impl SpanNode {
+    /// Time not attributable to any child span (µs).
+    pub fn self_us(&self) -> u64 {
+        self.dur_us.saturating_sub(self.child_us)
+    }
+}
+
+/// Aggregate statistics for one span name.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseStats {
+    /// Completed spans with this name.
+    pub count: u64,
+    /// Summed duration (µs).
+    pub total_us: u64,
+    /// Summed self time (µs).
+    pub self_us: u64,
+    /// Longest single span (µs).
+    pub max_us: u64,
+}
+
+/// Everything extracted from one trace file.
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// Every completed span, in end order.
+    pub spans: Vec<SpanNode>,
+    /// Indices of spans with no parent (per-thread roots).
+    pub roots: Vec<usize>,
+    /// Per-name aggregates.
+    pub phases: Vec<(String, PhaseStats)>,
+    /// Wall clock covered by the trace: max end − min begin (µs).
+    pub wall_us: u64,
+    /// Instant events per name.
+    pub instants: Vec<(String, u64)>,
+    /// Begin events with no matching end (+ ends with no begin).
+    pub unmatched: u64,
+    /// Events the recorder overwrote (from `otherData.dropped`).
+    pub dropped: u64,
+}
+
+fn field_u64(event: &Json, key: &str) -> Option<u64> {
+    event.get(key).and_then(Json::as_u64)
+}
+
+fn args_of(event: &Json) -> Vec<(String, String)> {
+    let Some(Json::Obj(fields)) = event.get("args") else {
+        return Vec::new();
+    };
+    fields
+        .iter()
+        .map(|(k, v)| {
+            let rendered = match v {
+                Json::Str(s) => s.clone(),
+                other => other.encode(),
+            };
+            (k.clone(), rendered)
+        })
+        .collect()
+}
+
+/// Parses an already-decoded trace document into an [`Analysis`].
+///
+/// Returns `Err` when the document is structurally not a Chrome trace
+/// (missing `traceEvents`); individual malformed events are skipped.
+pub fn analyze(doc: &Json) -> Result<Analysis, String> {
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        return Err("not a trace file: missing \"traceEvents\" array".into());
+    };
+    let dropped = doc
+        .get("otherData")
+        .and_then(|o| o.get("dropped"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+
+    struct Open {
+        name: String,
+        start_us: u64,
+        args: Vec<(String, String)>,
+        children: Vec<usize>,
+        child_us: u64,
+    }
+    let mut stacks: HashMap<u64, Vec<Open>> = HashMap::new();
+    let mut analysis = Analysis {
+        dropped,
+        ..Analysis::default()
+    };
+    let mut instants: HashMap<String, u64> = HashMap::new();
+    let mut min_ts = u64::MAX;
+    let mut max_ts = 0u64;
+
+    for event in events {
+        let (Some(name), Some(ph), Some(ts), Some(tid)) = (
+            event.get("name").and_then(Json::as_str),
+            event.get("ph").and_then(Json::as_str),
+            field_u64(event, "ts"),
+            field_u64(event, "tid"),
+        ) else {
+            continue;
+        };
+        min_ts = min_ts.min(ts);
+        max_ts = max_ts.max(ts);
+        let stack = stacks.entry(tid).or_default();
+        match ph {
+            "B" => stack.push(Open {
+                name: name.to_string(),
+                start_us: ts,
+                args: args_of(event),
+                children: Vec::new(),
+                child_us: 0,
+            }),
+            "E" => {
+                // Tolerate interleaved unmatched ends: close the nearest
+                // open span with this name, discarding (and counting)
+                // anything stacked above it.
+                let Some(pos) = stack.iter().rposition(|o| o.name == name) else {
+                    analysis.unmatched += 1;
+                    continue;
+                };
+                analysis.unmatched += (stack.len() - pos - 1) as u64;
+                stack.truncate(pos + 1);
+                let open = stack.pop().expect("position just found");
+                let dur_us = ts.saturating_sub(open.start_us);
+                let mut args = open.args;
+                for (k, v) in args_of(event) {
+                    match args.iter_mut().find(|(ek, _)| *ek == k) {
+                        Some(slot) => slot.1 = v,
+                        None => args.push((k, v)),
+                    }
+                }
+                let idx = analysis.spans.len();
+                analysis.spans.push(SpanNode {
+                    name: open.name,
+                    tid,
+                    start_us: open.start_us,
+                    dur_us,
+                    child_us: open.child_us,
+                    args,
+                    children: open.children,
+                    parent: None,
+                });
+                match stack.last_mut() {
+                    Some(parent) => {
+                        parent.children.push(idx);
+                        parent.child_us += dur_us;
+                    }
+                    None => analysis.roots.push(idx),
+                }
+            }
+            "i" => *instants.entry(name.to_string()).or_default() += 1,
+            _ => {}
+        }
+    }
+    for (_, stack) in stacks {
+        analysis.unmatched += stack.len() as u64;
+    }
+
+    // Children learned their parent after being pushed — backfill.
+    for i in 0..analysis.spans.len() {
+        for c in analysis.spans[i].children.clone() {
+            analysis.spans[c].parent = Some(i);
+        }
+    }
+
+    let mut phases: HashMap<String, PhaseStats> = HashMap::new();
+    for span in &analysis.spans {
+        let p = phases.entry(span.name.clone()).or_default();
+        p.count += 1;
+        p.total_us += span.dur_us;
+        p.self_us += span.self_us();
+        p.max_us = p.max_us.max(span.dur_us);
+    }
+    analysis.phases = phases.into_iter().collect();
+    analysis
+        .phases
+        .sort_by(|a, b| b.1.self_us.cmp(&a.1.self_us).then(a.0.cmp(&b.0)));
+    analysis.instants = instants.into_iter().collect();
+    analysis.instants.sort();
+    analysis.wall_us = max_ts.saturating_sub(min_ts.min(max_ts));
+    Ok(analysis)
+}
+
+/// The slowest root span and, at each level, its slowest child.
+pub fn critical_path(analysis: &Analysis) -> Vec<usize> {
+    let mut path = Vec::new();
+    let Some(&root) = analysis
+        .roots
+        .iter()
+        .max_by_key(|&&i| analysis.spans[i].dur_us)
+    else {
+        return path;
+    };
+    let mut cur = root;
+    loop {
+        path.push(cur);
+        let Some(&next) = analysis.spans[cur]
+            .children
+            .iter()
+            .max_by_key(|&&c| analysis.spans[c].dur_us)
+        else {
+            break;
+        };
+        cur = next;
+    }
+    path
+}
+
+/// Indices of the `top_k` slowest spans named `name`, slowest first.
+pub fn slowest(analysis: &Analysis, name: &str, top_k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..analysis.spans.len())
+        .filter(|&i| analysis.spans[i].name == name)
+        .collect();
+    idx.sort_by(|&a, &b| analysis.spans[b].dur_us.cmp(&analysis.spans[a].dur_us));
+    idx.truncate(top_k);
+    idx
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+fn fmt_args(args: &[(String, String)]) -> String {
+    if args.is_empty() {
+        return String::new();
+    }
+    let rendered: Vec<String> = args.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!(" [{}]", rendered.join(", "))
+}
+
+/// Renders the human-readable report `repro trace-report` prints.
+pub fn format_report(analysis: &Analysis, top_k: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "trace: {} spans, {} threads, wall {}",
+        analysis.spans.len(),
+        analysis
+            .spans
+            .iter()
+            .map(|sp| sp.tid)
+            .collect::<std::collections::HashSet<_>>()
+            .len(),
+        fmt_us(analysis.wall_us)
+    );
+    if analysis.dropped > 0 || analysis.unmatched > 0 {
+        let _ = writeln!(
+            s,
+            "  (ring dropped {} events, {} unmatched — oldest spans overwritten)",
+            analysis.dropped, analysis.unmatched
+        );
+    }
+
+    s.push_str("\nper-phase wall-clock attribution (sorted by self time)\n");
+    let name_width = analysis
+        .phases
+        .iter()
+        .map(|(n, _)| n.len())
+        .max()
+        .unwrap_or(0)
+        .max("phase".len());
+    let _ = writeln!(
+        s,
+        "  {:<name_width$} {:>7} {:>10} {:>10} {:>10}",
+        "phase", "count", "total", "self", "max"
+    );
+    for (name, p) in &analysis.phases {
+        let _ = writeln!(
+            s,
+            "  {:<name_width$} {:>7} {:>10} {:>10} {:>10}",
+            name,
+            p.count,
+            fmt_us(p.total_us),
+            fmt_us(p.self_us),
+            fmt_us(p.max_us)
+        );
+    }
+
+    if !analysis.instants.is_empty() {
+        s.push_str("\ninstant events\n");
+        for (name, count) in &analysis.instants {
+            let _ = writeln!(s, "  {name:<name_width$} {count:>7}");
+        }
+    }
+
+    let path = critical_path(analysis);
+    if !path.is_empty() {
+        s.push_str("\ncritical path (slowest root, then slowest child at each level)\n");
+        for (level, &i) in path.iter().enumerate() {
+            let span = &analysis.spans[i];
+            let _ = writeln!(
+                s,
+                "  {:indent$}{} {} (self {}){}",
+                "",
+                span.name,
+                fmt_us(span.dur_us),
+                fmt_us(span.self_us()),
+                fmt_args(&span.args),
+                indent = level * 2
+            );
+        }
+    }
+
+    let cells = slowest(analysis, "exp.cell", top_k);
+    if !cells.is_empty() {
+        let _ = writeln!(s, "\ntop {} slowest cells", cells.len());
+        for &i in &cells {
+            let span = &analysis.spans[i];
+            let _ = writeln!(s, "  {}{}", fmt_us(span.dur_us), fmt_args(&span.args));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(events: &str) -> Json {
+        Json::parse(&format!(
+            r#"{{"traceEvents":[{events}],"displayTimeUnit":"ms","otherData":{{"schema":"qfab.trace.v1","dropped":0}}}}"#
+        ))
+        .unwrap()
+    }
+
+    fn ev(name: &str, ph: &str, ts: u64, tid: u64) -> String {
+        format!(r#"{{"name":"{name}","cat":"qfab","ph":"{ph}","ts":{ts},"pid":1,"tid":{tid}}}"#)
+    }
+
+    #[test]
+    fn rejects_non_trace_documents() {
+        let doc = Json::parse(r#"{"hello": 1}"#).unwrap();
+        assert!(analyze(&doc).is_err());
+    }
+
+    #[test]
+    fn nests_spans_and_attributes_self_time() {
+        let d = doc(&[
+            ev("outer", "B", 0, 1),
+            ev("inner", "B", 10, 1),
+            ev("inner", "E", 40, 1),
+            ev("outer", "E", 100, 1),
+        ]
+        .join(","));
+        let a = analyze(&d).unwrap();
+        assert_eq!(a.spans.len(), 2);
+        assert_eq!(a.roots.len(), 1);
+        assert_eq!(a.unmatched, 0);
+        let outer = &a.spans[a.roots[0]];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.dur_us, 100);
+        assert_eq!(outer.child_us, 30);
+        assert_eq!(outer.self_us(), 70);
+        assert_eq!(outer.children.len(), 1);
+        let inner = &a.spans[outer.children[0]];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(inner.parent, Some(a.roots[0]));
+        assert_eq!(a.wall_us, 100);
+    }
+
+    #[test]
+    fn threads_get_independent_stacks() {
+        let d = doc(&[
+            ev("a", "B", 0, 1),
+            ev("b", "B", 5, 2),
+            ev("a", "E", 20, 1),
+            ev("b", "E", 30, 2),
+        ]
+        .join(","));
+        let a = analyze(&d).unwrap();
+        assert_eq!(a.spans.len(), 2);
+        assert_eq!(a.roots.len(), 2, "one root per thread");
+        assert!(a.spans.iter().all(|sp| sp.parent.is_none()));
+    }
+
+    #[test]
+    fn tolerates_unmatched_events() {
+        let d = doc(&[
+            ev("orphan_end", "E", 5, 1),
+            ev("ok", "B", 10, 1),
+            ev("ok", "E", 20, 1),
+            ev("never_ends", "B", 30, 1),
+        ]
+        .join(","));
+        let a = analyze(&d).unwrap();
+        assert_eq!(a.spans.len(), 1);
+        assert_eq!(a.unmatched, 2);
+    }
+
+    #[test]
+    fn critical_path_follows_slowest_children() {
+        let d = doc(&[
+            ev("root", "B", 0, 1),
+            ev("fast", "B", 0, 1),
+            ev("fast", "E", 10, 1),
+            ev("slow", "B", 10, 1),
+            ev("leaf", "B", 20, 1),
+            ev("leaf", "E", 70, 1),
+            ev("slow", "E", 90, 1),
+            ev("root", "E", 100, 1),
+        ]
+        .join(","));
+        let a = analyze(&d).unwrap();
+        let names: Vec<&str> = critical_path(&a)
+            .iter()
+            .map(|&i| a.spans[i].name.as_str())
+            .collect();
+        assert_eq!(names, vec!["root", "slow", "leaf"]);
+    }
+
+    #[test]
+    fn merges_begin_and_end_args_end_wins() {
+        let d = doc(concat!(
+            r#"{"name":"cell","cat":"qfab","ph":"B","ts":0,"pid":1,"tid":1,"args":{"rate":0.01,"n":1}},"#,
+            r#"{"name":"cell","cat":"qfab","ph":"E","ts":50,"pid":1,"tid":1,"args":{"n":2}}"#
+        ));
+        let a = analyze(&d).unwrap();
+        let args = &a.spans[0].args;
+        assert!(args.contains(&("rate".to_string(), "0.01".to_string())));
+        assert!(args.contains(&("n".to_string(), "2".to_string())));
+    }
+
+    #[test]
+    fn report_lists_phases_instants_and_cells() {
+        let d = doc(concat!(
+            r#"{"name":"exp.panel","cat":"qfab","ph":"B","ts":0,"pid":1,"tid":1},"#,
+            r#"{"name":"exp.cache.miss","cat":"qfab","ph":"i","ts":1,"pid":1,"tid":1,"s":"t"},"#,
+            r#"{"name":"exp.cell","cat":"qfab","ph":"B","ts":2,"pid":1,"tid":1,"args":{"rate":0.05,"depth":-1,"instance":0}},"#,
+            r#"{"name":"exp.cell","cat":"qfab","ph":"E","ts":1502,"pid":1,"tid":1},"#,
+            r#"{"name":"exp.cell","cat":"qfab","ph":"B","ts":1600,"pid":1,"tid":1,"args":{"rate":0.1,"depth":2,"instance":0}},"#,
+            r#"{"name":"exp.cell","cat":"qfab","ph":"E","ts":1900,"pid":1,"tid":1},"#,
+            r#"{"name":"exp.panel","cat":"qfab","ph":"E","ts":2000,"pid":1,"tid":1}"#
+        ));
+        let a = analyze(&d).unwrap();
+        let report = format_report(&a, 5);
+        assert!(
+            report.contains("per-phase wall-clock attribution"),
+            "{report}"
+        );
+        assert!(report.contains("exp.panel"), "{report}");
+        assert!(report.contains("exp.cache.miss"), "{report}");
+        assert!(report.contains("critical path"), "{report}");
+        assert!(report.contains("top 2 slowest cells"), "{report}");
+        // The slowest cell (1.5ms, rate 0.05, full depth) leads.
+        let cells_at = report.find("slowest cells").unwrap();
+        let first_cell = &report[cells_at..];
+        let rate_pos = first_cell.find("rate=0.05").unwrap();
+        assert!(first_cell.find("rate=0.1").unwrap() > rate_pos, "{report}");
+        assert!(first_cell.contains("depth=-1"), "{report}");
+    }
+
+    #[test]
+    fn slowest_respects_top_k() {
+        let d = doc(&(0..5)
+            .flat_map(|i| {
+                [
+                    ev("exp.cell", "B", i * 100, 1),
+                    ev("exp.cell", "E", i * 100 + 10 * (i + 1), 1),
+                ]
+            })
+            .collect::<Vec<_>>()
+            .join(","));
+        let a = analyze(&d).unwrap();
+        let top = slowest(&a, "exp.cell", 3);
+        assert_eq!(top.len(), 3);
+        let durs: Vec<u64> = top.iter().map(|&i| a.spans[i].dur_us).collect();
+        assert_eq!(durs, vec![50, 40, 30]);
+    }
+}

@@ -44,7 +44,7 @@ fn tmp(name: &str) -> PathBuf {
 
 /// The cold-run reference artifacts at 6 instances.
 fn reference() -> (String, String) {
-    let result = run_panel(&spec(), scale(6), SEED, |_, _| {});
+    let result = run_panel(&spec(), scale(6), SEED, |_| {});
     (format_panel(&result), panel_csv(&result))
 }
 
@@ -58,7 +58,7 @@ fn resume_from_half_populated_store_is_byte_identical() {
     // Instance count is not part of the cell key, so a grown sweep
     // reuses the prefix.
     let cache = CellCache::open(&dir, true).unwrap();
-    let half = run_panel_with(&spec(), scale(3), SEED, Some(&cache), |_, _| {});
+    let half = run_panel_with(&spec(), scale(3), SEED, Some(&cache), |_| {});
     let half_stats = half.cache.unwrap();
     assert_eq!(half_stats.misses, 3 * cells);
     assert_eq!(half_stats.hits, 0);
@@ -67,7 +67,7 @@ fn resume_from_half_populated_store_is_byte_identical() {
     // Resume at full scale: instances 0-2 come from the store, 3-5 are
     // computed, and the artifacts match the uninterrupted run exactly.
     let cache = CellCache::open(&dir, true).unwrap();
-    let resumed = run_panel_with(&spec(), scale(6), SEED, Some(&cache), |_, _| {});
+    let resumed = run_panel_with(&spec(), scale(6), SEED, Some(&cache), |_| {});
     let stats = resumed.cache.unwrap();
     assert_eq!(stats.hits, 3 * cells);
     assert_eq!(stats.misses, 3 * cells);
@@ -78,7 +78,7 @@ fn resume_from_half_populated_store_is_byte_identical() {
 
     // A third pass is a pure replay: every cell hits, same bytes again.
     let cache = CellCache::open(&dir, true).unwrap();
-    let warm = run_panel_with(&spec(), scale(6), SEED, Some(&cache), |_, _| {});
+    let warm = run_panel_with(&spec(), scale(6), SEED, Some(&cache), |_| {});
     let warm_stats = warm.cache.unwrap();
     assert_eq!(warm_stats.hits, 6 * cells);
     assert_eq!(warm_stats.misses, 0);
@@ -97,7 +97,7 @@ fn torn_journal_tail_costs_recomputation_not_correctness() {
     // Populate the journal without compacting (no close), as a killed
     // process would leave it.
     let cache = CellCache::open(&dir, true).unwrap();
-    run_panel_with(&spec(), scale(6), SEED, Some(&cache), |_, _| {});
+    run_panel_with(&spec(), scale(6), SEED, Some(&cache), |_| {});
     drop(cache);
 
     // Tear the final record mid-payload, like a kill during append.
@@ -110,7 +110,7 @@ fn torn_journal_tail_costs_recomputation_not_correctness() {
     // grid is incomplete) and is recomputed; output bytes are unchanged.
     let cache = CellCache::open(&dir, true).unwrap();
     assert!(cache.recovery().truncated_bytes > 0);
-    let resumed = run_panel_with(&spec(), scale(6), SEED, Some(&cache), |_, _| {});
+    let resumed = run_panel_with(&spec(), scale(6), SEED, Some(&cache), |_| {});
     let stats = resumed.cache.unwrap();
     assert!(stats.hits > 0, "intact prefix should be served");
     assert!(stats.misses > 0, "torn instance should be recomputed");
@@ -127,13 +127,13 @@ fn no_cache_refresh_recomputes_but_matches() {
     let dir = tmp("refresh");
 
     let cache = CellCache::open(&dir, true).unwrap();
-    run_panel_with(&spec(), scale(6), SEED, Some(&cache), |_, _| {});
+    run_panel_with(&spec(), scale(6), SEED, Some(&cache), |_| {});
     cache.close().unwrap();
 
     // Reads disabled (`repro --no-cache`): every cell recomputes and
     // overwrites its record, results identical.
     let cache = CellCache::open(&dir, false).unwrap();
-    let refreshed = run_panel_with(&spec(), scale(6), SEED, Some(&cache), |_, _| {});
+    let refreshed = run_panel_with(&spec(), scale(6), SEED, Some(&cache), |_| {});
     let stats = refreshed.cache.unwrap();
     assert_eq!(stats.hits, 0);
     assert_eq!(stats.misses, refreshed.cache.unwrap().cells());

@@ -1,0 +1,103 @@
+//! End-to-end acceptance test for `QFAB_TRACE` captures: run a tiny
+//! panel with tracing enabled, export the Chrome `trace_event` JSON,
+//! and validate the file structurally — parseable by `Json::parse`,
+//! begin/end events pair up, per-thread timestamps are monotonic, and
+//! `exp.cell` spans carry their (rate, depth, instance) args. Also
+//! exercises the `trace-report` analyzer over the same capture.
+//!
+//! Single test function by design: trace mode is process-global, so
+//! parallel test threads would race on `enable_full`/`reset`.
+
+use qfab_experiments::tracereport;
+use qfab_experiments::{fig1_panels, run_panel_with, Scale};
+use qfab_telemetry::{trace, Json};
+
+#[test]
+fn traced_panel_run_exports_valid_chrome_trace() {
+    trace::enable_full(trace::DEFAULT_RING_CAPACITY);
+    trace::reset();
+
+    let spec = &fig1_panels()[0];
+    let scale = Scale {
+        instances: 2,
+        shots: 8,
+    };
+    let result = run_panel_with(spec, scale, 7, None, |_| {});
+    assert!(!result.points.is_empty(), "panel produced no points");
+
+    let dir = std::env::temp_dir().join(format!("qfab_trace_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    trace::write_trace(&path).unwrap();
+
+    // The file must be a valid document for our own parser (and hence
+    // strict JSON loadable by Perfetto / chrome://tracing).
+    let text = std::fs::read_to_string(&path).unwrap();
+    let doc = Json::parse(&text).expect("trace file is valid JSON");
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents missing or not an array");
+    };
+    assert!(!events.is_empty());
+    assert_eq!(
+        doc.get("otherData")
+            .and_then(|o| o.get("schema"))
+            .and_then(Json::as_str),
+        Some("qfab.trace.v1")
+    );
+
+    // Structural validation: every event has the required Chrome fields,
+    // per-thread timestamps never go backwards, and every "E" closes a
+    // "B" of the same name on the same thread.
+    let mut stacks: std::collections::HashMap<u64, Vec<&str>> = std::collections::HashMap::new();
+    let mut last_ts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut cell_args_seen = 0u64;
+    for ev in events {
+        let name = ev.get("name").and_then(Json::as_str).expect("name");
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+        let ts = ev.get("ts").and_then(Json::as_u64).expect("ts");
+        let tid = ev.get("tid").and_then(Json::as_u64).expect("tid");
+        assert_eq!(ev.get("cat").and_then(Json::as_str), Some("qfab"));
+        assert!(ev.get("pid").and_then(Json::as_u64).is_some());
+        let prev = last_ts.entry(tid).or_insert(0);
+        assert!(ts >= *prev, "timestamps went backwards on tid {tid}");
+        *prev = ts;
+        match ph {
+            "B" => stacks.entry(tid).or_default().push(name),
+            "E" => {
+                let opened = stacks.entry(tid).or_default().pop();
+                assert_eq!(opened, Some(name), "end does not close the innermost begin");
+            }
+            "i" => assert_eq!(ev.get("s").and_then(Json::as_str), Some("t")),
+            other => panic!("unexpected phase {other:?}"),
+        }
+        if name == "exp.cell" && ph == "B" {
+            let args = ev.get("args").expect("exp.cell begin carries args");
+            assert!(args.get("rate").and_then(Json::as_f64).is_some());
+            assert!(args.get("depth").is_some());
+            assert!(args.get("instance").and_then(Json::as_u64).is_some());
+            cell_args_seen += 1;
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "unclosed spans on tid {tid}: {stack:?}");
+    }
+    let expected_cells = (result.points.len() * scale.instances) as u64;
+    assert_eq!(cell_args_seen, expected_cells);
+
+    // The analyzer agrees the capture is clean and attributes time to
+    // the phases the panel actually ran.
+    let analysis = tracereport::analyze(&doc).unwrap();
+    assert_eq!(analysis.unmatched, 0);
+    assert_eq!(analysis.dropped, 0);
+    let phase_names: Vec<&str> = analysis.phases.iter().map(|(n, _)| n.as_str()).collect();
+    for required in ["exp.panel", "exp.instance", "exp.cell", "pipeline.sample"] {
+        assert!(phase_names.contains(&required), "missing phase {required}");
+    }
+    let report = tracereport::format_report(&analysis, 3);
+    assert!(report.contains("critical path"), "{report}");
+    assert!(report.contains("exp.cell"), "{report}");
+
+    std::fs::remove_dir_all(&dir).ok();
+    trace::set_trace_mode(trace::TraceMode::Off);
+    trace::reset();
+}

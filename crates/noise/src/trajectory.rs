@@ -59,6 +59,7 @@ impl TrajectoryPlan {
     /// Builds the plan. The circuit must already be transpiled to 1q/2q
     /// gates (the model panics on 3-qubit gates, like the paper's).
     pub fn new(circuit: &Circuit, model: &NoiseModel) -> Self {
+        let trace_span = qfab_telemetry::trace::span("noise.plan.build");
         let mut channels: Vec<ChannelTables> = Vec::new();
         let mut sites = Vec::new();
         for (i, gate) in circuit.gates().iter().enumerate() {
@@ -94,6 +95,10 @@ impl TrajectoryPlan {
             acc *= 1.0 - channels[s.channel].error_prob;
             prefix_clean.push(acc);
         }
+        trace_span.end_with_args(&[(
+            "sites",
+            qfab_telemetry::trace::ArgValue::U64(sites.len() as u64),
+        )]);
         Self {
             sites,
             channels,

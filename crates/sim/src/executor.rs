@@ -18,6 +18,7 @@
 
 use crate::statevector::StateVector;
 use qfab_circuit::{Circuit, Gate};
+use qfab_telemetry::trace;
 
 /// An error gate injected *after* the circuit gate at `after_gate`
 /// (matching Qiskit's convention of attaching gate error following the
@@ -51,6 +52,7 @@ impl CheckpointTable {
     pub fn build(circuit: Circuit, initial: &StateVector, interval: usize) -> Self {
         assert!(interval >= 1, "interval must be at least 1");
         let _span = crate::telem::metrics().map(|m| m.checkpoint_build_ns.span());
+        let trace_span = trace::span("sim.checkpoint.build");
         let mut state = initial.clone();
         let mut states = vec![state.clone()];
         for (i, gate) in circuit.gates().iter().enumerate() {
@@ -66,6 +68,10 @@ impl CheckpointTable {
             m.checkpoint_bytes
                 .set(((states.len() + 1) * state_bytes) as u64);
         }
+        trace_span.end_with_args(&[
+            ("states", trace::ArgValue::U64(states.len() as u64)),
+            ("gates", trace::ArgValue::U64(circuit.len() as u64)),
+        ]);
         Self {
             circuit,
             states,
@@ -135,6 +141,16 @@ impl CheckpointTable {
             m.replay_gates
                 .record((self.circuit.len() - j * self.interval) as u64);
         }
+        let _trace = trace::span_detail_args(
+            "sim.replay",
+            &[
+                ("insertions", trace::ArgValue::U64(insertions.len() as u64)),
+                (
+                    "replay_gates",
+                    trace::ArgValue::U64((self.circuit.len() - j * self.interval) as u64),
+                ),
+            ],
+        );
         let mut state = self.states[j].clone();
         let mut pending = insertions.iter().peekable();
         for (i, gate) in self

@@ -131,6 +131,10 @@ impl ShotSampler {
             m.sample_batch_shots.add(shots);
             m.sample_batch_ns.span()
         });
+        let _trace = qfab_telemetry::trace::span_detail_args(
+            "sim.sample_counts",
+            &[("shots", qfab_telemetry::trace::ArgValue::U64(shots))],
+        );
         let probs = state.probabilities();
         let table = AliasTable::new(&probs);
         let mut counts = Counts::new();

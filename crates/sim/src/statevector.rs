@@ -25,6 +25,7 @@ use qfab_circuit::gate::{Gate, GateMatrix};
 use qfab_math::bits::{dim, insert_three_zero_bits, insert_two_zero_bits};
 use qfab_math::complex::Complex64;
 use qfab_math::matrix::{Mat2, Mat4, Mat8};
+use qfab_telemetry::trace;
 use rayon::prelude::*;
 
 /// States with at least this many amplitudes use parallel kernels (when
@@ -162,6 +163,10 @@ impl StateVector {
             "circuit needs {} qubits, state has {}",
             circuit.num_qubits(),
             self.n
+        );
+        let _trace = trace::span_detail_args(
+            "sim.apply_circuit",
+            &[("gates", trace::ArgValue::U64(circuit.len() as u64))],
         );
         for gate in circuit.gates() {
             self.apply_gate(gate);

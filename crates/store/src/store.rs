@@ -55,6 +55,7 @@ impl Store {
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         let _span = telemetry::histogram("store.open_ns").span();
+        let _trace = telemetry::trace::span("store.open");
         std::fs::create_dir_all(&dir)?;
 
         let mut recovery = RecoveryReport::default();
@@ -140,6 +141,13 @@ impl Store {
     pub fn put(&mut self, key: Key, value: impl Into<Vec<u8>>) -> std::io::Result<()> {
         let value = value.into();
         let framed = encode_record(&key, &value);
+        let _trace = telemetry::trace::span_detail_args(
+            "store.wal.append",
+            &[(
+                "bytes",
+                telemetry::trace::ArgValue::U64(framed.len() as u64),
+            )],
+        );
         self.journal.write_all(&framed)?;
         self.journal_bytes += framed.len() as u64;
         self.map.insert(key, value);
@@ -157,6 +165,13 @@ impl Store {
     /// and resets the journal.
     pub fn compact(&mut self) -> std::io::Result<()> {
         let _span = telemetry::histogram("store.compact_ns").span();
+        let trace_span = telemetry::trace::span_args(
+            "store.compact",
+            &[(
+                "live_keys",
+                telemetry::trace::ArgValue::U64(self.map.len() as u64),
+            )],
+        );
         let tmp = self.dir.join(INDEX_TMP);
         {
             let mut f = File::create(&tmp)?;
@@ -177,6 +192,7 @@ impl Store {
         self.journal_bytes = 0;
         telemetry::counter("store.compactions").incr();
         telemetry::gauge("store.journal_bytes").set(0);
+        drop(trace_span);
         Ok(())
     }
 }

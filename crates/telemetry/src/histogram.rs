@@ -243,6 +243,68 @@ mod tests {
     }
 
     #[test]
+    fn quantile_single_sample_is_exact_for_every_q() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Summary);
+        let h = Histogram::new();
+        h.record(42);
+        // With one sample every quantile is that sample, including the
+        // clamped out-of-range requests.
+        for q in [-0.5, 0.0, 0.25, 0.5, 0.99, 1.0, 2.0] {
+            assert_eq!(h.quantile(q), 42, "q={q}");
+        }
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn quantile_extremes_clamp_to_recorded_min_max() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Summary);
+        let h = Histogram::new();
+        for v in [3, 900, 17] {
+            h.record(v);
+        }
+        // q<=0 and q>=1 bypass bucket interpolation entirely.
+        assert_eq!(h.quantile(-1.0), 3);
+        assert_eq!(h.quantile(0.0), 3);
+        assert_eq!(h.quantile(1.0), 900);
+        assert_eq!(h.quantile(1.5), 900);
+        // Interior estimates can never escape the recorded range.
+        for q in [0.01, 0.5, 0.99] {
+            let est = h.quantile(q);
+            assert!((3..=900).contains(&est), "q={q}: {est}");
+        }
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn quantile_bucket_boundary_samples_stay_within_factor_two() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Summary);
+        let h = Histogram::new();
+        // Powers of two sit on bucket-open boundaries — the worst case
+        // for the power-of-two buckets. The estimate may land anywhere
+        // inside the bucket but never outside [v, 2v).
+        let samples = [1u64, 2, 4, 8];
+        for &v in &samples {
+            h.record(v);
+        }
+        for (i, &v) in samples.iter().enumerate() {
+            let q = (i + 1) as f64 / samples.len() as f64;
+            let est = h.quantile(q);
+            assert!(
+                est >= v && est < 2 * v.max(1),
+                "q={q}: estimate {est} outside [{v}, {})",
+                2 * v
+            );
+        }
+        // The extreme quantile is exact even mid-bucket.
+        assert_eq!(h.quantile(1.0), 8);
+        assert_eq!(h.quantile(0.0), 1);
+        set_mode(Mode::Off);
+    }
+
+    #[test]
     fn reset_clears_everything() {
         let _guard = exclusive_test_lock();
         set_mode(Mode::Summary);

@@ -609,6 +609,59 @@ mod tests {
     }
 
     #[test]
+    fn parse_round_trips_nested_escapes_and_unicode() {
+        // Escapes in keys and values at every nesting level, mixed with
+        // raw multi-byte UTF-8 (including an astral-plane scalar, which
+        // the encoder passes through as raw bytes rather than \u pairs).
+        let v = Json::Obj(vec![
+            (
+                "path\\with\"quotes".into(),
+                Json::Arr(vec![
+                    Json::Str("line1\nline2\ttabbed".into()),
+                    Json::Obj(vec![
+                        ("κλειδί".into(), Json::Str("τιμή\u{1}\u{1f}".into())),
+                        ("crab".into(), Json::Str("🦀 \u{10348} done".into())),
+                    ]),
+                ]),
+            ),
+            (
+                "ctrl\u{8}\u{c}".into(),
+                Json::Str("backspace and formfeed round-trip".into()),
+            ),
+        ]);
+        let reparsed = Json::parse(&v.encode()).unwrap();
+        assert_eq!(reparsed, v);
+        // Stability under a second cycle: encode(parse(encode(x))) is
+        // byte-identical, so stored artifacts never drift on rewrite.
+        assert_eq!(reparsed.encode(), v.encode());
+        let pretty = Json::parse(&v.encode_pretty()).unwrap();
+        assert_eq!(pretty, v);
+    }
+
+    #[test]
+    fn parse_bmp_unicode_escapes_and_rejects_surrogates() {
+        // Hand-written \uXXXX escapes (the encoder itself only emits
+        // them for control characters) decode to their scalar values.
+        assert_eq!(
+            Json::parse(r#""\u03ba\u03b2\u03c4""#).unwrap(),
+            Json::Str("\u{3ba}\u{3b2}\u{3c4}".into())
+        );
+        assert_eq!(
+            Json::parse(r#""A\u000a\u0009""#).unwrap(),
+            Json::Str("A\n\t".into())
+        );
+        // Surrogate code points are not scalar values; the parser
+        // rejects them (lone or paired) instead of emitting invalid
+        // UTF-8 — astral characters must arrive as raw UTF-8 bytes.
+        assert!(Json::parse(r#""\ud83e""#).is_err());
+        assert!(Json::parse(r#""\ud83e\udd80""#).is_err());
+        assert_eq!(
+            Json::parse("\"\u{1f980}\"").unwrap(),
+            Json::Str("\u{1f980}".into())
+        );
+    }
+
+    #[test]
     fn parse_numbers() {
         assert_eq!(Json::parse("0").unwrap(), Json::U64(0));
         assert_eq!(

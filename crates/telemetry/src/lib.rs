@@ -19,6 +19,10 @@
 //!   sorted, serializable [`Snapshot`], the payload of the JSON *run
 //!   manifest* ([`manifest::Manifest`]) written next to experiment
 //!   outputs.
+//! * **Traces** ([`trace`]) are ring-buffered begin/end/instant event
+//!   timelines exported as Chrome `trace_event` JSON (Perfetto-loadable),
+//!   with an always-on crash flight recorder. Gated by `QFAB_TRACE`,
+//!   independent of the metric [`Mode`].
 //!
 //! ## Runtime switch
 //!
@@ -60,6 +64,7 @@ pub mod json;
 pub mod manifest;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use histogram::{Histogram, HistogramSummary};
 pub use json::{Json, JsonParseError};
@@ -68,6 +73,7 @@ pub use registry::{
     counter, gauge, histogram, reset, snapshot, Counter, Gauge, MetricValue, Snapshot,
 };
 pub use span::Span;
+pub use trace::{TraceEvent, TraceMode, TracePhase, TraceSpan};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};

@@ -1,0 +1,750 @@
+//! Structured event tracing with Chrome `trace_event` export and a
+//! crash flight recorder.
+//!
+//! Where the metric registry answers "how much did we do", tracing
+//! answers "where did the wall clock go *over time*": every
+//! instrumented phase emits begin/end (or instant) events carrying a
+//! monotonic microsecond timestamp, a small process-unique thread id,
+//! and up to [`MAX_ARGS`] key/value arguments — all `Copy`, so the hot
+//! path never allocates.
+//!
+//! ## Runtime switch
+//!
+//! The global [`TraceMode`] comes from `QFAB_TRACE`:
+//!
+//! * unset / `off` — every trace call reduces to one relaxed atomic
+//!   load (asserted by the workspace `no_alloc` test);
+//! * `on` — full tracing into a bounded ring buffer, exported to
+//!   `qfab_trace.json` in the current directory;
+//! * `on:<path>` — same, exported to `<path>`.
+//!
+//! Two event classes exist: *coarse* points ([`span`], [`instant`]) fire
+//! whenever tracing is armed at all, while *hot-path* points
+//! ([`span_detail`], [`instant_detail`] — per-trajectory-replay, per
+//! WAL append) fire only under full tracing, so the always-on flight
+//! recorder stays cheap.
+//!
+//! ## Ring buffers
+//!
+//! Events land in fixed-capacity rings that overwrite their oldest
+//! entry when full (the `dropped` count is reported in the export), so
+//! memory use is bounded no matter how long a sweep runs. The *trace
+//! ring* (default [`DEFAULT_RING_CAPACITY`] events) feeds the Chrome
+//! JSON exporter; the small *flight ring* ([`FLIGHT_RING_CAPACITY`]
+//! events) always holds the most recent coarse spans and is dumped to
+//! `<id>.flightrec.json` by a panic hook ([`install_flight_recorder`])
+//! so a crashed sweep leaves a timeline of its final moments behind.
+//!
+//! ## Export format
+//!
+//! [`to_chrome_json`] emits the Chrome `trace_event` JSON array format
+//! (`{"traceEvents":[...]}` with `B`/`E`/`i` phases and microsecond
+//! timestamps), loadable directly in [Perfetto](https://ui.perfetto.dev)
+//! or `chrome://tracing`, and parseable by this crate's own
+//! [`Json::parse`] for the `repro trace-report` analyzer.
+
+use crate::json::Json;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Instant;
+
+/// How much the tracing layer records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum TraceMode {
+    /// Record nothing; every trace call is one relaxed atomic load.
+    Off = 0,
+    /// Coarse spans into the flight ring only (crash forensics).
+    Flight = 1,
+    /// Everything, including hot-path events, into the trace ring
+    /// (and the flight ring).
+    Full = 2,
+}
+
+/// Default trace-ring capacity in events (~8 MiB of events).
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// Flight-recorder ring capacity: the last N coarse span events.
+pub const FLIGHT_RING_CAPACITY: usize = 512;
+
+/// Maximum arguments one event can carry.
+pub const MAX_ARGS: usize = 3;
+
+/// An argument value. `Str` is `&'static` so events stay `Copy` and
+/// recording stays allocation-free.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer (`-1` conventionally encodes "full" AQFT depth).
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A static string.
+    Str(&'static str),
+}
+
+/// One named argument.
+pub type Arg = (&'static str, ArgValue);
+
+/// The event kind, mirroring Chrome's `ph` field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TracePhase {
+    /// Span start (`"B"`).
+    Begin,
+    /// Span end (`"E"`).
+    End,
+    /// A point event (`"i"`).
+    Instant,
+}
+
+impl TracePhase {
+    fn chrome(self) -> &'static str {
+        match self {
+            TracePhase::Begin => "B",
+            TracePhase::End => "E",
+            TracePhase::Instant => "i",
+        }
+    }
+}
+
+/// One trace event. `Copy` and fixed-size by construction.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Event (span) name.
+    pub name: &'static str,
+    /// Begin / end / instant.
+    pub phase: TracePhase,
+    /// Microseconds since the process trace epoch (monotonic).
+    pub ts_us: u64,
+    /// Small process-unique id of the recording thread.
+    pub tid: u64,
+    /// Up to [`MAX_ARGS`] arguments (leading `Some`s).
+    pub args: [Option<Arg>; MAX_ARGS],
+}
+
+/// A fixed-capacity ring of events: push overwrites the oldest entry
+/// once `capacity` is reached and counts what it dropped.
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Next overwrite position once the buffer is full.
+    head: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        Self {
+            // Lazily grown up to `capacity` — creating a ring (e.g. the
+            // never-armed flight ring of an Off-mode process) is free.
+            buf: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events in chronological (push) order.
+    fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.dropped = 0;
+    }
+}
+
+struct TraceState {
+    epoch: Instant,
+    ring: Mutex<Ring>,
+    flight: Mutex<Ring>,
+    out_path: Mutex<Option<PathBuf>>,
+    flight_path: Mutex<Option<PathBuf>>,
+}
+
+fn state() -> &'static TraceState {
+    static STATE: OnceLock<TraceState> = OnceLock::new();
+    STATE.get_or_init(|| TraceState {
+        epoch: Instant::now(),
+        ring: Mutex::new(Ring::new(DEFAULT_RING_CAPACITY)),
+        flight: Mutex::new(Ring::new(FLIGHT_RING_CAPACITY)),
+        out_path: Mutex::new(None),
+        flight_path: Mutex::new(None),
+    })
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const TRACE_UNSET: u8 = u8::MAX;
+static TRACE_MODE: AtomicU8 = AtomicU8::new(TRACE_UNSET);
+
+/// Parses a `QFAB_TRACE` value into a mode and optional output path.
+/// Pure — exposed for tests; [`trace_mode`] applies it to the process.
+pub fn parse_trace_env(value: &str) -> (TraceMode, Option<&str>) {
+    match value {
+        "on" | "1" => (TraceMode::Full, None),
+        v => match v.strip_prefix("on:") {
+            Some(path) if !path.is_empty() => (TraceMode::Full, Some(path)),
+            _ => (TraceMode::Off, None),
+        },
+    }
+}
+
+fn init_from_env() -> TraceMode {
+    let raw = std::env::var("QFAB_TRACE").unwrap_or_default();
+    let (mode, path) = parse_trace_env(&raw);
+    if let Some(p) = path {
+        *lock(&state().out_path) = Some(PathBuf::from(p));
+    }
+    TRACE_MODE.store(mode as u8, Ordering::Relaxed);
+    mode
+}
+
+/// The active trace mode (initialized from `QFAB_TRACE` on first call).
+#[inline]
+pub fn trace_mode() -> TraceMode {
+    match TRACE_MODE.load(Ordering::Relaxed) {
+        0 => TraceMode::Off,
+        1 => TraceMode::Flight,
+        2 => TraceMode::Full,
+        _ => init_from_env(),
+    }
+}
+
+/// Overrides the trace mode for the whole process.
+pub fn set_trace_mode(mode: TraceMode) {
+    TRACE_MODE.store(mode as u8, Ordering::Relaxed);
+}
+
+/// Whether full tracing (trace-ring export) is active.
+#[inline]
+pub fn trace_on() -> bool {
+    trace_mode() == TraceMode::Full
+}
+
+/// Whether anything at all is recording (flight recorder or full).
+#[inline]
+fn armed() -> bool {
+    trace_mode() != TraceMode::Off
+}
+
+/// Arms the flight recorder without enabling full tracing (no-op if
+/// tracing is already on).
+pub fn arm_flight_recorder() {
+    if trace_mode() == TraceMode::Off {
+        set_trace_mode(TraceMode::Flight);
+    }
+}
+
+/// Enables full tracing with an explicit trace-ring capacity
+/// (replacing any previously buffered events).
+pub fn enable_full(capacity: usize) {
+    let st = state();
+    *lock(&st.ring) = Ring::new(capacity);
+    set_trace_mode(TraceMode::Full);
+}
+
+/// Clears both rings (test isolation; mode is unchanged).
+pub fn reset() {
+    let st = state();
+    lock(&st.ring).clear();
+    lock(&st.flight).clear();
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+fn current_tid() -> u64 {
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+fn pack_args(args: &[Arg]) -> [Option<Arg>; MAX_ARGS] {
+    let mut packed = [None; MAX_ARGS];
+    for (slot, arg) in packed.iter_mut().zip(args) {
+        *slot = Some(*arg);
+    }
+    packed
+}
+
+fn record(name: &'static str, phase: TracePhase, args: &[Arg]) {
+    let st = state();
+    let event = TraceEvent {
+        name,
+        phase,
+        ts_us: u64::try_from(st.epoch.elapsed().as_micros()).unwrap_or(u64::MAX),
+        tid: current_tid(),
+        args: pack_args(args),
+    };
+    if trace_on() {
+        lock(&st.ring).push(event);
+    }
+    lock(&st.flight).push(event);
+}
+
+/// An RAII trace span: records a begin event now and the matching end
+/// event on drop. Inert (one enum read on drop) when tracing is off.
+#[derive(Debug)]
+#[must_use = "a trace span records its end on drop; binding it to `_` ends it immediately"]
+pub struct TraceSpan {
+    name: Option<&'static str>,
+}
+
+impl TraceSpan {
+    /// An inert span (never records).
+    pub fn disabled() -> Self {
+        Self { name: None }
+    }
+
+    /// Ends the span now, attaching `args` to the end event (for values
+    /// only known at completion, e.g. a pass's gate delta).
+    pub fn end_with_args(mut self, args: &[Arg]) {
+        if let Some(name) = self.name.take() {
+            record(name, TracePhase::End, args);
+        }
+    }
+}
+
+impl Drop for TraceSpan {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(name) = self.name.take() {
+            record(name, TracePhase::End, &[]);
+        }
+    }
+}
+
+fn enter(name: &'static str, active: bool, args: &[Arg]) -> TraceSpan {
+    if !active {
+        return TraceSpan { name: None };
+    }
+    record(name, TracePhase::Begin, args);
+    TraceSpan { name: Some(name) }
+}
+
+/// Starts a coarse span (records whenever tracing is armed at all).
+#[inline]
+pub fn span(name: &'static str) -> TraceSpan {
+    enter(name, armed(), &[])
+}
+
+/// Starts a coarse span whose begin event carries `args` (at most
+/// [`MAX_ARGS`]; extras are silently dropped).
+#[inline]
+pub fn span_args(name: &'static str, args: &[Arg]) -> TraceSpan {
+    enter(name, armed(), args)
+}
+
+/// Starts a hot-path span: records only under full tracing, so the
+/// always-on flight recorder never pays for per-shot events.
+#[inline]
+pub fn span_detail(name: &'static str) -> TraceSpan {
+    enter(name, trace_on(), &[])
+}
+
+/// [`span_detail`] with begin-event arguments.
+#[inline]
+pub fn span_detail_args(name: &'static str, args: &[Arg]) -> TraceSpan {
+    enter(name, trace_on(), args)
+}
+
+/// Records a coarse instant event.
+#[inline]
+pub fn instant(name: &'static str) {
+    if armed() {
+        record(name, TracePhase::Instant, &[]);
+    }
+}
+
+/// Records a coarse instant event with arguments.
+#[inline]
+pub fn instant_args(name: &'static str, args: &[Arg]) {
+    if armed() {
+        record(name, TracePhase::Instant, args);
+    }
+}
+
+/// Records a hot-path instant event (full tracing only).
+#[inline]
+pub fn instant_detail_args(name: &'static str, args: &[Arg]) {
+    if trace_on() {
+        record(name, TracePhase::Instant, args);
+    }
+}
+
+fn arg_json(value: ArgValue) -> Json {
+    match value {
+        ArgValue::U64(v) => Json::U64(v),
+        ArgValue::I64(v) => Json::I64(v),
+        ArgValue::F64(v) => Json::F64(v),
+        ArgValue::Str(v) => Json::Str(v.to_string()),
+    }
+}
+
+fn event_json(event: &TraceEvent, pid: u64) -> Json {
+    let mut obj = vec![
+        ("name".to_string(), Json::Str(event.name.to_string())),
+        ("cat".to_string(), Json::Str("qfab".to_string())),
+        (
+            "ph".to_string(),
+            Json::Str(event.phase.chrome().to_string()),
+        ),
+        ("ts".to_string(), Json::U64(event.ts_us)),
+        ("pid".to_string(), Json::U64(pid)),
+        ("tid".to_string(), Json::U64(event.tid)),
+    ];
+    if event.phase == TracePhase::Instant {
+        // Thread-scoped instant, per the trace_event spec.
+        obj.push(("s".to_string(), Json::Str("t".to_string())));
+    }
+    let args: Vec<(String, Json)> = event
+        .args
+        .iter()
+        .flatten()
+        .map(|(k, v)| (k.to_string(), arg_json(*v)))
+        .collect();
+    if !args.is_empty() {
+        obj.push(("args".to_string(), Json::Obj(args)));
+    }
+    Json::Obj(obj)
+}
+
+/// Encodes events as a Chrome `trace_event` JSON object (the
+/// `traceEvents` array format Perfetto and `chrome://tracing` load).
+pub fn to_chrome_json(events: &[TraceEvent], dropped: u64) -> Json {
+    let pid = std::process::id() as u64;
+    Json::Obj(vec![
+        (
+            "traceEvents".to_string(),
+            Json::Arr(events.iter().map(|e| event_json(e, pid)).collect()),
+        ),
+        ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+        (
+            "otherData".to_string(),
+            Json::Obj(vec![
+                ("schema".to_string(), Json::Str("qfab.trace.v1".to_string())),
+                ("dropped".to_string(), Json::U64(dropped)),
+            ]),
+        ),
+    ])
+}
+
+/// Snapshots the trace ring: `(events in chronological order, dropped)`.
+pub fn snapshot_events() -> (Vec<TraceEvent>, u64) {
+    let ring = lock(&state().ring);
+    (ring.snapshot(), ring.dropped)
+}
+
+/// Writes the trace ring as Chrome trace JSON to `path`.
+pub fn write_trace(path: &Path) -> std::io::Result<()> {
+    let (events, dropped) = snapshot_events();
+    std::fs::write(path, to_chrome_json(&events, dropped).encode_pretty())
+}
+
+/// Writes the trace to the `QFAB_TRACE=on:<path>` destination (or
+/// `qfab_trace.json` when none was given) and returns the path.
+/// `Ok(None)` when full tracing is not active.
+pub fn write_configured_trace() -> std::io::Result<Option<PathBuf>> {
+    if !trace_on() {
+        return Ok(None);
+    }
+    let path = lock(&state().out_path)
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("qfab_trace.json"));
+    write_trace(&path)?;
+    Ok(Some(path))
+}
+
+/// Installs (once) a panic hook that dumps the flight ring to
+/// `dump_path`, arms the flight recorder, and retargets subsequent
+/// dumps at `dump_path`. The previous panic hook still runs.
+pub fn install_flight_recorder(dump_path: &Path) {
+    *lock(&state().flight_path) = Some(dump_path.to_path_buf());
+    arm_flight_recorder();
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let path = lock(&state().flight_path).clone();
+            if let Some(path) = path {
+                let message = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                let location = info
+                    .location()
+                    .map(|l| format!("{}:{}:{}", l.file(), l.line(), l.column()));
+                let _ = dump_flight(&path, Some((&message, location.as_deref())));
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// Dumps the flight ring to `path` as Chrome trace JSON extended with a
+/// `flightRecorder` block (`schema qfab.flightrec.v1`, optional panic
+/// message/location). Used by the panic hook; callable directly for
+/// tests and graceful shutdown paths.
+pub fn dump_flight(path: &Path, panic: Option<(&str, Option<&str>)>) -> std::io::Result<()> {
+    let (events, dropped) = {
+        // try_lock: the panicking thread may itself hold the ring lock
+        // (a panic mid-`record`); a partial dump beats a deadlock.
+        match state().flight.try_lock() {
+            Ok(ring) => (ring.snapshot(), ring.dropped),
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                let ring = e.into_inner();
+                (ring.snapshot(), ring.dropped)
+            }
+            Err(std::sync::TryLockError::WouldBlock) => (Vec::new(), 0),
+        }
+    };
+    let mut doc = match to_chrome_json(&events, dropped) {
+        Json::Obj(fields) => fields,
+        _ => unreachable!("to_chrome_json returns an object"),
+    };
+    let mut rec = vec![(
+        "schema".to_string(),
+        Json::Str("qfab.flightrec.v1".to_string()),
+    )];
+    if let Some((message, location)) = panic {
+        rec.push((
+            "panic".to_string(),
+            Json::Obj(vec![
+                ("message".to_string(), Json::Str(message.to_string())),
+                (
+                    "location".to_string(),
+                    location.map_or(Json::Null, |l| Json::Str(l.to_string())),
+                ),
+            ]),
+        ));
+    }
+    doc.push(("flightRecorder".to_string(), Json::Obj(rec)));
+    std::fs::write(path, Json::Obj(doc).encode_pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exclusive_test_lock;
+
+    #[test]
+    fn parse_trace_env_values() {
+        assert_eq!(parse_trace_env(""), (TraceMode::Off, None));
+        assert_eq!(parse_trace_env("off"), (TraceMode::Off, None));
+        assert_eq!(parse_trace_env("on"), (TraceMode::Full, None));
+        assert_eq!(
+            parse_trace_env("on:/tmp/t.json"),
+            (TraceMode::Full, Some("/tmp/t.json"))
+        );
+        assert_eq!(parse_trace_env("on:"), (TraceMode::Off, None));
+        assert_eq!(parse_trace_env("banana"), (TraceMode::Off, None));
+    }
+
+    #[test]
+    fn off_mode_records_nothing() {
+        let _guard = exclusive_test_lock();
+        set_trace_mode(TraceMode::Off);
+        reset();
+        drop(span("test.off"));
+        drop(span_args("test.off.args", &[("k", ArgValue::U64(1))]));
+        drop(span_detail("test.off.hot"));
+        instant("test.off.i");
+        instant_args("test.off.ia", &[("k", ArgValue::U64(2))]);
+        instant_detail_args("test.off.hi", &[]);
+        let (events, dropped) = snapshot_events();
+        assert!(events.is_empty());
+        assert_eq!(dropped, 0);
+        assert!(lock(&state().flight).snapshot().is_empty());
+    }
+
+    #[test]
+    fn flight_mode_skips_hot_path_events() {
+        let _guard = exclusive_test_lock();
+        set_trace_mode(TraceMode::Flight);
+        reset();
+        drop(span("test.flight.coarse"));
+        drop(span_detail("test.flight.hot"));
+        instant_detail_args("test.flight.hot_i", &[]);
+        set_trace_mode(TraceMode::Off);
+        // Trace ring untouched (full tracing never armed) …
+        assert!(snapshot_events().0.is_empty());
+        // … flight ring holds exactly the coarse begin/end pair.
+        let flight = lock(&state().flight).snapshot();
+        assert_eq!(flight.len(), 2);
+        assert!(flight.iter().all(|e| e.name == "test.flight.coarse"));
+        reset();
+    }
+
+    #[test]
+    fn spans_pair_up_with_monotonic_timestamps_and_args() {
+        let _guard = exclusive_test_lock();
+        enable_full(1024);
+        reset();
+        {
+            let outer = span_args(
+                "test.outer",
+                &[("rate", ArgValue::F64(0.01)), ("depth", ArgValue::I64(-1))],
+            );
+            drop(span("test.inner"));
+            instant_args("test.mark", &[("n", ArgValue::U64(7))]);
+            outer.end_with_args(&[("gates", ArgValue::U64(42))]);
+        }
+        set_trace_mode(TraceMode::Off);
+        let (events, dropped) = snapshot_events();
+        assert_eq!(dropped, 0);
+        let names: Vec<_> = events.iter().map(|e| (e.name, e.phase)).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("test.outer", TracePhase::Begin),
+                ("test.inner", TracePhase::Begin),
+                ("test.inner", TracePhase::End),
+                ("test.mark", TracePhase::Instant),
+                ("test.outer", TracePhase::End),
+            ]
+        );
+        assert!(events.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+        assert!(events.iter().all(|e| e.tid == events[0].tid));
+        assert_eq!(events[0].args[0], Some(("rate", ArgValue::F64(0.01))));
+        assert_eq!(events[0].args[1], Some(("depth", ArgValue::I64(-1))));
+        assert_eq!(events[4].args[0], Some(("gates", ArgValue::U64(42))));
+        reset();
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut ring = Ring::new(3);
+        let mk = |i: u64| TraceEvent {
+            name: "e",
+            phase: TracePhase::Instant,
+            ts_us: i,
+            tid: 1,
+            args: [None; MAX_ARGS],
+        };
+        for i in 0..5 {
+            ring.push(mk(i));
+        }
+        assert_eq!(ring.dropped, 2);
+        let ts: Vec<u64> = ring.snapshot().iter().map(|e| e.ts_us).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn chrome_export_parses_and_has_required_fields() {
+        let events = vec![
+            TraceEvent {
+                name: "phase.a",
+                phase: TracePhase::Begin,
+                ts_us: 10,
+                tid: 1,
+                args: pack_args(&[("shots", ArgValue::U64(64))]),
+            },
+            TraceEvent {
+                name: "phase.a",
+                phase: TracePhase::End,
+                ts_us: 25,
+                tid: 1,
+                args: [None; MAX_ARGS],
+            },
+            TraceEvent {
+                name: "mark",
+                phase: TracePhase::Instant,
+                ts_us: 30,
+                tid: 2,
+                args: [None; MAX_ARGS],
+            },
+        ];
+        let doc = to_chrome_json(&events, 4);
+        let parsed = Json::parse(&doc.encode_pretty()).unwrap();
+        let Some(Json::Arr(items)) = parsed.get("traceEvents") else {
+            panic!("missing traceEvents array");
+        };
+        assert_eq!(items.len(), 3);
+        for item in items {
+            for key in ["name", "ph", "ts", "pid", "tid"] {
+                assert!(item.get(key).is_some(), "missing {key}: {item}");
+            }
+        }
+        assert_eq!(items[0].get("ph").and_then(Json::as_str), Some("B"));
+        assert_eq!(items[1].get("ph").and_then(Json::as_str), Some("E"));
+        assert_eq!(items[2].get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(items[2].get("s").and_then(Json::as_str), Some("t"));
+        assert_eq!(
+            items[0]
+                .get("args")
+                .and_then(|a| a.get("shots"))
+                .and_then(Json::as_u64),
+            Some(64)
+        );
+        assert_eq!(
+            parsed
+                .get("otherData")
+                .and_then(|o| o.get("dropped"))
+                .and_then(Json::as_u64),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn flight_dump_writes_panic_block() {
+        let _guard = exclusive_test_lock();
+        set_trace_mode(TraceMode::Flight);
+        reset();
+        drop(span("test.dump.work"));
+        set_trace_mode(TraceMode::Off);
+        let path = std::env::temp_dir().join(format!(
+            "qfab_flight_test_{}.flightrec.json",
+            std::process::id()
+        ));
+        dump_flight(&path, Some(("boom", Some("file.rs:1:1")))).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        let rec = doc.get("flightRecorder").expect("flightRecorder block");
+        assert_eq!(
+            rec.get("schema").and_then(Json::as_str),
+            Some("qfab.flightrec.v1")
+        );
+        assert_eq!(
+            rec.get("panic")
+                .and_then(|p| p.get("message"))
+                .and_then(Json::as_str),
+            Some("boom")
+        );
+        let Some(Json::Arr(items)) = doc.get("traceEvents") else {
+            panic!("missing traceEvents");
+        };
+        assert_eq!(items.len(), 2, "begin+end of test.dump.work");
+        let _ = std::fs::remove_file(&path);
+        reset();
+    }
+
+    #[test]
+    fn distinct_threads_get_distinct_tids() {
+        let a = current_tid();
+        let b = std::thread::spawn(current_tid).join().unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,6 +1,8 @@
 //! Guard: with telemetry off, the entire instrumentation fast path —
 //! handle lookup, counter/gauge/histogram recording, span creation and
-//! drop — performs zero heap allocations.
+//! drop — performs zero heap allocations. The same holds for every
+//! trace point with `QFAB_TRACE` unset: off-mode tracing is one relaxed
+//! atomic load, no allocation, no lock.
 //!
 //! This file holds exactly one test so no concurrent test can allocate
 //! while the window is being measured.
@@ -27,10 +29,14 @@ static GLOBAL: CountingAllocator = CountingAllocator;
 
 #[test]
 fn disabled_path_does_no_allocation() {
+    use qfab_telemetry::trace::{self, ArgValue};
+
     qfab_telemetry::set_mode(qfab_telemetry::Mode::Off);
-    // Warm up the mode cache (the very first query may read the
+    trace::set_trace_mode(trace::TraceMode::Off);
+    // Warm up the mode caches (the very first query may read the
     // environment, which allocates) before opening the window.
     assert!(!qfab_telemetry::enabled());
+    assert!(!trace::trace_on());
 
     let before = ALLOCATIONS.load(Ordering::SeqCst);
     for i in 0..1_000u64 {
@@ -43,6 +49,16 @@ fn disabled_path_does_no_allocation() {
         h.record(i);
         drop(h.span());
         drop(h.span_detail());
+        drop(trace::span("noalloc.span"));
+        drop(trace::span_args("noalloc.span", &[("i", ArgValue::U64(i))]));
+        drop(trace::span_detail("noalloc.span"));
+        drop(trace::span_detail_args(
+            "noalloc.span",
+            &[("i", ArgValue::U64(i))],
+        ));
+        trace::instant("noalloc.instant");
+        trace::instant_args("noalloc.instant", &[("i", ArgValue::U64(i))]);
+        trace::instant_detail_args("noalloc.instant", &[("i", ArgValue::U64(i))]);
     }
     let after = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(

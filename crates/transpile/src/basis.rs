@@ -20,6 +20,13 @@ pub enum Basis {
 /// global phase for [`Basis::Ibm`].
 pub fn transpile(circuit: &Circuit, basis: Basis) -> Circuit {
     let _span = qfab_telemetry::histogram("transpile.lower_ns").span();
+    let trace_span = qfab_telemetry::trace::span_args(
+        "transpile.lower",
+        &[(
+            "gates_in",
+            qfab_telemetry::trace::ArgValue::U64(circuit.len() as u64),
+        )],
+    );
     let mut out = Circuit::with_capacity(circuit.num_qubits(), circuit.len() * 3);
     for gate in circuit.gates() {
         lower_gate(&mut out, gate, basis);
@@ -29,6 +36,10 @@ pub fn transpile(circuit: &Circuit, basis: Basis) -> Circuit {
         qfab_telemetry::counter("transpile.lower.gates_in").add(circuit.len() as u64);
         qfab_telemetry::counter("transpile.lower.gates_out").add(out.len() as u64);
     }
+    trace_span.end_with_args(&[(
+        "gates_out",
+        qfab_telemetry::trace::ArgValue::U64(out.len() as u64),
+    )]);
     out
 }
 

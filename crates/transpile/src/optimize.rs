@@ -19,6 +19,7 @@
 
 use qfab_circuit::{Circuit, Gate};
 use qfab_telemetry as telemetry;
+use qfab_telemetry::trace;
 use std::f64::consts::PI;
 
 const ANGLE_TOL: f64 = 1e-12;
@@ -43,6 +44,10 @@ pub struct OptimizeReport {
 /// Applies the peephole passes until no further rewrite fires.
 pub fn optimize(circuit: &Circuit) -> (Circuit, OptimizeReport) {
     let _span = telemetry::histogram("transpile.optimize_ns").span();
+    let _trace = trace::span_args(
+        "transpile.optimize",
+        &[("gates_in", trace::ArgValue::U64(circuit.len() as u64))],
+    );
     let mut report = OptimizeReport {
         gates_before: circuit.len(),
         ..OptimizeReport::default()
@@ -51,7 +56,16 @@ pub fn optimize(circuit: &Circuit) -> (Circuit, OptimizeReport) {
     loop {
         report.passes += 1;
         let pass_span = telemetry::histogram("transpile.optimize.pass_ns").span_detail();
+        let pass_trace = trace::span_args(
+            "transpile.optimize.pass",
+            &[("pass", trace::ArgValue::U64(report.passes as u64))],
+        );
+        let gates_before_pass = current.len();
         let (next, changed) = one_pass(&current, &mut report);
+        pass_trace.end_with_args(&[(
+            "gate_delta",
+            trace::ArgValue::I64(next.len() as i64 - gates_before_pass as i64),
+        )]);
         drop(pass_span);
         current = next;
         if !changed || report.passes >= 32 {
