@@ -2,11 +2,23 @@
 //! foundation every figure's cost rests on.
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
-use qfab_circuit::Gate;
+use qfab_bench::fixed_mul_instance;
+use qfab_circuit::{Circuit, Gate};
 use qfab_core::{aqft, AqftDepth};
 use qfab_math::rng::Xoshiro256StarStar;
-use qfab_sim::{ShotSampler, StateVector};
+use qfab_sim::{FusedPlan, ShotSampler, StateVector};
 use std::hint::black_box;
+
+/// The full-depth QFM replay kernel: the transpiled circuit and its
+/// initial state, the exact hot path `repro bench` times.
+fn qfm_replay_kernel() -> (Circuit, StateVector) {
+    let inst = fixed_mul_instance();
+    let lowered = qfab_transpile::transpile(
+        &inst.circuit(AqftDepth::Full),
+        qfab_transpile::Basis::CxPlus1q,
+    );
+    (lowered, inst.initial_state())
+}
 
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernels");
@@ -84,6 +96,37 @@ fn bench_kernels(c: &mut Criterion) {
     }
     group2.finish();
 
+    // Trajectory replay: the fused execution plan vs the pre-fusion
+    // per-gate loop on the full-depth QFM kernel (the paper's costliest
+    // replay workload).
+    let mut group_replay = c.benchmark_group("replay");
+    group_replay.sample_size(10);
+    {
+        let (circuit, initial) = qfm_replay_kernel();
+        let plan = FusedPlan::compile(&circuit);
+        group_replay.bench_function("qfm_full/fused", |b| {
+            b.iter_batched(
+                || initial.clone(),
+                |mut s| {
+                    plan.apply(&mut s);
+                    black_box(s)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group_replay.bench_function("qfm_full/per_gate", |b| {
+            b.iter_batched(
+                || initial.clone(),
+                |mut s| {
+                    s.apply_circuit(&circuit);
+                    black_box(s)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group_replay.finish();
+
     // Measurement sampling paths.
     let mut group3 = c.benchmark_group("sampling");
     group3.sample_size(20);
@@ -159,8 +202,31 @@ fn emit_kernel_manifest() {
         }
     }
 
+    // Fused-replay timing on the full-depth QFM kernel, both paths —
+    // the machine-readable counterpart of `repro bench`.
+    const REPLAY_REPS: usize = 5;
+    let (circuit, initial) = qfm_replay_kernel();
+    let plan = FusedPlan::compile(&circuit);
+    let fused_hist = telemetry::histogram("bench.replay.qfm_full.fused_ns");
+    for _ in 0..REPLAY_REPS {
+        let mut s = initial.clone();
+        let span = fused_hist.span();
+        plan.apply(&mut s);
+        drop(span);
+        black_box(&s);
+    }
+    let per_gate_hist = telemetry::histogram("bench.replay.qfm_full.per_gate_ns");
+    for _ in 0..REPLAY_REPS {
+        let mut s = initial.clone();
+        let span = per_gate_hist.span();
+        s.apply_circuit(&circuit);
+        drop(span);
+        black_box(&s);
+    }
+
     let manifest = telemetry::Manifest::new("BENCH_kernels")
         .field("reps", REPS)
+        .field("replay_reps", REPLAY_REPS)
         .field(
             "sizes_qubits",
             telemetry::Json::Arr(vec![telemetry::Json::U64(14), telemetry::Json::U64(17)]),

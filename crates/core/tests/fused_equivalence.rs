@@ -1,0 +1,137 @@
+//! Property-style equivalence checks: fused execution plans must agree
+//! with per-gate application on the *real* circuits the pipeline runs —
+//! random QFA/QFM instances lowered to the CX + 1q basis.
+//!
+//! Seeded loops rather than `proptest` so the checks run in every
+//! environment (the offline proptest stub cannot generate values).
+
+use qfab_circuit::gate::Gate;
+use qfab_circuit::Circuit;
+use qfab_core::{AddInstance, AqftDepth, MulInstance};
+use qfab_math::rng::Xoshiro256StarStar;
+use qfab_sim::{CheckpointTable, FusedPlan, Insertion, StateVector};
+use qfab_transpile::{transpile, Basis};
+
+const TOL: f64 = 1e-10;
+
+fn assert_states_agree(fused: &StateVector, reference: &StateVector, label: &str) {
+    let (f, r) = (fused.amplitudes(), reference.amplitudes());
+    assert_eq!(f.len(), r.len(), "{label}: dimension mismatch");
+    for (i, (a, b)) in f.iter().zip(r).enumerate() {
+        let err = (*a - *b).norm();
+        assert!(
+            err <= TOL,
+            "{label}: amplitude {i} differs by {err:.3e} (fused {a}, reference {b})"
+        );
+    }
+}
+
+fn check_plan_matches_circuit(circuit: &Circuit, initial: &StateVector, label: &str) {
+    let plan = FusedPlan::compile(circuit);
+    let mut fused = initial.clone();
+    plan.apply(&mut fused);
+    let mut reference = initial.clone();
+    reference.apply_circuit(circuit);
+    assert_states_agree(&fused, &reference, label);
+}
+
+#[test]
+fn fused_matches_per_gate_on_random_transpiled_qfa() {
+    let mut rng = Xoshiro256StarStar::new(0xA11CE);
+    for seed in 0..6u64 {
+        let inst = AddInstance::random(4, 4, 1 + (seed as usize % 2), 2, &mut rng);
+        for depth in [
+            AqftDepth::Full,
+            AqftDepth::Limited(1),
+            AqftDepth::Limited(3),
+        ] {
+            let lowered = transpile(&inst.circuit(depth), Basis::CxPlus1q);
+            check_plan_matches_circuit(
+                &lowered,
+                &inst.initial_state(),
+                &format!("qfa seed={seed} depth={depth:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_matches_per_gate_on_random_transpiled_qfm() {
+    let mut rng = Xoshiro256StarStar::new(0xB0B);
+    for seed in 0..4u64 {
+        let inst = MulInstance::random(2, 2, 2, 1 + (seed as usize % 2), &mut rng);
+        for depth in [AqftDepth::Full, AqftDepth::Limited(2)] {
+            let lowered = transpile(&inst.circuit(depth), Basis::CxPlus1q);
+            check_plan_matches_circuit(
+                &lowered,
+                &inst.initial_state(),
+                &format!("qfm seed={seed} depth={depth:?}"),
+            );
+        }
+    }
+}
+
+/// End-to-end replay equivalence: a checkpoint table (which replays via
+/// the fused plan) must agree with a hand-rolled per-gate replay for
+/// random error-insertion patterns on a real transpiled QFA circuit.
+#[test]
+fn fused_replay_matches_per_gate_replay_with_random_insertions() {
+    let mut rng = Xoshiro256StarStar::new(0xC0FFEE);
+    let inst = AddInstance::random(3, 3, 1, 2, &mut rng);
+    let lowered = transpile(&inst.circuit(AqftDepth::Full), Basis::CxPlus1q);
+    let initial = inst.initial_state();
+    let table = CheckpointTable::build(lowered.clone(), &initial, 7);
+
+    let paulis = [|q| Gate::X(q), |q| Gate::Y(q), |q| Gate::Z(q)];
+    for trial in 0..24usize {
+        let count = trial % 4;
+        let mut sites: Vec<usize> = (0..count)
+            .map(|_| rng.next_bounded(lowered.len() as u64) as usize)
+            .collect();
+        sites.sort_unstable();
+        let insertions: Vec<Insertion> = sites
+            .iter()
+            .map(|&after_gate| Insertion {
+                after_gate,
+                gate: paulis[rng.next_bounded(3) as usize](
+                    rng.next_bounded(u64::from(lowered.num_qubits())) as u32,
+                ),
+            })
+            .collect();
+
+        let fused = table.run_with_insertions(&insertions);
+
+        let mut reference = initial.clone();
+        for (i, gate) in lowered.gates().iter().enumerate() {
+            reference.apply_gate(gate);
+            for ins in insertions.iter().filter(|ins| ins.after_gate == i) {
+                reference.apply_gate(&ins.gate);
+            }
+        }
+        assert_states_agree(&fused, &reference, &format!("replay trial={trial}"));
+    }
+}
+
+/// The acceptance bar for the fusion pass itself: transpiled arithmetic
+/// circuits are dominated by `rz·sx·rz·sx·rz` rotations and diagonal
+/// runs, so the plan must shrink the op stream substantially.
+#[test]
+fn full_depth_transpiled_plans_fuse_substantially() {
+    let mut rng = Xoshiro256StarStar::new(7);
+    let add = AddInstance::random(4, 4, 1, 1, &mut rng);
+    let mul = MulInstance::random(2, 2, 1, 1, &mut rng);
+    for (label, circuit) in [
+        ("qfa", add.circuit(AqftDepth::Full)),
+        ("qfm", mul.circuit(AqftDepth::Full)),
+    ] {
+        let lowered = transpile(&circuit, Basis::CxPlus1q);
+        let plan = FusedPlan::compile(&lowered);
+        assert!(
+            plan.fusion_ratio() >= 1.5,
+            "{label}: fusion ratio {:.2} below 1.5 ({} gates -> {} ops)",
+            plan.fusion_ratio(),
+            plan.num_gates(),
+            plan.num_ops()
+        );
+    }
+}

@@ -9,6 +9,7 @@
 //! repro superposition-drop [opts]   # §V quantitative claim
 //! repro --store-verify DIR          # integrity-check a result store
 //! repro trace-report FILE [--top N] # analyze a QFAB_TRACE capture
+//! repro bench [--trajectories N]    # fused vs per-gate replay timing
 //! repro bench-gate FILE [options]   # kernel-bench regression gate
 //!
 //! options:
@@ -55,6 +56,7 @@ const USAGE: &str = "\
 usage: repro <experiment> [options]
        repro --store-verify DIR
        repro trace-report FILE [--top N]
+       repro bench [--trajectories N] [--seed N]
        repro bench-gate FILE [--baseline FILE] [--threshold PCT]
 
 experiments: list | table1 | fig1 | fig2 | all | optimal-depth |
@@ -276,6 +278,7 @@ fn list() {
     println!("  dump qfa|qfm|qft <depth|full> [--basis logical|cx|ibm] [--qasm]");
     println!("                       print a circuit (diagram or OpenQASM)");
     println!("  trace-report FILE    wall-clock attribution for a QFAB_TRACE capture");
+    println!("  bench                time fused vs per-gate trajectory replay");
     println!("  bench-gate FILE      compare BENCH_kernels.json against the baseline");
 }
 
@@ -373,6 +376,43 @@ const DEFAULT_BASELINE: &str = "crates/bench/baseline/BENCH_kernels.json";
 /// Generous by design: the committed baseline comes from a different
 /// machine, so only order-of-magnitude regressions should trip CI.
 const DEFAULT_THRESHOLD_PCT: f64 = 300.0;
+
+fn replay_bench(args: &[String]) -> Result<(), String> {
+    let mut trajectories = 20usize;
+    let mut seed = DEFAULT_SEED;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trajectories" => {
+                trajectories = args
+                    .get(i + 1)
+                    .ok_or("--trajectories needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--trajectories: {e}"))?;
+                i += 2;
+            }
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+                i += 2;
+            }
+            other => return Err(format!("unknown bench option '{other}'")),
+        }
+    }
+    if trajectories == 0 {
+        return Err("--trajectories must be at least 1".into());
+    }
+    eprintln!("timing {trajectories} trajectory replays per kernel per path ...");
+    let results = qfab_experiments::replaybench::run(trajectories, seed);
+    print!(
+        "{}",
+        qfab_experiments::replaybench::format_report(&results, trajectories)
+    );
+    Ok(())
+}
 
 fn bench_gate(args: &[String]) -> Result<bool, String> {
     let current_path = args
@@ -482,6 +522,15 @@ fn main() -> ExitCode {
     }
     if command == "trace-report" {
         return match trace_report(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if command == "bench" {
+        return match replay_bench(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");

@@ -46,7 +46,11 @@ use std::sync::Mutex;
 /// the success metric. Every record written under the old salt is then
 /// unreachable (and `repro --store-verify` will still validate it
 /// against the salt it was written with).
-pub const CODE_SALT: &str = "qfab-cell-v1";
+///
+/// v2: fused replay plans reorder floating-point accumulation and the
+/// `SplitMix64::child` derivation changed — both re-draw sampled
+/// outcomes, so v1 cells no longer describe what the code computes.
+pub const CODE_SALT: &str = "qfab-cell-v2";
 
 /// Journal size that triggers compaction at the next checkpoint.
 const COMPACT_THRESHOLD: u64 = 256 * 1024;

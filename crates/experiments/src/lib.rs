@@ -25,6 +25,7 @@
 pub mod analysis;
 pub mod benchgate;
 pub mod cache;
+pub mod replaybench;
 pub mod report;
 pub mod runner;
 pub mod scale;

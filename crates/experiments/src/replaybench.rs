@@ -1,0 +1,213 @@
+//! `repro bench` — trajectory-replay timing, fused plan vs per-gate.
+//!
+//! The Monte-Carlo pipeline spends almost all of its time replaying the
+//! same transpiled circuit with different error insertions. This bench
+//! times that hot path both ways on the paper's full-depth kernels —
+//! through the compiled [`FusedPlan`] (what the pipeline runs) and
+//! through the pre-fusion per-gate loop — and reports the mean
+//! per-trajectory wall time and the speedup.
+//!
+//! Unlike the criterion microbenches in `qfab-bench`, this runs inside
+//! the `repro` binary with zero harness overhead, so it is the quickest
+//! way to confirm the fusion win on a given machine.
+
+use qfab_circuit::Gate;
+use qfab_core::{AddInstance, AqftDepth, MulInstance, Qinteger};
+use qfab_math::rng::Xoshiro256StarStar;
+use qfab_sim::{FusedPlan, Insertion, StateVector};
+use qfab_transpile::{transpile, Basis};
+use std::time::Instant;
+
+/// Mean per-trajectory replay timings for one kernel, both paths.
+#[derive(Clone, Debug)]
+pub struct ReplayTimings {
+    /// Kernel label, e.g. `qfm 4x4 full`.
+    pub label: String,
+    /// Transpiled gate count.
+    pub gates: usize,
+    /// Fused op count.
+    pub ops: usize,
+    /// Mean wall milliseconds per trajectory through the fused plan.
+    pub fused_ms: f64,
+    /// Mean wall milliseconds per trajectory through the per-gate loop.
+    pub per_gate_ms: f64,
+}
+
+impl ReplayTimings {
+    /// Per-gate over fused time: >1 means fusion is winning.
+    pub fn speedup(&self) -> f64 {
+        if self.fused_ms <= 0.0 {
+            return 1.0;
+        }
+        self.per_gate_ms / self.fused_ms
+    }
+
+    /// Gates-in over ops-out for the fused plan.
+    pub fn fusion_ratio(&self) -> f64 {
+        if self.ops == 0 {
+            return 1.0;
+        }
+        self.gates as f64 / self.ops as f64
+    }
+}
+
+/// One replay kernel: the fixed paper-geometry instances, full depth —
+/// the same geometry `qfab-bench` pins.
+struct Kernel {
+    label: String,
+    circuit: qfab_circuit::Circuit,
+    initial: StateVector,
+    num_qubits: u32,
+}
+
+fn kernels() -> Vec<Kernel> {
+    let add = AddInstance {
+        n: 7,
+        m: 8,
+        x: Qinteger::new(7, vec![53]),
+        y: Qinteger::new(8, vec![19, 101]),
+    };
+    let mul = MulInstance {
+        n: 4,
+        m: 4,
+        x: Qinteger::new(4, vec![11]),
+        y: Qinteger::new(4, vec![6, 13]),
+    };
+    vec![
+        Kernel {
+            label: "qfa 7+8 full".into(),
+            circuit: transpile(&add.circuit(AqftDepth::Full), Basis::CxPlus1q),
+            initial: add.initial_state(),
+            num_qubits: add.num_qubits(),
+        },
+        Kernel {
+            label: "qfm 4x4 full".into(),
+            circuit: transpile(&mul.circuit(AqftDepth::Full), Basis::CxPlus1q),
+            initial: mul.initial_state(),
+            num_qubits: mul.num_qubits(),
+        },
+    ]
+}
+
+/// Draws the per-trajectory error-insertion patterns: two Pauli-X
+/// errors at uniform sites, like a realistic low-rate trajectory.
+fn trajectories(k: &Kernel, count: usize, seed: u64) -> Vec<Vec<Insertion>> {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    (0..count)
+        .map(|_| {
+            let mut sites: Vec<usize> = (0..2)
+                .map(|_| rng.next_bounded(k.circuit.len() as u64) as usize)
+                .collect();
+            sites.sort_unstable();
+            sites
+                .into_iter()
+                .map(|after_gate| Insertion {
+                    after_gate,
+                    gate: Gate::X(rng.next_bounded(u64::from(k.num_qubits)) as u32),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn replay_per_gate(k: &Kernel, insertions: &[Insertion]) -> StateVector {
+    let mut s = k.initial.clone();
+    let mut pending = insertions.iter().peekable();
+    for (i, gate) in k.circuit.gates().iter().enumerate() {
+        s.apply_gate(gate);
+        while pending.peek().is_some_and(|x| x.after_gate == i) {
+            s.apply_gate(&pending.next().unwrap().gate);
+        }
+    }
+    s
+}
+
+/// Times `count` trajectory replays of each full-depth kernel through
+/// both paths. Trajectories are identical across paths, so the numbers
+/// are directly comparable.
+pub fn run(count: usize, seed: u64) -> Vec<ReplayTimings> {
+    kernels()
+        .into_iter()
+        .map(|k| {
+            let plan = FusedPlan::compile(&k.circuit);
+            let trajs = trajectories(&k, count, seed);
+            // One untimed warmup pass per path primes caches and page
+            // tables so the first timed trajectory is not an outlier.
+            let mut s = k.initial.clone();
+            plan.run_from(&mut s, 0, &trajs[0]);
+            let start = Instant::now();
+            for ins in &trajs {
+                let mut s = k.initial.clone();
+                plan.run_from(&mut s, 0, ins);
+                std::hint::black_box(&s);
+            }
+            let fused_ms = start.elapsed().as_secs_f64() * 1e3 / count as f64;
+            std::hint::black_box(replay_per_gate(&k, &trajs[0]));
+            let start = Instant::now();
+            for ins in &trajs {
+                std::hint::black_box(replay_per_gate(&k, ins));
+            }
+            let per_gate_ms = start.elapsed().as_secs_f64() * 1e3 / count as f64;
+            ReplayTimings {
+                label: k.label,
+                gates: k.circuit.len(),
+                ops: plan.num_ops(),
+                fused_ms,
+                per_gate_ms,
+            }
+        })
+        .collect()
+}
+
+/// Formats the bench report the `repro bench` subcommand prints.
+pub fn format_report(results: &[ReplayTimings], count: usize) -> String {
+    let mut out = format!("trajectory replay, mean over {count} trajectories:\n");
+    out.push_str("kernel          |  gates |   ops | ratio | fused ms | per-gate ms | speedup\n");
+    for r in results {
+        out.push_str(&format!(
+            "{:<15} | {:>6} | {:>5} | {:>5.2} | {:>8.3} | {:>11.3} | {:>6.2}x\n",
+            r.label,
+            r.gates,
+            r.ops,
+            r.fusion_ratio(),
+            r.fused_ms,
+            r.per_gate_ms,
+            r.speedup()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfab_math::approx::approx_eq_slice;
+
+    #[test]
+    fn both_replay_paths_agree_and_report_is_complete() {
+        // 2 trajectories keeps this fast; equivalence is the point, the
+        // timings just need to be populated and positive.
+        let results = run(2, 99);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.gates > r.ops, "{}: nothing fused", r.label);
+            assert!(r.fused_ms > 0.0 && r.per_gate_ms > 0.0);
+        }
+        let report = format_report(&results, 2);
+        assert!(report.contains("qfm 4x4 full"));
+        assert!(report.contains("speedup"));
+
+        // Spot-check path equivalence on one kernel + trajectory.
+        let k = &kernels()[1];
+        let trajs = trajectories(k, 1, 99);
+        let plan = FusedPlan::compile(&k.circuit);
+        let mut fused = k.initial.clone();
+        plan.run_from(&mut fused, 0, &trajs[0]);
+        let reference = replay_per_gate(k, &trajs[0]);
+        assert!(approx_eq_slice(
+            fused.amplitudes(),
+            reference.amplitudes(),
+            1e-10
+        ));
+    }
+}

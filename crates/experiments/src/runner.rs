@@ -360,6 +360,13 @@ fn run_instance_grid(
 /// (blank until the first instance lands), and — when a store is
 /// active — cache hit/miss/rejected counts, so resumed sweeps visibly
 /// distinguish replayed from recomputed cells.
+///
+/// With a store attached the ETA is estimated from **cache-miss
+/// completions only**: replayed instances finish in ~zero time, so a
+/// naive all-instances rate would promise a resumed sweep finishes far
+/// sooner than the remaining (uncached) compute allows. Until the first
+/// miss lands there is no compute rate to extrapolate, and the line
+/// shows `eta ~--:--`.
 pub fn progress_line(progress: Progress, elapsed_secs: f64) -> String {
     let Progress { done, total, cache } = progress;
     let pct = if total == 0 {
@@ -369,8 +376,27 @@ pub fn progress_line(progress: Progress, elapsed_secs: f64) -> String {
     };
     let mut s = format!("instance {done}/{total} | {pct:3.0}% | {elapsed_secs:.1}s elapsed");
     if done > 0 && done < total {
-        let eta = elapsed_secs / done as f64 * (total - done) as f64;
-        s.push_str(&format!(" | eta ~{eta:.1}s"));
+        match cache {
+            None => {
+                let eta = elapsed_secs / done as f64 * (total - done) as f64;
+                s.push_str(&format!(" | eta ~{eta:.1}s"));
+            }
+            Some(c) => {
+                // Instances are whole-grid hit or miss, so the cell
+                // ratio recovers how many of `done` were computed.
+                let miss_instances = if c.cells() == 0 {
+                    0.0
+                } else {
+                    done as f64 * c.misses as f64 / c.cells() as f64
+                };
+                if miss_instances > 0.0 {
+                    let eta = elapsed_secs / miss_instances * (total - done) as f64;
+                    s.push_str(&format!(" | eta ~{eta:.1}s"));
+                } else {
+                    s.push_str(" | eta ~--:--");
+                }
+            }
+        }
     }
     if let Some(c) = cache {
         s.push_str(&format!(
@@ -558,6 +584,47 @@ mod tests {
         assert_eq!(
             progress_line(p(4, 4), 8.0),
             "instance 4/4 | 100% | 8.0s elapsed"
+        );
+    }
+
+    #[test]
+    fn progress_line_eta_comes_from_cache_misses_only() {
+        // A resumed sweep: 3/6 done, all three served from the store in
+        // ~0.2s. The old all-instances rate would claim ~0.2s remain;
+        // with no computed instance yet there is nothing to extrapolate.
+        let all_hits = Progress {
+            done: 3,
+            total: 6,
+            cache: Some(CacheStats {
+                hits: 18,
+                misses: 0,
+                rejected: 0,
+                append_failed: 0,
+            }),
+        };
+        assert_eq!(
+            progress_line(all_hits, 0.2),
+            "instance 3/6 |  50% | 0.2s elapsed | eta ~--:-- | \
+             cache 18 hit / 0 miss / 0 rejected"
+        );
+
+        // One of four done instances was a real miss (6 cells per
+        // instance): the rate comes from that one computed instance, so
+        // 10s elapsed -> 10s per computed instance -> eta 4 * 10s.
+        let mixed = Progress {
+            done: 4,
+            total: 8,
+            cache: Some(CacheStats {
+                hits: 18,
+                misses: 6,
+                rejected: 0,
+                append_failed: 0,
+            }),
+        };
+        assert_eq!(
+            progress_line(mixed, 10.0),
+            "instance 4/8 |  50% | 10.0s elapsed | eta ~40.0s | \
+             cache 18 hit / 6 miss / 0 rejected"
         );
     }
 

@@ -191,6 +191,74 @@ mod tests {
     }
 
     #[test]
+    fn welford_merge_survives_extreme_count_imbalance() {
+        // One observation merged into a million must match the
+        // sequential accumulation exactly in count and to double
+        // precision in the moments — Chan's update is designed for
+        // exactly this regime, where naive sum-of-squares loses digits.
+        let mut big = Welford::new();
+        for i in 0..1_000_000u64 {
+            big.push(1.0 + (i % 7) as f64 * 0.25);
+        }
+        let mut seq = big.clone();
+        seq.push(1000.0);
+
+        let lone: Welford = [1000.0].iter().copied().collect();
+        let mut merged = big.clone();
+        merged.merge(&lone);
+        assert_eq!(merged.count(), seq.count());
+        assert!((merged.mean() - seq.mean()).abs() < 1e-9);
+        let rel = (merged.variance_sample() - seq.variance_sample()).abs()
+            / seq.variance_sample().max(1.0);
+        assert!(rel < 1e-9, "variance drift {rel:.3e}");
+
+        // Merging in the opposite direction (tiny absorbs huge) must
+        // agree with the symmetric result.
+        let mut other_way = lone;
+        other_way.merge(&big);
+        assert_eq!(other_way.count(), merged.count());
+        assert!((other_way.mean() - merged.mean()).abs() < 1e-9);
+        assert!((other_way.variance_sample() - merged.variance_sample()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn welford_merge_handles_near_cancelling_means() {
+        // Two halves whose means nearly cancel (±large offsets around
+        // zero): the merged mean is a small residual of two big numbers,
+        // the classic catastrophic-cancellation trap. Compare against a
+        // shifted two-pass computation, which is exact here.
+        let offset = 1.0e12;
+        let xs: Vec<f64> = (0..64).map(|i| offset + i as f64).collect();
+        let ys: Vec<f64> = (0..64).map(|i| -offset + i as f64 * 0.5).collect();
+        let a: Welford = xs.iter().copied().collect();
+        let mut merged = a;
+        merged.merge(&ys.iter().copied().collect());
+
+        let all: Vec<f64> = xs.iter().chain(&ys).copied().collect();
+        let m = all.iter().sum::<f64>() / all.len() as f64;
+        let var = all.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (all.len() - 1) as f64;
+        assert_eq!(merged.count(), all.len() as u64);
+        // The mean is O(30) while the inputs are O(1e12); allow for the
+        // ~4 ulps of 1e12 that any double-precision scheme must lose.
+        assert!(
+            (merged.mean() - m).abs() < 1e-3,
+            "mean {} vs {}",
+            merged.mean(),
+            m
+        );
+        assert!(
+            ((merged.variance_sample() - var) / var).abs() < 1e-9,
+            "variance {} vs {}",
+            merged.variance_sample(),
+            var
+        );
+        // The variance must stay sane (dominated by the ±1e12 split),
+        // never negative or NaN.
+        assert!(merged.variance_sample() > 0.0);
+        assert!(merged.variance_sample().is_finite());
+    }
+
+    #[test]
     fn slice_helpers() {
         assert_eq!(mean(&[]), 0.0);
         assert!((mean(&[1.0, 3.0]) - 2.0).abs() < TOL);

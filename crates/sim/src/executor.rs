@@ -16,6 +16,7 @@
 //! shared by reference across all trajectory replays of an instance —
 //! including rayon-parallel replays.
 
+use crate::fused::FusedPlan;
 use crate::statevector::StateVector;
 use qfab_circuit::{Circuit, Gate};
 use qfab_telemetry::trace;
@@ -35,6 +36,9 @@ pub struct Insertion {
 #[derive(Clone, Debug)]
 pub struct CheckpointTable {
     circuit: Circuit,
+    /// The circuit lowered once into a fused op list; every trajectory
+    /// replay executes this plan instead of re-dispatching gates.
+    plan: FusedPlan,
     /// `states[j]` is the state after applying gates `[0, j·interval)`.
     states: Vec<StateVector>,
     /// State after the full circuit.
@@ -72,26 +76,49 @@ impl CheckpointTable {
             ("states", trace::ArgValue::U64(states.len() as u64)),
             ("gates", trace::ArgValue::U64(circuit.len() as u64)),
         ]);
+        let plan = FusedPlan::compile(&circuit);
         Self {
             circuit,
+            plan,
             states,
             final_state: state,
             interval,
         }
     }
 
-    /// Builds a table whose checkpoint count fits in `budget_bytes`
-    /// (always keeping at least the initial state).
+    /// Builds a table whose total retained-state bytes — interior
+    /// checkpoints plus the always-kept initial and final states — fit in
+    /// `budget_bytes`.
+    ///
+    /// The initial and final states are the irreducible minimum, so a
+    /// budget smaller than two statevectors still retains exactly those
+    /// two and nothing more.
     pub fn build_with_budget(circuit: Circuit, initial: &StateVector, budget_bytes: usize) -> Self {
         let state_bytes = std::mem::size_of_val(initial.amplitudes());
-        let max_checkpoints = (budget_bytes / state_bytes.max(1)).max(1);
-        let interval = circuit.len().div_ceil(max_checkpoints).max(1);
+        // Every retained state counts: `states[0]` (initial), interior
+        // checkpoints, and the separate noiseless final state.
+        let max_states = (budget_bytes / state_bytes.max(1)).max(2);
+        let interior_allowed = max_states - 2;
+        let gates = circuit.len();
+        // `build` stores one interior checkpoint per `interval` gates:
+        // floor((gates − 1) / interval) of them. Pick the smallest
+        // interval that stays within the allowance.
+        let interval = if interior_allowed == 0 || gates <= 1 {
+            gates.max(1)
+        } else {
+            gates.saturating_sub(1).div_ceil(interior_allowed).max(1)
+        };
         Self::build(circuit, initial, interval)
     }
 
     /// The circuit this table was built for.
     pub fn circuit(&self) -> &Circuit {
         &self.circuit
+    }
+
+    /// The compiled execution plan replays run against.
+    pub fn plan(&self) -> &FusedPlan {
+        &self.plan
     }
 
     /// The checkpoint interval in gates.
@@ -152,20 +179,8 @@ impl CheckpointTable {
             ],
         );
         let mut state = self.states[j].clone();
-        let mut pending = insertions.iter().peekable();
-        for (i, gate) in self
-            .circuit
-            .gates()
-            .iter()
-            .enumerate()
-            .skip(j * self.interval)
-        {
-            state.apply_gate(gate);
-            while pending.peek().is_some_and(|ins| ins.after_gate == i) {
-                state.apply_gate(&pending.next().unwrap().gate);
-            }
-        }
-        debug_assert!(pending.next().is_none(), "unapplied insertion");
+        self.plan
+            .run_from(&mut state, j * self.interval, insertions);
         state
     }
 
@@ -303,6 +318,54 @@ mod tests {
         let table = CheckpointTable::build_with_budget(c, &init, 4 << 10);
         assert!(table.num_checkpoints() <= 4);
         assert!(table.interval() >= 16);
+    }
+
+    /// Bytes held by the table: interior checkpoints + initial + final.
+    fn retained_bytes(table: &CheckpointTable, state_bytes: usize) -> usize {
+        (table.num_checkpoints() + 1) * state_bytes
+    }
+
+    #[test]
+    fn one_gate_circuit_stays_within_two_state_budget() {
+        // Regression: the initial state in `states[0]` used to escape the
+        // budget accounting, overshooting by one full statevector.
+        let mut c = Circuit::new(4);
+        c.h(0);
+        let init = StateVector::zero_state(4);
+        let sb = std::mem::size_of_val(init.amplitudes());
+        let table = CheckpointTable::build_with_budget(c, &init, 2 * sb);
+        assert!(
+            retained_bytes(&table, sb) <= 2 * sb,
+            "retained {} bytes > budget {}",
+            retained_bytes(&table, sb),
+            2 * sb
+        );
+    }
+
+    #[test]
+    fn budget_boundaries_never_overshoot() {
+        let c = sample_circuit(5, 48);
+        let init = StateVector::zero_state(5);
+        let sb = std::mem::size_of_val(init.amplitudes());
+        // Exact multiples, off-by-one around each boundary, and a
+        // half-state remainder: retained bytes must never exceed budget.
+        for k in 2..=10usize {
+            for budget in [k * sb, k * sb + 1, k * sb + sb - 1, k * sb + sb / 2] {
+                let table = CheckpointTable::build_with_budget(c.clone(), &init, budget);
+                assert!(
+                    retained_bytes(&table, sb) <= budget,
+                    "budget {budget}: retained {} bytes, {} checkpoints, interval {}",
+                    retained_bytes(&table, sb),
+                    table.num_checkpoints(),
+                    table.interval()
+                );
+            }
+        }
+        // Sub-minimum budgets retain exactly initial + final.
+        for budget in [0, 1, sb, 2 * sb - 1] {
+            let table = CheckpointTable::build_with_budget(c.clone(), &init, budget);
+            assert_eq!(table.num_checkpoints(), 1, "budget {budget}");
+        }
     }
 
     #[test]

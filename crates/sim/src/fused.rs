@@ -1,0 +1,929 @@
+//! Compiled execution plans for the trajectory-replay hot path.
+//!
+//! Monte-Carlo noise simulation replays the *same* transpiled circuit
+//! thousands of times per instance. Dispatching on the `Gate` enum
+//! every replay wastes work twice over: the kernel selection is
+//! re-derived per gate per trajectory, and long runs of cheap gates
+//! each take a full pass over the state vector.
+//!
+//! [`FusedPlan::compile`] lowers a circuit **once** into a flat op
+//! list:
+//!
+//! * the transpiled controlled-phase motif
+//!   `Phase(c,a)·CX·Phase(t,−a)·CX·Phase(t,a)` is re-raised into a
+//!   single masked-phase *unit* — its net effect is exactly `cis(2a)`
+//!   on the `{c,t}` subspace, so the CXs inside it stop breaking
+//!   diagonal runs;
+//! * adjacent diagonal units (Z/S/T/RZ/Phase/CZ/CP/CCP and re-raised
+//!   motifs) coalesce into a single masked-phase op when they share a
+//!   support mask, or into one phase-table op
+//!   ([`StateVector::apply_diag_table`]) over their combined support —
+//!   one pass over the state instead of one per gate;
+//! * consecutive single-qubit unitaries on the same qubit fold into one
+//!   `Mat2` (a transpiled rotation like `rz·sx·rz·sx·rz` becomes a
+//!   single dense kernel call);
+//! * everything else lowers to a precomputed kernel selection, so
+//!   replays never re-match on the `Gate` enum.
+//!
+//! Every op records the contiguous range of original gate indices it
+//! covers, so error-gate [`Insertion`]s and checkpoint boundaries that
+//! land *inside* an op fall back to per-gate application for exactly
+//! that op's range — fused everywhere else. Fusion never reorders
+//! gates, so the plan is drop-in equivalent (within float re-rounding,
+//! ≤1e-10 per amplitude) to per-gate execution.
+
+use crate::executor::Insertion;
+use crate::statevector::StateVector;
+use qfab_circuit::{Circuit, Gate};
+use qfab_math::complex::Complex64;
+use qfab_math::matrix::{Mat2, Mat4, Mat8};
+use qfab_telemetry::trace;
+
+/// Cap on the combined support of one coalesced diagonal run: a
+/// 2^8-entry phase table is 4 KiB (stays in L1); beyond that the run is
+/// split.
+const MAX_DIAG_QUBITS: usize = 8;
+
+/// One lowered operation with its precomputed kernel selection.
+#[derive(Clone, Debug)]
+enum OpKind {
+    /// Identity-only run: touches nothing.
+    Nop,
+    /// Multiply amplitudes with `index & mask == mask` by `phase`
+    /// (one pure-phase diagonal, or a coalesced same-mask run).
+    MaskedPhase { mask: usize, phase: Complex64 },
+    /// `diag(p0, p1)` on one qubit (a lone RZ).
+    DiagPair {
+        q: u32,
+        p0: Complex64,
+        p1: Complex64,
+    },
+    /// General diagonal over `qubits` with a `2^k` phase table
+    /// (a coalesced diagonal run with mixed supports).
+    DiagTable {
+        qubits: Vec<u32>,
+        table: Vec<Complex64>,
+    },
+    /// Dense 1q unitary (a lone dense gate, or a folded 1q run).
+    Unitary1q { q: u32, m: Mat2 },
+    /// Pauli-X pair swap.
+    PauliX { q: u32 },
+    /// CX / CCX: X on `target` where all `control_mask` bits are set.
+    ControlledX { control_mask: usize, target: u32 },
+    /// SWAP / CSWAP.
+    SwapPair { control_mask: usize, a: u32, b: u32 },
+    /// Generic 2q unitary (untranspiled circuits only).
+    Generic2 { q0: u32, q1: u32, m: Box<Mat4> },
+    /// Generic 3q unitary (untranspiled circuits only).
+    Generic3 {
+        q0: u32,
+        q1: u32,
+        q2: u32,
+        m: Box<Mat8>,
+    },
+}
+
+/// A lowered op covering original gates `[start, end)`.
+#[derive(Clone, Debug)]
+struct FusedOp {
+    start: usize,
+    end: usize,
+    kind: OpKind,
+}
+
+/// A circuit compiled once into a flat, fusion-optimized op list.
+///
+/// The plan owns a copy of the original gate list so replays can fall
+/// back to per-gate application when an insertion or checkpoint
+/// boundary splits an op.
+#[derive(Clone, Debug)]
+pub struct FusedPlan {
+    gates: Vec<Gate>,
+    ops: Vec<FusedOp>,
+}
+
+impl FusedPlan {
+    /// Lowers `circuit` into a fused op list. Called once per
+    /// (instance, depth); the plan is then shared by reference across
+    /// all error rates and rayon workers.
+    pub fn compile(circuit: &Circuit) -> Self {
+        let span = trace::span("sim.fused.compile");
+        let gates: Vec<Gate> = circuit.gates().to_vec();
+        let units = scan_units(&gates);
+        let mut ops = Vec::new();
+        let mut group = Group::default();
+        for unit in units {
+            if !group.try_push(unit, &gates) {
+                ops.push(group.emit(&gates));
+                group = Group::default();
+                let accepted = group.try_push(unit, &gates);
+                debug_assert!(accepted, "empty group must accept any unit");
+            }
+        }
+        if !group.units.is_empty() {
+            ops.push(group.emit(&gates));
+        }
+        if let Some(m) = crate::telem::metrics() {
+            m.fused_plans.incr();
+            m.fused_gates_in.add(gates.len() as u64);
+            m.fused_ops_out.add(ops.len() as u64);
+        }
+        span.end_with_args(&[
+            ("gates", trace::ArgValue::U64(gates.len() as u64)),
+            ("ops", trace::ArgValue::U64(ops.len() as u64)),
+        ]);
+        Self { gates, ops }
+    }
+
+    /// Number of original gates the plan covers.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of lowered ops.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Gates-in over ops-out: 1.0 means nothing fused; the transpiled
+    /// QFT-arithmetic circuits typically land well above 1.5.
+    pub fn fusion_ratio(&self) -> f64 {
+        if self.ops.is_empty() {
+            return 1.0;
+        }
+        self.gates.len() as f64 / self.ops.len() as f64
+    }
+
+    /// Applies the whole plan (all gates, no insertions) to `state`.
+    pub fn apply(&self, state: &mut StateVector) {
+        for op in &self.ops {
+            apply_op(state, op);
+        }
+    }
+
+    /// Replays gates `[start_gate, len)` with error-gate insertions.
+    ///
+    /// `insertions` must be sorted ascending by `after_gate`, with every
+    /// `after_gate` in `[start_gate, len)`. Ops split by `start_gate` or
+    /// by an interior insertion run per-gate; everything else runs
+    /// fused.
+    pub fn run_from(&self, state: &mut StateVector, start_gate: usize, insertions: &[Insertion]) {
+        debug_assert!(
+            insertions
+                .windows(2)
+                .all(|w| w[0].after_gate <= w[1].after_gate),
+            "insertions must be sorted by position"
+        );
+        debug_assert!(insertions.iter().all(|i| i.after_gate >= start_gate));
+        let mut pending = insertions.iter().peekable();
+        let mut idx = self.ops.partition_point(|op| op.end <= start_gate);
+        let mut pos = start_gate;
+        let mut fallback_gates = 0u64;
+        while idx < self.ops.len() {
+            let op = &self.ops[idx];
+            // An op survives fusion only if we enter it at its start and
+            // no insertion fires strictly before its last gate.
+            let split = pos > op.start
+                || pending
+                    .peek()
+                    .is_some_and(|ins| ins.after_gate + 1 < op.end);
+            if split {
+                fallback_gates += (op.end - pos) as u64;
+                for g in pos..op.end {
+                    state.apply_gate(&self.gates[g]);
+                    while pending.peek().is_some_and(|ins| ins.after_gate == g) {
+                        state.apply_gate(&pending.next().unwrap().gate);
+                    }
+                }
+            } else {
+                apply_op(state, op);
+                let last = op.end - 1;
+                while pending.peek().is_some_and(|ins| ins.after_gate == last) {
+                    state.apply_gate(&pending.next().unwrap().gate);
+                }
+            }
+            pos = op.end;
+            idx += 1;
+        }
+        debug_assert!(pending.next().is_none(), "unapplied insertion");
+        if let Some(m) = crate::telem::metrics() {
+            if fallback_gates > 0 {
+                m.fused_fallback_gates.add(fallback_gates);
+            }
+        }
+    }
+}
+
+fn apply_op(state: &mut StateVector, op: &FusedOp) {
+    if let Some(m) = crate::telem::metrics() {
+        m.fused_ops_applied.incr();
+    }
+    match &op.kind {
+        OpKind::Nop => {}
+        OpKind::MaskedPhase { mask, phase } => state.phase_on_mask(*mask, *mask, *phase),
+        OpKind::DiagPair { q, p0, p1 } => state.diag_pair(*q, *p0, *p1),
+        OpKind::DiagTable { qubits, table } => state.apply_diag_table(qubits, table),
+        OpKind::Unitary1q { q, m } => state.apply_mat2(*q, m),
+        OpKind::PauliX { q } => state.apply_x(*q),
+        OpKind::ControlledX {
+            control_mask,
+            target,
+        } => state.controlled_x(*control_mask, *target),
+        OpKind::SwapPair { control_mask, a, b } => state.apply_swap(*control_mask, *a, *b),
+        OpKind::Generic2 { q0, q1, m } => state.apply_mat4(*q0, *q1, m),
+        OpKind::Generic3 { q0, q1, q2, m } => state.apply_mat8(*q0, *q1, *q2, m),
+    }
+}
+
+/// The `(mask, phase)` of a pure-phase diagonal gate — one whose matrix
+/// multiplies only the all-ones subspace of its operands. RZ (which
+/// phases both halves) and I (which phases nothing) return `None`.
+fn pure_phase(gate: &Gate) -> Option<(usize, Complex64)> {
+    use Gate::*;
+    Some(match *gate {
+        Z(q) => (1usize << q, -Complex64::ONE),
+        S(q) => (1usize << q, Complex64::I),
+        Sdg(q) => (1usize << q, -Complex64::I),
+        T(q) => (1usize << q, Complex64::cis(std::f64::consts::FRAC_PI_4)),
+        Tdg(q) => (1usize << q, Complex64::cis(-std::f64::consts::FRAC_PI_4)),
+        Phase(q, t) => (1usize << q, Complex64::cis(t)),
+        Cz(a, b) => ((1usize << a) | (1usize << b), -Complex64::ONE),
+        Cphase {
+            control,
+            target,
+            theta,
+        } => (
+            (1usize << control) | (1usize << target),
+            Complex64::cis(theta),
+        ),
+        Ccphase {
+            c0,
+            c1,
+            target,
+            theta,
+        } => (
+            (1usize << c0) | (1usize << c1) | (1usize << target),
+            Complex64::cis(theta),
+        ),
+        _ => return None,
+    })
+}
+
+/// The diagonal factor `gate` contributes to a basis state in which
+/// qubit `q` is set iff `is_set(q)`. Only valid for diagonal gates.
+fn diag_factor(gate: &Gate, is_set: impl Fn(u32) -> bool) -> Complex64 {
+    use Gate::*;
+    match *gate {
+        I(_) => Complex64::ONE,
+        Rz(q, t) => {
+            if is_set(q) {
+                Complex64::cis(t / 2.0)
+            } else {
+                Complex64::cis(-t / 2.0)
+            }
+        }
+        _ => {
+            let (mask, phase) = pure_phase(gate).expect("diagonal gate");
+            let mut all = true;
+            for b in 0..usize::BITS {
+                if mask >> b & 1 == 1 && !is_set(b) {
+                    all = false;
+                    break;
+                }
+            }
+            if all {
+                phase
+            } else {
+                Complex64::ONE
+            }
+        }
+    }
+}
+
+/// Bitmask of the qubits a gate touches.
+fn support(gate: &Gate) -> u64 {
+    gate.qubits()
+        .as_slice()
+        .iter()
+        .fold(0u64, |acc, &q| acc | (1u64 << q))
+}
+
+/// A pre-fusion unit: one original gate, or a recognized multi-gate
+/// motif whose net effect is known in closed form.
+#[derive(Clone, Copy, Debug)]
+enum Unit {
+    /// The original gate at this index.
+    Gate(usize),
+    /// `Phase(c,a)·CX·Phase(t,−a)·CX·Phase(t,a)` covering gates
+    /// `[start, start+5)` — the CX+1q-basis decomposition of a
+    /// controlled phase. Net effect: `cis(2a)` on `index & mask == mask`.
+    CpMotif {
+        start: usize,
+        mask: usize,
+        half_theta: f64,
+    },
+}
+
+impl Unit {
+    /// Covered range of original gate indices.
+    fn range(&self) -> (usize, usize) {
+        match *self {
+            Unit::Gate(i) => (i, i + 1),
+            Unit::CpMotif { start, .. } => (start, start + 5),
+        }
+    }
+
+    fn is_diagonal(&self, gates: &[Gate]) -> bool {
+        match *self {
+            Unit::Gate(i) => gates[i].is_diagonal(),
+            Unit::CpMotif { .. } => true,
+        }
+    }
+
+    fn support(&self, gates: &[Gate]) -> u64 {
+        match *self {
+            Unit::Gate(i) => support(&gates[i]),
+            Unit::CpMotif { mask, .. } => mask as u64,
+        }
+    }
+
+    /// The `(mask, phase)` the unit applies to the all-ones subspace of
+    /// `mask`, when that is its exact effect.
+    fn pure_phase(&self, gates: &[Gate]) -> Option<(usize, Complex64)> {
+        match *self {
+            Unit::Gate(i) => pure_phase(&gates[i]),
+            Unit::CpMotif {
+                mask, half_theta, ..
+            } => Some((mask, Complex64::cis(2.0 * half_theta))),
+        }
+    }
+
+    /// The diagonal factor this unit contributes to a basis state in
+    /// which qubit `q` is set iff `is_set(q)`. Only valid when
+    /// [`Unit::is_diagonal`] holds.
+    fn diag_factor(&self, gates: &[Gate], is_set: &impl Fn(u32) -> bool) -> Complex64 {
+        match *self {
+            Unit::Gate(i) => diag_factor(&gates[i], is_set),
+            Unit::CpMotif {
+                mask, half_theta, ..
+            } => {
+                let all = (0..usize::BITS).all(|b| mask >> b & 1 == 0 || is_set(b));
+                if all {
+                    Complex64::cis(2.0 * half_theta)
+                } else {
+                    Complex64::ONE
+                }
+            }
+        }
+    }
+}
+
+/// Splits the gate stream into units, greedily re-raising the
+/// controlled-phase motif wherever it appears.
+fn scan_units(gates: &[Gate]) -> Vec<Unit> {
+    let mut units = Vec::with_capacity(gates.len());
+    let mut i = 0;
+    while i < gates.len() {
+        if let Some(unit) = match_cp_motif(gates, i) {
+            units.push(unit);
+            i += 5;
+        } else {
+            units.push(Unit::Gate(i));
+            i += 1;
+        }
+    }
+    units
+}
+
+/// Matches `Phase(c,a)·CX(c,t)·Phase(t,b)·CX(c,t)·Phase(t,d)` at `i`
+/// with `b = −a`, `d = a` (bit-exact, as the transpiler emits them).
+fn match_cp_motif(gates: &[Gate], i: usize) -> Option<Unit> {
+    use Gate::*;
+    if i + 5 > gates.len() {
+        return None;
+    }
+    let Phase(c, a) = gates[i] else { return None };
+    let Cx {
+        control: c1,
+        target: t,
+    } = gates[i + 1]
+    else {
+        return None;
+    };
+    let Phase(t1, b) = gates[i + 2] else {
+        return None;
+    };
+    let Cx {
+        control: c2,
+        target: t2,
+    } = gates[i + 3]
+    else {
+        return None;
+    };
+    let Phase(t3, d) = gates[i + 4] else {
+        return None;
+    };
+    let shape = c1 == c && c2 == c && t1 == t && t2 == t && t3 == t && c != t;
+    (shape && b == -a && d == a).then_some(Unit::CpMotif {
+        start: i,
+        mask: (1usize << c) | (1usize << t),
+        half_theta: a,
+    })
+}
+
+/// A contiguous run of units being considered for fusion.
+#[derive(Default)]
+struct Group {
+    start: usize,
+    end: usize,
+    units: Vec<Unit>,
+    support: u64,
+    all_diag: bool,
+    /// `Some(q)` while every unit so far is a 1q gate on `q`.
+    same_q: Option<u32>,
+}
+
+impl Group {
+    /// Tries to absorb `unit`; returns false when the run must break.
+    fn try_push(&mut self, unit: Unit, gates: &[Gate]) -> bool {
+        let (u_start, u_end) = unit.range();
+        if self.units.is_empty() {
+            self.start = u_start;
+            self.end = u_end;
+            self.support = unit.support(gates);
+            self.all_diag = unit.is_diagonal(gates);
+            self.same_q = match unit {
+                Unit::Gate(i) if gates[i].arity() == 1 => Some(gates[i].qubits()[0]),
+                _ => None,
+            };
+            self.units.push(unit);
+            return true;
+        }
+        let extend_1q = self.same_q.is_some_and(
+            |q| matches!(unit, Unit::Gate(i) if gates[i].arity() == 1 && gates[i].qubits()[0] == q),
+        );
+        let extend_diag = self.all_diag
+            && unit.is_diagonal(gates)
+            && (self.support | unit.support(gates)).count_ones() as usize <= MAX_DIAG_QUBITS;
+        if !extend_1q && !extend_diag {
+            return false;
+        }
+        self.support |= unit.support(gates);
+        self.all_diag &= unit.is_diagonal(gates);
+        if !extend_1q {
+            self.same_q = None;
+        }
+        self.end = u_end;
+        self.units.push(unit);
+        true
+    }
+
+    /// Lowers the finished run into one op.
+    fn emit(self, gates: &[Gate]) -> FusedOp {
+        let kind = if self.units.len() == 1 {
+            match self.units[0] {
+                Unit::Gate(i) => lower_single(&gates[i]),
+                motif @ Unit::CpMotif { .. } => {
+                    let (mask, phase) = motif.pure_phase(gates).expect("motif is a pure phase");
+                    OpKind::MaskedPhase { mask, phase }
+                }
+            }
+        } else if let (Some(q), false) = (self.same_q, self.all_diag) {
+            // Mixed 1q run: fold into one dense matrix. Each later gate
+            // multiplies on the left (it applies after).
+            let mut acc = Mat2::identity();
+            for unit in &self.units {
+                let Unit::Gate(i) = unit else {
+                    unreachable!("1q run holds a non-gate unit");
+                };
+                let qfab_circuit::gate::GateMatrix::One(m) = gates[*i].matrix() else {
+                    unreachable!("1q run holds a non-1q gate");
+                };
+                acc = m.matmul(&acc);
+            }
+            OpKind::Unitary1q { q, m: acc }
+        } else {
+            lower_diag_run(&self.units, gates, self.support)
+        };
+        FusedOp {
+            start: self.start,
+            end: self.end,
+            kind,
+        }
+    }
+}
+
+/// Precomputed kernel selection for an unfused gate — mirrors the
+/// dispatch in `StateVector::apply_gate`.
+fn lower_single(gate: &Gate) -> OpKind {
+    use Gate::*;
+    if let Some((mask, phase)) = pure_phase(gate) {
+        return OpKind::MaskedPhase { mask, phase };
+    }
+    match *gate {
+        I(_) => OpKind::Nop,
+        Rz(q, t) => OpKind::DiagPair {
+            q,
+            p0: Complex64::cis(-t / 2.0),
+            p1: Complex64::cis(t / 2.0),
+        },
+        X(q) => OpKind::PauliX { q },
+        Cx { control, target } => OpKind::ControlledX {
+            control_mask: 1usize << control,
+            target,
+        },
+        Ccx { c0, c1, target } => OpKind::ControlledX {
+            control_mask: (1usize << c0) | (1usize << c1),
+            target,
+        },
+        Swap(a, b) => OpKind::SwapPair {
+            control_mask: 0,
+            a,
+            b,
+        },
+        Cswap { control, a, b } => OpKind::SwapPair {
+            control_mask: 1usize << control,
+            a,
+            b,
+        },
+        ref g => match g.matrix() {
+            qfab_circuit::gate::GateMatrix::One(m) => OpKind::Unitary1q {
+                q: g.qubits()[0],
+                m,
+            },
+            qfab_circuit::gate::GateMatrix::Two(m) => {
+                let q = g.qubits();
+                OpKind::Generic2 {
+                    q0: q[0],
+                    q1: q[1],
+                    m: Box::new(m),
+                }
+            }
+            qfab_circuit::gate::GateMatrix::Three(m) => {
+                let q = g.qubits();
+                OpKind::Generic3 {
+                    q0: q[0],
+                    q1: q[1],
+                    q2: q[2],
+                    m: Box::new(m),
+                }
+            }
+        },
+    }
+}
+
+/// Lowers a run of ≥2 diagonal units: one masked-phase op when every
+/// non-identity unit shares a support mask, otherwise one phase table
+/// over the combined support.
+fn lower_diag_run(units: &[Unit], gates: &[Gate], support: u64) -> OpKind {
+    // Same-mask pure-phase coalescing: the common QFT pattern of
+    // repeated controlled-phases on one qubit pair.
+    let mut shared: Option<(usize, Complex64)> = None;
+    let mut coalesced = true;
+    for u in units {
+        if matches!(u, Unit::Gate(i) if matches!(gates[*i], Gate::I(_))) {
+            continue;
+        }
+        match (u.pure_phase(gates), &mut shared) {
+            (Some((mask, phase)), Some((m0, acc))) if mask == *m0 => *acc *= phase,
+            (Some((mask, phase)), None) => shared = Some((mask, phase)),
+            _ => {
+                coalesced = false;
+                break;
+            }
+        }
+    }
+    if coalesced {
+        return match shared {
+            Some((mask, phase)) => OpKind::MaskedPhase { mask, phase },
+            None => OpKind::Nop, // identity-only run
+        };
+    }
+    // General case: evaluate the product of all diagonal factors over
+    // the run's combined support.
+    let qubits: Vec<u32> = (0..u64::BITS).filter(|b| support >> b & 1 == 1).collect();
+    let table: Vec<Complex64> = (0..1usize << qubits.len())
+        .map(|local| {
+            let is_set = |q: u32| {
+                qubits
+                    .iter()
+                    .position(|&p| p == q)
+                    .is_some_and(|j| local >> j & 1 == 1)
+            };
+            units
+                .iter()
+                .fold(Complex64::ONE, |acc, u| acc * u.diag_factor(gates, &is_set))
+        })
+        .collect();
+    OpKind::DiagTable { qubits, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfab_math::approx::approx_eq_slice;
+    use qfab_math::complex::c64;
+
+    const TOL: f64 = 1e-10;
+
+    fn random_state(n: u32, seed: u64) -> StateVector {
+        let mut rng = qfab_math::rng::Xoshiro256StarStar::new(seed);
+        let amps: Vec<Complex64> = (0..qfab_math::bits::dim(n))
+            .map(|_| c64(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+            .collect();
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        StateVector::from_amplitudes(n, amps.into_iter().map(|a| a / norm).collect())
+    }
+
+    fn assert_plan_matches_per_gate(c: &Circuit, n: u32, seed: u64) {
+        let plan = FusedPlan::compile(c);
+        let mut fused = random_state(n, seed);
+        let mut reference = fused.clone();
+        plan.apply(&mut fused);
+        reference.apply_circuit(c);
+        assert!(
+            approx_eq_slice(fused.amplitudes(), reference.amplitudes(), TOL),
+            "fused execution diverged from per-gate"
+        );
+    }
+
+    #[test]
+    fn transpiled_style_1q_runs_fold() {
+        // rz·sx·rz·sx·rz on one qubit — the basis decomposition of a
+        // generic 1q rotation — must become a single op.
+        let mut c = Circuit::new(3);
+        c.rz(0.3, 1).sx(1).rz(-1.1, 1).sx(1).rz(2.0, 1);
+        let plan = FusedPlan::compile(&c);
+        assert_eq!(plan.num_ops(), 1);
+        assert!((plan.fusion_ratio() - 5.0).abs() < 1e-12);
+        assert_plan_matches_per_gate(&c, 3, 11);
+    }
+
+    #[test]
+    fn same_mask_phases_coalesce_to_one_masked_phase() {
+        let mut c = Circuit::new(4);
+        c.cphase(0.4, 0, 2).cz(0, 2).cphase(-0.1, 2, 0);
+        let plan = FusedPlan::compile(&c);
+        assert_eq!(plan.num_ops(), 1);
+        assert!(matches!(plan.ops[0].kind, OpKind::MaskedPhase { .. }));
+        assert_plan_matches_per_gate(&c, 4, 5);
+    }
+
+    #[test]
+    fn mixed_support_diagonals_become_one_table() {
+        let mut c = Circuit::new(5);
+        c.rz(0.2, 0)
+            .cphase(0.7, 1, 3)
+            .t(4)
+            .rz(-0.5, 3)
+            .ccphase(1.1, 0, 1, 2);
+        let plan = FusedPlan::compile(&c);
+        assert_eq!(plan.num_ops(), 1);
+        assert!(matches!(plan.ops[0].kind, OpKind::DiagTable { .. }));
+        assert_plan_matches_per_gate(&c, 5, 17);
+    }
+
+    #[test]
+    fn diag_run_splits_when_support_exceeds_cap() {
+        let n = MAX_DIAG_QUBITS as u32 + 4;
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.rz(0.1 * (q as f64 + 1.0), q);
+        }
+        let plan = FusedPlan::compile(&c);
+        assert!(plan.num_ops() >= 2, "support cap must split the run");
+        assert_plan_matches_per_gate(&c, n, 23);
+    }
+
+    #[test]
+    fn non_fusable_gates_keep_their_kernels() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).swap(1, 2).ccx(0, 1, 3).x(2).h(3);
+        let plan = FusedPlan::compile(&c);
+        assert_eq!(plan.num_ops(), 5);
+        assert!(matches!(plan.ops[0].kind, OpKind::ControlledX { .. }));
+        assert!(matches!(plan.ops[1].kind, OpKind::SwapPair { .. }));
+        assert!(matches!(plan.ops[2].kind, OpKind::ControlledX { .. }));
+        assert!(matches!(plan.ops[3].kind, OpKind::PauliX { .. }));
+        assert!(matches!(plan.ops[4].kind, OpKind::Unitary1q { .. }));
+        assert_plan_matches_per_gate(&c, 4, 31);
+    }
+
+    /// Appends the transpiled controlled-phase motif for `theta` on
+    /// `(c, t)`, exactly as the CX+1q transpiler emits it.
+    fn push_cp_motif(c: &mut Circuit, theta: f64, ctrl: u32, tgt: u32) {
+        let half = theta / 2.0;
+        c.phase(half, ctrl)
+            .cx(ctrl, tgt)
+            .phase(-half, tgt)
+            .cx(ctrl, tgt)
+            .phase(half, tgt);
+    }
+
+    #[test]
+    fn transpiled_cp_motif_reraises_to_masked_phase() {
+        let mut c = Circuit::new(3);
+        push_cp_motif(&mut c, 0.9, 0, 2);
+        let plan = FusedPlan::compile(&c);
+        assert_eq!(plan.num_ops(), 1);
+        assert!(matches!(
+            plan.ops[0].kind,
+            OpKind::MaskedPhase { mask: 0b101, .. }
+        ));
+        assert_plan_matches_per_gate(&c, 3, 47);
+    }
+
+    #[test]
+    fn adjacent_cp_motifs_coalesce_into_one_diag_table() {
+        // Two CP blocks on overlapping pairs plus a bare phase — the
+        // exact texture of a transpiled QFT layer. 11 gates -> 1 op.
+        let mut c = Circuit::new(4);
+        push_cp_motif(&mut c, 0.9, 2, 3);
+        push_cp_motif(&mut c, 0.45, 1, 3);
+        c.phase(0.2, 0);
+        let plan = FusedPlan::compile(&c);
+        assert_eq!(plan.num_ops(), 1);
+        assert!(matches!(plan.ops[0].kind, OpKind::DiagTable { .. }));
+        assert!((plan.fusion_ratio() - 11.0).abs() < 1e-12);
+        assert_plan_matches_per_gate(&c, 4, 53);
+    }
+
+    #[test]
+    fn lookalike_patterns_are_not_reraised() {
+        // Same shape but the middle phase is not the negation of the
+        // head phase — must NOT match the motif (it is not a pure
+        // controlled phase), and must still execute correctly.
+        let mut c = Circuit::new(3);
+        c.phase(0.4, 0)
+            .cx(0, 1)
+            .phase(0.3, 1)
+            .cx(0, 1)
+            .phase(0.4, 1);
+        let plan = FusedPlan::compile(&c);
+        assert!(plan.num_ops() > 1, "lookalike must not collapse to 1 op");
+        assert_plan_matches_per_gate(&c, 3, 59);
+
+        // Mismatched CX wiring between the two halves.
+        let mut c2 = Circuit::new(3);
+        c2.phase(0.4, 0)
+            .cx(0, 1)
+            .phase(-0.4, 1)
+            .cx(1, 0)
+            .phase(0.4, 1);
+        let plan2 = FusedPlan::compile(&c2);
+        assert!(plan2.num_ops() > 1);
+        assert_plan_matches_per_gate(&c2, 3, 61);
+    }
+
+    #[test]
+    fn motif_split_by_insertion_falls_back_per_gate() {
+        // An error landing *inside* a re-raised motif must be applied at
+        // its true per-gate position, not before/after the fused op.
+        let mut c = Circuit::new(3);
+        c.h(0);
+        push_cp_motif(&mut c, 1.3, 0, 1);
+        push_cp_motif(&mut c, -0.7, 1, 2);
+        let plan = FusedPlan::compile(&c);
+        for g in 0..c.len() {
+            let ins = [Insertion {
+                after_gate: g,
+                gate: Gate::X(1),
+            }];
+            let mut fused = random_state(3, 67 + g as u64);
+            let mut reference = fused.clone();
+            plan.run_from(&mut fused, 0, &ins);
+            for (i, gate) in c.gates().iter().enumerate() {
+                reference.apply_gate(gate);
+                if i == g {
+                    reference.apply_gate(&Gate::X(1));
+                }
+            }
+            assert!(
+                approx_eq_slice(fused.amplitudes(), reference.amplitudes(), TOL),
+                "divergence with insertion after gate {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_runs_lower_to_nop() {
+        let mut c = Circuit::new(3);
+        c.id(0).id(1).id(2);
+        let plan = FusedPlan::compile(&c);
+        assert_eq!(plan.num_ops(), 1);
+        assert!(matches!(plan.ops[0].kind, OpKind::Nop));
+        assert_plan_matches_per_gate(&c, 3, 3);
+    }
+
+    #[test]
+    fn empty_circuit_compiles_to_empty_plan() {
+        let c = Circuit::new(2);
+        let plan = FusedPlan::compile(&c);
+        assert_eq!(plan.num_ops(), 0);
+        assert_eq!(plan.num_gates(), 0);
+        assert!((plan.fusion_ratio() - 1.0).abs() < 1e-12);
+        let mut s = StateVector::zero_state(2);
+        plan.apply(&mut s); // must be a no-op
+        assert!((s.probability(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_from_matches_per_gate_for_every_insertion_point() {
+        // Dense mixed circuit; fuse, then check every insertion position
+        // against naive per-gate replay, entering at several offsets.
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .rz(0.3, 0)
+            .sx(0)
+            .rz(0.9, 0)
+            .cx(0, 1)
+            .rz(0.2, 1)
+            .rz(0.4, 2)
+            .cphase(0.5, 1, 2)
+            .x(3)
+            .rz(-0.7, 3)
+            .sx(3)
+            .cx(2, 3)
+            .t(0)
+            .t(0);
+        let plan = FusedPlan::compile(&c);
+        assert!(plan.fusion_ratio() > 1.0);
+        for g in 0..c.len() {
+            let ins = [Insertion {
+                after_gate: g,
+                gate: Gate::Y(2),
+            }];
+            for start in [0, g / 2, g] {
+                let mut fused = random_state(4, 7 + g as u64);
+                // Advance the reference to `start` per-gate, then both
+                // paths finish from the same prefix state.
+                let mut reference = fused.clone();
+                for gate in &c.gates()[..start] {
+                    fused.apply_gate(gate);
+                    reference.apply_gate(gate);
+                }
+                plan.run_from(&mut fused, start, &ins);
+                for (i, gate) in c.gates().iter().enumerate().skip(start) {
+                    reference.apply_gate(gate);
+                    if i == g {
+                        reference.apply_gate(&Gate::Y(2));
+                    }
+                }
+                assert!(
+                    approx_eq_slice(fused.amplitudes(), reference.amplitudes(), TOL),
+                    "divergence: insertion after {g}, start {start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_from_handles_multiple_insertions_at_one_site() {
+        let mut c = Circuit::new(3);
+        c.rz(0.1, 0).rz(0.2, 1).cx(0, 1).rz(0.3, 2).sx(2).rz(0.4, 2);
+        let plan = FusedPlan::compile(&c);
+        let ins = [
+            Insertion {
+                after_gate: 1,
+                gate: Gate::X(0),
+            },
+            Insertion {
+                after_gate: 1,
+                gate: Gate::Z(1),
+            },
+            Insertion {
+                after_gate: 5,
+                gate: Gate::Y(2),
+            },
+        ];
+        let mut fused = random_state(3, 41);
+        let mut reference = fused.clone();
+        plan.run_from(&mut fused, 0, &ins);
+        let mut pending = ins.iter().peekable();
+        for (i, gate) in c.gates().iter().enumerate() {
+            reference.apply_gate(gate);
+            while pending.peek().is_some_and(|x| x.after_gate == i) {
+                reference.apply_gate(&pending.next().unwrap().gate);
+            }
+        }
+        assert!(approx_eq_slice(
+            fused.amplitudes(),
+            reference.amplitudes(),
+            TOL
+        ));
+    }
+
+    #[test]
+    fn op_ranges_are_contiguous_and_cover_the_circuit() {
+        let mut c = Circuit::new(4);
+        c.h(0).rz(0.1, 0).cx(0, 1).rz(0.2, 2).rz(0.3, 3).swap(0, 3);
+        let plan = FusedPlan::compile(&c);
+        let mut pos = 0;
+        for op in &plan.ops {
+            assert_eq!(op.start, pos, "gap in op coverage");
+            assert!(op.end > op.start);
+            pos = op.end;
+        }
+        assert_eq!(pos, c.len());
+    }
+}

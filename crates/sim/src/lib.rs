@@ -16,6 +16,10 @@
 //!
 //! * [`measure`] — measurement distributions, shot sampling, and count
 //!   tables in the form the paper's success metric consumes.
+//! * [`fused`] — **compiled execution plans**: a circuit is lowered
+//!   once into a flat op list (diagonal runs coalesced, 1q runs folded,
+//!   kernel selection precomputed) that every trajectory replay
+//!   executes instead of re-dispatching on the `Gate` enum.
 //! * [`executor`] — circuit execution with **checkpointed replay**: the
 //!   noiseless state is snapshotted every K gates so a noisy trajectory
 //!   whose first error lands at gate g can restart from checkpoint
@@ -24,6 +28,7 @@
 
 pub mod density;
 pub mod executor;
+pub mod fused;
 pub mod measure;
 pub mod observable;
 pub mod statevector;
@@ -32,6 +37,7 @@ pub mod tomography;
 
 pub use density::DensityMatrix;
 pub use executor::{CheckpointTable, Insertion};
+pub use fused::FusedPlan;
 pub use measure::{Counts, ShotSampler};
 pub use observable::{Observable, PauliOp, PauliString};
 pub use statevector::StateVector;

@@ -250,7 +250,7 @@ impl StateVector {
 
     /// Multiplies every amplitude whose index satisfies
     /// `index & mask == want` by `phase`.
-    fn phase_on_mask(&mut self, mask: usize, want: usize, phase: Complex64) {
+    pub(crate) fn phase_on_mask(&mut self, mask: usize, want: usize, phase: Complex64) {
         if self.use_parallel() {
             self.amps.par_iter_mut().enumerate().for_each(|(i, a)| {
                 if i & mask == want {
@@ -267,7 +267,7 @@ impl StateVector {
     }
 
     /// Applies diag(p0, p1) on qubit `q` (both halves phased — RZ).
-    fn diag_pair(&mut self, q: u32, p0: Complex64, p1: Complex64) {
+    pub(crate) fn diag_pair(&mut self, q: u32, p0: Complex64, p1: Complex64) {
         let bit = 1usize << q;
         let chunk = bit << 1;
         let body = |ch: &mut [Complex64]| {
@@ -294,7 +294,7 @@ impl StateVector {
     }
 
     /// Pauli-X on `q`: swaps paired amplitudes.
-    fn apply_x(&mut self, q: u32) {
+    pub(crate) fn apply_x(&mut self, q: u32) {
         let bit = 1usize << q;
         let chunk = bit << 1;
         let body = |ch: &mut [Complex64]| {
@@ -318,7 +318,7 @@ impl StateVector {
     }
 
     /// General single-qubit unitary on `q`.
-    fn apply_mat2(&mut self, q: u32, m: &Mat2) {
+    pub(crate) fn apply_mat2(&mut self, q: u32, m: &Mat2) {
         let bit = 1usize << q;
         let chunk = bit << 1;
         let [[m00, m01], [m10, m11]] = m.m;
@@ -353,7 +353,7 @@ impl StateVector {
 
     /// X on `target` for every index whose bits in `control_mask` are all
     /// set (covers CX and CCX).
-    fn controlled_x(&mut self, control_mask: usize, target: u32) {
+    pub(crate) fn controlled_x(&mut self, control_mask: usize, target: u32) {
         let bit = 1usize << target;
         let chunk = bit << 1;
         let body = |(ci, ch): (usize, &mut [Complex64])| {
@@ -374,7 +374,7 @@ impl StateVector {
 
     /// SWAP of qubits `a` and `b`, gated on all bits of `control_mask`
     /// (0 for plain SWAP; CSWAP passes the control bit).
-    fn apply_swap(&mut self, control_mask: usize, a: u32, b: u32) {
+    pub(crate) fn apply_swap(&mut self, control_mask: usize, a: u32, b: u32) {
         assert_ne!(a, b);
         let (lo_q, hi_q) = if a < b { (a, b) } else { (b, a) };
         let lo_bit = 1usize << lo_q;
@@ -400,9 +400,54 @@ impl StateVector {
         }
     }
 
+    /// Applies a general diagonal operator over `qubits`: amplitude `i`
+    /// is multiplied by `table[gather_bits(i, qubits)]`. One pass over
+    /// the state regardless of how many diagonal gates were coalesced
+    /// into the table (the fused-plan kernel for diagonal runs).
+    pub(crate) fn apply_diag_table(&mut self, qubits: &[u32], table: &[Complex64]) {
+        debug_assert_eq!(table.len(), 1usize << qubits.len());
+        debug_assert!(
+            qubits.windows(2).all(|w| w[0] < w[1]),
+            "diag-table qubits must be ascending"
+        );
+        if let [q] = qubits {
+            return self.diag_pair(*q, table[0], table[1]);
+        }
+        // With ascending qubits the table index of amplitude `i` is a
+        // bit-extract of `i` under the support mask — one BMI2 `pext`
+        // instead of a per-qubit shift/or loop on x86-64.
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("bmi2") {
+            let mask = qubits.iter().fold(0u64, |m, &q| m | (1u64 << q));
+            const CHUNK: usize = 1 << 12;
+            if self.use_parallel() {
+                self.amps
+                    .par_chunks_mut(CHUNK)
+                    .enumerate()
+                    .for_each(|(c, chunk)| unsafe {
+                        diag_table_pext(c * CHUNK, chunk, mask, table)
+                    });
+            } else {
+                for (c, chunk) in self.amps.chunks_mut(CHUNK).enumerate() {
+                    unsafe { diag_table_pext(c * CHUNK, chunk, mask, table) }
+                }
+            }
+            return;
+        }
+        if self.use_parallel() {
+            self.amps.par_iter_mut().enumerate().for_each(|(i, a)| {
+                *a *= table[qfab_math::bits::gather_bits(i, qubits)];
+            });
+        } else {
+            for (i, a) in self.amps.iter_mut().enumerate() {
+                *a *= table[qfab_math::bits::gather_bits(i, qubits)];
+            }
+        }
+    }
+
     /// Generic two-qubit unitary over gate operands `(q0, q1)` with `q0`
     /// the least significant matrix bit. Sequential (rare path).
-    fn apply_mat4(&mut self, q0: u32, q1: u32, m: &Mat4) {
+    pub(crate) fn apply_mat4(&mut self, q0: u32, q1: u32, m: &Mat4) {
         assert_ne!(q0, q1);
         let (s0, s1) = if q0 < q1 { (q0, q1) } else { (q1, q0) };
         let groups = self.amps.len() >> 2;
@@ -426,7 +471,7 @@ impl StateVector {
 
     /// Generic three-qubit unitary over gate operands `(q0, q1, q2)` with
     /// `q0` least significant. Sequential (rare path).
-    fn apply_mat8(&mut self, q0: u32, q1: u32, q2: u32, m: &Mat8) {
+    pub(crate) fn apply_mat8(&mut self, q0: u32, q1: u32, q2: u32, m: &Mat8) {
         let mut sorted = [q0, q1, q2];
         sorted.sort_unstable();
         assert!(sorted[0] != sorted[1] && sorted[1] != sorted[2]);
@@ -453,6 +498,22 @@ impl StateVector {
                 self.amps[*slot] = val;
             }
         }
+    }
+}
+
+/// Diag-table inner loop over one chunk starting at absolute amplitude
+/// index `base`, with the table index extracted via BMI2 `pext`.
+///
+/// # Safety
+/// Caller must have verified `bmi2` is available at runtime, and
+/// `table.len() == 2^popcount(mask)` so every extracted index is in
+/// bounds.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "bmi2")]
+unsafe fn diag_table_pext(base: usize, chunk: &mut [Complex64], mask: u64, table: &[Complex64]) {
+    for (j, a) in chunk.iter_mut().enumerate() {
+        let t = core::arch::x86_64::_pext_u64((base + j) as u64, mask) as usize;
+        *a *= *table.get_unchecked(t);
     }
 }
 

@@ -42,6 +42,18 @@ pub(crate) struct SimMetrics {
     /// Wall time per checkpoint-table build.
     pub checkpoint_build_ns: &'static Histogram,
 
+    /// Fused execution plans compiled.
+    pub fused_plans: &'static Counter,
+    /// Original gates lowered into fused plans.
+    pub fused_gates_in: &'static Counter,
+    /// Ops emitted by fused plans (gates_in / ops_out = fusion ratio).
+    pub fused_ops_out: &'static Counter,
+    /// Fused ops executed across all replays.
+    pub fused_ops_applied: &'static Counter,
+    /// Gates applied per-gate because a checkpoint boundary or an
+    /// insertion split a fused op.
+    pub fused_fallback_gates: &'static Counter,
+
     /// Trajectory replays that actually re-simulated gates.
     pub replays: &'static Counter,
     /// Empty-insertion replays served by cloning the final state.
@@ -72,6 +84,11 @@ impl SimMetrics {
             checkpoint_states: telemetry::counter("sim.checkpoint.states"),
             checkpoint_bytes: telemetry::gauge("sim.checkpoint.bytes"),
             checkpoint_build_ns: telemetry::histogram("sim.checkpoint.build_ns"),
+            fused_plans: telemetry::counter("sim.fused.plans"),
+            fused_gates_in: telemetry::counter("sim.fused.gates_in"),
+            fused_ops_out: telemetry::counter("sim.fused.ops_out"),
+            fused_ops_applied: telemetry::counter("sim.fused.ops_applied"),
+            fused_fallback_gates: telemetry::counter("sim.fused.fallback_gates"),
             replays: telemetry::counter("sim.replay.noisy"),
             replays_clean: telemetry::counter("sim.replay.clean"),
             replay_gates: telemetry::histogram("sim.replay.gates"),

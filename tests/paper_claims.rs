@@ -97,7 +97,9 @@ fn depth_one_hurts_superposed_operands_noiselessly() {
 /// under noise (it has fewer noisy gates).
 #[test]
 fn aqft_at_heuristic_depth_competes_with_full_qft_under_noise() {
-    let insts = ensemble(7, 8, 1, 2, 10, 25);
+    // 16 instances: 6.25% per-instance granularity keeps one unlucky
+    // modal-outcome flip from blowing through the statistical slack.
+    let insts = ensemble(7, 8, 1, 2, 16, 25);
     let model = NoiseModel::only_2q_depolarizing(0.02);
     let shots = 192;
     let r3 = success_rate(&insts, AqftDepth::Limited(3), &model, shots);
