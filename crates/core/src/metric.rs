@@ -12,8 +12,11 @@
 //! whose gap is within σ of failure, the upper bar the fraction of
 //! *failed* instances within σ of success.
 
-use qfab_math::stats::Welford;
+use qfab_math::stats::{wilson_interval, Welford};
 use qfab_sim::Counts;
+
+/// Standard normal quantile for the 95% Wilson interval (z₀.₉₇₅).
+const WILSON_Z95: f64 = 1.959_963_985;
 
 /// The outcome of one arithmetic instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,6 +69,15 @@ pub struct EnsembleStats {
     /// Percent of failed instances within one σ of success (the
     /// *upper* error bar).
     pub upper_bar_pct: f64,
+    /// Lower bound of the 95% Wilson score interval on the success
+    /// rate, in percent. Unlike the paper's σ-proximity bars (which
+    /// describe gap *margins*), this is a sampling-uncertainty
+    /// interval on the plotted proportion itself — well-behaved at
+    /// 0%/100%, where the figures saturate. Zero for an empty
+    /// ensemble.
+    pub wilson_low_pct: f64,
+    /// Upper bound of the 95% Wilson interval, in percent.
+    pub wilson_high_pct: f64,
 }
 
 impl EnsembleStats {
@@ -86,6 +98,7 @@ impl EnsembleStats {
             .iter()
             .filter(|o| !o.success && (o.min_gap as f64) > -sigma)
             .count();
+        let (wilson_low, wilson_high) = wilson_interval(successes as u64, n as u64, WILSON_Z95);
         Self {
             instances: n,
             successes,
@@ -94,6 +107,8 @@ impl EnsembleStats {
             gap_mean: gaps.mean(),
             lower_bar_pct: 100.0 * near_fail as f64 / n as f64,
             upper_bar_pct: 100.0 * near_success as f64 / n as f64,
+            wilson_low_pct: 100.0 * wilson_low,
+            wilson_high_pct: 100.0 * wilson_high,
         }
     }
 }
@@ -180,6 +195,28 @@ mod tests {
         assert_eq!(stats.instances, 10);
         assert_eq!(stats.successes, 7);
         assert!((stats.success_rate_pct - 70.0).abs() < 1e-12);
+        // The Wilson interval brackets the estimate and stays in
+        // [0, 100] — at n=10 it is wide.
+        assert!(stats.wilson_low_pct < 70.0 && 70.0 < stats.wilson_high_pct);
+        assert!(stats.wilson_low_pct > 34.0 && stats.wilson_low_pct < 45.0);
+        assert!(stats.wilson_high_pct > 85.0 && stats.wilson_high_pct < 95.0);
+    }
+
+    #[test]
+    fn wilson_bounds_are_informative_at_saturation() {
+        // 20/20 successes: the σ-proximity bars vanish, but the Wilson
+        // interval still reports sampling uncertainty below 100%.
+        let outcomes = vec![
+            InstanceOutcome {
+                success: true,
+                min_gap: 100
+            };
+            20
+        ];
+        let stats = EnsembleStats::from_outcomes(&outcomes);
+        assert_eq!(stats.success_rate_pct, 100.0);
+        assert_eq!(stats.wilson_high_pct, 100.0);
+        assert!(stats.wilson_low_pct > 80.0 && stats.wilson_low_pct < 100.0);
     }
 
     #[test]

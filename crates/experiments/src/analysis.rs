@@ -107,7 +107,7 @@ pub fn superposition_drop_at(scale: Scale, seed: u64, rates: &[f64]) -> Vec<Supe
         AqftDepth::Limited(4),
         AqftDepth::Full,
     ];
-    let mut spec_12 = PanelSpec {
+    let spec_12 = PanelSpec {
         id: "drop12",
         title: "QFA 1:2 targeted".into(),
         op: OpKind::Add,
@@ -117,15 +117,13 @@ pub fn superposition_drop_at(scale: Scale, seed: u64, rates: &[f64]) -> Vec<Supe
         order_y: 2,
         error_target: ErrorTarget::TwoQubit,
         rates: rates.clone(),
-        depths: depths.clone(),
+        depths,
         reference_rate: 0.010,
     };
     let mut spec_22 = spec_12.clone();
     spec_22.id = "drop22";
     spec_22.title = "QFA 2:2 targeted".into();
     spec_22.order_x = 2;
-    spec_12.depths = depths.clone();
-    spec_22.depths = depths;
 
     let r12 = run_panel(&spec_12, scale, seed, |_| {});
     let r22 = run_panel(&spec_22, scale, seed, |_| {});
@@ -198,6 +196,70 @@ mod tests {
         // tie must break toward the shallower depth.
         assert_eq!(opt[0].depth, AqftDepth::Limited(1));
         assert_eq!(opt[0].success_pct, 100.0);
+    }
+
+    /// Pins the tie-break rule on a hand-built panel, independent of
+    /// any simulation: equal success rates must resolve to the
+    /// shallowest depth (fewest gates), and only a strictly higher
+    /// rate may prefer a deeper one.
+    #[test]
+    fn ties_break_toward_the_shallower_depth() {
+        use crate::runner::PointResult;
+        use qfab_core::EnsembleStats;
+        let spec = PanelSpec {
+            id: "tiebreak",
+            title: "synthetic".into(),
+            op: OpKind::Add,
+            n: 3,
+            m: 4,
+            order_x: 1,
+            order_y: 1,
+            error_target: ErrorTarget::TwoQubit,
+            rates: vec![0.0, 0.1],
+            depths: vec![
+                AqftDepth::Limited(1),
+                AqftDepth::Limited(3),
+                AqftDepth::Full,
+            ],
+            reference_rate: 0.1,
+        };
+        let point = |rate: f64, depth: AqftDepth, pct: f64| PointResult {
+            rate,
+            depth,
+            stats: EnsembleStats {
+                success_rate_pct: pct,
+                ..EnsembleStats::default()
+            },
+            cpu_secs: 0.0,
+            wall_secs: 0.0,
+        };
+        let result = PanelResult {
+            points: spec
+                .rates
+                .iter()
+                .zip([[100.0, 100.0, 100.0], [40.0, 70.0, 70.0]])
+                .flat_map(|(&rate, row)| {
+                    spec.depths
+                        .iter()
+                        .zip(row)
+                        .map(move |(&depth, pct)| point(rate, depth, pct))
+                })
+                .collect(),
+            spec,
+            scale: crate::scale::Scale {
+                instances: 1,
+                shots: 1,
+            },
+            seed: 0,
+            elapsed_secs: 0.0,
+            cache: None,
+        };
+        let opt = optimal_depths(&result);
+        // Three-way tie at zero noise: the shallowest depth wins.
+        assert_eq!(opt[0].depth, AqftDepth::Limited(1));
+        // d=3 strictly beats d=1 and ties Full: d=3 wins, not Full.
+        assert_eq!(opt[1].depth, AqftDepth::Limited(3));
+        assert_eq!(opt[1].success_pct, 70.0);
     }
 
     #[test]

@@ -7,26 +7,19 @@
 //! repro fig1 | fig2 | all [options] # panel groups
 //! repro optimal-depth [options]     # §IV optimal-depth summary
 //! repro superposition-drop [opts]   # §V quantitative claim
+//! repro dash DIR [-o FILE]          # one-page HTML result dashboard
+//! repro diff A B [--alpha P]        # statistical drift gate
+//! repro history DIR                 # run-history ledger listing
 //! repro --store-verify DIR          # integrity-check a result store
 //! repro trace-report FILE [--top N] # analyze a QFAB_TRACE capture
 //! repro bench [--trajectories N]    # fused vs per-gate replay timing
 //! repro bench-gate FILE [options]   # kernel-bench regression gate
-//!
-//! options:
-//!   --scale quick|default|paper   preset instance/shot counts
-//!   --instances N                 override instance count
-//!   --shots N                     override shots per instance
-//!   --seed N                      root seed (default 20220513)
-//!   --out DIR                     also write <id>.txt / <id>.csv
-//!   --metrics                     collect telemetry, print a metrics
-//!                                 summary, and write <id>.manifest.json
-//!   --store DIR                   durable cell store: reuse cached cells,
-//!                                 persist fresh ones (incremental sweeps)
-//!   --resume                      continue an interrupted --store run
-//!                                 (requires the store to already exist)
-//!   --no-cache                    with --store: recompute every cell and
-//!                                 overwrite its record (refresh)
 //! ```
+//!
+//! The authoritative help screen — every subcommand plus the shared
+//! sweep options — is generated from [`qfab_experiments::cli`], whose
+//! tests guarantee it matches this binary's dispatch table. Run
+//! `repro --help` to see it.
 //!
 //! Set `QFAB_TRACE=on` (or `QFAB_TRACE=on:<path>`) to capture a Chrome
 //! `trace_event` JSON timeline of any run, loadable in Perfetto or
@@ -35,53 +28,24 @@
 use qfab_experiments::analysis::{
     format_optimal_depths, format_superposition_drop, superposition_drop,
 };
+use qfab_experiments::cli::{self, Command};
 use qfab_experiments::report::{
     format_metrics_summary, format_panel, format_panel_timing, panel_manifest, write_manifest,
     write_panel,
 };
+use qfab_experiments::rundata::{load_run, RunSummary};
 use qfab_experiments::scale::OpCost;
 use qfab_experiments::sweep::panel_by_id;
 use qfab_experiments::table1::{format_table1, run_table1};
 use qfab_experiments::{
-    fig1_panels, fig2_panels, progress_line, run_panel_with, verify_store, CellCache, OpKind,
-    PanelSpec, Scale,
+    dashboard, drift, fig1_panels, fig2_panels, ledger, progress_line, run_panel_with,
+    verify_store, CellCache, OpKind, PanelSpec, Scale,
 };
 use qfab_telemetry as telemetry;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const DEFAULT_SEED: u64 = 20220513;
-
-const USAGE: &str = "\
-usage: repro <experiment> [options]
-       repro --store-verify DIR
-       repro trace-report FILE [--top N]
-       repro bench [--trajectories N] [--seed N]
-       repro bench-gate FILE [--baseline FILE] [--threshold PCT]
-
-experiments: list | table1 | fig1 | fig2 | all | optimal-depth |
-             superposition-drop | dump | <panel id, e.g. fig1a>
-
-options:
-  --scale quick|default|paper   preset instance/shot counts
-  --instances N                 override instance count
-  --shots N                     override shots per instance
-  --seed N                      root seed (default 20220513)
-  --out DIR                     also write <id>.txt / <id>.csv
-  --metrics                     collect telemetry, print a metrics summary,
-                                and write <id>.manifest.json
-  --store DIR                   durable cell store: reuse cached cells,
-                                persist fresh ones (incremental sweeps)
-  --resume                      continue an interrupted --store run
-                                (requires the store to already exist)
-  --no-cache                    with --store: recompute every cell and
-                                overwrite its record (refresh)
-
-environment:
-  QFAB_TRACE=on[:<path>]        capture a Chrome trace_event timeline
-                                (default path qfab_trace.json)
-
-run 'repro list' for every regenerable artifact.";
 
 struct Options {
     scale_name: String,
@@ -277,9 +241,13 @@ fn list() {
     println!("  superposition-drop   1:2 vs 2:2 at 1.0%/0.7% 2q error (paper SV)");
     println!("  dump qfa|qfm|qft <depth|full> [--basis logical|cx|ibm] [--qasm]");
     println!("                       print a circuit (diagram or OpenQASM)");
+    println!("  dash DIR             render a run directory to one HTML dashboard");
+    println!("  diff A B             drift gate: compare two runs' success rates");
+    println!("  history DIR          list a store's run-history ledger");
     println!("  trace-report FILE    wall-clock attribution for a QFAB_TRACE capture");
     println!("  bench                time fused vs per-gate trajectory replay");
     println!("  bench-gate FILE      compare BENCH_kernels.json against the baseline");
+    println!("run 'repro --help' for the full option reference.");
 }
 
 fn dump(args: &[String]) -> Result<(), String> {
@@ -478,6 +446,121 @@ fn store_verify(dir: &std::path::Path) -> ExitCode {
     }
 }
 
+fn dash(args: &[String]) -> Result<(), String> {
+    let dir = args.first().ok_or("dash needs a run directory")?;
+    let mut out = PathBuf::from("dashboard.html");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--out" => {
+                out = PathBuf::from(args.get(i + 1).ok_or("-o needs a file path")?);
+                i += 2;
+            }
+            other => return Err(format!("unknown dash option '{other}'")),
+        }
+    }
+    let dir = Path::new(dir);
+    if !dir.is_dir() {
+        return Err(format!("{} is not a directory", dir.display()));
+    }
+    let html = dashboard::render_dir(dir).map_err(|e| format!("cannot read run: {e}"))?;
+    std::fs::write(&out, &html).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    eprintln!("wrote {} ({} bytes)", out.display(), html.len());
+    Ok(())
+}
+
+/// Resolves a `repro diff` operand: a store directory, or `DIR@N` for
+/// the N-th ledger entry (negative N counts from the latest).
+fn resolve_run_ref(spec: &str) -> Result<RunSummary, String> {
+    if let Some((dir_part, idx_part)) = spec.rsplit_once('@') {
+        if let Ok(idx) = idx_part.parse::<i64>() {
+            let dir = Path::new(dir_part);
+            let history = ledger::read(dir)
+                .map_err(|e| format!("cannot read ledger in {}: {e}", dir.display()))?;
+            let entry = ledger::resolve(&history, idx).ok_or_else(|| {
+                format!(
+                    "{spec}: ledger has {} entries, no index {idx}",
+                    history.entries.len()
+                )
+            })?;
+            return Ok(entry.summary.clone());
+        }
+    }
+    let dir = Path::new(spec);
+    if !dir.is_dir() {
+        return Err(format!(
+            "{spec} is not a run directory (or DIR@N ledger ref)"
+        ));
+    }
+    let run = load_run(dir).map_err(|e| format!("cannot read store {spec}: {e}"))?;
+    if run.panels.is_empty() {
+        return Err(format!("{spec} holds no decodable cell records"));
+    }
+    Ok(RunSummary::from_run(&run))
+}
+
+fn diff(args: &[String]) -> Result<bool, String> {
+    let (Some(a_spec), Some(b_spec)) = (args.first(), args.get(1)) else {
+        return Err("diff needs two runs (store DIR or DIR@N ledger ref)".into());
+    };
+    let mut alpha = drift::DEFAULT_ALPHA;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--alpha" => {
+                alpha = args
+                    .get(i + 1)
+                    .ok_or("--alpha needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--alpha: {e}"))?;
+                i += 2;
+            }
+            other => return Err(format!("unknown diff option '{other}'")),
+        }
+    }
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(format!("--alpha must be in (0, 1), got {alpha}"));
+    }
+    let a = resolve_run_ref(a_spec)?;
+    let b = resolve_run_ref(b_spec)?;
+    let report = drift::compare(&a, &b, alpha);
+    print!("{}", drift::format_report(&report));
+    Ok(report.passed())
+}
+
+fn history_cmd(args: &[String]) -> Result<(), String> {
+    let dir = args.first().ok_or("history needs a store directory")?;
+    let dir = Path::new(dir);
+    if !dir.is_dir() {
+        return Err(format!("{} is not a directory", dir.display()));
+    }
+    let history =
+        ledger::read(dir).map_err(|e| format!("cannot read ledger in {}: {e}", dir.display()))?;
+    print!("{}", ledger::format_history(&history));
+    Ok(())
+}
+
+/// After a sweep with `--store`, records the store's current summary in
+/// the run-history ledger (deduplicated against the latest entry).
+fn record_history(dir: &Path) {
+    let run = match load_run(dir) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("warning: history: cannot re-read store: {e}");
+            return;
+        }
+    };
+    if run.panels.is_empty() {
+        return;
+    }
+    let summary = RunSummary::from_run(&run);
+    match ledger::append(dir, &summary, ledger::git_describe().as_deref()) {
+        Ok(true) => eprintln!("history: recorded sweep in {}", dir.display()),
+        Ok(false) => eprintln!("history: ledger already current"),
+        Err(e) => eprintln!("warning: history append failed: {e}"),
+    }
+}
+
 fn open_cache(opts: &Options) -> Result<Option<CellCache>, String> {
     let Some(dir) = &opts.store else {
         return Ok(None);
@@ -505,60 +588,63 @@ fn open_cache(opts: &Options) -> Result<Option<CellCache>, String> {
     Ok(Some(cache))
 }
 
+fn simple(result: Result<(), String>) -> ExitCode {
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn gate(result: Result<bool, String>) -> ExitCode {
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         list();
         return ExitCode::SUCCESS;
     };
-    if command == "dump" {
-        return match dump(&args[1..]) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        };
+    if matches!(command.as_str(), "-h" | "--help" | "help") {
+        println!("{}", cli::usage());
+        return ExitCode::SUCCESS;
     }
-    if command == "trace-report" {
-        return match trace_report(&args[1..]) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        };
+    let rest = &args[1..];
+    let parsed = cli::parse_command(command);
+    match parsed {
+        Some(Command::Dump) => return simple(dump(rest)),
+        Some(Command::TraceReport) => return simple(trace_report(rest)),
+        Some(Command::Bench) => return simple(replay_bench(rest)),
+        Some(Command::BenchGate) => return gate(bench_gate(rest)),
+        Some(Command::Dash) => return simple(dash(rest)),
+        Some(Command::Diff) => return gate(diff(rest)),
+        Some(Command::History) => return simple(history_cmd(rest)),
+        Some(Command::StoreVerify) => {
+            let Some(dir) = rest.first() else {
+                eprintln!(
+                    "error: --store-verify needs a directory\n\n{}",
+                    cli::usage()
+                );
+                return ExitCode::FAILURE;
+            };
+            return store_verify(Path::new(dir));
+        }
+        _ => {}
     }
-    if command == "bench" {
-        return match replay_bench(&args[1..]) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        };
-    }
-    if command == "bench-gate" {
-        return match bench_gate(&args[1..]) {
-            Ok(true) => ExitCode::SUCCESS,
-            Ok(false) => ExitCode::FAILURE,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        };
-    }
-    if command == "--store-verify" {
-        let Some(dir) = args.get(1) else {
-            eprintln!("error: --store-verify needs a directory\n\n{USAGE}");
-            return ExitCode::FAILURE;
-        };
-        return store_verify(std::path::Path::new(dir));
-    }
-    let opts = match parse_options(&args[1..]) {
+    let opts = match parse_options(rest) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
+            eprintln!("error: {e}\n\n{}", cli::usage());
             return ExitCode::FAILURE;
         }
     };
@@ -570,9 +656,9 @@ fn main() -> ExitCode {
         }
     };
 
-    match command.as_str() {
-        "list" => list(),
-        "table1" => {
+    match parsed {
+        Some(Command::List) => list(),
+        Some(Command::Table1) => {
             let entries = run_table1();
             print!("{}", format_table1(&entries));
             if entries.iter().any(|e| !e.matches()) {
@@ -580,24 +666,24 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-        "fig1" => {
+        Some(Command::Fig1) => {
             for spec in fig1_panels() {
                 run_one(&spec, &opts, cache.as_ref());
             }
         }
-        "fig2" => {
+        Some(Command::Fig2) => {
             for spec in fig2_panels() {
                 run_one(&spec, &opts, cache.as_ref());
             }
         }
-        "all" => {
+        Some(Command::All) => {
             print!("{}", format_table1(&run_table1()));
             println!();
             for spec in fig1_panels().into_iter().chain(fig2_panels()) {
                 run_one(&spec, &opts, cache.as_ref());
             }
         }
-        "optimal-depth" => {
+        Some(Command::OptimalDepth) => {
             // The depth question is most interesting where noise bites:
             // the 2:2 2q-error panels of both figures.
             for id in ["fig1f", "fig2f"] {
@@ -608,7 +694,7 @@ fn main() -> ExitCode {
                 println!("{}", format_optimal_depths(&result));
             }
         }
-        "superposition-drop" => {
+        Some(Command::SuperpositionDrop) => {
             let scale = opts.scale_for(OpKind::Add);
             eprintln!(
                 "running targeted 1:2 / 2:2 comparison at {} instances x {} shots ...",
@@ -617,19 +703,25 @@ fn main() -> ExitCode {
             let drops = superposition_drop(scale, opts.seed);
             println!("{}", format_superposition_drop(&drops));
         }
-        id => match panel_by_id(id) {
+        None => match panel_by_id(command) {
             Some(spec) => run_one(&spec, &opts, cache.as_ref()),
             None => {
-                eprintln!("error: unknown experiment '{id}'\n\n{USAGE}");
+                eprintln!("error: unknown experiment '{command}'\n\n{}", cli::usage());
                 return ExitCode::FAILURE;
             }
         },
+        Some(_) => unreachable!("non-sweep commands dispatched above"),
     }
     if let Some(cache) = cache {
         // Fold the journal into the index segment so the next open
         // replays one sorted file instead of the whole append history.
         if let Err(e) = cache.close() {
             eprintln!("warning: store compaction failed: {e}");
+        }
+        // Ledger point: the sweep's results are durable, so its summary
+        // becomes (at most) one new history entry.
+        if let Some(dir) = &opts.store {
+            record_history(dir);
         }
     }
     match telemetry::trace::write_configured_trace() {

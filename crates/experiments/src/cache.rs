@@ -55,14 +55,14 @@ pub const CODE_SALT: &str = "qfab-cell-v2";
 /// Journal size that triggers compaction at the next checkpoint.
 const COMPACT_THRESHOLD: u64 = 256 * 1024;
 
-fn op_tag(op: OpKind) -> &'static str {
+pub(crate) fn op_tag(op: OpKind) -> &'static str {
     match op {
         OpKind::Add => "add",
         OpKind::Mul => "mul",
     }
 }
 
-fn err_tag(target: ErrorTarget) -> &'static str {
+pub(crate) fn err_tag(target: ErrorTarget) -> &'static str {
     match target {
         ErrorTarget::OneQubit => "1q",
         ErrorTarget::TwoQubit => "2q",

@@ -1,0 +1,272 @@
+//! The `repro` command registry: one table driving both the help
+//! screen and dispatch.
+//!
+//! Every subcommand is declared exactly once, as a [`Subcommand`] row
+//! pairing its name with its [`Command`] value, synopsis, and blurb.
+//! The binary parses commands through [`parse_command`] and prints
+//! [`usage`], both generated from the same table — so a subcommand
+//! cannot exist without appearing in the help screen, and the help
+//! screen cannot advertise a command the dispatcher does not accept.
+//! The unit tests below pin that agreement.
+
+use std::fmt::Write as _;
+
+/// Every dispatchable `repro` subcommand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// `list` — enumerate regenerable artifacts.
+    List,
+    /// `table1` — Table I gate counts.
+    Table1,
+    /// `fig1` — all six QFA panels.
+    Fig1,
+    /// `fig2` — all six QFM panels.
+    Fig2,
+    /// `all` — table1 + every panel.
+    All,
+    /// `optimal-depth` — §IV winning-depth summary.
+    OptimalDepth,
+    /// `superposition-drop` — §V quantitative claim.
+    SuperpositionDrop,
+    /// `dump` — print a circuit.
+    Dump,
+    /// `dash` — render a run directory to one HTML dashboard.
+    Dash,
+    /// `diff` — statistical drift gate between two runs.
+    Diff,
+    /// `history` — list a store's run-history ledger.
+    History,
+    /// `trace-report` — analyze a `QFAB_TRACE` capture.
+    TraceReport,
+    /// `bench` — fused vs per-gate replay timing.
+    Bench,
+    /// `bench-gate` — kernel-bench regression gate.
+    BenchGate,
+    /// `--store-verify` — integrity-check a result store.
+    StoreVerify,
+}
+
+/// One row of the command table.
+pub struct Subcommand {
+    /// The dispatch value.
+    pub command: Command,
+    /// The literal first argument that selects this command.
+    pub name: &'static str,
+    /// Synopsis line shown in the usage screen (starts with `name`).
+    pub synopsis: &'static str,
+    /// Short description shown next to the synopsis.
+    pub blurb: &'static str,
+}
+
+/// The command table — the single source of truth for dispatch and
+/// help.
+pub const SUBCOMMANDS: &[Subcommand] = &[
+    Subcommand {
+        command: Command::List,
+        name: "list",
+        synopsis: "list",
+        blurb: "every regenerable artifact",
+    },
+    Subcommand {
+        command: Command::Table1,
+        name: "table1",
+        synopsis: "table1",
+        blurb: "Table I gate counts (exact match)",
+    },
+    Subcommand {
+        command: Command::Fig1,
+        name: "fig1",
+        synopsis: "fig1 [options]",
+        blurb: "all six QFA panels",
+    },
+    Subcommand {
+        command: Command::Fig2,
+        name: "fig2",
+        synopsis: "fig2 [options]",
+        blurb: "all six QFM panels",
+    },
+    Subcommand {
+        command: Command::All,
+        name: "all",
+        synopsis: "all [options]",
+        blurb: "table1 + every panel",
+    },
+    Subcommand {
+        command: Command::OptimalDepth,
+        name: "optimal-depth",
+        synopsis: "optimal-depth [options]",
+        blurb: "per-rate winning depth (paper SIV)",
+    },
+    Subcommand {
+        command: Command::SuperpositionDrop,
+        name: "superposition-drop",
+        synopsis: "superposition-drop [options]",
+        blurb: "1:2 vs 2:2 accuracy drop (paper SV)",
+    },
+    Subcommand {
+        command: Command::Dump,
+        name: "dump",
+        synopsis: "dump qfa|qfm|qft <depth|full> [--basis B] [--qasm]",
+        blurb: "print a circuit (diagram or OpenQASM)",
+    },
+    Subcommand {
+        command: Command::Dash,
+        name: "dash",
+        synopsis: "dash DIR [-o FILE]",
+        blurb: "render a run directory to one self-contained HTML dashboard",
+    },
+    Subcommand {
+        command: Command::Diff,
+        name: "diff",
+        synopsis: "diff A B [--alpha P]",
+        blurb: "drift gate: compare two runs' success rates (A/B: DIR or DIR@N)",
+    },
+    Subcommand {
+        command: Command::History,
+        name: "history",
+        synopsis: "history DIR",
+        blurb: "list the store's run-history ledger",
+    },
+    Subcommand {
+        command: Command::TraceReport,
+        name: "trace-report",
+        synopsis: "trace-report FILE [--top N]",
+        blurb: "wall-clock attribution for a QFAB_TRACE capture",
+    },
+    Subcommand {
+        command: Command::Bench,
+        name: "bench",
+        synopsis: "bench [--trajectories N] [--seed N]",
+        blurb: "time fused vs per-gate trajectory replay",
+    },
+    Subcommand {
+        command: Command::BenchGate,
+        name: "bench-gate",
+        synopsis: "bench-gate FILE [--baseline FILE] [--threshold PCT]",
+        blurb: "kernel-bench regression gate",
+    },
+    Subcommand {
+        command: Command::StoreVerify,
+        name: "--store-verify",
+        synopsis: "--store-verify DIR",
+        blurb: "integrity-check a result store",
+    },
+];
+
+/// Resolves a first argument to its [`Command`]; `None` for panel ids
+/// and typos (the binary tries `panel_by_id` next).
+pub fn parse_command(name: &str) -> Option<Command> {
+    SUBCOMMANDS
+        .iter()
+        .find(|s| s.name == name)
+        .map(|s| s.command)
+}
+
+/// The full help screen, generated from [`SUBCOMMANDS`].
+pub fn usage() -> String {
+    let mut s = String::from("usage: repro <command> [args]\n\ncommands:\n");
+    let width = SUBCOMMANDS
+        .iter()
+        .map(|c| c.synopsis.len())
+        .max()
+        .unwrap_or(0);
+    for c in SUBCOMMANDS {
+        let _ = writeln!(s, "  {:<width$}  {}", c.synopsis, c.blurb);
+    }
+    s.push_str(
+        "  <panel id>                                          \
+         one panel, e.g. fig1a (see 'repro list')\n",
+    );
+    s.push_str(
+        "\nsweep options (fig1/fig2/all/optimal-depth/superposition-drop/<panel id>):\n\
+         \x20 --scale quick|default|paper   preset instance/shot counts\n\
+         \x20 --instances N                 override instance count\n\
+         \x20 --shots N                     override shots per instance\n\
+         \x20 --seed N                      root seed (default 20220513)\n\
+         \x20 --out DIR                     also write <id>.txt / <id>.csv\n\
+         \x20 --metrics                     collect telemetry, print a metrics summary,\n\
+         \x20                               and write <id>.manifest.json\n\
+         \x20 --store DIR                   durable cell store: reuse cached cells,\n\
+         \x20                               persist fresh ones, and record the sweep\n\
+         \x20                               in the run-history ledger\n\
+         \x20 --resume                      continue an interrupted --store run\n\
+         \x20                               (requires the store to already exist)\n\
+         \x20 --no-cache                    with --store: recompute every cell and\n\
+         \x20                               overwrite its record (refresh)\n\
+         \nenvironment:\n\
+         \x20 QFAB_TRACE=on[:<path>]        capture a Chrome trace_event timeline\n\
+         \x20                               (default path qfab_trace.json)\n\
+         \nrun 'repro list' for every regenerable artifact.",
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_names_are_unique_and_synopses_lead_with_them() {
+        for (i, a) in SUBCOMMANDS.iter().enumerate() {
+            assert!(
+                a.synopsis.starts_with(a.name),
+                "synopsis for {} must start with its name",
+                a.name
+            );
+            for b in &SUBCOMMANDS[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate subcommand name");
+                assert_ne!(a.command, b.command, "two names for one command");
+            }
+        }
+    }
+
+    #[test]
+    fn usage_and_dispatch_agree() {
+        let text = usage();
+        for c in SUBCOMMANDS {
+            assert!(
+                text.contains(c.synopsis),
+                "usage screen is missing '{}'",
+                c.synopsis
+            );
+            assert!(
+                text.contains(c.blurb),
+                "usage screen is missing the blurb for '{}'",
+                c.name
+            );
+            assert_eq!(
+                parse_command(c.name),
+                Some(c.command),
+                "advertised command '{}' does not dispatch",
+                c.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_required_subcommand_is_listed() {
+        for name in [
+            "dash",
+            "diff",
+            "history",
+            "bench",
+            "trace-report",
+            "bench-gate",
+            "--store-verify",
+        ] {
+            assert!(parse_command(name).is_some(), "missing '{name}'");
+        }
+        let text = usage();
+        assert!(text.contains("--store DIR"));
+        assert!(text.contains("--resume"));
+        assert!(text.contains("--no-cache"));
+        assert!(text.contains("--metrics"));
+    }
+
+    #[test]
+    fn panel_ids_and_typos_fall_through() {
+        assert_eq!(parse_command("fig1a"), None);
+        assert_eq!(parse_command("dashh"), None);
+        assert_eq!(parse_command(""), None);
+    }
+}

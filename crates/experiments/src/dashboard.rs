@@ -1,0 +1,607 @@
+//! The result dashboard: one self-contained HTML page per run
+//! (`repro dash`).
+//!
+//! A run directory accumulates heterogeneous evidence — the cell store,
+//! `*.manifest.json` provenance files, optional `*.trace.json`
+//! timelines — and reading it all back means juggling four different
+//! text formats. This module folds everything into a single HTML
+//! document with inline SVG charts ([`qfab_telemetry::svg`]): the
+//! paper-layout success-vs-error-rate curve per panel (one series per
+//! AQFT depth, Wilson error bars, the IBM reference rate as a dashed
+//! line), an optimal-depth strip against the Barenco `log₂ m`
+//! heuristic, the Table I gate-count comparison, and — when present —
+//! cache/telemetry manifest summaries and trace phase attribution.
+//!
+//! The page embeds nothing external (no scripts, fonts, or stylesheets
+//! beyond an inline `<style>`) and contains no timestamps or absolute
+//! paths, so rendering the same store twice produces **byte-identical
+//! output** — `cmp a.html b.html` is a valid regression check, and the
+//! dashboard can be archived next to the data it describes.
+
+use crate::ledger;
+use crate::rundata::{load_run, PanelData, RunData};
+use crate::table1::{format_table1, run_table1};
+use crate::tracereport::{self, Analysis};
+use qfab_core::AqftDepth;
+use qfab_telemetry::svg::{escape, DataPoint, LineChart, Series, XScale};
+use qfab_telemetry::Json;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Everything `repro dash` reads from a run directory.
+#[derive(Debug, Default)]
+pub struct DashboardInput {
+    /// The reconstructed cell store.
+    pub run: RunData,
+    /// Parsed manifests, sorted by file name.
+    pub manifests: Vec<(String, Json)>,
+    /// Parsed traces, sorted by file name.
+    pub traces: Vec<(String, Analysis)>,
+    /// The run-history ledger.
+    pub history: ledger::History,
+    /// Files that looked relevant but could not be parsed.
+    pub unreadable: Vec<String>,
+}
+
+/// Gathers store records, manifests, traces, and ledger from `dir`.
+pub fn collect(dir: &Path) -> io::Result<DashboardInput> {
+    let mut input = DashboardInput {
+        run: load_run(dir)?,
+        history: ledger::read(dir)?,
+        ..DashboardInput::default()
+    };
+    let mut names: Vec<String> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok()?.file_name().into_string().ok())
+        .collect();
+    names.sort();
+    for name in names {
+        let is_manifest = name.ends_with(".manifest.json");
+        let is_trace = name.ends_with(".trace.json");
+        if !is_manifest && !is_trace {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(dir.join(&name)) else {
+            input.unreadable.push(name);
+            continue;
+        };
+        let Ok(doc) = Json::parse(&text) else {
+            input.unreadable.push(name);
+            continue;
+        };
+        if is_manifest {
+            input.manifests.push((name, doc));
+        } else {
+            match tracereport::analyze(&doc) {
+                Ok(analysis) => input.traces.push((name, analysis)),
+                Err(_) => input.unreadable.push(name),
+            }
+        }
+    }
+    Ok(input)
+}
+
+/// Renders the directory at `dir` straight to HTML.
+pub fn render_dir(dir: &Path) -> io::Result<String> {
+    Ok(render(&collect(dir)?))
+}
+
+const PALETTE: [&str; 6] = [
+    "#1b6ca8", "#b23a48", "#2e7d32", "#8e24aa", "#ef6c00", "#00838f",
+];
+
+/// Trims a percentage for tick labels: `0`, `0.2`, `1`, `1.4`.
+fn fmt_pct(v: f64) -> String {
+    let s = format!("{v:.3}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() {
+        "0".into()
+    } else {
+        s.into()
+    }
+}
+
+fn depth_series_label(tag: &str) -> String {
+    if tag == "full" {
+        "full".into()
+    } else {
+        format!("d={tag}")
+    }
+}
+
+/// Builds the paper-layout chart for one reconstructed panel.
+fn panel_chart(panel: &PanelData) -> LineChart {
+    let mut chart = LineChart::new(format!("{} — {}", panel.id, panel.title));
+    chart.x_label = "gate error rate (%)".into();
+    chart.y_label = "success rate (%)".into();
+    chart.x_scale = XScale::Linear;
+    chart.x_ticks = panel
+        .rows
+        .iter()
+        .map(|&(_, rate)| (rate * 100.0, fmt_pct(rate * 100.0)))
+        .collect();
+    chart.y_ticks = (0..=4)
+        .map(|i| (25.0 * i as f64, format!("{}", 25 * i)))
+        .collect();
+    if let Some(reference) = panel.reference_rate {
+        chart.ref_x = Some((reference * 100.0, "IBM ref".into()));
+    }
+    for (ci, (_, depth)) in panel.cols.iter().enumerate() {
+        let mut points = Vec::new();
+        for (ri, &(_, rate)) in panel.rows.iter().enumerate() {
+            let Some(cell) = &panel.cells[ri][ci] else {
+                continue;
+            };
+            let stats = &cell.stats;
+            points.push(DataPoint {
+                x: rate * 100.0,
+                y: stats.success_rate_pct,
+                y_lo: Some(stats.wilson_low_pct),
+                y_hi: Some(stats.wilson_high_pct),
+                note: Some(format!(
+                    "{}/{} ok · wilson95 [{:.1}, {:.1}] · gap σ {:.2}",
+                    cell.successes,
+                    cell.instances,
+                    stats.wilson_low_pct,
+                    stats.wilson_high_pct,
+                    stats.gap_sigma
+                )),
+            });
+        }
+        chart.series.push(Series {
+            label: depth_series_label(depth),
+            color: PALETTE[ci % PALETTE.len()].into(),
+            points,
+        });
+    }
+    chart
+}
+
+/// Best depth per rate: highest success, ties toward the shallower
+/// depth (column order is depth order), cells without data skipped.
+fn optimal_strip(panel: &PanelData) -> Vec<(f64, String, f64)> {
+    panel
+        .rows
+        .iter()
+        .enumerate()
+        .filter_map(|(ri, &(_, rate))| {
+            let mut best: Option<(usize, f64)> = None;
+            for (ci, _) in panel.cols.iter().enumerate() {
+                let Some(cell) = &panel.cells[ri][ci] else {
+                    continue;
+                };
+                if cell.instances == 0 {
+                    continue;
+                }
+                let pct = cell.stats.success_rate_pct;
+                if best.is_none_or(|(_, b)| pct > b + 1e-12) {
+                    best = Some((ci, pct));
+                }
+            }
+            best.map(|(ci, pct)| (rate, panel.cols[ci].1.clone(), pct))
+        })
+        .collect()
+}
+
+fn html_head(out: &mut String) {
+    out.push_str("<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\"/>");
+    out.push_str("<title>qfab result dashboard</title><style>\n");
+    out.push_str(
+        "body{font-family:sans-serif;margin:24px;color:#222;max-width:1080px}\n\
+         h1{font-size:22px}h2{font-size:17px;border-bottom:1px solid #ccc;padding-bottom:4px}\n\
+         table{border-collapse:collapse;margin:8px 0}\n\
+         td,th{border:1px solid #ccc;padding:3px 9px;font-size:13px;text-align:right}\n\
+         th{background:#f2f2f2}td.l,th.l{text-align:left}\n\
+         .panels{display:flex;flex-wrap:wrap;gap:16px}\n\
+         .panel{border:1px solid #ddd;padding:8px;border-radius:4px}\n\
+         .ok{color:#2e7d32}.bad{color:#b23a48}\n\
+         .note{color:#666;font-size:12px}\n\
+         pre{background:#f7f7f7;padding:8px;font-size:12px;overflow-x:auto}\n",
+    );
+    out.push_str("</style></head><body>\n");
+}
+
+fn render_panels(out: &mut String, run: &RunData) {
+    out.push_str("<h2>Success-rate panels</h2>\n");
+    if run.panels.is_empty() {
+        out.push_str("<p class=\"note\">The store holds no decodable cell records.</p>\n");
+        return;
+    }
+    out.push_str("<div class=\"panels\">\n");
+    for panel in &run.panels {
+        let _ = writeln!(
+            out,
+            "<div class=\"panel\" id=\"panel-{}\">",
+            escape(&panel.id)
+        );
+        out.push_str(&panel_chart(panel).render());
+        let _ = writeln!(
+            out,
+            "\n<p class=\"note\">seed {} · {} shots/instance · {} instance records</p>",
+            panel.key.seed,
+            panel.key.shots,
+            panel.instance_records()
+        );
+        out.push_str("</div>\n");
+    }
+    out.push_str("</div>\n");
+}
+
+fn render_optimal_strip(out: &mut String, run: &RunData) {
+    if run.panels.is_empty() {
+        return;
+    }
+    out.push_str("<h2>Optimal depth vs Barenco heuristic</h2>\n");
+    out.push_str(
+        "<p class=\"note\">Per error rate, the depth with the highest measured success \
+         (ties to the shallower depth); the heuristic column is the paper's \
+         d&nbsp;=&nbsp;log<sub>2</sub>&nbsp;m rule of thumb.</p>\n",
+    );
+    out.push_str(
+        "<table><tr><th class=\"l\">panel</th><th>rate (%)</th>\
+         <th>best depth</th><th>success (%)</th><th>heuristic</th><th class=\"l\">agrees</th></tr>\n",
+    );
+    for panel in &run.panels {
+        let heuristic = AqftDepth::barenco_heuristic(panel.key.m as u32);
+        let heuristic_tag = heuristic.identity_tag();
+        for (rate, depth, pct) in optimal_strip(panel) {
+            let agrees = depth == heuristic_tag;
+            let _ = writeln!(
+                out,
+                "<tr><td class=\"l\">{}</td><td>{}</td><td>{}</td><td>{:.1}</td>\
+                 <td>{}</td><td class=\"l {}\">{}</td></tr>",
+                escape(&panel.id),
+                fmt_pct(rate * 100.0),
+                escape(&depth_series_label(&depth)),
+                pct,
+                escape(&depth_series_label(&heuristic_tag)),
+                if agrees { "ok" } else { "bad" },
+                if agrees { "yes" } else { "no" },
+            );
+        }
+    }
+    out.push_str("</table>\n");
+}
+
+fn render_table1(out: &mut String) {
+    out.push_str("<h2>Table I — gate counts</h2>\n");
+    out.push_str(
+        "<table><tr><th class=\"l\">op</th><th>depth</th><th>1q ours</th><th>1q paper</th>\
+         <th>2q ours</th><th>2q paper</th><th class=\"l\">match</th></tr>\n",
+    );
+    for e in run_table1() {
+        let _ = writeln!(
+            out,
+            "<tr><td class=\"l\">{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td class=\"l {}\">{}</td></tr>",
+            e.op,
+            escape(&e.depth_label),
+            e.ours_1q,
+            e.paper_1q,
+            e.ours_2q,
+            e.paper_2q,
+            if e.matches() { "ok" } else { "bad" },
+            if e.matches() { "yes" } else { "NO" },
+        );
+    }
+    out.push_str("</table>\n");
+}
+
+fn manifest_u64(doc: &Json, key: &str) -> Option<u64> {
+    doc.get(key).and_then(Json::as_u64)
+}
+
+fn render_manifests(out: &mut String, manifests: &[(String, Json)]) {
+    if manifests.is_empty() {
+        return;
+    }
+    out.push_str("<h2>Run manifests</h2>\n");
+    out.push_str(
+        "<table><tr><th class=\"l\">id</th><th>seed</th><th>instances</th><th>shots</th>\
+         <th>threads</th><th>elapsed (s)</th><th>cache hits</th><th>misses</th>\
+         <th>rejected</th><th class=\"l\">metrics</th></tr>\n",
+    );
+    for (_, doc) in manifests {
+        let id = doc.get("id").and_then(Json::as_str).unwrap_or("?");
+        let cache = doc.get("cache");
+        let cache_field = |k: &str| {
+            cache
+                .and_then(|c| c.get(k))
+                .and_then(Json::as_u64)
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into())
+        };
+        let metric_count = match doc.get("metrics") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(_, section)| match section {
+                    Json::Obj(entries) => entries.len(),
+                    _ => 0,
+                })
+                .sum::<usize>()
+                .to_string(),
+            _ => "-".into(),
+        };
+        let _ = writeln!(
+            out,
+            "<tr><td class=\"l\">{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{}</td><td class=\"l\">{}</td></tr>",
+            escape(id),
+            manifest_u64(doc, "seed").map_or("-".into(), |v| v.to_string()),
+            manifest_u64(doc, "instances").map_or("-".into(), |v| v.to_string()),
+            manifest_u64(doc, "shots").map_or("-".into(), |v| v.to_string()),
+            manifest_u64(doc, "threads").map_or("-".into(), |v| v.to_string()),
+            doc.get("elapsed_secs")
+                .and_then(Json::as_f64)
+                .map_or("-".into(), |v| format!("{v:.2}")),
+            cache_field("hits"),
+            cache_field("misses"),
+            cache_field("rejected"),
+            metric_count,
+        );
+    }
+    out.push_str("</table>\n");
+}
+
+fn render_traces(out: &mut String, traces: &[(String, Analysis)]) {
+    if traces.is_empty() {
+        return;
+    }
+    out.push_str("<h2>Trace phase attribution</h2>\n");
+    for (name, analysis) in traces {
+        let _ = writeln!(
+            out,
+            "<h3 class=\"note\">{} — {} spans over {:.1} ms wall</h3>",
+            escape(name),
+            analysis.spans.len(),
+            analysis.wall_us as f64 / 1000.0
+        );
+        out.push_str(
+            "<table><tr><th class=\"l\">phase</th><th>count</th><th>total (ms)</th>\
+             <th>self (ms)</th><th>max (ms)</th></tr>\n",
+        );
+        let mut phases: Vec<_> = analysis.phases.iter().collect();
+        phases.sort_by(|a, b| b.1.total_us.cmp(&a.1.total_us).then(a.0.cmp(&b.0)));
+        for (name, stats) in phases.into_iter().take(12) {
+            let _ = writeln!(
+                out,
+                "<tr><td class=\"l\">{}</td><td>{}</td><td>{:.2}</td><td>{:.2}</td>\
+                 <td>{:.2}</td></tr>",
+                escape(name),
+                stats.count,
+                stats.total_us as f64 / 1000.0,
+                stats.self_us as f64 / 1000.0,
+                stats.max_us as f64 / 1000.0,
+            );
+        }
+        out.push_str("</table>\n");
+    }
+}
+
+fn render_history(out: &mut String, history: &ledger::History) {
+    if history.entries.is_empty() {
+        return;
+    }
+    out.push_str("<h2>Run history</h2>\n");
+    out.push_str(
+        "<table><tr><th>entry</th><th class=\"l\">digest</th><th class=\"l\">git</th>\
+         <th>panels</th><th>successes</th><th>instances</th></tr>\n",
+    );
+    for (i, entry) in history.entries.iter().enumerate() {
+        let (successes, instances) = entry.summary.panels.iter().fold((0u64, 0u64), |(s, n), p| {
+            let (ps, pn) = p.totals();
+            (s + ps, n + pn)
+        });
+        let _ = writeln!(
+            out,
+            "<tr><td>{}</td><td class=\"l\">{}</td><td class=\"l\">{}</td>\
+             <td>{}</td><td>{}</td><td>{}</td></tr>",
+            i,
+            escape(&entry.digest[..12.min(entry.digest.len())]),
+            escape(entry.git.as_deref().unwrap_or("-")),
+            entry.summary.panels.len(),
+            successes,
+            instances,
+        );
+    }
+    out.push_str("</table>\n");
+}
+
+/// Renders the collected inputs into one self-contained HTML document.
+pub fn render(input: &DashboardInput) -> String {
+    let mut out = String::new();
+    html_head(&mut out);
+    out.push_str("<h1>qfab result dashboard</h1>\n");
+    let _ = writeln!(
+        out,
+        "<p class=\"note\">{} panels from {} store records ({} rejected) · \
+         {} manifests · {} traces · {} ledger entries</p>",
+        input.run.panels.len(),
+        input.run.records,
+        input.run.rejected,
+        input.manifests.len(),
+        input.traces.len(),
+        input.history.entries.len(),
+    );
+    if !input.unreadable.is_empty() {
+        let _ = writeln!(
+            out,
+            "<p class=\"note bad\">unreadable inputs skipped: {}</p>",
+            escape(&input.unreadable.join(", "))
+        );
+    }
+    render_panels(&mut out, &input.run);
+    render_optimal_strip(&mut out, &input.run);
+    render_table1(&mut out);
+    render_manifests(&mut out, &input.manifests);
+    render_traces(&mut out, &input.traces);
+    render_history(&mut out, &input.history);
+    // The plain-text Table I rendering doubles as a copy-pastable
+    // appendix (same data as the table above, gate-for-gate).
+    out.push_str("<h2>Appendix: Table I (text)</h2>\n<pre>");
+    out.push_str(&escape(&format_table1(&run_table1())));
+    out.push_str("</pre>\n</body></html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CellCache;
+    use crate::runner::run_panel_with;
+    use crate::scale::Scale;
+    use crate::sweep::{ErrorTarget, OpKind, PanelSpec};
+
+    fn tiny_spec() -> PanelSpec {
+        PanelSpec {
+            id: "dashload",
+            title: "tiny".into(),
+            op: OpKind::Add,
+            n: 3,
+            m: 4,
+            order_x: 1,
+            order_y: 1,
+            error_target: ErrorTarget::TwoQubit,
+            rates: vec![0.0, 0.02],
+            depths: vec![qfab_core::AqftDepth::Limited(2), qfab_core::AqftDepth::Full],
+            reference_rate: 0.02,
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("qfab_dash_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn populate(dir: &std::path::Path) {
+        let cache = CellCache::open(dir, true).unwrap();
+        run_panel_with(
+            &tiny_spec(),
+            Scale {
+                instances: 2,
+                shots: 16,
+            },
+            7,
+            Some(&cache),
+            |_| {},
+        );
+        cache.close().unwrap();
+    }
+
+    /// HTML-aware tag balance: void elements self-close, everything
+    /// else must nest LIFO.
+    pub(crate) fn assert_tag_balanced(html: &str) {
+        let mut stack: Vec<String> = Vec::new();
+        let mut rest = html;
+        while let Some(open) = rest.find('<') {
+            let Some(close) = rest[open..].find('>') else {
+                panic!("unterminated tag");
+            };
+            let tag = &rest[open + 1..open + close];
+            rest = &rest[open + close + 1..];
+            if let Some(name) = tag.strip_prefix('/') {
+                let top = stack.pop().unwrap_or_else(|| panic!("stray </{name}>"));
+                assert_eq!(top, name, "mismatched closing tag");
+            } else if !tag.ends_with('/') && !tag.starts_with('!') && !tag.starts_with('?') {
+                let name: String = tag.chars().take_while(|c| !c.is_whitespace()).collect();
+                stack.push(name);
+            }
+        }
+        assert!(stack.is_empty(), "unclosed tags: {stack:?}");
+    }
+
+    #[test]
+    fn renders_byte_identical_well_formed_html() {
+        let dir = tmp("identical");
+        populate(&dir);
+        let a = render_dir(&dir).unwrap();
+        let b = render_dir(&dir).unwrap();
+        assert_eq!(a, b, "same store must render to identical bytes");
+        assert_tag_balanced(&a);
+        assert!(a.starts_with("<!DOCTYPE html>"));
+        assert!(a.ends_with("</html>\n"));
+        assert!(a.contains("<svg "), "panels render as inline SVG");
+        assert!(a.contains("Table I"));
+        assert!(a.contains("Barenco"));
+        assert!(!a.contains(dir.to_str().unwrap()), "no absolute paths");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_directory_still_renders_a_complete_page() {
+        let dir = tmp("empty");
+        let html = render_dir(&dir).unwrap();
+        assert_tag_balanced(&html);
+        assert!(html.contains("no decodable cell records"));
+        assert!(html.contains("Table I"), "gate counts need no store");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifests_and_history_are_summarized_when_present() {
+        let dir = tmp("extras");
+        populate(&dir);
+        let manifest = qfab_telemetry::Manifest::new("dashload")
+            .field("seed", 7u64)
+            .field("instances", 2u64)
+            .field("shots", 16u64)
+            .field("elapsed_secs", 0.25)
+            .field(
+                "cache",
+                Json::Obj(vec![
+                    ("hits".into(), Json::U64(3)),
+                    ("misses".into(), Json::U64(5)),
+                    ("rejected".into(), Json::U64(0)),
+                ]),
+            );
+        manifest.write_to_dir(&dir).unwrap();
+        let summary = crate::rundata::RunSummary::from_run(&load_run(&dir).unwrap());
+        ledger::append(&dir, &summary, Some("v-test")).unwrap();
+        let html = render_dir(&dir).unwrap();
+        assert_tag_balanced(&html);
+        assert!(html.contains("Run manifests"));
+        assert!(html.contains("dashload"));
+        assert!(html.contains("Run history"));
+        assert!(html.contains("v-test"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_inputs_are_reported_not_fatal() {
+        let dir = tmp("unreadable");
+        std::fs::write(dir.join("broken.manifest.json"), "{not json").unwrap();
+        std::fs::write(dir.join("broken.trace.json"), "{}").unwrap();
+        let input = collect(&dir).unwrap();
+        assert_eq!(
+            input.unreadable,
+            vec!["broken.manifest.json", "broken.trace.json"]
+        );
+        let html = render(&input);
+        assert_tag_balanced(&html);
+        assert!(html.contains("unreadable inputs skipped"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn optimal_strip_prefers_shallower_on_ties() {
+        let dir = tmp("strip");
+        populate(&dir);
+        let run = load_run(&dir).unwrap();
+        let strip = optimal_strip(&run.panels[0]);
+        // Noiseless row: both depths succeed fully; d=2 must win.
+        assert_eq!(strip[0].1, "2");
+        assert_eq!(strip[0].2, 100.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pct_labels_trim_trailing_zeros() {
+        assert_eq!(fmt_pct(0.0), "0");
+        assert_eq!(fmt_pct(0.2), "0.2");
+        assert_eq!(fmt_pct(1.0), "1");
+        assert_eq!(fmt_pct(1.4), "1.4");
+        assert_eq!(fmt_pct(0.07), "0.07");
+    }
+}

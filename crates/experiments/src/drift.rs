@@ -1,0 +1,350 @@
+//! Scientific drift gate: statistical comparison of two runs'
+//! success rates (`repro diff`).
+//!
+//! `bench-gate` watches performance; this module watches *results*. It
+//! joins two [`RunSummary`] views cell-by-cell on the science
+//! coordinates — panel geometry, error rate, AQFT depth — and tests
+//! each matched cell's success proportions with a pooled two-proportion
+//! z-test. A cell whose two-sided p-value falls below α is a *drift*:
+//! evidence that a code change moved what the reproduction measures,
+//! not just sampling noise. The PR-4 RNG fix is the motivating case: it
+//! redrew every sampled outcome, and only a cache-salt bump caught it.
+//! This gate catches such shifts directly, at a chosen false-alarm
+//! rate.
+//!
+//! Cells are pooled across seeds, shots, and grid indices before
+//! testing: two runs at different seeds (or resumed at different
+//! scales) are still independent samples of the same cell proportion,
+//! and pooling is what makes runs from different commits comparable.
+//! Cells present in only one run are counted and reported but are
+//! never drift — coverage differences are visible, not alarming.
+//!
+//! The default α = 0.01 is deliberately conservative: a full 12-panel
+//! sweep compares a few hundred cells, so α = 0.01 yields a handful of
+//! expected false positives per *thousand* clean comparisons while
+//! still flagging any real redraw (which shifts many cells at once).
+
+use crate::rundata::RunSummary;
+use qfab_core::AqftDepth;
+use qfab_math::stats::{two_proportion_z_test, wilson_interval};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default significance level for `repro diff`.
+pub const DEFAULT_ALPHA: f64 = 0.01;
+
+/// Standard normal quantile for the 95% Wilson intervals in the table.
+const WILSON_Z95: f64 = 1.959_963_985;
+
+/// One compared cell.
+#[derive(Clone, Debug)]
+pub struct CellDrift {
+    /// Panel display id.
+    pub panel: String,
+    /// Error rate (fraction).
+    pub rate: f64,
+    /// Depth identity tag.
+    pub depth: String,
+    /// `(successes, instances)` pooled over run A.
+    pub a: (u64, u64),
+    /// `(successes, instances)` pooled over run B.
+    pub b: (u64, u64),
+    /// Pooled z statistic (A minus B).
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Whether `p_value < α`.
+    pub significant: bool,
+}
+
+impl CellDrift {
+    fn rate_pct(&self) -> f64 {
+        self.rate * 100.0
+    }
+}
+
+/// The full comparison of two runs.
+#[derive(Clone, Debug)]
+pub struct DriftReport {
+    /// Significance level the gate ran at.
+    pub alpha: f64,
+    /// Matched cells, in (panel, rate, depth) order.
+    pub cells: Vec<CellDrift>,
+    /// Cells present only in run A.
+    pub only_a: u64,
+    /// Cells present only in run B.
+    pub only_b: u64,
+    /// Set when the two runs were recorded under different
+    /// code-version salts (worth knowing, not itself a failure — the
+    /// gate exists precisely to compare across code versions).
+    pub salt_mismatch: Option<(String, String)>,
+}
+
+impl DriftReport {
+    /// Number of cells drifting at α.
+    pub fn drifted(&self) -> usize {
+        self.cells.iter().filter(|c| c.significant).count()
+    }
+
+    /// True when no cell shows a significant shift.
+    pub fn passed(&self) -> bool {
+        self.drifted() == 0
+    }
+}
+
+/// One side's cells pooled onto the science coordinates.
+type Pooled = BTreeMap<(String, u64, u32, String), (f64, u64, u64)>;
+
+fn depth_rank(tag: &str) -> u32 {
+    match AqftDepth::from_identity_tag(tag) {
+        Some(AqftDepth::Limited(d)) => d,
+        Some(AqftDepth::Full) => u32::MAX,
+        None => u32::MAX - 1, // unknown tags sort just before full
+    }
+}
+
+fn pool(run: &RunSummary) -> Pooled {
+    let mut pooled: Pooled = BTreeMap::new();
+    for panel in &run.panels {
+        for cell in &panel.cells {
+            let key = (
+                panel.id.clone(),
+                cell.rate.to_bits(),
+                depth_rank(&cell.depth),
+                cell.depth.clone(),
+            );
+            let entry = pooled.entry(key).or_insert((cell.rate, 0, 0));
+            entry.1 += cell.successes;
+            entry.2 += cell.instances;
+        }
+    }
+    pooled
+}
+
+/// Compares two run summaries at significance level `alpha`.
+pub fn compare(a: &RunSummary, b: &RunSummary, alpha: f64) -> DriftReport {
+    let pa = pool(a);
+    let pb = pool(b);
+    let mut cells = Vec::new();
+    let mut only_a = 0u64;
+    let mut only_b = pb.keys().filter(|k| !pa.contains_key(*k)).count() as u64;
+    for (key, &(rate, sa, na)) in &pa {
+        let Some(&(_, sb, nb)) = pb.get(key) else {
+            only_a += 1;
+            continue;
+        };
+        let Some(test) = two_proportion_z_test(sa, na, sb, nb) else {
+            // A zero-instance side carries no evidence either way.
+            only_b += 0;
+            continue;
+        };
+        cells.push(CellDrift {
+            panel: key.0.clone(),
+            rate,
+            depth: key.3.clone(),
+            a: (sa, na),
+            b: (sb, nb),
+            z: test.z,
+            p_value: test.p_value,
+            significant: test.p_value < alpha,
+        });
+    }
+    let salt_mismatch = (a.salt != b.salt).then(|| (a.salt.clone(), b.salt.clone()));
+    DriftReport {
+        alpha,
+        cells,
+        only_a,
+        only_b,
+        salt_mismatch,
+    }
+}
+
+fn side(successes: u64, instances: u64) -> String {
+    let (lo, hi) = wilson_interval(successes, instances, WILSON_Z95);
+    format!(
+        "{:>3}/{:<3} {:>5.1}% [{:>5.1},{:>5.1}]",
+        successes,
+        instances,
+        100.0 * successes as f64 / instances.max(1) as f64,
+        100.0 * lo,
+        100.0 * hi
+    )
+}
+
+/// Renders the per-panel drift table.
+pub fn format_report(report: &DriftReport) -> String {
+    let mut s = format!(
+        "drift gate at alpha {} — {} cells compared, {} drifted",
+        report.alpha,
+        report.cells.len(),
+        report.drifted()
+    );
+    if report.only_a + report.only_b > 0 {
+        let _ = write!(
+            s,
+            " ({} only in A, {} only in B)",
+            report.only_a, report.only_b
+        );
+    }
+    s.push('\n');
+    if let Some((sa, sb)) = &report.salt_mismatch {
+        let _ = writeln!(
+            s,
+            "note: comparing across code-version salts ({sa} vs {sb})"
+        );
+    }
+    let mut current_panel: Option<&str> = None;
+    for c in &report.cells {
+        if current_panel != Some(c.panel.as_str()) {
+            let _ = writeln!(s, "panel {}", c.panel);
+            let _ = writeln!(
+                s,
+                "  {:>8} {:>5}  {:<28} {:<28} {:>6} {:>9}",
+                "rate", "depth", "A s/n pct [wilson95]", "B s/n pct [wilson95]", "z", "p"
+            );
+            current_panel = Some(c.panel.as_str());
+        }
+        let _ = writeln!(
+            s,
+            "  {:>7.3}% {:>5}  {:<28} {:<28} {:>+6.2} {:>9.2e}{}",
+            c.rate_pct(),
+            c.depth,
+            side(c.a.0, c.a.1),
+            side(c.b.0, c.b.1),
+            c.z,
+            c.p_value,
+            if c.significant { "  DRIFT" } else { "" }
+        );
+    }
+    if report.passed() {
+        let _ = writeln!(s, "verdict: no significant drift");
+    } else {
+        let _ = writeln!(
+            s,
+            "verdict: DRIFT — {} cell(s) shifted at alpha {}",
+            report.drifted(),
+            report.alpha
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rundata::{CellSummary, PanelKey, PanelSummary};
+
+    fn summary(cells: Vec<(f64, &str, u64, u64)>, seed: u64) -> RunSummary {
+        RunSummary {
+            salt: "qfab-cell-v2".into(),
+            panels: vec![PanelSummary {
+                id: "fig1a".into(),
+                key: PanelKey {
+                    op: "add".into(),
+                    n: 7,
+                    m: 8,
+                    ox: 1,
+                    oy: 1,
+                    err: "1q".into(),
+                    shots: 32,
+                    seed,
+                },
+                cells: cells
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (rate, depth, successes, instances))| CellSummary {
+                        ri: i as u64,
+                        rate,
+                        di: 0,
+                        depth: depth.into(),
+                        successes,
+                        instances,
+                    })
+                    .collect(),
+            }],
+        }
+    }
+
+    #[test]
+    fn self_comparison_is_clean() {
+        let a = summary(vec![(0.0, "1", 40, 40), (0.01, "full", 22, 40)], 1);
+        let report = compare(&a, &a, DEFAULT_ALPHA);
+        assert_eq!(report.cells.len(), 2);
+        assert!(report.passed());
+        assert_eq!(report.drifted(), 0);
+        let text = format_report(&report);
+        assert!(text.contains("no significant drift"), "{text}");
+        assert!(!text.contains("DRIFT —"), "{text}");
+    }
+
+    #[test]
+    fn injected_shift_is_flagged_at_alpha_001() {
+        let a = summary(vec![(0.0, "1", 40, 40), (0.01, "full", 38, 40)], 1);
+        let b = summary(vec![(0.0, "1", 40, 40), (0.01, "full", 10, 40)], 1);
+        let report = compare(&a, &b, 0.01);
+        assert!(!report.passed());
+        assert_eq!(report.drifted(), 1);
+        let drifted = report.cells.iter().find(|c| c.significant).unwrap();
+        assert_eq!(drifted.depth, "full");
+        assert!(drifted.z > 0.0, "A is higher");
+        let text = format_report(&report);
+        assert!(text.contains("DRIFT"), "{text}");
+        assert!(text.contains("verdict: DRIFT — 1 cell(s)"), "{text}");
+    }
+
+    #[test]
+    fn sampling_noise_is_not_drift() {
+        // 38/40 vs 36/40: p ≈ 0.4, far above any sane alpha.
+        let a = summary(vec![(0.0, "1", 38, 40)], 1);
+        let b = summary(vec![(0.0, "1", 36, 40)], 2);
+        assert!(compare(&a, &b, 0.01).passed());
+    }
+
+    #[test]
+    fn pools_across_seeds_before_testing() {
+        // Run A holds the same cell under two seeds; they pool to
+        // 20/40 and compare against B's 20/40 — identical, clean.
+        let mut a = summary(vec![(0.0, "1", 12, 20)], 1);
+        a.panels
+            .push(summary(vec![(0.0, "1", 8, 20)], 2).panels.remove(0));
+        let b = summary(vec![(0.0, "1", 20, 40)], 3);
+        let report = compare(&a, &b, 0.05);
+        assert_eq!(report.cells.len(), 1);
+        assert_eq!(report.cells[0].a, (20, 40));
+        assert_eq!(report.cells[0].b, (20, 40));
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn unmatched_cells_are_counted_not_flagged() {
+        let a = summary(vec![(0.0, "1", 10, 10), (0.01, "1", 9, 10)], 1);
+        let b = summary(vec![(0.0, "1", 10, 10)], 1);
+        let report = compare(&a, &b, 0.01);
+        assert_eq!(report.only_a, 1);
+        assert_eq!(report.only_b, 0);
+        assert!(report.passed());
+        assert!(format_report(&report).contains("1 only in A"));
+    }
+
+    #[test]
+    fn salt_mismatch_is_noted_not_fatal() {
+        let a = summary(vec![(0.0, "1", 10, 10)], 1);
+        let mut b = a.clone();
+        b.salt = "qfab-cell-v1".into();
+        let report = compare(&a, &b, 0.01);
+        assert!(report.salt_mismatch.is_some());
+        assert!(report.passed());
+        assert!(format_report(&report).contains("code-version salts"));
+    }
+
+    #[test]
+    fn depths_order_numerically_with_full_last() {
+        let a = summary(
+            vec![(0.0, "full", 5, 10), (0.0, "2", 5, 10), (0.0, "10", 5, 10)],
+            1,
+        );
+        let report = compare(&a, &a, 0.01);
+        let depths: Vec<&str> = report.cells.iter().map(|c| c.depth.as_str()).collect();
+        assert_eq!(depths, vec!["2", "10", "full"]);
+    }
+}

@@ -1,0 +1,315 @@
+//! Run-history ledger: an append-only record of completed sweeps.
+//!
+//! Every store directory can carry a `history.wal` alongside the cell
+//! store. When a sweep completes, `repro` appends one *ledger entry*:
+//! the run's [`RunSummary`] (schema `qfab.history.v1`) plus a best-effort
+//! `git describe` note, framed by the same checksummed WAL encoding the
+//! cell store uses — so a torn append is detected and skipped on read,
+//! never mistaken for history. Each entry is keyed by the digest of its
+//! summary, which doubles as a dedup guard: re-running an already
+//! recorded sweep (a fully cached replay) does not append a duplicate.
+//!
+//! `repro history DIR` lists the ledger; `repro diff` accepts `DIR@N`
+//! to compare against any recorded entry (`N` may be negative to count
+//! from the latest), so "did this branch move the physics?" is a
+//! one-command question against any point in the store's history.
+
+use crate::rundata::RunSummary;
+use qfab_store::wal::{encode_record, scan, Key};
+use qfab_store::{blake2s256, to_hex};
+use qfab_telemetry::Json;
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Ledger file name inside a store directory.
+pub const HISTORY_FILE: &str = "history.wal";
+
+/// One recorded sweep.
+#[derive(Clone, Debug)]
+pub struct LedgerEntry {
+    /// Digest of the summary (hex), the entry's identity.
+    pub digest: String,
+    /// The recorded run summary.
+    pub summary: RunSummary,
+    /// `git describe` output at record time, when available.
+    pub git: Option<String>,
+}
+
+/// The decoded ledger.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    /// Entries in append order.
+    pub entries: Vec<LedgerEntry>,
+    /// Whether a torn tail was detected (and ignored) on read.
+    pub truncated: bool,
+    /// Well-framed records whose payload was not a valid summary
+    /// (foreign or future-schema — skipped).
+    pub skipped: u64,
+}
+
+fn summary_key(summary: &RunSummary) -> Key {
+    blake2s256(summary.to_json().encode().as_bytes())
+}
+
+fn encode_entry(summary: &RunSummary, git: Option<&str>) -> (Key, Vec<u8>) {
+    let Json::Obj(mut fields) = summary.to_json() else {
+        unreachable!("summaries encode as objects")
+    };
+    if let Some(note) = git {
+        fields.push(("git".into(), Json::Str(note.into())));
+    }
+    (
+        summary_key(summary),
+        Json::Obj(fields).encode().into_bytes(),
+    )
+}
+
+fn decode_entry(key: &Key, value: &[u8]) -> Option<LedgerEntry> {
+    let doc = Json::parse(std::str::from_utf8(value).ok()?).ok()?;
+    let summary = RunSummary::from_json(&doc).ok()?;
+    let git = doc.get("git").and_then(Json::as_str).map(str::to_string);
+    Some(LedgerEntry {
+        digest: to_hex(key),
+        summary,
+        git,
+    })
+}
+
+/// Reads the ledger at `dir`; a missing file is an empty history.
+pub fn read(dir: &Path) -> io::Result<History> {
+    let bytes = match std::fs::read(dir.join(HISTORY_FILE)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(History::default()),
+        Err(e) => return Err(e),
+    };
+    let outcome = scan(&bytes);
+    let mut history = History {
+        truncated: outcome.truncated > 0,
+        ..History::default()
+    };
+    for record in &outcome.records {
+        match decode_entry(&record.key, &record.value) {
+            Some(entry) => history.entries.push(entry),
+            None => history.skipped += 1,
+        }
+    }
+    Ok(history)
+}
+
+/// Appends `summary` to the ledger unless it is identical to the most
+/// recent entry. Returns whether a record was written.
+pub fn append(dir: &Path, summary: &RunSummary, git: Option<&str>) -> io::Result<bool> {
+    let (key, value) = encode_entry(summary, git);
+    if let Some(last) = read(dir)?.entries.last() {
+        if last.digest == to_hex(&key) {
+            return Ok(false);
+        }
+    }
+    let mut file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join(HISTORY_FILE))?;
+    file.write_all(&encode_record(&key, &value))?;
+    file.sync_all()?;
+    Ok(true)
+}
+
+/// Best-effort `git describe` for provenance notes; `None` when git or
+/// the repository is unavailable.
+pub fn git_describe() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let note = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    (!note.is_empty()).then_some(note)
+}
+
+/// Resolves an entry index: non-negative from the start, negative from
+/// the end (`-1` = latest).
+pub fn resolve(history: &History, index: i64) -> Option<&LedgerEntry> {
+    let len = history.entries.len() as i64;
+    let i = if index < 0 { len + index } else { index };
+    (0..len).contains(&i).then(|| &history.entries[i as usize])
+}
+
+/// Renders `repro history` output.
+pub fn format_history(history: &History) -> String {
+    let mut s = format!("run history: {} entr", history.entries.len());
+    s.push_str(if history.entries.len() == 1 {
+        "y"
+    } else {
+        "ies"
+    });
+    if history.skipped > 0 {
+        let _ = write!(s, " ({} unreadable records skipped)", history.skipped);
+    }
+    if history.truncated {
+        s.push_str(" [torn tail ignored]");
+    }
+    s.push('\n');
+    for (i, entry) in history.entries.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "[{i}] digest {}  git {}",
+            &entry.digest[..12.min(entry.digest.len())],
+            entry.git.as_deref().unwrap_or("-")
+        );
+        for panel in &entry.summary.panels {
+            let (successes, instances) = panel.totals();
+            let pct = 100.0 * successes as f64 / instances.max(1) as f64;
+            let _ = writeln!(
+                s,
+                "    {:<18} seed {:<12} {:>5} cells  {:>6}/{:<6} ({:.1}%)",
+                panel.id,
+                panel.key.seed,
+                panel.cells.len(),
+                successes,
+                instances,
+                pct
+            );
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rundata::{CellSummary, PanelKey, PanelSummary};
+
+    fn summary(successes: u64) -> RunSummary {
+        RunSummary {
+            salt: "qfab-cell-v2".into(),
+            panels: vec![PanelSummary {
+                id: "fig1a".into(),
+                key: PanelKey {
+                    op: "add".into(),
+                    n: 7,
+                    m: 8,
+                    ox: 1,
+                    oy: 1,
+                    err: "1q".into(),
+                    shots: 32,
+                    seed: 9,
+                },
+                cells: vec![CellSummary {
+                    ri: 0,
+                    rate: 0.0,
+                    di: 0,
+                    depth: "full".into(),
+                    successes,
+                    instances: 20,
+                }],
+            }],
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("qfab_ledger_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let dir = tmp("roundtrip");
+        assert!(read(&dir).unwrap().entries.is_empty());
+        assert!(append(&dir, &summary(18), Some("v1.2-3-gabc")).unwrap());
+        assert!(append(&dir, &summary(15), None).unwrap());
+        let history = read(&dir).unwrap();
+        assert_eq!(history.entries.len(), 2);
+        assert!(!history.truncated);
+        assert_eq!(history.skipped, 0);
+        assert_eq!(history.entries[0].git.as_deref(), Some("v1.2-3-gabc"));
+        assert_eq!(history.entries[0].summary, summary(18));
+        assert_eq!(history.entries[1].git, None);
+        assert_eq!(history.entries[1].summary, summary(15));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn identical_tail_appends_are_deduplicated() {
+        let dir = tmp("dedup");
+        assert!(append(&dir, &summary(18), Some("a")).unwrap());
+        // Same summary, even under a different git note: no new entry.
+        assert!(!append(&dir, &summary(18), Some("b")).unwrap());
+        assert_eq!(read(&dir).unwrap().entries.len(), 1);
+        // A different summary appends, after which the earlier one may
+        // legitimately recur (A, B, A is real history).
+        assert!(append(&dir, &summary(15), None).unwrap());
+        assert!(append(&dir, &summary(18), None).unwrap());
+        assert_eq!(read(&dir).unwrap().entries.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_not_fatal() {
+        let dir = tmp("torn");
+        append(&dir, &summary(18), None).unwrap();
+        append(&dir, &summary(15), None).unwrap();
+        let path = dir.join(HISTORY_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let history = read(&dir).unwrap();
+        assert_eq!(history.entries.len(), 1);
+        assert!(history.truncated);
+        // The ledger stays appendable after a torn tail... but the torn
+        // bytes remain, so the next scan still stops at the tear.
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn negative_indices_resolve_from_the_end() {
+        let dir = tmp("resolve");
+        append(&dir, &summary(18), None).unwrap();
+        append(&dir, &summary(15), None).unwrap();
+        let history = read(&dir).unwrap();
+        assert_eq!(resolve(&history, 0).unwrap().summary, summary(18));
+        assert_eq!(resolve(&history, 1).unwrap().summary, summary(15));
+        assert_eq!(resolve(&history, -1).unwrap().summary, summary(15));
+        assert_eq!(resolve(&history, -2).unwrap().summary, summary(18));
+        assert!(resolve(&history, 2).is_none());
+        assert!(resolve(&history, -3).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_records_are_skipped_and_counted() {
+        let dir = tmp("foreign");
+        append(&dir, &summary(18), None).unwrap();
+        let value = br#"{"schema":"qfab.other.v1"}"#;
+        let key = blake2s256(value);
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(dir.join(HISTORY_FILE))
+            .unwrap();
+        file.write_all(&encode_record(&key, value)).unwrap();
+        drop(file);
+        let history = read(&dir).unwrap();
+        assert_eq!(history.entries.len(), 1);
+        assert_eq!(history.skipped, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn history_listing_shows_digest_git_and_headline_rates() {
+        let dir = tmp("format");
+        append(&dir, &summary(18), Some("v2-dirty")).unwrap();
+        let history = read(&dir).unwrap();
+        let text = format_history(&history);
+        assert!(text.contains("run history: 1 entry"), "{text}");
+        assert!(text.contains("v2-dirty"), "{text}");
+        assert!(text.contains("fig1a"), "{text}");
+        assert!(text.contains("18/20"), "{text}");
+        assert!(text.contains("(90.0%)"), "{text}");
+        assert!(text.contains(&history.entries[0].digest[..12]), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -25,8 +25,13 @@
 pub mod analysis;
 pub mod benchgate;
 pub mod cache;
+pub mod cli;
+pub mod dashboard;
+pub mod drift;
+pub mod ledger;
 pub mod replaybench;
 pub mod report;
+pub mod rundata;
 pub mod runner;
 pub mod scale;
 pub mod sweep;

@@ -201,6 +201,8 @@ pub fn panel_manifest(result: &PanelResult, snapshot: Option<&Snapshot>) -> Mani
                 ("rate".into(), Json::F64(p.rate)),
                 ("depth".into(), Json::Str(p.depth.paper_label())),
                 ("success_pct".into(), Json::F64(p.stats.success_rate_pct)),
+                ("wilson_low_pct".into(), Json::F64(p.stats.wilson_low_pct)),
+                ("wilson_high_pct".into(), Json::F64(p.stats.wilson_high_pct)),
                 ("cpu_secs".into(), Json::F64(p.cpu_secs)),
                 ("wall_secs".into(), Json::F64(p.wall_secs)),
             ])
@@ -388,6 +390,104 @@ mod tests {
         assert!(lines[1].starts_with("0,1,"));
     }
 
+    /// A fully hand-constructed panel: golden tests below pin the
+    /// exact output bytes independent of any simulation.
+    fn golden_result() -> PanelResult {
+        use crate::runner::PointResult;
+        use qfab_core::EnsembleStats;
+        let spec = PanelSpec {
+            id: "golden",
+            title: "fixed".into(),
+            op: OpKind::Add,
+            n: 3,
+            m: 4,
+            order_x: 1,
+            order_y: 1,
+            error_target: ErrorTarget::TwoQubit,
+            rates: vec![0.0, 0.01],
+            depths: vec![AqftDepth::Limited(2), AqftDepth::Full],
+            reference_rate: 0.01,
+        };
+        let stats = |pct: f64, lo: f64, hi: f64, mean: f64, sigma: f64| EnsembleStats {
+            instances: 4,
+            successes: (pct / 25.0) as usize,
+            success_rate_pct: pct,
+            gap_sigma: sigma,
+            gap_mean: mean,
+            lower_bar_pct: lo,
+            upper_bar_pct: hi,
+            ..EnsembleStats::default()
+        };
+        let cells = [
+            (
+                0.0,
+                AqftDepth::Limited(2),
+                stats(100.0, 100.0, 0.0, 12.0, 1.5),
+            ),
+            (0.0, AqftDepth::Full, stats(75.0, 50.0, 25.0, 6.0, 2.0)),
+            (
+                0.01,
+                AqftDepth::Limited(2),
+                stats(50.0, 25.0, 25.0, 0.5, 3.25),
+            ),
+            (0.01, AqftDepth::Full, stats(0.0, 0.0, 100.0, -4.0, 0.125)),
+        ];
+        PanelResult {
+            spec,
+            scale: Scale {
+                instances: 4,
+                shots: 32,
+            },
+            seed: 11,
+            points: cells
+                .into_iter()
+                .map(|(rate, depth, stats)| PointResult {
+                    rate,
+                    depth,
+                    stats,
+                    cpu_secs: 0.0,
+                    wall_secs: 0.0,
+                })
+                .collect(),
+            elapsed_secs: 0.0,
+            cache: None,
+        }
+    }
+
+    #[test]
+    fn golden_csv_bytes() {
+        assert_eq!(
+            panel_csv(&golden_result()),
+            "rate,depth,success_pct,lower_bar_pct,upper_bar_pct,gap_mean,gap_sigma,instances,shots\n\
+             0,2,100.0000,100.0000,0.0000,12.0000,1.5000,4,32\n\
+             0,full,75.0000,50.0000,25.0000,6.0000,2.0000,4,32\n\
+             0.01,2,50.0000,25.0000,25.0000,0.5000,3.2500,4,32\n\
+             0.01,full,0.0000,0.0000,100.0000,-4.0000,0.1250,4,32\n"
+        );
+    }
+
+    #[test]
+    fn golden_ascii_chart_bytes() {
+        let expected = concat!(
+            "golden — success rate vs error rate\n",
+            " 100% | 2          \n",
+            "  90% |            \n",
+            "  80% |  F         \n",
+            "  70% |            \n",
+            "  60% |            \n",
+            "  50% |       2    \n",
+            "  40% |            \n",
+            "  30% |            \n",
+            "  20% |            \n",
+            "  10% |            \n",
+            "   0% |        F   \n",
+            "      +------------\n",
+            "       0.00% 1.00% \n",
+            "  series: 2=d2  F=dfull  *=overlap\n",
+        );
+        assert_eq!(format_panel_chart(&golden_result()), expected);
+    }
+
     #[test]
     fn metrics_summary_renders_every_metric_kind() {
         use qfab_telemetry::{HistogramSummary, MetricValue, Snapshot};
@@ -434,8 +534,10 @@ mod tests {
             encoded.contains(r#""points":[{"rate":0,"depth":"1""#),
             "{encoded}"
         );
-        // 2 rates × 2 depths.
+        // 2 rates × 2 depths, each with a Wilson interval.
         assert_eq!(encoded.matches(r#""success_pct""#).count(), 4);
+        assert_eq!(encoded.matches(r#""wilson_low_pct""#).count(), 4);
+        assert_eq!(encoded.matches(r#""wilson_high_pct""#).count(), 4);
         assert_eq!(m.file_name(), "testpanel.manifest.json");
     }
 

@@ -1,0 +1,694 @@
+//! Read-only reconstruction of sweep results from a cell store.
+//!
+//! The dashboard, drift gate, and run-history ledger all need the same
+//! view of a `--store` directory: *which panels ran, and what every
+//! cell measured*. This module rebuilds that view purely from the
+//! store's records — it opens nothing for writing (`repro dash` on a
+//! store that a sweep is still appending to must never truncate or
+//! extend it), and it trusts nothing blindly (every record re-derives
+//! its digest and re-checks the code-version salt exactly like the
+//! cache's lookup path; stale or tampered records are counted and
+//! skipped, never rendered).
+//!
+//! Records carry their full identity in the payload, so panels are
+//! reconstructed from the records alone: cells sharing
+//! `(op, n, m, ox, oy, err, config, seed)` form one panel, their
+//! `(ri, rate)` / `(di, depth)` coordinates span its grid, and the
+//! result is labeled with the paper's panel id when the geometry
+//! matches a known spec. A store holding a custom or truncated sweep
+//! still reconstructs faithfully — it just gets a synthesized id.
+//!
+//! [`RunSummary`] is the compact `(successes, instances)` projection
+//! of that view: the exchange format of the drift gate and the ledger
+//! (schema `qfab.history.v1`), with a lossless JSON round-trip.
+
+use crate::cache::{decode_record, CODE_SALT};
+use crate::sweep::{fig1_panels, fig2_panels, PanelSpec};
+use qfab_core::{EnsembleStats, InstanceOutcome};
+use qfab_store::wal::{scan, Key};
+use qfab_telemetry::Json;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// The identity fields every cell of one panel shares.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PanelKey {
+    /// Operation tag (`"add"` / `"mul"`).
+    pub op: String,
+    /// First-operand width.
+    pub n: u64,
+    /// Second-operand / target width.
+    pub m: u64,
+    /// First-operand superposition order.
+    pub ox: u64,
+    /// Second-operand superposition order.
+    pub oy: u64,
+    /// Error-class tag (`"1q"` / `"2q"`).
+    pub err: String,
+    /// Shots per instance.
+    pub shots: u64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+/// One reconstructed grid cell.
+#[derive(Clone, Debug)]
+pub struct CellData {
+    /// Instances recorded at this cell.
+    pub instances: u64,
+    /// Successful instances.
+    pub successes: u64,
+    /// Full ensemble statistics (σ bars, Wilson interval, gap moments)
+    /// over the recorded outcomes, instance-ordered.
+    pub stats: EnsembleStats,
+}
+
+/// One reconstructed panel.
+#[derive(Clone, Debug)]
+pub struct PanelData {
+    /// The shared identity fields.
+    pub key: PanelKey,
+    /// Paper panel id when the geometry matches a known spec
+    /// (`"fig1a"` …), otherwise synthesized from the key.
+    pub id: String,
+    /// Human-readable title (from the spec, or synthesized).
+    pub title: String,
+    /// The matched spec's IBM reference rate, if any.
+    pub reference_rate: Option<f64>,
+    /// Row coordinates, sorted: `(ri, rate)`.
+    pub rows: Vec<(u64, f64)>,
+    /// Column coordinates, sorted: `(di, depth identity tag)`.
+    pub cols: Vec<(u64, String)>,
+    /// `cells[row][col]`, indexed like `rows`/`cols`; `None` where the
+    /// store holds no record.
+    pub cells: Vec<Vec<Option<CellData>>>,
+}
+
+impl PanelData {
+    /// Total instances recorded across all cells.
+    pub fn instance_records(&self) -> u64 {
+        self.cells
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|c| c.instances)
+            .sum()
+    }
+}
+
+/// Everything reconstructed from one store directory.
+#[derive(Clone, Debug, Default)]
+pub struct RunData {
+    /// Panels sorted by `(id, key)`.
+    pub panels: Vec<PanelData>,
+    /// Live records decoded into cells.
+    pub records: u64,
+    /// Live records that failed salt/digest/parse validation (stale or
+    /// foreign — skipped).
+    pub rejected: u64,
+}
+
+/// Reads the store at `dir` without opening it for writing: the
+/// compacted segment and the journal are scanned as plain files, later
+/// journal records shadowing the segment (the store's own replay
+/// order).
+pub fn load_run(dir: &Path) -> io::Result<RunData> {
+    let mut live: BTreeMap<Key, Vec<u8>> = BTreeMap::new();
+    for file in ["index.seg", "journal.wal"] {
+        let path = dir.join(file);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        for record in scan(&bytes).records {
+            live.insert(record.key, record.value);
+        }
+    }
+    Ok(build_run(&live))
+}
+
+/// One decoded cell observation.
+struct Observation {
+    inst: u64,
+    ri: u64,
+    rate: f64,
+    di: u64,
+    depth: String,
+    outcome: InstanceOutcome,
+}
+
+fn decode_observation(key: &Key, payload: &[u8]) -> Option<(PanelKey, Observation)> {
+    // Salt + digest validation (and outcome extraction) exactly as the
+    // sweep's lookup path does it.
+    let record = decode_record(key, payload)?;
+    let value = Json::parse(std::str::from_utf8(payload).ok()?).ok()?;
+    let id = value.get("id")?;
+    let key = PanelKey {
+        op: id.get("op")?.as_str()?.to_string(),
+        n: id.get("n")?.as_u64()?,
+        m: id.get("m")?.as_u64()?,
+        ox: id.get("ox")?.as_u64()?,
+        oy: id.get("oy")?.as_u64()?,
+        err: id.get("err")?.as_str()?.to_string(),
+        shots: id.get("config")?.get("shots")?.as_u64()?,
+        seed: id.get("seed")?.as_u64()?,
+    };
+    let obs = Observation {
+        inst: id.get("inst")?.as_u64()?,
+        ri: id.get("ri")?.as_u64()?,
+        rate: id.get("rate")?.as_f64()?,
+        di: id.get("di")?.as_u64()?,
+        depth: id.get("depth")?.as_str()?.to_string(),
+        outcome: record.outcome,
+    };
+    Some((key, obs))
+}
+
+fn build_run(live: &BTreeMap<Key, Vec<u8>>) -> RunData {
+    let mut rejected = 0u64;
+    let mut records = 0u64;
+    let mut panels: BTreeMap<PanelKey, Vec<Observation>> = BTreeMap::new();
+    for (key, payload) in live {
+        match decode_observation(key, payload) {
+            Some((panel_key, obs)) => {
+                records += 1;
+                panels.entry(panel_key).or_default().push(obs);
+            }
+            None => rejected += 1,
+        }
+    }
+    let mut out: Vec<PanelData> = panels
+        .into_iter()
+        .map(|(key, obs)| build_panel(key, obs))
+        .collect();
+    out.sort_by(|a, b| (&a.id, &a.key).cmp(&(&b.id, &b.key)));
+    RunData {
+        panels: out,
+        records,
+        rejected,
+    }
+}
+
+fn build_panel(key: PanelKey, mut obs: Vec<Observation>) -> PanelData {
+    let mut rows: Vec<(u64, f64)> = Vec::new();
+    let mut cols: Vec<(u64, String)> = Vec::new();
+    for o in &obs {
+        if !rows.iter().any(|&(ri, r)| ri == o.ri && r == o.rate) {
+            rows.push((o.ri, o.rate));
+        }
+        if !cols.iter().any(|(di, d)| *di == o.di && *d == o.depth) {
+            cols.push((o.di, o.depth.clone()));
+        }
+    }
+    rows.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite rates"));
+    cols.sort();
+    // Instance-ordered outcomes give byte-stable aggregate statistics.
+    obs.sort_by_key(|o| (o.ri, o.di, o.inst));
+    let mut grid: Vec<Vec<Vec<InstanceOutcome>>> = vec![vec![Vec::new(); cols.len()]; rows.len()];
+    for o in obs {
+        let row = rows
+            .iter()
+            .position(|&(ri, r)| ri == o.ri && r == o.rate)
+            .expect("row registered above");
+        let col = cols
+            .iter()
+            .position(|(di, d)| *di == o.di && *d == o.depth)
+            .expect("col registered above");
+        grid[row][col].push(o.outcome);
+    }
+    let cells: Vec<Vec<Option<CellData>>> = grid
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|outcomes| {
+                    (!outcomes.is_empty()).then(|| CellData {
+                        instances: outcomes.len() as u64,
+                        successes: outcomes.iter().filter(|o| o.success).count() as u64,
+                        stats: EnsembleStats::from_outcomes(&outcomes),
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    let spec = known_spec(&key);
+    let (id, title, reference_rate) = match spec {
+        Some(spec) => (spec.id.to_string(), spec.title, Some(spec.reference_rate)),
+        None => (
+            format!(
+                "{}-{}x{}-{}:{}-{}",
+                key.op, key.n, key.m, key.ox, key.oy, key.err
+            ),
+            format!(
+                "custom {} n={} m={} {}:{} {} sweep",
+                key.op, key.n, key.m, key.ox, key.oy, key.err
+            ),
+            None,
+        ),
+    };
+    PanelData {
+        key,
+        id,
+        title,
+        reference_rate,
+        rows,
+        cols,
+        cells,
+    }
+}
+
+fn known_spec(key: &PanelKey) -> Option<PanelSpec> {
+    fig1_panels().into_iter().chain(fig2_panels()).find(|s| {
+        crate::cache::op_tag(s.op) == key.op
+            && s.n as u64 == key.n
+            && s.m as u64 == key.m
+            && s.order_x as u64 == key.ox
+            && s.order_y as u64 == key.oy
+            && crate::cache::err_tag(s.error_target) == key.err
+    })
+}
+
+/// The compact per-cell `(successes, instances)` projection of one
+/// panel — the drift gate's and ledger's unit of comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellSummary {
+    /// Rate grid index.
+    pub ri: u64,
+    /// Error rate (fraction).
+    pub rate: f64,
+    /// Depth grid index.
+    pub di: u64,
+    /// Depth identity tag (`"full"` or the cap).
+    pub depth: String,
+    /// Successful instances.
+    pub successes: u64,
+    /// Recorded instances.
+    pub instances: u64,
+}
+
+/// One panel's summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PanelSummary {
+    /// Display id (paper id or synthesized).
+    pub id: String,
+    /// The panel's identity fields.
+    pub key: PanelKey,
+    /// Cells in row-major grid order.
+    pub cells: Vec<CellSummary>,
+}
+
+impl PanelSummary {
+    /// Total `(successes, instances)` over every cell.
+    pub fn totals(&self) -> (u64, u64) {
+        self.cells
+            .iter()
+            .fold((0, 0), |(s, n), c| (s + c.successes, n + c.instances))
+    }
+}
+
+/// The summary of a whole run — what the ledger records and the drift
+/// gate compares.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunSummary {
+    /// Code-version salt the cells were recorded under.
+    pub salt: String,
+    /// Per-panel summaries, sorted like [`RunData::panels`].
+    pub panels: Vec<PanelSummary>,
+}
+
+/// Schema identifier for encoded run summaries / ledger records.
+pub const SUMMARY_SCHEMA: &str = "qfab.history.v1";
+
+impl RunSummary {
+    /// Projects a reconstructed run down to its summary.
+    pub fn from_run(run: &RunData) -> Self {
+        let panels = run
+            .panels
+            .iter()
+            .map(|p| PanelSummary {
+                id: p.id.clone(),
+                key: p.key.clone(),
+                cells: p
+                    .rows
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(r, &(ri, rate))| {
+                        p.cols
+                            .iter()
+                            .enumerate()
+                            .filter_map(move |(c, (di, depth))| {
+                                p.cells[r][c].as_ref().map(|cell| CellSummary {
+                                    ri,
+                                    rate,
+                                    di: *di,
+                                    depth: depth.clone(),
+                                    successes: cell.successes,
+                                    instances: cell.instances,
+                                })
+                            })
+                    })
+                    .collect(),
+            })
+            .collect();
+        Self {
+            salt: CODE_SALT.to_string(),
+            panels,
+        }
+    }
+
+    /// Encodes the summary as canonical JSON (`qfab.history.v1`).
+    pub fn to_json(&self) -> Json {
+        let panels: Vec<Json> = self
+            .panels
+            .iter()
+            .map(|p| {
+                let cells: Vec<Json> = p
+                    .cells
+                    .iter()
+                    .map(|c| {
+                        Json::Obj(vec![
+                            ("ri".into(), Json::U64(c.ri)),
+                            ("rate".into(), Json::F64(c.rate)),
+                            ("di".into(), Json::U64(c.di)),
+                            ("depth".into(), Json::Str(c.depth.clone())),
+                            ("successes".into(), Json::U64(c.successes)),
+                            ("instances".into(), Json::U64(c.instances)),
+                        ])
+                    })
+                    .collect();
+                Json::Obj(vec![
+                    ("id".into(), Json::Str(p.id.clone())),
+                    ("op".into(), Json::Str(p.key.op.clone())),
+                    ("n".into(), Json::U64(p.key.n)),
+                    ("m".into(), Json::U64(p.key.m)),
+                    ("ox".into(), Json::U64(p.key.ox)),
+                    ("oy".into(), Json::U64(p.key.oy)),
+                    ("err".into(), Json::Str(p.key.err.clone())),
+                    ("shots".into(), Json::U64(p.key.shots)),
+                    ("seed".into(), Json::U64(p.key.seed)),
+                    ("cells".into(), Json::Arr(cells)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(SUMMARY_SCHEMA.into())),
+            ("salt".into(), Json::Str(self.salt.clone())),
+            ("panels".into(), Json::Arr(panels)),
+        ])
+    }
+
+    /// Decodes a summary produced by [`RunSummary::to_json`].
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("summary has no schema")?;
+        if schema != SUMMARY_SCHEMA {
+            return Err(format!(
+                "unsupported summary schema '{schema}' (expected {SUMMARY_SCHEMA})"
+            ));
+        }
+        let salt = doc
+            .get("salt")
+            .and_then(Json::as_str)
+            .ok_or("summary has no salt")?
+            .to_string();
+        let Some(Json::Arr(panels)) = doc.get("panels") else {
+            return Err("summary has no panels array".into());
+        };
+        let panels = panels
+            .iter()
+            .map(|p| {
+                let str_field = |k: &str| {
+                    p.get(k)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("panel missing '{k}'"))
+                };
+                let u64_field = |k: &str| {
+                    p.get(k)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("panel missing '{k}'"))
+                };
+                let Some(Json::Arr(cells)) = p.get("cells") else {
+                    return Err("panel has no cells array".to_string());
+                };
+                let cells = cells
+                    .iter()
+                    .map(|c| {
+                        let cu64 = |k: &str| {
+                            c.get(k)
+                                .and_then(Json::as_u64)
+                                .ok_or_else(|| format!("cell missing '{k}'"))
+                        };
+                        Ok(CellSummary {
+                            ri: cu64("ri")?,
+                            rate: c
+                                .get("rate")
+                                .and_then(Json::as_f64)
+                                .ok_or("cell missing 'rate'")?,
+                            di: cu64("di")?,
+                            depth: c
+                                .get("depth")
+                                .and_then(Json::as_str)
+                                .ok_or("cell missing 'depth'")?
+                                .to_string(),
+                            successes: cu64("successes")?,
+                            instances: cu64("instances")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(PanelSummary {
+                    id: str_field("id")?,
+                    key: PanelKey {
+                        op: str_field("op")?,
+                        n: u64_field("n")?,
+                        m: u64_field("m")?,
+                        ox: u64_field("ox")?,
+                        oy: u64_field("oy")?,
+                        err: str_field("err")?,
+                        shots: u64_field("shots")?,
+                        seed: u64_field("seed")?,
+                    },
+                    cells,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Self { salt, panels })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CellCache;
+    use crate::runner::run_panel_with;
+    use crate::scale::Scale;
+    use crate::sweep::{panel_by_id, ErrorTarget, OpKind};
+    use qfab_core::AqftDepth;
+
+    fn tiny_spec() -> PanelSpec {
+        PanelSpec {
+            id: "runload",
+            title: "tiny".into(),
+            op: OpKind::Add,
+            n: 3,
+            m: 4,
+            order_x: 1,
+            order_y: 1,
+            error_target: ErrorTarget::TwoQubit,
+            rates: vec![0.0, 0.02],
+            depths: vec![AqftDepth::Limited(2), AqftDepth::Full],
+            reference_rate: 0.02,
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("qfab_rundata_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn populate(dir: &std::path::Path, seed: u64, instances: usize) {
+        let cache = CellCache::open(dir, true).unwrap();
+        run_panel_with(
+            &tiny_spec(),
+            Scale {
+                instances,
+                shots: 32,
+            },
+            seed,
+            Some(&cache),
+            |_| {},
+        );
+        cache.close().unwrap();
+    }
+
+    #[test]
+    fn reconstructs_a_panel_from_the_store() {
+        let dir = tmp("basic");
+        populate(&dir, 7, 3);
+        let run = load_run(&dir).unwrap();
+        assert_eq!(run.rejected, 0);
+        assert_eq!(run.records, 2 * 2 * 3); // rates × depths × instances
+        assert_eq!(run.panels.len(), 1);
+        let p = &run.panels[0];
+        assert_eq!(p.rows, vec![(0, 0.0), (1, 0.02)]);
+        assert_eq!(p.cols, vec![(0, "2".into()), (1, "full".into())]);
+        assert_eq!(p.key.seed, 7);
+        assert_eq!(p.key.shots, 32);
+        // Geometry 3x4 1:1 matches no paper panel: synthesized id.
+        assert_eq!(p.id, "add-3x4-1:1-2q");
+        for row in &p.cells {
+            for cell in row {
+                let cell = cell.as_ref().expect("complete grid");
+                assert_eq!(cell.instances, 3);
+                assert!(cell.successes <= 3);
+                assert_eq!(cell.stats.instances, 3);
+            }
+        }
+        // Noiseless full-depth cell on trivial operands: all succeed.
+        assert_eq!(p.cells[0][1].as_ref().unwrap().successes, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_is_read_only_and_deterministic() {
+        let dir = tmp("readonly");
+        populate(&dir, 7, 2);
+        let before: Vec<(String, u64)> = ["index.seg", "journal.wal"]
+            .iter()
+            .filter_map(|f| {
+                let p = dir.join(f);
+                p.metadata().ok().map(|m| (f.to_string(), m.len()))
+            })
+            .collect();
+        let a = load_run(&dir).unwrap();
+        let b = load_run(&dir).unwrap();
+        assert_eq!(RunSummary::from_run(&a), RunSummary::from_run(&b));
+        let after: Vec<(String, u64)> = ["index.seg", "journal.wal"]
+            .iter()
+            .filter_map(|f| {
+                let p = dir.join(f);
+                p.metadata().ok().map(|m| (f.to_string(), m.len()))
+            })
+            .collect();
+        assert_eq!(before, after, "load_run must not touch store files");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn multiple_seeds_become_separate_panels() {
+        let dir = tmp("seeds");
+        populate(&dir, 7, 2);
+        populate(&dir, 8, 2);
+        let run = load_run(&dir).unwrap();
+        assert_eq!(run.panels.len(), 2);
+        assert_eq!(run.panels[0].key.seed, 7);
+        assert_eq!(run.panels[1].key.seed, 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_store_dir_is_an_error_but_empty_dir_is_empty() {
+        let dir = tmp("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = load_run(&dir).unwrap();
+        assert!(run.panels.is_empty());
+        assert_eq!((run.records, run.rejected), (0, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn paper_geometry_gets_the_paper_id() {
+        // Run one cell of the real fig1a geometry (truncated grid) and
+        // confirm the panel is labeled fig1a with its reference rate.
+        let dir = tmp("paperid");
+        let mut spec = panel_by_id("fig1a").unwrap();
+        spec.rates.truncate(1);
+        spec.depths.truncate(1);
+        let cache = CellCache::open(&dir, true).unwrap();
+        run_panel_with(
+            &spec,
+            Scale {
+                instances: 1,
+                shots: 8,
+            },
+            1,
+            Some(&cache),
+            |_| {},
+        );
+        cache.close().unwrap();
+        let run = load_run(&dir).unwrap();
+        assert_eq!(run.panels.len(), 1);
+        assert_eq!(run.panels[0].id, "fig1a");
+        assert_eq!(run.panels[0].reference_rate, Some(0.002));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_json_round_trips() {
+        let dir = tmp("roundtrip");
+        populate(&dir, 7, 2);
+        let summary = RunSummary::from_run(&load_run(&dir).unwrap());
+        assert_eq!(summary.salt, CODE_SALT);
+        let encoded = summary.to_json();
+        assert!(encoded
+            .encode()
+            .starts_with(r#"{"schema":"qfab.history.v1","salt":"#));
+        let decoded = RunSummary::from_json(&encoded).unwrap();
+        assert_eq!(decoded, summary);
+        // Re-encoding is byte-stable.
+        assert_eq!(decoded.to_json().encode(), encoded.encode());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn from_json_rejects_foreign_schemas() {
+        let doc = Json::parse(r#"{"schema":"qfab.other.v9","salt":"s","panels":[]}"#).unwrap();
+        assert!(RunSummary::from_json(&doc).unwrap_err().contains("schema"));
+        let doc = Json::parse(r#"{"salt":"s","panels":[]}"#).unwrap();
+        assert!(RunSummary::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn stale_salt_records_are_rejected_not_rendered() {
+        use crate::cache::{cell_identity, identity_key};
+        use qfab_core::RunConfig;
+        let dir = tmp("stale");
+        populate(&dir, 7, 1);
+        // Poison: rewrite one record under a stale salt, filed under a
+        // digest consistent with the *modified* identity (so only the
+        // salt check can catch it).
+        let spec = tiny_spec();
+        let cfg = RunConfig {
+            shots: 32,
+            ..RunConfig::default()
+        };
+        let identity = cell_identity(&spec, &cfg, 7, 0, 0, 0.0, 0, AqftDepth::Limited(2));
+        let Json::Obj(mut fields) = identity else {
+            panic!()
+        };
+        fields[0].1 = Json::Str("qfab-cell-v0".into());
+        let stale_identity = Json::Obj(fields);
+        let stale_key = identity_key(&stale_identity);
+        let payload = Json::Obj(vec![
+            ("id".into(), stale_identity),
+            ("success".into(), Json::Bool(true)),
+            ("gap".into(), Json::I64(1)),
+            ("wall_secs".into(), Json::F64(0.0)),
+        ])
+        .encode()
+        .into_bytes();
+        let mut store = qfab_store::Store::open(&dir).unwrap();
+        store.put(stale_key, payload).unwrap();
+        store.sync().unwrap();
+        drop(store);
+
+        let run = load_run(&dir).unwrap();
+        assert_eq!(run.rejected, 1);
+        assert_eq!(run.records, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,193 @@
+//! End-to-end checks for the observability commands of the `repro`
+//! binary: `dash` must emit one self-contained, byte-identical HTML
+//! document; `diff` must pass a run against itself and flag an
+//! injected per-cell success shift with a non-zero exit; `history`
+//! must list ledger entries and serve them to `diff` as `DIR@N` refs.
+
+use qfab_core::AqftDepth;
+use qfab_experiments::ledger;
+use qfab_experiments::rundata::{load_run, RunSummary};
+use qfab_experiments::{run_panel_with, CellCache, ErrorTarget, OpKind, PanelSpec, Scale};
+use qfab_store::wal;
+use qfab_telemetry::Json;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn spec() -> PanelSpec {
+    PanelSpec {
+        id: "dashtest",
+        title: "dashboard integration".into(),
+        op: OpKind::Add,
+        n: 3,
+        m: 4,
+        order_x: 1,
+        order_y: 1,
+        error_target: ErrorTarget::TwoQubit,
+        rates: vec![0.0, 0.02],
+        depths: vec![AqftDepth::Limited(2), AqftDepth::Full],
+        reference_rate: 0.02,
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qfab_dashitest_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// 8 instances per cell: enough that flipping a full cell (8/8 → 0/8)
+/// is a z≈4 shift, far below α = 0.01.
+fn populate(dir: &Path) {
+    let cache = CellCache::open(dir, true).unwrap();
+    run_panel_with(
+        &spec(),
+        Scale {
+            instances: 8,
+            shots: 32,
+        },
+        7,
+        Some(&cache),
+        |_| {},
+    );
+    cache.close().unwrap();
+}
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+/// Forges a copy of `src` whose every record reports the *opposite*
+/// success flag. The record digest covers the cell identity only, so
+/// the forged store is structurally valid — exactly the shape of a
+/// code change that silently redraws outcomes.
+fn forge_shifted_store(src: &Path, dst: &Path) {
+    let mut out = Vec::new();
+    for file in ["index.seg", "journal.wal"] {
+        let Ok(bytes) = std::fs::read(src.join(file)) else {
+            continue;
+        };
+        for record in wal::scan(&bytes).records {
+            let text = std::str::from_utf8(&record.value).unwrap();
+            let Json::Obj(mut fields) = Json::parse(text).unwrap() else {
+                panic!("cell payloads are objects");
+            };
+            for (key, value) in &mut fields {
+                if key == "success" {
+                    let Json::Bool(b) = value else {
+                        panic!("success is a bool")
+                    };
+                    *value = Json::Bool(!*b);
+                }
+            }
+            let payload = Json::Obj(fields).encode().into_bytes();
+            out.extend_from_slice(&wal::encode_record(&record.key, &payload));
+        }
+    }
+    assert!(!out.is_empty(), "source store must hold records");
+    std::fs::write(dst.join("journal.wal"), out).unwrap();
+}
+
+#[test]
+fn dash_renders_byte_identical_self_contained_html() {
+    let dir = tmp("dash");
+    populate(&dir);
+    let out_a = dir.join("a.html");
+    let out_b = dir.join("b.html");
+    let run = repro(&["dash", dir.to_str().unwrap(), "-o", out_a.to_str().unwrap()]);
+    assert!(run.status.success(), "{run:?}");
+    let run = repro(&["dash", dir.to_str().unwrap(), "-o", out_b.to_str().unwrap()]);
+    assert!(run.status.success(), "{run:?}");
+    let a = std::fs::read_to_string(&out_a).unwrap();
+    let b = std::fs::read_to_string(&out_b).unwrap();
+    assert_eq!(a, b, "two renders of the same store must be byte-identical");
+    assert!(a.starts_with("<!DOCTYPE html>"));
+    assert!(a.ends_with("</html>\n"));
+    assert!(a.contains("<svg "), "charts are inline SVG");
+    assert!(
+        !a.contains("src=") && !a.contains("href="),
+        "self-contained: no external references"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn diff_self_vs_self_exits_zero() {
+    let dir = tmp("selfdiff");
+    populate(&dir);
+    let out = repro(&["diff", dir.to_str().unwrap(), dir.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("no significant drift"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn diff_flags_injected_shift_with_nonzero_exit() {
+    let a = tmp("shift_a");
+    let b = tmp("shift_b");
+    populate(&a);
+    forge_shifted_store(&a, &b);
+    let out = repro(&[
+        "diff",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--alpha",
+        "0.01",
+    ]);
+    assert!(
+        !out.status.success(),
+        "an injected success shift must fail the gate"
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("DRIFT"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&a);
+    let _ = std::fs::remove_dir_all(&b);
+}
+
+#[test]
+fn history_lists_entries_and_diff_accepts_ledger_refs() {
+    let dir = tmp("history");
+    populate(&dir);
+    let summary = RunSummary::from_run(&load_run(&dir).unwrap());
+    assert!(ledger::append(&dir, &summary, Some("v-test-note")).unwrap());
+
+    let out = repro(&["history", dir.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("run history: 1 entry"), "{stdout}");
+    assert!(stdout.contains("v-test-note"), "{stdout}");
+
+    // The recorded entry equals the live store: ledger-vs-dir is clean.
+    let entry_ref = format!("{}@-1", dir.display());
+    let out = repro(&["diff", &entry_ref, dir.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+
+    // Out-of-range ledger refs are an error, not a silent pass.
+    let bad_ref = format!("{}@5", dir.display());
+    let out = repro(&["diff", &bad_ref, dir.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_commands_print_the_unified_usage() {
+    let out = repro(&["no-such-command"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    for needle in [
+        "dash DIR",
+        "diff A B",
+        "history DIR",
+        "--store DIR",
+        "--resume",
+    ] {
+        assert!(
+            stderr.contains(needle),
+            "usage missing '{needle}':\n{stderr}"
+        );
+    }
+}

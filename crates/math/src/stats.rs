@@ -142,6 +142,76 @@ pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
     ((center - half).max(0.0), (center + half).min(1.0))
 }
 
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// Abramowitz & Stegun 7.1.26 rational approximation (|ε| ≤ 1.5·10⁻⁷),
+/// evaluated directly on the complemented form so small tail
+/// probabilities keep their leading digits instead of cancelling
+/// against 1. Plenty for a significance gate; we are comparing
+/// p-values against α = 0.01, not publishing them to ten digits.
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    const A1: f64 = 0.254_829_592;
+    const A2: f64 = -0.284_496_736;
+    const A3: f64 = 1.421_413_741;
+    const A4: f64 = -1.453_152_027;
+    const A5: f64 = 1.061_405_429;
+    const P: f64 = 0.327_591_1;
+    let t = 1.0 / (1.0 + P * x);
+    let poly = t * (A1 + t * (A2 + t * (A3 + t * (A4 + t * A5))));
+    poly * (-x * x).exp()
+}
+
+/// The error function.
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// The standard normal CDF Φ(x).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// A two-proportion pooled z-test result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TwoProportionTest {
+    /// The z statistic `(p̂₁ − p̂₂) / se` under the pooled null.
+    pub z: f64,
+    /// Two-sided p-value `P(|Z| ≥ |z|)`.
+    pub p_value: f64,
+}
+
+/// Pooled two-proportion z-test of H₀: p₁ = p₂ given `(successes,
+/// trials)` for two independent samples. Returns `None` when either
+/// sample is empty (no test possible).
+///
+/// When the pooled rate is exactly 0 or 1 both samples agree perfectly
+/// and the standard error degenerates to 0; that is reported as
+/// `z = 0, p = 1` (no evidence of a difference), not a division by
+/// zero.
+pub fn two_proportion_z_test(s1: u64, n1: u64, s2: u64, n2: u64) -> Option<TwoProportionTest> {
+    if n1 == 0 || n2 == 0 {
+        return None;
+    }
+    debug_assert!(s1 <= n1 && s2 <= n2);
+    let (n1f, n2f) = (n1 as f64, n2 as f64);
+    let p1 = s1 as f64 / n1f;
+    let p2 = s2 as f64 / n2f;
+    let pooled = (s1 + s2) as f64 / (n1f + n2f);
+    let se = (pooled * (1.0 - pooled) * (1.0 / n1f + 1.0 / n2f)).sqrt();
+    if se == 0.0 {
+        return Some(TwoProportionTest {
+            z: 0.0,
+            p_value: 1.0,
+        });
+    }
+    let z = (p1 - p2) / se;
+    let p_value = erfc(z.abs() / std::f64::consts::SQRT_2);
+    Some(TwoProportionTest { z, p_value })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,5 +360,66 @@ mod tests {
         assert!(hi1 > 0.999 && hi1 <= 1.0);
         // Zero trials -> vacuous interval.
         assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    fn erf_known_values() {
+        // Reference values from tables of erf; the A&S 7.1.26
+        // approximation is good to 1.5e-7.
+        for (x, want) in [
+            (0.0, 0.0),
+            (0.5, 0.520_499_877_8),
+            (1.0, 0.842_700_792_9),
+            (2.0, 0.995_322_265_0),
+        ] {
+            assert!((erf(x) - want).abs() < 2e-7, "erf({x})");
+            assert!((erf(-x) + want).abs() < 2e-7, "erf(-{x})");
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+        }
+        // The tail keeps leading digits instead of cancelling to 0.
+        assert!(erfc(4.0) > 0.0 && erfc(4.0) < 2e-8);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry_and_quantiles() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 2e-7);
+        assert!((normal_cdf(1.959_963_985) - 0.975).abs() < 2e-7);
+        assert!((normal_cdf(-1.959_963_985) - 0.025).abs() < 2e-7);
+        assert!((normal_cdf(2.575_829_304) - 0.995).abs() < 2e-7);
+        for x in [-3.0, -0.7, 0.3, 2.2] {
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn z_test_flags_a_large_shift_and_passes_identical_samples() {
+        // 8/8 vs 0/8: pooled p = 0.5, se = 0.25, z = 4.
+        let t = two_proportion_z_test(8, 8, 0, 8).unwrap();
+        assert!((t.z - 4.0).abs() < 1e-12);
+        assert!(t.p_value < 1e-4, "p={}", t.p_value);
+        // Identical samples: z = 0, p = 1.
+        let t = two_proportion_z_test(5, 10, 5, 10).unwrap();
+        assert_eq!(t.z, 0.0);
+        assert!((t.p_value - 1.0).abs() < 1e-9);
+        // Sign follows the first sample.
+        assert!(two_proportion_z_test(2, 10, 8, 10).unwrap().z < 0.0);
+    }
+
+    #[test]
+    fn z_test_degenerate_inputs() {
+        assert_eq!(two_proportion_z_test(0, 0, 5, 10), None);
+        assert_eq!(two_proportion_z_test(5, 10, 0, 0), None);
+        // Pooled rate exactly 0 or 1: no variance, no evidence.
+        let t = two_proportion_z_test(0, 10, 0, 20).unwrap();
+        assert_eq!((t.z, t.p_value), (0.0, 1.0));
+        let t = two_proportion_z_test(10, 10, 20, 20).unwrap();
+        assert_eq!((t.z, t.p_value), (0.0, 1.0));
+    }
+
+    #[test]
+    fn z_test_small_shift_is_not_significant() {
+        // 7/10 vs 5/10 is well within noise at any sane alpha.
+        let t = two_proportion_z_test(7, 10, 5, 10).unwrap();
+        assert!(t.p_value > 0.3, "p={}", t.p_value);
     }
 }

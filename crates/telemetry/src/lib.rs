@@ -64,6 +64,7 @@ pub mod json;
 pub mod manifest;
 pub mod registry;
 pub mod span;
+pub mod svg;
 pub mod trace;
 
 pub use histogram::{Histogram, HistogramSummary};

@@ -1,0 +1,599 @@
+//! Zero-dependency SVG line charts.
+//!
+//! The result dashboard renders the paper's success-vs-error-rate
+//! panels as inline SVG; this module is the hand-rolled chart builder
+//! behind it. Like the rest of the crate it is `std`-only and, more
+//! importantly, **deterministic**: the same [`LineChart`] value always
+//! renders to the same bytes (fixed-precision coordinate formatting,
+//! no randomized ids, insertion-ordered elements), so dashboards can
+//! be compared with `cmp`.
+//!
+//! Scope is deliberately small — line series with optional per-point
+//! vertical error bars, linear or log₁₀ x-axes, caller-supplied tick
+//! labels, a legend, and one optional dashed reference line. Anything
+//! fancier belongs in a real plotting library, which this workspace
+//! intentionally does not depend on.
+
+use std::fmt::Write as _;
+
+/// Horizontal axis mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum XScale {
+    /// Positions proportional to the value.
+    #[default]
+    Linear,
+    /// Positions proportional to log₁₀ of the value. Points and ticks
+    /// with `x ≤ 0` cannot be placed and are skipped.
+    Log10,
+}
+
+/// One plotted point.
+#[derive(Clone, Debug, Default)]
+pub struct DataPoint {
+    /// Horizontal value (data units).
+    pub x: f64,
+    /// Vertical value (data units).
+    pub y: f64,
+    /// Lower end of the error bar, when present.
+    pub y_lo: Option<f64>,
+    /// Upper end of the error bar, when present.
+    pub y_hi: Option<f64>,
+    /// Hover text (`<title>` element), when present.
+    pub note: Option<String>,
+}
+
+impl DataPoint {
+    /// A bare point with no error bar.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self {
+            x,
+            y,
+            ..Self::default()
+        }
+    }
+
+    /// A point with a vertical error bar `[lo, hi]`.
+    pub fn with_bar(x: f64, y: f64, lo: f64, hi: f64) -> Self {
+        Self {
+            x,
+            y,
+            y_lo: Some(lo),
+            y_hi: Some(hi),
+            note: None,
+        }
+    }
+}
+
+/// One line series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Stroke/fill color (any SVG color string).
+    pub color: String,
+    /// Points in drawing order.
+    pub points: Vec<DataPoint>,
+}
+
+/// A line chart with error bars, ticks, a legend, and an optional
+/// dashed vertical reference line.
+#[derive(Clone, Debug)]
+pub struct LineChart {
+    /// Chart title (rendered top-left).
+    pub title: String,
+    /// X-axis caption.
+    pub x_label: String,
+    /// Y-axis caption.
+    pub y_label: String,
+    /// Horizontal axis mapping.
+    pub x_scale: XScale,
+    /// Bottom of the y range (data units).
+    pub y_min: f64,
+    /// Top of the y range (data units).
+    pub y_max: f64,
+    /// X tick positions and labels. The x range is the hull of tick
+    /// and point positions.
+    pub x_ticks: Vec<(f64, String)>,
+    /// Y tick positions and labels (clamped to the y range).
+    pub y_ticks: Vec<(f64, String)>,
+    /// The series, drawn (and listed in the legend) in order.
+    pub series: Vec<Series>,
+    /// Optional dashed vertical line with a label.
+    pub ref_x: Option<(f64, String)>,
+    /// Total width in px.
+    pub width: u32,
+    /// Total height in px.
+    pub height: u32,
+}
+
+impl LineChart {
+    /// A chart with the dashboard's default geometry and a 0–100 y
+    /// range.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            x_scale: XScale::Linear,
+            y_min: 0.0,
+            y_max: 100.0,
+            x_ticks: Vec::new(),
+            y_ticks: Vec::new(),
+            series: Vec::new(),
+            ref_x: None,
+            width: 460,
+            height: 300,
+        }
+    }
+
+    /// Renders the chart as a standalone `<svg>` element.
+    pub fn render(&self) -> String {
+        Frame::new(self).render()
+    }
+}
+
+/// Escapes text for use in XML content and attribute values.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Fixed-precision pixel coordinate — the determinism choke point.
+fn px(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Resolved plot geometry plus the axis transforms.
+struct Frame<'a> {
+    chart: &'a LineChart,
+    left: f64,
+    top: f64,
+    right: f64,
+    bottom: f64,
+    x_lo: f64,
+    x_hi: f64,
+}
+
+const MARGIN_LEFT: f64 = 52.0;
+const MARGIN_RIGHT: f64 = 14.0;
+const MARGIN_TOP: f64 = 26.0;
+const MARGIN_BOTTOM: f64 = 44.0;
+
+impl<'a> Frame<'a> {
+    fn new(chart: &'a LineChart) -> Self {
+        let mut xs: Vec<f64> = Vec::new();
+        for (x, _) in &chart.x_ticks {
+            if let Some(t) = transform(chart.x_scale, *x) {
+                xs.push(t);
+            }
+        }
+        for s in &chart.series {
+            for p in &s.points {
+                if let Some(t) = transform(chart.x_scale, p.x) {
+                    xs.push(t);
+                }
+            }
+        }
+        let (mut x_lo, mut x_hi) = xs
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        if xs.is_empty() {
+            (x_lo, x_hi) = (0.0, 1.0);
+        } else if x_hi - x_lo < 1e-12 {
+            // Degenerate domain: center the single position.
+            (x_lo, x_hi) = (x_lo - 0.5, x_hi + 0.5);
+        }
+        Self {
+            chart,
+            left: MARGIN_LEFT,
+            top: MARGIN_TOP,
+            right: chart.width as f64 - MARGIN_RIGHT,
+            bottom: chart.height as f64 - MARGIN_BOTTOM,
+            x_lo,
+            x_hi,
+        }
+    }
+
+    fn x_px(&self, x: f64) -> Option<f64> {
+        let t = transform(self.chart.x_scale, x)?;
+        let frac = (t - self.x_lo) / (self.x_hi - self.x_lo);
+        Some(self.left + frac * (self.right - self.left))
+    }
+
+    fn y_px(&self, y: f64) -> f64 {
+        let c = &self.chart;
+        let span = (c.y_max - c.y_min).max(1e-12);
+        let frac = ((y - c.y_min) / span).clamp(0.0, 1.0);
+        self.bottom - frac * (self.bottom - self.top)
+    }
+
+    fn render(&self) -> String {
+        let c = self.chart;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {w} {h}\" \
+             width=\"{w}\" height=\"{h}\" font-family=\"sans-serif\" font-size=\"11\">",
+            w = c.width,
+            h = c.height
+        );
+        let _ = write!(
+            s,
+            "<text x=\"{}\" y=\"16\" font-size=\"13\" font-weight=\"bold\">{}</text>",
+            px(self.left),
+            escape(&c.title)
+        );
+        self.render_grid_and_axes(&mut s);
+        self.render_ref_line(&mut s);
+        for series in &c.series {
+            self.render_series(&mut s, series);
+        }
+        self.render_legend(&mut s);
+        s.push_str("</svg>");
+        s
+    }
+
+    fn render_grid_and_axes(&self, s: &mut String) {
+        let c = self.chart;
+        let _ = write!(
+            s,
+            "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"none\" stroke=\"#444\"/>",
+            px(self.left),
+            px(self.top),
+            px(self.right - self.left),
+            px(self.bottom - self.top)
+        );
+        for (y, label) in &c.y_ticks {
+            let yp = self.y_px(*y);
+            let _ = write!(
+                s,
+                "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#ddd\"/>",
+                px(self.left),
+                px(yp),
+                px(self.right),
+                px(yp)
+            );
+            let _ = write!(
+                s,
+                "<text x=\"{}\" y=\"{}\" text-anchor=\"end\" fill=\"#333\">{}</text>",
+                px(self.left - 6.0),
+                px(yp + 4.0),
+                escape(label)
+            );
+        }
+        for (x, label) in &c.x_ticks {
+            let Some(xp) = self.x_px(*x) else { continue };
+            let _ = write!(
+                s,
+                "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#444\"/>",
+                px(xp),
+                px(self.bottom),
+                px(xp),
+                px(self.bottom + 4.0)
+            );
+            let _ = write!(
+                s,
+                "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" fill=\"#333\">{}</text>",
+                px(xp),
+                px(self.bottom + 16.0),
+                escape(label)
+            );
+        }
+        if !c.x_label.is_empty() {
+            let _ = write!(
+                s,
+                "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" fill=\"#333\">{}</text>",
+                px((self.left + self.right) / 2.0),
+                px(self.bottom + 34.0),
+                escape(&c.x_label)
+            );
+        }
+        if !c.y_label.is_empty() {
+            let cx = 14.0;
+            let cy = (self.top + self.bottom) / 2.0;
+            let _ = write!(
+                s,
+                "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" fill=\"#333\" \
+                 transform=\"rotate(-90 {} {})\">{}</text>",
+                px(cx),
+                px(cy),
+                px(cx),
+                px(cy),
+                escape(&c.y_label)
+            );
+        }
+    }
+
+    fn render_ref_line(&self, s: &mut String) {
+        let Some((x, label)) = &self.chart.ref_x else {
+            return;
+        };
+        let Some(xp) = self.x_px(*x) else { return };
+        let _ = write!(
+            s,
+            "<line x1=\"{x}\" y1=\"{}\" x2=\"{x}\" y2=\"{}\" stroke=\"#888\" \
+             stroke-dasharray=\"4 3\"/>",
+            px(self.top),
+            px(self.bottom),
+            x = px(xp)
+        );
+        let _ = write!(
+            s,
+            "<text x=\"{}\" y=\"{}\" fill=\"#666\" font-size=\"10\">{}</text>",
+            px(xp + 3.0),
+            px(self.top + 10.0),
+            escape(label)
+        );
+    }
+
+    fn render_series(&self, s: &mut String, series: &Series) {
+        let color = escape(&series.color);
+        // Error bars under the line.
+        for p in &series.points {
+            let (Some(lo), Some(hi)) = (p.y_lo, p.y_hi) else {
+                continue;
+            };
+            let Some(xp) = self.x_px(p.x) else { continue };
+            let (y1, y2) = (self.y_px(hi), self.y_px(lo));
+            let _ = write!(
+                s,
+                "<line x1=\"{x}\" y1=\"{y1}\" x2=\"{x}\" y2=\"{y2}\" stroke=\"{color}\"/>",
+                x = px(xp),
+                y1 = px(y1),
+                y2 = px(y2),
+            );
+            for y in [y1, y2] {
+                let _ = write!(
+                    s,
+                    "<line x1=\"{}\" y1=\"{y}\" x2=\"{}\" y2=\"{y}\" stroke=\"{color}\"/>",
+                    px(xp - 3.0),
+                    px(xp + 3.0),
+                    y = px(y),
+                );
+            }
+        }
+        let mut path: Vec<String> = Vec::new();
+        for p in &series.points {
+            if let Some(xp) = self.x_px(p.x) {
+                path.push(format!("{},{}", px(xp), px(self.y_px(p.y))));
+            }
+        }
+        if path.len() > 1 {
+            let _ = write!(
+                s,
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>",
+                path.join(" ")
+            );
+        }
+        for p in &series.points {
+            let Some(xp) = self.x_px(p.x) else { continue };
+            let _ = write!(
+                s,
+                "<circle cx=\"{}\" cy=\"{}\" r=\"2.5\" fill=\"{color}\">",
+                px(xp),
+                px(self.y_px(p.y))
+            );
+            if let Some(note) = &p.note {
+                let _ = write!(s, "<title>{}</title>", escape(note));
+            }
+            s.push_str("</circle>");
+        }
+    }
+
+    fn render_legend(&self, s: &mut String) {
+        let c = self.chart;
+        if c.series.is_empty() {
+            return;
+        }
+        let longest = c.series.iter().map(|s| s.label.len()).max().unwrap_or(0);
+        let box_w = 30.0 + longest as f64 * 6.5;
+        let box_h = 6.0 + c.series.len() as f64 * 14.0;
+        let x0 = self.right - box_w - 6.0;
+        let y0 = self.top + 6.0;
+        let _ = write!(
+            s,
+            "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"#fff\" \
+             fill-opacity=\"0.85\" stroke=\"#bbb\"/>",
+            px(x0),
+            px(y0),
+            px(box_w),
+            px(box_h)
+        );
+        for (i, series) in c.series.iter().enumerate() {
+            let y = y0 + 14.0 + i as f64 * 14.0;
+            let _ = write!(
+                s,
+                "<line x1=\"{}\" y1=\"{y}\" x2=\"{}\" y2=\"{y}\" stroke=\"{}\" \
+                 stroke-width=\"2\"/>",
+                px(x0 + 4.0),
+                px(x0 + 20.0),
+                escape(&series.color),
+                y = px(y - 3.0),
+            );
+            let _ = write!(
+                s,
+                "<text x=\"{}\" y=\"{y}\" fill=\"#333\">{}</text>",
+                px(x0 + 24.0),
+                escape(&series.label),
+                y = px(y),
+            );
+        }
+    }
+}
+
+fn transform(scale: XScale, x: f64) -> Option<f64> {
+    match scale {
+        XScale::Linear => Some(x),
+        XScale::Log10 => (x > 0.0).then(|| x.log10()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chart() -> LineChart {
+        let mut c = LineChart::new("demo <chart>");
+        c.x_label = "error rate (%)".into();
+        c.y_label = "success (%)".into();
+        c.x_ticks = vec![(0.0, "0".into()), (1.0, "1".into()), (2.0, "2".into())];
+        c.y_ticks = vec![
+            (0.0, "0".into()),
+            (50.0, "50".into()),
+            (100.0, "100".into()),
+        ];
+        c.ref_x = Some((1.0, "ref".into()));
+        c.series = vec![
+            Series {
+                label: "d=1".into(),
+                color: "#1b6ca8".into(),
+                points: vec![
+                    DataPoint::with_bar(0.0, 100.0, 90.0, 100.0),
+                    DataPoint::with_bar(1.0, 60.0, 45.0, 74.0),
+                    DataPoint::with_bar(2.0, 20.0, 10.0, 35.0),
+                ],
+            },
+            Series {
+                label: "d=full".into(),
+                color: "#b23a48".into(),
+                points: vec![DataPoint::new(0.0, 95.0), DataPoint::new(2.0, 5.0)],
+            },
+        ];
+        c
+    }
+
+    /// Minimal well-formedness check: every opened tag is closed (or
+    /// self-closed) in LIFO order.
+    fn assert_tag_balanced(svg: &str) {
+        let mut stack: Vec<String> = Vec::new();
+        let mut rest = svg;
+        while let Some(open) = rest.find('<') {
+            let Some(close) = rest[open..].find('>') else {
+                panic!("unterminated tag");
+            };
+            let tag = &rest[open + 1..open + close];
+            rest = &rest[open + close + 1..];
+            if let Some(name) = tag.strip_prefix('/') {
+                let top = stack.pop().unwrap_or_else(|| panic!("stray </{name}>"));
+                assert_eq!(top, name, "mismatched closing tag");
+            } else if !tag.ends_with('/') && !tag.starts_with('!') && !tag.starts_with('?') {
+                let name: String = tag.chars().take_while(|c| !c.is_whitespace()).collect();
+                stack.push(name);
+            }
+        }
+        assert!(stack.is_empty(), "unclosed tags: {stack:?}");
+    }
+
+    #[test]
+    fn renders_balanced_svg_with_all_elements() {
+        let svg = sample_chart().render();
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.ends_with("</svg>"));
+        assert_tag_balanced(&svg);
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.contains("d=full"));
+        // Error bars: one vertical + two caps per barred point.
+        assert!(svg.matches("<line").count() >= 9);
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let svg = sample_chart().render();
+        assert!(svg.contains("demo &lt;chart&gt;"));
+        assert!(!svg.contains("demo <chart>"));
+        assert_eq!(escape(r#"a&b<c>"d'"#), "a&amp;b&lt;c&gt;&quot;d&#39;");
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let c = sample_chart();
+        assert_eq!(c.render(), c.render());
+    }
+
+    #[test]
+    fn linear_positions_are_proportional() {
+        let c = sample_chart();
+        let svg = c.render();
+        // x=0 maps to the left edge, x=2 to the right edge, x=1 to the
+        // middle: extract the polyline of the second series.
+        let frame = Frame::new(&c);
+        let x0 = frame.x_px(0.0).unwrap();
+        let x1 = frame.x_px(1.0).unwrap();
+        let x2 = frame.x_px(2.0).unwrap();
+        assert!((x1 - (x0 + x2) / 2.0).abs() < 1e-9);
+        assert!(svg.contains(&format!("x1=\"{}\"", super::px(x1)))); // ref line
+    }
+
+    #[test]
+    fn log_scale_skips_nonpositive_and_spaces_decades_evenly() {
+        let mut c = LineChart::new("log");
+        c.x_scale = XScale::Log10;
+        c.x_ticks = vec![
+            (0.0, "0".into()), // unplottable, skipped
+            (0.001, "1e-3".into()),
+            (0.01, "1e-2".into()),
+            (0.1, "1e-1".into()),
+        ];
+        c.series = vec![Series {
+            label: "s".into(),
+            color: "#000".into(),
+            points: vec![DataPoint::new(0.001, 10.0), DataPoint::new(0.1, 90.0)],
+        }];
+        let frame = Frame::new(&c);
+        assert_eq!(frame.x_px(0.0), None);
+        assert_eq!(frame.x_px(-1.0), None);
+        let a = frame.x_px(0.001).unwrap();
+        let b = frame.x_px(0.01).unwrap();
+        let d = frame.x_px(0.1).unwrap();
+        assert!(((b - a) - (d - b)).abs() < 1e-9, "decades must be even");
+        assert_tag_balanced(&c.render());
+    }
+
+    #[test]
+    fn degenerate_domains_do_not_panic() {
+        let mut c = LineChart::new("empty");
+        assert_tag_balanced(&c.render());
+        // One single x position.
+        c.series = vec![Series {
+            label: "s".into(),
+            color: "#000".into(),
+            points: vec![DataPoint::new(5.0, 50.0)],
+        }];
+        let svg = c.render();
+        assert_tag_balanced(&svg);
+        assert!(!svg.contains("NaN"));
+        // Zero-height y range.
+        c.y_min = 50.0;
+        c.y_max = 50.0;
+        assert!(!c.render().contains("NaN"));
+    }
+
+    #[test]
+    fn notes_become_tooltips() {
+        let mut c = LineChart::new("t");
+        c.series = vec![Series {
+            label: "s".into(),
+            color: "#000".into(),
+            points: vec![DataPoint {
+                x: 1.0,
+                y: 2.0,
+                note: Some("12/16 ok".into()),
+                ..DataPoint::default()
+            }],
+        }];
+        let svg = c.render();
+        assert!(svg.contains("<title>12/16 ok</title>"));
+        assert_tag_balanced(&svg);
+    }
+}
