@@ -39,7 +39,7 @@ use qfab_experiments::sweep::panel_by_id;
 use qfab_experiments::table1::{format_table1, run_table1};
 use qfab_experiments::{
     dashboard, drift, fig1_panels, fig2_panels, ledger, progress_line, run_panel_with,
-    verify_store, CellCache, OpKind, PanelSpec, Scale,
+    verify_store, watch, CellCache, OpKind, PanelSpec, Scale,
 };
 use qfab_telemetry as telemetry;
 use std::path::{Path, PathBuf};
@@ -57,6 +57,14 @@ struct Options {
     store: Option<PathBuf>,
     resume: bool,
     no_cache: bool,
+    watch: Option<String>,
+    watch_hold: u64,
+    /// Whether this run prints the metrics summary and writes manifests.
+    ///
+    /// Captured *before* `--watch` silently enables telemetry: watching a
+    /// sweep must not change its stdout or on-disk outputs, so only an
+    /// explicit `--metrics` (or the `QFAB_TELEMETRY` env) emits them.
+    emit_metrics: bool,
 }
 
 impl Options {
@@ -92,6 +100,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         store: None,
         resume: false,
         no_cache: false,
+        watch: None,
+        watch_hold: 0,
+        emit_metrics: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -150,6 +161,26 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.no_cache = true;
                 i += 1;
             }
+            "--watch" => {
+                // ADDR:PORT is optional; a following option (or nothing)
+                // means "pick a free local port".
+                match args.get(i + 1) {
+                    Some(v) if v.contains(':') && !v.starts_with('-') => {
+                        opts.watch = Some(v.clone());
+                        i += 2;
+                    }
+                    _ => {
+                        opts.watch = Some("127.0.0.1:0".to_string());
+                        i += 1;
+                    }
+                }
+            }
+            "--watch-hold" => {
+                opts.watch_hold = need_value(i)?
+                    .parse()
+                    .map_err(|e| format!("--watch-hold: {e}"))?;
+                i += 2;
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -170,10 +201,21 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             ));
         }
     }
+    if opts.watch.is_none() && opts.watch_hold > 0 {
+        return Err("--watch-hold requires --watch".to_string());
+    }
     if opts.metrics {
         // Enable before any simulation so every handle registers live
         // (see the qfab-telemetry enable-before-first-use rule).
         telemetry::set_mode(telemetry::Mode::Detail);
+    }
+    // Whether metric summaries/manifests are emitted is decided *here*,
+    // before --watch can widen the telemetry mode: live monitoring must
+    // never change what a run prints or writes.
+    opts.emit_metrics = opts.metrics || telemetry::enabled();
+    if opts.watch.is_some() && !telemetry::enabled() {
+        // The timeline needs live counters; Summary keeps hot paths cheap.
+        telemetry::set_mode(telemetry::Mode::Summary);
     }
     Ok(opts)
 }
@@ -194,13 +236,21 @@ fn run_one(spec: &PanelSpec, opts: &Options, cache: Option<&CellCache>) {
     telemetry::trace::install_flight_recorder(
         &dump_dir.join(format!("{}.flightrec.json", spec.id)),
     );
+    watch::panel_started(
+        spec.id,
+        scale.instances,
+        spec.rates.len() * spec.depths.len(),
+    );
     let started = std::time::Instant::now();
     let result = run_panel_with(spec, scale, opts.seed, cache, |p| {
-        eprint!("\r  {}", progress_line(p, started.elapsed().as_secs_f64()));
+        let elapsed = started.elapsed().as_secs_f64();
+        watch::publish_progress(&p, elapsed);
+        eprint!("\r  {}", progress_line(p, elapsed));
         if p.done == p.total {
             eprintln!();
         }
     });
+    watch::panel_finished(spec.id);
     println!("{}", format_panel(&result));
     eprintln!("{}", format_panel_timing(&result));
     if let Some(cache) = cache {
@@ -216,7 +266,10 @@ fn run_one(spec: &PanelSpec, opts: &Options, cache: Option<&CellCache>) {
             Err(e) => eprintln!("failed writing outputs: {e}"),
         }
     }
-    if telemetry::enabled() {
+    if opts.emit_metrics {
+        // Fold the current process footprint into the final snapshot so
+        // the manifest records peak RSS alongside the sim/store gauges.
+        telemetry::monitor::sample_resource_gauges();
         let snap = telemetry::snapshot();
         println!("{}", format_metrics_summary(&snap));
         let manifest = panel_manifest(&result, Some(&snap));
@@ -655,6 +708,37 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Read-only live monitor: heartbeat + timeline + HTTP endpoints.
+    // The heartbeat lands next to the store when one exists, else next
+    // to the outputs, so a killed run leaves its final state on disk.
+    let watch_session = match &opts.watch {
+        None => None,
+        Some(addr) => {
+            let serve_dir = opts
+                .store
+                .clone()
+                .or_else(|| opts.out.clone())
+                .unwrap_or_else(|| PathBuf::from("."));
+            if let Err(e) = std::fs::create_dir_all(&serve_dir) {
+                eprintln!("error: --watch: cannot create {}: {e}", serve_dir.display());
+                return ExitCode::FAILURE;
+            }
+            let status_path = serve_dir.join("status.json");
+            match watch::start(addr, &serve_dir, status_path) {
+                Ok(session) => {
+                    eprintln!(
+                        "watch: serving http://{}/ (status.json, metrics.json, dash, history)",
+                        session.local_addr()
+                    );
+                    Some(session)
+                }
+                Err(e) => {
+                    eprintln!("error: --watch {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
 
     match parsed {
         Some(Command::List) => list(),
@@ -728,6 +812,19 @@ fn main() -> ExitCode {
         Ok(Some(path)) => eprintln!("wrote trace {}", path.display()),
         Ok(None) => {}
         Err(e) => eprintln!("failed writing trace: {e}"),
+    }
+    if let Some(session) = watch_session {
+        // Publish the terminal heartbeat only after the store and trace
+        // are durable, then (optionally) keep serving so a poller can
+        // observe the finished state before the port closes.
+        if opts.watch_hold > 0 {
+            eprintln!(
+                "watch: done; holding http://{}/ for {}s",
+                session.local_addr(),
+                opts.watch_hold
+            );
+        }
+        session.finish(opts.watch_hold);
     }
     ExitCode::SUCCESS
 }

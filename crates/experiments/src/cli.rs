@@ -193,6 +193,11 @@ pub fn usage() -> String {
          \x20                               (requires the store to already exist)\n\
          \x20 --no-cache                    with --store: recompute every cell and\n\
          \x20                               overwrite its record (refresh)\n\
+         \x20 --watch [ADDR:PORT]           live read-only status server + status.json\n\
+         \x20                               heartbeat (default 127.0.0.1:0 = free port);\n\
+         \x20                               never changes the sweep's outputs\n\
+         \x20 --watch-hold SECS             keep the --watch server up this long after\n\
+         \x20                               the sweep finishes (default 0)\n\
          \nenvironment:\n\
          \x20 QFAB_TRACE=on[:<path>]        capture a Chrome trace_event timeline\n\
          \x20                               (default path qfab_trace.json)\n\
@@ -261,6 +266,8 @@ mod tests {
         assert!(text.contains("--resume"));
         assert!(text.contains("--no-cache"));
         assert!(text.contains("--metrics"));
+        assert!(text.contains("--watch [ADDR:PORT]"));
+        assert!(text.contains("--watch-hold SECS"));
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod scale;
 pub mod sweep;
 pub mod table1;
 pub mod tracereport;
+pub mod watch;
 pub mod workload;
 
 pub use cache::{verify_store, CellCache, CODE_SALT};

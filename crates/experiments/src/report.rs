@@ -185,6 +185,19 @@ pub fn format_metrics_summary(snapshot: &Snapshot) -> String {
         };
         let _ = writeln!(s, "  {name:<name_width$}  {rendered}");
     }
+    if let Some(h) = snapshot.histogram("exp.cell.wall_ns") {
+        if h.count > 0 {
+            let ms = |ns: u64| ns as f64 / 1e6;
+            let _ = writeln!(s, "cell latency ({} cells computed)", h.count);
+            let _ = writeln!(
+                s,
+                "  p50 {:.2}ms | p90 {:.2}ms | max {:.2}ms",
+                ms(h.p50),
+                ms(h.p90),
+                ms(h.max)
+            );
+        }
+    }
     s
 }
 
@@ -515,6 +528,33 @@ mod tests {
         assert!(s.contains("42"));
         assert!(s.contains("7 (high 9)"));
         assert!(s.contains("n=3 mean=10 p50=10 p90=15 p99=15 max=15"), "{s}");
+        assert!(
+            !s.contains("cell latency"),
+            "no latency section without the histogram:\n{s}"
+        );
+    }
+
+    #[test]
+    fn metrics_summary_adds_cell_latency_section() {
+        use qfab_telemetry::{HistogramSummary, MetricValue, Snapshot};
+        let snap = Snapshot {
+            entries: vec![(
+                "exp.cell.wall_ns".into(),
+                MetricValue::Histogram(HistogramSummary {
+                    count: 12,
+                    sum: 60_000_000,
+                    mean: 5_000_000.0,
+                    min: 1_000_000,
+                    max: 20_000_000,
+                    p50: 4_000_000,
+                    p90: 15_500_000,
+                    p99: 20_000_000,
+                }),
+            )],
+        };
+        let s = format_metrics_summary(&snap);
+        assert!(s.contains("cell latency (12 cells computed)"), "{s}");
+        assert!(s.contains("p50 4.00ms | p90 15.50ms | max 20.00ms"), "{s}");
     }
 
     #[test]

@@ -78,6 +78,10 @@ pub struct Progress {
     pub total: usize,
     /// Cache traffic so far — `Some` only when a store is attached.
     pub cache: Option<CacheStats>,
+    /// Index of the instance that just completed (the callback's
+    /// trigger), when known. Instances run in parallel, so indices do
+    /// not arrive in order.
+    pub last_instance: Option<usize>,
 }
 
 /// A completed panel.
@@ -221,6 +225,7 @@ pub fn run_panel_with(
                 done: d,
                 total: scale.instances,
                 cache: cache.map(|_| stats_now()),
+                last_instance: Some(i),
             });
             result
         })
@@ -346,9 +351,11 @@ fn run_instance_grid(
             let stream = ((index as u64) << 24) | ((di as u64) << 16) | (ri as u64 + 1);
             let mut rng = Xoshiro256StarStar::for_stream(seed ^ 0xA5A5_5A5A, stream);
             let counts = run.sample_counts(config.shots, &mut rng);
+            let wall = cell_start.elapsed();
+            telemetry::histogram("exp.cell.wall_ns").record(wall.as_nanos() as u64);
             out[ri][di] = CellRecord {
                 outcome: evaluate_instance(&counts, &expected),
-                wall_secs: cell_start.elapsed().as_secs_f64(),
+                wall_secs: wall.as_secs_f64(),
             };
         }
     }
@@ -368,7 +375,9 @@ fn run_instance_grid(
 /// miss lands there is no compute rate to extrapolate, and the line
 /// shows `eta ~--:--`.
 pub fn progress_line(progress: Progress, elapsed_secs: f64) -> String {
-    let Progress { done, total, cache } = progress;
+    let Progress {
+        done, total, cache, ..
+    } = progress;
     let pct = if total == 0 {
         100.0
     } else {
@@ -376,26 +385,9 @@ pub fn progress_line(progress: Progress, elapsed_secs: f64) -> String {
     };
     let mut s = format!("instance {done}/{total} | {pct:3.0}% | {elapsed_secs:.1}s elapsed");
     if done > 0 && done < total {
-        match cache {
-            None => {
-                let eta = elapsed_secs / done as f64 * (total - done) as f64;
-                s.push_str(&format!(" | eta ~{eta:.1}s"));
-            }
-            Some(c) => {
-                // Instances are whole-grid hit or miss, so the cell
-                // ratio recovers how many of `done` were computed.
-                let miss_instances = if c.cells() == 0 {
-                    0.0
-                } else {
-                    done as f64 * c.misses as f64 / c.cells() as f64
-                };
-                if miss_instances > 0.0 {
-                    let eta = elapsed_secs / miss_instances * (total - done) as f64;
-                    s.push_str(&format!(" | eta ~{eta:.1}s"));
-                } else {
-                    s.push_str(" | eta ~--:--");
-                }
-            }
+        match eta_secs(&progress, elapsed_secs) {
+            Some(eta) => s.push_str(&format!(" | eta ~{eta:.1}s")),
+            None => s.push_str(" | eta ~--:--"),
         }
     }
     if let Some(c) = cache {
@@ -408,6 +400,40 @@ pub fn progress_line(progress: Progress, elapsed_secs: f64) -> String {
         }
     }
     s
+}
+
+/// The linear-rate ETA behind [`progress_line`], also published in the
+/// `--watch` heartbeat.
+///
+/// `None` when there is nothing to extrapolate: no instance has
+/// finished yet, the sweep is already done, or — with a store attached —
+/// every completed instance so far was a cache replay (replays finish
+/// in ~zero time, so their rate says nothing about the remaining
+/// compute). With a store, the rate comes from cache-miss completions
+/// only, recovered from the cell-level hit/miss ratio because instances
+/// are whole-grid hit or miss.
+pub fn eta_secs(progress: &Progress, elapsed_secs: f64) -> Option<f64> {
+    let Progress {
+        done, total, cache, ..
+    } = *progress;
+    if done == 0 || done >= total {
+        return None;
+    }
+    match cache {
+        None => Some(elapsed_secs / done as f64 * (total - done) as f64),
+        Some(c) => {
+            let miss_instances = if c.cells() == 0 {
+                0.0
+            } else {
+                done as f64 * c.misses as f64 / c.cells() as f64
+            };
+            if miss_instances > 0.0 {
+                Some(elapsed_secs / miss_instances * (total - done) as f64)
+            } else {
+                None
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -570,6 +596,7 @@ mod tests {
             done,
             total,
             cache: None,
+            last_instance: None,
         };
         assert_eq!(
             progress_line(p(0, 4), 0.0),
@@ -588,6 +615,32 @@ mod tests {
     }
 
     #[test]
+    fn eta_extrapolates_only_with_evidence() {
+        let plain = |done, total| Progress {
+            done,
+            total,
+            cache: None,
+            last_instance: None,
+        };
+        assert_eq!(eta_secs(&plain(0, 4), 5.0), None, "nothing finished yet");
+        assert_eq!(eta_secs(&plain(4, 4), 5.0), None, "already done");
+        assert_eq!(eta_secs(&plain(1, 4), 2.0), Some(6.0));
+        // All-replay resumes have no compute rate to extrapolate.
+        let replayed = Progress {
+            done: 2,
+            total: 4,
+            cache: Some(CacheStats {
+                hits: 12,
+                misses: 0,
+                rejected: 0,
+                append_failed: 0,
+            }),
+            last_instance: None,
+        };
+        assert_eq!(eta_secs(&replayed, 0.2), None);
+    }
+
+    #[test]
     fn progress_line_eta_comes_from_cache_misses_only() {
         // A resumed sweep: 3/6 done, all three served from the store in
         // ~0.2s. The old all-instances rate would claim ~0.2s remain;
@@ -601,6 +654,7 @@ mod tests {
                 rejected: 0,
                 append_failed: 0,
             }),
+            last_instance: None,
         };
         assert_eq!(
             progress_line(all_hits, 0.2),
@@ -620,6 +674,7 @@ mod tests {
                 rejected: 0,
                 append_failed: 0,
             }),
+            last_instance: None,
         };
         assert_eq!(
             progress_line(mixed, 10.0),
@@ -639,6 +694,7 @@ mod tests {
                 rejected: 1,
                 append_failed: 0,
             }),
+            last_instance: None,
         };
         assert_eq!(
             progress_line(with_cache, 8.0),

@@ -276,6 +276,18 @@ fn fmt_args(args: &[(String, String)]) -> String {
 /// Renders the human-readable report `repro trace-report` prints.
 pub fn format_report(analysis: &Analysis, top_k: usize) -> String {
     let mut s = String::new();
+    if analysis.dropped > 0 {
+        // Lead with the truncation, not a footnote: a ring that wrapped
+        // silently would otherwise read as a complete (and wrong)
+        // attribution of where the time went.
+        let _ = writeln!(
+            s,
+            "truncated: {} events lost — the trace ring wrapped and overwrote its oldest\n\
+             events, so every count and attribution below covers only the surviving\n\
+             suffix of the run (raise the ring capacity to capture everything)\n",
+            analysis.dropped
+        );
+    }
     let _ = writeln!(
         s,
         "trace: {} spans, {} threads, wall {}",
@@ -288,11 +300,11 @@ pub fn format_report(analysis: &Analysis, top_k: usize) -> String {
             .len(),
         fmt_us(analysis.wall_us)
     );
-    if analysis.dropped > 0 || analysis.unmatched > 0 {
+    if analysis.unmatched > 0 {
         let _ = writeln!(
             s,
-            "  (ring dropped {} events, {} unmatched — oldest spans overwritten)",
-            analysis.dropped, analysis.unmatched
+            "  ({} unmatched begin/end events tolerated)",
+            analysis.unmatched
         );
     }
 
@@ -492,6 +504,41 @@ mod tests {
         let rate_pos = first_cell.find("rate=0.05").unwrap();
         assert!(first_cell.find("rate=0.1").unwrap() > rate_pos, "{report}");
         assert!(first_cell.contains("depth=-1"), "{report}");
+    }
+
+    #[test]
+    fn report_leads_with_truncation_when_ring_wrapped() {
+        // Overflow the real trace ring, not a synthetic doc: a tiny
+        // capacity and far more span events than it holds.
+        let _guard = qfab_telemetry::exclusive_test_lock();
+        use qfab_telemetry::trace;
+        trace::reset();
+        trace::enable_full(8);
+        for _ in 0..32 {
+            drop(trace::span("overflow.work"));
+        }
+        let (events, dropped) = trace::snapshot_events();
+        trace::set_trace_mode(trace::TraceMode::Off);
+        trace::reset();
+        assert!(dropped > 0, "32 spans must overflow an 8-event ring");
+        let d = trace::to_chrome_json(&events, dropped);
+        let a = analyze(&d).unwrap();
+        assert_eq!(a.dropped, dropped);
+        let report = format_report(&a, 3);
+        assert!(
+            report.starts_with(&format!("truncated: {dropped} events lost")),
+            "truncation must be the report's first line:\n{report}"
+        );
+        assert!(report.contains("covers only the surviving"), "{report}");
+    }
+
+    #[test]
+    fn report_has_no_truncation_header_without_drops() {
+        let d = doc(&[ev("ok", "B", 0, 1), ev("ok", "E", 10, 1)].join(","));
+        let a = analyze(&d).unwrap();
+        let report = format_report(&a, 3);
+        assert!(report.starts_with("trace: "), "{report}");
+        assert!(!report.contains("truncated"), "{report}");
     }
 
     #[test]

@@ -1,0 +1,399 @@
+//! Live sweep monitoring for `repro --watch`: heartbeat publishing and
+//! the read-only HTTP status endpoints.
+//!
+//! The watch layer glues three existing pieces together without
+//! touching any of their outputs:
+//!
+//! * [`qfab_telemetry::monitor`] samples the metric registry into a
+//!   `qfab.timeline.v1` ring and atomically rewrites `status.json`;
+//! * [`qfab_telemetry::httpd`] serves the results over HTTP;
+//! * the sweep runner's progress callback feeds panel/instance/cell
+//!   progress and cache traffic into the [`STATUS_SCHEMA`] heartbeat.
+//!
+//! Everything served is read-only and derived: `/dash` renders the
+//! store through the same [`crate::dashboard::render_dir`] that
+//! `repro dash` uses, `/history` formats the same ledger as
+//! `repro history`, and the store itself is never written by any
+//! request. A sweep with `--watch` produces byte-identical panel
+//! outputs to one without.
+
+use crate::dashboard;
+use crate::ledger;
+use crate::runner::{eta_secs, Progress};
+use qfab_telemetry::httpd::{self, Handler, HttpServer, Response};
+use qfab_telemetry::monitor::{self, MonitorConfig};
+use qfab_telemetry::Json;
+use std::io;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Schema identifier of the `status.json` heartbeat.
+pub const STATUS_SCHEMA: &str = "qfab.status.v1";
+
+struct PanelState {
+    id: String,
+    instances_done: usize,
+    instances_total: usize,
+    cells_per_instance: usize,
+    last_instance: Option<usize>,
+    cache: Option<crate::runner::CacheStats>,
+    eta_secs: Option<f64>,
+}
+
+struct WatchState {
+    run_state: &'static str,
+    started: Instant,
+    addr: Option<SocketAddr>,
+    panel: Option<PanelState>,
+    panels_completed: Vec<String>,
+}
+
+fn state() -> &'static Mutex<Option<WatchState>> {
+    static STATE: OnceLock<Mutex<Option<WatchState>>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(None))
+}
+
+fn lock_state() -> MutexGuard<'static, Option<WatchState>> {
+    state().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Builds the current [`STATUS_SCHEMA`] heartbeat document.
+///
+/// This is what the monitor's sampler persists as `status.json` and
+/// what `GET /status.json` serves; exposed for tests.
+pub fn heartbeat_json() -> Json {
+    let guard = lock_state();
+    let Some(ws) = guard.as_ref() else {
+        return Json::Obj(vec![
+            ("schema".into(), Json::Str(STATUS_SCHEMA.into())),
+            ("state".into(), Json::Str("idle".into())),
+        ]);
+    };
+    let mut fields = vec![
+        ("schema".into(), Json::Str(STATUS_SCHEMA.into())),
+        ("state".into(), Json::Str(ws.run_state.into())),
+        (
+            "elapsed_secs".into(),
+            Json::F64(ws.started.elapsed().as_secs_f64()),
+        ),
+    ];
+    if let Some(addr) = ws.addr {
+        fields.push((
+            "server".into(),
+            Json::Obj(vec![("addr".into(), Json::Str(addr.to_string()))]),
+        ));
+    }
+    let panel = match &ws.panel {
+        None => Json::Null,
+        Some(p) => {
+            let mut pf = vec![
+                ("id".into(), Json::Str(p.id.clone())),
+                (
+                    "instances".into(),
+                    Json::Obj(vec![
+                        ("done".into(), Json::U64(p.instances_done as u64)),
+                        ("total".into(), Json::U64(p.instances_total as u64)),
+                    ]),
+                ),
+                (
+                    "cells".into(),
+                    Json::Obj(vec![
+                        (
+                            "done".into(),
+                            Json::U64((p.instances_done * p.cells_per_instance) as u64),
+                        ),
+                        (
+                            "total".into(),
+                            Json::U64((p.instances_total * p.cells_per_instance) as u64),
+                        ),
+                    ]),
+                ),
+            ];
+            pf.push((
+                "last_instance".into(),
+                match p.last_instance {
+                    Some(i) => Json::U64(i as u64),
+                    None => Json::Null,
+                },
+            ));
+            pf.push((
+                "eta_secs".into(),
+                match p.eta_secs {
+                    Some(s) => Json::F64(s),
+                    None => Json::Null,
+                },
+            ));
+            pf.push((
+                "cache".into(),
+                match &p.cache {
+                    None => Json::Null,
+                    Some(c) => Json::Obj(vec![
+                        ("hits".into(), Json::U64(c.hits)),
+                        ("misses".into(), Json::U64(c.misses)),
+                        ("rejected".into(), Json::U64(c.rejected)),
+                        ("append_failed".into(), Json::U64(c.append_failed)),
+                    ]),
+                },
+            ));
+            Json::Obj(pf)
+        }
+    };
+    fields.push(("panel".into(), panel));
+    fields.push((
+        "panels_completed".into(),
+        Json::Arr(
+            ws.panels_completed
+                .iter()
+                .map(|p| Json::Str(p.clone()))
+                .collect(),
+        ),
+    ));
+    Json::Obj(fields)
+}
+
+/// Checks that `doc` is a well-formed [`STATUS_SCHEMA`] heartbeat.
+///
+/// Used by the schema tests and usable against a `status.json` read
+/// back from disk (e.g. after a crash).
+pub fn validate_status(doc: &Json) -> Result<(), String> {
+    let expect = |cond: bool, what: &str| -> Result<(), String> {
+        if cond {
+            Ok(())
+        } else {
+            Err(format!("status.json invalid: {what}"))
+        }
+    };
+    expect(
+        doc.get("schema").and_then(Json::as_str) == Some(STATUS_SCHEMA),
+        "schema must be qfab.status.v1",
+    )?;
+    let run_state = doc.get("state").and_then(Json::as_str);
+    expect(
+        matches!(run_state, Some("running") | Some("done") | Some("idle")),
+        "state must be running|done|idle",
+    )?;
+    if run_state == Some("idle") {
+        return Ok(());
+    }
+    expect(
+        doc.get("elapsed_secs")
+            .and_then(Json::as_f64)
+            .is_some_and(|s| s >= 0.0),
+        "elapsed_secs must be a non-negative number",
+    )?;
+    expect(
+        matches!(doc.get("panels_completed"), Some(Json::Arr(_))),
+        "panels_completed must be an array",
+    )?;
+    match doc.get("panel") {
+        Some(Json::Null) => {}
+        Some(panel @ Json::Obj(_)) => {
+            expect(
+                panel.get("id").and_then(Json::as_str).is_some(),
+                "panel.id must be a string",
+            )?;
+            for group in ["instances", "cells"] {
+                let done = panel
+                    .get(group)
+                    .and_then(|g| g.get("done"))
+                    .and_then(Json::as_u64);
+                let total = panel
+                    .get(group)
+                    .and_then(|g| g.get("total"))
+                    .and_then(Json::as_u64);
+                match (done, total) {
+                    (Some(d), Some(t)) => {
+                        expect(d <= t, "progress done must not exceed total")?;
+                    }
+                    _ => return Err(format!("status.json invalid: panel.{group} incomplete")),
+                }
+            }
+        }
+        _ => return Err("status.json invalid: panel must be an object or null".into()),
+    }
+    Ok(())
+}
+
+/// Records that a panel sweep is starting (shows up in the next
+/// heartbeat). A no-op when no monitor is running.
+pub fn panel_started(id: &str, instances_total: usize, cells_per_instance: usize) {
+    if !monitor::active() {
+        return;
+    }
+    {
+        let mut guard = lock_state();
+        if let Some(ws) = guard.as_mut() {
+            ws.panel = Some(PanelState {
+                id: id.to_string(),
+                instances_done: 0,
+                instances_total,
+                cells_per_instance,
+                last_instance: None,
+                cache: None,
+                eta_secs: None,
+            });
+        }
+    }
+    monitor::publish_now();
+}
+
+/// Feeds one progress callback into the heartbeat state. Memory-only —
+/// the monitor's sampler persists it on its own schedule — and a single
+/// relaxed atomic load when no monitor is running.
+#[inline]
+pub fn publish_progress(progress: &Progress, elapsed_secs: f64) {
+    if !monitor::active() {
+        return;
+    }
+    let mut guard = lock_state();
+    let Some(ws) = guard.as_mut() else { return };
+    let Some(panel) = ws.panel.as_mut() else {
+        return;
+    };
+    panel.instances_done = progress.done;
+    panel.instances_total = progress.total;
+    panel.last_instance = progress.last_instance;
+    panel.cache = progress.cache;
+    panel.eta_secs = eta_secs(progress, elapsed_secs);
+}
+
+/// Records that a panel finished; its id moves to `panels_completed`.
+/// A no-op when no monitor is running.
+pub fn panel_finished(id: &str) {
+    if !monitor::active() {
+        return;
+    }
+    {
+        let mut guard = lock_state();
+        if let Some(ws) = guard.as_mut() {
+            ws.panel = None;
+            ws.panels_completed.push(id.to_string());
+        }
+    }
+    monitor::publish_now();
+}
+
+/// Builds the route handler serving a (possibly still-running) store
+/// directory. Every route is read-only.
+pub fn routes(store_dir: PathBuf) -> Handler {
+    Arc::new(move |path| match path {
+        "/" => Response::text(
+            "qfab live monitor\n\
+             /status.json  heartbeat (qfab.status.v1)\n\
+             /metrics.json metric time-series (qfab.timeline.v1)\n\
+             /dash         live dashboard (same renderer as `repro dash`)\n\
+             /history      run-history ledger\n",
+        ),
+        "/status.json" => Response::json(heartbeat_json().encode_pretty()),
+        "/metrics.json" => match monitor::timeline_json() {
+            Some(json) => Response::json(json),
+            None => Response::not_found(),
+        },
+        "/dash" => match dashboard::render_dir(&store_dir) {
+            Ok(html) => Response::html(html),
+            Err(e) => Response {
+                status: 404,
+                content_type: "text/plain; charset=utf-8",
+                body: format!("dashboard unavailable: {e}\n").into_bytes(),
+            },
+        },
+        "/history" => match ledger::read(&store_dir) {
+            Ok(history) => Response::text(ledger::format_history(&history)),
+            Err(e) => Response {
+                status: 404,
+                content_type: "text/plain; charset=utf-8",
+                body: format!("history unavailable: {e}\n").into_bytes(),
+            },
+        },
+        _ => Response::not_found(),
+    })
+}
+
+/// A live `--watch` session: the monitor plus its HTTP server.
+pub struct WatchSession {
+    server: HttpServer,
+}
+
+impl WatchSession {
+    /// The address the status server actually bound (port 0 resolves).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Marks the run done, publishes the final heartbeat, holds the
+    /// server up for `hold_secs` (so a dashboard poller can observe the
+    /// terminal state), then shuts everything down. The final
+    /// `status.json` stays on disk.
+    pub fn finish(mut self, hold_secs: u64) {
+        {
+            let mut guard = lock_state();
+            if let Some(ws) = guard.as_mut() {
+                ws.run_state = "done";
+                ws.panel = None;
+            }
+        }
+        monitor::publish_now();
+        if hold_secs > 0 {
+            std::thread::sleep(std::time::Duration::from_secs(hold_secs));
+        }
+        self.server.shutdown();
+        monitor::stop();
+        *lock_state() = None;
+    }
+}
+
+/// Starts a watch session: initializes the heartbeat state, starts the
+/// global monitor (sampling into `status_path`), and binds the HTTP
+/// server at `addr` (use port 0 for an OS-assigned port).
+///
+/// Fails if a monitor is already running or the address cannot bind.
+pub fn start(addr: &str, store_dir: &Path, status_path: PathBuf) -> io::Result<WatchSession> {
+    {
+        let mut guard = lock_state();
+        if guard.is_some() {
+            // Refuse without touching the live session's state — a
+            // failed second start must not blank its heartbeat.
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "a watch session is already running in this process",
+            ));
+        }
+        *guard = Some(WatchState {
+            run_state: "running",
+            started: Instant::now(),
+            addr: None,
+            panel: None,
+            panels_completed: Vec::new(),
+        });
+    }
+    if !monitor::start(MonitorConfig {
+        status_path: Some(status_path),
+        provider: Some(Box::new(heartbeat_json)),
+        ..MonitorConfig::default()
+    }) {
+        *lock_state() = None;
+        return Err(io::Error::new(
+            io::ErrorKind::AlreadyExists,
+            "a monitor is already running in this process",
+        ));
+    }
+    let server = match httpd::serve(addr, routes(store_dir.to_path_buf())) {
+        Ok(s) => s,
+        Err(e) => {
+            monitor::stop();
+            *lock_state() = None;
+            return Err(e);
+        }
+    };
+    {
+        let mut guard = lock_state();
+        if let Some(ws) = guard.as_mut() {
+            ws.addr = Some(server.local_addr());
+        }
+    }
+    // Re-publish so the on-disk heartbeat carries the bound address.
+    monitor::publish_now();
+    Ok(WatchSession { server })
+}

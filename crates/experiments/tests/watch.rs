@@ -1,0 +1,200 @@
+//! End-to-end checks for the live sweep monitor behind `repro --watch`:
+//! the `qfab.status.v1` heartbeat must validate in every run state
+//! (including when read back from disk, as after a crash), the HTTP
+//! endpoints must serve it concurrently while the sampler is live, and
+//! `GET /dash` must be byte-identical to the offline
+//! `dashboard::render_dir` output for the same store.
+//!
+//! Both tests hold the telemetry exclusive lock: the monitor, the
+//! heartbeat state, and the metric registry are process-global.
+
+use qfab_core::AqftDepth;
+use qfab_experiments::watch;
+use qfab_experiments::{dashboard, run_panel_with, CellCache};
+use qfab_experiments::{ErrorTarget, OpKind, PanelSpec, Scale};
+use qfab_telemetry::Json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn spec() -> PanelSpec {
+    PanelSpec {
+        id: "watchtest",
+        title: "watch integration".into(),
+        op: OpKind::Add,
+        n: 3,
+        m: 4,
+        order_x: 1,
+        order_y: 1,
+        error_target: ErrorTarget::TwoQubit,
+        rates: vec![0.0, 0.02],
+        depths: vec![AqftDepth::Limited(2), AqftDepth::Full],
+        reference_rate: 0.02,
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qfab_watchitest_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn populate(dir: &Path) {
+    let cache = CellCache::open(dir, true).unwrap();
+    run_panel_with(
+        &spec(),
+        Scale {
+            instances: 4,
+            shots: 16,
+        },
+        7,
+        Some(&cache),
+        |_| {},
+    );
+    cache.close().unwrap();
+}
+
+/// One blocking HTTP GET; returns `(status code, body bytes)`.
+fn http_get(addr: SocketAddr, path: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect to watch server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: watch\r\n\r\n").unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a header/body separator");
+    let head = std::str::from_utf8(&raw[..header_end]).expect("headers are UTF-8");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status line has a code")
+        .parse()
+        .expect("status code parses");
+    (status, raw[header_end + 4..].to_vec())
+}
+
+#[test]
+fn heartbeat_schema_validates_and_rejects_malformed_documents() {
+    let _guard = qfab_telemetry::exclusive_test_lock();
+    // With no session running the heartbeat is the idle document, and
+    // it still validates.
+    let idle = watch::heartbeat_json();
+    watch::validate_status(&idle).expect("idle heartbeat validates");
+    assert_eq!(idle.get("state").and_then(Json::as_str), Some("idle"));
+
+    // Round-trip through the wire encoding (integral floats re-parse
+    // as integers; validation must tolerate that).
+    let reparsed = Json::parse(&idle.encode_pretty()).unwrap();
+    watch::validate_status(&reparsed).expect("re-parsed heartbeat validates");
+
+    for (doc, why) in [
+        (r#"{"schema":"other.v1","state":"idle"}"#, "wrong schema"),
+        (
+            r#"{"schema":"qfab.status.v1","state":"paused"}"#,
+            "bad state",
+        ),
+        (
+            r#"{"schema":"qfab.status.v1","state":"running","elapsed_secs":-1,
+                "panels_completed":[],"panel":null}"#,
+            "negative elapsed",
+        ),
+        (
+            r#"{"schema":"qfab.status.v1","state":"running","elapsed_secs":1,
+                "panels_completed":[],"panel":{"id":"x",
+                "instances":{"done":5,"total":2},"cells":{"done":0,"total":8}}}"#,
+            "done exceeds total",
+        ),
+    ] {
+        let parsed = Json::parse(doc).unwrap();
+        assert!(watch::validate_status(&parsed).is_err(), "accepted: {why}");
+    }
+}
+
+#[test]
+fn watch_session_serves_live_endpoints_and_persists_the_heartbeat() {
+    let _guard = qfab_telemetry::exclusive_test_lock();
+    let dir = tmp("live");
+    populate(&dir);
+
+    let status_path = dir.join("status.json");
+    let session =
+        watch::start("127.0.0.1:0", &dir, status_path.clone()).expect("watch session starts");
+    let addr = session.local_addr();
+
+    // A second session must be refused while the first one is live.
+    assert!(watch::start("127.0.0.1:0", &dir, dir.join("other.json")).is_err());
+
+    // Simulate a sweep feeding progress into the heartbeat.
+    watch::panel_started("watchtest", 4, 4);
+
+    // The first heartbeat lands on disk before start() returns, and is
+    // atomically replaced thereafter — there is always a parseable one.
+    let on_disk = std::fs::read_to_string(&status_path).expect("status.json exists");
+    let parsed = Json::parse(&on_disk).expect("status.json parses");
+    watch::validate_status(&parsed).expect("on-disk heartbeat validates");
+
+    // Concurrent readers against the live server + sampler: every
+    // response must be a complete, valid heartbeat.
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                for _ in 0..8 {
+                    let (status, body) = http_get(addr, "/status.json");
+                    assert_eq!(status, 200);
+                    let doc = Json::parse(std::str::from_utf8(&body).unwrap())
+                        .expect("served status parses");
+                    watch::validate_status(&doc).expect("served status validates");
+                }
+            })
+        })
+        .collect();
+    for r in readers {
+        r.join().expect("reader thread");
+    }
+
+    // The metrics timeline endpoint serves the qfab.timeline.v1 ring.
+    let (status, body) = http_get(addr, "/metrics.json");
+    assert_eq!(status, 200);
+    let timeline = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(
+        timeline.get("schema").and_then(Json::as_str),
+        Some("qfab.timeline.v1")
+    );
+    assert!(matches!(timeline.get("samples"), Some(Json::Arr(_))));
+
+    // `GET /dash` is the same renderer as `repro dash`: byte-identical.
+    let (status, body) = http_get(addr, "/dash");
+    assert_eq!(status, 200);
+    let offline = dashboard::render_dir(&dir).expect("offline render");
+    assert_eq!(
+        String::from_utf8(body).unwrap(),
+        offline,
+        "live /dash must match the offline dashboard byte-for-byte"
+    );
+
+    // Unknown paths 404 without disturbing the session.
+    let (status, _) = http_get(addr, "/no-such-route");
+    assert_eq!(status, 404);
+
+    watch::panel_finished("watchtest");
+    session.finish(0);
+
+    // After shutdown the terminal heartbeat stays on disk, marked done.
+    let final_doc = Json::parse(&std::fs::read_to_string(&status_path).unwrap()).unwrap();
+    watch::validate_status(&final_doc).expect("final heartbeat validates");
+    assert_eq!(final_doc.get("state").and_then(Json::as_str), Some("done"));
+    assert!(
+        matches!(final_doc.get("panels_completed"), Some(Json::Arr(v)) if v.len() == 1),
+        "completed panel is recorded in the final heartbeat"
+    );
+
+    // The server is really down.
+    assert!(TcpStream::connect(addr).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}

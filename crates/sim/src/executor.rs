@@ -69,8 +69,10 @@ impl CheckpointTable {
             let state_bytes = std::mem::size_of_val(initial.amplitudes());
             m.checkpoint_builds.incr();
             m.checkpoint_states.add(states.len() as u64);
-            m.checkpoint_bytes
-                .set(((states.len() + 1) * state_bytes) as u64);
+            let bytes = ((states.len() + 1) * state_bytes) as u64;
+            m.checkpoint_bytes.set(bytes);
+            m.checkpoint_bytes_peak
+                .set(m.checkpoint_bytes_peak.get().max(bytes));
         }
         trace_span.end_with_args(&[
             ("states", trace::ArgValue::U64(states.len() as u64)),

@@ -53,6 +53,10 @@ impl StateVector {
         );
         let mut amps = vec![Complex64::ZERO; dim(n)];
         amps[0] = Complex64::ONE;
+        if let Some(m) = crate::telem::metrics() {
+            m.state_bytes
+                .set((amps.len() * std::mem::size_of::<Complex64>()) as u64);
+        }
         Self {
             n,
             parallel: true,
@@ -101,6 +105,10 @@ impl StateVector {
     /// `2^n` and unit norm within `1e-6`).
     pub fn from_amplitudes(n: u32, amps: Vec<Complex64>) -> Self {
         assert_eq!(amps.len(), dim(n), "amplitude vector length mismatch");
+        if let Some(m) = crate::telem::metrics() {
+            m.state_bytes
+                .set((amps.len() * std::mem::size_of::<Complex64>()) as u64);
+        }
         let s = Self {
             n,
             parallel: true,

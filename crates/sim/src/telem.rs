@@ -33,12 +33,20 @@ pub(crate) struct SimMetrics {
     /// Generic gather/apply 2q/3q fallback (untranspiled circuits only).
     pub gates_generic: &'static Counter,
 
+    /// Bytes of amplitude storage held by the most recently constructed
+    /// state vector (high-water across constructions = the largest
+    /// state this process simulated).
+    pub state_bytes: &'static Gauge,
+
     /// Checkpoint tables built.
     pub checkpoint_builds: &'static Counter,
     /// Checkpoint states stored across all builds.
     pub checkpoint_states: &'static Counter,
     /// Bytes held by the most recent table (high-water across builds).
     pub checkpoint_bytes: &'static Gauge,
+    /// Largest table any build produced — survives per-panel gauge
+    /// rewrites, unlike `checkpoint_bytes`' last-value reading.
+    pub checkpoint_bytes_peak: &'static Gauge,
     /// Wall time per checkpoint-table build.
     pub checkpoint_build_ns: &'static Histogram,
 
@@ -80,9 +88,11 @@ impl SimMetrics {
             gates_cx: telemetry::counter("sim.gates.cx"),
             gates_swap: telemetry::counter("sim.gates.swap"),
             gates_generic: telemetry::counter("sim.gates.generic"),
+            state_bytes: telemetry::gauge("sim.state.bytes"),
             checkpoint_builds: telemetry::counter("sim.checkpoint.builds"),
             checkpoint_states: telemetry::counter("sim.checkpoint.states"),
             checkpoint_bytes: telemetry::gauge("sim.checkpoint.bytes"),
+            checkpoint_bytes_peak: telemetry::gauge("sim.checkpoint.bytes_peak"),
             checkpoint_build_ns: telemetry::histogram("sim.checkpoint.build_ns"),
             fused_plans: telemetry::counter("sim.fused.plans"),
             fused_gates_in: telemetry::counter("sim.fused.gates_in"),

@@ -90,7 +90,7 @@ impl Store {
         telemetry::counter("store.recovered_records")
             .add(recovery.index_records + recovery.journal_records);
         telemetry::counter("store.truncated_bytes").add(recovery.truncated_bytes);
-        telemetry::gauge("store.journal_bytes").set(journal_scan.clean_len);
+        telemetry::gauge("store.wal.bytes").set(journal_scan.clean_len);
 
         Ok(Self {
             dir,
@@ -152,7 +152,7 @@ impl Store {
         self.journal_bytes += framed.len() as u64;
         self.map.insert(key, value);
         telemetry::counter("store.appends").incr();
-        telemetry::gauge("store.journal_bytes").set(self.journal_bytes);
+        telemetry::gauge("store.wal.bytes").set(self.journal_bytes);
         Ok(())
     }
 
@@ -191,7 +191,7 @@ impl Store {
         self.journal.seek(SeekFrom::End(0))?;
         self.journal_bytes = 0;
         telemetry::counter("store.compactions").incr();
-        telemetry::gauge("store.journal_bytes").set(0);
+        telemetry::gauge("store.wal.bytes").set(0);
         drop(trace_span);
         Ok(())
     }

@@ -1,0 +1,457 @@
+//! A minimal read-only HTTP/1.1 server over `std::net` — just enough
+//! protocol for `repro --watch` to serve `status.json`, the metrics
+//! timeline, and the live dashboard to a browser or `curl`.
+//!
+//! Deliberately not a web framework: `GET` only, one handler for the
+//! whole path space, `Connection: close` on every response, a small
+//! connection cap (excess connections get `503` immediately rather than
+//! queueing behind the sweep), and a per-connection read timeout so a
+//! stalled client can never pin a thread. The server never writes
+//! anything — all mutation stays with the run that owns the store.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Longest request head accepted before answering `431`.
+pub const MAX_REQUEST_BYTES: usize = 4096;
+
+/// Connections served concurrently before new ones get `503`.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 8;
+
+/// Per-connection read timeout.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A response the handler hands back for one request path.
+pub struct Response {
+    /// HTTP status code (200, 404, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn json(body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status: 200,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A `200 OK` HTML response.
+    pub fn html(body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/html; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// A `200 OK` plain-text response.
+    pub fn text(body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// A `404 Not Found` response.
+    pub fn not_found() -> Self {
+        Self {
+            status: 404,
+            content_type: "text/plain; charset=utf-8",
+            body: b"not found\n".to_vec(),
+        }
+    }
+
+    /// A `503 Service Unavailable` response.
+    pub fn unavailable() -> Self {
+        Self {
+            status: 503,
+            content_type: "text/plain; charset=utf-8",
+            body: b"busy\n".to_vec(),
+        }
+    }
+}
+
+/// Why a request head was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestError {
+    /// Not a parseable HTTP/1.x request line.
+    Malformed,
+    /// Request head exceeded [`MAX_REQUEST_BYTES`].
+    TooLarge,
+    /// A method other than `GET`.
+    Method,
+}
+
+impl RequestError {
+    fn status(self) -> u16 {
+        match self {
+            RequestError::Malformed => 400,
+            RequestError::TooLarge => 431,
+            RequestError::Method => 405,
+        }
+    }
+}
+
+/// Parses a request head and returns the `GET` target path.
+///
+/// Accepts exactly `GET <path> HTTP/1.x`; anything else is rejected
+/// with the appropriate [`RequestError`] and never panics, whatever the
+/// bytes. Only the first line is inspected — headers are ignored.
+pub fn parse_request(head: &[u8]) -> Result<&str, RequestError> {
+    let Some(eol) = head.iter().position(|&b| b == b'\n') else {
+        // No complete request line: either the client sent a huge one
+        // or the connection died mid-line.
+        return Err(if head.len() >= MAX_REQUEST_BYTES {
+            RequestError::TooLarge
+        } else {
+            RequestError::Malformed
+        });
+    };
+    let line = std::str::from_utf8(&head[..eol])
+        .map_err(|_| RequestError::Malformed)?
+        .trim_end_matches('\r');
+    let mut parts = line.split(' ');
+    let (Some(method), Some(path), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(RequestError::Malformed);
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed);
+    }
+    if method != "GET" {
+        return Err(RequestError::Method);
+    }
+    if !path.starts_with('/') {
+        return Err(RequestError::Malformed);
+    }
+    Ok(path)
+}
+
+/// Maps a request path to a [`Response`].
+pub type Handler = Arc<dyn Fn(&str) -> Response + Send + Sync>;
+
+/// A running server; shuts down on [`HttpServer::shutdown`] or drop.
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    /// In-flight responses finish on their own threads.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves `handler` at `addr` with default limits
+/// ([`DEFAULT_MAX_CONNECTIONS`], [`DEFAULT_READ_TIMEOUT`]).
+pub fn serve(addr: impl ToSocketAddrs, handler: Handler) -> std::io::Result<HttpServer> {
+    serve_with(addr, handler, DEFAULT_MAX_CONNECTIONS, DEFAULT_READ_TIMEOUT)
+}
+
+/// Serves `handler` at `addr` with explicit connection-cap and
+/// read-timeout limits. Binding `port 0` picks a free port; read it
+/// back with [`HttpServer::local_addr`].
+pub fn serve_with(
+    addr: impl ToSocketAddrs,
+    handler: Handler,
+    max_connections: usize,
+    read_timeout: Duration,
+) -> std::io::Result<HttpServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let shutdown_flag = Arc::clone(&shutdown);
+    let live = Arc::new(AtomicUsize::new(0));
+    let accept = std::thread::Builder::new()
+        .name("qfab-httpd".into())
+        .spawn(move || {
+            accept_loop(
+                listener,
+                handler,
+                shutdown_flag,
+                live,
+                max_connections.max(1),
+                read_timeout,
+            )
+        })?;
+    Ok(HttpServer {
+        addr,
+        shutdown,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    handler: Handler,
+    shutdown: Arc<AtomicBool>,
+    live: Arc<AtomicUsize>,
+    max_connections: usize,
+    read_timeout: Duration,
+) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if live.load(Ordering::Relaxed) >= max_connections {
+                    // Over the cap: answer 503 inline rather than
+                    // spawning. Drain the request head first — closing
+                    // with unread bytes in the receive buffer would RST
+                    // the connection and the client might never see the
+                    // 503.
+                    let mut stream = stream;
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+                    let mut drain = [0u8; 512];
+                    let _ = stream.read(&mut drain);
+                    let _ = write_response(&mut stream, &Response::unavailable());
+                    continue;
+                }
+                live.fetch_add(1, Ordering::Relaxed);
+                let handler = Arc::clone(&handler);
+                let conn_live = Arc::clone(&live);
+                let spawned = std::thread::Builder::new()
+                    .name("qfab-httpd-conn".into())
+                    .spawn(move || {
+                        handle_connection(stream, &handler, read_timeout);
+                        conn_live.fetch_sub(1, Ordering::Relaxed);
+                    });
+                if spawned.is_err() {
+                    live.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, handler: &Handler, read_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    // Read until the first line is complete (all we parse), the head
+    // limit is hit, or the client stalls past the timeout.
+    while !head.contains(&b'\n') && head.len() < MAX_REQUEST_BYTES {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let response = match parse_request(&head) {
+        Ok(path) => handler(path),
+        Err(e) => Response {
+            status: e.status(),
+            content_type: "text/plain; charset=utf-8",
+            body: format!("{e:?}\n").into_bytes(),
+        },
+    };
+    let _ = write_response(&mut stream, &response);
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Error",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let allow = if response.status == 405 {
+        "Allow: GET\r\n"
+    } else {
+        ""
+    };
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        response.body.len(),
+        allow,
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn parse_accepts_a_plain_get() {
+        assert_eq!(
+            parse_request(b"GET /status.json HTTP/1.1\r\nHost: x\r\n\r\n"),
+            Ok("/status.json")
+        );
+        assert_eq!(parse_request(b"GET / HTTP/1.0\n"), Ok("/"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_heads_without_panicking() {
+        for head in [
+            &b""[..],
+            b"\n",
+            b"GET\n",
+            b"GET /x\n",
+            b"GET /x HTTP/1.1 extra\n",
+            b"GET /x SMTP/1.1\n",
+            b"GET x HTTP/1.1\n",
+            b"\xff\xfe\xfd GET / HTTP/1.1\n",
+            b"no newline yet",
+        ] {
+            match parse_request(head) {
+                Err(RequestError::Malformed) => {}
+                other => panic!("{head:?} -> {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_non_get_methods() {
+        for head in [&b"POST /x HTTP/1.1\n"[..], b"DELETE / HTTP/1.1\n"] {
+            assert_eq!(parse_request(head), Err(RequestError::Method));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_oversized_heads() {
+        let huge = vec![b'A'; MAX_REQUEST_BYTES + 10];
+        assert_eq!(parse_request(&huge), Err(RequestError::TooLarge));
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        let status = text
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = text.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+        (status, body.to_string())
+    }
+
+    #[test]
+    fn serves_routes_and_errors_end_to_end() {
+        let handler: Handler = Arc::new(|path| match path {
+            "/ok" => Response::text("fine\n"),
+            _ => Response::not_found(),
+        });
+        let mut server = serve("127.0.0.1:0", handler).unwrap();
+        let addr = server.local_addr();
+        assert_eq!(get(addr, "/ok"), (200, "fine\n".into()));
+        assert_eq!(get(addr, "/nope").0, 404);
+
+        // Non-GET gets 405 with an Allow header.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "POST /ok HTTP/1.1\r\n\r\n").unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 405"));
+        assert!(text.contains("Allow: GET"));
+
+        // Garbage gets 400, not a panic or a hang.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"\x01\x02\x03\n").unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 400"));
+
+        server.shutdown();
+        // After shutdown the port stops answering.
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn connection_cap_answers_503_instead_of_queueing() {
+        // A handler that blocks until released, pinning its connection.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = std::sync::Mutex::new(release_rx);
+        let handler: Handler = Arc::new(move |path| {
+            if path == "/slow" {
+                let _ = release_rx.lock().unwrap().recv();
+                Response::text("slow\n")
+            } else {
+                Response::not_found()
+            }
+        });
+        let mut server = serve_with("127.0.0.1:0", handler, 1, Duration::from_secs(5)).unwrap();
+        let addr = server.local_addr();
+
+        // Occupy the single slot.
+        let mut slow = TcpStream::connect(addr).unwrap();
+        write!(slow, "GET /slow HTTP/1.1\r\n\r\n").unwrap();
+        // Wait until the connection is actually being handled: the next
+        // request must see a 503 once the slot is taken.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut saw_503 = false;
+        while std::time::Instant::now() < deadline {
+            let (status, _) = get(addr, "/probe");
+            if status == 503 {
+                saw_503 = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(saw_503, "over-cap connection should get 503");
+
+        // Release the slow handler; its response completes, and the
+        // slot frees up for normal service again.
+        release_tx.send(()).unwrap();
+        let mut text = String::new();
+        slow.read_to_string(&mut text).unwrap();
+        assert!(text.ends_with("slow\n"));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut recovered = false;
+        while std::time::Instant::now() < deadline {
+            let (status, _) = get(addr, "/after");
+            if status == 404 {
+                recovered = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(recovered, "slot should free after the slow response");
+        server.shutdown();
+    }
+}

@@ -23,6 +23,11 @@
 //!   timelines exported as Chrome `trace_event` JSON (Perfetto-loadable),
 //!   with an always-on crash flight recorder. Gated by `QFAB_TRACE`,
 //!   independent of the metric [`Mode`].
+//! * **Live monitoring** ([`monitor`]) samples the registry on a fixed
+//!   interval into a bounded time-series ring and atomically maintains
+//!   a `status.json` heartbeat on disk; [`httpd`] is the minimal
+//!   read-only HTTP/1.1 server (`std::net` only) that `repro --watch`
+//!   uses to serve it.
 //!
 //! ## Runtime switch
 //!
@@ -60,8 +65,10 @@
 //! ```
 
 pub mod histogram;
+pub mod httpd;
 pub mod json;
 pub mod manifest;
+pub mod monitor;
 pub mod registry;
 pub mod span;
 pub mod svg;

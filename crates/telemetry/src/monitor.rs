@@ -1,0 +1,509 @@
+//! Live run monitoring: a background sampler that turns the metric
+//! registry into a bounded time-series ring, plus an atomically written
+//! `status.json` heartbeat.
+//!
+//! The monitor is process-global, like the registry it samples. A run
+//! that wants live observability calls [`start`] with a
+//! [`MonitorConfig`]; a sampler thread then, every
+//! [`MonitorConfig::interval`]:
+//!
+//! 1. refreshes the resource gauges ([`sample_resource_gauges`]),
+//! 2. captures a delta [`sample`](timeline) of every registered
+//!    counter/gauge/histogram into a bounded in-memory ring
+//!    ([`TIMELINE_SCHEMA`], oldest samples overwritten and counted), and
+//! 3. rebuilds the heartbeat through the configured
+//!    [`MonitorConfig::provider`] and atomically rewrites
+//!    `status.json` (write-to-temp + rename), so a crashed run always
+//!    leaves its last published state on disk.
+//!
+//! When the monitor is *not* running — the common case — every hook on
+//! the hot path ([`active`], [`publish_status_with`]) is exactly one
+//! relaxed atomic load: no lock, no allocation, no closure call. The
+//! `no_alloc` test pins that bar.
+
+use crate::json::Json;
+use crate::registry::{self, MetricValue, Snapshot};
+use std::collections::VecDeque;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Schema identifier of the timeline document served as `metrics.json`.
+pub const TIMELINE_SCHEMA: &str = "qfab.timeline.v1";
+
+/// Default sampling interval.
+pub const DEFAULT_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Default timeline ring capacity (~4 minutes at the default interval).
+pub const DEFAULT_RING_CAPACITY: usize = 1024;
+
+/// Builds the current heartbeat document on demand.
+pub type StatusProvider = Box<dyn Fn() -> Json + Send + Sync>;
+
+/// Configuration for [`start`].
+pub struct MonitorConfig {
+    /// Sampling interval of the background thread.
+    pub interval: Duration,
+    /// Bounded timeline length; the oldest sample is dropped (and
+    /// counted) once full.
+    pub ring_capacity: usize,
+    /// Where to atomically write the heartbeat, typically
+    /// `<store>/status.json`. `None` keeps heartbeats in memory only.
+    pub status_path: Option<PathBuf>,
+    /// Heartbeat builder, called on every publish. `None` disables
+    /// heartbeats (the timeline still runs).
+    pub provider: Option<StatusProvider>,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            interval: DEFAULT_INTERVAL,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+            status_path: None,
+            provider: None,
+        }
+    }
+}
+
+/// One timeline entry: counter/histogram-count deltas since the
+/// previous sample, gauge last-values, at `t_ms` since monitor start.
+struct Sample {
+    t_ms: u64,
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, u64)>,
+    histograms: Vec<(String, u64)>,
+}
+
+struct Inner {
+    interval: Duration,
+    capacity: usize,
+    status_path: Option<PathBuf>,
+    provider: Option<StatusProvider>,
+    started: Instant,
+    samples: VecDeque<Sample>,
+    dropped: u64,
+    prev: Snapshot,
+    status: Option<String>,
+    stop: bool,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static SAMPLER: Mutex<Option<std::thread::JoinHandle<()>>> = Mutex::new(None);
+
+fn shared() -> &'static (Mutex<Option<Inner>>, Condvar) {
+    static SHARED: OnceLock<(Mutex<Option<Inner>>, Condvar)> = OnceLock::new();
+    SHARED.get_or_init(|| (Mutex::new(None), Condvar::new()))
+}
+
+fn lock_inner() -> MutexGuard<'static, Option<Inner>> {
+    shared().0.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether a monitor is running. One relaxed atomic load — safe to call
+/// from any hot path.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Publishes a heartbeat built by `f`, but only while a monitor is
+/// running: when inactive this is one relaxed atomic load and the
+/// closure is never called (zero allocations — see `no_alloc.rs`).
+#[inline]
+pub fn publish_status_with<F: FnOnce() -> Json>(f: F) {
+    if !active() {
+        return;
+    }
+    publish_status(f());
+}
+
+/// Publishes an explicit heartbeat document: stashes its encoding for
+/// [`status_json`] and atomically rewrites the status file, if one is
+/// configured. A no-op when the monitor is not running.
+pub fn publish_status(status: Json) {
+    let mut guard = lock_inner();
+    if let Some(inner) = guard.as_mut() {
+        set_status(inner, status);
+    }
+}
+
+/// Rebuilds the heartbeat through the configured provider and publishes
+/// it (memory + disk). A no-op without a running monitor or provider.
+pub fn publish_now() {
+    let mut guard = lock_inner();
+    if let Some(inner) = guard.as_mut() {
+        write_status(inner);
+    }
+}
+
+fn set_status(inner: &mut Inner, status: Json) {
+    let text = status.encode_pretty();
+    if let Some(path) = &inner.status_path {
+        if let Err(e) = write_atomic(path, &text) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        }
+    }
+    inner.status = Some(text);
+}
+
+fn write_status(inner: &mut Inner) {
+    let Some(provider) = inner.provider.take() else {
+        return;
+    };
+    let status = provider();
+    inner.provider = Some(provider);
+    set_status(inner, status);
+}
+
+/// Write-to-temp + rename so readers (and crash post-mortems) only ever
+/// see a complete document.
+fn write_atomic(path: &Path, text: &str) -> io::Result<()> {
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn take_sample(inner: &mut Inner) {
+    let snap = registry::snapshot();
+    let t_ms = inner.started.elapsed().as_millis() as u64;
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    for (name, value) in &snap.entries {
+        match value {
+            MetricValue::Counter(c) => {
+                // Saturating delta: `registry::reset()` between panels
+                // legitimately rewinds counters.
+                let prev = inner.prev.counter(name).unwrap_or(0);
+                counters.push((name.clone(), c.saturating_sub(prev)));
+            }
+            MetricValue::Gauge(last, _high) => gauges.push((name.clone(), *last)),
+            MetricValue::Histogram(h) => {
+                let prev = inner.prev.histogram(name).map(|p| p.count).unwrap_or(0);
+                histograms.push((name.clone(), h.count.saturating_sub(prev)));
+            }
+        }
+    }
+    if inner.samples.len() >= inner.capacity {
+        inner.samples.pop_front();
+        inner.dropped += 1;
+    }
+    inner.samples.push_back(Sample {
+        t_ms,
+        counters,
+        gauges,
+        histograms,
+    });
+    inner.prev = snap;
+}
+
+fn sampler_loop() {
+    let (lock, cv) = shared();
+    let mut guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        let Some(inner) = guard.as_ref() else { return };
+        if inner.stop {
+            return;
+        }
+        let interval = inner.interval;
+        let (g, _timeout) = cv
+            .wait_timeout(guard, interval)
+            .unwrap_or_else(|e| e.into_inner());
+        guard = g;
+        let Some(inner) = guard.as_mut() else { return };
+        if inner.stop {
+            return;
+        }
+        sample_resource_gauges();
+        take_sample(inner);
+        write_status(inner);
+    }
+}
+
+/// Starts the global monitor and its sampler thread. Returns `false`
+/// (doing nothing) if one is already running. The first heartbeat and
+/// timeline sample land before this returns, so even an immediately
+/// crashed run leaves a readable `status.json`.
+pub fn start(config: MonitorConfig) -> bool {
+    {
+        let mut guard = lock_inner();
+        if guard.is_some() {
+            return false;
+        }
+        let mut inner = Inner {
+            interval: config.interval.max(Duration::from_millis(10)),
+            capacity: config.ring_capacity.max(2),
+            status_path: config.status_path,
+            provider: config.provider,
+            started: Instant::now(),
+            samples: VecDeque::new(),
+            dropped: 0,
+            prev: Snapshot::default(),
+            stop: false,
+            status: None,
+        };
+        sample_resource_gauges();
+        take_sample(&mut inner);
+        write_status(&mut inner);
+        *guard = Some(inner);
+    }
+    ACTIVE.store(true, Ordering::Relaxed);
+    let handle = std::thread::Builder::new()
+        .name("qfab-monitor".into())
+        .spawn(sampler_loop)
+        .ok();
+    *SAMPLER.lock().unwrap_or_else(|e| e.into_inner()) = handle;
+    true
+}
+
+/// Stops the sampler thread (joining it), takes one final sample,
+/// publishes one final heartbeat, and tears the monitor down.
+pub fn stop() {
+    {
+        let mut guard = lock_inner();
+        let Some(inner) = guard.as_mut() else { return };
+        inner.stop = true;
+        shared().1.notify_all();
+    }
+    let handle = SAMPLER.lock().unwrap_or_else(|e| e.into_inner()).take();
+    if let Some(h) = handle {
+        let _ = h.join();
+    }
+    ACTIVE.store(false, Ordering::Relaxed);
+    let mut guard = lock_inner();
+    if let Some(inner) = guard.as_mut() {
+        sample_resource_gauges();
+        take_sample(inner);
+        write_status(inner);
+    }
+    *guard = None;
+}
+
+/// The latest heartbeat's exact encoding (the bytes `status.json`
+/// holds), or `None` when no monitor is running or nothing has been
+/// published yet.
+pub fn status_json() -> Option<String> {
+    lock_inner().as_ref().and_then(|i| i.status.clone())
+}
+
+/// Encodes the timeline ring as a [`TIMELINE_SCHEMA`] document, or
+/// `None` when no monitor is running.
+pub fn timeline_json() -> Option<String> {
+    let guard = lock_inner();
+    let inner = guard.as_ref()?;
+    let samples: Vec<Json> = inner
+        .samples
+        .iter()
+        .map(|s| {
+            let obj = |pairs: &[(String, u64)]| {
+                Json::Obj(
+                    pairs
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::U64(*v)))
+                        .collect(),
+                )
+            };
+            Json::Obj(vec![
+                ("t_ms".into(), Json::U64(s.t_ms)),
+                ("counters".into(), obj(&s.counters)),
+                ("gauges".into(), obj(&s.gauges)),
+                ("histograms".into(), obj(&s.histograms)),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str(TIMELINE_SCHEMA.into())),
+        (
+            "interval_ms".into(),
+            Json::U64(inner.interval.as_millis() as u64),
+        ),
+        ("capacity".into(), Json::U64(inner.capacity as u64)),
+        ("dropped".into(), Json::U64(inner.dropped)),
+        ("samples".into(), Json::Arr(samples)),
+    ]);
+    Some(doc.encode_pretty())
+}
+
+/// Takes one timeline sample immediately (in addition to the periodic
+/// ones). A no-op without a running monitor.
+pub fn sample_now() {
+    let mut guard = lock_inner();
+    if let Some(inner) = guard.as_mut() {
+        take_sample(inner);
+    }
+}
+
+/// Refreshes the process resource gauges from the OS: `proc.rss.bytes`
+/// (current resident set) and `proc.rss_peak.bytes` (high-water mark),
+/// parsed from `/proc/self/status` on Linux. On other platforms — or
+/// with telemetry off — the gauges are simply absent.
+pub fn sample_resource_gauges() {
+    if !crate::enabled() {
+        return;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        let Ok(text) = std::fs::read_to_string("/proc/self/status") else {
+            return;
+        };
+        if let Some(kb) = proc_field_kb(&text, "VmRSS:") {
+            registry::gauge("proc.rss.bytes").set(kb * 1024);
+        }
+        if let Some(kb) = proc_field_kb(&text, "VmHWM:") {
+            registry::gauge("proc.rss_peak.bytes").set(kb * 1024);
+        }
+    }
+}
+
+/// Extracts the kB figure of one `/proc/self/status` line.
+#[cfg(target_os = "linux")]
+fn proc_field_kb(text: &str, key: &str) -> Option<u64> {
+    text.lines()
+        .find(|l| l.starts_with(key))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{counter, exclusive_test_lock, set_mode, Mode};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qfab_monitor_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn lifecycle_publishes_heartbeats_and_timeline() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Summary);
+        crate::reset();
+        let dir = tmp_dir("lifecycle");
+        let status_path = dir.join("status.json");
+        assert!(!active());
+        assert!(start(MonitorConfig {
+            interval: Duration::from_millis(20),
+            status_path: Some(status_path.clone()),
+            provider: Some(Box::new(|| Json::Obj(vec![(
+                "schema".into(),
+                Json::Str("qfab.status.v1".into())
+            )]))),
+            ..MonitorConfig::default()
+        }));
+        assert!(active());
+        // A second start is refused while one is running.
+        assert!(!start(MonitorConfig::default()));
+        // The initial heartbeat landed on disk before start() returned.
+        let on_disk = std::fs::read_to_string(&status_path).unwrap();
+        assert!(on_disk.contains("qfab.status.v1"));
+        assert_eq!(status_json().unwrap(), on_disk);
+
+        counter("monitor.test.events").add(3);
+        sample_now();
+        let timeline = timeline_json().unwrap();
+        let doc = Json::parse(&timeline).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(TIMELINE_SCHEMA)
+        );
+        let Some(Json::Arr(samples)) = doc.get("samples") else {
+            panic!("samples missing");
+        };
+        assert!(samples.len() >= 2, "initial + explicit sample");
+        let last = samples.last().unwrap();
+        assert_eq!(
+            last.get("counters")
+                .and_then(|c| c.get("monitor.test.events"))
+                .and_then(Json::as_u64),
+            Some(3),
+            "counter delta since previous sample"
+        );
+
+        stop();
+        assert!(!active());
+        assert!(status_json().is_none(), "torn down");
+        // The final heartbeat survives on disk.
+        assert!(status_path.is_file());
+        set_mode(Mode::Off);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Summary);
+        crate::reset();
+        assert!(start(MonitorConfig {
+            interval: Duration::from_secs(3600),
+            ring_capacity: 4,
+            ..MonitorConfig::default()
+        }));
+        for _ in 0..10 {
+            sample_now();
+        }
+        let doc = Json::parse(&timeline_json().unwrap()).unwrap();
+        let Some(Json::Arr(samples)) = doc.get("samples") else {
+            panic!("samples missing");
+        };
+        assert_eq!(samples.len(), 4);
+        // 1 initial + 10 explicit = 11 taken, 4 kept.
+        assert_eq!(doc.get("dropped").and_then(Json::as_u64), Some(7));
+        stop();
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn counter_deltas_saturate_across_registry_reset() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Summary);
+        crate::reset();
+        counter("monitor.test.saturate").add(100);
+        assert!(start(MonitorConfig {
+            interval: Duration::from_secs(3600),
+            ..MonitorConfig::default()
+        }));
+        crate::reset(); // per-panel isolation rewinds every counter
+        counter("monitor.test.saturate").add(2);
+        sample_now();
+        let doc = Json::parse(&timeline_json().unwrap()).unwrap();
+        let Some(Json::Arr(samples)) = doc.get("samples") else {
+            panic!("samples missing");
+        };
+        let last = samples.last().unwrap();
+        assert_eq!(
+            last.get("counters")
+                .and_then(|c| c.get("monitor.test.saturate"))
+                .and_then(Json::as_u64),
+            Some(0),
+            "a rewound counter must clamp to zero, not wrap"
+        );
+        stop();
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn publish_status_with_skips_closure_when_inactive() {
+        let _guard = exclusive_test_lock();
+        assert!(!active());
+        publish_status_with(|| unreachable!("must not run while inactive"));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn proc_status_parses_on_linux() {
+        let text = std::fs::read_to_string("/proc/self/status").unwrap();
+        let rss = proc_field_kb(&text, "VmRSS:").expect("VmRSS present");
+        let peak = proc_field_kb(&text, "VmHWM:").expect("VmHWM present");
+        assert!(rss > 0 && peak >= rss);
+    }
+}

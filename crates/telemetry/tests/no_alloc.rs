@@ -5,7 +5,10 @@
 //! atomic load, no allocation, no lock.
 //!
 //! This file holds exactly one test so no concurrent test can allocate
-//! while the window is being measured.
+//! while the window is being measured. The disabled live-monitor path
+//! is covered too: with no monitor running, `monitor::active()` is one
+//! relaxed atomic load and `publish_status_with` never even invokes
+//! its closure.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,6 +62,10 @@ fn disabled_path_does_no_allocation() {
         trace::instant("noalloc.instant");
         trace::instant_args("noalloc.instant", &[("i", ArgValue::U64(i))]);
         trace::instant_detail_args("noalloc.instant", &[("i", ArgValue::U64(i))]);
+        assert!(!qfab_telemetry::monitor::active());
+        qfab_telemetry::monitor::publish_status_with(|| {
+            panic!("status closure must not run without an active monitor")
+        });
     }
     let after = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(

@@ -2,7 +2,10 @@
 # Kill-and-resume smoke test for the qfab-store sweep cache.
 #
 # 1. Runs a panel cold and records its artifacts as the reference.
-# 2. Starts the same panel against a store, SIGKILLs it mid-sweep.
+# 2. Starts the same panel against a store with --watch, SIGKILLs it
+#    mid-sweep, and checks the crash left a readable status.json
+#    heartbeat behind (the monitor writes it atomically, so a kill at
+#    any moment leaves the last complete snapshot).
 # 3. Resumes with `--store ... --resume`, then byte-compares the
 #    artifacts with the reference and integrity-checks the store.
 #
@@ -29,7 +32,7 @@ $REPRO "$PANEL" --instances "$INSTANCES" --shots "$SHOTS" --out "$WORK/ref"
 
 echo "== interrupted run (SIGKILL once the journal has records) =="
 $REPRO "$PANEL" --instances "$INSTANCES" --shots "$SHOTS" \
-    --store "$WORK/store" --out "$WORK/victim" &
+    --store "$WORK/store" --out "$WORK/victim" --watch 127.0.0.1:0 &
 victim=$!
 killed=no
 for _ in $(seq 1 200); do
@@ -45,6 +48,13 @@ for _ in $(seq 1 200); do
 done
 wait "$victim" 2>/dev/null || true
 echo "victim killed: $killed"
+
+# The --watch heartbeat must survive the kill: it is written by atomic
+# rename, so whatever was current when SIGKILL landed is still a
+# complete, parseable document.
+test -s "$WORK/store/status.json"
+grep -q '"schema": "qfab.status.v1"' "$WORK/store/status.json"
+echo "status.json heartbeat survived the kill"
 
 echo "== resumed run =="
 $REPRO "$PANEL" --instances "$INSTANCES" --shots "$SHOTS" \
