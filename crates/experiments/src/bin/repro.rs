@@ -10,6 +10,9 @@
 //! repro dash DIR [-o FILE]          # one-page HTML result dashboard
 //! repro diff A B [--alpha P]        # statistical drift gate
 //! repro history DIR                 # run-history ledger listing
+//! repro merge A B... -o DIR         # union N result stores
+//! repro serve [ADDR] --store DIR    # sweep service (durable job queue)
+//! repro worker --job J --shard K/W  # one instance shard of a job
 //! repro --store-verify DIR          # integrity-check a result store
 //! repro trace-report FILE [--top N] # analyze a QFAB_TRACE capture
 //! repro bench [--trajectories N]    # fused vs per-gate replay timing
@@ -28,13 +31,14 @@
 use qfab_experiments::analysis::{
     format_optimal_depths, format_superposition_drop, superposition_drop,
 };
-use qfab_experiments::cli::{self, Command};
+use qfab_experiments::cli::{self, Command, DEFAULT_SEED};
 use qfab_experiments::report::{
     format_metrics_summary, format_panel, format_panel_timing, panel_manifest, write_manifest,
     write_panel,
 };
 use qfab_experiments::rundata::{load_run, RunSummary};
 use qfab_experiments::scale::OpCost;
+use qfab_experiments::servecmd;
 use qfab_experiments::sweep::panel_by_id;
 use qfab_experiments::table1::{format_table1, run_table1};
 use qfab_experiments::{
@@ -44,8 +48,6 @@ use qfab_experiments::{
 use qfab_telemetry as telemetry;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-const DEFAULT_SEED: u64 = 20220513;
 
 struct Options {
     scale_name: String,
@@ -297,6 +299,9 @@ fn list() {
     println!("  dash DIR             render a run directory to one HTML dashboard");
     println!("  diff A B             drift gate: compare two runs' success rates");
     println!("  history DIR          list a store's run-history ledger");
+    println!("  merge A B... -o DIR  union N result stores into one");
+    println!("  serve --store DIR    sweep service: POST jobs, sharded workers");
+    println!("  worker               compute one instance shard (see serve)");
     println!("  trace-report FILE    wall-clock attribution for a QFAB_TRACE capture");
     println!("  bench                time fused vs per-gate trajectory replay");
     println!("  bench-gate FILE      compare BENCH_kernels.json against the baseline");
@@ -587,6 +592,15 @@ fn history_cmd(args: &[String]) -> Result<(), String> {
     if !dir.is_dir() {
         return Err(format!("{} is not a directory", dir.display()));
     }
+    if !dir.join(ledger::HISTORY_FILE).exists() {
+        // A store that has never recorded a sweep is a normal state,
+        // not an error: say so plainly and exit clean.
+        println!(
+            "no history recorded in {} (run a sweep with --store to start the ledger)",
+            dir.display()
+        );
+        return Ok(());
+    }
     let history =
         ledger::read(dir).map_err(|e| format!("cannot read ledger in {}: {e}", dir.display()))?;
     print!("{}", ledger::format_history(&history));
@@ -682,6 +696,28 @@ fn main() -> ExitCode {
         Some(Command::Dash) => return simple(dash(rest)),
         Some(Command::Diff) => return gate(diff(rest)),
         Some(Command::History) => return simple(history_cmd(rest)),
+        Some(Command::Merge) => {
+            return match servecmd::merge_cmd(rest) {
+                Ok(report) => {
+                    println!("{}", report.format());
+                    if report.conflicts > 0 {
+                        eprintln!(
+                            "error: {} conflicting record(s) — same key, different payload",
+                            report.conflicts
+                        );
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some(Command::Serve) => return simple(servecmd::serve_cmd(rest)),
+        Some(Command::Worker) => return simple(servecmd::worker_cmd(rest)),
         Some(Command::StoreVerify) => {
             let Some(dir) = rest.first() else {
                 eprintln!(

@@ -11,6 +11,12 @@
 
 use std::fmt::Write as _;
 
+/// Root seed every sweep entry point defaults to (the paper's
+/// submission date) — shared by the sweep options, the job schema, and
+/// the service so a job without an explicit seed reproduces the
+/// default single-process run.
+pub const DEFAULT_SEED: u64 = 20220513;
+
 /// Every dispatchable `repro` subcommand.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Command {
@@ -36,6 +42,13 @@ pub enum Command {
     Diff,
     /// `history` — list a store's run-history ledger.
     History,
+    /// `merge` — union N stores into one (salt-checked, deduplicated).
+    Merge,
+    /// `serve` — long-running sweep service with worker subprocesses.
+    Serve,
+    /// `worker` — compute one instance shard of a job (spawned by
+    /// `serve`, or by hand for offline federation).
+    Worker,
     /// `trace-report` — analyze a `QFAB_TRACE` capture.
     TraceReport,
     /// `bench` — fused vs per-gate replay timing.
@@ -126,6 +139,24 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
         name: "history",
         synopsis: "history DIR",
         blurb: "list the store's run-history ledger",
+    },
+    Subcommand {
+        command: Command::Merge,
+        name: "merge",
+        synopsis: "merge A B... -o DIR",
+        blurb: "union N result stores (salt-checked, digest-deduplicated)",
+    },
+    Subcommand {
+        command: Command::Serve,
+        name: "serve",
+        synopsis: "serve [ADDR:PORT] --store DIR [--workers N] [--seed N]",
+        blurb: "sweep service: durable job queue + sharded worker subprocesses",
+    },
+    Subcommand {
+        command: Command::Worker,
+        name: "worker",
+        synopsis: "worker --job JSON --shard K/W --store DIR",
+        blurb: "compute one instance shard of a job into a shard store",
     },
     Subcommand {
         command: Command::TraceReport,
@@ -254,6 +285,9 @@ mod tests {
             "dash",
             "diff",
             "history",
+            "merge",
+            "serve",
+            "worker",
             "bench",
             "trace-report",
             "bench-gate",

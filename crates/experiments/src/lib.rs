@@ -34,6 +34,7 @@ pub mod report;
 pub mod rundata;
 pub mod runner;
 pub mod scale;
+pub mod servecmd;
 pub mod sweep;
 pub mod table1;
 pub mod tracereport;
@@ -42,7 +43,8 @@ pub mod workload;
 
 pub use cache::{verify_store, CellCache, CODE_SALT};
 pub use runner::{
-    progress_line, run_panel, run_panel_with, CacheStats, PanelResult, PointResult, Progress,
+    progress_line, run_panel, run_panel_shard, run_panel_with, CacheStats, PanelResult,
+    PointResult, Progress,
 };
 pub use scale::Scale;
 pub use sweep::{fig1_panels, fig2_panels, ErrorTarget, OpKind, PanelSpec};

@@ -266,6 +266,86 @@ pub fn run_panel_with(
     }
 }
 
+/// Populates `cache` with every cell of this worker's instance shard
+/// (`index % shards == shard`), reusing anything already stored.
+///
+/// This is the compute half of `repro worker`: it produces no panel —
+/// aggregation happens later, when the service re-runs the panel
+/// against the merged (fully cached) store. Because the full ensemble
+/// is constructed exactly as a single-process run would construct it,
+/// every cell a shard appends carries the identical key and payload
+/// bytes, so the union of all shard stores is indistinguishable from a
+/// store grown by one process.
+///
+/// Returns the shard's cache traffic. Panics if `shard >= shards`.
+pub fn run_panel_shard(
+    spec: &PanelSpec,
+    scale: Scale,
+    seed: u64,
+    cache: &CellCache,
+    shard: usize,
+    shards: usize,
+    progress: impl Fn(Progress) + Sync,
+) -> CacheStats {
+    assert!(shard < shards, "shard {shard} out of range 0..{shards}");
+    let panel_trace = trace::span_args(
+        "exp.panel_shard",
+        &[
+            ("id", trace::ArgValue::Str(spec.id)),
+            ("shard", trace::ArgValue::U64(shard as u64)),
+        ],
+    );
+    let ensemble = ensemble_for(spec, seed, scale.instances);
+    let config = RunConfig {
+        shots: scale.shots,
+        ..RunConfig::default()
+    };
+    let cells_per_instance = (spec.rates.len() * spec.depths.len()) as u64;
+    let indices: Vec<usize> = (0..scale.instances)
+        .filter(|i| i % shards == shard)
+        .collect();
+    let total = indices.len();
+
+    let done = AtomicUsize::new(0);
+    let hits = AtomicU64::new(0);
+    let misses = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let append_failed = AtomicU64::new(0);
+    let stats_now = || CacheStats {
+        hits: hits.load(Ordering::Relaxed),
+        misses: misses.load(Ordering::Relaxed),
+        rejected: rejected.load(Ordering::Relaxed),
+        append_failed: append_failed.load(Ordering::Relaxed),
+    };
+
+    indices.into_par_iter().for_each(|i| {
+        let lookup = cache.lookup_instance(spec, &config, seed, i);
+        rejected.fetch_add(lookup.rejected, Ordering::Relaxed);
+        if lookup.grid.is_some() {
+            hits.fetch_add(cells_per_instance, Ordering::Relaxed);
+            telemetry::counter("exp.cache.hits").add(cells_per_instance);
+        } else {
+            let grid = compute_instance(spec, &ensemble, i, &config, seed);
+            misses.fetch_add(cells_per_instance, Ordering::Relaxed);
+            telemetry::counter("exp.cache.misses").add(cells_per_instance);
+            if let Err(e) = cache.store_instance(spec, &config, seed, i, &grid) {
+                append_failed.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter("exp.store.append_failed").incr();
+                eprintln!("warning: store append failed: {e}");
+            }
+        }
+        let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+        progress(Progress {
+            done: d,
+            total,
+            cache: Some(stats_now()),
+            last_instance: Some(i),
+        });
+    });
+    drop(panel_trace);
+    stats_now()
+}
+
 /// Computes one instance's full grid, with telemetry.
 fn compute_instance(
     spec: &PanelSpec,

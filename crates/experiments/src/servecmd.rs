@@ -1,0 +1,514 @@
+//! The experiment-side wiring of `qfab-serve`: grid expansion, the
+//! `repro merge` / `repro serve` / `repro worker` subcommands, and the
+//! [`Hooks`] that teach the generic service what a sweep job means.
+//!
+//! The division of labour: `qfab-serve` sequences queues, processes,
+//! and HTTP without knowing what a cell is; this module supplies the
+//! meaning — how a grid name expands to [`PanelSpec`]s, how a worker
+//! subprocess is invoked (the `repro` binary re-executing itself with
+//! `worker`), and how a finished job is rendered. Because workers
+//! compute whole instances into content-addressed shard stores and the
+//! finalize step re-runs each panel against the *merged* store (every
+//! cell a hit), a job served by N workers produces byte-identical
+//! `.txt`/`.csv` panels and ledger entries to a single-process
+//! `repro --store` run of the same spec.
+
+use crate::cache::{CellCache, CODE_SALT};
+use crate::cli::DEFAULT_SEED;
+use crate::report::write_panel;
+use crate::rundata::{load_run, RunSummary};
+use crate::runner::{progress_line, run_panel_shard, run_panel_with};
+use crate::scale::OpCost;
+use crate::sweep::{fig1_panels, fig2_panels, panel_by_id, OpKind, PanelSpec};
+use crate::{dashboard, drift, ledger, Scale};
+use qfab_serve::service::{start, Hooks, ServiceConfig};
+use qfab_serve::{merge_stores, salt_validator, JobSpec, MergeReport};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Default worker-subprocess count for `repro serve`.
+pub const DEFAULT_WORKERS: usize = 2;
+
+/// Expands a job grid into panel specs: `fig1` / `fig2` / `all`
+/// aliases or individual panel ids, deduplicated in first-mention
+/// order.
+pub fn expand_grid(grid: &[String]) -> Result<Vec<PanelSpec>, String> {
+    let mut panels: Vec<PanelSpec> = Vec::new();
+    let push = |spec: PanelSpec, panels: &mut Vec<PanelSpec>| {
+        if !panels.iter().any(|p| p.id == spec.id) {
+            panels.push(spec);
+        }
+    };
+    for name in grid {
+        match name.as_str() {
+            "fig1" => fig1_panels().into_iter().for_each(|p| push(p, &mut panels)),
+            "fig2" => fig2_panels().into_iter().for_each(|p| push(p, &mut panels)),
+            "all" => fig1_panels()
+                .into_iter()
+                .chain(fig2_panels())
+                .for_each(|p| push(p, &mut panels)),
+            id => match panel_by_id(id) {
+                Some(spec) => push(spec, &mut panels),
+                None => {
+                    return Err(format!(
+                        "unknown grid entry '{id}' (expected fig1, fig2, all, or a panel id)"
+                    ))
+                }
+            },
+        }
+    }
+    Ok(panels)
+}
+
+/// Resolves a job's scale for one panel — the same preset/override
+/// rules as the sweep CLI's `--scale/--instances/--shots`.
+pub fn scale_for(job: &JobSpec, op: OpKind) -> Result<Scale, String> {
+    let cost = match op {
+        OpKind::Add => OpCost::Adder,
+        OpKind::Mul => OpCost::Multiplier,
+    };
+    let mut scale = match job.scale.as_str() {
+        "quick" => Scale::quick_for(cost),
+        "default" => Scale::default_for(cost),
+        "paper" => Scale::paper(),
+        other => {
+            return Err(format!(
+                "unknown scale '{other}' (expected quick, default, or paper)"
+            ))
+        }
+    };
+    if let Some(i) = job.instances {
+        scale.instances = i as usize;
+    }
+    if let Some(s) = job.shots {
+        scale.shots = s;
+    }
+    Ok(scale)
+}
+
+/// Validates a job end to end (grid resolves, scale is known) and
+/// returns the total cell count it covers — the service's `validate`
+/// hook.
+pub fn job_cells(job: &JobSpec) -> Result<u64, String> {
+    let panels = expand_grid(&job.grid)?;
+    let mut cells = 0u64;
+    for spec in &panels {
+        let scale = scale_for(job, spec.op)?;
+        cells += (scale.instances * spec.rates.len() * spec.depths.len()) as u64;
+    }
+    Ok(cells)
+}
+
+/// Renders the drift report between the store's two most recent ledger
+/// entries — the service's `GET /diff`.
+fn render_diff(dir: &Path) -> Result<String, String> {
+    let history = ledger::read(dir).map_err(|e| format!("cannot read ledger: {e}"))?;
+    let n = history.entries.len();
+    if n < 2 {
+        return Err(format!("drift needs two recorded runs, ledger has {n}"));
+    }
+    let report = drift::compare(
+        &history.entries[n - 2].summary,
+        &history.entries[n - 1].summary,
+        drift::DEFAULT_ALPHA,
+    );
+    Ok(drift::format_report(&report))
+}
+
+/// Renders a completed job from the merged store into
+/// `<store>/jobs/<id>/` — the service's `finalize` hook.
+///
+/// Each panel is re-run in-process against the merged store. Every
+/// cell is served from the cache (the shards covered all instances),
+/// so this is pure aggregation; and because panel text/CSV outputs
+/// carry no timing, the files are byte-identical to a single-process
+/// run's. The store summary is then recorded in the run-history
+/// ledger, exactly as `repro --store` records a sweep.
+fn finalize_job(id: &str, job: &JobSpec, store_dir: &Path) -> Result<String, String> {
+    let panels = expand_grid(&job.grid)?;
+    let out_dir = store_dir.join("jobs").join(id);
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let cache = CellCache::open(store_dir, true)
+        .map_err(|e| format!("cannot open store {}: {e}", store_dir.display()))?;
+    let mut recomputed = 0u64;
+    for spec in &panels {
+        let scale = scale_for(job, spec.op)?;
+        let result = run_panel_with(spec, scale, job.seed, Some(&cache), |_| {});
+        if let Some(stats) = result.cache {
+            // Safety net, not the plan: a missing shard cell gets
+            // recomputed here (identical bytes, slower path).
+            recomputed += stats.misses;
+        }
+        write_panel(&out_dir, &result)
+            .map_err(|e| format!("cannot write {} outputs: {e}", spec.id))?;
+    }
+    cache
+        .close()
+        .map_err(|e| format!("store compaction failed: {e}"))?;
+    let run = load_run(store_dir).map_err(|e| format!("cannot re-read store: {e}"))?;
+    if !run.panels.is_empty() {
+        let summary = RunSummary::from_run(&run);
+        ledger::append(store_dir, &summary, ledger::git_describe().as_deref())
+            .map_err(|e| format!("ledger append failed: {e}"))?;
+    }
+    let mut note = format!("wrote {}", out_dir.display());
+    if recomputed > 0 {
+        note.push_str(&format!(" ({recomputed} cells missed the shards)"));
+    }
+    Ok(note)
+}
+
+/// The full hook set wiring panels, the runner, and the dashboards
+/// into the generic service.
+pub fn hooks() -> Hooks {
+    Hooks {
+        validate: Box::new(job_cells),
+        worker_command: Box::new(|job, shard, shards, dir| {
+            // The service re-executes its own binary in worker mode, so
+            // worker and service can never disagree about simulation
+            // semantics.
+            let exe = std::env::current_exe().unwrap_or_else(|_| PathBuf::from("repro"));
+            let mut cmd = std::process::Command::new(exe);
+            cmd.arg("worker")
+                .arg("--job")
+                .arg(job.to_json().encode())
+                .arg("--shard")
+                .arg(format!("{shard}/{shards}"))
+                .arg("--store")
+                .arg(dir);
+            cmd
+        }),
+        finalize: Box::new(finalize_job),
+        render_dash: Box::new(|dir| {
+            dashboard::render_dir(dir).map_err(|e| format!("cannot read store: {e}"))
+        }),
+        render_diff: Box::new(render_diff),
+    }
+}
+
+/// `repro worker --job JSON --shard K/W --store DIR` — computes one
+/// instance shard of a job into an isolated shard store. Normally
+/// spawned by `repro serve`, but runnable by hand for offline
+/// federation (compute halves on two machines, `repro merge` them).
+pub fn worker_cmd(args: &[String]) -> Result<(), String> {
+    let mut job_text: Option<String> = None;
+    let mut shard_spec: Option<String> = None;
+    let mut store: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--job" => {
+                job_text = Some(need_value(i)?.clone());
+                i += 2;
+            }
+            "--shard" => {
+                shard_spec = Some(need_value(i)?.clone());
+                i += 2;
+            }
+            "--store" => {
+                store = Some(PathBuf::from(need_value(i)?));
+                i += 2;
+            }
+            other => return Err(format!("unknown worker option '{other}'")),
+        }
+    }
+    let job_text = job_text.ok_or("worker needs --job JSON")?;
+    let store = store.ok_or("worker needs --store DIR")?;
+    let (shard, shards) = parse_shard(shard_spec.as_deref().unwrap_or("0/1"))?;
+    let job =
+        JobSpec::parse(job_text.as_bytes(), DEFAULT_SEED).map_err(|e| format!("--job: {e}"))?;
+    let panels = expand_grid(&job.grid)?;
+    let cache = CellCache::open(&store, true).map_err(|e| format!("cannot open store: {e}"))?;
+    for spec in &panels {
+        let scale = scale_for(&job, spec.op)?;
+        eprintln!(
+            "worker {shard}/{shards}: {} at {} instances x {} shots",
+            spec.id, scale.instances, scale.shots
+        );
+        let started = std::time::Instant::now();
+        let stats = run_panel_shard(spec, scale, job.seed, &cache, shard, shards, |p| {
+            eprint!("\r  {}", progress_line(p, started.elapsed().as_secs_f64()));
+            if p.done == p.total {
+                eprintln!();
+            }
+        });
+        // Durability point per panel: a killed worker resumes from here.
+        cache
+            .checkpoint()
+            .map_err(|e| format!("store checkpoint failed: {e}"))?;
+        eprintln!(
+            "worker {shard}/{shards}: {} done ({} hit / {} miss)",
+            spec.id, stats.hits, stats.misses
+        );
+    }
+    cache
+        .close()
+        .map_err(|e| format!("store compaction failed: {e}"))?;
+    Ok(())
+}
+
+/// Parses `K/W` (shard K of W).
+fn parse_shard(spec: &str) -> Result<(usize, usize), String> {
+    let Some((k, w)) = spec.split_once('/') else {
+        return Err(format!("--shard wants K/W, got '{spec}'"));
+    };
+    let k: usize = k.parse().map_err(|e| format!("--shard: {e}"))?;
+    let w: usize = w.parse().map_err(|e| format!("--shard: {e}"))?;
+    if w == 0 || k >= w {
+        return Err(format!("--shard {k}/{w} out of range (want K < W, W > 0)"));
+    }
+    Ok((k, w))
+}
+
+/// `repro merge A B ... -o DIR` — unions N stores. Returns the report;
+/// the binary fails the command when conflicts were found.
+pub fn merge_cmd(args: &[String]) -> Result<MergeReport, String> {
+    let mut sources: Vec<PathBuf> = Vec::new();
+    let mut dest: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--out" => {
+                dest = Some(PathBuf::from(
+                    args.get(i + 1).ok_or("-o needs a directory")?,
+                ));
+                i += 2;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown merge option '{other}'"))
+            }
+            src => {
+                sources.push(PathBuf::from(src));
+                i += 1;
+            }
+        }
+    }
+    if sources.is_empty() {
+        return Err("merge needs at least one source store".into());
+    }
+    let dest = dest.ok_or("merge needs -o DIR for the destination store")?;
+    for src in &sources {
+        if !src.is_dir() {
+            return Err(format!("source {} is not a directory", src.display()));
+        }
+    }
+    merge_stores(&sources, &dest, salt_validator(CODE_SALT))
+        .map_err(|e| format!("merge failed: {e}"))
+}
+
+/// `repro serve [ADDR:PORT] --store DIR [--workers N] [--seed N]` —
+/// runs the sweep service in the foreground until killed. Queued jobs
+/// are durable: a killed service resumes them on the next start.
+pub fn serve_cmd(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut store: Option<PathBuf> = None;
+    let mut workers = DEFAULT_WORKERS;
+    let mut seed = DEFAULT_SEED;
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--store" => {
+                store = Some(PathBuf::from(need_value(i)?));
+                i += 2;
+            }
+            "--workers" => {
+                workers = need_value(i)?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                i += 2;
+            }
+            "--seed" => {
+                seed = need_value(i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+                i += 2;
+            }
+            a if a.contains(':') && !a.starts_with('-') => {
+                addr = a.to_string();
+                i += 1;
+            }
+            other => return Err(format!("unknown serve option '{other}'")),
+        }
+    }
+    let store = store.ok_or("serve needs --store DIR")?;
+    let config = ServiceConfig {
+        addr,
+        store_dir: store,
+        workers,
+        salt: CODE_SALT.to_string(),
+        default_seed: seed,
+        poll: Duration::from_millis(200),
+    };
+    let handle = start(config, hooks()).map_err(|e| format!("cannot start service: {e}"))?;
+    eprintln!(
+        "serve: http://{}/ ({} workers; POST /jobs, GET /jobs, /dash, /diff)",
+        handle.local_addr(),
+        workers
+    );
+    handle.wait();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_aliases_expand_and_dedup() {
+        let panels = expand_grid(&["fig1".into()]).unwrap();
+        assert_eq!(panels.len(), 6);
+        let both = expand_grid(&["all".into()]).unwrap();
+        assert_eq!(both.len(), 12);
+        // A panel already covered by an alias is not duplicated.
+        let dup = expand_grid(&["fig1a".into(), "fig1".into()]).unwrap();
+        assert_eq!(dup.len(), 6);
+        assert_eq!(dup[0].id, "fig1a");
+        assert!(expand_grid(&["nope".into()]).unwrap_err().contains("nope"));
+    }
+
+    fn job(grid: &[&str], scale: &str) -> JobSpec {
+        JobSpec {
+            grid: grid.iter().map(|s| s.to_string()).collect(),
+            scale: scale.to_string(),
+            instances: None,
+            shots: None,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    #[test]
+    fn scales_resolve_presets_and_overrides() {
+        let quick = scale_for(&job(&["fig1a"], "quick"), OpKind::Add).unwrap();
+        assert_eq!(quick, Scale::quick_for(OpCost::Adder));
+        let paper = scale_for(&job(&["fig1a"], "paper"), OpKind::Mul).unwrap();
+        assert_eq!(paper, Scale::paper());
+        let mut custom = job(&["fig1a"], "quick");
+        custom.instances = Some(3);
+        custom.shots = Some(17);
+        let scale = scale_for(&custom, OpKind::Add).unwrap();
+        assert_eq!((scale.instances, scale.shots), (3, 17));
+        assert!(scale_for(&job(&["fig1a"], "warp"), OpKind::Add).is_err());
+    }
+
+    #[test]
+    fn job_cells_counts_the_whole_grid() {
+        let mut j = job(&["fig1a"], "quick");
+        j.instances = Some(4);
+        let spec = panel_by_id("fig1a").unwrap();
+        let expected = (4 * spec.rates.len() * spec.depths.len()) as u64;
+        assert_eq!(job_cells(&j).unwrap(), expected);
+        assert!(job_cells(&job(&["bogus"], "quick")).is_err());
+    }
+
+    #[test]
+    fn shard_specs_parse_and_validate() {
+        assert_eq!(parse_shard("0/2"), Ok((0, 2)));
+        assert_eq!(parse_shard("3/4"), Ok((3, 4)));
+        assert!(parse_shard("2/2").is_err());
+        assert!(parse_shard("0/0").is_err());
+        assert!(parse_shard("nope").is_err());
+        assert!(parse_shard("1").is_err());
+    }
+
+    #[test]
+    fn merge_cmd_wants_sources_and_a_destination() {
+        assert!(merge_cmd(&["-o".into(), "x".into()])
+            .unwrap_err()
+            .contains("at least one source"));
+        assert!(merge_cmd(&["a".into()]).unwrap_err().contains("-o DIR"));
+        assert!(
+            merge_cmd(&["/definitely/not/a/dir".into(), "-o".into(), "x".into()])
+                .unwrap_err()
+                .contains("not a directory")
+        );
+    }
+
+    #[test]
+    fn worker_cmd_validates_its_arguments() {
+        assert!(worker_cmd(&[]).unwrap_err().contains("--job"));
+        assert!(
+            worker_cmd(&["--job".into(), r#"{"grid":["fig1a"]}"#.into()])
+                .unwrap_err()
+                .contains("--store")
+        );
+        let err = worker_cmd(&[
+            "--job".into(),
+            "not json".into(),
+            "--store".into(),
+            std::env::temp_dir().display().to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("--job"), "{err}");
+    }
+
+    #[test]
+    fn serve_cmd_validates_its_arguments() {
+        assert!(serve_cmd(&[]).unwrap_err().contains("--store"));
+        assert!(
+            serve_cmd(&["--store".into(), "s".into(), "--workers".into(), "0".into()])
+                .unwrap_err()
+                .contains("--workers")
+        );
+        assert!(serve_cmd(&["--bogus".into()])
+            .unwrap_err()
+            .contains("bogus"));
+    }
+
+    /// The federation invariant at unit scale: two worker shards into
+    /// separate stores, merged, equal one single-process sweep — same
+    /// live cells, and a replay over the merged store is all hits with
+    /// identical panel statistics.
+    #[test]
+    fn sharded_stores_merge_into_a_single_process_equivalent() {
+        let base = std::env::temp_dir().join(format!("qfab_servecmd_fed_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let spec = panel_by_id("fig1a").unwrap();
+        let scale = Scale {
+            instances: 4,
+            shots: 16,
+        };
+        let seed = 99;
+
+        // Single-process reference.
+        let single = base.join("single");
+        let cache = CellCache::open(&single, true).unwrap();
+        let reference = run_panel_with(&spec, scale, seed, Some(&cache), |_| {});
+        cache.close().unwrap();
+
+        // Two worker shards into isolated stores.
+        let mut shards = Vec::new();
+        for w in 0..2usize {
+            let dir = base.join(format!("w{w}"));
+            let cache = CellCache::open(&dir, true).unwrap();
+            run_panel_shard(&spec, scale, seed, &cache, w, 2, |_| {});
+            cache.close().unwrap();
+            shards.push(dir);
+        }
+
+        // Merge and replay: every cell cached, stats identical.
+        let merged = base.join("merged");
+        let report = merge_stores(&shards, &merged, salt_validator(CODE_SALT)).unwrap();
+        assert_eq!(report.conflicts, 0);
+        assert_eq!(report.rejected, 0);
+        let cache = CellCache::open(&merged, true).unwrap();
+        let replay = run_panel_with(&spec, scale, seed, Some(&cache), |_| {});
+        let stats = replay.cache.unwrap();
+        assert_eq!(stats.misses, 0, "merged store must cover every cell");
+        assert_eq!(stats.hits, report.added);
+        for (a, b) in reference.points.iter().zip(&replay.points) {
+            assert_eq!(a.stats, b.stats);
+        }
+        cache.close().unwrap();
+        let _ = std::fs::remove_dir_all(&base);
+    }
+}

@@ -20,7 +20,7 @@
 use crate::dashboard;
 use crate::ledger;
 use crate::runner::{eta_secs, Progress};
-use qfab_telemetry::httpd::{self, Handler, HttpServer, Response};
+use qfab_telemetry::httpd::{self, Handler, HttpServer, Method, Response};
 use qfab_telemetry::monitor::{self, MonitorConfig};
 use qfab_telemetry::Json;
 use std::io;
@@ -278,36 +278,41 @@ pub fn panel_finished(id: &str) {
 /// Builds the route handler serving a (possibly still-running) store
 /// directory. Every route is read-only.
 pub fn routes(store_dir: PathBuf) -> Handler {
-    Arc::new(move |path| match path {
-        "/" => Response::text(
-            "qfab live monitor\n\
+    Arc::new(move |req| {
+        if req.method != Method::Get {
+            // The watch server is strictly read-only; job submission
+            // lives on `repro serve`, not here.
+            return Response::method_not_allowed("GET");
+        }
+        match req.path.as_str() {
+            "/" => Response::text(
+                "qfab live monitor\n\
              /status.json  heartbeat (qfab.status.v1)\n\
              /metrics.json metric time-series (qfab.timeline.v1)\n\
              /dash         live dashboard (same renderer as `repro dash`)\n\
              /history      run-history ledger\n",
-        ),
-        "/status.json" => Response::json(heartbeat_json().encode_pretty()),
-        "/metrics.json" => match monitor::timeline_json() {
-            Some(json) => Response::json(json),
-            None => Response::not_found(),
-        },
-        "/dash" => match dashboard::render_dir(&store_dir) {
-            Ok(html) => Response::html(html),
-            Err(e) => Response {
-                status: 404,
-                content_type: "text/plain; charset=utf-8",
-                body: format!("dashboard unavailable: {e}\n").into_bytes(),
+            ),
+            "/status.json" => Response::json(heartbeat_json().encode_pretty()),
+            "/metrics.json" => match monitor::timeline_json() {
+                Some(json) => Response::json(json),
+                None => Response::not_found(),
             },
-        },
-        "/history" => match ledger::read(&store_dir) {
-            Ok(history) => Response::text(ledger::format_history(&history)),
-            Err(e) => Response {
-                status: 404,
-                content_type: "text/plain; charset=utf-8",
-                body: format!("history unavailable: {e}\n").into_bytes(),
+            "/dash" => match dashboard::render_dir(&store_dir) {
+                Ok(html) => Response::html(html),
+                Err(e) => Response {
+                    status: 404,
+                    ..Response::text(format!("dashboard unavailable: {e}\n"))
+                },
             },
-        },
-        _ => Response::not_found(),
+            "/history" => match ledger::read(&store_dir) {
+                Ok(history) => Response::text(ledger::format_history(&history)),
+                Err(e) => Response {
+                    status: 404,
+                    ..Response::text(format!("history unavailable: {e}\n"))
+                },
+            },
+            _ => Response::not_found(),
+        }
     })
 }
 

@@ -1,0 +1,403 @@
+//! Federation end-to-end through the real `repro` binary: a job served
+//! by two worker subprocesses must produce byte-identical panel files,
+//! ledger state, and dashboard to a single-process `repro --store` run
+//! of the same spec; a queue written by a dead service must resume on
+//! the next start; and hand-run worker shards merged offline must
+//! replay to the same outputs.
+//!
+//! These tests spawn subprocesses (the service re-executes the `repro`
+//! binary in worker mode), so they exercise the exact production path:
+//! `CARGO_BIN_EXE_repro` serve → fork workers → merge shard stores →
+//! finalize.
+
+use qfab_telemetry::Json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const REPRO: &str = env!("CARGO_BIN_EXE_repro");
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qfab_serveitest_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs `repro` to completion and asserts success.
+fn repro(args: &[&str]) -> std::process::Output {
+    let out = Command::new(REPRO)
+        .args(args)
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "repro {args:?} failed\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// A spawned service that is SIGKILLed when the test ends (or panics),
+/// so a failing assertion never leaks a listening subprocess.
+struct Service(Child);
+
+impl Service {
+    fn spawn(store: &Path, workers: &str) -> Self {
+        let child = Command::new(REPRO)
+            .args(["serve", "127.0.0.1:0", "--store"])
+            .arg(store)
+            .args(["--workers", workers])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn repro serve");
+        Service(child)
+    }
+
+    fn kill(mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Polls `<store>/service.json` (written atomically once the port is
+/// bound) for the service's discovery document and returns its address.
+fn wait_for_service(store: &Path) -> SocketAddr {
+    let path = store.join("service.json");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(doc) = Json::parse(&text) {
+                assert_eq!(
+                    doc.get("schema").and_then(Json::as_str),
+                    Some("qfab.service.v1"),
+                    "discovery file carries its schema tag"
+                );
+                if let Some(addr) = doc.get("addr").and_then(Json::as_str) {
+                    if let Ok(addr) = addr.parse() {
+                        return addr;
+                    }
+                }
+            }
+        }
+        assert!(Instant::now() < deadline, "service.json never appeared");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// One blocking HTTP exchange; returns `(status, headers, body)`.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect to service");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: serve\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a header/body separator");
+    let head = std::str::from_utf8(&raw[..header_end]).expect("headers are UTF-8");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status line has a code")
+        .parse()
+        .expect("status code parses");
+    (status, head.to_string(), raw[header_end + 4..].to_vec())
+}
+
+/// JSON endpoints must declare their charset and refuse caching.
+fn assert_json_headers(head: &str, what: &str) {
+    assert!(
+        head.contains("Content-Type: application/json; charset=utf-8"),
+        "{what}: missing JSON charset header in:\n{head}"
+    );
+    assert!(
+        head.contains("Cache-Control: no-store"),
+        "{what}: missing Cache-Control: no-store in:\n{head}"
+    );
+}
+
+/// Submits a job and returns its id.
+fn post_job(addr: SocketAddr, job: &str) -> String {
+    let (status, head, body) = http(addr, "POST", "/jobs", job);
+    let text = String::from_utf8_lossy(&body).into_owned();
+    assert_eq!(status, 200, "POST /jobs: {text}");
+    assert_json_headers(&head, "POST /jobs");
+    let ack = Json::parse(&text).expect("job ack parses");
+    assert_eq!(ack.get("state").and_then(Json::as_str), Some("queued"));
+    ack.get("id")
+        .and_then(Json::as_str)
+        .expect("ack carries the job id")
+        .to_string()
+}
+
+/// Polls `GET /jobs/{id}` until the job reaches a terminal state.
+fn wait_for_job(addr: SocketAddr, id: &str) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let (status, head, body) = http(addr, "GET", &format!("/jobs/{id}"), "");
+        assert_eq!(status, 200, "GET /jobs/{id}");
+        assert_json_headers(&head, "GET /jobs/{id}");
+        let doc = Json::parse(std::str::from_utf8(&body).unwrap()).expect("job status parses");
+        match doc.get("state").and_then(Json::as_str) {
+            Some("done") => return doc,
+            Some("failed") => panic!(
+                "job failed: {}",
+                doc.get("error").and_then(Json::as_str).unwrap_or("?")
+            ),
+            _ => {
+                assert!(Instant::now() < deadline, "job {id} never finished");
+                std::thread::sleep(Duration::from_millis(200));
+            }
+        }
+    }
+}
+
+/// Asserts two files are byte-identical.
+fn assert_same_bytes(a: &Path, b: &Path) {
+    let left = std::fs::read(a).unwrap_or_else(|e| panic!("read {}: {e}", a.display()));
+    let right = std::fs::read(b).unwrap_or_else(|e| panic!("read {}: {e}", b.display()));
+    assert!(left == right, "{} and {} differ", a.display(), b.display());
+}
+
+/// The tentpole invariant: a job sharded across two worker
+/// subprocesses produces byte-identical `.txt`/`.csv` panels and
+/// dashboard to a single-process `repro --store` run of the same spec.
+#[test]
+fn two_worker_service_matches_a_single_process_sweep_byte_for_byte() {
+    let base = tmp("e2e");
+    let ref_store = base.join("ref_store");
+    let ref_out = base.join("ref_out");
+    let svc_store = base.join("svc_store");
+
+    // The single-process reference, recorded in its own store + ledger.
+    repro(&[
+        "fig1a",
+        "--scale",
+        "quick",
+        "--instances",
+        "4",
+        "--shots",
+        "16",
+        "--seed",
+        "7",
+        "--store",
+        ref_store.to_str().unwrap(),
+        "--out",
+        ref_out.to_str().unwrap(),
+    ]);
+
+    // The same spec through the service, sharded across two workers.
+    let service = Service::spawn(&svc_store, "2");
+    let addr = wait_for_service(&svc_store);
+    let id = post_job(
+        addr,
+        r#"{"schema":"qfab.job.v1","grid":["fig1a"],"scale":"quick",
+            "instances":4,"shots":16,"seed":7}"#,
+    );
+    let status = wait_for_job(addr, &id);
+    assert_eq!(
+        status.get("cells_done").and_then(Json::as_u64),
+        status.get("cells_total").and_then(Json::as_u64),
+        "a done job reports full cell coverage"
+    );
+    assert!(
+        status
+            .get("note")
+            .and_then(Json::as_str)
+            .is_some_and(|n| !n.contains("missed the shards")),
+        "no cell may fall through to the finalize recompute path: {status:?}"
+    );
+
+    // The job listing includes it, and /dash serves the merged store.
+    let (status_code, head, listing) = http(addr, "GET", "/jobs", "");
+    assert_eq!(status_code, 200);
+    assert_json_headers(&head, "GET /jobs");
+    assert!(matches!(
+        Json::parse(std::str::from_utf8(&listing).unwrap()),
+        Ok(Json::Arr(items)) if items.len() == 1
+    ));
+    let (status_code, _, svc_dash) = http(addr, "GET", "/dash", "");
+    assert_eq!(status_code, 200);
+    service.kill();
+
+    // Panel files: byte-identical to the reference.
+    let job_out = svc_store.join("jobs").join(&id);
+    assert_same_bytes(&ref_out.join("fig1a.txt"), &job_out.join("fig1a.txt"));
+    assert_same_bytes(&ref_out.join("fig1a.csv"), &job_out.join("fig1a.csv"));
+
+    // Dashboard: the served page over the federated store renders the
+    // same bytes as the offline renderer over the single-process store
+    // (cells, ledger entry, and all — nothing timing-dependent leaks).
+    let offline = qfab_experiments::dashboard::render_dir(&ref_store).expect("offline render");
+    assert_eq!(
+        String::from_utf8(svc_dash).unwrap(),
+        offline,
+        "served /dash over the merged store must equal the single-process dashboard"
+    );
+
+    // The merged service store passes the integrity check and has the
+    // run on its ledger.
+    repro(&["--store-verify", svc_store.to_str().unwrap()]);
+    let history = repro(&["history", svc_store.to_str().unwrap()]);
+    assert!(
+        !String::from_utf8_lossy(&history.stdout).contains("no history"),
+        "the service records finished jobs in the ledger"
+    );
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Durability: a queue written by a service that died after
+/// acknowledging a job (`jobs.wal` is fsynced before the HTTP 200, and
+/// here the writing process is gone without any shutdown) is picked up
+/// and completed by the next service start.
+#[test]
+fn a_job_queued_by_a_dead_service_resumes_on_restart() {
+    let base = tmp("resume");
+    let store = base.join("store");
+    std::fs::create_dir_all(&store).unwrap();
+
+    // Seed the queue exactly as a SIGKILLed service leaves it: the
+    // submit ack is on disk (fsynced), one job mid-run, no cleanup ran.
+    let job = qfab_serve::JobSpec {
+        grid: vec!["fig1a".to_string()],
+        scale: "quick".to_string(),
+        instances: Some(2),
+        shots: Some(16),
+        seed: 11,
+    };
+    let cells = qfab_experiments::servecmd::job_cells(&job).expect("job validates");
+    let id = {
+        let mut queue = qfab_serve::JobQueue::open(&store).expect("queue opens");
+        let id = queue.submit(job, cells).expect("submit is durable");
+        queue.mark_running(&id).expect("job starts");
+        id
+        // Dropped without any terminal state — the writer is "dead".
+    };
+
+    let service = Service::spawn(&store, "2");
+    let addr = wait_for_service(&store);
+    let status = wait_for_job(addr, &id);
+    assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
+    service.kill();
+
+    let out = store.join("jobs").join(&id);
+    assert!(out.join("fig1a.txt").exists(), "resumed job wrote panels");
+    assert!(out.join("fig1a.csv").exists());
+    repro(&["--store-verify", store.to_str().unwrap()]);
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Offline federation: two hand-run `repro worker` half-sweeps, merged
+/// with `repro merge`, replay to the same panel bytes as one
+/// single-process sweep — the compute-halves-on-two-machines workflow.
+#[test]
+fn hand_run_worker_shards_merge_to_the_single_process_outputs() {
+    let base = tmp("offline");
+    let ref_store = base.join("ref_store");
+    let ref_out = base.join("ref_out");
+    let job = r#"{"schema":"qfab.job.v1","grid":["fig1a"],"scale":"quick",
+                  "instances":2,"shots":16,"seed":5}"#;
+
+    repro(&[
+        "fig1a",
+        "--scale",
+        "quick",
+        "--instances",
+        "2",
+        "--shots",
+        "16",
+        "--seed",
+        "5",
+        "--store",
+        ref_store.to_str().unwrap(),
+        "--out",
+        ref_out.to_str().unwrap(),
+    ]);
+
+    // Each half on its own store, as if on two machines.
+    let shards = [base.join("w0"), base.join("w1")];
+    for (w, dir) in shards.iter().enumerate() {
+        repro(&[
+            "worker",
+            "--job",
+            job,
+            "--shard",
+            &format!("{w}/2"),
+            "--store",
+            dir.to_str().unwrap(),
+        ]);
+    }
+
+    // Union them; the merged store must verify clean and contain every
+    // cell of the reference sweep.
+    let merged = base.join("merged");
+    let out = repro(&[
+        "merge",
+        shards[0].to_str().unwrap(),
+        shards[1].to_str().unwrap(),
+        "-o",
+        merged.to_str().unwrap(),
+    ]);
+    let report = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(report.contains("merged 2 source store(s)"), "{report}");
+    repro(&["--store-verify", merged.to_str().unwrap()]);
+
+    // Replaying the sweep over the merged store is pure cache traffic
+    // and reproduces the reference panels byte for byte.
+    let merged_out = base.join("merged_out");
+    repro(&[
+        "fig1a",
+        "--scale",
+        "quick",
+        "--instances",
+        "2",
+        "--shots",
+        "16",
+        "--seed",
+        "5",
+        "--store",
+        merged.to_str().unwrap(),
+        "--out",
+        merged_out.to_str().unwrap(),
+    ]);
+    assert_same_bytes(&ref_out.join("fig1a.txt"), &merged_out.join("fig1a.txt"));
+    assert_same_bytes(&ref_out.join("fig1a.csv"), &merged_out.join("fig1a.csv"));
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// `repro history` on a store without a ledger explains itself and
+/// exits 0 — an empty history is a state, not an error.
+#[test]
+fn history_reports_a_missing_ledger_cleanly() {
+    let dir = tmp("nohistory");
+    let out = repro(&["history", dir.to_str().unwrap()]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("no history recorded"),
+        "unexpected output: {text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

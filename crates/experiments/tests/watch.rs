@@ -56,8 +56,8 @@ fn populate(dir: &Path) {
     cache.close().unwrap();
 }
 
-/// One blocking HTTP GET; returns `(status code, body bytes)`.
-fn http_get(addr: SocketAddr, path: &str) -> (u16, Vec<u8>) {
+/// One blocking HTTP GET; returns `(status code, headers, body bytes)`.
+fn http_get_full(addr: SocketAddr, path: &str) -> (u16, String, Vec<u8>) {
     let mut stream = TcpStream::connect(addr).expect("connect to watch server");
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
@@ -76,7 +76,26 @@ fn http_get(addr: SocketAddr, path: &str) -> (u16, Vec<u8>) {
         .expect("status line has a code")
         .parse()
         .expect("status code parses");
-    (status, raw[header_end + 4..].to_vec())
+    (status, head.to_string(), raw[header_end + 4..].to_vec())
+}
+
+/// One blocking HTTP GET; returns `(status code, body bytes)`.
+fn http_get(addr: SocketAddr, path: &str) -> (u16, Vec<u8>) {
+    let (status, _, body) = http_get_full(addr, path);
+    (status, body)
+}
+
+/// Live JSON endpoints must declare their charset and forbid caching —
+/// a stale heartbeat in a proxy cache is worse than none.
+fn assert_json_headers(head: &str, path: &str) {
+    assert!(
+        head.contains("Content-Type: application/json; charset=utf-8"),
+        "{path}: missing JSON charset header in:\n{head}"
+    );
+    assert!(
+        head.contains("Cache-Control: no-store"),
+        "{path}: missing Cache-Control: no-store in:\n{head}"
+    );
 }
 
 #[test]
@@ -145,8 +164,9 @@ fn watch_session_serves_live_endpoints_and_persists_the_heartbeat() {
         .map(|_| {
             std::thread::spawn(move || {
                 for _ in 0..8 {
-                    let (status, body) = http_get(addr, "/status.json");
+                    let (status, head, body) = http_get_full(addr, "/status.json");
                     assert_eq!(status, 200);
+                    assert_json_headers(&head, "/status.json");
                     let doc = Json::parse(std::str::from_utf8(&body).unwrap())
                         .expect("served status parses");
                     watch::validate_status(&doc).expect("served status validates");
@@ -158,9 +178,11 @@ fn watch_session_serves_live_endpoints_and_persists_the_heartbeat() {
         r.join().expect("reader thread");
     }
 
-    // The metrics timeline endpoint serves the qfab.timeline.v1 ring.
-    let (status, body) = http_get(addr, "/metrics.json");
+    // The metrics timeline endpoint serves the qfab.timeline.v1 ring,
+    // with the same live-JSON headers as the heartbeat.
+    let (status, head, body) = http_get_full(addr, "/metrics.json");
     assert_eq!(status, 200);
+    assert_json_headers(&head, "/metrics.json");
     let timeline = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
     assert_eq!(
         timeline.get("schema").and_then(Json::as_str),
@@ -181,6 +203,21 @@ fn watch_session_serves_live_endpoints_and_persists_the_heartbeat() {
     // Unknown paths 404 without disturbing the session.
     let (status, _) = http_get(addr, "/no-such-route");
     assert_eq!(status, 404);
+
+    // The monitor is read-only: POST is refused with the allowed verb.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "POST /status.json HTTP/1.1\r\nHost: watch\r\nContent-Length: 2\r\n\r\n{{}}"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+    assert!(raw.contains("Allow: GET"), "{raw}");
 
     watch::panel_finished("watchtest");
     session.finish(0);

@@ -1,0 +1,177 @@
+//! The `qfab.job.v1` sweep-job schema accepted by `POST /jobs`.
+//!
+//! A job names *what* to sweep (a grid of panel identifiers) and at
+//! *which* scale; everything else — how a grid name expands to panels,
+//! what the scale presets mean — is resolved by the experiments layer
+//! through [`crate::service::Hooks`]. Keeping the wire schema this
+//! small is what lets the service re-run a job byte-identically: the
+//! spec plus the code-version salt fully determines every cell key.
+
+use qfab_telemetry::Json;
+
+/// Schema tag carried by job documents.
+pub const JOB_SCHEMA: &str = "qfab.job.v1";
+
+/// A sweep job: which panels, at what scale, from which seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Panel identifiers (or grid aliases like `fig1` / `all`) to sweep.
+    pub grid: Vec<String>,
+    /// Scale preset: `quick`, `default`, or `paper`.
+    pub scale: String,
+    /// Override for instances per panel (preset value when absent).
+    pub instances: Option<u64>,
+    /// Override for shots per instance (preset value when absent).
+    pub shots: Option<u64>,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl JobSpec {
+    /// Canonical JSON encoding (stable field order — the job id is the
+    /// digest of this encoding plus a submission sequence number).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("schema".to_string(), Json::Str(JOB_SCHEMA.to_string())),
+            (
+                "grid".to_string(),
+                Json::Arr(self.grid.iter().map(|g| Json::Str(g.clone())).collect()),
+            ),
+            ("scale".to_string(), Json::Str(self.scale.clone())),
+        ];
+        if let Some(i) = self.instances {
+            fields.push(("instances".to_string(), Json::U64(i)));
+        }
+        if let Some(s) = self.shots {
+            fields.push(("shots".to_string(), Json::U64(s)));
+        }
+        fields.push(("seed".to_string(), Json::U64(self.seed)));
+        Json::Obj(fields)
+    }
+
+    /// Decodes a job document. The `schema` field is optional but
+    /// checked when present; `grid` is required and must be non-empty;
+    /// `scale` defaults to `quick`; `seed` defaults to `default_seed`.
+    pub fn from_json(doc: &Json, default_seed: u64) -> Result<JobSpec, String> {
+        if let Some(schema) = doc.get("schema") {
+            let schema = schema.as_str().ok_or("schema must be a string")?;
+            if schema != JOB_SCHEMA {
+                return Err(format!("unsupported schema '{schema}' (want {JOB_SCHEMA})"));
+            }
+        }
+        let grid = match doc.get("grid") {
+            Some(Json::Arr(items)) => {
+                let mut grid = Vec::with_capacity(items.len());
+                for item in items {
+                    grid.push(
+                        item.as_str()
+                            .ok_or("grid entries must be strings")?
+                            .to_string(),
+                    );
+                }
+                grid
+            }
+            Some(Json::Str(one)) => vec![one.clone()],
+            Some(_) => return Err("grid must be a string or array of strings".to_string()),
+            None => return Err("job has no grid".to_string()),
+        };
+        if grid.is_empty() {
+            return Err("grid is empty".to_string());
+        }
+        let scale = match doc.get("scale") {
+            Some(s) => s.as_str().ok_or("scale must be a string")?.to_string(),
+            None => "quick".to_string(),
+        };
+        let field_u64 = |name: &str| -> Result<Option<u64>, String> {
+            match doc.get(name) {
+                Some(v) => {
+                    Ok(Some(v.as_u64().ok_or_else(|| {
+                        format!("{name} must be a non-negative integer")
+                    })?))
+                }
+                None => Ok(None),
+            }
+        };
+        let instances = field_u64("instances")?;
+        if instances == Some(0) {
+            return Err("instances must be positive".to_string());
+        }
+        let shots = field_u64("shots")?;
+        if shots == Some(0) {
+            return Err("shots must be positive".to_string());
+        }
+        let seed = field_u64("seed")?.unwrap_or(default_seed);
+        Ok(JobSpec {
+            grid,
+            scale,
+            instances,
+            shots,
+            seed,
+        })
+    }
+
+    /// Parses a raw request body as a job document.
+    pub fn parse(body: &[u8], default_seed: u64) -> Result<JobSpec, String> {
+        let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+        let doc = Json::parse(text).map_err(|e| format!("body is not JSON: {e}"))?;
+        Self::from_json(&doc, default_seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_json() {
+        let spec = JobSpec {
+            grid: vec!["fig1".into(), "f2-mul".into()],
+            scale: "default".into(),
+            instances: Some(12),
+            shots: None,
+            seed: 42,
+        };
+        let back = JobSpec::from_json(&spec.to_json(), 0).unwrap();
+        assert_eq!(back, spec);
+        assert!(spec.to_json().encode().contains("qfab.job.v1"));
+    }
+
+    #[test]
+    fn defaults_fill_scale_and_seed() {
+        let spec = JobSpec::parse(br#"{"grid":["fig1"]}"#, 777).unwrap();
+        assert_eq!(spec.scale, "quick");
+        assert_eq!(spec.seed, 777);
+        assert_eq!(spec.instances, None);
+        assert_eq!(spec.shots, None);
+    }
+
+    #[test]
+    fn a_bare_string_grid_is_accepted() {
+        let spec = JobSpec::parse(br#"{"grid":"all"}"#, 1).unwrap();
+        assert_eq!(spec.grid, vec!["all".to_string()]);
+    }
+
+    #[test]
+    fn malformed_jobs_are_rejected_with_reasons() {
+        for (body, needle) in [
+            (&br#"not json"#[..], "not JSON"),
+            (br#"{}"#, "no grid"),
+            (br#"{"grid":[]}"#, "empty"),
+            (br#"{"grid":[1]}"#, "strings"),
+            (
+                br#"{"grid":["fig1"],"schema":"qfab.job.v2"}"#,
+                "unsupported schema",
+            ),
+            (br#"{"grid":["fig1"],"instances":0}"#, "positive"),
+            (br#"{"grid":["fig1"],"shots":0}"#, "positive"),
+            (br#"{"grid":["fig1"],"seed":-3}"#, "non-negative"),
+        ] {
+            let err = JobSpec::parse(body, 1).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "body {:?}: error {err:?} missing {needle:?}",
+                String::from_utf8_lossy(body)
+            );
+        }
+    }
+}

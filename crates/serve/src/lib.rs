@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Sweep-as-a-service: store federation and the `repro serve` engine.
+//!
+//! Panel sweeps are embarrassingly parallel across content-addressed
+//! cells (see `qfab-store` and the keying scheme in
+//! `qfab-experiments::cache`), which makes scale-out mechanical: any
+//! number of workers compute disjoint cell subsets into isolated shard
+//! stores, and reconciliation is a pure union. This crate provides the
+//! three pieces that turn that observation into a deployable service,
+//! while staying deliberately ignorant of what the cell bytes *mean*:
+//!
+//! * [`merge`] — store federation: union N store directories into one,
+//!   validating each incoming record (salt-checked via a caller-supplied
+//!   validator), deduplicating by content digest with byte-identical
+//!   payload verification, and interleaving `history.wal` run ledgers
+//!   by sequence position with tail-dedup.
+//! * [`job`] — the `qfab.job.v1` sweep-job schema (grid, scale, shots,
+//!   seed) accepted by `POST /jobs`.
+//! * [`queue`] — a WAL-framed durable job queue: every state transition
+//!   is an fsync'd checksummed record, so a SIGKILL at any instant
+//!   loses nothing already acknowledged, and jobs caught mid-run are
+//!   re-queued on restart.
+//! * [`service`] — the long-running loop: an HTTP front end (built on
+//!   `qfab_telemetry::httpd`) accepting and reporting jobs, plus a
+//!   dispatcher that shards each job across N worker subprocesses and
+//!   merges their shard stores into the service store on completion.
+//!
+//! Everything experiment-specific — which panels a grid name expands
+//! to, how a worker subprocess is invoked, how a finished job is
+//! rendered into panel outputs — enters through [`service::Hooks`], so
+//! the dependency arrow stays `qfab-experiments → qfab-serve` and this
+//! crate needs only `qfab-store` and `qfab-telemetry` (zero external
+//! dependencies, like the rest of the workspace).
+
+pub mod job;
+pub mod merge;
+pub mod queue;
+pub mod service;
+
+pub use job::{JobSpec, JOB_SCHEMA};
+pub use merge::{count_live, merge_stores, salt_validator, MergeReport};
+pub use queue::{JobEntry, JobQueue, JobState, QUEUE_FILE};
+pub use service::{start, Hooks, ServiceConfig, ServiceHandle, SERVICE_FILE};

@@ -1,0 +1,473 @@
+//! Store federation: union N store directories into one.
+//!
+//! Two deployments that ran overlapping sweeps hold overlapping sets of
+//! content-addressed records; because a key is the digest of the cell's
+//! full identity, reconciliation is a set union with three invariants:
+//!
+//! * **validated** — every record *new to the destination* must pass
+//!   the caller's validator (for `repro merge` that is a `CODE_SALT`
+//!   check on the payload identity); failures are counted and skipped,
+//!   never written.
+//! * **digest-deduplicated** — a key already live in the destination is
+//!   not rewritten. First writer wins; the incoming payload is byte-
+//!   compared and counted as a `duplicate` when identical or a
+//!   `conflict` when it differs (which, under honest content
+//!   addressing, means someone's store is lying).
+//! * **ledger-interleaved** — `history.wal` run ledgers merge by
+//!   sequence position across sources (entry 0 of each source in
+//!   argument order, then entry 1, ...), skipping consecutive duplicate
+//!   digests exactly like the single-store tail-dedup rule.
+//!
+//! Sources are read with the same prefix-truncating scan the store
+//! itself recovers with, so a torn shard store (worker killed
+//! mid-append) merges cleanly: its intact prefix contributes, its torn
+//! tail is counted and ignored.
+
+use qfab_store::wal::{encode_record, scan, Key, Record};
+use qfab_store::Store;
+use qfab_telemetry::Json;
+use std::collections::BTreeMap;
+use std::fs::OpenOptions;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Store file names mirrored from `qfab-store` / the experiments
+/// ledger; the merge operates on raw files, not open stores.
+const INDEX_FILE: &str = "index.seg";
+const JOURNAL_FILE: &str = "journal.wal";
+const HISTORY_FILE: &str = "history.wal";
+
+/// What a merge did, per category.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Source directories read.
+    pub sources: usize,
+    /// Records newly written into the destination.
+    pub added: u64,
+    /// Incoming records whose key was already live with a byte-identical
+    /// payload.
+    pub duplicates: u64,
+    /// Incoming records whose key was already live with a *different*
+    /// payload — kept as-is (first writer wins), but loudly counted.
+    pub conflicts: u64,
+    /// Incoming records rejected by the validator (e.g. salt mismatch).
+    pub rejected: u64,
+    /// Ledger entries appended to the destination's `history.wal`.
+    pub ledger_appended: u64,
+    /// Ledger entries skipped as consecutive duplicates.
+    pub ledger_deduped: u64,
+    /// Sources whose store or ledger files carried a torn tail (their
+    /// intact prefix still merged).
+    pub truncated_sources: u64,
+}
+
+impl MergeReport {
+    /// Human-readable summary for the `repro merge` output.
+    pub fn format(&self) -> String {
+        let mut s = format!(
+            "merged {} source store(s): {} added, {} duplicate, {} conflicting, {} rejected",
+            self.sources, self.added, self.duplicates, self.conflicts, self.rejected
+        );
+        s.push_str(&format!(
+            "\nledger: {} appended, {} deduplicated",
+            self.ledger_appended, self.ledger_deduped
+        ));
+        if self.truncated_sources > 0 {
+            s.push_str(&format!(
+                "\n{} source(s) had torn tails (intact prefix merged)",
+                self.truncated_sources
+            ));
+        }
+        s
+    }
+}
+
+/// A validator accepting records whose payload identity carries the
+/// expected code-version salt (`payload.id.salt == expected`).
+///
+/// This is the `repro merge` policy: records from a store written under
+/// a different simulation semantics version must not leak into a merged
+/// store, where they would be unreachable cache entries at best and a
+/// provenance lie at worst.
+pub fn salt_validator(expected: &str) -> impl Fn(&Key, &[u8]) -> Result<(), String> + '_ {
+    move |_key, payload| {
+        let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+        let doc = Json::parse(text).map_err(|e| format!("payload is not JSON: {e}"))?;
+        let salt = doc
+            .get("id")
+            .and_then(|id| id.get("salt"))
+            .and_then(Json::as_str)
+            .ok_or_else(|| "payload has no id.salt".to_string())?;
+        if salt != expected {
+            return Err(format!("salt '{salt}' != expected '{expected}'"));
+        }
+        Ok(())
+    }
+}
+
+/// Reads a source directory's live records: segment replayed first,
+/// journal on top (later appends win), both truncated to their intact
+/// prefix. Returns the live map plus whether either file had a torn
+/// tail.
+fn read_live(dir: &Path) -> io::Result<(BTreeMap<Key, Vec<u8>>, bool)> {
+    let mut live = BTreeMap::new();
+    let mut torn = false;
+    for name in [INDEX_FILE, JOURNAL_FILE] {
+        let bytes = match std::fs::read(dir.join(name)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        let out = scan(&bytes);
+        torn |= out.was_truncated();
+        for r in out.records {
+            live.insert(r.key, r.value);
+        }
+    }
+    Ok((live, torn))
+}
+
+/// Reads a directory's raw ledger records (empty when absent), plus
+/// whether the ledger had a torn tail.
+fn read_ledger(dir: &Path) -> io::Result<(Vec<Record>, bool)> {
+    let bytes = match std::fs::read(dir.join(HISTORY_FILE)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), false)),
+        Err(e) => return Err(e),
+    };
+    let out = scan(&bytes);
+    let torn = out.was_truncated();
+    Ok((out.records, torn))
+}
+
+/// Unions `sources` into the store at `dest` (created if needed).
+///
+/// Cell records merge key-sorted per source, sources in argument order;
+/// `validate` gates every record not already live in the destination.
+/// Run ledgers interleave by sequence position with consecutive-
+/// duplicate dedup. The destination is synced and compacted before
+/// returning, so a successful merge leaves a clean single-segment
+/// store.
+pub fn merge_stores(
+    sources: &[PathBuf],
+    dest: &Path,
+    validate: impl Fn(&Key, &[u8]) -> Result<(), String>,
+) -> io::Result<MergeReport> {
+    let mut report = MergeReport {
+        sources: sources.len(),
+        ..MergeReport::default()
+    };
+    let mut store = Store::open(dest.to_path_buf())?;
+    for src in sources {
+        let (live, torn) = read_live(src)?;
+        let (_, ledger_torn) = read_ledger(src)?;
+        if torn || ledger_torn {
+            report.truncated_sources += 1;
+        }
+        for (key, value) in live {
+            match store.get(&key) {
+                Some(existing) => {
+                    if existing == value.as_slice() {
+                        report.duplicates += 1;
+                    } else {
+                        report.conflicts += 1;
+                    }
+                }
+                None => match validate(&key, &value) {
+                    Ok(()) => {
+                        store.put(key, value)?;
+                        report.added += 1;
+                    }
+                    Err(_) => report.rejected += 1,
+                },
+            }
+        }
+        store.sync()?;
+    }
+    store.compact()?;
+    drop(store);
+    let (appended, deduped) = merge_ledgers(sources, dest)?;
+    report.ledger_appended = appended;
+    report.ledger_deduped = deduped;
+    Ok(report)
+}
+
+/// Interleaves the sources' `history.wal` ledgers into the
+/// destination's, by sequence position: entry 0 of every source (in
+/// argument order), then entry 1, and so on — so the merged history
+/// reads like the deployments ran side by side. An entry whose digest
+/// equals the previously appended one is skipped (the same tail-dedup
+/// rule `repro` applies when recording a sweep). Returns
+/// `(appended, deduped)`.
+fn merge_ledgers(sources: &[PathBuf], dest: &Path) -> io::Result<(u64, u64)> {
+    let mut per_source = Vec::with_capacity(sources.len());
+    for src in sources {
+        per_source.push(read_ledger(src)?.0);
+    }
+    let max_len = per_source.iter().map(Vec::len).max().unwrap_or(0);
+    if max_len == 0 {
+        return Ok((0, 0));
+    }
+    let (dest_records, _) = read_ledger(dest)?;
+    let mut last_key = dest_records.last().map(|r| r.key);
+    let mut appended = 0u64;
+    let mut deduped = 0u64;
+    let mut out = Vec::new();
+    for pos in 0..max_len {
+        for records in &per_source {
+            let Some(r) = records.get(pos) else { continue };
+            if last_key == Some(r.key) {
+                deduped += 1;
+                continue;
+            }
+            out.extend_from_slice(&encode_record(&r.key, &r.value));
+            last_key = Some(r.key);
+            appended += 1;
+        }
+    }
+    if appended > 0 {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dest.join(HISTORY_FILE))?;
+        file.write_all(&out)?;
+        file.sync_all()?;
+    }
+    Ok((appended, deduped))
+}
+
+/// Counts the live keys of the store at `dir` without opening it for
+/// writes — segment plus journal, later appends deduplicated. Used for
+/// job progress: a worker's shard store grows by one record per
+/// computed cell.
+pub fn count_live(dir: &Path) -> io::Result<u64> {
+    Ok(read_live(dir)?.0.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfab_store::blake2s256;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qfab_merge_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// A minimal cell-like payload: `{"id":{"salt":S,"cell":N},"v":N}`,
+    /// keyed by the digest of its identity — same shape the experiments
+    /// layer writes, without depending on it.
+    fn cell(salt: &str, n: u64) -> (Key, Vec<u8>) {
+        let id = Json::Obj(vec![
+            ("salt".into(), Json::Str(salt.into())),
+            ("cell".into(), Json::U64(n)),
+        ]);
+        let key = blake2s256(id.encode().as_bytes());
+        let payload = Json::Obj(vec![("id".into(), id), ("v".into(), Json::U64(n))])
+            .encode()
+            .into_bytes();
+        (key, payload)
+    }
+
+    fn fill(dir: &Path, salt: &str, cells: std::ops::Range<u64>) {
+        let mut s = Store::open(dir.to_path_buf()).unwrap();
+        for n in cells {
+            let (k, v) = cell(salt, n);
+            s.put(k, v).unwrap();
+        }
+        s.sync().unwrap();
+    }
+
+    #[test]
+    fn disjoint_sources_union_cleanly() {
+        let a = tmp("dis_a");
+        let b = tmp("dis_b");
+        let dest = tmp("dis_dest");
+        fill(&a, "v2", 0..5);
+        fill(&b, "v2", 5..9);
+        let report = merge_stores(&[a.clone(), b.clone()], &dest, salt_validator("v2")).unwrap();
+        assert_eq!(report.added, 9);
+        assert_eq!(report.duplicates, 0);
+        assert_eq!(report.conflicts, 0);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(count_live(&dest).unwrap(), 9);
+        // Every payload survives byte-identically.
+        let merged = Store::open(dest.clone()).unwrap();
+        for n in 0..9 {
+            let (k, v) = cell("v2", n);
+            assert_eq!(merged.get(&k), Some(v.as_slice()), "cell {n}");
+        }
+        for d in [a, b, dest] {
+            let _ = std::fs::remove_dir_all(&d);
+        }
+    }
+
+    #[test]
+    fn overlap_dedups_and_verifies_payload_bytes() {
+        let a = tmp("dup_a");
+        let b = tmp("dup_b");
+        let dest = tmp("dup_dest");
+        fill(&a, "v2", 0..6);
+        fill(&b, "v2", 3..8); // 3..6 overlap, byte-identical by construction
+        let report = merge_stores(&[a.clone(), b.clone()], &dest, salt_validator("v2")).unwrap();
+        assert_eq!(report.added, 8);
+        assert_eq!(report.duplicates, 3);
+        assert_eq!(report.conflicts, 0);
+        assert_eq!(count_live(&dest).unwrap(), 8);
+
+        // A lying store: same key, different payload. First writer wins
+        // and the clash is counted as a conflict, not silently absorbed.
+        let c = tmp("dup_c");
+        {
+            let (k, _) = cell("v2", 0);
+            let mut s = Store::open(c.clone()).unwrap();
+            s.put(k, b"imposter".to_vec()).unwrap();
+            s.sync().unwrap();
+        }
+        let report = merge_stores(std::slice::from_ref(&c), &dest, salt_validator("v2")).unwrap();
+        assert_eq!(report.conflicts, 1);
+        assert_eq!(report.added, 0);
+        let merged = Store::open(dest.clone()).unwrap();
+        let (k, v) = cell("v2", 0);
+        assert_eq!(merged.get(&k), Some(v.as_slice()), "first writer kept");
+        for d in [a, b, c, dest] {
+            let _ = std::fs::remove_dir_all(&d);
+        }
+    }
+
+    #[test]
+    fn salt_mismatches_are_rejected_with_counts() {
+        let a = tmp("salt_a");
+        let dest = tmp("salt_dest");
+        fill(&a, "v2", 0..4);
+        fill(&a, "v1", 100..103); // stale records in the same store
+        let report = merge_stores(std::slice::from_ref(&a), &dest, salt_validator("v2")).unwrap();
+        assert_eq!(report.added, 4);
+        assert_eq!(report.rejected, 3);
+        assert_eq!(count_live(&dest).unwrap(), 4);
+        // The stale records never reached the destination.
+        let merged = Store::open(dest.clone()).unwrap();
+        let (stale_key, _) = cell("v1", 100);
+        assert!(merged.get(&stale_key).is_none());
+        for d in [a, dest] {
+            let _ = std::fs::remove_dir_all(&d);
+        }
+    }
+
+    #[test]
+    fn torn_tail_shard_store_merges_its_intact_prefix() {
+        let a = tmp("torn_a");
+        let dest = tmp("torn_dest");
+        fill(&a, "v2", 0..5);
+        // Simulate a worker SIGKILLed mid-append: garbage at the
+        // journal tail.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(a.join(JOURNAL_FILE))
+            .unwrap();
+        f.write_all(&[0xDE, 0xAD, 0xBE]).unwrap();
+        drop(f);
+        let report = merge_stores(std::slice::from_ref(&a), &dest, salt_validator("v2")).unwrap();
+        assert_eq!(report.added, 5);
+        assert_eq!(report.truncated_sources, 1);
+        assert_eq!(count_live(&dest).unwrap(), 5);
+        // The merged store is structurally clean despite the torn source.
+        let v = qfab_store::verify_dir(&dest, |_, _| Ok(())).unwrap();
+        assert!(v.is_clean(), "{:?}", v.issues);
+        for d in [a, dest] {
+            let _ = std::fs::remove_dir_all(&d);
+        }
+    }
+
+    fn ledger_entry(tag: u64) -> (Key, Vec<u8>) {
+        let payload = Json::Obj(vec![("run".into(), Json::U64(tag))])
+            .encode()
+            .into_bytes();
+        (blake2s256(&payload), payload)
+    }
+
+    fn write_ledger(dir: &Path, tags: &[u64]) {
+        let mut bytes = Vec::new();
+        for &t in tags {
+            let (k, v) = ledger_entry(t);
+            bytes.extend_from_slice(&encode_record(&k, &v));
+        }
+        std::fs::write(dir.join(HISTORY_FILE), bytes).unwrap();
+    }
+
+    fn ledger_tags(dir: &Path) -> Vec<u64> {
+        let (records, _) = read_ledger(dir).unwrap();
+        records
+            .iter()
+            .map(|r| {
+                Json::parse(std::str::from_utf8(&r.value).unwrap())
+                    .unwrap()
+                    .get("run")
+                    .unwrap()
+                    .as_u64()
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ledgers_interleave_by_sequence_with_tail_dedup() {
+        let a = tmp("led_a");
+        let b = tmp("led_b");
+        let dest = tmp("led_dest");
+        write_ledger(&a, &[1, 2, 3]);
+        write_ledger(&b, &[10, 20]);
+        let report = merge_stores(&[a.clone(), b.clone()], &dest, salt_validator("v2")).unwrap();
+        // Position-major: (1,10), (2,20), (3).
+        assert_eq!(ledger_tags(&dest), vec![1, 10, 2, 20, 3]);
+        assert_eq!(report.ledger_appended, 5);
+        assert_eq!(report.ledger_deduped, 0);
+
+        // Merging the same sources again dedups only consecutive
+        // repeats: the first incoming entry (1) matches nothing at the
+        // tail (3), so history legitimately repeats.
+        let report = merge_stores(&[a.clone(), a.clone()], &dest, salt_validator("v2")).unwrap();
+        // a interleaved with itself: 1,1,2,2,3,3 -> consecutive dups
+        // collapse to 1,2,3.
+        assert_eq!(report.ledger_appended, 3);
+        assert_eq!(report.ledger_deduped, 3);
+        assert_eq!(ledger_tags(&dest), vec![1, 10, 2, 20, 3, 1, 2, 3]);
+        for d in [a, b, dest] {
+            let _ = std::fs::remove_dir_all(&d);
+        }
+    }
+
+    #[test]
+    fn ledger_dedup_extends_the_destination_tail() {
+        let a = tmp("ledtail_a");
+        let dest = tmp("ledtail_dest");
+        write_ledger(&a, &[7]);
+        write_ledger(&dest, &[5, 7]);
+        let report = merge_stores(std::slice::from_ref(&a), &dest, salt_validator("v2")).unwrap();
+        // The incoming 7 equals the destination's latest entry: skipped.
+        assert_eq!(report.ledger_appended, 0);
+        assert_eq!(report.ledger_deduped, 1);
+        assert_eq!(ledger_tags(&dest), vec![5, 7]);
+        for d in [a, dest] {
+            let _ = std::fs::remove_dir_all(&d);
+        }
+    }
+
+    #[test]
+    fn merge_into_populated_destination_is_idempotent() {
+        let a = tmp("idem_a");
+        let dest = tmp("idem_dest");
+        fill(&a, "v2", 0..5);
+        let first = merge_stores(std::slice::from_ref(&a), &dest, salt_validator("v2")).unwrap();
+        assert_eq!(first.added, 5);
+        let second = merge_stores(std::slice::from_ref(&a), &dest, salt_validator("v2")).unwrap();
+        assert_eq!(second.added, 0);
+        assert_eq!(second.duplicates, 5);
+        assert_eq!(count_live(&dest).unwrap(), 5);
+        for d in [a, dest] {
+            let _ = std::fs::remove_dir_all(&d);
+        }
+    }
+}

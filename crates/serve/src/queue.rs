@@ -1,0 +1,378 @@
+//! Crash-durable job queue: a WAL of fsync'd state-transition events.
+//!
+//! The queue never rewrites state in place. Every transition —
+//! submitted, running, done, failed — appends one checksummed
+//! `qfab.jobq.v1` record to `jobs.wal` and syncs it *before* the caller
+//! proceeds (in particular, before the HTTP 200 for a submission goes
+//! out). Replay on open folds the event log into current state; a job
+//! that was `running` when the process died is re-queued, which is safe
+//! because workers are idempotent — their shard stores are caches, so a
+//! re-run recomputes only what never hit the disk.
+
+use crate::job::JobSpec;
+use qfab_store::wal::{encode_record, scan};
+use qfab_store::{blake2s256, to_hex};
+use qfab_telemetry::Json;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Event-log file name inside the service store directory.
+pub const QUEUE_FILE: &str = "jobs.wal";
+
+/// Schema tag carried by every queue event record.
+pub const QUEUE_SCHEMA: &str = "qfab.jobq.v1";
+
+/// Lifecycle state of a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted and durably recorded; waiting for the dispatcher.
+    Queued,
+    /// Workers are computing its shards.
+    Running,
+    /// Shards merged, outputs rendered.
+    Done,
+    /// A worker or the merge failed; shard stores are kept for resume.
+    Failed,
+}
+
+impl JobState {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<JobState> {
+        Some(match s {
+            "queued" | "submitted" => JobState::Queued,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            _ => return None,
+        })
+    }
+
+    /// True for `Done` / `Failed`.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed)
+    }
+}
+
+/// Current state of one job, folded from its event records.
+#[derive(Clone, Debug)]
+pub struct JobEntry {
+    /// Stable identifier (`j<seq>-<digest prefix>`).
+    pub id: String,
+    /// What to sweep.
+    pub spec: JobSpec,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Total cells the job covers (workers × instances × grid points),
+    /// recorded at submission by the validating hook.
+    pub cells_total: u64,
+    /// Free-form completion note (set on `Done`).
+    pub note: String,
+    /// Failure detail (set on `Failed`).
+    pub error: String,
+}
+
+/// The durable queue: an append handle over `jobs.wal` plus the folded
+/// in-memory state.
+pub struct JobQueue {
+    file: File,
+    jobs: Vec<JobEntry>,
+    seq: u64,
+    /// Jobs found mid-run during replay and re-queued.
+    resumed: usize,
+}
+
+fn event_json(id: &str, state: JobState, entry: Option<&JobEntry>, detail: &str) -> Json {
+    let mut fields = vec![
+        ("schema".to_string(), Json::Str(QUEUE_SCHEMA.to_string())),
+        ("id".to_string(), Json::Str(id.to_string())),
+        ("state".to_string(), Json::Str(state.as_str().to_string())),
+    ];
+    if let Some(entry) = entry {
+        fields.push(("job".to_string(), entry.spec.to_json()));
+        fields.push(("cells".to_string(), Json::U64(entry.cells_total)));
+    }
+    if !detail.is_empty() {
+        fields.push(("detail".to_string(), Json::Str(detail.to_string())));
+    }
+    Json::Obj(fields)
+}
+
+impl JobQueue {
+    /// Opens (creating if needed) the queue at `dir/jobs.wal` and
+    /// replays its event log. Jobs whose last event was `running` are
+    /// re-queued; a torn tail (process killed mid-append) is truncated
+    /// to the intact prefix, exactly like the result store's journal.
+    pub fn open(dir: &Path) -> io::Result<JobQueue> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(QUEUE_FILE);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let out = scan(&bytes);
+        let mut jobs: Vec<JobEntry> = Vec::new();
+        for record in &out.records {
+            let Ok(text) = std::str::from_utf8(&record.value) else {
+                continue;
+            };
+            let Ok(doc) = Json::parse(text) else { continue };
+            let Some(id) = doc.get("id").and_then(Json::as_str) else {
+                continue;
+            };
+            let Some(state) = doc
+                .get("state")
+                .and_then(Json::as_str)
+                .and_then(JobState::from_str)
+            else {
+                continue;
+            };
+            let detail = doc.get("detail").and_then(Json::as_str).unwrap_or("");
+            if let Some(entry) = jobs.iter_mut().find(|j| j.id == id) {
+                entry.state = state;
+                match state {
+                    JobState::Done => entry.note = detail.to_string(),
+                    JobState::Failed => entry.error = detail.to_string(),
+                    _ => {}
+                }
+            } else if let Some(job) = doc.get("job") {
+                // First sight of this id must be a submission record.
+                let Ok(spec) = JobSpec::from_json(job, 0) else {
+                    continue;
+                };
+                let cells_total = doc.get("cells").and_then(Json::as_u64).unwrap_or(0);
+                jobs.push(JobEntry {
+                    id: id.to_string(),
+                    spec,
+                    state,
+                    cells_total,
+                    note: String::new(),
+                    error: String::new(),
+                });
+            }
+        }
+        let mut resumed = 0;
+        for job in &mut jobs {
+            if job.state == JobState::Running {
+                job.state = JobState::Queued;
+                resumed += 1;
+            }
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if out.was_truncated() {
+            file.set_len(out.clean_len)?;
+            file = OpenOptions::new().append(true).open(&path)?;
+        }
+        let seq = jobs.len() as u64;
+        Ok(JobQueue {
+            file,
+            jobs,
+            seq,
+            resumed,
+        })
+    }
+
+    /// How many jobs replay found mid-run and re-queued.
+    pub fn resumed(&self) -> usize {
+        self.resumed
+    }
+
+    /// All jobs, oldest first.
+    pub fn jobs(&self) -> &[JobEntry] {
+        &self.jobs
+    }
+
+    /// Looks a job up by id.
+    pub fn get(&self, id: &str) -> Option<&JobEntry> {
+        self.jobs.iter().find(|j| j.id == id)
+    }
+
+    /// Oldest job still waiting for a dispatcher slot.
+    pub fn next_queued(&self) -> Option<&JobEntry> {
+        self.jobs.iter().find(|j| j.state == JobState::Queued)
+    }
+
+    fn append(&mut self, doc: &Json) -> io::Result<()> {
+        let payload = doc.encode().into_bytes();
+        let key = blake2s256(&payload);
+        self.file.write_all(&encode_record(&key, &payload))?;
+        // Durability before acknowledgement: the record must survive a
+        // SIGKILL the instant this returns.
+        self.file.sync_all()
+    }
+
+    /// Durably enqueues a job and returns its id. The record is synced
+    /// before this returns, so an acknowledged submission survives any
+    /// crash.
+    pub fn submit(&mut self, spec: JobSpec, cells_total: u64) -> io::Result<String> {
+        let digest = to_hex(&blake2s256(spec.to_json().encode().as_bytes()));
+        let id = format!("j{:04}-{}", self.seq, &digest[..8]);
+        self.seq += 1;
+        let entry = JobEntry {
+            id: id.clone(),
+            spec,
+            state: JobState::Queued,
+            cells_total,
+            note: String::new(),
+            error: String::new(),
+        };
+        self.append(&event_json(&id, JobState::Queued, Some(&entry), ""))?;
+        self.jobs.push(entry);
+        Ok(id)
+    }
+
+    fn transition(&mut self, id: &str, state: JobState, detail: &str) -> io::Result<()> {
+        let Some(pos) = self.jobs.iter().position(|j| j.id == id) else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no job '{id}'"),
+            ));
+        };
+        self.append(&event_json(id, state, None, detail))?;
+        let entry = &mut self.jobs[pos];
+        entry.state = state;
+        match state {
+            JobState::Done => entry.note = detail.to_string(),
+            JobState::Failed => entry.error = detail.to_string(),
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Records that the dispatcher picked the job up.
+    pub fn mark_running(&mut self, id: &str) -> io::Result<()> {
+        self.transition(id, JobState::Running, "")
+    }
+
+    /// Records successful completion with a note (e.g. the output dir).
+    pub fn mark_done(&mut self, id: &str, note: &str) -> io::Result<()> {
+        self.transition(id, JobState::Done, note)
+    }
+
+    /// Records failure with the error detail; shard stores are kept so
+    /// a resubmission resumes from their cached cells.
+    pub fn mark_failed(&mut self, id: &str, error: &str) -> io::Result<()> {
+        self.transition(id, JobState::Failed, error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qfab_queue_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn spec(grid: &str) -> JobSpec {
+        JobSpec {
+            grid: vec![grid.to_string()],
+            scale: "quick".into(),
+            instances: None,
+            shots: None,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn submissions_survive_reopen() {
+        let dir = tmp("reopen");
+        let id = {
+            let mut q = JobQueue::open(&dir).unwrap();
+            q.submit(spec("fig1"), 64).unwrap()
+            // Dropped without any tidy shutdown — the WAL is the truth.
+        };
+        let q = JobQueue::open(&dir).unwrap();
+        let job = q.get(&id).expect("job replayed");
+        assert_eq!(job.state, JobState::Queued);
+        assert_eq!(job.cells_total, 64);
+        assert_eq!(job.spec, spec("fig1"));
+        assert_eq!(q.resumed(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn running_jobs_requeue_on_replay() {
+        let dir = tmp("requeue");
+        let (done_id, running_id) = {
+            let mut q = JobQueue::open(&dir).unwrap();
+            let a = q.submit(spec("fig1"), 8).unwrap();
+            let b = q.submit(spec("fig2"), 8).unwrap();
+            q.mark_running(&a).unwrap();
+            q.mark_done(&a, "out/a").unwrap();
+            q.mark_running(&b).unwrap();
+            (a, b)
+            // Process "dies" here with b mid-run.
+        };
+        let q = JobQueue::open(&dir).unwrap();
+        assert_eq!(q.get(&done_id).unwrap().state, JobState::Done);
+        assert_eq!(q.get(&done_id).unwrap().note, "out/a");
+        assert_eq!(q.get(&running_id).unwrap().state, JobState::Queued);
+        assert_eq!(q.resumed(), 1);
+        assert_eq!(q.next_queued().unwrap().id, running_id);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let dir = tmp("torn");
+        let id = {
+            let mut q = JobQueue::open(&dir).unwrap();
+            q.submit(spec("fig1"), 8).unwrap()
+        };
+        // A crash mid-append leaves garbage past the intact prefix.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(dir.join(QUEUE_FILE))
+            .unwrap();
+        f.write_all(&[0x13, 0x37]).unwrap();
+        drop(f);
+        {
+            let mut q = JobQueue::open(&dir).unwrap();
+            assert_eq!(q.jobs().len(), 1);
+            q.mark_running(&id).unwrap();
+            q.mark_failed(&id, "worker 1 exited with 1").unwrap();
+        }
+        let q = JobQueue::open(&dir).unwrap();
+        let job = q.get(&id).unwrap();
+        assert_eq!(job.state, JobState::Failed);
+        assert_eq!(job.error, "worker 1 exited with 1");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ids_are_unique_and_fifo_order_is_kept() {
+        let dir = tmp("fifo");
+        let mut q = JobQueue::open(&dir).unwrap();
+        // Identical specs still get distinct ids (sequence prefix).
+        let a = q.submit(spec("fig1"), 8).unwrap();
+        let b = q.submit(spec("fig1"), 8).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(q.next_queued().unwrap().id, a);
+        q.mark_running(&a).unwrap();
+        assert_eq!(q.next_queued().unwrap().id, b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_job_transitions_error() {
+        let dir = tmp("unknown");
+        let mut q = JobQueue::open(&dir).unwrap();
+        assert!(q.mark_done("j9999-deadbeef", "x").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

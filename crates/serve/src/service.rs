@@ -1,0 +1,619 @@
+//! The `repro serve` engine: HTTP front end plus the dispatcher that
+//! shards jobs across worker subprocesses.
+//!
+//! The service owns one store directory. Each accepted job is durably
+//! queued ([`crate::queue`]), then dispatched: N worker subprocesses
+//! each compute a disjoint instance shard into an isolated shard store
+//! under `store/shards/<job>/w<k>`, and on success the shards are
+//! merged into the service store ([`crate::merge`]) and the job
+//! finalized (panel outputs rendered from the now-fully-cached store —
+//! which is what makes service results byte-identical to a
+//! single-process run). Shard stores are caches: they are deleted after
+//! a successful merge and kept on failure, so a retry resumes from
+//! whatever already hit the disk.
+//!
+//! Everything experiment-specific enters through [`Hooks`]; this module
+//! only sequences processes, files, and HTTP.
+
+use crate::job::JobSpec;
+use crate::merge::{count_live, merge_stores, salt_validator};
+use crate::queue::{JobEntry, JobQueue, JobState};
+use qfab_telemetry::httpd::{self, Method, Request, Response};
+use qfab_telemetry::Json;
+use std::io;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::Stdio;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Discovery file written next to the store once the listener is bound
+/// (the service binds port 0 in CI; clients read the real address from
+/// here).
+pub const SERVICE_FILE: &str = "service.json";
+
+/// Schema tag of [`SERVICE_FILE`].
+pub const SERVICE_SCHEMA: &str = "qfab.service.v1";
+
+/// Schema tag of `GET /jobs/{id}` documents.
+pub const JOB_STATUS_SCHEMA: &str = "qfab.jobstatus.v1";
+
+/// Static configuration for one service instance.
+pub struct ServiceConfig {
+    /// Listen address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// The service store directory (results, queue, discovery file).
+    pub store_dir: PathBuf,
+    /// Worker subprocesses per job.
+    pub workers: usize,
+    /// Code-version salt records must carry to merge into the store.
+    pub salt: String,
+    /// Seed applied to jobs that do not name one.
+    pub default_seed: u64,
+    /// Dispatcher poll interval between queue checks.
+    pub poll: Duration,
+}
+
+/// Hook: validates a spec and returns the total cell count it covers.
+pub type ValidateFn = dyn Fn(&JobSpec) -> Result<u64, String> + Send + Sync;
+/// Hook: builds the subprocess command for one worker shard.
+pub type WorkerCommandFn =
+    dyn Fn(&JobSpec, usize, usize, &Path) -> std::process::Command + Send + Sync;
+/// Hook: renders a completed job from the merged store; returns a note.
+pub type FinalizeFn = dyn Fn(&str, &JobSpec, &Path) -> Result<String, String> + Send + Sync;
+/// Hook: renders a document (dashboard, drift report) from the store.
+pub type RenderFn = dyn Fn(&Path) -> Result<String, String> + Send + Sync;
+
+/// Experiment-specific behaviour, injected by the binary so the
+/// dependency arrow stays `qfab-experiments → qfab-serve`.
+pub struct Hooks {
+    /// Validates a spec (does the grid resolve? is the scale known?)
+    /// and returns the total cell count the job covers.
+    pub validate: Box<ValidateFn>,
+    /// Builds the command for worker `shard` of `shards`, writing into
+    /// the given shard store directory.
+    pub worker_command: Box<WorkerCommandFn>,
+    /// Renders a completed job's outputs from the merged store; returns
+    /// a completion note (e.g. the output directory).
+    pub finalize: Box<FinalizeFn>,
+    /// Renders the store's result dashboard (`GET /dash`).
+    pub render_dash: Box<RenderFn>,
+    /// Renders the store's drift report (`GET /diff`).
+    pub render_diff: Box<RenderFn>,
+}
+
+/// A running service; stop it with [`ServiceHandle::shutdown`].
+pub struct ServiceHandle {
+    addr: SocketAddr,
+    http: httpd::HttpServer,
+    stop: Arc<AtomicBool>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// The bound listen address (real port even when configured as 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the HTTP listener and the dispatcher. A job mid-flight
+    /// finishes its current step; anything queued stays durably queued
+    /// for the next start.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.http.shutdown();
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until the service is shut down (the foreground mode of
+    /// `repro serve`, which runs until killed).
+    pub fn wait(mut self) {
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        self.http.shutdown();
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Shard-store directory for worker `shard` of job `id`.
+fn shard_dir(store_dir: &Path, id: &str, shard: usize) -> PathBuf {
+    store_dir.join("shards").join(id).join(format!("w{shard}"))
+}
+
+fn shard_dirs(store_dir: &Path, id: &str, shards: usize) -> Vec<PathBuf> {
+    (0..shards).map(|w| shard_dir(store_dir, id, w)).collect()
+}
+
+/// Job ids appear in URL paths and under `shards/`; only our own
+/// alphabet is allowed through, so a crafted path can never escape the
+/// store directory.
+fn valid_id(id: &str) -> bool {
+    !id.is_empty() && id.chars().all(|c| c.is_ascii_alphanumeric() || c == '-')
+}
+
+fn job_status_json(entry: &JobEntry, store_dir: &Path, workers: usize) -> Json {
+    let cells_done = match entry.state {
+        JobState::Done => entry.cells_total,
+        JobState::Queued => 0,
+        _ => shard_dirs(store_dir, &entry.id, workers)
+            .iter()
+            .map(|d| count_live(d).unwrap_or(0))
+            .sum(),
+    };
+    let mut fields = vec![
+        ("schema".to_string(), Json::Str(JOB_STATUS_SCHEMA.into())),
+        ("id".to_string(), Json::Str(entry.id.clone())),
+        (
+            "state".to_string(),
+            Json::Str(entry.state.as_str().to_string()),
+        ),
+        ("cells_total".to_string(), Json::U64(entry.cells_total)),
+        ("cells_done".to_string(), Json::U64(cells_done)),
+        ("job".to_string(), entry.spec.to_json()),
+    ];
+    if !entry.note.is_empty() {
+        fields.push(("note".to_string(), Json::Str(entry.note.clone())));
+    }
+    if !entry.error.is_empty() {
+        fields.push(("error".to_string(), Json::Str(entry.error.clone())));
+    }
+    Json::Obj(fields)
+}
+
+/// Writes the discovery file atomically (write-then-rename, like every
+/// other snapshot file in the stack) so readers never see a torn
+/// document.
+fn write_service_file(store_dir: &Path, addr: SocketAddr, workers: usize) -> io::Result<()> {
+    let doc = Json::Obj(vec![
+        ("schema".to_string(), Json::Str(SERVICE_SCHEMA.into())),
+        ("addr".to_string(), Json::Str(addr.to_string())),
+        ("workers".to_string(), Json::U64(workers as u64)),
+        ("pid".to_string(), Json::U64(std::process::id() as u64)),
+    ]);
+    let path = store_dir.join(SERVICE_FILE);
+    let tmp = store_dir.join(format!("{SERVICE_FILE}.tmp"));
+    std::fs::write(&tmp, doc.encode_pretty())?;
+    std::fs::rename(&tmp, &path)
+}
+
+/// Runs one job to a terminal state: spawn the workers, wait, merge,
+/// finalize. Every failure path returns a reason for `mark_failed`.
+fn process_job(entry: &JobEntry, config: &ServiceConfig, hooks: &Hooks) -> Result<String, String> {
+    let shards = shard_dirs(&config.store_dir, &entry.id, config.workers);
+    let mut children = Vec::with_capacity(shards.len());
+    for (w, dir) in shards.iter().enumerate() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("shard dir {}: {e}", dir.display()))?;
+        let log = std::fs::File::create(dir.join("worker.log"))
+            .map_err(|e| format!("worker {w} log: {e}"))?;
+        let mut cmd = (hooks.worker_command)(&entry.spec, w, config.workers, dir);
+        cmd.stdin(Stdio::null()).stdout(Stdio::null()).stderr(log);
+        let child = cmd.spawn().map_err(|e| format!("spawn worker {w}: {e}"))?;
+        children.push((w, child));
+    }
+    let mut failures = Vec::new();
+    for (w, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => failures.push(format!("worker {w} exited with {status}")),
+            Err(e) => failures.push(format!("worker {w} wait: {e}")),
+        }
+    }
+    if !failures.is_empty() {
+        // Shard stores stay on disk: a resubmitted job resumes from
+        // their cached cells instead of recomputing.
+        return Err(failures.join("; "));
+    }
+    let report = merge_stores(&shards, &config.store_dir, salt_validator(&config.salt))
+        .map_err(|e| format!("merge: {e}"))?;
+    if report.conflicts > 0 {
+        return Err(format!(
+            "merge found {} conflicting record(s): shard stores disagree with the service store",
+            report.conflicts
+        ));
+    }
+    let note = (hooks.finalize)(&entry.id, &entry.spec, &config.store_dir)?;
+    let _ = std::fs::remove_dir_all(config.store_dir.join("shards").join(&entry.id));
+    Ok(format!(
+        "{note} ({} cells merged, {} already cached, {} rejected)",
+        report.added, report.duplicates, report.rejected
+    ))
+}
+
+fn dispatcher_loop(
+    queue: Arc<Mutex<JobQueue>>,
+    config: Arc<ServiceConfig>,
+    hooks: Arc<Hooks>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        let next = {
+            let mut q = queue.lock().unwrap();
+            match q.next_queued().cloned() {
+                Some(entry) => {
+                    if q.mark_running(&entry.id).is_err() {
+                        None
+                    } else {
+                        Some(entry)
+                    }
+                }
+                None => None,
+            }
+        };
+        let Some(entry) = next else {
+            std::thread::sleep(config.poll);
+            continue;
+        };
+        let outcome = process_job(&entry, &config, &hooks);
+        let mut q = queue.lock().unwrap();
+        let _ = match outcome {
+            Ok(note) => q.mark_done(&entry.id, &note),
+            Err(reason) => q.mark_failed(&entry.id, &reason),
+        };
+    }
+}
+
+fn handle(
+    req: &Request,
+    queue: &Mutex<JobQueue>,
+    config: &ServiceConfig,
+    hooks: &Hooks,
+) -> Response {
+    match (req.method, req.path.as_str()) {
+        (Method::Post, "/jobs") => {
+            let spec = match JobSpec::parse(&req.body, config.default_seed) {
+                Ok(spec) => spec,
+                Err(e) => return Response::bad_request(format!("bad job: {e}\n")),
+            };
+            let cells = match (hooks.validate)(&spec) {
+                Ok(cells) => cells,
+                Err(e) => return Response::bad_request(format!("bad job: {e}\n")),
+            };
+            let mut q = queue.lock().unwrap();
+            match q.submit(spec, cells) {
+                Ok(id) => Response::json(
+                    Json::Obj(vec![
+                        ("id".to_string(), Json::Str(id)),
+                        ("state".to_string(), Json::Str("queued".into())),
+                        ("cells_total".to_string(), Json::U64(cells)),
+                    ])
+                    .encode(),
+                ),
+                Err(e) => Response {
+                    status: 503,
+                    ..Response::text(format!("queue append failed: {e}\n"))
+                },
+            }
+        }
+        (Method::Post, _) => Response::not_found(),
+        (Method::Get, "/") => {
+            let q = queue.lock().unwrap();
+            let mut body = format!(
+                "qfab sweep service: {} workers, {} job(s)\n",
+                config.workers,
+                q.jobs().len()
+            );
+            for job in q.jobs() {
+                body.push_str(&format!("  {}  {}\n", job.id, job.state.as_str()));
+            }
+            body.push_str("\nPOST /jobs  GET /jobs  GET /jobs/{id}  GET /dash  GET /diff\n");
+            Response::text(body)
+        }
+        (Method::Get, "/status.json") => {
+            let q = queue.lock().unwrap();
+            let count = |s: JobState| q.jobs().iter().filter(|j| j.state == s).count() as u64;
+            Response::json(
+                Json::Obj(vec![
+                    ("schema".to_string(), Json::Str(SERVICE_SCHEMA.into())),
+                    ("workers".to_string(), Json::U64(config.workers as u64)),
+                    ("jobs".to_string(), Json::U64(q.jobs().len() as u64)),
+                    ("queued".to_string(), Json::U64(count(JobState::Queued))),
+                    ("running".to_string(), Json::U64(count(JobState::Running))),
+                    ("done".to_string(), Json::U64(count(JobState::Done))),
+                    ("failed".to_string(), Json::U64(count(JobState::Failed))),
+                ])
+                .encode(),
+            )
+        }
+        (Method::Get, "/jobs") => {
+            let q = queue.lock().unwrap();
+            let items = q
+                .jobs()
+                .iter()
+                .map(|j| job_status_json(j, &config.store_dir, config.workers))
+                .collect();
+            Response::json(Json::Arr(items).encode())
+        }
+        (Method::Get, path) if path.starts_with("/jobs/") => {
+            let id = &path["/jobs/".len()..];
+            if !valid_id(id) {
+                return Response::bad_request("bad job id\n");
+            }
+            let q = queue.lock().unwrap();
+            match q.get(id) {
+                Some(entry) => Response::json(
+                    job_status_json(entry, &config.store_dir, config.workers).encode(),
+                ),
+                None => Response::not_found(),
+            }
+        }
+        (Method::Get, "/dash") => match (hooks.render_dash)(&config.store_dir) {
+            Ok(text) => Response::text(text),
+            Err(e) => Response {
+                status: 404,
+                ..Response::text(format!("dashboard unavailable: {e}\n"))
+            },
+        },
+        (Method::Get, "/diff") => match (hooks.render_diff)(&config.store_dir) {
+            Ok(text) => Response::text(text),
+            Err(e) => Response {
+                status: 404,
+                ..Response::text(format!("drift report unavailable: {e}\n"))
+            },
+        },
+        (Method::Get, _) => Response::not_found(),
+    }
+}
+
+/// Starts the service: opens (and replays) the durable queue, binds the
+/// listener, writes the discovery file, and launches the dispatcher.
+pub fn start(config: ServiceConfig, hooks: Hooks) -> io::Result<ServiceHandle> {
+    std::fs::create_dir_all(&config.store_dir)?;
+    let queue = Arc::new(Mutex::new(JobQueue::open(&config.store_dir)?));
+    let config = Arc::new(config);
+    let hooks = Arc::new(hooks);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let handler_queue = Arc::clone(&queue);
+    let handler_config = Arc::clone(&config);
+    let handler_hooks = Arc::clone(&hooks);
+    let handler: httpd::Handler =
+        Arc::new(move |req| handle(req, &handler_queue, &handler_config, &handler_hooks));
+    let http = httpd::serve(config.addr.as_str(), handler)?;
+    let addr = http.local_addr();
+    write_service_file(&config.store_dir, addr, config.workers)?;
+
+    let stop_flag = Arc::clone(&stop);
+    let dispatcher = std::thread::Builder::new()
+        .name("qfab-serve-dispatch".into())
+        .spawn(move || dispatcher_loop(queue, config, hooks, stop_flag))?;
+
+    Ok(ServiceHandle {
+        addr,
+        http,
+        stop,
+        dispatcher: Some(dispatcher),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qfab_service_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Hooks whose "workers" are `true`(1) and whose finalize just
+    /// reports — enough to exercise the queue/dispatch/merge plumbing
+    /// without simulating anything.
+    fn stub_hooks(worker_bin: &'static str) -> Hooks {
+        Hooks {
+            validate: Box::new(|spec| {
+                if spec.grid.iter().any(|g| g == "bogus") {
+                    Err("unknown grid entry 'bogus'".to_string())
+                } else {
+                    Ok(8)
+                }
+            }),
+            worker_command: Box::new(move |_spec, _shard, _shards, _dir| {
+                std::process::Command::new(worker_bin)
+            }),
+            finalize: Box::new(|id, _spec, _store| Ok(format!("finalized {id}"))),
+            render_dash: Box::new(|_| Ok("dash\n".to_string())),
+            render_diff: Box::new(|_| Err("no runs yet".to_string())),
+        }
+    }
+
+    fn config(store: &Path) -> ServiceConfig {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            store_dir: store.to_path_buf(),
+            workers: 2,
+            salt: "v2".to_string(),
+            default_seed: 7,
+            poll: Duration::from_millis(20),
+        }
+    }
+
+    fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        let status = text
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = text.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+        (status, body.to_string())
+    }
+
+    fn post_job(addr: SocketAddr, body: &str) -> (u16, String) {
+        request(
+            addr,
+            &format!(
+                "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        request(addr, &format!("GET {path} HTTP/1.1\r\n\r\n"))
+    }
+
+    fn poll_terminal(addr: SocketAddr, id: &str) -> Json {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let (status, body) = get(addr, &format!("/jobs/{id}"));
+            assert_eq!(status, 200, "{body}");
+            let doc = Json::parse(&body).unwrap();
+            let state = doc.get("state").and_then(Json::as_str).unwrap().to_string();
+            if state == "done" || state == "failed" {
+                return doc;
+            }
+            assert!(std::time::Instant::now() < deadline, "job stuck: {body}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn submitted_jobs_run_to_done_and_report_progress() {
+        let store = tmp("done");
+        let mut handle = start(config(&store), stub_hooks("true")).unwrap();
+        let addr = handle.local_addr();
+
+        // The discovery file carries the real bound address.
+        let disc = std::fs::read_to_string(store.join(SERVICE_FILE)).unwrap();
+        let disc = Json::parse(&disc).unwrap();
+        assert_eq!(
+            disc.get("schema").and_then(Json::as_str),
+            Some(SERVICE_SCHEMA)
+        );
+        assert_eq!(
+            disc.get("addr").and_then(Json::as_str),
+            Some(addr.to_string().as_str())
+        );
+
+        let (status, body) = post_job(addr, r#"{"grid":["fig1"],"scale":"quick"}"#);
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).unwrap();
+        let id = doc.get("id").and_then(Json::as_str).unwrap().to_string();
+        assert_eq!(doc.get("cells_total").and_then(Json::as_u64), Some(8));
+
+        let done = poll_terminal(addr, &id);
+        assert_eq!(done.get("state").and_then(Json::as_str), Some("done"));
+        assert!(done
+            .get("note")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains(&format!("finalized {id}")));
+        // Shard stores are cleaned up after a successful merge.
+        assert!(!store.join("shards").join(&id).exists());
+
+        // The index and status endpoints know the job.
+        let (_, listing) = get(addr, "/jobs");
+        assert!(listing.contains(&id));
+        let (_, status_doc) = get(addr, "/status.json");
+        let status_doc = Json::parse(&status_doc).unwrap();
+        assert_eq!(status_doc.get("done").and_then(Json::as_u64), Some(1));
+        // Hook-backed panels.
+        assert_eq!(get(addr, "/dash"), (200, "dash\n".into()));
+        assert_eq!(get(addr, "/diff").0, 404);
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&store);
+    }
+
+    #[test]
+    fn failing_workers_mark_the_job_failed_and_keep_shards() {
+        let store = tmp("failed");
+        let mut handle = start(config(&store), stub_hooks("false")).unwrap();
+        let addr = handle.local_addr();
+        let (status, body) = post_job(addr, r#"{"grid":["fig1"]}"#);
+        assert_eq!(status, 200, "{body}");
+        let id = Json::parse(&body)
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        let done = poll_terminal(addr, &id);
+        assert_eq!(done.get("state").and_then(Json::as_str), Some("failed"));
+        assert!(done
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("worker"));
+        // Shards stay for resume.
+        assert!(store.join("shards").join(&id).exists());
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&store);
+    }
+
+    #[test]
+    fn bad_submissions_get_400_with_reasons() {
+        let store = tmp("bad");
+        let mut handle = start(config(&store), stub_hooks("true")).unwrap();
+        let addr = handle.local_addr();
+        let (status, body) = post_job(addr, "not json");
+        assert_eq!(status, 400);
+        assert!(body.contains("not JSON"), "{body}");
+        let (status, body) = post_job(addr, r#"{"grid":["bogus"]}"#);
+        assert_eq!(status, 400);
+        assert!(body.contains("bogus"), "{body}");
+        // Nothing was queued.
+        let (_, listing) = get(addr, "/jobs");
+        assert_eq!(listing.trim(), "[]");
+        // Unknown POST paths and malformed ids are rejected.
+        assert_eq!(
+            request(addr, "POST /nope HTTP/1.1\r\nContent-Length: 0\r\n\r\n").0,
+            404
+        );
+        assert_eq!(get(addr, "/jobs/../escape").0, 400);
+        assert_eq!(get(addr, "/jobs/j9999-deadbeef").0, 404);
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&store);
+    }
+
+    #[test]
+    fn queued_work_survives_a_restart() {
+        let store = tmp("restart");
+        // Seed the queue as a killed service would leave it: one job
+        // acknowledged, another caught mid-run.
+        {
+            let mut q = JobQueue::open(&store).unwrap();
+            let spec = JobSpec {
+                grid: vec!["fig1".into()],
+                scale: "quick".into(),
+                instances: None,
+                shots: None,
+                seed: 7,
+            };
+            q.submit(spec.clone(), 8).unwrap();
+            let b = q.submit(spec, 8).unwrap();
+            q.mark_running(&b).unwrap();
+        }
+        let mut handle = start(config(&store), stub_hooks("true")).unwrap();
+        let addr = handle.local_addr();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let (_, body) = get(addr, "/status.json");
+            let doc = Json::parse(&body).unwrap();
+            if doc.get("done").and_then(Json::as_u64) == Some(2) {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "jobs not replayed: {body}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&store);
+    }
+}

@@ -1,13 +1,17 @@
-//! A minimal read-only HTTP/1.1 server over `std::net` — just enough
-//! protocol for `repro --watch` to serve `status.json`, the metrics
-//! timeline, and the live dashboard to a browser or `curl`.
+//! A minimal HTTP/1.1 server over `std::net` — just enough protocol
+//! for `repro --watch` to serve `status.json`, the metrics timeline,
+//! and the live dashboard, and for `repro serve` to accept sweep jobs.
 //!
-//! Deliberately not a web framework: `GET` only, one handler for the
-//! whole path space, `Connection: close` on every response, a small
-//! connection cap (excess connections get `503` immediately rather than
-//! queueing behind the sweep), and a per-connection read timeout so a
-//! stalled client can never pin a thread. The server never writes
-//! anything — all mutation stays with the run that owns the store.
+//! Deliberately not a web framework: `GET` and bounded-body `POST`
+//! only, one handler for the whole path space, `Connection: close` on
+//! every response, a small connection cap (excess connections get `503`
+//! immediately rather than queueing behind the sweep), and a
+//! per-connection read timeout so a stalled client can never pin a
+//! thread. `GET` requests are parsed from the request line alone;
+//! `POST` requests read the full head, honour `Content-Length` up to
+//! [`MAX_BODY_BYTES`], and reject anything larger with `413` before
+//! buffering it. Whether a request mutates anything is entirely the
+//! handler's business — this layer only frames bytes.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -18,28 +22,79 @@ use std::time::Duration;
 /// Longest request head accepted before answering `431`.
 pub const MAX_REQUEST_BYTES: usize = 4096;
 
+/// Longest request body accepted before answering `413`.
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
 /// Connections served concurrently before new ones get `503`.
 pub const DEFAULT_MAX_CONNECTIONS: usize = 8;
 
 /// Per-connection read timeout.
 pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(2);
 
-/// A response the handler hands back for one request path.
+/// The request methods this server speaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// A read: parsed from the request line alone.
+    Get,
+    /// A write: the head is read in full and the body buffered up to
+    /// [`MAX_BODY_BYTES`].
+    Post,
+}
+
+/// One parsed request, as handed to the [`Handler`].
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The request method.
+    pub method: Method,
+    /// The target path (always starts with `/`).
+    pub path: String,
+    /// The request body (empty for `GET`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A bodiless `GET` for `path` — handy in handler unit tests.
+    pub fn get(path: impl Into<String>) -> Self {
+        Self {
+            method: Method::Get,
+            path: path.into(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `POST` to `path` carrying `body`.
+    pub fn post(path: impl Into<String>, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            method: Method::Post,
+            path: path.into(),
+            body: body.into(),
+        }
+    }
+}
+
+/// A response the handler hands back for one request.
 pub struct Response {
     /// HTTP status code (200, 404, ...).
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// `Cache-Control` header value, when one should be sent.
+    pub cache_control: Option<&'static str>,
+    /// `Allow` header value (sent with `405` responses).
+    pub allow: Option<&'static str>,
     /// Response body bytes.
     pub body: Vec<u8>,
 }
 
 impl Response {
-    /// A `200 OK` JSON response.
+    /// A `200 OK` JSON response. JSON endpoints are live state, so the
+    /// payload is marked uncacheable and its charset explicit.
     pub fn json(body: impl Into<Vec<u8>>) -> Self {
         Self {
             status: 200,
-            content_type: "application/json",
+            content_type: "application/json; charset=utf-8",
+            cache_control: Some("no-store"),
+            allow: None,
             body: body.into(),
         }
     }
@@ -49,6 +104,8 @@ impl Response {
         Self {
             status: 200,
             content_type: "text/html; charset=utf-8",
+            cache_control: None,
+            allow: None,
             body: body.into(),
         }
     }
@@ -58,6 +115,8 @@ impl Response {
         Self {
             status: 200,
             content_type: "text/plain; charset=utf-8",
+            cache_control: None,
+            allow: None,
             body: body.into(),
         }
     }
@@ -66,8 +125,24 @@ impl Response {
     pub fn not_found() -> Self {
         Self {
             status: 404,
-            content_type: "text/plain; charset=utf-8",
-            body: b"not found\n".to_vec(),
+            ..Self::text(b"not found\n".to_vec())
+        }
+    }
+
+    /// A `400 Bad Request` response with a reason line.
+    pub fn bad_request(reason: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status: 400,
+            ..Self::text(reason)
+        }
+    }
+
+    /// A `405 Method Not Allowed` response advertising what is.
+    pub fn method_not_allowed(allow: &'static str) -> Self {
+        Self {
+            status: 405,
+            allow: Some(allow),
+            ..Self::text(b"method not allowed\n".to_vec())
         }
     }
 
@@ -75,21 +150,23 @@ impl Response {
     pub fn unavailable() -> Self {
         Self {
             status: 503,
-            content_type: "text/plain; charset=utf-8",
-            body: b"busy\n".to_vec(),
+            ..Self::text(b"busy\n".to_vec())
         }
     }
 }
 
-/// Why a request head was rejected.
+/// Why a request was rejected before reaching the handler.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RequestError {
-    /// Not a parseable HTTP/1.x request line.
+    /// Not a parseable HTTP/1.x request, or the connection died before
+    /// the advertised body arrived.
     Malformed,
     /// Request head exceeded [`MAX_REQUEST_BYTES`].
     TooLarge,
-    /// A method other than `GET`.
+    /// A method other than `GET`/`POST`.
     Method,
+    /// `Content-Length` exceeded [`MAX_BODY_BYTES`].
+    BodyTooLarge,
 }
 
 impl RequestError {
@@ -98,16 +175,17 @@ impl RequestError {
             RequestError::Malformed => 400,
             RequestError::TooLarge => 431,
             RequestError::Method => 405,
+            RequestError::BodyTooLarge => 413,
         }
     }
 }
 
-/// Parses a request head and returns the `GET` target path.
+/// Parses a request line, returning the method and target path.
 ///
-/// Accepts exactly `GET <path> HTTP/1.x`; anything else is rejected
-/// with the appropriate [`RequestError`] and never panics, whatever the
-/// bytes. Only the first line is inspected — headers are ignored.
-pub fn parse_request(head: &[u8]) -> Result<&str, RequestError> {
+/// Accepts exactly `GET|POST <path> HTTP/1.x`; anything else is
+/// rejected with the appropriate [`RequestError`] and never panics,
+/// whatever the bytes.
+pub fn parse_request_line(head: &[u8]) -> Result<(Method, &str), RequestError> {
     let Some(eol) = head.iter().position(|&b| b == b'\n') else {
         // No complete request line: either the client sent a huge one
         // or the connection died mid-line.
@@ -129,17 +207,105 @@ pub fn parse_request(head: &[u8]) -> Result<&str, RequestError> {
     if !version.starts_with("HTTP/1.") {
         return Err(RequestError::Malformed);
     }
-    if method != "GET" {
-        return Err(RequestError::Method);
-    }
+    let method = match method {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        _ => return Err(RequestError::Method),
+    };
     if !path.starts_with('/') {
         return Err(RequestError::Malformed);
     }
-    Ok(path)
+    Ok((method, path))
 }
 
-/// Maps a request path to a [`Response`].
-pub type Handler = Arc<dyn Fn(&str) -> Response + Send + Sync>;
+/// Extracts the `Content-Length` of a complete request head (0 when
+/// the header is absent). A value that does not parse, or repeats with
+/// disagreeing values, is [`RequestError::Malformed`].
+pub fn content_length(head: &[u8]) -> Result<usize, RequestError> {
+    let mut found: Option<usize> = None;
+    for line in head.split(|&b| b == b'\n').skip(1) {
+        let Ok(line) = std::str::from_utf8(line) else {
+            continue;
+        };
+        let Some((name, value)) = line.trim_end_matches('\r').split_once(':') else {
+            continue;
+        };
+        if !name.trim().eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        let value: usize = value.trim().parse().map_err(|_| RequestError::Malformed)?;
+        if found.is_some_and(|prior| prior != value) {
+            return Err(RequestError::Malformed);
+        }
+        found = Some(value);
+    }
+    Ok(found.unwrap_or(0))
+}
+
+/// Byte offset just past the blank line ending a request head, if the
+/// head is complete.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
+}
+
+/// Reads one request off the stream: request line only for `GET`, full
+/// head plus a `Content-Length`-bounded body for `POST`.
+fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    // Phase 1: the request line — all a GET needs, so reads stay on the
+    // old single-line fast path and never wait for a blank line.
+    while !buf.contains(&b'\n') && buf.len() < MAX_REQUEST_BYTES {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    let (method, path) = parse_request_line(&buf)?;
+    let path = path.to_string();
+    if method == Method::Get {
+        return Ok(Request {
+            method,
+            path,
+            body: Vec::new(),
+        });
+    }
+    // Phase 2 (POST): the full head, to find Content-Length.
+    let end = loop {
+        if let Some(end) = head_end(&buf) {
+            break end;
+        }
+        if buf.len() >= MAX_REQUEST_BYTES {
+            return Err(RequestError::TooLarge);
+        }
+        match stream.read(&mut chunk) {
+            Ok(n) if n > 0 => buf.extend_from_slice(&chunk[..n]),
+            _ => return Err(RequestError::Malformed),
+        }
+    };
+    let want = content_length(&buf[..end])?;
+    if want > MAX_BODY_BYTES {
+        return Err(RequestError::BodyTooLarge);
+    }
+    // Phase 3: the body — whatever rode along with the head, then reads
+    // until the advertised length is in hand.
+    let mut body = buf[end..].to_vec();
+    while body.len() < want {
+        match stream.read(&mut chunk) {
+            Ok(n) if n > 0 => body.extend_from_slice(&chunk[..n]),
+            _ => return Err(RequestError::Malformed),
+        }
+    }
+    body.truncate(want);
+    Ok(Request { method, path, body })
+}
+
+/// Maps a [`Request`] to a [`Response`].
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
 
 /// A running server; shuts down on [`HttpServer::shutdown`] or drop.
 pub struct HttpServer {
@@ -257,23 +423,13 @@ fn accept_loop(
 
 fn handle_connection(mut stream: TcpStream, handler: &Handler, read_timeout: Duration) {
     let _ = stream.set_read_timeout(Some(read_timeout));
-    let mut head = Vec::new();
-    let mut buf = [0u8; 512];
-    // Read until the first line is complete (all we parse), the head
-    // limit is hit, or the client stalls past the timeout.
-    while !head.contains(&b'\n') && head.len() < MAX_REQUEST_BYTES {
-        match stream.read(&mut buf) {
-            Ok(0) => break,
-            Ok(n) => head.extend_from_slice(&buf[..n]),
-            Err(_) => break,
-        }
-    }
-    let response = match parse_request(&head) {
-        Ok(path) => handler(path),
+    let response = match read_request(&mut stream) {
+        Ok(request) => handler(&request),
         Err(e) => Response {
             status: e.status(),
-            content_type: "text/plain; charset=utf-8",
-            body: format!("{e:?}\n").into_bytes(),
+            // An unknown method can be retried with one we speak.
+            allow: (e == RequestError::Method).then_some("GET, POST"),
+            ..Response::text(format!("{e:?}\n"))
         },
     };
     let _ = write_response(&mut stream, &response);
@@ -285,6 +441,8 @@ fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         _ => "Error",
@@ -292,19 +450,26 @@ fn status_text(status: u16) -> &'static str {
 }
 
 fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
-    let allow = if response.status == 405 {
-        "Allow: GET\r\n"
-    } else {
-        ""
-    };
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n",
+    use std::fmt::Write as _;
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         response.status,
         status_text(response.status),
         response.content_type,
         response.body.len(),
-        allow,
     );
+    if let Some(cc) = response.cache_control {
+        let _ = write!(head, "Cache-Control: {cc}\r\n");
+    }
+    // A 405 must name what is allowed, even if the handler forgot.
+    match response.allow {
+        Some(allow) => {
+            let _ = write!(head, "Allow: {allow}\r\n");
+        }
+        None if response.status == 405 => head.push_str("Allow: GET\r\n"),
+        None => {}
+    }
+    head.push_str("Connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(&response.body)?;
     stream.flush()
@@ -316,12 +481,19 @@ mod tests {
     use std::sync::mpsc;
 
     #[test]
-    fn parse_accepts_a_plain_get() {
+    fn parse_accepts_plain_get_and_post() {
         assert_eq!(
-            parse_request(b"GET /status.json HTTP/1.1\r\nHost: x\r\n\r\n"),
-            Ok("/status.json")
+            parse_request_line(b"GET /status.json HTTP/1.1\r\nHost: x\r\n\r\n"),
+            Ok((Method::Get, "/status.json"))
         );
-        assert_eq!(parse_request(b"GET / HTTP/1.0\n"), Ok("/"));
+        assert_eq!(
+            parse_request_line(b"GET / HTTP/1.0\n"),
+            Ok((Method::Get, "/"))
+        );
+        assert_eq!(
+            parse_request_line(b"POST /jobs HTTP/1.1\r\n"),
+            Ok((Method::Post, "/jobs"))
+        );
     }
 
     #[test]
@@ -337,7 +509,7 @@ mod tests {
             b"\xff\xfe\xfd GET / HTTP/1.1\n",
             b"no newline yet",
         ] {
-            match parse_request(head) {
+            match parse_request_line(head) {
                 Err(RequestError::Malformed) => {}
                 other => panic!("{head:?} -> {other:?}"),
             }
@@ -345,16 +517,38 @@ mod tests {
     }
 
     #[test]
-    fn parse_rejects_non_get_methods() {
-        for head in [&b"POST /x HTTP/1.1\n"[..], b"DELETE / HTTP/1.1\n"] {
-            assert_eq!(parse_request(head), Err(RequestError::Method));
+    fn parse_rejects_unknown_methods() {
+        for head in [&b"PUT /x HTTP/1.1\n"[..], b"DELETE / HTTP/1.1\n"] {
+            assert_eq!(parse_request_line(head), Err(RequestError::Method));
         }
     }
 
     #[test]
     fn parse_rejects_oversized_heads() {
         let huge = vec![b'A'; MAX_REQUEST_BYTES + 10];
-        assert_eq!(parse_request(&huge), Err(RequestError::TooLarge));
+        assert_eq!(parse_request_line(&huge), Err(RequestError::TooLarge));
+    }
+
+    #[test]
+    fn content_length_parses_absent_present_and_conflicting() {
+        assert_eq!(content_length(b"POST / HTTP/1.1\r\n\r\n"), Ok(0));
+        assert_eq!(
+            content_length(b"POST / HTTP/1.1\r\nContent-Length: 12\r\n\r\n"),
+            Ok(12)
+        );
+        // Case-insensitive, tolerant of spacing.
+        assert_eq!(
+            content_length(b"POST / HTTP/1.1\ncontent-length:7\n\n"),
+            Ok(7)
+        );
+        assert_eq!(
+            content_length(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(RequestError::Malformed)
+        );
+        assert_eq!(
+            content_length(b"POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 4\r\n\r\n"),
+            Err(RequestError::Malformed)
+        );
     }
 
     fn get(addr: SocketAddr, path: &str) -> (u16, String) {
@@ -371,9 +565,28 @@ mod tests {
         (status, body.to_string())
     }
 
+    fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        let status = text
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let payload = text.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+        (status, payload.to_string())
+    }
+
     #[test]
     fn serves_routes_and_errors_end_to_end() {
-        let handler: Handler = Arc::new(|path| match path {
+        let handler: Handler = Arc::new(|req| match req.path.as_str() {
             "/ok" => Response::text("fine\n"),
             _ => Response::not_found(),
         });
@@ -382,13 +595,13 @@ mod tests {
         assert_eq!(get(addr, "/ok"), (200, "fine\n".into()));
         assert_eq!(get(addr, "/nope").0, 404);
 
-        // Non-GET gets 405 with an Allow header.
+        // An unknown method gets 405 with an Allow header.
         let mut stream = TcpStream::connect(addr).unwrap();
-        write!(stream, "POST /ok HTTP/1.1\r\n\r\n").unwrap();
+        write!(stream, "DELETE /ok HTTP/1.1\r\n\r\n").unwrap();
         let mut text = String::new();
         stream.read_to_string(&mut text).unwrap();
         assert!(text.starts_with("HTTP/1.1 405"));
-        assert!(text.contains("Allow: GET"));
+        assert!(text.contains("Allow: GET, POST"));
 
         // Garbage gets 400, not a panic or a hang.
         let mut stream = TcpStream::connect(addr).unwrap();
@@ -403,12 +616,81 @@ mod tests {
     }
 
     #[test]
+    fn post_bodies_reach_the_handler_intact() {
+        let handler: Handler = Arc::new(|req| match (req.method, req.path.as_str()) {
+            (Method::Post, "/echo") => {
+                let mut body = b"got: ".to_vec();
+                body.extend_from_slice(&req.body);
+                Response::text(body)
+            }
+            (Method::Get, _) => Response::method_not_allowed("POST"),
+            _ => Response::not_found(),
+        });
+        let mut server = serve("127.0.0.1:0", handler).unwrap();
+        let addr = server.local_addr();
+        assert_eq!(
+            post(addr, "/echo", r#"{"grid":["fig1a"]}"#),
+            (200, r#"got: {"grid":["fig1a"]}"#.into())
+        );
+        // Empty body is a valid POST.
+        assert_eq!(post(addr, "/echo", ""), (200, "got: ".into()));
+        // A handler-level 405 carries its advertised Allow.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /echo HTTP/1.1\r\n\r\n").unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 405"));
+        assert!(text.contains("Allow: POST"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_post_bodies_get_413_without_buffering() {
+        let handler: Handler = Arc::new(|_| Response::text("never\n"));
+        let mut server = serve("127.0.0.1:0", handler).unwrap();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Advertise an over-cap body; the server must answer from the
+        // header alone, before any body bytes are sent.
+        write!(
+            stream,
+            "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        )
+        .unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 413"), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn json_responses_carry_charset_and_no_store_headers() {
+        let handler: Handler = Arc::new(|req| match req.path.as_str() {
+            "/status.json" => Response::json(b"{}".to_vec()),
+            _ => Response::not_found(),
+        });
+        let mut server = serve("127.0.0.1:0", handler).unwrap();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /status.json HTTP/1.1\r\n\r\n").unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        assert!(
+            text.contains("Content-Type: application/json; charset=utf-8"),
+            "{text}"
+        );
+        assert!(text.contains("Cache-Control: no-store"), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
     fn connection_cap_answers_503_instead_of_queueing() {
         // A handler that blocks until released, pinning its connection.
         let (release_tx, release_rx) = mpsc::channel::<()>();
         let release_rx = std::sync::Mutex::new(release_rx);
-        let handler: Handler = Arc::new(move |path| {
-            if path == "/slow" {
+        let handler: Handler = Arc::new(move |req| {
+            if req.path == "/slow" {
                 let _ = release_rx.lock().unwrap().recv();
                 Response::text("slow\n")
             } else {

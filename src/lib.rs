@@ -25,6 +25,8 @@
 //!   ([`qfab_core`]).
 //! * [`experiments`] — the table/figure reproduction harness
 //!   ([`qfab_experiments`]).
+//! * [`serve`] — the sweep service: durable job queue, worker
+//!   sharding, and store federation ([`qfab_serve`]).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +53,7 @@ pub use qfab_core as core;
 pub use qfab_experiments as experiments;
 pub use qfab_math as math;
 pub use qfab_noise as noise;
+pub use qfab_serve as serve;
 pub use qfab_sim as sim;
 pub use qfab_store as store;
 pub use qfab_transpile as transpile;

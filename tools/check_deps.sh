@@ -22,7 +22,7 @@ for manifest in Cargo.toml crates/*/Cargo.toml; do
         }
     ' "$manifest")
     for dep in $deps; do
-        case " qfab-telemetry qfab-store qfab-math qfab-circuit qfab-transpile qfab-sim qfab-noise qfab-core qfab-experiments $ALLOWED " in
+        case " qfab-telemetry qfab-store qfab-serve qfab-math qfab-circuit qfab-transpile qfab-sim qfab-noise qfab-core qfab-experiments $ALLOWED " in
             *" $dep "*) ;;
             *)
                 echo "DISALLOWED dependency '$dep' in $manifest" >&2
