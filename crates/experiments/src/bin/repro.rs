@@ -303,6 +303,7 @@ fn list() {
     println!("  serve --store DIR    sweep service: POST jobs, sharded workers");
     println!("  worker               compute one instance shard (see serve)");
     println!("  trace-report FILE    wall-clock attribution for a QFAB_TRACE capture");
+    println!("  trace-merge A B...   union per-worker trace captures into one timeline");
     println!("  bench                time fused vs per-gate trajectory replay");
     println!("  bench-gate FILE      compare BENCH_kernels.json against the baseline");
     println!("run 'repro --help' for the full option reference.");
@@ -393,6 +394,34 @@ fn trace_report(args: &[String]) -> Result<(), String> {
         "{}",
         qfab_experiments::tracereport::format_report(&analysis, top_k)
     );
+    Ok(())
+}
+
+fn trace_merge(args: &[String]) -> Result<(), String> {
+    let mut inputs: Vec<std::path::PathBuf> = Vec::new();
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--out" => {
+                out = Some(args.get(i + 1).ok_or("-o needs a file")?.into());
+                i += 2;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown trace-merge option '{other}'"))
+            }
+            path => {
+                inputs.push(path.into());
+                i += 1;
+            }
+        }
+    }
+    if inputs.is_empty() {
+        return Err("trace-merge needs input trace files (trace-merge A B... -o FILE)".into());
+    }
+    let out = out.ok_or("trace-merge needs -o FILE")?;
+    let note = qfab_experiments::tracemerge::merge_files(&inputs, &out)?;
+    println!("{note}");
     Ok(())
 }
 
@@ -691,6 +720,7 @@ fn main() -> ExitCode {
     match parsed {
         Some(Command::Dump) => return simple(dump(rest)),
         Some(Command::TraceReport) => return simple(trace_report(rest)),
+        Some(Command::TraceMerge) => return simple(trace_merge(rest)),
         Some(Command::Bench) => return simple(replay_bench(rest)),
         Some(Command::BenchGate) => return gate(bench_gate(rest)),
         Some(Command::Dash) => return simple(dash(rest)),

@@ -51,6 +51,8 @@ pub enum Command {
     Worker,
     /// `trace-report` — analyze a `QFAB_TRACE` capture.
     TraceReport,
+    /// `trace-merge` — union per-worker captures into one timeline.
+    TraceMerge,
     /// `bench` — fused vs per-gate replay timing.
     Bench,
     /// `bench-gate` — kernel-bench regression gate.
@@ -163,6 +165,12 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
         name: "trace-report",
         synopsis: "trace-report FILE [--top N]",
         blurb: "wall-clock attribution for a QFAB_TRACE capture",
+    },
+    Subcommand {
+        command: Command::TraceMerge,
+        name: "trace-merge",
+        synopsis: "trace-merge A B... -o FILE",
+        blurb: "union per-worker QFAB_TRACE captures into one timeline",
     },
     Subcommand {
         command: Command::Bench,
@@ -290,6 +298,7 @@ mod tests {
             "worker",
             "bench",
             "trace-report",
+            "trace-merge",
             "bench-gate",
             "--store-verify",
         ] {

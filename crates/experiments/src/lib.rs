@@ -37,6 +37,7 @@ pub mod scale;
 pub mod servecmd;
 pub mod sweep;
 pub mod table1;
+pub mod tracemerge;
 pub mod tracereport;
 pub mod watch;
 pub mod workload;

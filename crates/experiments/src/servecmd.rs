@@ -17,14 +17,19 @@ use crate::cache::{CellCache, CODE_SALT};
 use crate::cli::DEFAULT_SEED;
 use crate::report::write_panel;
 use crate::rundata::{load_run, RunSummary};
-use crate::runner::{progress_line, run_panel_shard, run_panel_with};
+use crate::runner::{eta_secs, progress_line, run_panel_shard, run_panel_with, Progress};
 use crate::scale::OpCost;
 use crate::sweep::{fig1_panels, fig2_panels, panel_by_id, OpKind, PanelSpec};
+use crate::watch::STATUS_SCHEMA;
 use crate::{dashboard, drift, ledger, Scale};
 use qfab_serve::service::{start, Hooks, ServiceConfig};
 use qfab_serve::{merge_stores, salt_validator, JobSpec, MergeReport};
+use qfab_telemetry::monitor::{self, MonitorConfig};
+use qfab_telemetry::trace::{self, TraceMode};
+use qfab_telemetry::Json;
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Default worker-subprocess count for `repro serve`.
 pub const DEFAULT_WORKERS: usize = 2;
@@ -177,6 +182,17 @@ pub fn hooks() -> Hooks {
                 .arg(format!("{shard}/{shards}"))
                 .arg("--store")
                 .arg(dir);
+            // Cross-shard trace federation: when the service itself was
+            // asked to trace (`QFAB_TRACE=on`), each worker traces into
+            // a per-shard file *outside* the shard dir — shard dirs are
+            // deleted after a successful merge, and `repro trace-merge`
+            // wants the files afterwards. Untraced runs spawn untraced
+            // workers, keeping the default path observability-free.
+            if trace::trace_mode() == TraceMode::Full {
+                if let Some(path) = worker_trace_path(dir) {
+                    cmd.env("QFAB_TRACE", format!("on:{}", path.display()));
+                }
+            }
             cmd
         }),
         finalize: Box::new(finalize_job),
@@ -185,6 +201,117 @@ pub fn hooks() -> Hooks {
         }),
         render_diff: Box::new(render_diff),
     }
+}
+
+/// Where shard `store/shards/<id>/w<k>` should write its trace:
+/// `store/traces/<id>/w<k>.trace.json`, which survives the shard
+/// cleanup that follows a successful merge.
+fn worker_trace_path(shard_dir: &Path) -> Option<PathBuf> {
+    let worker = shard_dir.file_name()?.to_str()?.to_string();
+    let job_dir = shard_dir.parent()?; // store/shards/<id>
+    let job = job_dir.file_name()?.to_str()?.to_string();
+    let store = job_dir.parent()?.parent()?; // store
+    let dir = store.join("traces").join(job);
+    std::fs::create_dir_all(&dir).ok()?;
+    Some(dir.join(format!("{worker}.trace.json")))
+}
+
+/// Live progress of one worker shard, feeding the heartbeat the
+/// service aggregates into `GET /jobs/{id}/progress`.
+struct WorkerProgress {
+    shard: usize,
+    shards: usize,
+    started: Instant,
+    run_state: &'static str,
+    panel: Option<(String, usize, Progress)>, // (id, cells_per_instance, progress)
+    panels_completed: Vec<String>,
+}
+
+/// Builds the worker's [`STATUS_SCHEMA`] heartbeat: the same shape the
+/// `--watch` server publishes (so `validate_status` accepts it), plus a
+/// `worker` object identifying the shard.
+fn worker_heartbeat_json(wp: &WorkerProgress) -> Json {
+    let mut fields = vec![
+        ("schema".into(), Json::Str(STATUS_SCHEMA.into())),
+        ("state".into(), Json::Str(wp.run_state.into())),
+        (
+            "elapsed_secs".into(),
+            Json::F64(wp.started.elapsed().as_secs_f64()),
+        ),
+        (
+            "worker".into(),
+            Json::Obj(vec![
+                ("shard".into(), Json::U64(wp.shard as u64)),
+                ("shards".into(), Json::U64(wp.shards as u64)),
+            ]),
+        ),
+    ];
+    let panel = match &wp.panel {
+        None => Json::Null,
+        Some((id, cells_per_instance, p)) => {
+            let elapsed = wp.started.elapsed().as_secs_f64();
+            Json::Obj(vec![
+                ("id".into(), Json::Str(id.clone())),
+                (
+                    "instances".into(),
+                    Json::Obj(vec![
+                        ("done".into(), Json::U64(p.done as u64)),
+                        ("total".into(), Json::U64(p.total as u64)),
+                    ]),
+                ),
+                (
+                    "cells".into(),
+                    Json::Obj(vec![
+                        (
+                            "done".into(),
+                            Json::U64((p.done * cells_per_instance) as u64),
+                        ),
+                        (
+                            "total".into(),
+                            Json::U64((p.total * cells_per_instance) as u64),
+                        ),
+                    ]),
+                ),
+                (
+                    "last_instance".into(),
+                    match p.last_instance {
+                        Some(i) => Json::U64(i as u64),
+                        None => Json::Null,
+                    },
+                ),
+                (
+                    "eta_secs".into(),
+                    match eta_secs(p, elapsed) {
+                        Some(s) => Json::F64(s),
+                        None => Json::Null,
+                    },
+                ),
+                (
+                    "cache".into(),
+                    match &p.cache {
+                        None => Json::Null,
+                        Some(c) => Json::Obj(vec![
+                            ("hits".into(), Json::U64(c.hits)),
+                            ("misses".into(), Json::U64(c.misses)),
+                            ("rejected".into(), Json::U64(c.rejected)),
+                            ("append_failed".into(), Json::U64(c.append_failed)),
+                        ]),
+                    },
+                ),
+            ])
+        }
+    };
+    fields.push(("panel".into(), panel));
+    fields.push((
+        "panels_completed".into(),
+        Json::Arr(
+            wp.panels_completed
+                .iter()
+                .map(|p| Json::Str(p.clone()))
+                .collect(),
+        ),
+    ));
+    Json::Obj(fields)
 }
 
 /// `repro worker --job JSON --shard K/W --store DIR` — computes one
@@ -224,32 +351,89 @@ pub fn worker_cmd(args: &[String]) -> Result<(), String> {
         JobSpec::parse(job_text.as_bytes(), DEFAULT_SEED).map_err(|e| format!("--job: {e}"))?;
     let panels = expand_grid(&job.grid)?;
     let cache = CellCache::open(&store, true).map_err(|e| format!("cannot open store: {e}"))?;
-    for spec in &panels {
-        let scale = scale_for(&job, spec.op)?;
-        eprintln!(
-            "worker {shard}/{shards}: {} at {} instances x {} shots",
-            spec.id, scale.instances, scale.shots
-        );
-        let started = std::time::Instant::now();
-        let stats = run_panel_shard(spec, scale, job.seed, &cache, shard, shards, |p| {
-            eprint!("\r  {}", progress_line(p, started.elapsed().as_secs_f64()));
-            if p.done == p.total {
-                eprintln!();
-            }
-        });
-        // Durability point per panel: a killed worker resumes from here.
+    // Shard-local observability: the monitor heartbeats this worker's
+    // progress into `<store>/status.json` and persists its metric
+    // timeline ring as `<store>/timeline.json`, where the service
+    // aggregates them for `GET /jobs/{id}/progress` and `/metrics`.
+    // Extra files only — the shard store's cells are untouched, so
+    // merged panels stay byte-identical.
+    let progress = Arc::new(Mutex::new(WorkerProgress {
+        shard,
+        shards,
+        started: Instant::now(),
+        run_state: "running",
+        panel: None,
+        panels_completed: Vec::new(),
+    }));
+    let provider_state = Arc::clone(&progress);
+    let monitoring = monitor::start(MonitorConfig {
+        status_path: Some(store.join("status.json")),
+        timeline_path: Some(store.join("timeline.json")),
+        provider: Some(Box::new(move || {
+            worker_heartbeat_json(&provider_state.lock().unwrap_or_else(|e| e.into_inner()))
+        })),
+        ..MonitorConfig::default()
+    });
+    let update = |f: &dyn Fn(&mut WorkerProgress)| {
+        f(&mut progress.lock().unwrap_or_else(|e| e.into_inner()));
+    };
+    let result = (|| -> Result<(), String> {
+        for spec in &panels {
+            let scale = scale_for(&job, spec.op)?;
+            eprintln!(
+                "worker {shard}/{shards}: {} at {} instances x {} shots",
+                spec.id, scale.instances, scale.shots
+            );
+            let cells_per_instance = spec.rates.len() * spec.depths.len();
+            update(&|wp| {
+                wp.panel = Some((spec.id.to_string(), cells_per_instance, Progress::default()))
+            });
+            monitor::publish_now();
+            let started = std::time::Instant::now();
+            let stats = run_panel_shard(spec, scale, job.seed, &cache, shard, shards, |p| {
+                update(&|wp| {
+                    if let Some((_, _, progress)) = wp.panel.as_mut() {
+                        *progress = p;
+                    }
+                });
+                eprint!("\r  {}", progress_line(p, started.elapsed().as_secs_f64()));
+                if p.done == p.total {
+                    eprintln!();
+                }
+            });
+            // Durability point per panel: a killed worker resumes from here.
+            cache
+                .checkpoint()
+                .map_err(|e| format!("store checkpoint failed: {e}"))?;
+            update(&|wp| {
+                wp.panel = None;
+                wp.panels_completed.push(spec.id.to_string());
+            });
+            monitor::publish_now();
+            eprintln!(
+                "worker {shard}/{shards}: {} done ({} hit / {} miss)",
+                spec.id, stats.hits, stats.misses
+            );
+        }
         cache
-            .checkpoint()
-            .map_err(|e| format!("store checkpoint failed: {e}"))?;
+            .close()
+            .map_err(|e| format!("store compaction failed: {e}"))?;
+        Ok(())
+    })();
+    if monitoring {
+        update(&|wp| wp.run_state = if result.is_ok() { "done" } else { "failed" });
+        monitor::stop();
+    }
+    // Honor `QFAB_TRACE` (typically injected per shard by the service's
+    // spawn hook): flush this worker's trace before exiting. The main
+    // binary's flush runs only on the sweep path, not for subcommands.
+    if let Ok(Some(path)) = trace::write_configured_trace() {
         eprintln!(
-            "worker {shard}/{shards}: {} done ({} hit / {} miss)",
-            spec.id, stats.hits, stats.misses
+            "worker {shard}/{shards}: trace written to {}",
+            path.display()
         );
     }
-    cache
-        .close()
-        .map_err(|e| format!("store compaction failed: {e}"))?;
-    Ok(())
+    result
 }
 
 /// Parses `K/W` (shard K of W).

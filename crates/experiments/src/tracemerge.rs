@@ -1,0 +1,246 @@
+//! Cross-shard trace federation — the engine behind `repro
+//! trace-merge`.
+//!
+//! Each federated worker captures its own `QFAB_TRACE` ring into a
+//! per-shard Chrome `trace_event` file. Those files are valid on their
+//! own but useless side by side: every worker stamps its events with
+//! its real (arbitrary) OS pid, and nothing names the tracks. This
+//! module unions N capture files into ONE trace:
+//!
+//! * every input file becomes one *process* in the merged timeline —
+//!   events are re-stamped with a deterministic pid (the input's
+//!   position), so two captures can never collide even if the OS
+//!   recycled a pid;
+//! * a `process_name` metadata event labels each track with the
+//!   input's stem (`w0.trace.json` → `w0`), so Perfetto shows worker
+//!   tracks by name;
+//! * `otherData.dropped` counts are summed, so a downstream
+//!   `trace-report` still leads with the total truncation.
+//!
+//! The output is a plain `qfab.trace.v1` Chrome trace: Perfetto,
+//! `chrome://tracing`, and `repro trace-report` all load it unchanged.
+
+use qfab_telemetry::Json;
+use std::path::Path;
+
+/// Strips a capture filename down to its track label:
+/// `w0.trace.json` → `w0`, `qfab_trace.json` → `qfab_trace`.
+fn track_label(path: &Path) -> String {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("trace");
+    let name = name.strip_suffix(".json").unwrap_or(name);
+    let name = name.strip_suffix(".trace").unwrap_or(name);
+    name.to_string()
+}
+
+fn process_name_event(pid: u64, label: &str) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str("process_name".into())),
+        ("ph".to_string(), Json::Str("M".into())),
+        ("pid".to_string(), Json::U64(pid)),
+        ("tid".to_string(), Json::U64(0)),
+        (
+            "args".to_string(),
+            Json::Obj(vec![("name".to_string(), Json::Str(label.to_string()))]),
+        ),
+    ])
+}
+
+fn is_process_name_meta(event: &Json) -> bool {
+    event.get("ph").and_then(Json::as_str) == Some("M")
+        && event.get("name").and_then(Json::as_str) == Some("process_name")
+}
+
+/// Re-stamps one event's `pid`, preserving every other field.
+fn with_pid(event: &Json, pid: u64) -> Json {
+    let Json::Obj(fields) = event else {
+        return event.clone();
+    };
+    let mut out: Vec<(String, Json)> = fields
+        .iter()
+        .filter(|(k, _)| k != "pid")
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    out.push(("pid".to_string(), Json::U64(pid)));
+    Json::Obj(out)
+}
+
+/// Unions already-decoded trace documents into one. `inputs` pairs a
+/// track label with the decoded capture; input order fixes the merged
+/// pids (input `i` becomes process `i`).
+pub fn merge_docs(inputs: &[(String, Json)]) -> Result<Json, String> {
+    if inputs.is_empty() {
+        return Err("nothing to merge: no input traces".into());
+    }
+    let mut merged = Vec::new();
+    let mut dropped = 0u64;
+    for (pid, (label, doc)) in inputs.iter().enumerate() {
+        let pid = pid as u64;
+        let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+            return Err(format!(
+                "{label}: not a trace file: missing \"traceEvents\" array"
+            ));
+        };
+        dropped += doc
+            .get("otherData")
+            .and_then(|o| o.get("dropped"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        merged.push(process_name_event(pid, label));
+        // Pre-existing process_name metadata would fight the track
+        // label just injected; everything else is kept verbatim.
+        merged.extend(
+            events
+                .iter()
+                .filter(|e| !is_process_name_meta(e))
+                .map(|e| with_pid(e, pid)),
+        );
+    }
+    Ok(Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(merged)),
+        ("displayTimeUnit".to_string(), Json::Str("ms".into())),
+        (
+            "otherData".to_string(),
+            Json::Obj(vec![
+                ("schema".to_string(), Json::Str("qfab.trace.v1".into())),
+                ("dropped".to_string(), Json::U64(dropped)),
+            ]),
+        ),
+    ]))
+}
+
+/// Reads N capture files, merges them, writes the union to `out`, and
+/// returns a one-line summary for the CLI.
+pub fn merge_files(paths: &[std::path::PathBuf], out: &Path) -> Result<String, String> {
+    let mut inputs = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        inputs.push((track_label(path), doc));
+    }
+    let merged = merge_docs(&inputs)?;
+    let events = match merged.get("traceEvents") {
+        Some(Json::Arr(events)) => events.len(),
+        _ => 0,
+    };
+    std::fs::write(out, merged.encode_pretty()).map_err(|e| format!("{}: {e}", out.display()))?;
+    Ok(format!(
+        "merged {} trace(s), {} events -> {}",
+        paths.len(),
+        events,
+        out.display()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capture(pid: u64, names: &[(&str, u64)]) -> Json {
+        let events: Vec<String> = names
+            .iter()
+            .flat_map(|(name, t)| {
+                [
+                    format!(
+                        r#"{{"name":"{name}","cat":"qfab","ph":"B","ts":{t},"pid":{pid},"tid":1}}"#
+                    ),
+                    format!(
+                        r#"{{"name":"{name}","cat":"qfab","ph":"E","ts":{},"pid":{pid},"tid":1}}"#,
+                        t + 10
+                    ),
+                ]
+            })
+            .collect();
+        Json::parse(&format!(
+            r#"{{"traceEvents":[{}],"displayTimeUnit":"ms","otherData":{{"schema":"qfab.trace.v1","dropped":2}}}}"#,
+            events.join(",")
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn merged_trace_has_one_process_per_input_with_named_tracks() {
+        // Both captures carry the SAME OS pid — recycled across runs —
+        // which is exactly the collision the re-stamp exists for.
+        let merged = merge_docs(&[
+            ("w0".to_string(), capture(4242, &[("exp.cell", 0)])),
+            ("w1".to_string(), capture(4242, &[("exp.cell", 5)])),
+        ])
+        .unwrap();
+        let Some(Json::Arr(events)) = merged.get("traceEvents") else {
+            panic!("missing traceEvents")
+        };
+        // 2 metadata + 2×2 span events.
+        assert_eq!(events.len(), 6);
+        let pids: std::collections::HashSet<u64> = events
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(Json::as_u64))
+            .collect();
+        assert_eq!(pids, [0u64, 1].into_iter().collect());
+        let metas: Vec<(u64, &str)> = events
+            .iter()
+            .filter(|e| is_process_name_meta(e))
+            .map(|e| {
+                (
+                    e.get("pid").and_then(Json::as_u64).unwrap(),
+                    e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(metas, vec![(0, "w0"), (1, "w1")]);
+        // Dropped counts sum across shards.
+        assert_eq!(
+            merged
+                .get("otherData")
+                .and_then(|o| o.get("dropped"))
+                .and_then(Json::as_u64),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn non_trace_inputs_and_empty_input_sets_are_rejected() {
+        assert!(merge_docs(&[]).is_err());
+        let err =
+            merge_docs(&[("w0".to_string(), Json::parse(r#"{"hello":1}"#).unwrap())]).unwrap_err();
+        assert!(err.contains("w0"), "{err}");
+        assert!(err.contains("traceEvents"), "{err}");
+    }
+
+    #[test]
+    fn track_labels_strip_capture_suffixes() {
+        assert_eq!(track_label(Path::new("/x/w0.trace.json")), "w0");
+        assert_eq!(track_label(Path::new("qfab_trace.json")), "qfab_trace");
+        assert_eq!(track_label(Path::new("raw")), "raw");
+    }
+
+    #[test]
+    fn merge_files_roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("qfab_tracemerge_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("w0.trace.json");
+        let b = dir.join("w1.trace.json");
+        std::fs::write(&a, capture(10, &[("exp.panel", 0)]).encode_pretty()).unwrap();
+        std::fs::write(&b, capture(11, &[("exp.panel", 3)]).encode_pretty()).unwrap();
+        let out = dir.join("merged.json");
+        let note = merge_files(&[a, b], &out).unwrap();
+        assert!(note.contains("merged 2 trace(s)"), "{note}");
+        let doc = Json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+            panic!("missing traceEvents")
+        };
+        assert_eq!(events.len(), 6);
+        // A second merge of the merged file is still a valid trace
+        // (labels come from the new file name).
+        let again = dir.join("again.json");
+        merge_files(std::slice::from_ref(&out), &again).unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&again).unwrap()).unwrap();
+        assert!(matches!(doc.get("traceEvents"), Some(Json::Arr(_))));
+        let missing = dir.join("nope.json");
+        assert!(merge_files(&[missing], &dir.join("x.json")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

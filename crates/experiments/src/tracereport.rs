@@ -24,6 +24,9 @@ use std::fmt::Write as _;
 pub struct SpanNode {
     /// Span name.
     pub name: String,
+    /// Process id that recorded it (distinct per worker in a merged
+    /// federation trace; 0 when the capture carries no pids).
+    pub pid: u64,
     /// Thread id that recorded it.
     pub tid: u64,
     /// Begin timestamp (µs).
@@ -77,6 +80,9 @@ pub struct Analysis {
     pub unmatched: u64,
     /// Events the recorder overwrote (from `otherData.dropped`).
     pub dropped: u64,
+    /// Process-track labels from `process_name` metadata events
+    /// (`trace-merge` writes one per input worker), sorted by pid.
+    pub process_names: Vec<(u64, String)>,
 }
 
 fn field_u64(event: &Json, key: &str) -> Option<u64> {
@@ -120,7 +126,10 @@ pub fn analyze(doc: &Json) -> Result<Analysis, String> {
         children: Vec<usize>,
         child_us: u64,
     }
-    let mut stacks: HashMap<u64, Vec<Open>> = HashMap::new();
+    // Stacks are per (pid, tid): in a merged federation trace the same
+    // tid exists in several worker processes, and their span nests must
+    // never interleave.
+    let mut stacks: HashMap<(u64, u64), Vec<Open>> = HashMap::new();
     let mut analysis = Analysis {
         dropped,
         ..Analysis::default()
@@ -130,17 +139,31 @@ pub fn analyze(doc: &Json) -> Result<Analysis, String> {
     let mut max_ts = 0u64;
 
     for event in events {
-        let (Some(name), Some(ph), Some(ts), Some(tid)) = (
+        let (Some(name), Some(ph)) = (
             event.get("name").and_then(Json::as_str),
             event.get("ph").and_then(Json::as_str),
-            field_u64(event, "ts"),
-            field_u64(event, "tid"),
         ) else {
+            continue;
+        };
+        let pid = field_u64(event, "pid").unwrap_or(0);
+        if ph == "M" {
+            if name == "process_name" {
+                if let Some(label) = event
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                {
+                    analysis.process_names.push((pid, label.to_string()));
+                }
+            }
+            continue;
+        }
+        let (Some(ts), Some(tid)) = (field_u64(event, "ts"), field_u64(event, "tid")) else {
             continue;
         };
         min_ts = min_ts.min(ts);
         max_ts = max_ts.max(ts);
-        let stack = stacks.entry(tid).or_default();
+        let stack = stacks.entry((pid, tid)).or_default();
         match ph {
             "B" => stack.push(Open {
                 name: name.to_string(),
@@ -171,6 +194,7 @@ pub fn analyze(doc: &Json) -> Result<Analysis, String> {
                 let idx = analysis.spans.len();
                 analysis.spans.push(SpanNode {
                     name: open.name,
+                    pid,
                     tid,
                     start_us: open.start_us,
                     dur_us,
@@ -216,8 +240,21 @@ pub fn analyze(doc: &Json) -> Result<Analysis, String> {
         .sort_by(|a, b| b.1.self_us.cmp(&a.1.self_us).then(a.0.cmp(&b.0)));
     analysis.instants = instants.into_iter().collect();
     analysis.instants.sort();
+    analysis.process_names.sort();
+    analysis.process_names.dedup();
     analysis.wall_us = max_ts.saturating_sub(min_ts.min(max_ts));
     Ok(analysis)
+}
+
+/// The label for a span's process track: the `process_name` metadata
+/// label when one was recorded (merged traces), `pid N` otherwise.
+pub fn process_label(analysis: &Analysis, pid: u64) -> String {
+    analysis
+        .process_names
+        .iter()
+        .find(|(p, _)| *p == pid)
+        .map(|(_, label)| label.clone())
+        .unwrap_or_else(|| format!("pid {pid}"))
 }
 
 /// The slowest root span and, at each level, its slowest child.
@@ -288,18 +325,35 @@ pub fn format_report(analysis: &Analysis, top_k: usize) -> String {
             analysis.dropped
         );
     }
-    let _ = writeln!(
-        s,
-        "trace: {} spans, {} threads, wall {}",
-        analysis.spans.len(),
-        analysis
-            .spans
-            .iter()
-            .map(|sp| sp.tid)
-            .collect::<std::collections::HashSet<_>>()
-            .len(),
-        fmt_us(analysis.wall_us)
-    );
+    let processes = analysis
+        .spans
+        .iter()
+        .map(|sp| sp.pid)
+        .collect::<std::collections::HashSet<_>>();
+    let threads = analysis
+        .spans
+        .iter()
+        .map(|sp| (sp.pid, sp.tid))
+        .collect::<std::collections::HashSet<_>>()
+        .len();
+    if processes.len() > 1 {
+        let _ = writeln!(
+            s,
+            "trace: {} spans, {} processes, {} threads, wall {}",
+            analysis.spans.len(),
+            processes.len(),
+            threads,
+            fmt_us(analysis.wall_us)
+        );
+    } else {
+        let _ = writeln!(
+            s,
+            "trace: {} spans, {} threads, wall {}",
+            analysis.spans.len(),
+            threads,
+            fmt_us(analysis.wall_us)
+        );
+    }
     if analysis.unmatched > 0 {
         let _ = writeln!(
             s,
@@ -363,7 +417,19 @@ pub fn format_report(analysis: &Analysis, top_k: usize) -> String {
         let _ = writeln!(s, "\ntop {} slowest cells", cells.len());
         for &i in &cells {
             let span = &analysis.spans[i];
-            let _ = writeln!(s, "  {}{}", fmt_us(span.dur_us), fmt_args(&span.args));
+            // In a merged federation trace, say which worker owned the
+            // cell; single-process captures stay byte-identical.
+            let owner = if processes.len() > 1 {
+                format!(" ({})", process_label(analysis, span.pid))
+            } else {
+                String::new()
+            };
+            let _ = writeln!(
+                s,
+                "  {}{owner}{}",
+                fmt_us(span.dur_us),
+                fmt_args(&span.args)
+            );
         }
     }
     s
@@ -539,6 +605,49 @@ mod tests {
         let report = format_report(&a, 3);
         assert!(report.starts_with("trace: "), "{report}");
         assert!(!report.contains("truncated"), "{report}");
+    }
+
+    #[test]
+    fn merged_traces_keep_per_process_stacks_and_attribute_workers() {
+        // Two workers, same tid, overlapping span nests — only a
+        // per-(pid, tid) stack keeps them from interleaving.
+        let merged = crate::tracemerge::merge_docs(&[
+            (
+                "w0".to_string(),
+                doc(concat!(
+                    r#"{"name":"exp.panel","cat":"qfab","ph":"B","ts":0,"pid":7,"tid":1},"#,
+                    r#"{"name":"exp.cell","cat":"qfab","ph":"B","ts":10,"pid":7,"tid":1,"args":{"instance":0}},"#,
+                    r#"{"name":"exp.cell","cat":"qfab","ph":"E","ts":500,"pid":7,"tid":1},"#,
+                    r#"{"name":"exp.panel","cat":"qfab","ph":"E","ts":600,"pid":7,"tid":1}"#
+                )),
+            ),
+            (
+                "w1".to_string(),
+                doc(concat!(
+                    r#"{"name":"exp.panel","cat":"qfab","ph":"B","ts":5,"pid":7,"tid":1},"#,
+                    r#"{"name":"exp.cell","cat":"qfab","ph":"B","ts":20,"pid":7,"tid":1,"args":{"instance":4}},"#,
+                    r#"{"name":"exp.cell","cat":"qfab","ph":"E","ts":900,"pid":7,"tid":1},"#,
+                    r#"{"name":"exp.panel","cat":"qfab","ph":"E","ts":950,"pid":7,"tid":1}"#
+                )),
+            ),
+        ])
+        .unwrap();
+        let a = analyze(&merged).unwrap();
+        assert_eq!(a.spans.len(), 4);
+        assert_eq!(a.unmatched, 0, "per-process stacks must not interleave");
+        assert_eq!(a.roots.len(), 2, "one exp.panel root per worker");
+        assert_eq!(
+            a.process_names,
+            vec![(0, "w0".to_string()), (1, "w1".to_string())]
+        );
+        assert_eq!(process_label(&a, 1), "w1");
+        assert_eq!(process_label(&a, 9), "pid 9");
+        // Federation-wide slowest cell is w1's 880µs instance 4.
+        let top = slowest(&a, "exp.cell", 1);
+        assert_eq!(a.spans[top[0]].pid, 1);
+        let report = format_report(&a, 2);
+        assert!(report.contains("2 processes"), "{report}");
+        assert!(report.contains("880µs (w1) [instance=4]"), "{report}");
     }
 
     #[test]

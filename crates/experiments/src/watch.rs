@@ -22,6 +22,7 @@ use crate::ledger;
 use crate::runner::{eta_secs, Progress};
 use qfab_telemetry::httpd::{self, Handler, HttpServer, Method, Response};
 use qfab_telemetry::monitor::{self, MonitorConfig};
+use qfab_telemetry::promtext;
 use qfab_telemetry::Json;
 use std::io;
 use std::net::SocketAddr;
@@ -171,8 +172,11 @@ pub fn validate_status(doc: &Json) -> Result<(), String> {
     )?;
     let run_state = doc.get("state").and_then(Json::as_str);
     expect(
-        matches!(run_state, Some("running") | Some("done") | Some("idle")),
-        "state must be running|done|idle",
+        matches!(
+            run_state,
+            Some("running") | Some("done") | Some("failed") | Some("idle")
+        ),
+        "state must be running|done|failed|idle",
     )?;
     if run_state == Some("idle") {
         return Ok(());
@@ -289,10 +293,16 @@ pub fn routes(store_dir: PathBuf) -> Handler {
                 "qfab live monitor\n\
              /status.json  heartbeat (qfab.status.v1)\n\
              /metrics.json metric time-series (qfab.timeline.v1)\n\
+             /metrics      Prometheus text exposition of the registry\n\
              /dash         live dashboard (same renderer as `repro dash`)\n\
              /history      run-history ledger\n",
             ),
             "/status.json" => Response::json(heartbeat_json().encode_pretty()),
+            "/metrics" => Response {
+                content_type: promtext::CONTENT_TYPE,
+                cache_control: Some("no-store"),
+                ..Response::text(promtext::render_registry())
+            },
             "/metrics.json" => match monitor::timeline_json() {
                 Some(json) => Response::json(json),
                 None => Response::not_found(),

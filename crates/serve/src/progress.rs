@@ -1,0 +1,694 @@
+//! Federated job-progress aggregation: merging per-worker shard
+//! observability (heartbeats, timelines, live cell counts) into the
+//! job-level documents the service serves.
+//!
+//! Each worker subprocess runs the telemetry monitor into its shard
+//! store: a `status.json` heartbeat (rewritten atomically every
+//! sampling interval, so its mtime *is* the liveness signal) and a
+//! `timeline.json` metric ring (`qfab.timeline.v1`). Workers never
+//! talk to the service; this module reads those files and folds them
+//! into:
+//!
+//! * [`job_progress_json`] — the `GET /jobs/{id}/progress` document:
+//!   per-worker panel/cell progress, cache traffic, heartbeat age and
+//!   staleness, plus merged totals and a job-level ETA;
+//! * [`events_json`] — the `GET /jobs/{id}/events` long-poll payload:
+//!   incremental timeline samples past an opaque cursor;
+//! * [`append_prometheus`] — the `job`/`worker`-labelled series the
+//!   service's `GET /metrics` appends to its own registry exposition.
+//!
+//! Everything here is read-only over files the workers already write;
+//! a job run with no observer produces byte-identical results.
+
+use crate::merge::count_live;
+use crate::queue::{JobEntry, JobState};
+use qfab_telemetry::{promtext, Json};
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+/// Schema tag of `GET /jobs/{id}/progress` documents.
+pub const PROGRESS_SCHEMA: &str = "qfab.jobprogress.v1";
+
+/// Schema tag of `GET /jobs/{id}/events` documents.
+pub const EVENTS_SCHEMA: &str = "qfab.jobevents.v1";
+
+/// A worker is stale once its heartbeat file has not been rewritten
+/// for more than this many sampling intervals. Three is forgiving
+/// enough for scheduler hiccups but catches a SIGKILLed worker (whose
+/// last heartbeat otherwise claims `running` forever) within a second
+/// at the default 250 ms interval.
+pub const STALE_INTERVALS: u64 = 3;
+
+/// Fallback sampling interval when a worker's timeline has not landed
+/// yet (mirrors `qfab_telemetry::monitor::DEFAULT_INTERVAL`).
+const DEFAULT_INTERVAL_MS: u64 = 250;
+
+/// Everything observable about one worker shard, read from its shard
+/// store directory.
+pub struct WorkerObs {
+    /// Worker index (shard `w` of the job).
+    pub worker: usize,
+    /// The worker's last `qfab.status.v1` heartbeat, if one landed.
+    pub status: Option<Json>,
+    /// Milliseconds since the heartbeat file was last rewritten.
+    pub heartbeat_age_ms: Option<u64>,
+    /// The worker's sampling interval (from its timeline document,
+    /// default 250 ms before the first sample lands).
+    pub interval_ms: u64,
+    /// The worker's `qfab.timeline.v1` ring, if one landed.
+    pub timeline: Option<Json>,
+    /// Cells durably committed to the shard store so far.
+    pub cells_live: u64,
+}
+
+impl WorkerObs {
+    /// Whether this worker's heartbeat has gone stale (present but not
+    /// rewritten for more than [`STALE_INTERVALS`] sampling intervals —
+    /// the signature of a killed or wedged worker). A worker with no
+    /// heartbeat at all is *not* stale, merely unobserved.
+    pub fn is_stale(&self) -> bool {
+        match self.heartbeat_age_ms {
+            Some(age) => age > STALE_INTERVALS * self.interval_ms,
+            None => false,
+        }
+    }
+}
+
+fn file_age_ms(path: &Path) -> Option<u64> {
+    let mtime = std::fs::metadata(path).ok()?.modified().ok()?;
+    Some(
+        SystemTime::now()
+            .duration_since(mtime)
+            .unwrap_or_default()
+            .as_millis() as u64,
+    )
+}
+
+fn read_json(path: &Path) -> Option<Json> {
+    let text = std::fs::read_to_string(path).ok()?;
+    Json::parse(&text).ok()
+}
+
+/// Reads one worker's observability files from its shard store.
+pub fn observe_worker(shard_dir: &Path, worker: usize) -> WorkerObs {
+    let status_path = shard_dir.join("status.json");
+    let timeline = read_json(&shard_dir.join("timeline.json"));
+    let interval_ms = timeline
+        .as_ref()
+        .and_then(|t| t.get("interval_ms"))
+        .and_then(Json::as_u64)
+        .unwrap_or(DEFAULT_INTERVAL_MS)
+        .max(1);
+    WorkerObs {
+        worker,
+        status: read_json(&status_path),
+        heartbeat_age_ms: file_age_ms(&status_path),
+        interval_ms,
+        timeline,
+        cells_live: count_live(shard_dir).unwrap_or(0),
+    }
+}
+
+fn shard_dirs(store_dir: &Path, id: &str, workers: usize) -> Vec<PathBuf> {
+    (0..workers)
+        .map(|w| store_dir.join("shards").join(id).join(format!("w{w}")))
+        .collect()
+}
+
+/// Reads every worker shard of a job.
+pub fn observe_job(store_dir: &Path, id: &str, workers: usize) -> Vec<WorkerObs> {
+    shard_dirs(store_dir, id, workers)
+        .iter()
+        .enumerate()
+        .map(|(w, dir)| observe_worker(dir, w))
+        .collect()
+}
+
+/// Indices of the job's stale workers (heartbeat present but older
+/// than [`STALE_INTERVALS`] sampling intervals).
+pub fn stale_workers(store_dir: &Path, id: &str, workers: usize) -> Vec<usize> {
+    observe_job(store_dir, id, workers)
+        .iter()
+        .filter(|o| o.is_stale())
+        .map(|o| o.worker)
+        .collect()
+}
+
+fn status_u64(status: &Json, path: &[&str]) -> Option<u64> {
+    let mut node = status;
+    for key in path {
+        node = node.get(key)?;
+    }
+    node.as_u64()
+}
+
+fn worker_json(obs: &WorkerObs) -> Json {
+    let mut fields = vec![
+        ("worker".to_string(), Json::U64(obs.worker as u64)),
+        ("cells_live".to_string(), Json::U64(obs.cells_live)),
+        (
+            "heartbeat_age_ms".to_string(),
+            match obs.heartbeat_age_ms {
+                Some(a) => Json::U64(a),
+                None => Json::Null,
+            },
+        ),
+        ("interval_ms".to_string(), Json::U64(obs.interval_ms)),
+        ("stale".to_string(), Json::Bool(obs.is_stale())),
+    ];
+    fields.push((
+        "status".to_string(),
+        obs.status.clone().unwrap_or(Json::Null),
+    ));
+    Json::Obj(fields)
+}
+
+/// Builds the merged `GET /jobs/{id}/progress` document: per-worker
+/// observability plus totals that sum the shards back into the
+/// single-process view (cells from the durable shard stores; current
+/// panel instances/cells and cache traffic from the heartbeats; the
+/// job-level ETA is the *slowest* worker's miss-aware ETA, since the
+/// job finishes when its last shard does).
+pub fn job_progress_json(entry: &JobEntry, store_dir: &Path, workers: usize) -> Json {
+    let observed = observe_job(store_dir, &entry.id, workers);
+    let cells_done = match entry.state {
+        JobState::Done => entry.cells_total,
+        _ => observed.iter().map(|o| o.cells_live).sum(),
+    };
+    let mut instances_done = 0u64;
+    let mut instances_total = 0u64;
+    let mut panel_cells_done = 0u64;
+    let mut panel_cells_total = 0u64;
+    let mut cache = [0u64; 4]; // hits, misses, rejected, append_failed
+    let mut have_cache = false;
+    let mut eta: Option<f64> = None;
+    for obs in &observed {
+        let Some(status) = &obs.status else { continue };
+        instances_done += status_u64(status, &["panel", "instances", "done"]).unwrap_or(0);
+        instances_total += status_u64(status, &["panel", "instances", "total"]).unwrap_or(0);
+        panel_cells_done += status_u64(status, &["panel", "cells", "done"]).unwrap_or(0);
+        panel_cells_total += status_u64(status, &["panel", "cells", "total"]).unwrap_or(0);
+        for (slot, key) in cache
+            .iter_mut()
+            .zip(["hits", "misses", "rejected", "append_failed"])
+        {
+            if let Some(v) = status_u64(status, &["panel", "cache", key]) {
+                *slot += v;
+                have_cache = true;
+            }
+        }
+        if let Some(worker_eta) = status
+            .get("panel")
+            .and_then(|p| p.get("eta_secs"))
+            .and_then(Json::as_f64)
+        {
+            eta = Some(eta.map_or(worker_eta, |e: f64| e.max(worker_eta)));
+        }
+    }
+    let stale: Vec<Json> = observed
+        .iter()
+        .filter(|o| o.is_stale())
+        .map(|o| Json::U64(o.worker as u64))
+        .collect();
+    Json::Obj(vec![
+        ("schema".to_string(), Json::Str(PROGRESS_SCHEMA.into())),
+        ("id".to_string(), Json::Str(entry.id.clone())),
+        (
+            "state".to_string(),
+            Json::Str(entry.state.as_str().to_string()),
+        ),
+        ("cells_total".to_string(), Json::U64(entry.cells_total)),
+        ("cells_done".to_string(), Json::U64(cells_done)),
+        (
+            "panel".to_string(),
+            Json::Obj(vec![
+                (
+                    "instances".to_string(),
+                    Json::Obj(vec![
+                        ("done".to_string(), Json::U64(instances_done)),
+                        ("total".to_string(), Json::U64(instances_total)),
+                    ]),
+                ),
+                (
+                    "cells".to_string(),
+                    Json::Obj(vec![
+                        ("done".to_string(), Json::U64(panel_cells_done)),
+                        ("total".to_string(), Json::U64(panel_cells_total)),
+                    ]),
+                ),
+                (
+                    "cache".to_string(),
+                    if have_cache {
+                        Json::Obj(vec![
+                            ("hits".to_string(), Json::U64(cache[0])),
+                            ("misses".to_string(), Json::U64(cache[1])),
+                            ("rejected".to_string(), Json::U64(cache[2])),
+                            ("append_failed".to_string(), Json::U64(cache[3])),
+                        ])
+                    } else {
+                        Json::Null
+                    },
+                ),
+            ]),
+        ),
+        (
+            "eta_secs".to_string(),
+            match eta {
+                Some(e) => Json::F64(e),
+                None => Json::Null,
+            },
+        ),
+        ("stale_workers".to_string(), Json::Arr(stale)),
+        (
+            "workers".to_string(),
+            Json::Arr(observed.iter().map(worker_json).collect()),
+        ),
+    ])
+}
+
+fn timeline_samples(timeline: &Json) -> &[Json] {
+    match timeline.get("samples") {
+        Some(Json::Arr(samples)) => samples,
+        _ => &[],
+    }
+}
+
+/// The current event cursor of a job: one monotonic per-worker count
+/// of timeline samples ever taken (`dropped + len(samples)`), joined
+/// with `-`. Clients treat it as opaque and echo it back as `since`.
+pub fn events_cursor(store_dir: &Path, id: &str, workers: usize) -> String {
+    observe_job(store_dir, id, workers)
+        .iter()
+        .map(|obs| {
+            let seen = obs
+                .timeline
+                .as_ref()
+                .map(|t| {
+                    let dropped = t.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+                    dropped + timeline_samples(t).len() as u64
+                })
+                .unwrap_or(0);
+            seen.to_string()
+        })
+        .collect::<Vec<_>>()
+        .join("-")
+}
+
+fn parse_cursor(cursor: &str, workers: usize) -> Vec<u64> {
+    let mut counts: Vec<u64> = cursor
+        .split('-')
+        .map(|part| part.parse().unwrap_or(0))
+        .collect();
+    counts.resize(workers, 0);
+    counts
+}
+
+/// Builds the `GET /jobs/{id}/events` payload: for each worker, the
+/// timeline samples taken since the `since` cursor (samples that
+/// rotated out of the bounded ring in the meantime are skipped and the
+/// cursor advances past them), plus the merged progress document so a
+/// long-polling dashboard renders from one response.
+pub fn events_json(entry: &JobEntry, store_dir: &Path, workers: usize, since: &str) -> Json {
+    let observed = observe_job(store_dir, &entry.id, workers);
+    let since = parse_cursor(since, workers);
+    let mut worker_events = Vec::with_capacity(observed.len());
+    for obs in &observed {
+        let (new_samples, seen) = match &obs.timeline {
+            None => (Vec::new(), 0),
+            Some(t) => {
+                let dropped = t.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+                let samples = timeline_samples(t);
+                let seen = dropped + samples.len() as u64;
+                let already = since.get(obs.worker).copied().unwrap_or(0);
+                // Skip what the client has; anything older than the
+                // ring's tail is gone and silently skipped.
+                let skip = already.saturating_sub(dropped).min(samples.len() as u64);
+                (samples[skip as usize..].to_vec(), seen)
+            }
+        };
+        worker_events.push(Json::Obj(vec![
+            ("worker".to_string(), Json::U64(obs.worker as u64)),
+            ("seen".to_string(), Json::U64(seen)),
+            ("interval_ms".to_string(), Json::U64(obs.interval_ms)),
+            ("samples".to_string(), Json::Arr(new_samples)),
+        ]));
+    }
+    Json::Obj(vec![
+        ("schema".to_string(), Json::Str(EVENTS_SCHEMA.into())),
+        ("id".to_string(), Json::Str(entry.id.clone())),
+        (
+            "cursor".to_string(),
+            Json::Str(events_cursor(store_dir, &entry.id, workers)),
+        ),
+        ("events".to_string(), Json::Arr(worker_events)),
+        (
+            "progress".to_string(),
+            job_progress_json(entry, store_dir, workers),
+        ),
+    ])
+}
+
+/// Appends the `job`/`worker`-labelled aggregate series to a
+/// Prometheus exposition document (all gauges — they are point-in-time
+/// reads of other processes' files). Worker-level series cover
+/// non-terminal jobs (terminal jobs have no shard dirs left);
+/// job-level cell totals cover every job.
+pub fn append_prometheus(out: &mut String, jobs: &[JobEntry], store_dir: &Path, workers: usize) {
+    // Gather first so each metric's TYPE header is emitted exactly
+    // once, before all its samples, as the exposition format requires.
+    let mut job_series: Vec<(&'static str, String, u64)> = Vec::new();
+    let mut worker_series: Vec<(&'static str, String, String, u64)> = Vec::new();
+    for entry in jobs {
+        let cells_done = match entry.state {
+            JobState::Done => entry.cells_total,
+            JobState::Queued => 0,
+            _ => observe_job(store_dir, &entry.id, workers)
+                .iter()
+                .map(|o| o.cells_live)
+                .sum(),
+        };
+        job_series.push(("qfab_job_cells_total", entry.id.clone(), entry.cells_total));
+        job_series.push(("qfab_job_cells_done", entry.id.clone(), cells_done));
+        if entry.state.is_terminal() || entry.state == JobState::Queued {
+            continue;
+        }
+        for obs in observe_job(store_dir, &entry.id, workers) {
+            let worker = obs.worker.to_string();
+            let mut push = |name: &'static str, value: u64| {
+                worker_series.push((name, entry.id.clone(), worker.clone(), value));
+            };
+            push("qfab_worker_cells_live", obs.cells_live);
+            push("qfab_worker_stale", u64::from(obs.is_stale()));
+            if let Some(age) = obs.heartbeat_age_ms {
+                push("qfab_worker_heartbeat_age_ms", age);
+            }
+            if let Some(status) = &obs.status {
+                for (name, path) in [
+                    (
+                        "qfab_worker_panel_instances_done",
+                        &["panel", "instances", "done"][..],
+                    ),
+                    (
+                        "qfab_worker_panel_instances_total",
+                        &["panel", "instances", "total"],
+                    ),
+                    ("qfab_worker_panel_cells_done", &["panel", "cells", "done"]),
+                    (
+                        "qfab_worker_panel_cells_total",
+                        &["panel", "cells", "total"],
+                    ),
+                    ("qfab_worker_cache_hits", &["panel", "cache", "hits"]),
+                    ("qfab_worker_cache_misses", &["panel", "cache", "misses"]),
+                    (
+                        "qfab_worker_cache_rejected",
+                        &["panel", "cache", "rejected"],
+                    ),
+                    (
+                        "qfab_worker_cache_append_failed",
+                        &["panel", "cache", "append_failed"],
+                    ),
+                ] {
+                    if let Some(v) = status_u64(status, path) {
+                        push(name, v);
+                    }
+                }
+            }
+        }
+    }
+    let mut emitted: Vec<&'static str> = Vec::new();
+    for (name, job, value) in &job_series {
+        if !emitted.contains(name) {
+            emitted.push(name);
+            promtext::push_type(out, name, "gauge");
+            for (n, j, v) in &job_series {
+                if n == name {
+                    promtext::push_sample(out, n, &[("job", j.as_str())], *v);
+                }
+            }
+        }
+        let _ = (job, value);
+    }
+    let mut emitted: Vec<&'static str> = Vec::new();
+    for (name, _, _, _) in &worker_series {
+        if emitted.contains(name) {
+            continue;
+        }
+        emitted.push(name);
+        promtext::push_type(out, name, "gauge");
+        for (n, job, worker, value) in &worker_series {
+            if n == name {
+                promtext::push_sample(
+                    out,
+                    n,
+                    &[("job", job.as_str()), ("worker", worker.as_str())],
+                    *value,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qfab_progress_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn entry(id: &str, state: JobState, cells_total: u64) -> JobEntry {
+        JobEntry {
+            id: id.to_string(),
+            spec: JobSpec {
+                grid: vec!["fig1a".into()],
+                scale: "quick".into(),
+                instances: None,
+                shots: None,
+                seed: 7,
+            },
+            state,
+            cells_total,
+            note: String::new(),
+            error: String::new(),
+        }
+    }
+
+    fn write_worker_status(dir: &Path, done: u64, total: u64, eta: f64) {
+        std::fs::create_dir_all(dir).unwrap();
+        std::fs::write(
+            dir.join("status.json"),
+            format!(
+                r#"{{"schema": "qfab.status.v1", "state": "running",
+                     "elapsed_secs": 1.0,
+                     "panel": {{"id": "fig1a",
+                       "instances": {{"done": {done}, "total": {total}}},
+                       "cells": {{"done": {c_done}, "total": {c_total}}},
+                       "last_instance": null, "eta_secs": {eta},
+                       "cache": {{"hits": {done}, "misses": 1,
+                                  "rejected": 0, "append_failed": 0}}}},
+                     "panels_completed": []}}"#,
+                c_done = done * 4,
+                c_total = total * 4,
+            ),
+        )
+        .unwrap();
+    }
+
+    fn write_worker_timeline(dir: &Path, dropped: u64, sample_ts: &[u64]) {
+        let samples: Vec<String> = sample_ts
+            .iter()
+            .map(|t| {
+                format!(r#"{{"t_ms": {t}, "counters": {{}}, "gauges": {{}}, "histograms": {{}}}}"#)
+            })
+            .collect();
+        std::fs::write(
+            dir.join("timeline.json"),
+            format!(
+                r#"{{"schema": "qfab.timeline.v1", "interval_ms": 50,
+                     "capacity": 8, "dropped": {dropped},
+                     "samples": [{}]}}"#,
+                samples.join(", ")
+            ),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn progress_merges_workers_and_sums_to_job_totals() {
+        let store = tmp("merge");
+        let e = entry("j0001-aaaaaaaa", JobState::Running, 32);
+        let w0 = store.join("shards").join(&e.id).join("w0");
+        let w1 = store.join("shards").join(&e.id).join("w1");
+        write_worker_status(&w0, 2, 4, 3.5);
+        write_worker_status(&w1, 1, 4, 9.0);
+        let doc = job_progress_json(&e, &store, 2);
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(PROGRESS_SCHEMA)
+        );
+        let panel = doc.get("panel").unwrap();
+        assert_eq!(
+            panel
+                .get("instances")
+                .and_then(|i| i.get("done"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            panel
+                .get("instances")
+                .and_then(|i| i.get("total"))
+                .and_then(Json::as_u64),
+            Some(8)
+        );
+        assert_eq!(
+            panel
+                .get("cells")
+                .and_then(|c| c.get("done"))
+                .and_then(Json::as_u64),
+            Some(12)
+        );
+        assert_eq!(
+            panel
+                .get("cache")
+                .and_then(|c| c.get("hits"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            panel
+                .get("cache")
+                .and_then(|c| c.get("misses"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        // The job-level ETA is the slowest worker's.
+        assert_eq!(doc.get("eta_secs").and_then(Json::as_f64), Some(9.0));
+        // Fresh heartbeats: nobody is stale.
+        assert_eq!(doc.get("stale_workers"), Some(&Json::Arr(vec![])));
+        let Some(Json::Arr(ws)) = doc.get("workers") else {
+            panic!("workers missing")
+        };
+        assert_eq!(ws.len(), 2);
+        let _ = std::fs::remove_dir_all(&store);
+    }
+
+    #[test]
+    fn a_silent_heartbeat_goes_stale_but_a_missing_one_does_not() {
+        let obs = WorkerObs {
+            worker: 0,
+            status: None,
+            heartbeat_age_ms: Some(10_000),
+            interval_ms: 250,
+            timeline: None,
+            cells_live: 0,
+        };
+        assert!(obs.is_stale(), "3 intervals = 750ms; 10s is long dead");
+        let fresh = WorkerObs {
+            heartbeat_age_ms: Some(700),
+            ..obs
+        };
+        assert!(!fresh.is_stale(), "under 3 intervals is just jitter");
+        let missing = WorkerObs {
+            heartbeat_age_ms: None,
+            ..fresh
+        };
+        assert!(
+            !missing.is_stale(),
+            "no heartbeat yet is unobserved, not stale"
+        );
+    }
+
+    #[test]
+    fn stale_workers_are_reported_from_old_heartbeat_files() {
+        let store = tmp("stale");
+        let e = entry("j0002-bbbbbbbb", JobState::Running, 8);
+        let w0 = store.join("shards").join(&e.id).join("w0");
+        write_worker_status(&w0, 1, 2, 1.0);
+        // Backdate the heartbeat far past 3 intervals. filetime isn't
+        // available (zero-dep), so wait out 3 × 50ms instead — the
+        // written timeline pins interval_ms to 50.
+        write_worker_timeline(&w0, 0, &[0]);
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        assert_eq!(stale_workers(&store, &e.id, 2), vec![0]);
+        let doc = job_progress_json(&e, &store, 2);
+        assert_eq!(
+            doc.get("stale_workers"),
+            Some(&Json::Arr(vec![Json::U64(0)]))
+        );
+        let _ = std::fs::remove_dir_all(&store);
+    }
+
+    #[test]
+    fn events_return_only_samples_past_the_cursor() {
+        let store = tmp("events");
+        let e = entry("j0003-cccccccc", JobState::Running, 8);
+        let w0 = store.join("shards").join(&e.id).join("w0");
+        std::fs::create_dir_all(&w0).unwrap();
+        write_worker_timeline(&w0, 0, &[0, 50, 100]);
+        let cursor = events_cursor(&store, &e.id, 1);
+        assert_eq!(cursor, "3");
+        // From scratch: everything is new.
+        let doc = events_json(&e, &store, 1, "");
+        let Some(Json::Arr(events)) = doc.get("events") else {
+            panic!("events missing")
+        };
+        let Some(Json::Arr(samples)) = events[0].get("samples") else {
+            panic!("samples missing")
+        };
+        assert_eq!(samples.len(), 3);
+        // From the current cursor: nothing new.
+        let doc = events_json(&e, &store, 1, &cursor);
+        let Some(Json::Arr(events)) = doc.get("events") else {
+            panic!("events missing")
+        };
+        let Some(Json::Arr(samples)) = events[0].get("samples") else {
+            panic!("samples missing")
+        };
+        assert!(samples.is_empty());
+        // The ring rotated: two samples aged out, one taken since.
+        write_worker_timeline(&w0, 2, &[100, 150]);
+        let doc = events_json(&e, &store, 1, &cursor);
+        assert_eq!(
+            doc.get("cursor").and_then(Json::as_str),
+            Some("4"),
+            "dropped + kept"
+        );
+        let Some(Json::Arr(events)) = doc.get("events") else {
+            panic!("events missing")
+        };
+        let Some(Json::Arr(samples)) = events[0].get("samples") else {
+            panic!("samples missing")
+        };
+        assert_eq!(samples.len(), 1);
+        assert_eq!(
+            samples[0].get("t_ms").and_then(Json::as_u64),
+            Some(150),
+            "only the sample past the cursor"
+        );
+        let _ = std::fs::remove_dir_all(&store);
+    }
+
+    #[test]
+    fn prometheus_series_are_labelled_and_validate() {
+        let store = tmp("prom");
+        let e = entry("j0004-dddddddd", JobState::Running, 32);
+        let w0 = store.join("shards").join(&e.id).join("w0");
+        write_worker_status(&w0, 2, 4, 3.5);
+        let mut out = String::new();
+        append_prometheus(&mut out, &[e], &store, 2);
+        promtext::validate(&out).unwrap_or_else(|err| panic!("invalid exposition:\n{out}\n{err}"));
+        assert!(out.contains("qfab_job_cells_total{job=\"j0004-dddddddd\"} 32\n"));
+        assert!(out
+            .contains("qfab_worker_panel_instances_done{job=\"j0004-dddddddd\",worker=\"0\"} 2\n"));
+        assert!(out.contains("qfab_worker_stale{job=\"j0004-dddddddd\",worker=\"0\"} 0\n"));
+        // Worker 1 never wrote a heartbeat: cell/stale series only.
+        assert!(out.contains("qfab_worker_cells_live{job=\"j0004-dddddddd\",worker=\"1\"} 0\n"));
+        assert!(!out.contains("worker=\"1\"} 2"));
+        let _ = std::fs::remove_dir_all(&store);
+    }
+}

@@ -17,9 +17,10 @@
 
 use crate::job::JobSpec;
 use crate::merge::{count_live, merge_stores, salt_validator};
+use crate::progress;
 use crate::queue::{JobEntry, JobQueue, JobState};
 use qfab_telemetry::httpd::{self, Method, Request, Response};
-use qfab_telemetry::Json;
+use qfab_telemetry::{promtext, Json};
 use std::io;
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
@@ -166,6 +167,20 @@ fn job_status_json(entry: &JobEntry, store_dir: &Path, workers: usize) -> Json {
     if !entry.error.is_empty() {
         fields.push(("error".to_string(), Json::Str(entry.error.clone())));
     }
+    if entry.state == JobState::Running {
+        // A worker whose heartbeat went silent was probably SIGKILLed
+        // or wedged; surface that instead of letting its last heartbeat
+        // claim `running` forever.
+        fields.push((
+            "stale_workers".to_string(),
+            Json::Arr(
+                progress::stale_workers(store_dir, &entry.id, workers)
+                    .into_iter()
+                    .map(|w| Json::U64(w as u64))
+                    .collect(),
+            ),
+        ));
+    }
     Json::Obj(fields)
 }
 
@@ -183,6 +198,23 @@ fn write_service_file(store_dir: &Path, addr: SocketAddr, workers: usize) -> io:
     let tmp = store_dir.join(format!("{SERVICE_FILE}.tmp"));
     std::fs::write(&tmp, doc.encode_pretty())?;
     std::fs::rename(&tmp, &path)
+}
+
+/// Last few meaningful stderr lines of a worker, for failure reports.
+/// Progress updates are carriage-return-rewritten, so split on both
+/// `\n` and `\r` before taking the tail.
+fn stderr_tail(shard_dir: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(shard_dir.join("worker.log")).ok()?;
+    let lines: Vec<&str> = text
+        .split(['\n', '\r'])
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect();
+    if lines.is_empty() {
+        return None;
+    }
+    let tail = &lines[lines.len().saturating_sub(5)..];
+    Some(tail.join(" | "))
 }
 
 /// Runs one job to a terminal state: spawn the workers, wait, merge,
@@ -203,7 +235,13 @@ fn process_job(entry: &JobEntry, config: &ServiceConfig, hooks: &Hooks) -> Resul
     for (w, mut child) in children {
         match child.wait() {
             Ok(status) if status.success() => {}
-            Ok(status) => failures.push(format!("worker {w} exited with {status}")),
+            Ok(status) => {
+                let mut reason = format!("worker {w} exited with {status}");
+                if let Some(tail) = stderr_tail(&shards[w]) {
+                    reason.push_str(&format!("; stderr: {tail}"));
+                }
+                failures.push(reason);
+            }
             Err(e) => failures.push(format!("worker {w} wait: {e}")),
         }
     }
@@ -304,8 +342,24 @@ fn handle(
             for job in q.jobs() {
                 body.push_str(&format!("  {}  {}\n", job.id, job.state.as_str()));
             }
-            body.push_str("\nPOST /jobs  GET /jobs  GET /jobs/{id}  GET /dash  GET /diff\n");
+            body.push_str(
+                "\nPOST /jobs  GET /jobs  GET /jobs/{id}  GET /jobs/{id}/progress  \
+                 GET /jobs/{id}/events  GET /metrics  GET /dash  GET /diff\n",
+            );
             Response::text(body)
+        }
+        (Method::Get, "/metrics") => {
+            // The registry covers this process; the appended series
+            // federate what the worker subprocesses left in their shard
+            // stores, labelled by job and worker.
+            let jobs: Vec<JobEntry> = queue.lock().unwrap().jobs().to_vec();
+            let mut body = promtext::render_registry();
+            progress::append_prometheus(&mut body, &jobs, &config.store_dir, config.workers);
+            Response {
+                content_type: promtext::CONTENT_TYPE,
+                cache_control: Some("no-store"),
+                ..Response::text(body)
+            }
         }
         (Method::Get, "/status.json") => {
             let q = queue.lock().unwrap();
@@ -333,16 +387,71 @@ fn handle(
             Response::json(Json::Arr(items).encode())
         }
         (Method::Get, path) if path.starts_with("/jobs/") => {
-            let id = &path["/jobs/".len()..];
+            let rest = &path["/jobs/".len()..];
+            let (rest, query) = rest.split_once('?').unwrap_or((rest, ""));
+            let (id, sub) = match rest.split_once('/') {
+                Some((id, sub)) => (id, Some(sub)),
+                None => (rest, None),
+            };
             if !valid_id(id) {
                 return Response::bad_request("bad job id\n");
             }
-            let q = queue.lock().unwrap();
-            match q.get(id) {
-                Some(entry) => Response::json(
-                    job_status_json(entry, &config.store_dir, config.workers).encode(),
-                ),
-                None => Response::not_found(),
+            match sub {
+                None => {
+                    let q = queue.lock().unwrap();
+                    match q.get(id) {
+                        Some(entry) => Response::json(
+                            job_status_json(entry, &config.store_dir, config.workers).encode(),
+                        ),
+                        None => Response::not_found(),
+                    }
+                }
+                Some("progress") => {
+                    let entry = queue.lock().unwrap().get(id).cloned();
+                    match entry {
+                        Some(entry) => Response::json(
+                            progress::job_progress_json(&entry, &config.store_dir, config.workers)
+                                .encode(),
+                        ),
+                        None => Response::not_found(),
+                    }
+                }
+                Some("events") => {
+                    let since = query
+                        .split('&')
+                        .find_map(|kv| kv.strip_prefix("since="))
+                        .unwrap_or("");
+                    // Long-poll: wait (briefly — connection slots are a
+                    // shared, capped resource) for the cursor to move
+                    // past `since`, answering immediately for a fresh
+                    // cursor or a terminal job. The queue lock is never
+                    // held across a sleep.
+                    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+                    loop {
+                        let entry = queue.lock().unwrap().get(id).cloned();
+                        let Some(entry) = entry else {
+                            return Response::not_found();
+                        };
+                        let cursor = progress::events_cursor(&config.store_dir, id, config.workers);
+                        if since.is_empty()
+                            || cursor != since
+                            || entry.state.is_terminal()
+                            || std::time::Instant::now() >= deadline
+                        {
+                            return Response::json(
+                                progress::events_json(
+                                    &entry,
+                                    &config.store_dir,
+                                    config.workers,
+                                    since,
+                                )
+                                .encode(),
+                            );
+                        }
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                }
+                Some(_) => Response::not_found(),
             }
         }
         (Method::Get, "/dash") => match (hooks.render_dash)(&config.store_dir) {
@@ -551,6 +660,98 @@ mod tests {
             .contains("worker"));
         // Shards stay for resume.
         assert!(store.join("shards").join(&id).exists());
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&store);
+    }
+
+    #[test]
+    fn failed_jobs_surface_worker_stderr() {
+        let store = tmp("stderrtail");
+        let mut hooks = stub_hooks("false");
+        hooks.worker_command = Box::new(|_spec, shard, _shards, _dir| {
+            let mut cmd = std::process::Command::new("sh");
+            cmd.arg("-c").arg(format!(
+                "echo 'worker {shard}: cache open failed' >&2; exit 3"
+            ));
+            cmd
+        });
+        let mut handle = start(config(&store), hooks).unwrap();
+        let addr = handle.local_addr();
+        let (status, body) = post_job(addr, r#"{"grid":["fig1"]}"#);
+        assert_eq!(status, 200, "{body}");
+        let id = Json::parse(&body)
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        let done = poll_terminal(addr, &id);
+        assert_eq!(done.get("state").and_then(Json::as_str), Some("failed"));
+        let err = done.get("error").and_then(Json::as_str).unwrap();
+        assert!(err.contains("exit status: 3"), "{err}");
+        assert!(err.contains("cache open failed"), "{err}");
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&store);
+    }
+
+    #[test]
+    fn progress_events_and_metrics_cover_the_job() {
+        let store = tmp("progress");
+        let mut handle = start(config(&store), stub_hooks("true")).unwrap();
+        let addr = handle.local_addr();
+        let (status, body) = post_job(addr, r#"{"grid":["fig1"],"scale":"quick"}"#);
+        assert_eq!(status, 200, "{body}");
+        let id = Json::parse(&body)
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        poll_terminal(addr, &id);
+
+        // Merged progress document for a terminal job: totals resolved,
+        // stub workers (which never wrote heartbeats) listed unobserved.
+        let (status, body) = get(addr, &format!("/jobs/{id}/progress"));
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(progress::PROGRESS_SCHEMA)
+        );
+        assert_eq!(doc.get("cells_done").and_then(Json::as_u64), Some(8));
+        assert_eq!(doc.get("cells_total").and_then(Json::as_u64), Some(8));
+        let Some(Json::Arr(ws)) = doc.get("workers") else {
+            panic!("workers missing: {body}")
+        };
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].get("stale"), Some(&Json::Bool(false)));
+
+        // Events answer immediately on a terminal job, with a cursor.
+        let (status, body) = get(addr, &format!("/jobs/{id}/events?since=0-0"));
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(progress::EVENTS_SCHEMA)
+        );
+        assert!(doc.get("cursor").and_then(Json::as_str).is_some());
+        assert!(doc.get("progress").is_some());
+
+        // /metrics is parsing-clean exposition carrying the job series.
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200, "{body}");
+        qfab_telemetry::promtext::validate(&body)
+            .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{body}"));
+        assert!(
+            body.contains(&format!("qfab_job_cells_total{{job=\"{id}\"}} 8")),
+            "{body}"
+        );
+
+        // Unknown sub-routes and bad ids under /jobs/ are rejected.
+        assert_eq!(get(addr, &format!("/jobs/{id}/bogus")).0, 404);
+        assert_eq!(get(addr, "/jobs/../escape/progress").0, 400);
+        assert_eq!(get(addr, "/jobs/j9999-deadbeef/progress").0, 404);
+        assert_eq!(get(addr, "/jobs/j9999-deadbeef/events").0, 404);
         handle.shutdown();
         let _ = std::fs::remove_dir_all(&store);
     }

@@ -1,0 +1,40 @@
+//! Validates Prometheus text exposition documents with the hand-rolled
+//! checker in `qfab_telemetry::promtext` — the tool CI uses to prove a
+//! scraped `/metrics` body parses clean.
+//!
+//! ```sh
+//! curl -sf http://$addr/metrics -o metrics.txt
+//! cargo run --release -p qfab-telemetry --example promcheck -- metrics.txt
+//! ```
+//!
+//! Exits non-zero (naming the file and the offending line) on the
+//! first document that fails validation.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: promcheck FILE...");
+        return ExitCode::FAILURE;
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = qfab_telemetry::promtext::validate(&text) {
+            eprintln!("{path}: invalid exposition: {e}");
+            return ExitCode::FAILURE;
+        }
+        let samples = text
+            .lines()
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .count();
+        println!("{path}: ok ({samples} samples)");
+    }
+    ExitCode::SUCCESS
+}

@@ -9,7 +9,21 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-const BUCKETS: usize = 65;
+/// Number of log buckets: bucket `0` holds exact zeros, bucket `b ≥ 1`
+/// covers `[2^(b-1), 2^b)`, and bucket `64` tops out at `u64::MAX`.
+pub const BUCKETS: usize = 65;
+
+/// The inclusive upper bound of bucket `b`: `0` for the zero bucket,
+/// `2^b - 1` for the power-of-two buckets, `u64::MAX` for the top one.
+/// This is the `le` boundary the Prometheus exposition encoder
+/// ([`crate::promtext`]) publishes for cumulative bucket counts.
+pub fn bucket_upper_bound(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        1..=63 => (1u64 << b) - 1,
+        _ => u64::MAX,
+    }
+}
 
 /// A concurrent log-bucketed histogram of `u64` samples.
 #[derive(Debug)]
@@ -135,6 +149,18 @@ impl Histogram {
             seen += here;
         }
         max
+    }
+
+    /// The raw per-bucket sample counts (index `b` is the bucket whose
+    /// inclusive upper bound is [`bucket_upper_bound`]`(b)`). The
+    /// summary deliberately drops these; the Prometheus encoder needs
+    /// them back.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (b, slot) in self.buckets.iter().enumerate() {
+            out[b] = slot.load(Ordering::Relaxed);
+        }
+        out
     }
 
     /// Freezes the histogram into a plain summary.

@@ -425,12 +425,27 @@ fn handle_connection(mut stream: TcpStream, handler: &Handler, read_timeout: Dur
     let _ = stream.set_read_timeout(Some(read_timeout));
     let response = match read_request(&mut stream) {
         Ok(request) => handler(&request),
-        Err(e) => Response {
-            status: e.status(),
-            // An unknown method can be retried with one we speak.
-            allow: (e == RequestError::Method).then_some("GET, POST"),
-            ..Response::text(format!("{e:?}\n"))
-        },
+        Err(e) => {
+            // Drain (bounded) whatever the client is still sending
+            // before answering: closing with unread bytes pending RSTs
+            // the connection and the client may never see the error
+            // status — an oversized head would look like a dropped
+            // connection instead of a 431.
+            let mut drained = 0usize;
+            let mut drain = [0u8; 1024];
+            while drained < 64 * 1024 {
+                match stream.read(&mut drain) {
+                    Ok(n) if n > 0 => drained += n,
+                    _ => break,
+                }
+            }
+            Response {
+                status: e.status(),
+                // An unknown method can be retried with one we speak.
+                allow: (e == RequestError::Method).then_some("GET, POST"),
+                ..Response::text(format!("{e:?}\n"))
+            }
+        }
     };
     let _ = write_response(&mut stream, &response);
 }
@@ -681,6 +696,55 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("Cache-Control: no-store"), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn slowloris_partial_requests_hit_the_read_timeout_not_a_hang() {
+        let handler: Handler = Arc::new(|_| Response::text("never\n"));
+        let timeout = Duration::from_millis(300);
+        let mut server = serve_with("127.0.0.1:0", handler, 4, timeout).unwrap();
+        let addr = server.local_addr();
+        // Dribble out a partial request line and then go silent — the
+        // classic slowloris shape. The connection must be answered (400
+        // from the truncated head) once the per-connection read timeout
+        // fires, not held open indefinitely.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /slowl").unwrap();
+        let started = std::time::Instant::now();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        let elapsed = started.elapsed();
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+        assert!(
+            elapsed >= Duration::from_millis(200),
+            "answered before the read timeout could have fired: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "slowloris connection effectively hung: {elapsed:?}"
+        );
+        // The server is still healthy for well-formed clients.
+        assert_eq!(get(addr, "/ok").0, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_header_lines_get_431_end_to_end() {
+        let handler: Handler = Arc::new(|_| Response::text("never\n"));
+        let mut server = serve("127.0.0.1:0", handler).unwrap();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // One request line longer than the whole head budget, never
+        // terminated — the server must stop buffering at the cap and
+        // answer 431 instead of reading forever.
+        let huge = vec![b'A'; MAX_REQUEST_BYTES + 512];
+        stream.write_all(&huge).unwrap();
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 431"), "{text}");
+        assert!(text.contains("Request Header Fields Too Large"), "{text}");
         server.shutdown();
     }
 

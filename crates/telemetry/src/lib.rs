@@ -69,6 +69,7 @@ pub mod httpd;
 pub mod json;
 pub mod manifest;
 pub mod monitor;
+pub mod promtext;
 pub mod registry;
 pub mod span;
 pub mod svg;

@@ -52,6 +52,13 @@ pub struct MonitorConfig {
     /// Where to atomically write the heartbeat, typically
     /// `<store>/status.json`. `None` keeps heartbeats in memory only.
     pub status_path: Option<PathBuf>,
+    /// Where to atomically write the timeline ring as a
+    /// [`TIMELINE_SCHEMA`] document on every sampler tick (and on
+    /// [`stop`]). `None` — the default — keeps the timeline in memory
+    /// only, where `repro --watch` serves it as `/metrics.json`;
+    /// federated workers set this so the service can aggregate shard
+    /// timelines without talking to worker processes.
+    pub timeline_path: Option<PathBuf>,
     /// Heartbeat builder, called on every publish. `None` disables
     /// heartbeats (the timeline still runs).
     pub provider: Option<StatusProvider>,
@@ -63,6 +70,7 @@ impl Default for MonitorConfig {
             interval: DEFAULT_INTERVAL,
             ring_capacity: DEFAULT_RING_CAPACITY,
             status_path: None,
+            timeline_path: None,
             provider: None,
         }
     }
@@ -81,6 +89,7 @@ struct Inner {
     interval: Duration,
     capacity: usize,
     status_path: Option<PathBuf>,
+    timeline_path: Option<PathBuf>,
     provider: Option<StatusProvider>,
     started: Instant,
     samples: VecDeque<Sample>,
@@ -202,6 +211,18 @@ fn take_sample(inner: &mut Inner) {
     inner.prev = snap;
 }
 
+/// Rewrites the configured timeline file from the current ring. A
+/// no-op without a `timeline_path`.
+fn write_timeline(inner: &Inner) {
+    let Some(path) = &inner.timeline_path else {
+        return;
+    };
+    let text = timeline_doc(inner).encode_pretty();
+    if let Err(e) = write_atomic(path, &text) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    }
+}
+
 fn sampler_loop() {
     let (lock, cv) = shared();
     let mut guard = lock.lock().unwrap_or_else(|e| e.into_inner());
@@ -222,6 +243,7 @@ fn sampler_loop() {
         sample_resource_gauges();
         take_sample(inner);
         write_status(inner);
+        write_timeline(inner);
     }
 }
 
@@ -239,6 +261,7 @@ pub fn start(config: MonitorConfig) -> bool {
             interval: config.interval.max(Duration::from_millis(10)),
             capacity: config.ring_capacity.max(2),
             status_path: config.status_path,
+            timeline_path: config.timeline_path,
             provider: config.provider,
             started: Instant::now(),
             samples: VecDeque::new(),
@@ -250,6 +273,7 @@ pub fn start(config: MonitorConfig) -> bool {
         sample_resource_gauges();
         take_sample(&mut inner);
         write_status(&mut inner);
+        write_timeline(&inner);
         *guard = Some(inner);
     }
     ACTIVE.store(true, Ordering::Relaxed);
@@ -280,6 +304,7 @@ pub fn stop() {
         sample_resource_gauges();
         take_sample(inner);
         write_status(inner);
+        write_timeline(inner);
     }
     *guard = None;
 }
@@ -296,6 +321,11 @@ pub fn status_json() -> Option<String> {
 pub fn timeline_json() -> Option<String> {
     let guard = lock_inner();
     let inner = guard.as_ref()?;
+    Some(timeline_doc(inner).encode_pretty())
+}
+
+/// Builds the [`TIMELINE_SCHEMA`] document for the current ring.
+fn timeline_doc(inner: &Inner) -> Json {
     let samples: Vec<Json> = inner
         .samples
         .iter()
@@ -316,7 +346,7 @@ pub fn timeline_json() -> Option<String> {
             ])
         })
         .collect();
-    let doc = Json::Obj(vec![
+    Json::Obj(vec![
         ("schema".into(), Json::Str(TIMELINE_SCHEMA.into())),
         (
             "interval_ms".into(),
@@ -325,8 +355,7 @@ pub fn timeline_json() -> Option<String> {
         ("capacity".into(), Json::U64(inner.capacity as u64)),
         ("dropped".into(), Json::U64(inner.dropped)),
         ("samples".into(), Json::Arr(samples)),
-    ]);
-    Some(doc.encode_pretty())
+    ])
 }
 
 /// Takes one timeline sample immediately (in addition to the periodic
@@ -434,6 +463,45 @@ mod tests {
         assert!(status_json().is_none(), "torn down");
         // The final heartbeat survives on disk.
         assert!(status_path.is_file());
+        set_mode(Mode::Off);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn timeline_path_persists_the_ring_on_disk() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Summary);
+        crate::reset();
+        let dir = tmp_dir("timeline_path");
+        let timeline_path = dir.join("timeline.json");
+        assert!(start(MonitorConfig {
+            interval: Duration::from_secs(3600),
+            timeline_path: Some(timeline_path.clone()),
+            ..MonitorConfig::default()
+        }));
+        // The initial sample landed on disk before start() returned.
+        let on_disk = Json::parse(&std::fs::read_to_string(&timeline_path).unwrap()).unwrap();
+        assert_eq!(
+            on_disk.get("schema").and_then(Json::as_str),
+            Some(TIMELINE_SCHEMA)
+        );
+        counter("monitor.test.timeline_path").add(5);
+        stop();
+        // stop() rewrote the file with the final sample included.
+        let on_disk = Json::parse(&std::fs::read_to_string(&timeline_path).unwrap()).unwrap();
+        let Some(Json::Arr(samples)) = on_disk.get("samples") else {
+            panic!("samples missing");
+        };
+        assert!(samples.len() >= 2, "initial + final sample");
+        assert_eq!(
+            samples
+                .last()
+                .unwrap()
+                .get("counters")
+                .and_then(|c| c.get("monitor.test.timeline_path"))
+                .and_then(Json::as_u64),
+            Some(5)
+        );
         set_mode(Mode::Off);
         let _ = std::fs::remove_dir_all(&dir);
     }

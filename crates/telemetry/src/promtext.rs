@@ -1,0 +1,541 @@
+//! Prometheus text exposition format (version 0.0.4) for the registry.
+//!
+//! [`render`] turns a [`Snapshot`] plus the raw histogram buckets from
+//! [`crate::registry::histogram_buckets`] into the plain-text format
+//! every Prometheus-compatible scraper understands: a `# TYPE` header
+//! per metric followed by its samples, histograms expanded into
+//! cumulative `_bucket{le="…"}` series plus `_sum` and `_count`.
+//! Registry names use dots (`exp.cache.hits`); [`metric_name`] maps
+//! them onto the `[a-zA-Z_:][a-zA-Z0-9_:]*` charset the format
+//! requires (`exp_cache_hits`).
+//!
+//! The module also carries its own hand-rolled [`validate`] checker —
+//! used by the tests here and by CI to prove a live `/metrics` scrape
+//! is parsing-clean — so the encoder and its referee evolve together
+//! without an external Prometheus dependency.
+
+use crate::histogram::{bucket_upper_bound, BUCKETS};
+use crate::registry::{MetricValue, Snapshot};
+use std::collections::HashMap;
+
+/// The `Content-Type` a `/metrics` endpoint should answer with.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Maps a registry name onto the exposition-format name charset:
+/// every character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading
+/// digit gets a `_` prefix. `exp.cache.hits` → `exp_cache_hits`.
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if ok {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_label_set(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&metric_name(k));
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Appends one `# TYPE` header line. `kind` is `counter`, `gauge`, or
+/// `histogram`; `name` must already be a valid metric name (use
+/// [`metric_name`]).
+pub fn push_type(out: &mut String, name: &str, kind: &str) {
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+/// Appends one integer sample line (`name{labels} value`). Label
+/// values are escaped; label names are sanitized like metric names.
+pub fn push_sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: u64) {
+    out.push_str(name);
+    push_label_set(out, labels);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// Appends one special bucket sample with `le="+Inf"` plus the given
+/// extra labels.
+fn push_inf_bucket(out: &mut String, name: &str, labels: &[(&str, &str)], value: u64) {
+    let mut all: Vec<(&str, &str)> = labels.to_vec();
+    all.push(("le", "+Inf"));
+    push_sample(out, name, &all, value);
+}
+
+/// Renders a full registry capture in exposition format, with
+/// `labels` attached to every sample (empty for an unlabelled scrape).
+///
+/// `buckets` supplies the raw per-bucket counts for each histogram in
+/// the snapshot (from [`crate::registry::histogram_buckets`]); the
+/// `_count` and `+Inf` samples are derived from the buckets themselves
+/// so a concurrent recorder can never make them disagree. Gauges emit
+/// their last value under the plain name and their high-water mark
+/// under `<name>_high_water`.
+pub fn render(
+    snapshot: &Snapshot,
+    buckets: &[(String, [u64; BUCKETS])],
+    labels: &[(&str, &str)],
+) -> String {
+    let bucket_map: HashMap<&str, &[u64; BUCKETS]> =
+        buckets.iter().map(|(n, b)| (n.as_str(), b)).collect();
+    let mut out = String::new();
+    for (name, value) in &snapshot.entries {
+        let pname = metric_name(name);
+        match value {
+            MetricValue::Counter(c) => {
+                push_type(&mut out, &pname, "counter");
+                push_sample(&mut out, &pname, labels, *c);
+            }
+            MetricValue::Gauge(last, high) => {
+                push_type(&mut out, &pname, "gauge");
+                push_sample(&mut out, &pname, labels, *last);
+                let high_name = format!("{pname}_high_water");
+                push_type(&mut out, &high_name, "gauge");
+                push_sample(&mut out, &high_name, labels, *high);
+            }
+            MetricValue::Histogram(summary) => {
+                push_type(&mut out, &pname, "histogram");
+                let bucket_name = format!("{pname}_bucket");
+                let mut cumulative = 0u64;
+                if let Some(counts) = bucket_map.get(name.as_str()) {
+                    for (b, &n) in counts.iter().enumerate() {
+                        if n == 0 {
+                            continue;
+                        }
+                        cumulative += n;
+                        let le = bucket_upper_bound(b).to_string();
+                        let mut all: Vec<(&str, &str)> = labels.to_vec();
+                        all.push(("le", le.as_str()));
+                        push_sample(&mut out, &bucket_name, &all, cumulative);
+                    }
+                }
+                push_inf_bucket(&mut out, &bucket_name, labels, cumulative);
+                push_sample(&mut out, &format!("{pname}_sum"), labels, summary.sum);
+                push_sample(&mut out, &format!("{pname}_count"), labels, cumulative);
+            }
+        }
+    }
+    out
+}
+
+/// Renders the live registry (snapshot + histogram buckets) with no
+/// extra labels — what a process's own `/metrics` endpoint serves.
+pub fn render_registry() -> String {
+    render(
+        &crate::registry::snapshot(),
+        &crate::registry::histogram_buckets(),
+        &[],
+    )
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+fn valid_label_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .enumerate()
+            .all(|(i, c)| c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit()))
+}
+
+/// One parsed sample line.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let name_end = line
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+        .unwrap_or(line.len());
+    let name = &line[..name_end];
+    if !valid_name(name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let mut rest = &line[name_end..];
+    let mut labels = Vec::new();
+    if let Some(stripped) = rest.strip_prefix('{') {
+        let mut pos = 0;
+        loop {
+            // Label name up to '='.
+            let tail = &stripped[pos..];
+            if let Some(t) = tail.strip_prefix('}') {
+                rest = t;
+                break;
+            }
+            let eq = tail.find('=').ok_or("label missing '='")?;
+            let lname = &tail[..eq];
+            if !valid_label_name(lname) {
+                return Err(format!("invalid label name {lname:?}"));
+            }
+            let after_eq = &tail[eq + 1..];
+            if !after_eq.starts_with('"') {
+                return Err("label value not quoted".to_string());
+            }
+            // Scan the quoted value honoring escapes.
+            let mut value = String::new();
+            let mut idx = 1;
+            let bytes = after_eq.as_bytes();
+            loop {
+                if idx >= bytes.len() {
+                    return Err("unterminated label value".to_string());
+                }
+                match bytes[idx] {
+                    b'"' => break,
+                    b'\\' => {
+                        let esc = *bytes.get(idx + 1).ok_or("dangling escape")?;
+                        match esc {
+                            b'\\' => value.push('\\'),
+                            b'"' => value.push('"'),
+                            b'n' => value.push('\n'),
+                            other => return Err(format!("bad escape \\{}", other as char)),
+                        }
+                        idx += 2;
+                    }
+                    _ => {
+                        // Advance one UTF-8 character.
+                        let s = &after_eq[idx..];
+                        let c = s.chars().next().unwrap();
+                        value.push(c);
+                        idx += c.len_utf8();
+                    }
+                }
+            }
+            labels.push((lname.to_string(), value));
+            let after_value = &after_eq[idx + 1..];
+            let consumed = stripped.len() - after_value.len();
+            pos = consumed;
+            if let Some(t) = stripped[pos..].strip_prefix(',') {
+                pos = stripped.len() - t.len();
+            } else if !stripped[pos..].starts_with('}') {
+                return Err("expected ',' or '}' after label".to_string());
+            }
+        }
+    }
+    let rest = rest.trim_start();
+    let mut parts = rest.split_whitespace();
+    let value_str = parts.next().ok_or("sample has no value")?;
+    let value = match value_str {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v
+            .parse::<f64>()
+            .map_err(|_| format!("unparseable value {v:?}"))?,
+    };
+    // An optional integer timestamp may follow; anything else is noise.
+    if let Some(ts) = parts.next() {
+        ts.parse::<i64>()
+            .map_err(|_| format!("unparseable timestamp {ts:?}"))?;
+    }
+    if parts.next().is_some() {
+        return Err("trailing garbage after sample".to_string());
+    }
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Validates exposition-format text: metric/label name charsets, quoted
+/// and escaped label values, a `# TYPE` header preceding every sample
+/// of its metric, and — for histograms — cumulative non-decreasing
+/// `_bucket` series with monotonically increasing `le` bounds whose
+/// `+Inf` bucket is present and equals `_count`.
+///
+/// This is the hand-rolled referee the tests and the CI smoke use to
+/// prove a `/metrics` scrape is parsing-clean.
+pub fn validate(text: &str) -> Result<(), String> {
+    let mut types: HashMap<String, String> = HashMap::new();
+    // Per histogram series (base name + non-le labels): bucket state.
+    struct HistSeries {
+        last_le: f64,
+        last_cum: f64,
+        inf: Option<f64>,
+        count: Option<f64>,
+    }
+    let mut series: HashMap<String, HistSeries> = HashMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(type_decl) = comment.strip_prefix("TYPE ") {
+                let mut parts = type_decl.split_whitespace();
+                let name = parts.next().ok_or_else(|| at("TYPE without name".into()))?;
+                let kind = parts.next().ok_or_else(|| at("TYPE without kind".into()))?;
+                if !valid_name(name) {
+                    return Err(at(format!("invalid metric name {name:?} in TYPE")));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(at(format!("unknown metric kind {kind:?}")));
+                }
+                if types.insert(name.to_string(), kind.to_string()).is_some() {
+                    return Err(at(format!("duplicate TYPE for {name}")));
+                }
+            }
+            // HELP and free-form comments are fine.
+            continue;
+        }
+        let sample = parse_sample(line).map_err(&at)?;
+        // Resolve the declared type: either the name itself, or a
+        // histogram's _bucket/_sum/_count child series.
+        let direct = types.get(&sample.name).cloned();
+        let hist_base = ["_bucket", "_sum", "_count"].iter().find_map(|suffix| {
+            sample.name.strip_suffix(suffix).and_then(|base| {
+                (types.get(base).map(String::as_str) == Some("histogram"))
+                    .then(|| (base.to_string(), *suffix))
+            })
+        });
+        match (direct, hist_base) {
+            (Some(kind), None) => {
+                if kind == "histogram" {
+                    return Err(at(format!(
+                        "histogram {} sampled without _bucket/_sum/_count suffix",
+                        sample.name
+                    )));
+                }
+            }
+            (None, Some((base, suffix))) => {
+                let mut key_labels: Vec<(String, String)> = sample
+                    .labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .cloned()
+                    .collect();
+                key_labels.sort();
+                let key = format!("{base}|{key_labels:?}");
+                let entry = series.entry(key).or_insert(HistSeries {
+                    last_le: f64::NEG_INFINITY,
+                    last_cum: f64::NEG_INFINITY,
+                    inf: None,
+                    count: None,
+                });
+                match suffix {
+                    "_bucket" => {
+                        let le = sample
+                            .labels
+                            .iter()
+                            .find(|(k, _)| k == "le")
+                            .map(|(_, v)| v.as_str())
+                            .ok_or_else(|| at(format!("{} without le label", sample.name)))?;
+                        let bound = match le {
+                            "+Inf" => f64::INFINITY,
+                            v => v
+                                .parse::<f64>()
+                                .map_err(|_| at(format!("unparseable le {v:?}")))?,
+                        };
+                        if bound <= entry.last_le {
+                            return Err(at(format!(
+                                "{base} buckets out of order (le {le} after {})",
+                                entry.last_le
+                            )));
+                        }
+                        if sample.value < entry.last_cum.max(0.0) {
+                            return Err(at(format!(
+                                "{base} bucket counts not cumulative ({} after {})",
+                                sample.value, entry.last_cum
+                            )));
+                        }
+                        entry.last_le = bound;
+                        entry.last_cum = sample.value;
+                        if bound.is_infinite() {
+                            entry.inf = Some(sample.value);
+                        }
+                    }
+                    "_count" => entry.count = Some(sample.value),
+                    _ => {} // _sum carries no cross-checkable invariant
+                }
+            }
+            (None, None) => {
+                return Err(at(format!("sample {} has no preceding TYPE", sample.name)));
+            }
+            (Some(_), Some(_)) => {
+                return Err(at(format!(
+                    "{} is typed both directly and as a histogram child",
+                    sample.name
+                )));
+            }
+        }
+    }
+    for (key, s) in &series {
+        let base = key.split('|').next().unwrap_or(key);
+        let inf = s
+            .inf
+            .ok_or_else(|| format!("histogram {base} has no +Inf bucket"))?;
+        let count = s
+            .count
+            .ok_or_else(|| format!("histogram {base} has no _count"))?;
+        if inf != count {
+            return Err(format!(
+                "histogram {base}: +Inf bucket {inf} != _count {count}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exclusive_test_lock, registry, set_mode, Mode};
+
+    #[test]
+    fn metric_names_are_sanitized_onto_the_charset() {
+        assert_eq!(metric_name("exp.cache.hits"), "exp_cache_hits");
+        assert_eq!(metric_name("proc.rss.bytes"), "proc_rss_bytes");
+        assert_eq!(metric_name("9lives"), "_9lives");
+        assert_eq!(metric_name("a-b c"), "a_b_c");
+        assert!(valid_name(&metric_name("weird*()name")));
+    }
+
+    #[test]
+    fn live_registry_renders_parsing_clean_exposition() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Summary);
+        registry::reset();
+        registry::counter("promtest.hits").add(7);
+        registry::gauge("promtest.depth").set(3);
+        let h = registry::histogram("promtest.lat_ns");
+        h.record(0);
+        h.record(5);
+        h.record(1000);
+        let text = render_registry();
+        validate(&text).unwrap_or_else(|e| panic!("invalid exposition:\n{text}\n{e}"));
+        assert!(text.contains("# TYPE promtest_hits counter\n"));
+        assert!(text.contains("promtest_hits 7\n"));
+        assert!(text.contains("# TYPE promtest_depth gauge\n"));
+        assert!(text.contains("promtest_depth 3\n"));
+        assert!(text.contains("promtest_depth_high_water 3\n"));
+        assert!(text.contains("# TYPE promtest_lat_ns histogram\n"));
+        assert!(text.contains("promtest_lat_ns_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("promtest_lat_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("promtest_lat_ns_sum 1005\n"));
+        assert!(text.contains("promtest_lat_ns_count 3\n"));
+        registry::reset();
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn labels_are_attached_and_escaped() {
+        let mut out = String::new();
+        push_type(&mut out, "job_cells_done", "gauge");
+        push_sample(
+            &mut out,
+            "job_cells_done",
+            &[("job", "ab\"c\\d"), ("worker", "0")],
+            42,
+        );
+        validate(&out).expect("labelled sample should validate");
+        assert!(out.contains("job_cells_done{job=\"ab\\\"c\\\\d\",worker=\"0\"} 42\n"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for (doc, needle) in [
+            ("bad-name 1\n", "unparseable value"), // '-' ends the name; "-name" is no value
+            ("# TYPE x widget\nx 1\n", "unknown metric kind"),
+            ("x 1\n", "no preceding TYPE"),
+            ("# TYPE x counter\nx notanumber\n", "unparseable value"),
+            (
+                "# TYPE x counter\n# TYPE x counter\nx 1\n",
+                "duplicate TYPE",
+            ),
+            ("# TYPE x counter\nx{le=0} 1\n", "not quoted"),
+            ("# TYPE x counter\nx{le=\"0} 1\n", "unterminated"),
+            ("# TYPE x histogram\nx 1\n", "without _bucket"),
+            (
+                "# TYPE x histogram\nx_bucket{le=\"+Inf\"} 2\nx_sum 1\nx_count 3\n",
+                "!= _count",
+            ),
+            (
+                "# TYPE x histogram\nx_bucket{le=\"1\"} 1\nx_bucket{le=\"1\"} 2\n",
+                "out of order",
+            ),
+            (
+                "# TYPE x histogram\nx_bucket{le=\"1\"} 5\nx_bucket{le=\"2\"} 3\n",
+                "not cumulative",
+            ),
+            ("# TYPE x histogram\nx_sum 1\nx_count 0\n", "no +Inf bucket"),
+        ] {
+            let err = validate(doc).expect_err(doc);
+            assert!(
+                err.contains(needle),
+                "doc {doc:?}: error {err:?} missing {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_series_is_cumulative_over_nonempty_buckets() {
+        let _guard = exclusive_test_lock();
+        set_mode(Mode::Summary);
+        registry::reset();
+        let h = registry::histogram("promtest.cumulative");
+        for v in [1u64, 1, 2, 700, 700, 700] {
+            h.record(v);
+        }
+        let text = render_registry();
+        validate(&text).unwrap();
+        // 1,1 → bucket le=1; 2 → le=3; 700×3 → le=1023. Cumulative: 2, 3, 6.
+        assert!(text.contains("promtest_cumulative_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("promtest_cumulative_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("promtest_cumulative_bucket{le=\"1023\"} 6\n"));
+        assert!(text.contains("promtest_cumulative_bucket{le=\"+Inf\"} 6\n"));
+        registry::reset();
+        set_mode(Mode::Off);
+    }
+}

@@ -245,6 +245,18 @@ impl Snapshot {
     }
 }
 
+/// Freezes every registered histogram's raw per-bucket counts as
+/// `(name, counts)` pairs sorted by name. [`HistogramSummary`] drops
+/// the buckets to stay `Copy`; the Prometheus exposition encoder
+/// ([`crate::promtext`]) needs them to publish cumulative `le` series.
+pub fn histogram_buckets() -> Vec<(String, [u64; crate::histogram::BUCKETS])> {
+    let reg = registry();
+    lock(&reg.histograms)
+        .iter()
+        .map(|(name, h)| (name.to_string(), h.bucket_counts()))
+        .collect()
+}
+
 /// Freezes every registered metric into a [`Snapshot`].
 pub fn snapshot() -> Snapshot {
     let reg = registry();
