@@ -6,7 +6,7 @@ use qfab_bench::fixed_mul_instance;
 use qfab_circuit::{Circuit, Gate};
 use qfab_core::{aqft, AqftDepth};
 use qfab_math::rng::Xoshiro256StarStar;
-use qfab_sim::{FusedPlan, ShotSampler, StateVector};
+use qfab_sim::{BatchedState, FusedPlan, Insertion, ShotSampler, StateVector};
 use std::hint::black_box;
 
 /// The full-depth QFM replay kernel: the transpiled circuit and its
@@ -124,6 +124,19 @@ fn bench_kernels(c: &mut Criterion) {
                 criterion::BatchSize::LargeInput,
             )
         });
+        // 8 trajectories per SoA sweep; one iteration advances all 8
+        // shots, so per-trajectory time is the reported time / 8.
+        group_replay.bench_function("qfm_full/batched_x8", |b| {
+            let lanes: Vec<&[Insertion]> = vec![&[]; 8];
+            b.iter_batched(
+                || BatchedState::broadcast(&initial, 8),
+                |mut batch| {
+                    plan.run_batch(&mut batch, 0, &lanes);
+                    black_box(batch)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
     }
     group_replay.finish();
 
@@ -202,8 +215,9 @@ fn emit_kernel_manifest() {
         }
     }
 
-    // Fused-replay timing on the full-depth QFM kernel, both paths —
-    // the machine-readable counterpart of `repro bench`.
+    // Replay timing on the full-depth QFM kernel — fused sequential,
+    // per-gate, and SoA-batched — the machine-readable counterpart of
+    // `repro bench`.
     const REPLAY_REPS: usize = 5;
     let (circuit, initial) = qfm_replay_kernel();
     let plan = FusedPlan::compile(&circuit);
@@ -223,10 +237,25 @@ fn emit_kernel_manifest() {
         drop(span);
         black_box(&s);
     }
+    // Batched replay: BATCH_K trajectories per SoA sweep, recorded as
+    // *per-trajectory* nanoseconds so the histogram compares directly
+    // against `fused_ns` (their ratio is the batching speedup the
+    // `repro bench` smoke asserts on).
+    const BATCH_K: usize = 8;
+    let batched_hist = telemetry::histogram("bench.replay.qfm_full.batched_ns");
+    let lanes: Vec<&[Insertion]> = vec![&[]; BATCH_K];
+    for _ in 0..REPLAY_REPS {
+        let mut batch = BatchedState::broadcast(&initial, BATCH_K);
+        let start = std::time::Instant::now();
+        plan.run_batch(&mut batch, 0, &lanes);
+        batched_hist.record(start.elapsed().as_nanos() as u64 / BATCH_K as u64);
+        black_box(&batch);
+    }
 
     let manifest = telemetry::Manifest::new("BENCH_kernels")
         .field("reps", REPS)
         .field("replay_reps", REPLAY_REPS)
+        .field("batch_lanes", BATCH_K)
         .field(
             "sizes_qubits",
             telemetry::Json::Arr(vec![telemetry::Json::U64(14), telemetry::Json::U64(17)]),

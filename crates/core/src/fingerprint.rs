@@ -108,12 +108,14 @@ mod tests {
             checkpoint_budget: 1,
             optimize: false,
             inner_parallel: true,
+            batch_shots: 1,
         };
         let b = RunConfig {
             shots: 128,
             checkpoint_budget: 1 << 30,
             optimize: false,
             inner_parallel: false,
+            batch_shots: 8,
         };
         assert_eq!(a.identity_json().encode(), b.identity_json().encode());
         assert_eq!(

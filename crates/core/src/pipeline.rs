@@ -25,10 +25,11 @@ use qfab_circuit::Circuit;
 use qfab_math::rng::Xoshiro256StarStar;
 use qfab_math::sampling::AliasTable;
 use qfab_noise::{NoiseModel, TrajectoryPlan};
-use qfab_sim::{CheckpointTable, Counts, ShotSampler, StateVector};
+use qfab_sim::{CheckpointTable, Counts, Insertion, ShotSampler, StateVector};
 use qfab_telemetry as telemetry;
 use qfab_telemetry::trace;
 use qfab_transpile::{transpile, Basis};
+use std::collections::BTreeMap;
 
 /// Tunable knobs of a noisy evaluation.
 #[derive(Clone, Copy, Debug)]
@@ -43,7 +44,18 @@ pub struct RunConfig {
     /// Use per-gate-kernel parallelism inside the state vector (turn
     /// off when an outer loop already saturates the cores).
     pub inner_parallel: bool,
+    /// Noisy trajectories replayed together in one SoA batch
+    /// ([`qfab_sim::BatchedState`]); `1` forces sequential replay.
+    /// A pure performance knob — sampled outcomes are bit-identical at
+    /// any value, so like `checkpoint_budget` and `inner_parallel` it
+    /// is excluded from the store identity.
+    pub batch_shots: usize,
 }
+
+/// Default trajectory batch width: 8 lanes keeps the working set of a
+/// 17-qubit batch (~16 MiB) cache-friendly while amortizing each op's
+/// sweep overhead and filling the AVX2 lanes.
+pub const DEFAULT_BATCH_SHOTS: usize = 8;
 
 impl Default for RunConfig {
     fn default() -> Self {
@@ -52,6 +64,7 @@ impl Default for RunConfig {
             checkpoint_budget: CheckpointTable::DEFAULT_BUDGET_BYTES,
             optimize: false,
             inner_parallel: false,
+            batch_shots: DEFAULT_BATCH_SHOTS,
         }
     }
 }
@@ -64,6 +77,7 @@ pub struct PreparedInstance {
     clean_dist: AliasTable,
     num_qubits: u32,
     transpiled_gates: usize,
+    batch_shots: usize,
 }
 
 impl PreparedInstance {
@@ -90,6 +104,7 @@ impl PreparedInstance {
             clean_dist,
             num_qubits,
             transpiled_gates,
+            batch_shots: config.batch_shots,
         }
     }
 
@@ -227,17 +242,83 @@ fn sample_counts_impl(
         let outcome = prep.clean_dist.sample(rng);
         record(&mut counts, outcome, rng);
     }
+    let noisy = shots - clean;
     let noisy_trace = trace::span_args(
         "pipeline.sample.noisy_batch",
-        &[("noisy", trace::ArgValue::U64(shots - clean))],
+        &[("noisy", trace::ArgValue::U64(noisy))],
     );
     let mut insertions_total = 0u64;
-    for _ in 0..(shots - clean) {
-        let trajectory = plan.sample_noisy(rng);
-        insertions_total += trajectory.len() as u64;
-        let state = prep.table.run_with_insertions(&trajectory);
-        let outcome = ShotSampler::sample_once(&state, rng);
-        record(&mut counts, outcome, rng);
+    // Readout error draws a variable number of uniforms per shot (one
+    // per flipped-candidate qubit), so only the sequential loop can
+    // keep its RNG stream aligned; batched replay requires outcomes to
+    // be resolvable from pre-drawn uniforms.
+    let batch_k = if readout.is_some() {
+        1
+    } else {
+        prep.batch_shots.max(1)
+    };
+    if batch_k <= 1 {
+        for _ in 0..noisy {
+            let trajectory = plan.sample_noisy(rng);
+            insertions_total += trajectory.len() as u64;
+            let state = prep.table.run_with_insertions(&trajectory);
+            let outcome = ShotSampler::sample_once(&state, rng);
+            record(&mut counts, outcome, rng);
+        }
+    } else {
+        // Phase 1: pre-draw every trajectory and its measurement
+        // uniform in exactly the order the sequential loop consumes the
+        // RNG — so batching cannot change a single sampled outcome.
+        let draws: Vec<(Vec<Insertion>, f64)> = (0..noisy)
+            .map(|_| {
+                let trajectory = plan.sample_noisy(rng);
+                insertions_total += trajectory.len() as u64;
+                let u = rng.next_f64();
+                (trajectory, u)
+            })
+            .collect();
+        // Phase 2: resolve outcomes. Error-free trajectories read the
+        // shared final state; the rest are grouped by restart
+        // checkpoint and replayed `batch_k` lanes at a time.
+        let mut outcomes = vec![0usize; draws.len()];
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (si, (trajectory, u)) in draws.iter().enumerate() {
+            match prep.table.checkpoint_index(trajectory) {
+                None => {
+                    if telemetry::enabled() {
+                        telemetry::counter("sim.replay.clean").incr();
+                    }
+                    outcomes[si] =
+                        ShotSampler::sample_index(prep.table.final_state().amplitudes(), *u);
+                }
+                Some(j) => groups.entry(j).or_default().push(si),
+            }
+        }
+        for (j, indices) in groups {
+            for chunk in indices.chunks(batch_k) {
+                if let [si] = *chunk {
+                    let state = prep.table.run_with_insertions(&draws[si].0);
+                    outcomes[si] = ShotSampler::sample_index(state.amplitudes(), draws[si].1);
+                } else {
+                    let lanes: Vec<&[Insertion]> =
+                        chunk.iter().map(|&si| draws[si].0.as_slice()).collect();
+                    let batch = prep.table.run_batch_from(j, &lanes);
+                    for (lane, &si) in chunk.iter().enumerate() {
+                        outcomes[si] = batch.sample_lane(lane, draws[si].1);
+                    }
+                }
+            }
+        }
+        if telemetry::enabled() {
+            // Every noisy shot resolved by inverse-CDF scan, batched or
+            // not — keep the counter's sequential semantics.
+            telemetry::counter("sim.sample.single_shots").add(noisy);
+        }
+        // Tabulate in original shot order (`readout` is `None` on this
+        // path, so `record` leaves the RNG untouched).
+        for &outcome in &outcomes {
+            record(&mut counts, outcome, rng);
+        }
     }
     noisy_trace.end_with_args(&[("insertions", trace::ArgValue::U64(insertions_total))]);
     drop(sample_trace);
@@ -360,6 +441,54 @@ mod tests {
                 "shared-prep sampling must match fresh at p={p}"
             );
         }
+    }
+
+    /// Batching is a pure performance knob: any `batch_shots` must
+    /// produce byte-identical counts — same outcomes from the same RNG
+    /// stream — as fully sequential replay.
+    #[test]
+    fn batched_sampling_is_byte_identical_to_sequential() {
+        let inst = small_add();
+        for p in [0.01, 0.08] {
+            let model = NoiseModel::depolarizing(p, 2.0 * p);
+            let sequential = RunConfig {
+                shots: 300,
+                batch_shots: 1,
+                ..RunConfig::default()
+            };
+            let (a, oa) = run_add_instance(&inst, AqftDepth::Full, &model, &sequential, 42);
+            for k in [3usize, 8, 32] {
+                let batched = RunConfig {
+                    batch_shots: k,
+                    ..sequential
+                };
+                let (b, ob) = run_add_instance(&inst, AqftDepth::Full, &model, &batched, 42);
+                assert_eq!(a, b, "counts diverged at p={p}, K={k}");
+                assert_eq!(oa, ob);
+            }
+        }
+    }
+
+    /// Readout error forces the sequential path (its RNG consumption is
+    /// outcome-dependent), so batching must not change outcomes there
+    /// either.
+    #[test]
+    fn batched_sampling_with_readout_matches_sequential() {
+        let inst = small_add();
+        let model = NoiseModel::depolarizing(0.02, 0.04)
+            .with_readout(qfab_noise::ReadoutError::symmetric(0.03));
+        let sequential = RunConfig {
+            shots: 200,
+            batch_shots: 1,
+            ..RunConfig::default()
+        };
+        let batched = RunConfig {
+            batch_shots: 8,
+            ..sequential
+        };
+        let (a, _) = run_add_instance(&inst, AqftDepth::Full, &model, &sequential, 9);
+        let (b, _) = run_add_instance(&inst, AqftDepth::Full, &model, &batched, 9);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Batched-trajectory equivalence: replaying K noisy trajectories
+//! through one SoA [`BatchedState`] pass must reproduce the sequential
+//! replay of each trajectory — on the *real* circuits the pipeline
+//! runs (random QFA/QFM instances lowered to the CX + 1q basis), with
+//! random Pauli insertions, across checkpoint-resume boundaries, and
+//! under both the SIMD and scalar kernel paths.
+//!
+//! The batched kernels are bit-exact by construction, so every check
+//! here asserts **exact** amplitude equality — stronger than the 1e-10
+//! the fused-plan equivalence suite tolerates.
+//!
+//! Seeded loops rather than `proptest` so the checks run in every
+//! environment (the offline proptest stub cannot generate values).
+
+use qfab_circuit::gate::Gate;
+use qfab_circuit::Circuit;
+use qfab_core::{AddInstance, AqftDepth, MulInstance};
+use qfab_math::rng::Xoshiro256StarStar;
+use qfab_sim::{BatchedState, CheckpointTable, FusedPlan, Insertion, StateVector};
+use qfab_transpile::{transpile, Basis};
+use std::collections::BTreeMap;
+
+fn assert_lane_bit_identical(
+    batch: &BatchedState,
+    lane: usize,
+    reference: &StateVector,
+    label: &str,
+) {
+    let got = batch.lane_amplitudes(lane);
+    let want = reference.amplitudes();
+    assert_eq!(got.len(), want.len(), "{label}: dimension mismatch");
+    for (i, (a, b)) in got.iter().zip(want).enumerate() {
+        assert!(
+            a == b,
+            "{label}: lane {lane} amplitude {i} not bit-identical (batched {a}, sequential {b})"
+        );
+    }
+}
+
+fn random_trajectory(rng: &mut Xoshiro256StarStar, gates: usize, qubits: u32) -> Vec<Insertion> {
+    let paulis = [
+        Gate::X as fn(u32) -> Gate,
+        Gate::Y as fn(u32) -> Gate,
+        Gate::Z as fn(u32) -> Gate,
+    ];
+    let count = 1 + rng.next_bounded(3) as usize;
+    let mut sites: Vec<usize> = (0..count)
+        .map(|_| rng.next_bounded(gates as u64) as usize)
+        .collect();
+    sites.sort_unstable();
+    sites
+        .into_iter()
+        .map(|after_gate| Insertion {
+            after_gate,
+            gate: paulis[rng.next_bounded(3) as usize](rng.next_bounded(u64::from(qubits)) as u32),
+        })
+        .collect()
+}
+
+/// Draws random trajectories, groups them by restart checkpoint (the
+/// invariant the pipeline maintains), batches each group K lanes at a
+/// time, and checks every lane against its sequential replay.
+fn check_batched_replay(
+    lowered: &Circuit,
+    initial: &StateVector,
+    interval: usize,
+    seed: u64,
+    label: &str,
+) {
+    let table = CheckpointTable::build(lowered.clone(), initial, interval);
+    let mut rng = Xoshiro256StarStar::new(seed);
+    for k in [1usize, 3, 8] {
+        let mut groups: BTreeMap<usize, Vec<Vec<Insertion>>> = BTreeMap::new();
+        for _ in 0..(4 * k) {
+            let traj = random_trajectory(&mut rng, lowered.len(), lowered.num_qubits());
+            let j = table.checkpoint_index(&traj).expect("non-empty trajectory");
+            groups.entry(j).or_default().push(traj);
+        }
+        for (j, trajs) in groups {
+            for chunk in trajs.chunks(k) {
+                let lanes: Vec<&[Insertion]> = chunk.iter().map(|t| t.as_slice()).collect();
+                let batch = table.run_batch_from(j, &lanes);
+                for (lane, traj) in chunk.iter().enumerate() {
+                    let sequential = table.run_with_insertions(traj);
+                    assert_lane_bit_identical(
+                        &batch,
+                        lane,
+                        &sequential,
+                        &format!("{label} K={k} checkpoint={j}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_replay_bit_identical_on_random_qfa() {
+    let mut rng = Xoshiro256StarStar::new(0xBA7C_1);
+    for seed in 0..3u64 {
+        let inst = AddInstance::random(4, 4, 1 + (seed as usize % 2), 2, &mut rng);
+        for depth in [AqftDepth::Full, AqftDepth::Limited(2)] {
+            let lowered = transpile(&inst.circuit(depth), Basis::CxPlus1q);
+            check_batched_replay(
+                &lowered,
+                &inst.initial_state(),
+                11,
+                0x5EED + seed,
+                &format!("qfa seed={seed} depth={depth:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_replay_bit_identical_on_random_qfm() {
+    let mut rng = Xoshiro256StarStar::new(0xBA7C_2);
+    for seed in 0..2u64 {
+        let inst = MulInstance::random(2, 2, 2, 1 + (seed as usize % 2), &mut rng);
+        for depth in [AqftDepth::Full, AqftDepth::Limited(3)] {
+            let lowered = transpile(&inst.circuit(depth), Basis::CxPlus1q);
+            check_batched_replay(
+                &lowered,
+                &inst.initial_state(),
+                17,
+                0xF00D + seed,
+                &format!("qfm seed={seed} depth={depth:?}"),
+            );
+        }
+    }
+}
+
+/// Checkpoint-resume boundaries: pin the first insertion to every gate
+/// around each checkpoint multiple (j·interval − 1, j·interval,
+/// j·interval + 1), where mid-op entry forces the whole batch down the
+/// per-gate path.
+#[test]
+fn batched_replay_bit_identical_at_checkpoint_boundaries() {
+    let mut rng = Xoshiro256StarStar::new(0xBA7C_3);
+    let inst = AddInstance::random(3, 3, 1, 2, &mut rng);
+    let lowered = transpile(&inst.circuit(AqftDepth::Full), Basis::CxPlus1q);
+    let initial = inst.initial_state();
+    let interval = 7;
+    let table = CheckpointTable::build(lowered.clone(), &initial, interval);
+    let n = lowered.num_qubits();
+    let boundary_sites: Vec<usize> = (0..table.num_checkpoints())
+        .flat_map(|j| {
+            let g = j * interval;
+            [g.saturating_sub(1), g, g + 1]
+        })
+        .filter(|&g| g < lowered.len())
+        .collect();
+    for &site in &boundary_sites {
+        // Three lanes sharing the boundary site with different Paulis,
+        // one with an extra later insertion — all restart from the same
+        // checkpoint.
+        let lane_trajs: Vec<Vec<Insertion>> = vec![
+            vec![Insertion {
+                after_gate: site,
+                gate: Gate::X(rng.next_bounded(u64::from(n)) as u32),
+            }],
+            vec![Insertion {
+                after_gate: site,
+                gate: Gate::Z(rng.next_bounded(u64::from(n)) as u32),
+            }],
+            vec![
+                Insertion {
+                    after_gate: site,
+                    gate: Gate::Y(rng.next_bounded(u64::from(n)) as u32),
+                },
+                Insertion {
+                    after_gate: site + rng.next_bounded((lowered.len() - site) as u64) as usize,
+                    gate: Gate::X(rng.next_bounded(u64::from(n)) as u32),
+                },
+            ],
+        ];
+        let j = table.checkpoint_index(&lane_trajs[0]).unwrap();
+        assert!(lane_trajs
+            .iter()
+            .all(|t| table.checkpoint_index(t) == Some(j)));
+        let lanes: Vec<&[Insertion]> = lane_trajs.iter().map(|t| t.as_slice()).collect();
+        let batch = table.run_batch_from(j, &lanes);
+        for (lane, traj) in lane_trajs.iter().enumerate() {
+            let sequential = table.run_with_insertions(traj);
+            assert_lane_bit_identical(&batch, lane, &sequential, &format!("boundary site={site}"));
+        }
+    }
+}
+
+/// The SIMD and scalar batched paths must agree bit-for-bit on a full
+/// transpiled replay. This runs in every environment: when AVX2 is
+/// unavailable (or forced off via `QFAB_SIMD=off`) both states take the
+/// scalar path and the check degenerates to determinism — it still
+/// runs, per the coverage requirement, rather than being compiled out.
+#[test]
+fn simd_and_scalar_batched_replay_agree() {
+    let mut rng = Xoshiro256StarStar::new(0xBA7C_4);
+    let inst = AddInstance::random(3, 4, 1, 2, &mut rng);
+    let lowered = transpile(&inst.circuit(AqftDepth::Full), Basis::CxPlus1q);
+    let initial = inst.initial_state();
+    let plan = FusedPlan::compile(&lowered);
+    let k = 5;
+    let lane_trajs: Vec<Vec<Insertion>> = (0..k)
+        .map(|_| random_trajectory(&mut rng, lowered.len(), lowered.num_qubits()))
+        .collect();
+    let lanes: Vec<&[Insertion]> = lane_trajs.iter().map(|t| t.as_slice()).collect();
+    let mut fast = BatchedState::broadcast(&initial, k);
+    let mut slow = fast.clone();
+    fast.set_simd(true);
+    slow.set_simd(false);
+    plan.run_batch(&mut fast, 0, &lanes);
+    plan.run_batch(&mut slow, 0, &lanes);
+    for lane in 0..k {
+        assert_eq!(
+            fast.lane_amplitudes(lane),
+            slow.lane_amplitudes(lane),
+            "SIMD/scalar divergence on lane {lane}"
+        );
+    }
+}

@@ -49,14 +49,16 @@ impl GateReport {
     }
 }
 
-/// Extracts `bench.kernels.*` histogram means from a manifest document.
+/// Extracts `bench.kernels.*` and `bench.replay.*` histogram means
+/// (per-gate kernels and the fused/per-gate/batched replay paths) from
+/// a manifest document.
 fn kernel_means(doc: &Json) -> Result<Vec<(String, f64)>, String> {
     let Some(Json::Obj(hists)) = doc.get("metrics").and_then(|m| m.get("histograms")) else {
         return Err("manifest has no metrics.histograms block".into());
     };
     let mut out: Vec<(String, f64)> = hists
         .iter()
-        .filter(|(name, _)| name.starts_with("bench.kernels."))
+        .filter(|(name, _)| name.starts_with("bench.kernels.") || name.starts_with("bench.replay."))
         .filter_map(|(name, h)| Some((name.clone(), h.get("mean")?.as_f64()?)))
         .collect();
     if out.is_empty() {
@@ -215,6 +217,28 @@ mod tests {
         assert!(rendered.contains("in baseline but not"), "{rendered}");
         assert!(rendered.contains("no baseline (ungated)"), "{rendered}");
         assert!(rendered.contains("bench gate PASSED"), "{rendered}");
+    }
+
+    #[test]
+    fn replay_histograms_are_gated_too() {
+        let base = manifest(&[
+            ("bench.replay.qfm_full.fused_ns", 1000.0),
+            ("bench.replay.qfm_full.batched_ns", 400.0),
+        ]);
+        let cur = manifest(&[
+            ("bench.replay.qfm_full.fused_ns", 1100.0),
+            // Batched path collapsed back to sequential cost: regression.
+            ("bench.replay.qfm_full.batched_ns", 1100.0),
+        ]);
+        let report = compare(&base, &cur, 50.0).unwrap();
+        assert_eq!(report.deltas.len(), 2);
+        assert!(!report.passed());
+        let batched = report
+            .deltas
+            .iter()
+            .find(|d| d.name.ends_with("batched_ns"))
+            .unwrap();
+        assert!(batched.regressed);
     }
 
     #[test]

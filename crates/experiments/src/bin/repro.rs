@@ -15,7 +15,8 @@
 //! repro worker --job J --shard K/W  # one instance shard of a job
 //! repro --store-verify DIR          # integrity-check a result store
 //! repro trace-report FILE [--top N] # analyze a QFAB_TRACE capture
-//! repro bench [--trajectories N]    # fused vs per-gate replay timing
+//! repro bench [--trajectories N] [--min-batched-speedup X]
+//!                                   # fused vs per-gate vs batched replay timing
 //! repro bench-gate FILE [options]   # kernel-bench regression gate
 //! ```
 //!
@@ -304,7 +305,7 @@ fn list() {
     println!("  worker               compute one instance shard (see serve)");
     println!("  trace-report FILE    wall-clock attribution for a QFAB_TRACE capture");
     println!("  trace-merge A B...   union per-worker trace captures into one timeline");
-    println!("  bench                time fused vs per-gate trajectory replay");
+    println!("  bench                time fused vs per-gate vs batched trajectory replay");
     println!("  bench-gate FILE      compare BENCH_kernels.json against the baseline");
     println!("run 'repro --help' for the full option reference.");
 }
@@ -435,6 +436,7 @@ const DEFAULT_THRESHOLD_PCT: f64 = 300.0;
 fn replay_bench(args: &[String]) -> Result<(), String> {
     let mut trajectories = 20usize;
     let mut seed = DEFAULT_SEED;
+    let mut min_batched_speedup: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -454,6 +456,15 @@ fn replay_bench(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("--seed: {e}"))?;
                 i += 2;
             }
+            "--min-batched-speedup" => {
+                min_batched_speedup = Some(
+                    args.get(i + 1)
+                        .ok_or("--min-batched-speedup needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--min-batched-speedup: {e}"))?,
+                );
+                i += 2;
+            }
             other => return Err(format!("unknown bench option '{other}'")),
         }
     }
@@ -466,6 +477,27 @@ fn replay_bench(args: &[String]) -> Result<(), String> {
         "{}",
         qfab_experiments::replaybench::format_report(&results, trajectories)
     );
+    if let Some(min) = min_batched_speedup {
+        // Gate on the best kernel: batching targets states past L2
+        // residency (the big QFM kernel); the small QFA kernel runs at
+        // parity and is reported but would only add machine noise to a
+        // smoke check. A broken batched path drags *every* kernel far
+        // below 1.0 and still trips this.
+        let best = results
+            .iter()
+            .max_by(|a, b| a.batched_speedup().total_cmp(&b.batched_speedup()))
+            .ok_or("bench produced no kernels")?;
+        if best.batched_speedup() < min {
+            return Err(format!(
+                "{}: best batched speedup {:.2}x below the required {min:.2}x \
+                 (fused {:.3} ms vs batched {:.3} ms per trajectory)",
+                best.label,
+                best.batched_speedup(),
+                best.fused_ms,
+                best.batched_ms
+            ));
+        }
+    }
     Ok(())
 }
 

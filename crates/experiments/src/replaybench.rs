@@ -14,9 +14,13 @@
 use qfab_circuit::Gate;
 use qfab_core::{AddInstance, AqftDepth, MulInstance, Qinteger};
 use qfab_math::rng::Xoshiro256StarStar;
-use qfab_sim::{FusedPlan, Insertion, StateVector};
+use qfab_sim::{BatchedState, FusedPlan, Insertion, StateVector};
 use qfab_transpile::{transpile, Basis};
 use std::time::Instant;
+
+/// Trajectories per SoA batch in the batched timing pass — the
+/// pipeline's default batch width.
+pub const BATCH_K: usize = 8;
 
 /// Mean per-trajectory replay timings for one kernel, both paths.
 #[derive(Clone, Debug)]
@@ -31,6 +35,9 @@ pub struct ReplayTimings {
     pub fused_ms: f64,
     /// Mean wall milliseconds per trajectory through the per-gate loop.
     pub per_gate_ms: f64,
+    /// Mean wall milliseconds per trajectory through [`BATCH_K`]-lane
+    /// SoA batches of the fused plan.
+    pub batched_ms: f64,
 }
 
 impl ReplayTimings {
@@ -40,6 +47,15 @@ impl ReplayTimings {
             return 1.0;
         }
         self.per_gate_ms / self.fused_ms
+    }
+
+    /// Fused-sequential over batched per-trajectory time: >1 means
+    /// batching is winning on top of fusion.
+    pub fn batched_speedup(&self) -> f64 {
+        if self.batched_ms <= 0.0 {
+            return 1.0;
+        }
+        self.fused_ms / self.batched_ms
     }
 
     /// Gates-in over ops-out for the fused plan.
@@ -148,12 +164,27 @@ pub fn run(count: usize, seed: u64) -> Vec<ReplayTimings> {
                 std::hint::black_box(replay_per_gate(&k, ins));
             }
             let per_gate_ms = start.elapsed().as_secs_f64() * 1e3 / count as f64;
+            // Batched path: the same trajectories, BATCH_K lanes per
+            // SoA sweep (the last chunk may be narrower).
+            let run_chunk = |chunk: &[Vec<Insertion>]| {
+                let lanes: Vec<&[Insertion]> = chunk.iter().map(|t| t.as_slice()).collect();
+                let mut b = BatchedState::broadcast(&k.initial, lanes.len());
+                plan.run_batch(&mut b, 0, &lanes);
+                std::hint::black_box(&b);
+            };
+            run_chunk(&trajs[..trajs.len().min(BATCH_K)]);
+            let start = Instant::now();
+            for chunk in trajs.chunks(BATCH_K) {
+                run_chunk(chunk);
+            }
+            let batched_ms = start.elapsed().as_secs_f64() * 1e3 / count as f64;
             ReplayTimings {
                 label: k.label,
                 gates: k.circuit.len(),
                 ops: plan.num_ops(),
                 fused_ms,
                 per_gate_ms,
+                batched_ms,
             }
         })
         .collect()
@@ -161,18 +192,23 @@ pub fn run(count: usize, seed: u64) -> Vec<ReplayTimings> {
 
 /// Formats the bench report the `repro bench` subcommand prints.
 pub fn format_report(results: &[ReplayTimings], count: usize) -> String {
-    let mut out = format!("trajectory replay, mean over {count} trajectories:\n");
-    out.push_str("kernel          |  gates |   ops | ratio | fused ms | per-gate ms | speedup\n");
+    let mut out =
+        format!("trajectory replay, mean over {count} trajectories (batch K={BATCH_K}):\n");
+    out.push_str(
+        "kernel          |  gates |   ops | ratio | fused ms | per-gate ms | speedup | batched ms | batch speedup\n",
+    );
     for r in results {
         out.push_str(&format!(
-            "{:<15} | {:>6} | {:>5} | {:>5.2} | {:>8.3} | {:>11.3} | {:>6.2}x\n",
+            "{:<15} | {:>6} | {:>5} | {:>5.2} | {:>8.3} | {:>11.3} | {:>6.2}x | {:>10.3} | {:>12.2}x\n",
             r.label,
             r.gates,
             r.ops,
             r.fusion_ratio(),
             r.fused_ms,
             r.per_gate_ms,
-            r.speedup()
+            r.speedup(),
+            r.batched_ms,
+            r.batched_speedup()
         ));
     }
     out
@@ -191,11 +227,12 @@ mod tests {
         assert_eq!(results.len(), 2);
         for r in &results {
             assert!(r.gates > r.ops, "{}: nothing fused", r.label);
-            assert!(r.fused_ms > 0.0 && r.per_gate_ms > 0.0);
+            assert!(r.fused_ms > 0.0 && r.per_gate_ms > 0.0 && r.batched_ms > 0.0);
         }
         let report = format_report(&results, 2);
         assert!(report.contains("qfm 4x4 full"));
         assert!(report.contains("speedup"));
+        assert!(report.contains("batched ms"));
 
         // Spot-check path equivalence on one kernel + trajectory.
         let k = &kernels()[1];
@@ -209,5 +246,24 @@ mod tests {
             reference.amplitudes(),
             1e-10
         ));
+    }
+
+    #[test]
+    fn batched_replay_lanes_match_fused_sequential() {
+        let k = &kernels()[1];
+        let trajs = trajectories(k, 4, 7);
+        let plan = FusedPlan::compile(&k.circuit);
+        let lanes: Vec<&[Insertion]> = trajs.iter().map(|t| t.as_slice()).collect();
+        let mut batch = BatchedState::broadcast(&k.initial, lanes.len());
+        plan.run_batch(&mut batch, 0, &lanes);
+        for (lane, traj) in trajs.iter().enumerate() {
+            let mut sequential = k.initial.clone();
+            plan.run_from(&mut sequential, 0, traj);
+            assert_eq!(
+                batch.lane_amplitudes(lane),
+                sequential.amplitudes(),
+                "lane {lane} not bit-identical"
+            );
+        }
     }
 }

@@ -625,6 +625,32 @@ mod tests {
     }
 
     #[test]
+    fn batched_and_sequential_panels_are_identical() {
+        // `batch_shots` is a pure performance knob: every cell outcome
+        // — success flags and exact count gaps — must be identical
+        // whether trajectories replay through 8-lane SoA batches or
+        // one at a time.
+        let spec = tiny_spec();
+        let ensemble = ensemble_for(&spec, 11, 2);
+        let run = |batch_shots: usize| -> Vec<Vec<Vec<InstanceOutcome>>> {
+            let config = RunConfig {
+                shots: 64,
+                batch_shots,
+                ..RunConfig::default()
+            };
+            (0..2)
+                .map(|i| {
+                    run_instance_grid(&spec, &ensemble, i, &config, 11)
+                        .into_iter()
+                        .map(|row| row.into_iter().map(|c| c.outcome).collect())
+                        .collect()
+                })
+                .collect()
+        };
+        assert_eq!(run(8), run(1), "outcomes must not depend on batching");
+    }
+
+    #[test]
     fn cached_rerun_hits_every_cell_and_matches() {
         let dir =
             std::env::temp_dir().join(format!("qfab_runner_cache_test_{}", std::process::id()));

@@ -1,0 +1,1241 @@
+//! Batched trajectory state: K statevectors in one SoA pass.
+//!
+//! Monte-Carlo replay runs the *same* [`FusedPlan`](crate::FusedPlan)
+//! over thousands of trajectories that differ only in a sparse set of
+//! inserted Pauli gates. Replaying them one at a time makes every op
+//! sweep the full statevector per trajectory — the sweep itself (mask
+//! scan, chunk bookkeeping, table-index extraction) is pure overhead
+//! repeated K times for identical control flow.
+//!
+//! [`BatchedState`] stores K statevectors interleaved amplitude-major:
+//! `amps[i * K + lane]` is amplitude `i` of trajectory `lane`, so the K
+//! values an op touches for a given amplitude index are contiguous in
+//! memory. One sweep then advances all K trajectories, the per-index
+//! overhead is amortized K-fold, and the contiguous lane blocks are
+//! exactly the shape AVX2 complex arithmetic wants.
+//!
+//! ### Bit-exactness contract
+//!
+//! Every kernel here performs the *same arithmetic on the same values
+//! in the same order* as its scalar counterpart in
+//! [`StateVector`](crate::StateVector) — including the AVX2 paths,
+//! which use no FMA and only commute multiplication operands and
+//! addition operands (both bitwise-neutral under IEEE-754 for finite
+//! values). A batched lane therefore ends **bit-identical** to the
+//! sequential replay of that trajectory, which is what lets the noisy
+//! pipeline batch shots without changing a single sampled outcome (and
+//! without bumping the store's `CODE_SALT`).
+//!
+//! ### Runtime SIMD dispatch
+//!
+//! AVX2 is detected once at runtime (mirroring the BMI2 `pext` dispatch
+//! in the scalar diag-table kernel) with a scalar fallback on every
+//! path. Setting `QFAB_SIMD=off` (or `0` / `scalar`) in the environment
+//! forces the scalar fallback — CI runs the equivalence suite in both
+//! modes.
+
+use crate::statevector::StateVector;
+use qfab_circuit::gate::{Gate, GateMatrix};
+use qfab_math::bits::dim;
+use qfab_math::complex::Complex64;
+use qfab_math::matrix::Mat2;
+use std::sync::OnceLock;
+
+/// Whether batched kernels should take the SIMD path by default:
+/// requires x86-64 AVX2 at runtime and no `QFAB_SIMD=off` override.
+pub fn simd_default() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("QFAB_SIMD").ok().as_deref() {
+        Some("off") | Some("0") | Some("scalar") => false,
+        _ => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                std::arch::is_x86_feature_detected!("avx2")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                false
+            }
+        }
+    })
+}
+
+/// Default cache-tile budget in KiB for tiled op runs: an eighth of a
+/// typical 2 MiB per-core L2 slice, so a tile group of up to
+/// [`2^3`](crate::fused) partner tiles still closes inside L2 (the
+/// `QFAB_TILE_KIB` sweep in EXPERIMENTS.md picked this point).
+/// Overridable via `QFAB_TILE_KIB` (ablation knob — changes scheduling
+/// only, never results).
+const DEFAULT_TILE_KIB: usize = 256;
+
+/// Tile width in amplitudes for a batch of `lanes` trajectories: the
+/// largest power of two whose SoA tile (`width · lanes` complexes)
+/// fits the tile budget.
+fn default_tile_amps(lanes: usize) -> usize {
+    static KIB: OnceLock<usize> = OnceLock::new();
+    let kib = *KIB.get_or_init(|| {
+        std::env::var("QFAB_TILE_KIB")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_TILE_KIB)
+    });
+    let amps = (kib.max(1) * 1024) / (std::mem::size_of::<Complex64>() * lanes);
+    if amps <= 1 {
+        1
+    } else {
+        1usize << (usize::BITS - 1 - amps.leading_zeros())
+    }
+}
+
+/// `K` interleaved statevectors advancing through one shared plan.
+#[derive(Clone, Debug)]
+pub struct BatchedState {
+    n: u32,
+    lanes: usize,
+    simd: bool,
+    tile_amps: usize,
+    /// SoA amplitudes: `amps[i * lanes + lane]`, length `2^n · lanes`.
+    amps: Vec<Complex64>,
+}
+
+impl BatchedState {
+    /// Replicates `state` into `lanes` identical trajectories.
+    pub fn broadcast(state: &StateVector, lanes: usize) -> Self {
+        assert!(lanes >= 1, "a batch needs at least one lane");
+        let src = state.amplitudes();
+        let mut amps = Vec::with_capacity(src.len() * lanes);
+        for &a in src {
+            amps.extend(std::iter::repeat_n(a, lanes));
+        }
+        let simd = simd_default();
+        if let Some(m) = crate::telem::metrics() {
+            m.batch_simd.set(simd as u64);
+        }
+        Self {
+            n: state.num_qubits(),
+            lanes,
+            simd,
+            tile_amps: default_tile_amps(lanes),
+            amps,
+        }
+    }
+
+    /// Amplitudes per cache tile for tiled op runs (see
+    /// `FusedPlan::run_batch`). At least `dim()` means tiling is moot
+    /// and runs apply op-by-op over the whole state.
+    pub fn tile_amps(&self) -> usize {
+        self.tile_amps
+    }
+
+    /// Overrides the tile width (power of two) — ablation and testing
+    /// only; tiling never changes results, only memory scheduling.
+    pub fn set_tile_amps(&mut self, amps: usize) {
+        assert!(amps.is_power_of_two(), "tile width must be a power of two");
+        self.tile_amps = amps;
+    }
+
+    /// Number of qubits per lane.
+    pub fn num_qubits(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of trajectory lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Amplitudes per lane (`2^n`).
+    pub fn dim(&self) -> usize {
+        dim(self.n)
+    }
+
+    /// Whether kernels currently take the SIMD path.
+    pub fn simd_active(&self) -> bool {
+        self.simd
+    }
+
+    /// Forces the kernel dispatch (ablation / equivalence testing).
+    /// Enabling SIMD where the CPU lacks AVX2 is ignored.
+    pub fn set_simd(&mut self, enabled: bool) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            self.simd = enabled && std::arch::is_x86_feature_detected!("avx2");
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = enabled;
+            self.simd = false;
+        }
+    }
+
+    /// Copies one lane out as a dense amplitude vector.
+    pub fn lane_amplitudes(&self, lane: usize) -> Vec<Complex64> {
+        assert!(lane < self.lanes);
+        self.amps[lane..]
+            .iter()
+            .step_by(self.lanes)
+            .copied()
+            .collect()
+    }
+
+    /// Extracts one lane into a scalar [`StateVector`] (sequential
+    /// kernels — lane peeling happens under an outer batch loop).
+    pub fn extract_lane(&self, lane: usize) -> StateVector {
+        StateVector::from_amplitudes_raw(self.n, false, self.lane_amplitudes(lane))
+    }
+
+    /// Writes a scalar state back into one lane.
+    pub fn store_lane(&mut self, lane: usize, state: &StateVector) {
+        assert!(lane < self.lanes);
+        assert_eq!(state.num_qubits(), self.n, "lane qubit count mismatch");
+        for (dst, src) in self.amps[lane..]
+            .iter_mut()
+            .step_by(self.lanes)
+            .zip(state.amplitudes())
+        {
+            *dst = *src;
+        }
+    }
+
+    /// Applies `gate` to a single lane via the scalar kernels (exactly
+    /// the arithmetic a sequential replay would use).
+    pub fn apply_gate_lane(&mut self, lane: usize, gate: &Gate) {
+        let mut sv = self.extract_lane(lane);
+        sv.apply_gate(gate);
+        self.store_lane(lane, &sv);
+    }
+
+    /// Applies `gate` to every lane in one SoA sweep. Mirrors the
+    /// dispatch in `StateVector::apply_gate` — update both together.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        use Gate::*;
+        match *gate {
+            I(_) => {}
+            Z(q) => self.phase_on_mask(1usize << q, 1usize << q, -Complex64::ONE),
+            S(q) => self.phase_on_mask(1usize << q, 1usize << q, Complex64::I),
+            Sdg(q) => self.phase_on_mask(1usize << q, 1usize << q, -Complex64::I),
+            T(q) => self.phase_on_mask(
+                1usize << q,
+                1usize << q,
+                Complex64::cis(std::f64::consts::FRAC_PI_4),
+            ),
+            Tdg(q) => self.phase_on_mask(
+                1usize << q,
+                1usize << q,
+                Complex64::cis(-std::f64::consts::FRAC_PI_4),
+            ),
+            Phase(q, t) => self.phase_on_mask(1usize << q, 1usize << q, Complex64::cis(t)),
+            Rz(q, t) => self.diag_pair(q, Complex64::cis(-t / 2.0), Complex64::cis(t / 2.0)),
+            Cz(a, b) => {
+                let m = (1usize << a) | (1usize << b);
+                self.phase_on_mask(m, m, -Complex64::ONE)
+            }
+            Cphase {
+                control,
+                target,
+                theta,
+            } => {
+                let m = (1usize << control) | (1usize << target);
+                self.phase_on_mask(m, m, Complex64::cis(theta))
+            }
+            Ccphase {
+                c0,
+                c1,
+                target,
+                theta,
+            } => {
+                let m = (1usize << c0) | (1usize << c1) | (1usize << target);
+                self.phase_on_mask(m, m, Complex64::cis(theta))
+            }
+            X(q) => self.apply_x(q),
+            Cx { control, target } => self.controlled_x(1usize << control, target),
+            Ccx { c0, c1, target } => self.controlled_x((1usize << c0) | (1usize << c1), target),
+            Swap(a, b) => self.apply_swap(0, a, b),
+            Cswap { control, a, b } => self.apply_swap(1usize << control, a, b),
+            ref g if g.arity() == 1 => {
+                let GateMatrix::One(m) = g.matrix() else {
+                    unreachable!()
+                };
+                self.apply_mat2(g.qubits()[0], &m);
+            }
+            // Generic 2q/3q fallback: per-lane scalar (rare path —
+            // transpiled circuits never reach it).
+            ref g => {
+                for lane in 0..self.lanes {
+                    self.apply_gate_lane(lane, g);
+                }
+            }
+        }
+    }
+
+    /// The measurement outcome of one lane for a pre-drawn uniform `u`:
+    /// the same inverse-CDF scan as `ShotSampler::sample_once`, so a
+    /// batched shot with the same `u` lands on the same outcome.
+    pub fn sample_lane(&self, lane: usize, mut u: f64) -> usize {
+        assert!(lane < self.lanes);
+        let k = self.lanes;
+        let d = self.dim();
+        for i in 0..d {
+            let p = self.amps[i * k + lane].norm_sqr();
+            if u < p {
+                return i;
+            }
+            u -= p;
+        }
+        // Floating-point slack: fall back to the last nonzero amplitude.
+        (0..d)
+            .rev()
+            .find(|&i| self.amps[i * k + lane].norm_sqr() > 0.0)
+            .unwrap_or(d - 1)
+    }
+
+    /// Multiplies every lane block whose amplitude index satisfies
+    /// `index & mask == want` by `phase`.
+    ///
+    /// Amplitude indices that differ only below the mask's lowest set
+    /// bit share the match decision, so the sweep tests once per *run*
+    /// of `2^trailing_zeros(mask)` blocks and multiplies the whole
+    /// contiguous run — per-block dispatch overhead amortizes into runs
+    /// and the SIMD path sees one long contiguous multiply per run.
+    pub(crate) fn phase_on_mask(&mut self, mask: usize, want: usize, phase: Complex64) {
+        self.phase_on_mask_range(0, self.dim(), mask, want, phase);
+    }
+
+    /// [`Self::phase_on_mask`] restricted to amplitude indices
+    /// `[t0, t1)` — a power-of-two width with `t0` aligned to it, so
+    /// every run either closes within the tile or covers it whole (the
+    /// mask bits above the tile are constant and tested via `t0`).
+    pub(crate) fn phase_on_mask_range(
+        &mut self,
+        t0: usize,
+        t1: usize,
+        mask: usize,
+        want: usize,
+        phase: Complex64,
+    ) {
+        let width = t1 - t0;
+        debug_assert!(width.is_power_of_two() && t0.is_multiple_of(width));
+        let run = if mask == 0 {
+            width
+        } else {
+            (1usize << mask.trailing_zeros()).min(width)
+        };
+        // A low mask bit (e.g. the control a CX-rewritten diagonal
+        // drags in) makes runs short and the sweep decision-bound.
+        // Peel the lowest bit off the match: iterate the much longer
+        // runs of the remaining mask and multiply the peeled bit's
+        // half decision-free, as strided chunks.
+        if run < width {
+            let rest = mask & (mask - 1);
+            let rest_run = if rest == 0 {
+                width
+            } else {
+                (1usize << rest.trailing_zeros()).min(width)
+            };
+            if rest_run > 2 * run {
+                let simd = self.simd;
+                let chunk = run * self.lanes;
+                let stride = 2 * chunk;
+                let offset = if want & (1usize << mask.trailing_zeros()) != 0 {
+                    chunk
+                } else {
+                    0
+                };
+                let step = rest_run * self.lanes;
+                let want_rest = want & rest;
+                let amps = &mut self.amps[t0 * self.lanes..t1 * self.lanes];
+                for (r, ch) in amps.chunks_mut(step).enumerate() {
+                    if (t0 + r * rest_run) & rest != want_rest {
+                        continue;
+                    }
+                    for w in ch[offset..].chunks_mut(stride) {
+                        let c = &mut w[..chunk];
+                        #[cfg(target_arch = "x86_64")]
+                        if simd {
+                            // SAFETY: `simd` is only true after a
+                            // runtime AVX2 check.
+                            unsafe { mul_block(c, phase) };
+                            continue;
+                        }
+                        mul_scalar(c, phase);
+                    }
+                }
+                return;
+            }
+        }
+        let step = run * self.lanes;
+        let amps = &mut self.amps[t0 * self.lanes..t1 * self.lanes];
+        #[cfg(target_arch = "x86_64")]
+        if self.simd {
+            // SAFETY: `simd` is only true after a runtime AVX2 check.
+            unsafe { phase_runs_avx2(amps, step, run, t0, mask, want, phase) };
+            return;
+        }
+        for (r, ch) in amps.chunks_mut(step).enumerate() {
+            if (t0 + r * run) & mask == want {
+                mul_scalar(ch, phase);
+            }
+        }
+    }
+
+    /// Applies `diag(p0, p1)` on qubit `q` to every lane.
+    pub(crate) fn diag_pair(&mut self, q: u32, p0: Complex64, p1: Complex64) {
+        self.diag_pair_range(0, self.dim(), q, p0, p1);
+    }
+
+    /// [`Self::diag_pair`] restricted to the tile `[t0, t1)`. When the
+    /// qubit sits at or above the tile width the whole tile shares one
+    /// of the two phases (picked from the tile base).
+    pub(crate) fn diag_pair_range(
+        &mut self,
+        t0: usize,
+        t1: usize,
+        q: u32,
+        p0: Complex64,
+        p1: Complex64,
+    ) {
+        let bit = 1usize << q;
+        if bit >= t1 - t0 {
+            return self.mul_range(t0, t1, if t0 & bit != 0 { p1 } else { p0 });
+        }
+        let split = bit * self.lanes;
+        let amps = &mut self.amps[t0 * self.lanes..t1 * self.lanes];
+        #[cfg(target_arch = "x86_64")]
+        if self.simd {
+            // SAFETY: `simd` is only true after a runtime AVX2 check.
+            unsafe { diag_pair_avx2(amps, split, p0, p1) };
+            return;
+        }
+        for ch in amps.chunks_mut(split << 1) {
+            let (lo, hi) = ch.split_at_mut(split);
+            mul_scalar(lo, p0);
+            mul_scalar(hi, p1);
+        }
+    }
+
+    /// Multiplies the whole tile `[t0, t1)` by `p`.
+    fn mul_range(&mut self, t0: usize, t1: usize, p: Complex64) {
+        let amps = &mut self.amps[t0 * self.lanes..t1 * self.lanes];
+        #[cfg(target_arch = "x86_64")]
+        if self.simd {
+            // SAFETY: `simd` is only true after a runtime AVX2 check.
+            unsafe { mul_block(amps, p) };
+            return;
+        }
+        mul_scalar(amps, p);
+    }
+
+    /// Two disjoint same-width tiles as mutable slices (`t0 < u0`,
+    /// amplitude indices) — the operands of a cross-tile pair kernel.
+    fn disjoint_tiles(
+        &mut self,
+        t0: usize,
+        u0: usize,
+        width: usize,
+    ) -> (&mut [Complex64], &mut [Complex64]) {
+        debug_assert!(t0 + width <= u0, "tiles must be disjoint and ordered");
+        let k = self.lanes;
+        let (a, b) = self.amps.split_at_mut(u0 * k);
+        (&mut a[t0 * k..(t0 + width) * k], &mut b[..width * k])
+    }
+
+    /// 1q unitary whose qubit sits at or above the tile width: the two
+    /// partner tiles pair element-for-element, so the butterfly runs
+    /// across whole tile slices.
+    pub(crate) fn apply_mat2_pair(&mut self, t0: usize, u0: usize, width: usize, m: &Mat2) {
+        let simd = self.simd;
+        let (lo, hi) = self.disjoint_tiles(t0, u0, width);
+        #[cfg(target_arch = "x86_64")]
+        if simd {
+            // SAFETY: `simd` is only true after a runtime AVX2 check.
+            unsafe { butterfly_slices_avx2(lo, hi, m) };
+            return;
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = simd;
+        butterfly_scalar(lo, hi, m);
+    }
+
+    /// Pauli-X on a qubit at or above the tile width: partner tiles
+    /// swap whole.
+    pub(crate) fn apply_x_pair(&mut self, t0: usize, u0: usize, width: usize) {
+        let (lo, hi) = self.disjoint_tiles(t0, u0, width);
+        lo.swap_with_slice(hi);
+    }
+
+    /// CX/CCX whose target sits at or above the tile width: partner
+    /// tiles pair element-for-element, with the control test split into
+    /// a per-pair decision (bits at or above the width, constant across
+    /// the tile and identical for both partners) and run-merged swaps
+    /// over the control bits below the width.
+    pub(crate) fn controlled_x_pair(
+        &mut self,
+        t0: usize,
+        u0: usize,
+        width: usize,
+        control_mask: usize,
+    ) {
+        debug_assert!(width.is_power_of_two() && t0.is_multiple_of(width));
+        let cm_lo = control_mask & (width - 1);
+        let cm_hi = control_mask & !(width - 1);
+        if t0 & cm_hi != cm_hi {
+            return;
+        }
+        let k = self.lanes;
+        let run = if cm_lo == 0 {
+            width
+        } else {
+            1usize << cm_lo.trailing_zeros()
+        };
+        let step = run * k;
+        let (lo, hi) = self.disjoint_tiles(t0, u0, width);
+        for (r, (l, h)) in lo.chunks_mut(step).zip(hi.chunks_mut(step)).enumerate() {
+            if (r * run) & cm_lo == cm_lo {
+                l.swap_with_slice(h);
+            }
+        }
+    }
+
+    /// Pauli-X on `q`: whole half-chunks swap (pure memory movement).
+    pub(crate) fn apply_x(&mut self, q: u32) {
+        self.apply_x_range(0, self.dim(), q);
+    }
+
+    /// [`Self::apply_x`] restricted to the tile `[t0, t1)`. The pair
+    /// coupling must close within the tile (`2^(q+1)` divides the
+    /// width) — the tiled scheduler guarantees it via the op extent.
+    pub(crate) fn apply_x_range(&mut self, t0: usize, t1: usize, q: u32) {
+        let split = (1usize << q) * self.lanes;
+        let amps = &mut self.amps[t0 * self.lanes..t1 * self.lanes];
+        debug_assert_eq!(
+            amps.len() % (split << 1),
+            0,
+            "X pairing must close in the tile"
+        );
+        for ch in amps.chunks_mut(split << 1) {
+            let (lo, hi) = ch.split_at_mut(split);
+            lo.swap_with_slice(hi);
+        }
+    }
+
+    /// General single-qubit unitary on `q` across all lanes.
+    pub(crate) fn apply_mat2(&mut self, q: u32, m: &Mat2) {
+        self.apply_mat2_range(0, self.dim(), q, m);
+    }
+
+    /// [`Self::apply_mat2`] restricted to the tile `[t0, t1)`; the
+    /// butterfly coupling must close within the tile.
+    pub(crate) fn apply_mat2_range(&mut self, t0: usize, t1: usize, q: u32, m: &Mat2) {
+        let split = (1usize << q) * self.lanes;
+        let amps = &mut self.amps[t0 * self.lanes..t1 * self.lanes];
+        debug_assert_eq!(
+            amps.len() % (split << 1),
+            0,
+            "butterfly must close in the tile"
+        );
+        #[cfg(target_arch = "x86_64")]
+        if self.simd {
+            // SAFETY: `simd` is only true after a runtime AVX2 check.
+            unsafe { mat2_sweep_avx2(amps, split, m) };
+            return;
+        }
+        for ch in amps.chunks_mut(split << 1) {
+            let (lo, hi) = ch.split_at_mut(split);
+            butterfly_scalar(lo, hi, m);
+        }
+    }
+
+    /// X on `target` where all `control_mask` bits are set (CX / CCX).
+    ///
+    /// A chunk base is a multiple of `2^(target+1)` and `j < 2^target`,
+    /// so the control test splits exactly into a per-chunk test on the
+    /// control bits above the target and a per-`j` test on the bits
+    /// below it. Matching `j` then come in contiguous runs of
+    /// `2^trailing_zeros(low_controls)` blocks (the whole half when no
+    /// control sits below the target), so each swap moves one long
+    /// contiguous slice instead of K complexes at a time.
+    pub(crate) fn controlled_x(&mut self, control_mask: usize, target: u32) {
+        self.controlled_x_range(0, self.dim(), control_mask, target);
+    }
+
+    /// [`Self::controlled_x`] restricted to the tile `[t0, t1)`; the
+    /// target pairing must close within the tile (controls may sit
+    /// anywhere — bits above the tile are tested via the tile base).
+    pub(crate) fn controlled_x_range(
+        &mut self,
+        t0: usize,
+        t1: usize,
+        control_mask: usize,
+        target: u32,
+    ) {
+        let k = self.lanes;
+        let bit = 1usize << target;
+        let chunk = bit << 1;
+        debug_assert!(chunk <= t1 - t0, "CX pairing must close in the tile");
+        let mask_lo = control_mask & (bit - 1);
+        let mask_hi = control_mask & !(chunk - 1);
+        let run = if mask_lo == 0 {
+            bit
+        } else {
+            1usize << mask_lo.trailing_zeros()
+        };
+        let step = run * k;
+        let amps = &mut self.amps[t0 * k..t1 * k];
+        for (ci, ch) in amps.chunks_mut(chunk * k).enumerate() {
+            if (t0 + ci * chunk) & mask_hi != mask_hi {
+                continue;
+            }
+            let (lo, hi) = ch.split_at_mut(bit * k);
+            for (r, (l, h)) in lo.chunks_mut(step).zip(hi.chunks_mut(step)).enumerate() {
+                if (r * run) & mask_lo == mask_lo {
+                    l.swap_with_slice(h);
+                }
+            }
+        }
+    }
+
+    /// SWAP of qubits `a` and `b`, gated on all bits of `control_mask`.
+    ///
+    /// Same run-merging as [`Self::controlled_x`]: the per-`j` match
+    /// mask is `lo_bit | (controls below hi_q)`, and because `lo_bit`
+    /// is part of the mask every run stays on one side of the `j ↔
+    /// j^lo_bit` pairing — consecutive matching `j` map to consecutive
+    /// partners, so whole runs swap as contiguous slices.
+    pub(crate) fn apply_swap(&mut self, control_mask: usize, a: u32, b: u32) {
+        self.apply_swap_range(0, self.dim(), control_mask, a, b);
+    }
+
+    /// [`Self::apply_swap`] restricted to the tile `[t0, t1)`; both
+    /// swapped qubits must pair within the tile.
+    pub(crate) fn apply_swap_range(
+        &mut self,
+        t0: usize,
+        t1: usize,
+        control_mask: usize,
+        a: u32,
+        b: u32,
+    ) {
+        assert_ne!(a, b);
+        let k = self.lanes;
+        let (lo_q, hi_q) = if a < b { (a, b) } else { (b, a) };
+        let lo_bit = 1usize << lo_q;
+        let hi_bit = 1usize << hi_q;
+        let chunk = hi_bit << 1;
+        debug_assert!(chunk <= t1 - t0, "swap pairing must close in the tile");
+        let j_mask = lo_bit | (control_mask & (hi_bit - 1));
+        let mask_hi = control_mask & !(chunk - 1);
+        let run = 1usize << j_mask.trailing_zeros();
+        let amps = &mut self.amps[t0 * k..t1 * k];
+        for (ci, ch) in amps.chunks_mut(chunk * k).enumerate() {
+            if (t0 + ci * chunk) & mask_hi != mask_hi {
+                continue;
+            }
+            let (lo_half, hi_half) = ch.split_at_mut(hi_bit * k);
+            // Swap |…0…1…> (hi=0, lo=1) with |…1…0…> (hi=1, lo=0).
+            let mut j = 0;
+            while j < hi_bit {
+                if j & j_mask == j_mask {
+                    let jj = j ^ lo_bit;
+                    lo_half[j * k..(j + run) * k]
+                        .swap_with_slice(&mut hi_half[jj * k..(jj + run) * k]);
+                }
+                j += run;
+            }
+        }
+    }
+
+    /// General diagonal over `qubits`: lane block `i` is multiplied by
+    /// `table[gather_bits(i, qubits)]`. The index extraction runs once
+    /// per *run* of blocks sharing a table entry (all indices below the
+    /// lowest table qubit) instead of once per amplitude — amortized
+    /// K·run-fold.
+    pub(crate) fn apply_diag_table(&mut self, qubits: &[u32], table: &[Complex64]) {
+        self.apply_diag_table_range(0, self.dim(), qubits, table);
+    }
+
+    /// [`Self::apply_diag_table`] restricted to the tile `[t0, t1)` —
+    /// diagonal, so any tile works; table indices are extracted from
+    /// the global amplitude index `t0 + r·run`.
+    pub(crate) fn apply_diag_table_range(
+        &mut self,
+        t0: usize,
+        t1: usize,
+        qubits: &[u32],
+        table: &[Complex64],
+    ) {
+        debug_assert_eq!(table.len(), 1usize << qubits.len());
+        if let [q] = qubits {
+            return self.diag_pair_range(t0, t1, *q, table[0], table[1]);
+        }
+        let mask = qubits.iter().fold(0u64, |m, &q| m | (1u64 << q));
+        let run = (1usize << mask.trailing_zeros()).min(t1 - t0);
+        // A low qubit (fused controlled phases routinely keep control
+        // qubit 0 in their support) makes runs short and the sweep
+        // extraction-bound. Peel the lowest qubit off the index: runs
+        // follow the remaining qubits' much longer period, and within
+        // a run the peeled qubit just alternates between two adjacent
+        // table entries — a decision-free strided pair multiply.
+        if run < t1 - t0 {
+            let rest = mask & (mask - 1);
+            let rest_run = if rest == 0 {
+                t1 - t0
+            } else {
+                (1usize << rest.trailing_zeros()).min(t1 - t0)
+            };
+            if rest_run > 2 * run {
+                let simd = self.simd;
+                let chunk = run * self.lanes;
+                let step = rest_run * self.lanes;
+                let rest_qubits = &qubits[1..];
+                let amps = &mut self.amps[t0 * self.lanes..t1 * self.lanes];
+                for (r, ch) in amps.chunks_mut(step).enumerate() {
+                    let hi = qfab_math::bits::gather_bits(t0 + r * rest_run, rest_qubits) << 1;
+                    let (e0, e1) = (table[hi], table[hi | 1]);
+                    #[cfg(target_arch = "x86_64")]
+                    if simd {
+                        // SAFETY: `simd` is only true after a runtime
+                        // AVX2 check.
+                        unsafe { diag_pair_avx2(ch, chunk, e0, e1) };
+                        continue;
+                    }
+                    for w in ch.chunks_mut(2 * chunk) {
+                        let (lo, hi_half) = w.split_at_mut(chunk);
+                        mul_scalar(lo, e0);
+                        mul_scalar(hi_half, e1);
+                    }
+                }
+                return;
+            }
+        }
+        let step = run * self.lanes;
+        let amps = &mut self.amps[t0 * self.lanes..t1 * self.lanes];
+        #[cfg(target_arch = "x86_64")]
+        {
+            let bmi2 = std::arch::is_x86_feature_detected!("bmi2");
+            if self.simd && bmi2 {
+                // SAFETY: avx2 (via `simd`) and bmi2 verified at
+                // runtime; extracted indices are below
+                // `2^popcount(mask) == table.len()`.
+                unsafe { diag_table_sweep_avx2(amps, step, run, t0, mask, table) };
+                return;
+            }
+            if bmi2 {
+                for (r, ch) in amps.chunks_mut(step).enumerate() {
+                    // SAFETY: bmi2 verified above.
+                    let t = unsafe { pext_index((t0 + r * run) as u64, mask) };
+                    mul_scalar(ch, table[t]);
+                }
+                return;
+            }
+        }
+        for (r, ch) in amps.chunks_mut(step).enumerate() {
+            mul_scalar(
+                ch,
+                table[qfab_math::bits::gather_bits(t0 + r * run, qubits)],
+            );
+        }
+    }
+}
+
+/// BMI2 `pext` table-index extraction (same arithmetic as
+/// `gather_bits` over ascending qubits).
+///
+/// # Safety
+/// Caller must have verified `bmi2` is available at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "bmi2")]
+unsafe fn pext_index(i: u64, mask: u64) -> usize {
+    core::arch::x86_64::_pext_u64(i, mask) as usize
+}
+
+/// Scalar-fallback multiply of a contiguous block by `p` — the exact
+/// arithmetic (`*a *= p`) the SIMD path reproduces bit-for-bit.
+fn mul_scalar(xs: &mut [Complex64], p: Complex64) {
+    for a in xs.iter_mut() {
+        *a *= p;
+    }
+}
+
+/// Scalar-fallback 1q butterfly pairing `lo[j]` with `hi[j]` — the SoA
+/// form of `StateVector::apply_mat2`'s inner pair loop.
+fn butterfly_scalar(lo: &mut [Complex64], hi: &mut [Complex64], m: &Mat2) {
+    debug_assert_eq!(lo.len(), hi.len());
+    let [[m00, m01], [m10, m11]] = m.m;
+    for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+        let (x, y) = (*a, *b);
+        *a = m00.mul_add(x, m01 * y);
+        *b = m10.mul_add(x, m11 * y);
+    }
+}
+
+/// Complex multiply of a `[re, im, re, im]` vector by a broadcast
+/// constant via the addsub trick — **no FMA**, so each product and sum
+/// rounds exactly like the scalar `Complex64` arithmetic:
+/// `re' = v.re·c.re − v.im·c.im`, `im' = v.im·c.re + v.re·c.im`
+/// (multiplication and addition operands commuted vs the scalar form,
+/// both bitwise-neutral).
+///
+/// # Safety
+/// Caller must have verified `avx2` is available at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn cmul(
+    v: core::arch::x86_64::__m256d,
+    cr: core::arch::x86_64::__m256d,
+    ci: core::arch::x86_64::__m256d,
+) -> core::arch::x86_64::__m256d {
+    use core::arch::x86_64::*;
+    let t1 = _mm256_mul_pd(v, cr);
+    let sw = _mm256_permute_pd(v, 0b0101);
+    let t2 = _mm256_mul_pd(sw, ci);
+    _mm256_addsub_pd(t1, t2)
+}
+
+/// Broadcast-multiply of one contiguous block, scalar tail for an odd
+/// element count. `#[inline]` so it folds into the sweep kernels below
+/// (same target features — no call per block).
+///
+/// # Safety
+/// Caller must have verified `avx2` is available at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn mul_block(xs: &mut [Complex64], p: Complex64) {
+    use core::arch::x86_64::*;
+    let pr = _mm256_set1_pd(p.re);
+    let pi = _mm256_set1_pd(p.im);
+    let n2 = xs.len() & !1;
+    let ptr = xs.as_mut_ptr().cast::<f64>();
+    let mut i = 0;
+    while i < n2 {
+        let v = _mm256_loadu_pd(ptr.add(2 * i));
+        _mm256_storeu_pd(ptr.add(2 * i), cmul(v, pr, pi));
+        i += 2;
+    }
+    if n2 < xs.len() {
+        xs[n2] *= p;
+    }
+}
+
+/// Whole-state masked-phase sweep at run granularity (see
+/// [`BatchedState::phase_on_mask`] for the run derivation).
+///
+/// # Safety
+/// Caller must have verified `avx2` is available at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn phase_runs_avx2(
+    amps: &mut [Complex64],
+    step: usize,
+    run: usize,
+    base: usize,
+    mask: usize,
+    want: usize,
+    p: Complex64,
+) {
+    for (r, ch) in amps.chunks_mut(step).enumerate() {
+        if (base + r * run) & mask == want {
+            mul_block(ch, p);
+        }
+    }
+}
+
+/// Whole-state `diag(p0, p1)` sweep.
+///
+/// # Safety
+/// Caller must have verified `avx2` is available at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn diag_pair_avx2(amps: &mut [Complex64], split: usize, p0: Complex64, p1: Complex64) {
+    for ch in amps.chunks_mut(split << 1) {
+        let (lo, hi) = ch.split_at_mut(split);
+        mul_block(lo, p0);
+        mul_block(hi, p1);
+    }
+}
+
+/// Whole-state diag-table sweep: one `pext` + one broadcast per run of
+/// blocks sharing a table entry.
+///
+/// # Safety
+/// Caller must have verified `avx2` **and** `bmi2` at runtime, and
+/// `table.len() == 2^popcount(mask)` so every extracted index is in
+/// bounds.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,bmi2")]
+unsafe fn diag_table_sweep_avx2(
+    amps: &mut [Complex64],
+    step: usize,
+    run: usize,
+    base: usize,
+    mask: u64,
+    table: &[Complex64],
+) {
+    for (r, ch) in amps.chunks_mut(step).enumerate() {
+        let t = core::arch::x86_64::_pext_u64((base + r * run) as u64, mask) as usize;
+        mul_block(ch, *table.get_unchecked(t));
+    }
+}
+
+/// Whole-slice butterfly pairing `lo[j]` with `hi[j]` — the AVX2 form
+/// of [`butterfly_scalar`], used for cross-tile 1q pairs.
+///
+/// # Safety
+/// Caller must have verified `avx2` is available at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn butterfly_slices_avx2(lo: &mut [Complex64], hi: &mut [Complex64], m: &Mat2) {
+    use core::arch::x86_64::*;
+    debug_assert_eq!(lo.len(), hi.len());
+    let [[m00, m01], [m10, m11]] = m.m;
+    let (r00, i00) = (_mm256_set1_pd(m00.re), _mm256_set1_pd(m00.im));
+    let (r01, i01) = (_mm256_set1_pd(m01.re), _mm256_set1_pd(m01.im));
+    let (r10, i10) = (_mm256_set1_pd(m10.re), _mm256_set1_pd(m10.im));
+    let (r11, i11) = (_mm256_set1_pd(m11.re), _mm256_set1_pd(m11.im));
+    let n2 = lo.len() & !1;
+    let lp = lo.as_mut_ptr().cast::<f64>();
+    let hp = hi.as_mut_ptr().cast::<f64>();
+    let mut i = 0;
+    while i < n2 {
+        let x = _mm256_loadu_pd(lp.add(2 * i));
+        let y = _mm256_loadu_pd(hp.add(2 * i));
+        let a = _mm256_add_pd(cmul(x, r00, i00), cmul(y, r01, i01));
+        let b = _mm256_add_pd(cmul(x, r10, i10), cmul(y, r11, i11));
+        _mm256_storeu_pd(lp.add(2 * i), a);
+        _mm256_storeu_pd(hp.add(2 * i), b);
+        i += 2;
+    }
+    for j in n2..lo.len() {
+        let (x, y) = (lo[j], hi[j]);
+        lo[j] = m00.mul_add(x, m01 * y);
+        hi[j] = m10.mul_add(x, m11 * y);
+    }
+}
+
+/// Whole-state 1q-unitary butterfly sweep: the matrix broadcasts hoist
+/// out of the chunk loop, and each chunk's halves stream through AVX2
+/// pairs with a scalar tail.
+///
+/// # Safety
+/// Caller must have verified `avx2` is available at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn mat2_sweep_avx2(amps: &mut [Complex64], split: usize, m: &Mat2) {
+    use core::arch::x86_64::*;
+    let [[m00, m01], [m10, m11]] = m.m;
+    let (r00, i00) = (_mm256_set1_pd(m00.re), _mm256_set1_pd(m00.im));
+    let (r01, i01) = (_mm256_set1_pd(m01.re), _mm256_set1_pd(m01.im));
+    let (r10, i10) = (_mm256_set1_pd(m10.re), _mm256_set1_pd(m10.im));
+    let (r11, i11) = (_mm256_set1_pd(m11.re), _mm256_set1_pd(m11.im));
+    let n2 = split & !1;
+    for ch in amps.chunks_mut(split << 1) {
+        let (lo, hi) = ch.split_at_mut(split);
+        let lp = lo.as_mut_ptr().cast::<f64>();
+        let hp = hi.as_mut_ptr().cast::<f64>();
+        let mut i = 0;
+        while i < n2 {
+            let x = _mm256_loadu_pd(lp.add(2 * i));
+            let y = _mm256_loadu_pd(hp.add(2 * i));
+            // Same grouping as the scalar `m00.mul_add(x, m01 * y)`:
+            // (products of the first term) + (the fully-formed second
+            // term).
+            let a = _mm256_add_pd(cmul(x, r00, i00), cmul(y, r01, i01));
+            let b = _mm256_add_pd(cmul(x, r10, i10), cmul(y, r11, i11));
+            _mm256_storeu_pd(lp.add(2 * i), a);
+            _mm256_storeu_pd(hp.add(2 * i), b);
+            i += 2;
+        }
+        for j in n2..split {
+            let (x, y) = (lo[j], hi[j]);
+            lo[j] = m00.mul_add(x, m01 * y);
+            hi[j] = m10.mul_add(x, m11 * y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfab_circuit::Circuit;
+    use qfab_math::complex::c64;
+    use qfab_math::rng::Xoshiro256StarStar;
+
+    fn random_state(n: u32, seed: u64) -> StateVector {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let amps: Vec<Complex64> = (0..dim(n))
+            .map(|_| c64(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+            .collect();
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        StateVector::from_amplitudes(n, amps.into_iter().map(|a| a / norm).collect())
+    }
+
+    fn test_gates() -> Vec<Gate> {
+        use Gate::*;
+        vec![
+            Z(1),
+            S(0),
+            T(3),
+            Phase(2, 0.81),
+            Rz(1, -0.9),
+            Cz(0, 3),
+            Cphase {
+                control: 2,
+                target: 0,
+                theta: 0.9,
+            },
+            Ccphase {
+                c0: 2,
+                c1: 0,
+                target: 3,
+                theta: -0.77,
+            },
+            X(2),
+            Cx {
+                control: 3,
+                target: 1,
+            },
+            Ccx {
+                c0: 0,
+                c1: 1,
+                target: 3,
+            },
+            Swap(0, 3),
+            Cswap {
+                control: 1,
+                a: 0,
+                b: 3,
+            },
+            H(2),
+            Sx(0),
+            Ry(3, -1.2),
+            U(1, 0.3, 1.0, -0.5),
+            Ch {
+                control: 1,
+                target: 3,
+            },
+        ]
+    }
+
+    /// Every batched kernel must reproduce the scalar kernel on every
+    /// lane **bit-for-bit** (exact equality, not a tolerance).
+    #[test]
+    fn batched_gates_bit_identical_to_scalar_per_lane() {
+        let n = 4;
+        for k in [1usize, 3, 8] {
+            let lanes: Vec<StateVector> = (0..k).map(|l| random_state(n, 900 + l as u64)).collect();
+            let mut batch = BatchedState::broadcast(&lanes[0], k);
+            for (l, sv) in lanes.iter().enumerate() {
+                batch.store_lane(l, sv);
+            }
+            let mut scalars = lanes.clone();
+            for gate in test_gates() {
+                batch.apply_gate(&gate);
+                for (l, sv) in scalars.iter_mut().enumerate() {
+                    sv.set_parallel(false);
+                    sv.apply_gate(&gate);
+                    assert_eq!(
+                        batch.lane_amplitudes(l),
+                        sv.amplitudes(),
+                        "lane {l} diverged after {gate} at K={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The SIMD and scalar batched paths agree bit-for-bit. Runs (and
+    /// trivially passes) even when AVX2 is unavailable or compiled out.
+    #[test]
+    fn simd_and_scalar_paths_bit_identical() {
+        let n = 5;
+        let k = 8;
+        let base = random_state(n, 77);
+        let mut fast = BatchedState::broadcast(&base, k);
+        let mut slow = fast.clone();
+        fast.set_simd(true);
+        slow.set_simd(false);
+        for l in 0..k {
+            let sv = random_state(n, 300 + l as u64);
+            fast.store_lane(l, &sv);
+            slow.store_lane(l, &sv);
+        }
+        for gate in test_gates() {
+            fast.apply_gate(&gate);
+            slow.apply_gate(&gate);
+        }
+        // Also exercise the diag-table kernel (fused-plan only path).
+        let qubits = [0u32, 2, 4];
+        let table: Vec<Complex64> = (0..8).map(|j| Complex64::cis(0.21 * j as f64)).collect();
+        fast.apply_diag_table(&qubits, &table);
+        slow.apply_diag_table(&qubits, &table);
+        for l in 0..k {
+            assert_eq!(
+                fast.lane_amplitudes(l),
+                slow.lane_amplitudes(l),
+                "SIMD/scalar divergence on lane {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn extract_store_round_trip() {
+        let base = random_state(3, 5);
+        let mut batch = BatchedState::broadcast(&base, 3);
+        let other = random_state(3, 6);
+        batch.store_lane(1, &other);
+        assert_eq!(batch.extract_lane(0).amplitudes(), base.amplitudes());
+        assert_eq!(batch.extract_lane(1).amplitudes(), other.amplitudes());
+        assert_eq!(batch.extract_lane(2).amplitudes(), base.amplitudes());
+    }
+
+    #[test]
+    fn apply_gate_lane_touches_only_that_lane() {
+        let base = random_state(3, 8);
+        let mut batch = BatchedState::broadcast(&base, 4);
+        batch.apply_gate_lane(2, &Gate::X(1));
+        let mut expect = base.clone();
+        expect.set_parallel(false);
+        expect.apply_gate(&Gate::X(1));
+        for l in 0..4 {
+            let want = if l == 2 {
+                expect.amplitudes()
+            } else {
+                base.amplitudes()
+            };
+            assert_eq!(batch.lane_amplitudes(l), want, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn sample_lane_matches_sample_index() {
+        let mut circ = Circuit::new(3);
+        circ.h(0).cx(0, 1).t(2).h(2);
+        let mut sv = random_state(3, 21);
+        sv.apply_circuit(&circ);
+        let mut batch = BatchedState::broadcast(&random_state(3, 22), 3);
+        batch.store_lane(1, &sv);
+        for u in [0.0, 0.1, 0.37, 0.62, 0.999, 1.0] {
+            assert_eq!(
+                batch.sample_lane(1, u),
+                crate::measure::ShotSampler::sample_index(sv.amplitudes(), u),
+                "u = {u}"
+            );
+        }
+    }
+
+    /// Kernel-level timing: batched K=8 sweep vs 8 sequential scalar
+    /// applications, per kernel shape. Diagnostic only — run with
+    /// `cargo test -p qfab-sim --release profile_batched_kernels -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "timing diagnostic, not a correctness check"]
+    fn profile_batched_kernels() {
+        use std::time::Instant;
+        let n = 16;
+        let k = 8;
+        let reps = 40;
+        let base = random_state(n, 1);
+        let mut batch = BatchedState::broadcast(&base, k);
+        let mut scalars: Vec<StateVector> = (0..k)
+            .map(|_| {
+                let mut s = base.clone();
+                s.set_parallel(true);
+                s
+            })
+            .collect();
+        let mut time_pair = |label: &str,
+                             bf: &mut dyn FnMut(&mut BatchedState),
+                             sf: &mut dyn FnMut(&mut StateVector)| {
+            bf(&mut batch);
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                bf(&mut batch);
+            }
+            let b_us = t0.elapsed().as_secs_f64() * 1e6 / (reps * k) as f64;
+            sf(&mut scalars[0]);
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                for s in scalars.iter_mut() {
+                    sf(s);
+                }
+            }
+            let s_us = t0.elapsed().as_secs_f64() * 1e6 / (reps * k) as f64;
+            println!("{label:<28} scalar {s_us:>8.2} us/lane  batched {b_us:>8.2} us/lane  ratio {:>5.2}x", s_us / b_us);
+        };
+        let m = Mat2 {
+            m: [
+                [c64(0.6, 0.0), c64(0.0, -0.8)],
+                [c64(0.0, 0.8), c64(-0.6, 0.0)],
+            ],
+        };
+        let dt_q = [1u32, 5, 9, 13];
+        let dt: Vec<Complex64> = (0..16).map(|j| Complex64::cis(0.1 * j as f64)).collect();
+        let dt_low = [0u32, 1, 2, 9];
+        time_pair(
+            "controlled_x c=3 t=9",
+            &mut |b| b.controlled_x(1 << 3, 9),
+            &mut |s| s.controlled_x(1 << 3, 9),
+        );
+        time_pair(
+            "controlled_x c=12 t=2",
+            &mut |b| b.controlled_x(1 << 12, 2),
+            &mut |s| s.controlled_x(1 << 12, 2),
+        );
+        time_pair(
+            "phase_on_mask {2,9}",
+            &mut |b| b.phase_on_mask((1 << 2) | (1 << 9), (1 << 2) | (1 << 9), Complex64::I),
+            &mut |s| s.phase_on_mask((1 << 2) | (1 << 9), (1 << 2) | (1 << 9), Complex64::I),
+        );
+        time_pair(
+            "diag_table [1,5,9,13]",
+            &mut |b| b.apply_diag_table(&dt_q, &dt),
+            &mut |s| s.apply_diag_table(&dt_q, &dt),
+        );
+        time_pair(
+            "diag_table [0,1,2,9]",
+            &mut |b| b.apply_diag_table(&dt_low, &dt),
+            &mut |s| s.apply_diag_table(&dt_low, &dt),
+        );
+        time_pair("mat2 q=0", &mut |b| b.apply_mat2(0, &m), &mut |s| {
+            s.apply_mat2(0, &m)
+        });
+        time_pair("mat2 q=8", &mut |b| b.apply_mat2(8, &m), &mut |s| {
+            s.apply_mat2(8, &m)
+        });
+        time_pair("apply_x q=7", &mut |b| b.apply_x(7), &mut |s| s.apply_x(7));
+    }
+
+    #[test]
+    fn circuit_through_batched_matches_scalar_with_tolerance_zero() {
+        // A full mixed circuit through `apply_gate` — the integration
+        // smoke for the kernel set at a lane count that exercises both
+        // the paired SIMD body and the odd scalar tail.
+        let n = 6;
+        for k in [1usize, 2, 5] {
+            let init = random_state(n, 400);
+            let mut batch = BatchedState::broadcast(&init, k);
+            let mut scalar = init.clone();
+            scalar.set_parallel(false);
+            let mut c = Circuit::new(n);
+            c.h(0)
+                .cx(0, 3)
+                .cphase(0.4, 1, 2)
+                .t(4)
+                .swap(2, 5)
+                .ccphase(0.9, 0, 1, 5)
+                .ry(0.3, 3)
+                .rz(-0.8, 2)
+                .x(5);
+            for gate in c.gates() {
+                batch.apply_gate(gate);
+                scalar.apply_gate(gate);
+            }
+            for l in 0..k {
+                assert_eq!(
+                    batch.lane_amplitudes(l),
+                    scalar.amplitudes(),
+                    "K={k} lane {l}"
+                );
+            }
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! shared by reference across all trajectory replays of an instance —
 //! including rayon-parallel replays.
 
+use crate::batched::BatchedState;
 use crate::fused::FusedPlan;
 use crate::statevector::StateVector;
 use qfab_circuit::{Circuit, Gate};
@@ -184,6 +185,54 @@ impl CheckpointTable {
         self.plan
             .run_from(&mut state, j * self.interval, insertions);
         state
+    }
+
+    /// The checkpoint a replay of `insertions` would restart from, or
+    /// `None` for an empty trajectory (served from the final state).
+    /// Shots batched together must share this index so the whole batch
+    /// replays the same gate range.
+    pub fn checkpoint_index(&self, insertions: &[Insertion]) -> Option<usize> {
+        let first = insertions.first()?.after_gate;
+        Some((first / self.interval).min(self.states.len() - 1))
+    }
+
+    /// Replays a whole batch of trajectories from checkpoint `j`, lane
+    /// `l` receiving `lanes[l]`'s insertions.
+    ///
+    /// Every lane must restart from `j` (`checkpoint_index` — the
+    /// caller groups shots by it) and carry at least one insertion.
+    /// Each lane of the returned batch is bit-identical to
+    /// [`run_with_insertions`](Self::run_with_insertions) on that
+    /// lane's insertions.
+    pub fn run_batch_from(&self, j: usize, lanes: &[&[Insertion]]) -> BatchedState {
+        assert!(!lanes.is_empty(), "empty batch");
+        assert!(j < self.states.len(), "checkpoint index out of range");
+        debug_assert!(
+            lanes
+                .iter()
+                .all(|ins| self.checkpoint_index(ins) == Some(j)),
+            "batched lanes must share a checkpoint"
+        );
+        let replay_gates = (self.circuit.len() - j * self.interval) as u64;
+        if let Some(m) = crate::telem::metrics() {
+            // Per-trajectory counters keep their sequential semantics.
+            m.replays.add(lanes.len() as u64);
+            for _ in lanes {
+                m.replay_gates.record(replay_gates);
+            }
+            m.batch_batches.incr();
+            m.batch_lanes.add(lanes.len() as u64);
+        }
+        let _trace = trace::span_detail_args(
+            "sim.replay_batch",
+            &[
+                ("lanes", trace::ArgValue::U64(lanes.len() as u64)),
+                ("replay_gates", trace::ArgValue::U64(replay_gates)),
+            ],
+        );
+        let mut batch = BatchedState::broadcast(&self.states[j], lanes.len());
+        self.plan.run_batch(&mut batch, j * self.interval, lanes);
+        batch
     }
 
     /// Fraction of gate applications avoided for a trajectory whose first

@@ -32,6 +32,7 @@
 //! gates, so the plan is drop-in equivalent (within float re-rounding,
 //! ≤1e-10 per amplitude) to per-gate execution.
 
+use crate::batched::BatchedState;
 use crate::executor::Insertion;
 use crate::statevector::StateVector;
 use qfab_circuit::{Circuit, Gate};
@@ -209,6 +210,571 @@ impl FusedPlan {
         if let Some(m) = crate::telem::metrics() {
             if fallback_gates > 0 {
                 m.fused_fallback_gates.add(fallback_gates);
+            }
+        }
+    }
+
+    /// Replays gates `[start_gate, len)` over a whole batch, lane
+    /// `l` receiving `lanes[l]`'s error-gate insertions.
+    ///
+    /// Each lane lands **bit-identical** to a sequential
+    /// [`run_from`](Self::run_from) with the same insertions: fused ops
+    /// run through the batched SoA kernels (bit-exact per lane), and a
+    /// lane whose insertion fires strictly *inside* a fused op is
+    /// temporarily peeled out and replayed per-gate with the scalar
+    /// kernels — exactly the fallback a sequential replay of that
+    /// trajectory would take — while the rest of the batch stays fused.
+    pub fn run_batch(&self, batch: &mut BatchedState, start_gate: usize, lanes: &[&[Insertion]]) {
+        assert_eq!(batch.lanes(), lanes.len(), "one insertion list per lane");
+        for ins in lanes {
+            debug_assert!(
+                ins.windows(2).all(|w| w[0].after_gate <= w[1].after_gate),
+                "insertions must be sorted by position"
+            );
+            debug_assert!(ins.iter().all(|i| i.after_gate >= start_gate));
+        }
+        let mut pending: Vec<_> = lanes.iter().map(|l| l.iter().peekable()).collect();
+        let mut idx = self.ops.partition_point(|op| op.end <= start_gate);
+        let mut pos = start_gate;
+        let mut fallback_gates = 0u64;
+        let mut peeled_lanes = 0u64;
+        // Insertion-free ops are deferred into `segment` and applied
+        // over L2-resident tile groups: ops whose amplitude coupling
+        // closes within one cache tile cost nothing extra, and a
+        // 1q/X/CX op coupling *across* the tile boundary joins as long
+        // as the group of tiles closed under all the segment's high
+        // couplings still fits the L2 budget. The group stays hot
+        // across the whole run instead of the batch streaming the full
+        // SoA state once per op. Groups are independent under every op
+        // in the run, so the arithmetic per amplitude — and hence the
+        // result — is bit-identical to op-by-op application.
+        let tile_bits = batch.tile_amps().trailing_zeros();
+        let dmax = max_group_bits(batch);
+        let mut seg_dmask = 0usize;
+        let mut segment: Vec<usize> = Vec::new();
+        while idx < self.ops.len() {
+            let op = &self.ops[idx];
+            let dirty = pos > op.start
+                || pending
+                    .iter_mut()
+                    .any(|p| p.peek().is_some_and(|ins| ins.after_gate < op.end));
+            let admits = |dmask: usize| match high_pair_bit(&op.kind, tile_bits) {
+                Some(d) => (dmask | (1usize << d)).count_ones() <= dmax,
+                None => op_extent(&op.kind) <= tile_bits,
+            };
+            if !dirty && admits(seg_dmask) {
+                if let Some(d) = high_pair_bit(&op.kind, tile_bits) {
+                    seg_dmask |= 1usize << d;
+                }
+                segment.push(idx);
+                pos = op.end;
+                idx += 1;
+                continue;
+            }
+            flush_segment(batch, &self.ops, &mut segment);
+            seg_dmask = 0;
+            if !dirty {
+                if admits(0) {
+                    // The running group had no room for one more
+                    // distinct high coupling — start a fresh segment
+                    // around this op instead of falling to a pass.
+                    if let Some(d) = high_pair_bit(&op.kind, tile_bits) {
+                        seg_dmask |= 1usize << d;
+                    }
+                    segment.push(idx);
+                } else {
+                    // A high swap or generic dense op: one whole-state
+                    // batched pass.
+                    apply_op_batched(batch, op);
+                }
+                pos = op.end;
+                idx += 1;
+                continue;
+            }
+            if pos > op.start {
+                // Mid-op entry (the checkpoint landed inside this op) is
+                // lane-independent: the whole batch runs it per-gate,
+                // just as every sequential replay from this checkpoint
+                // would.
+                fallback_gates += (op.end - pos) as u64 * lanes.len() as u64;
+                for g in pos..op.end {
+                    batch.apply_gate(&self.gates[g]);
+                    for (lane, p) in pending.iter_mut().enumerate() {
+                        while p.peek().is_some_and(|ins| ins.after_gate == g) {
+                            batch.apply_gate_lane(lane, &p.next().unwrap().gate);
+                        }
+                    }
+                }
+            } else {
+                // Lanes with an insertion strictly inside the op must
+                // split it; peel them to scalar replay and keep the
+                // batched op for everyone else.
+                let splitters: Vec<usize> = pending
+                    .iter_mut()
+                    .enumerate()
+                    .filter_map(|(l, p)| {
+                        p.peek()
+                            .is_some_and(|ins| ins.after_gate + 1 < op.end)
+                            .then_some(l)
+                    })
+                    .collect();
+                let saved: Vec<(usize, StateVector)> = splitters
+                    .iter()
+                    .map(|&l| (l, batch.extract_lane(l)))
+                    .collect();
+                // The batched op trashes the splitter lanes; they are
+                // overwritten by the scalar replays below.
+                apply_op_batched(batch, op);
+                for (l, mut sv) in saved {
+                    fallback_gates += (op.end - op.start) as u64;
+                    peeled_lanes += 1;
+                    for g in op.start..op.end {
+                        sv.apply_gate(&self.gates[g]);
+                        while pending[l].peek().is_some_and(|ins| ins.after_gate == g) {
+                            sv.apply_gate(&pending[l].next().unwrap().gate);
+                        }
+                    }
+                    batch.store_lane(l, &sv);
+                }
+                // Insertions at the op's last gate for the lanes that
+                // stayed fused (peeled lanes already consumed theirs).
+                let last = op.end - 1;
+                for (lane, p) in pending.iter_mut().enumerate() {
+                    while p.peek().is_some_and(|ins| ins.after_gate == last) {
+                        batch.apply_gate_lane(lane, &p.next().unwrap().gate);
+                    }
+                }
+            }
+            pos = op.end;
+            idx += 1;
+        }
+        flush_segment(batch, &self.ops, &mut segment);
+        debug_assert!(
+            pending.iter_mut().all(|p| p.peek().is_none()),
+            "unapplied insertion"
+        );
+        if let Some(m) = crate::telem::metrics() {
+            if fallback_gates > 0 {
+                m.fused_fallback_gates.add(fallback_gates);
+            }
+            if peeled_lanes > 0 {
+                m.batch_peeled_lanes.add(peeled_lanes);
+            }
+        }
+    }
+}
+
+/// Highest qubit whose amplitude *pairing* the op couples, plus one:
+/// the minimum log2 tile width that contains every amplitude the op
+/// mixes. Diagonals couple nothing (0) — their masks only read the
+/// global index, which the tiled kernels reconstruct from the tile
+/// base — and controls don't count either, for the same reason.
+/// Generic dense ops are never tiled.
+fn op_extent(kind: &OpKind) -> u32 {
+    match kind {
+        OpKind::Nop
+        | OpKind::MaskedPhase { .. }
+        | OpKind::DiagPair { .. }
+        | OpKind::DiagTable { .. } => 0,
+        OpKind::Unitary1q { q, .. } | OpKind::PauliX { q } => q + 1,
+        OpKind::ControlledX { target, .. } => target + 1,
+        OpKind::SwapPair { a, b, .. } => a.max(b) + 1,
+        OpKind::Generic2 { .. } | OpKind::Generic3 { .. } => u32::MAX,
+    }
+}
+
+/// Combined footprint budget for one tile *group* (the tiles that must
+/// be co-resident when a segment couples across the tile boundary):
+/// sized to a typical 2 MiB per-core L2 slice.
+const TILE_GROUP_BYTES: usize = 2 * 1024 * 1024;
+
+/// How many distinct high coupling bits a segment may accumulate
+/// before its tile group outgrows the L2 budget.
+fn max_group_bits(batch: &BatchedState) -> u32 {
+    let tile_bytes = batch.tile_amps() * batch.lanes() * std::mem::size_of::<Complex64>();
+    if tile_bytes >= TILE_GROUP_BYTES {
+        0
+    } else {
+        (TILE_GROUP_BYTES / tile_bytes).ilog2()
+    }
+}
+
+/// Executor-internal form of one op inside a tiled segment: the plan's
+/// op as-is, or a diagonal rewritten through a deferred CX.
+enum TiledOp<'p> {
+    Plain(&'p FusedOp),
+    Masked {
+        mask: usize,
+        want: usize,
+        phase: Complex64,
+    },
+    Table {
+        qubits: Vec<u32>,
+        table: Vec<Complex64>,
+    },
+}
+
+/// Widest support a rewritten diagonal may reach before the rewrite
+/// bails out and materializes the deferred CX instead.
+const MAX_REWRITE_QUBITS: u32 = 12;
+
+/// Rewrites a segment through CX deferral: a CX is held back instead
+/// of applied, diagonals crossing it are looked up at the permuted
+/// index, and a second identical CX cancels the first outright (the
+/// `CX · diag · CX` sandwich every transpiled C-CPHASE produces).
+///
+/// Exactness: the sandwich moves values, multiplies, and moves back —
+/// net effect, amplitude `j` is multiplied by the diagonal entry at
+/// the permuted index `σ(j)`. The rewritten diagonal multiplies the
+/// *same float* into the *same amplitude* without moving anything, so
+/// the batched state stays bit-identical to sequential replay while
+/// both permutation passes disappear.
+fn rewrite_segment<'p>(ops: &'p [FusedOp], segment: &[usize]) -> Vec<TiledOp<'p>> {
+    let mut out: Vec<TiledOp<'p>> = Vec::with_capacity(segment.len());
+    let mut pending: Option<&'p FusedOp> = None;
+    for &i in segment {
+        let op = &ops[i];
+        match &op.kind {
+            OpKind::Nop => {}
+            OpKind::ControlledX {
+                control_mask,
+                target,
+            } => {
+                if let Some(p) = pending {
+                    let OpKind::ControlledX {
+                        control_mask: pc,
+                        target: pt,
+                    } = &p.kind
+                    else {
+                        unreachable!("pending is always a CX")
+                    };
+                    if pc == control_mask && pt == target {
+                        pending = None; // CX · CX = identity
+                    } else {
+                        out.push(TiledOp::Plain(p));
+                        pending = Some(op);
+                    }
+                } else {
+                    pending = Some(op);
+                }
+            }
+            OpKind::MaskedPhase { .. } | OpKind::DiagPair { .. } | OpKind::DiagTable { .. } => {
+                match pending {
+                    Some(p) => {
+                        let OpKind::ControlledX {
+                            control_mask,
+                            target,
+                        } = &p.kind
+                        else {
+                            unreachable!("pending is always a CX")
+                        };
+                        if !rewrite_diag(op, *control_mask, *target, &mut out) {
+                            out.push(TiledOp::Plain(p));
+                            pending = None;
+                            out.push(TiledOp::Plain(op));
+                        }
+                    }
+                    None => out.push(TiledOp::Plain(op)),
+                }
+            }
+            _ => {
+                if let Some(p) = pending.take() {
+                    out.push(TiledOp::Plain(p));
+                }
+                out.push(TiledOp::Plain(op));
+            }
+        }
+    }
+    if let Some(p) = pending {
+        out.push(TiledOp::Plain(p));
+    }
+    out
+}
+
+/// Emits the diagonal `op` transformed through a deferred
+/// `CX(control_mask → t)` — the permuted-index lookup described on
+/// [`rewrite_segment`] — or returns `false` when the rewritten support
+/// would outgrow [`MAX_REWRITE_QUBITS`].
+fn rewrite_diag<'p>(
+    op: &'p FusedOp,
+    control_mask: usize,
+    t: u32,
+    out: &mut Vec<TiledOp<'p>>,
+) -> bool {
+    let bit_t = 1usize << t;
+    let ctrl_qubits = || (0..usize::BITS).filter(|b| control_mask >> b & 1 == 1);
+    match &op.kind {
+        OpKind::MaskedPhase { mask, phase } => {
+            // σ only alters bit t; a mask that ignores it is untouched.
+            if mask & bit_t == 0 {
+                out.push(TiledOp::Plain(op));
+                return true;
+            }
+            let full = mask | control_mask;
+            if full.count_ones() > MAX_REWRITE_QUBITS {
+                return false;
+            }
+            // The mask wants σ(j)'s bit t — which is j_t ⊕ AND(controls)
+            // — set. Controls inside the mask are pinned to 1 already;
+            // split on the free ones.
+            let free = control_mask & !mask;
+            // All controls 1 ⇒ the AND fires ⇒ j_t must be 0.
+            out.push(TiledOp::Masked {
+                mask: full,
+                want: full & !bit_t,
+                phase: *phase,
+            });
+            // Some free control 0 ⇒ the AND misses ⇒ j_t must be 1:
+            // one disjoint case per proper submask of the free bits.
+            if free != 0 {
+                let mut s = (free - 1) & free;
+                loop {
+                    out.push(TiledOp::Masked {
+                        mask: full,
+                        want: mask | s,
+                        phase: *phase,
+                    });
+                    if s == 0 {
+                        break;
+                    }
+                    s = (s - 1) & free;
+                }
+            }
+            true
+        }
+        OpKind::DiagPair { q, p0, p1 } => {
+            if *q != t {
+                out.push(TiledOp::Plain(op));
+                return true;
+            }
+            let mut qubits: Vec<u32> = ctrl_qubits().collect();
+            qubits.push(t);
+            qubits.sort_unstable();
+            if qubits.len() as u32 > MAX_REWRITE_QUBITS {
+                return false;
+            }
+            let pair = [*p0, *p1];
+            let table = permuted_table(&qubits, control_mask, t, |g| pair[(g >> t) & 1]);
+            out.push(TiledOp::Table { qubits, table });
+            true
+        }
+        OpKind::DiagTable { qubits, table } => {
+            if !qubits.contains(&t) {
+                out.push(TiledOp::Plain(op));
+                return true;
+            }
+            let mut q2: Vec<u32> = qubits.iter().copied().chain(ctrl_qubits()).collect();
+            q2.sort_unstable();
+            q2.dedup();
+            if q2.len() as u32 > MAX_REWRITE_QUBITS {
+                return false;
+            }
+            let t2 = permuted_table(&q2, control_mask, t, |g| {
+                table[qfab_math::bits::gather_bits(g, qubits)]
+            });
+            out.push(TiledOp::Table {
+                qubits: q2,
+                table: t2,
+            });
+            true
+        }
+        _ => unreachable!("rewrite_diag only sees diagonal ops"),
+    }
+}
+
+/// Builds the phase table over `qubits` whose entry at pattern `p` is
+/// `lookup(σ(g))`, where `g` embeds `p` into a global index and `σ`
+/// flips bit `t` when all `control_mask` bits are set.
+fn permuted_table(
+    qubits: &[u32],
+    control_mask: usize,
+    t: u32,
+    lookup: impl Fn(usize) -> Complex64,
+) -> Vec<Complex64> {
+    (0..1usize << qubits.len())
+        .map(|p| {
+            let g: usize = qubits
+                .iter()
+                .enumerate()
+                .map(|(pos, &q)| ((p >> pos) & 1) << q)
+                .sum();
+            let flip = g & control_mask == control_mask;
+            lookup(g ^ if flip { 1usize << t } else { 0 })
+        })
+        .collect()
+}
+
+/// The tile-index bit a high 1q/X/CX coupling occupies, or `None` when
+/// the op pairs within one tile (or is a kind — high swap, generic
+/// dense — that never joins a tile group).
+fn high_pair_bit(kind: &OpKind, tile_bits: u32) -> Option<u32> {
+    let q = match kind {
+        OpKind::Unitary1q { q, .. } | OpKind::PauliX { q } => *q,
+        OpKind::ControlledX { target, .. } => *target,
+        _ => return None,
+    };
+    (q >= tile_bits).then(|| q - tile_bits)
+}
+
+/// Applies a deferred run of tile-compatible ops over tile groups:
+/// each group is the set of tiles closed under the segment's high
+/// couplings (`2^|D|` tiles, where `D` is the set of high bits), so
+/// the group stays L2-resident across the whole run. With no high
+/// couplings a group is a single tile; a state no bigger than a tile
+/// runs as one whole-state tile. The segment is first passed through
+/// [`rewrite_segment`], which cancels CX sandwich pairs. Short
+/// segments apply op-by-op over the whole state. Clears `segment`.
+fn flush_segment(batch: &mut BatchedState, ops: &[FusedOp], segment: &mut Vec<usize>) {
+    if segment.len() < 2 {
+        for &i in segment.iter() {
+            apply_op_batched(batch, &ops[i]);
+        }
+        segment.clear();
+        return;
+    }
+    let rewritten = rewrite_segment(ops, segment);
+    let dim = batch.dim();
+    let tile = batch.tile_amps().min(dim);
+    let tile_bits = tile.trailing_zeros();
+    let mut dmask = 0usize;
+    for top in &rewritten {
+        if let TiledOp::Plain(op) = top {
+            if let Some(d) = high_pair_bit(&op.kind, tile_bits) {
+                dmask |= 1usize << d;
+            }
+        }
+    }
+    if let Some(m) = crate::telem::metrics() {
+        m.batch_tiled_segments.incr();
+        m.batch_tiled_ops.add(segment.len() as u64);
+        m.fused_ops_applied
+            .add((segment.len() * batch.lanes()) as u64);
+    }
+    let ntiles = dim / tile;
+    for g in 0..ntiles {
+        if g & dmask != 0 {
+            continue; // not a group base
+        }
+        for top in &rewritten {
+            let pair_bit = match top {
+                TiledOp::Plain(op) => high_pair_bit(&op.kind, tile_bits),
+                _ => None, // rewritten ops are diagonal: always tile-local
+            };
+            match (top, pair_bit) {
+                (TiledOp::Plain(op), Some(d)) => {
+                    // Cross-tile: every partner pair within the group.
+                    let bit = 1usize << d;
+                    let rest = dmask & !bit;
+                    let mut s = 0usize;
+                    loop {
+                        let tl = g | s;
+                        apply_op_pair(batch, op, tl * tile, (tl | bit) * tile, tile);
+                        s = s.wrapping_sub(rest) & rest;
+                        if s == 0 {
+                            break;
+                        }
+                    }
+                }
+                _ => {
+                    // Tile-local: every tile of the group in turn.
+                    let mut s = 0usize;
+                    loop {
+                        let t = g | s;
+                        apply_tiled_op_range(batch, top, t * tile, (t + 1) * tile);
+                        s = s.wrapping_sub(dmask) & dmask;
+                        if s == 0 {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    segment.clear();
+}
+
+/// One segment op — plain or CX-rewritten — on the tile `[t0, t1)`.
+fn apply_tiled_op_range(batch: &mut BatchedState, top: &TiledOp<'_>, t0: usize, t1: usize) {
+    match top {
+        TiledOp::Plain(op) => apply_op_batched_range(batch, op, t0, t1),
+        TiledOp::Masked { mask, want, phase } => {
+            batch.phase_on_mask_range(t0, t1, *mask, *want, *phase)
+        }
+        TiledOp::Table { qubits, table } => batch.apply_diag_table_range(t0, t1, qubits, table),
+    }
+}
+
+/// One cross-tile op on the partner tiles at `t0` / `u0`. Only
+/// reachable for kinds [`high_pair_bit`] admits.
+fn apply_op_pair(batch: &mut BatchedState, op: &FusedOp, t0: usize, u0: usize, width: usize) {
+    match &op.kind {
+        OpKind::Unitary1q { m, .. } => batch.apply_mat2_pair(t0, u0, width, m),
+        OpKind::PauliX { .. } => batch.apply_x_pair(t0, u0, width),
+        OpKind::ControlledX { control_mask, .. } => {
+            batch.controlled_x_pair(t0, u0, width, *control_mask)
+        }
+        _ => unreachable!("only 1q/X/CX ops pair across tiles"),
+    }
+}
+
+/// One op on the tile `[t0, t1)` of every lane. Only reachable for
+/// tile-compatible kinds (see [`op_extent`]).
+fn apply_op_batched_range(batch: &mut BatchedState, op: &FusedOp, t0: usize, t1: usize) {
+    match &op.kind {
+        OpKind::Nop => {}
+        OpKind::MaskedPhase { mask, phase } => {
+            batch.phase_on_mask_range(t0, t1, *mask, *mask, *phase)
+        }
+        OpKind::DiagPair { q, p0, p1 } => batch.diag_pair_range(t0, t1, *q, *p0, *p1),
+        OpKind::DiagTable { qubits, table } => batch.apply_diag_table_range(t0, t1, qubits, table),
+        OpKind::Unitary1q { q, m } => batch.apply_mat2_range(t0, t1, *q, m),
+        OpKind::PauliX { q } => batch.apply_x_range(t0, t1, *q),
+        OpKind::ControlledX {
+            control_mask,
+            target,
+        } => batch.controlled_x_range(t0, t1, *control_mask, *target),
+        OpKind::SwapPair { control_mask, a, b } => {
+            batch.apply_swap_range(t0, t1, *control_mask, *a, *b)
+        }
+        OpKind::Generic2 { .. } | OpKind::Generic3 { .. } => {
+            unreachable!("generic dense ops are never tiled")
+        }
+    }
+}
+
+/// The batched counterpart of [`apply_op`]: the same kernel selection
+/// over all lanes in one SoA sweep. Generic 2q/3q ops (untranspiled
+/// circuits only) fall back to per-lane gather/apply.
+fn apply_op_batched(batch: &mut BatchedState, op: &FusedOp) {
+    if let Some(m) = crate::telem::metrics() {
+        // One fused op advanced every lane — count per trajectory so
+        // totals stay comparable with sequential replay.
+        m.fused_ops_applied.add(batch.lanes() as u64);
+    }
+    match &op.kind {
+        OpKind::Nop => {}
+        OpKind::MaskedPhase { mask, phase } => batch.phase_on_mask(*mask, *mask, *phase),
+        OpKind::DiagPair { q, p0, p1 } => batch.diag_pair(*q, *p0, *p1),
+        OpKind::DiagTable { qubits, table } => batch.apply_diag_table(qubits, table),
+        OpKind::Unitary1q { q, m } => batch.apply_mat2(*q, m),
+        OpKind::PauliX { q } => batch.apply_x(*q),
+        OpKind::ControlledX {
+            control_mask,
+            target,
+        } => batch.controlled_x(*control_mask, *target),
+        OpKind::SwapPair { control_mask, a, b } => batch.apply_swap(*control_mask, *a, *b),
+        OpKind::Generic2 { q0, q1, m } => {
+            for lane in 0..batch.lanes() {
+                let mut sv = batch.extract_lane(lane);
+                sv.apply_mat4(*q0, *q1, m);
+                batch.store_lane(lane, &sv);
+            }
+        }
+        OpKind::Generic3 { q0, q1, q2, m } => {
+            for lane in 0..batch.lanes() {
+                let mut sv = batch.extract_lane(lane);
+                sv.apply_mat8(*q0, *q1, *q2, m);
+                batch.store_lane(lane, &sv);
             }
         }
     }

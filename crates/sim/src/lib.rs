@@ -20,12 +20,18 @@
 //!   once into a flat op list (diagonal runs coalesced, 1q runs folded,
 //!   kernel selection precomputed) that every trajectory replay
 //!   executes instead of re-dispatching on the `Gate` enum.
+//! * [`batched`] — **batched trajectory replay**: K statevectors stored
+//!   interleaved (SoA, amplitude-major) so one sweep of a fused op
+//!   advances K Monte-Carlo shots, with runtime-dispatched AVX2 kernels
+//!   and a scalar fallback (`QFAB_SIMD=off` forces it). Every lane is
+//!   bit-identical to its sequential replay.
 //! * [`executor`] — circuit execution with **checkpointed replay**: the
 //!   noiseless state is snapshotted every K gates so a noisy trajectory
 //!   whose first error lands at gate g can restart from checkpoint
 //!   ⌊g/K⌋ instead of from scratch. At realistic error rates this saves
 //!   most of the per-trajectory work (ablated in `qfab-bench`).
 
+pub mod batched;
 pub mod density;
 pub mod executor;
 pub mod fused;
@@ -35,6 +41,7 @@ pub mod statevector;
 pub(crate) mod telem;
 pub mod tomography;
 
+pub use batched::BatchedState;
 pub use density::DensityMatrix;
 pub use executor::{CheckpointTable, Insertion};
 pub use fused::FusedPlan;

@@ -149,8 +149,14 @@ impl ShotSampler {
         if let Some(m) = crate::telem::metrics() {
             m.sample_single_shots.incr();
         }
-        let amps = state.amplitudes();
-        let mut u = rng.next_f64();
+        Self::sample_index(state.amplitudes(), rng.next_f64())
+    }
+
+    /// The inverse-CDF scan behind [`sample_once`](Self::sample_once),
+    /// with the uniform draw supplied by the caller — so the batched
+    /// replay path can pre-draw its uniforms in sequential shot order
+    /// and still resolve the *identical* outcome per shot.
+    pub fn sample_index(amps: &[qfab_math::complex::Complex64], mut u: f64) -> usize {
         for (i, a) in amps.iter().enumerate() {
             let p = a.norm_sqr();
             if u < p {

@@ -122,6 +122,14 @@ impl StateVector {
         s
     }
 
+    /// Builds a state without the norm check or telemetry side effects
+    /// — for lane extraction from a [`BatchedState`](crate::BatchedState),
+    /// where amplitudes are mid-circuit copies already known to be valid.
+    pub(crate) fn from_amplitudes_raw(n: u32, parallel: bool, amps: Vec<Complex64>) -> Self {
+        debug_assert_eq!(amps.len(), dim(n), "amplitude vector length mismatch");
+        Self { n, parallel, amps }
+    }
+
     /// Number of qubits.
     pub fn num_qubits(&self) -> u32 {
         self.n

@@ -69,6 +69,20 @@ pub(crate) struct SimMetrics {
     /// Gates re-simulated per replay (shorter = checkpoints helping).
     pub replay_gates: &'static Histogram,
 
+    /// Batched replay sweeps executed (one per `run_batch_from`).
+    pub batch_batches: &'static Counter,
+    /// Trajectory lanes advanced through batched sweeps.
+    pub batch_lanes: &'static Counter,
+    /// Lanes temporarily peeled to scalar replay because a Pauli
+    /// insertion landed inside a fused op.
+    pub batch_peeled_lanes: &'static Counter,
+    /// 1 when batched kernels take the AVX2 path, 0 for scalar fallback.
+    pub batch_simd: &'static Gauge,
+    /// Insertion-free op runs applied tile-by-tile (cache blocking).
+    pub batch_tiled_segments: &'static Counter,
+    /// Fused ops inside those tiled runs (run length = ops / segments).
+    pub batch_tiled_ops: &'static Counter,
+
     /// Wall time per batched `sample_counts` call.
     pub sample_batch_ns: &'static Histogram,
     /// Shots drawn through the batched alias-table path.
@@ -102,6 +116,12 @@ impl SimMetrics {
             replays: telemetry::counter("sim.replay.noisy"),
             replays_clean: telemetry::counter("sim.replay.clean"),
             replay_gates: telemetry::histogram("sim.replay.gates"),
+            batch_batches: telemetry::counter("sim.batch.batches"),
+            batch_lanes: telemetry::counter("sim.batch.lanes"),
+            batch_peeled_lanes: telemetry::counter("sim.batch.peeled_lanes"),
+            batch_simd: telemetry::gauge("sim.batch.simd"),
+            batch_tiled_segments: telemetry::counter("sim.batch.tiled_segments"),
+            batch_tiled_ops: telemetry::counter("sim.batch.tiled_ops"),
             sample_batch_ns: telemetry::histogram("sim.sample.batch_ns"),
             sample_batch_shots: telemetry::counter("sim.sample.batch_shots"),
             sample_single_shots: telemetry::counter("sim.sample.single_shots"),
