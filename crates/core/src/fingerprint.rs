@@ -10,8 +10,10 @@
 //!   (`"full"` or the decimal cap), independent of enum layout.
 //! * [`RunConfig::identity_json`] — the *outcome-relevant* subset of a
 //!   run configuration. Performance knobs (`checkpoint_budget`,
-//!   `inner_parallel`) are deliberately excluded: they change how fast
-//!   a cell computes, never what it computes.
+//!   `inner_parallel`, `batch_shots`) and pure observability knobs
+//!   (`shots_ledger`) are deliberately excluded: they change how fast a
+//!   cell computes or what gets recorded alongside it, never what it
+//!   computes.
 //! * [`f64_identity`] — floats canonicalized through their IEEE-754
 //!   bits so `0.1 + 0.2`-style representation drift can never alias two
 //!   different rates.
@@ -109,6 +111,7 @@ mod tests {
             optimize: false,
             inner_parallel: true,
             batch_shots: 1,
+            shots_ledger: true,
         };
         let b = RunConfig {
             shots: 128,
@@ -116,6 +119,7 @@ mod tests {
             optimize: false,
             inner_parallel: false,
             batch_shots: 8,
+            shots_ledger: false,
         };
         assert_eq!(a.identity_json().encode(), b.identity_json().encode());
         assert_eq!(

@@ -52,6 +52,8 @@ pub use mitigation::{fold_global, mitigate_readout, richardson_extrapolate, ZneR
 pub use multiplier::{qfm, QfmCircuit};
 pub use multiplier_fourier::{qfm_single_transform, FourierMulCircuit, Signedness};
 pub use ops::{AddInstance, MulInstance};
-pub use pipeline::{NoisyRun, OwnedNoisyRun, PreparedInstance, RunConfig};
+pub use pipeline::{
+    LoggedShot, NoisyRun, OwnedNoisyRun, PreparedInstance, RunConfig, ShotLog, MAX_LOGGED_SHOTS,
+};
 pub use qft::{aqft, aqft_inverse, aqft_natural_order};
 pub use qint::Qinteger;

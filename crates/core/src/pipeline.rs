@@ -50,6 +50,12 @@ pub struct RunConfig {
     /// any value, so like `checkpoint_budget` and `inner_parallel` it
     /// is excluded from the store identity.
     pub batch_shots: usize,
+    /// Record per-shot provenance (outcome + insertion multiset) into a
+    /// [`ShotLog`] alongside the counts. Pure observability: the log is
+    /// derived from values the sampler produces anyway, so sampled
+    /// outcomes are byte-identical with the ledger on or off — hence,
+    /// like the performance knobs, excluded from the store identity.
+    pub shots_ledger: bool,
 }
 
 /// Default trajectory batch width: 8 lanes keeps the working set of a
@@ -65,7 +71,75 @@ impl Default for RunConfig {
             optimize: false,
             inner_parallel: false,
             batch_shots: DEFAULT_BATCH_SHOTS,
+            shots_ledger: false,
         }
+    }
+}
+
+/// Cap on fully-detailed noisy shots a [`ShotLog`] keeps per cell.
+/// Beyond it only the outcome tally accrues (with a truncation count),
+/// so aggregate failure statistics stay exact while the record size
+/// stays bounded.
+pub const MAX_LOGGED_SHOTS: usize = 4096;
+
+/// One logged noisy shot: the final tabulated outcome (post-readout,
+/// when a readout channel is active) and the sampled error insertions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoggedShot {
+    /// The outcome index that entered the count table.
+    pub outcome: usize,
+    /// The trajectory's Pauli insertions, in circuit order.
+    pub insertions: Vec<Insertion>,
+}
+
+/// Per-cell shot provenance captured during sampling.
+///
+/// The log is written from values the sampler already produces — the
+/// trajectory each noisy shot replays and the outcome that enters the
+/// count table — so enabling it cannot perturb the RNG stream or any
+/// sampled outcome, on either the sequential or the batched path.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShotLog {
+    /// Outcome tally of error-free shots.
+    pub clean: BTreeMap<usize, u64>,
+    /// Detailed noisy shots, in draw order, capped at
+    /// [`MAX_LOGGED_SHOTS`].
+    pub noisy: Vec<LoggedShot>,
+    /// Outcome tally of noisy shots beyond the cap.
+    pub truncated: BTreeMap<usize, u64>,
+}
+
+impl ShotLog {
+    /// Records a clean shot's final outcome.
+    pub fn push_clean(&mut self, outcome: usize) {
+        *self.clean.entry(outcome).or_insert(0) += 1;
+    }
+
+    /// Records a noisy shot; past the cap only the outcome is tallied.
+    pub fn push_noisy(&mut self, outcome: usize, insertions: Vec<Insertion>) {
+        if self.noisy.len() < MAX_LOGGED_SHOTS {
+            self.noisy.push(LoggedShot {
+                outcome,
+                insertions,
+            });
+        } else {
+            *self.truncated.entry(outcome).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of clean shots recorded.
+    pub fn clean_shots(&self) -> u64 {
+        self.clean.values().sum()
+    }
+
+    /// Number of noisy shots tallied past the detail cap.
+    pub fn truncated_shots(&self) -> u64 {
+        self.truncated.values().sum()
+    }
+
+    /// Total shots the log accounts for.
+    pub fn total_shots(&self) -> u64 {
+        self.clean_shots() + self.noisy.len() as u64 + self.truncated_shots()
     }
 }
 
@@ -178,7 +252,39 @@ impl NoisyRun<'_> {
 
     /// Samples a batch of `shots` measurements.
     pub fn sample_counts(&self, shots: u64, rng: &mut Xoshiro256StarStar) -> Counts {
-        sample_counts_impl(self.prep, &self.plan, self.readout.as_ref(), shots, rng)
+        sample_counts_impl(
+            self.prep,
+            &self.plan,
+            self.readout.as_ref(),
+            shots,
+            rng,
+            None,
+        )
+    }
+
+    /// Samples `shots` measurements while recording per-shot
+    /// provenance. The counts are byte-identical to
+    /// [`Self::sample_counts`] on the same RNG stream.
+    pub fn sample_counts_logged(
+        &self,
+        shots: u64,
+        rng: &mut Xoshiro256StarStar,
+    ) -> (Counts, ShotLog) {
+        let mut log = ShotLog::default();
+        let counts = sample_counts_impl(
+            self.prep,
+            &self.plan,
+            self.readout.as_ref(),
+            shots,
+            rng,
+            Some(&mut log),
+        );
+        (counts, log)
+    }
+
+    /// The bound trajectory plan (site and channel metadata).
+    pub fn plan(&self) -> &TrajectoryPlan {
+        &self.plan
     }
 }
 
@@ -207,7 +313,39 @@ impl OwnedNoisyRun {
 
     /// Samples a batch of `shots` measurements.
     pub fn sample_counts(&self, shots: u64, rng: &mut Xoshiro256StarStar) -> Counts {
-        sample_counts_impl(&self.prep, &self.plan, self.readout.as_ref(), shots, rng)
+        sample_counts_impl(
+            &self.prep,
+            &self.plan,
+            self.readout.as_ref(),
+            shots,
+            rng,
+            None,
+        )
+    }
+
+    /// Samples `shots` measurements while recording per-shot
+    /// provenance. The counts are byte-identical to
+    /// [`Self::sample_counts`] on the same RNG stream.
+    pub fn sample_counts_logged(
+        &self,
+        shots: u64,
+        rng: &mut Xoshiro256StarStar,
+    ) -> (Counts, ShotLog) {
+        let mut log = ShotLog::default();
+        let counts = sample_counts_impl(
+            &self.prep,
+            &self.plan,
+            self.readout.as_ref(),
+            shots,
+            rng,
+            Some(&mut log),
+        );
+        (counts, log)
+    }
+
+    /// The bound trajectory plan (site and channel metadata).
+    pub fn plan(&self) -> &TrajectoryPlan {
+        &self.plan
     }
 }
 
@@ -217,6 +355,7 @@ fn sample_counts_impl(
     readout: Option<&qfab_noise::ReadoutError>,
     shots: u64,
     rng: &mut Xoshiro256StarStar,
+    mut log: Option<&mut ShotLog>,
 ) -> Counts {
     let _span = telemetry::histogram("pipeline.sample_ns").span();
     let sample_trace =
@@ -231,16 +370,22 @@ fn sample_counts_impl(
         telemetry::counter("pipeline.shots.clean").add(clean);
         telemetry::counter("pipeline.shots.noisy").add(shots - clean);
     }
-    let record = |counts: &mut Counts, outcome: usize, rng: &mut Xoshiro256StarStar| {
+    // Returns the outcome that entered the table so the shot log can
+    // record post-readout values (what the counts actually saw).
+    let record = |counts: &mut Counts, outcome: usize, rng: &mut Xoshiro256StarStar| -> usize {
         let outcome = match readout {
             Some(ro) => ro.apply(outcome, prep.num_qubits, rng),
             None => outcome,
         };
         counts.add(outcome, 1);
+        outcome
     };
     for _ in 0..clean {
         let outcome = prep.clean_dist.sample(rng);
-        record(&mut counts, outcome, rng);
+        let tabulated = record(&mut counts, outcome, rng);
+        if let Some(log) = log.as_deref_mut() {
+            log.push_clean(tabulated);
+        }
     }
     let noisy = shots - clean;
     let noisy_trace = trace::span_args(
@@ -263,7 +408,10 @@ fn sample_counts_impl(
             insertions_total += trajectory.len() as u64;
             let state = prep.table.run_with_insertions(&trajectory);
             let outcome = ShotSampler::sample_once(&state, rng);
-            record(&mut counts, outcome, rng);
+            let tabulated = record(&mut counts, outcome, rng);
+            if let Some(log) = log.as_deref_mut() {
+                log.push_noisy(tabulated, trajectory);
+            }
         }
     } else {
         // Phase 1: pre-draw every trajectory and its measurement
@@ -315,9 +463,15 @@ fn sample_counts_impl(
             telemetry::counter("sim.sample.single_shots").add(noisy);
         }
         // Tabulate in original shot order (`readout` is `None` on this
-        // path, so `record` leaves the RNG untouched).
-        for &outcome in &outcomes {
-            record(&mut counts, outcome, rng);
+        // path, so `record` leaves the RNG untouched). Trajectories are
+        // consumed into the log here, after replay no longer needs them
+        // — the log therefore sees shots in the same draw order as the
+        // sequential path.
+        for (&outcome, (trajectory, _)) in outcomes.iter().zip(draws) {
+            let tabulated = record(&mut counts, outcome, rng);
+            if let Some(log) = log.as_deref_mut() {
+                log.push_noisy(tabulated, trajectory);
+            }
         }
     }
     noisy_trace.end_with_args(&[("insertions", trace::ArgValue::U64(insertions_total))]);
@@ -489,6 +643,111 @@ mod tests {
         let (a, _) = run_add_instance(&inst, AqftDepth::Full, &model, &sequential, 9);
         let (b, _) = run_add_instance(&inst, AqftDepth::Full, &model, &batched, 9);
         assert_eq!(a, b);
+    }
+
+    /// The shot log is pure observability: logged sampling must produce
+    /// byte-identical counts from the same RNG stream, and the log must
+    /// account for every shot.
+    #[test]
+    fn logged_sampling_matches_unlogged_counts() {
+        let inst = small_add();
+        let model = NoiseModel::depolarizing(0.02, 0.05);
+        let run = NoisyRun::prepare(
+            &inst.circuit(AqftDepth::Full),
+            inst.initial_state(),
+            &model,
+            &RunConfig::default(),
+        );
+        let plain = run.sample_counts(400, &mut rng(21));
+        let (logged, log) = run.sample_counts_logged(400, &mut rng(21));
+        assert_eq!(plain, logged);
+        assert_eq!(log.total_shots(), 400);
+        // Every logged outcome is in the count table.
+        let mut from_log: BTreeMap<usize, u64> = log.clean.clone();
+        for shot in &log.noisy {
+            assert!(!shot.insertions.is_empty(), "noisy shots carry insertions");
+            *from_log.entry(shot.outcome).or_insert(0) += 1;
+        }
+        for (&o, &c) in &log.truncated {
+            *from_log.entry(o).or_insert(0) += c;
+        }
+        for (o, c) in from_log {
+            assert_eq!(logged.get(o), c, "outcome {o}");
+        }
+    }
+
+    /// Batched replay must produce the identical shot log as sequential
+    /// replay — same outcomes, same trajectories, same draw order.
+    #[test]
+    fn batched_shot_log_is_identical_to_sequential() {
+        let inst = small_add();
+        let model = NoiseModel::depolarizing(0.03, 0.06);
+        let sequential = RunConfig {
+            shots: 300,
+            batch_shots: 1,
+            ..RunConfig::default()
+        };
+        let prep_seq = PreparedInstance::new(
+            &inst.circuit(AqftDepth::Full),
+            inst.initial_state(),
+            &sequential,
+        );
+        let (ca, la) = prep_seq
+            .noisy(&model)
+            .sample_counts_logged(300, &mut rng(8));
+        let batched = RunConfig {
+            batch_shots: 8,
+            ..sequential
+        };
+        let prep_bat = PreparedInstance::new(
+            &inst.circuit(AqftDepth::Full),
+            inst.initial_state(),
+            &batched,
+        );
+        let (cb, lb) = prep_bat
+            .noisy(&model)
+            .sample_counts_logged(300, &mut rng(8));
+        assert_eq!(ca, cb);
+        assert_eq!(la, lb);
+    }
+
+    /// With readout error active the log records post-readout outcomes
+    /// (what the count table saw).
+    #[test]
+    fn shot_log_records_post_readout_outcomes() {
+        let inst = small_add();
+        let model = NoiseModel::depolarizing(0.02, 0.04)
+            .with_readout(qfab_noise::ReadoutError::symmetric(0.05));
+        let run = NoisyRun::prepare(
+            &inst.circuit(AqftDepth::Full),
+            inst.initial_state(),
+            &model,
+            &RunConfig::default(),
+        );
+        let (counts, log) = run.sample_counts_logged(500, &mut rng(13));
+        let mut tally: BTreeMap<usize, u64> = log.clean.clone();
+        for shot in &log.noisy {
+            *tally.entry(shot.outcome).or_insert(0) += 1;
+        }
+        for (&o, &c) in &log.truncated {
+            *tally.entry(o).or_insert(0) += c;
+        }
+        let total: u64 = tally.values().sum();
+        assert_eq!(total, 500);
+        for (o, c) in tally {
+            assert_eq!(counts.get(o), c, "outcome {o}");
+        }
+    }
+
+    #[test]
+    fn shot_log_truncates_past_cap() {
+        let mut log = ShotLog::default();
+        for i in 0..(MAX_LOGGED_SHOTS + 10) {
+            log.push_noisy(i % 3, vec![]);
+        }
+        assert_eq!(log.noisy.len(), MAX_LOGGED_SHOTS);
+        assert_eq!(log.truncated_shots(), 10);
+        assert_eq!(log.total_shots(), (MAX_LOGGED_SHOTS + 10) as u64);
     }
 
     #[test]

@@ -1,0 +1,1150 @@
+//! Per-site error-budget attribution from the shot-provenance ledger.
+//!
+//! `repro attrib DIR` digests the `qfab.shots.v1` records a
+//! `--shots-ledger` sweep left in the store into an *error budget*: for
+//! every swept cell, how much of the observed failure rate each noise
+//! site (transpiled gate index), each channel, and each rotation order
+//! is responsible for.
+//!
+//! ## The estimator
+//!
+//! Let `p = fails / shots` be a cell's observed failure rate. For a
+//! site `s`, the *lift* is `P(fail | s fired) − p`, with a 95% Wilson
+//! interval on the conditional term — a site whose interval clears zero
+//! demonstrably degrades the cell. Lift measures association per
+//! firing; the *budget* measures total blame: each failing logged shot
+//! splits one unit of failure evenly across the `k` sites that fired in
+//! it, so per-site budgets sum **exactly** to the number of failing
+//! logged noisy shots. Together with the clean-shot failures (the AQFT
+//! approximation error — no site fired, the circuit itself is wrong)
+//! and the failures among detail-truncated shots, the buckets add up to
+//! the cell's observed failure count, unconditionally.
+//!
+//! ## Rotation orders
+//!
+//! Site indices point into the transpiled circuit, which attribution
+//! rebuilds deterministically from the panel identity (the ensemble
+//! draw is seeded, and the circuit *structure* does not depend on the
+//! operand values). Each transpiled gate is classified as `h`, `cx`, or
+//! `r{l}` — the 1q phase slice of the paper's order-`l` rotation
+//! `R_l = CP(2π/2^l)`, recovered from the angle as
+//! `l = round(log2(π/|θ|))`. The depth-by-depth order table then shows
+//! which rotation orders dominate loss at each AQFT truncation — the
+//! budget view of the paper's approximation/noise trade-off.
+//!
+//! ## Exact cross-check
+//!
+//! For small cells (≤ [`DENSITY_QUBIT_LIMIT`] qubits) the ledger's
+//! Monte-Carlo failure rate is re-derived exactly on the density-matrix
+//! engine: evolve `ρ` through the same transpiled circuit, applying
+//! each gate's Kraus channel after it, and read the accepted-output
+//! mass off the diagonal. The Monte-Carlo estimate must cover the exact
+//! value within its Wilson interval.
+
+use crate::rundata::PanelKey;
+use crate::runner::model_for;
+use crate::shots::{ChannelInfo, ShotsCell, ShotsData};
+use crate::sweep::ErrorTarget;
+use crate::workload::{add_ensemble, mul_ensemble};
+use qfab_circuit::{Circuit, Gate};
+use qfab_core::AqftDepth;
+use qfab_math::stats::wilson_interval;
+use qfab_sim::DensityMatrix;
+use qfab_transpile::{transpile, Basis};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// z for the 95% Wilson intervals the report quotes.
+pub const Z95: f64 = 1.959_963_985;
+
+/// The density engine's qubit ceiling — cells at most this wide get the
+/// exact cross-check.
+pub const DENSITY_QUBIT_LIMIT: u32 = 10;
+
+/// Default number of cells `repro attrib --cross-check` reruns on the
+/// density engine when no explicit budget is given.
+pub const DEFAULT_CROSS_CHECK_CELLS: usize = 64;
+
+/// One noise site's attribution row.
+#[derive(Clone, Debug)]
+pub struct SiteRow {
+    /// Transpiled-circuit gate index.
+    pub gate: u64,
+    /// Gate-class label (`"h"`, `"cx"`, `"r3"`, … or `"g?"` when the
+    /// circuit could not be rebuilt).
+    pub order: String,
+    /// Channel index into the group's channel list.
+    pub channel: u64,
+    /// Logged shots in which the site fired.
+    pub fired: u64,
+    /// Failures among those shots.
+    pub fired_fail: u64,
+    /// Failure budget: failing shots split `1/k` over their `k` fired
+    /// sites. Summed over a group's sites this equals the group's
+    /// failing logged-shot count exactly.
+    pub budget: f64,
+    /// `P(fail | fired) − P(fail)`.
+    pub lift: f64,
+    /// Wilson-95% bounds on the lift.
+    pub lift_lo: f64,
+    /// Upper bound.
+    pub lift_hi: f64,
+}
+
+/// One channel's attribution row.
+#[derive(Clone, Debug)]
+pub struct ChannelRow {
+    /// Channel index.
+    pub channel: u64,
+    /// Channel family tag.
+    pub tag: String,
+    /// Per-site fire probability.
+    pub error_prob: f64,
+    /// Logged shots in which the channel fired at least once.
+    pub fired: u64,
+    /// Failures among those shots.
+    pub fired_fail: u64,
+    /// Summed budget of the channel's sites.
+    pub budget: f64,
+    /// `P(fail | fired) − P(fail)` with Wilson-95% bounds.
+    pub lift: f64,
+    /// Lower bound.
+    pub lift_lo: f64,
+    /// Upper bound.
+    pub lift_hi: f64,
+    /// Pauli-label tally over the channel's site firings, count-sorted.
+    pub paulis: Vec<(String, u64)>,
+}
+
+/// One gate-class (rotation-order) attribution row.
+#[derive(Clone, Debug)]
+pub struct OrderRow {
+    /// Gate-class label.
+    pub order: String,
+    /// Distinct sites of this class that fired.
+    pub sites: u64,
+    /// Total site firings.
+    pub fired: u64,
+    /// Summed budget of the class's sites.
+    pub budget: f64,
+}
+
+/// One `(depth, rate)` cell group, aggregated across instances.
+#[derive(Clone, Debug)]
+pub struct GroupAttribution {
+    /// Rate grid index.
+    pub ri: u64,
+    /// Error rate (fraction).
+    pub rate: f64,
+    /// Depth grid index.
+    pub di: u64,
+    /// Depth identity tag.
+    pub depth: String,
+    /// Transpiled gate count.
+    pub gates: u64,
+    /// Total shots across the group's records.
+    pub shots: u64,
+    /// Total failing shots.
+    pub fails: u64,
+    /// Error-free shots.
+    pub clean: u64,
+    /// Failures among them (approximation error).
+    pub clean_fail: u64,
+    /// Detail-logged noisy shots.
+    pub logged: u64,
+    /// Failures among them (the attributable budget).
+    pub logged_fail: u64,
+    /// Noisy shots beyond the detail cap.
+    pub truncated: u64,
+    /// Failures among them (unattributable).
+    pub truncated_fail: u64,
+    /// The channels the sites reference.
+    pub channels: Vec<ChannelInfo>,
+    /// Per-site rows, gate-index order.
+    pub sites: Vec<SiteRow>,
+    /// Per-channel rows.
+    pub channel_rows: Vec<ChannelRow>,
+    /// Per-gate-class rows, display order.
+    pub orders: Vec<OrderRow>,
+}
+
+impl GroupAttribution {
+    /// Observed failure rate.
+    pub fn fail_rate(&self) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.fails as f64 / self.shots as f64
+        }
+    }
+
+    /// Summed per-site budget — equals `logged_fail` exactly.
+    pub fn site_budget(&self) -> f64 {
+        // fold, not sum: an empty iterator's f64 sum is -0.0, which
+        // would print as "-0.00" in the report's zero-noise rows.
+        self.sites.iter().map(|s| s.budget).fold(0.0, |a, b| a + b)
+    }
+
+    /// Top-`k` sites by budget (ties broken by gate index).
+    pub fn top_sites(&self, k: usize) -> Vec<&SiteRow> {
+        let mut v: Vec<&SiteRow> = self.sites.iter().collect();
+        v.sort_by(|a, b| {
+            b.budget
+                .partial_cmp(&a.budget)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.gate.cmp(&b.gate))
+        });
+        v.truncate(k);
+        v
+    }
+}
+
+/// One panel's attribution.
+#[derive(Clone, Debug)]
+pub struct PanelAttribution {
+    /// The shared identity fields.
+    pub key: PanelKey,
+    /// Paper panel id when the geometry matches, else synthesized.
+    pub id: String,
+    /// Whether the run transpiled through the optimizer.
+    pub optimize: bool,
+    /// Distinct instances recorded.
+    pub instances: u64,
+    /// Records dropped for internal inconsistency (mixed gate counts or
+    /// channel lists within one cell group).
+    pub skipped: u64,
+    /// Cell groups, depth-major then rate.
+    pub groups: Vec<GroupAttribution>,
+}
+
+impl PanelAttribution {
+    /// True when no noise site fired anywhere in the panel — the error
+    /// budget is empty (approximation error only).
+    pub fn empty_budget(&self) -> bool {
+        self.groups.iter().all(|g| g.sites.is_empty())
+    }
+}
+
+/// The full attribution report for one store.
+#[derive(Clone, Debug, Default)]
+pub struct AttribReport {
+    /// Panels, key order.
+    pub panels: Vec<PanelAttribution>,
+    /// Shots records consumed.
+    pub records: u64,
+    /// Shots-salted records that failed validation at load.
+    pub rejected: u64,
+}
+
+/// One exact-vs-Monte-Carlo comparison.
+#[derive(Clone, Debug)]
+pub struct CrossCheck {
+    /// Panel id.
+    pub panel: String,
+    /// Instance index.
+    pub inst: u64,
+    /// Error rate.
+    pub rate: f64,
+    /// Depth tag.
+    pub depth: String,
+    /// Shots behind the Monte-Carlo estimate.
+    pub shots: u64,
+    /// Monte-Carlo failure rate from the ledger.
+    pub mc_fail: f64,
+    /// Wilson-95% bounds on it.
+    pub mc_lo: f64,
+    /// Upper bound.
+    pub mc_hi: f64,
+    /// Exact noisy failure probability from the density engine.
+    pub exact_fail: f64,
+}
+
+impl CrossCheck {
+    /// Monte-Carlo attribution error against the exact loss.
+    pub fn error(&self) -> f64 {
+        (self.mc_fail - self.exact_fail).abs()
+    }
+
+    /// True when the exact value lies inside the Wilson interval.
+    pub fn within(&self) -> bool {
+        self.exact_fail >= self.mc_lo && self.exact_fail <= self.mc_hi
+    }
+}
+
+fn parse_depth(tag: &str) -> Option<AqftDepth> {
+    if tag == "full" {
+        return Some(AqftDepth::Full);
+    }
+    tag.parse::<u32>()
+        .ok()
+        .filter(|&d| d >= 1)
+        .map(AqftDepth::Limited)
+}
+
+fn parse_target(err: &str) -> Option<ErrorTarget> {
+    match err {
+        "1q" => Some(ErrorTarget::OneQubit),
+        "2q" => Some(ErrorTarget::TwoQubit),
+        _ => None,
+    }
+}
+
+/// Rebuilds the circuit the panel's cells ran at `depth`, using the
+/// seeded ensemble draw. The *structure* (and therefore the gate list
+/// the site indices point into) is identical for every instance of a
+/// panel — only the initial state differs — so instance 0 stands in for
+/// all of them.
+fn panel_circuit(key: &PanelKey, depth: AqftDepth, instance: usize) -> Option<Circuit> {
+    let (n, m) = (key.n as u32, key.m as u32);
+    let (ox, oy) = (key.ox as usize, key.oy as usize);
+    match key.op.as_str() {
+        "add" => {
+            let v = add_ensemble(key.seed, n, m, ox, oy, instance + 1);
+            Some(v[instance].circuit(depth))
+        }
+        "mul" => {
+            let v = mul_ensemble(key.seed, n, m, ox, oy, instance + 1);
+            Some(v[instance].circuit(depth))
+        }
+        _ => None,
+    }
+}
+
+fn lower(circuit: &Circuit, optimize: bool) -> Circuit {
+    let lowered = transpile(circuit, Basis::CxPlus1q);
+    if optimize {
+        qfab_transpile::optimize(&lowered).0
+    } else {
+        lowered
+    }
+}
+
+/// Classifies one transpiled gate: `h`, `cx`, `r{l}` for the phase
+/// slice of the paper's `R_l` rotation, or the gate's own name.
+fn order_label(gate: &Gate) -> String {
+    match gate {
+        Gate::Cx { .. } => "cx".to_string(),
+        Gate::H(_) => "h".to_string(),
+        Gate::Rz(_, theta) | Gate::Phase(_, theta) => {
+            let a = theta.abs();
+            if a <= f64::EPSILON {
+                return "r?".to_string();
+            }
+            // CP(2π/2^l) lowers to ±π/2^l phase slices.
+            let l = (std::f64::consts::PI / a).log2().round();
+            if (0.0..=64.0).contains(&l) {
+                format!("r{}", l as u32)
+            } else {
+                "r?".to_string()
+            }
+        }
+        g => g.name().to_string(),
+    }
+}
+
+/// Sort key putting `h` first, then `cx`, then rotations by ascending
+/// order, then everything else by name.
+fn order_sort_key(label: &str) -> (u8, u32, String) {
+    match label {
+        "h" => (0, 0, String::new()),
+        "cx" => (1, 0, String::new()),
+        _ => {
+            if let Some(rest) = label.strip_prefix('r') {
+                if let Ok(l) = rest.parse::<u32>() {
+                    return (2, l, String::new());
+                }
+            }
+            (3, 0, label.to_string())
+        }
+    }
+}
+
+/// The per-gate class labels of a panel's circuit at one depth, or
+/// `None` when the rebuilt gate list does not match the recorded count
+/// (foreign panel op, or records from a different code version).
+fn classify_gates(key: &PanelKey, optimize: bool, depth: &str, gates: u64) -> Option<Vec<String>> {
+    let circuit = panel_circuit(key, parse_depth(depth)?, 0)?;
+    let lowered = lower(&circuit, optimize);
+    if lowered.gates().len() as u64 != gates {
+        return None;
+    }
+    Some(lowered.gates().iter().map(order_label).collect())
+}
+
+#[derive(Default)]
+struct SiteAcc {
+    fired: u64,
+    fail: u64,
+    budget: f64,
+}
+
+#[derive(Default)]
+struct GroupAcc {
+    rate: f64,
+    depth: String,
+    gates: u64,
+    channels: Vec<ChannelInfo>,
+    shots: u64,
+    fails: u64,
+    clean: u64,
+    clean_fail: u64,
+    logged: u64,
+    logged_fail: u64,
+    truncated: u64,
+    truncated_fail: u64,
+    sites: BTreeMap<(u64, u64), SiteAcc>,
+    chans: BTreeMap<u64, SiteAcc>,
+    paulis: BTreeMap<(u64, String), u64>,
+}
+
+fn lift_bounds(fail: u64, fired: u64, base: f64) -> (f64, f64, f64) {
+    if fired == 0 {
+        return (0.0, 0.0, 0.0);
+    }
+    let p = fail as f64 / fired as f64;
+    let (lo, hi) = wilson_interval(fail, fired, Z95);
+    (p - base, lo - base, hi - base)
+}
+
+/// Folds a store's shots records into the attribution report.
+pub fn attribute(data: &ShotsData) -> AttribReport {
+    let mut report = AttribReport {
+        records: data.records,
+        rejected: data.rejected,
+        ..AttribReport::default()
+    };
+    let mut i = 0;
+    while i < data.cells.len() {
+        let mut j = i;
+        while j < data.cells.len() && data.cells[j].panel == data.cells[i].panel {
+            j += 1;
+        }
+        report.panels.push(attribute_panel(&data.cells[i..j]));
+        i = j;
+    }
+    report
+}
+
+fn attribute_panel(cells: &[ShotsCell]) -> PanelAttribution {
+    let key = cells[0].panel.clone();
+    let optimize = cells[0].optimize;
+    let id = crate::rundata::panel_id_for(&key);
+    let mut instances: Vec<u64> = cells.iter().map(|c| c.inst).collect();
+    instances.sort_unstable();
+    instances.dedup();
+
+    let mut groups: BTreeMap<(u64, u64), GroupAcc> = BTreeMap::new();
+    let mut skipped = 0u64;
+    for cell in cells {
+        let acc = groups.entry((cell.di, cell.ri)).or_default();
+        let rec = &cell.record;
+        if acc.shots == 0 {
+            acc.rate = cell.rate;
+            acc.depth = cell.depth.clone();
+            acc.gates = rec.gates;
+            acc.channels = rec.channels.clone();
+        } else if acc.gates != rec.gates || acc.channels != rec.channels {
+            // A cell group mixes records of different circuits — stale
+            // store or code drift. Refuse to blend them.
+            skipped += 1;
+            continue;
+        }
+        acc.shots += rec.total_shots();
+        acc.fails += rec.total_fails();
+        acc.clean += rec.clean;
+        acc.clean_fail += rec.clean_fail;
+        acc.logged += rec.noisy.len() as u64;
+        acc.truncated += rec.truncated;
+        acc.truncated_fail += rec.truncated_fail;
+        for shot in &rec.noisy {
+            let k = shot.sites.len();
+            if shot.fail {
+                acc.logged_fail += 1;
+            }
+            let mut per_chan: BTreeMap<u64, u64> = BTreeMap::new();
+            for site in &shot.sites {
+                *per_chan.entry(site.channel).or_insert(0) += 1;
+                *acc.paulis
+                    .entry((site.channel, site.pauli.clone()))
+                    .or_insert(0) += 1;
+                let s = acc.sites.entry((site.gate, site.channel)).or_default();
+                s.fired += 1;
+                if shot.fail {
+                    s.fail += 1;
+                    s.budget += 1.0 / k as f64;
+                }
+            }
+            for (chan, count) in per_chan {
+                let c = acc.chans.entry(chan).or_default();
+                c.fired += 1;
+                if shot.fail {
+                    c.fail += 1;
+                    c.budget += count as f64 / k as f64;
+                }
+            }
+        }
+    }
+
+    // Gate-class labels, one rebuild per depth tag.
+    let mut labels: BTreeMap<String, Option<Vec<String>>> = BTreeMap::new();
+    for acc in groups.values() {
+        labels
+            .entry(acc.depth.clone())
+            .or_insert_with(|| classify_gates(&key, optimize, &acc.depth, acc.gates));
+    }
+
+    let groups = groups
+        .into_iter()
+        .map(|((di, ri), acc)| {
+            let base = if acc.shots == 0 {
+                0.0
+            } else {
+                acc.fails as f64 / acc.shots as f64
+            };
+            let classes = labels.get(&acc.depth).and_then(|l| l.as_ref());
+            let label_of = |gate: u64| -> String {
+                classes
+                    .and_then(|l| l.get(gate as usize))
+                    .cloned()
+                    .unwrap_or_else(|| "g?".to_string())
+            };
+            let sites: Vec<SiteRow> = acc
+                .sites
+                .iter()
+                .map(|(&(gate, channel), s)| {
+                    let (lift, lift_lo, lift_hi) = lift_bounds(s.fail, s.fired, base);
+                    SiteRow {
+                        gate,
+                        order: label_of(gate),
+                        channel,
+                        fired: s.fired,
+                        fired_fail: s.fail,
+                        budget: s.budget,
+                        lift,
+                        lift_lo,
+                        lift_hi,
+                    }
+                })
+                .collect();
+            let channel_rows = acc
+                .chans
+                .iter()
+                .map(|(&channel, c)| {
+                    let (lift, lift_lo, lift_hi) = lift_bounds(c.fail, c.fired, base);
+                    let mut paulis: Vec<(String, u64)> = acc
+                        .paulis
+                        .range((channel, String::new())..(channel + 1, String::new()))
+                        .map(|((_, p), &n)| (p.clone(), n))
+                        .collect();
+                    paulis.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                    let info = acc.channels.get(channel as usize);
+                    ChannelRow {
+                        channel,
+                        tag: info.map_or_else(|| "?".into(), |c| c.tag.clone()),
+                        error_prob: info.map_or(0.0, |c| c.error_prob),
+                        fired: c.fired,
+                        fired_fail: c.fail,
+                        budget: c.budget,
+                        lift,
+                        lift_lo,
+                        lift_hi,
+                        paulis,
+                    }
+                })
+                .collect();
+            let mut by_order: BTreeMap<String, OrderRow> = BTreeMap::new();
+            for s in &sites {
+                let row = by_order.entry(s.order.clone()).or_insert_with(|| OrderRow {
+                    order: s.order.clone(),
+                    sites: 0,
+                    fired: 0,
+                    budget: 0.0,
+                });
+                row.sites += 1;
+                row.fired += s.fired;
+                row.budget += s.budget;
+            }
+            let mut orders: Vec<OrderRow> = by_order.into_values().collect();
+            orders.sort_by_key(|r| order_sort_key(&r.order));
+            GroupAttribution {
+                ri,
+                rate: acc.rate,
+                di,
+                depth: acc.depth,
+                gates: acc.gates,
+                shots: acc.shots,
+                fails: acc.fails,
+                clean: acc.clean,
+                clean_fail: acc.clean_fail,
+                logged: acc.logged,
+                logged_fail: acc.logged_fail,
+                truncated: acc.truncated,
+                truncated_fail: acc.truncated_fail,
+                channels: acc.channels,
+                sites,
+                channel_rows,
+                orders,
+            }
+        })
+        .collect();
+
+    PanelAttribution {
+        key,
+        id,
+        optimize,
+        instances: instances.len() as u64,
+        skipped,
+        groups,
+    }
+}
+
+/// Reruns every cell narrow enough for the density engine exactly and
+/// compares against the ledger's Monte-Carlo failure rate. `limit`
+/// bounds the number of exact simulations (they cost `4^qubits` per
+/// gate); cells are taken in store order.
+pub fn density_cross_check(data: &ShotsData, limit: usize) -> Vec<CrossCheck> {
+    let mut out = Vec::new();
+    for cell in &data.cells {
+        if out.len() >= limit {
+            break;
+        }
+        let key = &cell.panel;
+        let Some(target) = parse_target(&key.err) else {
+            continue;
+        };
+        let Some(depth) = parse_depth(&cell.depth) else {
+            continue;
+        };
+        let (expected, initial) = match key.op.as_str() {
+            "add" => {
+                let v = add_ensemble(
+                    key.seed,
+                    key.n as u32,
+                    key.m as u32,
+                    key.ox as usize,
+                    key.oy as usize,
+                    cell.inst as usize + 1,
+                );
+                let inst = &v[cell.inst as usize];
+                (inst.expected_outputs(), inst.initial_state())
+            }
+            "mul" => {
+                let v = mul_ensemble(
+                    key.seed,
+                    key.n as u32,
+                    key.m as u32,
+                    key.ox as usize,
+                    key.oy as usize,
+                    cell.inst as usize + 1,
+                );
+                let inst = &v[cell.inst as usize];
+                (inst.expected_outputs(), inst.initial_state())
+            }
+            _ => continue,
+        };
+        if initial.num_qubits() > DENSITY_QUBIT_LIMIT {
+            continue;
+        }
+        let Some(circuit) = panel_circuit(key, depth, cell.inst as usize) else {
+            continue;
+        };
+        let lowered = lower(&circuit, cell.optimize);
+        if lowered.gates().len() as u64 != cell.record.gates {
+            continue;
+        }
+        let model = model_for(target, cell.rate);
+        let mut rho = DensityMatrix::from_statevector(&initial);
+        for g in lowered.gates() {
+            rho.apply_gate(g);
+            if let Some(ch) = model.channel_for(g) {
+                rho.apply_kraus(g.qubits().as_slice(), ch.to_kraus().ops());
+            }
+        }
+        let probs = rho.probabilities();
+        let exact_success: f64 = expected.iter().map(|&o| probs[o]).sum();
+        let shots = cell.record.total_shots();
+        let fails = cell.record.total_fails();
+        let (mc_lo, mc_hi) = wilson_interval(fails, shots, Z95);
+        out.push(CrossCheck {
+            panel: crate::rundata::panel_id_for(key),
+            inst: cell.inst,
+            rate: cell.rate,
+            depth: cell.depth.clone(),
+            shots,
+            mc_fail: if shots == 0 {
+                0.0
+            } else {
+                fails as f64 / shots as f64
+            },
+            mc_lo,
+            mc_hi,
+            exact_fail: (1.0 - exact_success).clamp(0.0, 1.0),
+        });
+    }
+    out
+}
+
+fn pct(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        0.0
+    } else {
+        100.0 * num / den
+    }
+}
+
+/// Renders the attribution report deterministically.
+pub fn format_report(report: &AttribReport, top_k: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "shot-provenance attribution: {} panel(s), {} record(s), {} rejected",
+        report.panels.len(),
+        report.records,
+        report.rejected
+    );
+    for panel in &report.panels {
+        let k = &panel.key;
+        let _ = writeln!(
+            out,
+            "\npanel {}: {} {}x{} {}:{} {} | seed {} shots/cell {} instances {}{}",
+            panel.id,
+            k.op,
+            k.n,
+            k.m,
+            k.ox,
+            k.oy,
+            k.err,
+            k.seed,
+            k.shots,
+            panel.instances,
+            if panel.skipped > 0 {
+                format!(" | skipped {} inconsistent record(s)", panel.skipped)
+            } else {
+                String::new()
+            }
+        );
+        if panel.empty_budget() {
+            let _ = writeln!(
+                out,
+                "  no noise sites fired — error budget is empty (approximation error only)"
+            );
+        }
+        for g in &panel.groups {
+            let _ = writeln!(
+                out,
+                "  depth {:>4} rate {:<8} shots {:>7} fails {:>6} ({:5.2}%) | budget: sites {:.2} ({:.1}%) approx {} ({:.1}%) truncated {}",
+                g.depth,
+                format!("{}", g.rate),
+                g.shots,
+                g.fails,
+                100.0 * g.fail_rate(),
+                g.site_budget(),
+                pct(g.site_budget(), g.fails as f64),
+                g.clean_fail,
+                pct(g.clean_fail as f64, g.fails as f64),
+                g.truncated_fail,
+            );
+            for s in g.top_sites(top_k) {
+                let _ = writeln!(
+                    out,
+                    "    gate {:>4} [{:>4}] ch{}: budget {:8.3} ({:4.1}%) fired {:>6} fail {:>6} lift {:+.4} [{:+.4}, {:+.4}]",
+                    s.gate,
+                    s.order,
+                    s.channel,
+                    s.budget,
+                    pct(s.budget, g.fails as f64),
+                    s.fired,
+                    s.fired_fail,
+                    s.lift,
+                    s.lift_lo,
+                    s.lift_hi,
+                );
+            }
+            for c in &g.channel_rows {
+                let paulis: Vec<String> = c
+                    .paulis
+                    .iter()
+                    .take(8)
+                    .map(|(p, n)| format!("{p}:{n}"))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "    channel {} {} p={}: budget {:.3} fired {} fail {} lift {:+.4} [{:+.4}, {:+.4}] | {}",
+                    c.channel,
+                    c.tag,
+                    c.error_prob,
+                    c.budget,
+                    c.fired,
+                    c.fired_fail,
+                    c.lift,
+                    c.lift_lo,
+                    c.lift_hi,
+                    paulis.join(" "),
+                );
+            }
+        }
+        let _ = write!(out, "{}", format_depth_table(panel));
+    }
+    out
+}
+
+/// The depth-by-depth rotation-order table at the panel's largest swept
+/// rate — which orders dominate loss at each AQFT truncation.
+fn format_depth_table(panel: &PanelAttribution) -> String {
+    let Some(&ref_ri) = panel
+        .groups
+        .iter()
+        .filter(|g| !g.sites.is_empty())
+        .map(|g| &g.ri)
+        .max()
+    else {
+        return String::new();
+    };
+    let groups: Vec<&GroupAttribution> = panel.groups.iter().filter(|g| g.ri == ref_ri).collect();
+    if groups.is_empty() {
+        return String::new();
+    }
+    let mut orders: Vec<String> = groups
+        .iter()
+        .flat_map(|g| g.orders.iter().map(|o| o.order.clone()))
+        .collect();
+    orders.sort_by_key(|l| order_sort_key(l));
+    orders.dedup();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  order budget share by depth at rate {} (% of fails; approx = no site fired):",
+        groups[0].rate
+    );
+    let header: Vec<String> = orders.iter().map(|o| format!("{o:>7}")).collect();
+    let _ = writeln!(
+        out,
+        "    {:>5} {:>7} {:>7} {}",
+        "depth",
+        "fails",
+        "approx",
+        header.join(" ")
+    );
+    for g in &groups {
+        let by_order: BTreeMap<&str, f64> = g
+            .orders
+            .iter()
+            .map(|o| (o.order.as_str(), o.budget))
+            .collect();
+        let cells: Vec<String> = orders
+            .iter()
+            .map(|o| {
+                let b = by_order.get(o.as_str()).copied().unwrap_or(0.0);
+                format!("{:>6.1}%", pct(b, g.fails as f64))
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "    {:>5} {:>7} {:>6.1}% {}",
+            g.depth,
+            g.fails,
+            pct(g.clean_fail as f64, g.fails as f64),
+            cells.join(" ")
+        );
+    }
+    out
+}
+
+/// Renders the cross-check table.
+pub fn format_cross_check(checks: &[CrossCheck]) -> String {
+    let mut out = String::new();
+    if checks.is_empty() {
+        let _ = writeln!(
+            out,
+            "density cross-check: no cell is narrow enough (≤ {DENSITY_QUBIT_LIMIT} qubits)"
+        );
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "density cross-check (exact noisy loss vs Monte-Carlo):"
+    );
+    let mut agree = 0usize;
+    for c in checks {
+        if c.within() {
+            agree += 1;
+        }
+        let _ = writeln!(
+            out,
+            "  {} inst {} depth {:>4} rate {:<8} | mc {:.4} [{:.4}, {:.4}] exact {:.4} |err| {:.4} {}",
+            c.panel,
+            c.inst,
+            c.depth,
+            format!("{}", c.rate),
+            c.mc_fail,
+            c.mc_lo,
+            c.mc_hi,
+            c.exact_fail,
+            c.error(),
+            if c.within() { "ok" } else { "OUTSIDE" },
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {agree}/{} cell(s) cover the exact loss within Wilson-95%",
+        checks.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shots::ShotsRecord;
+    use qfab_core::{NoisyRun, RunConfig};
+    use qfab_math::rng::Xoshiro256StarStar;
+    use qfab_noise::NoiseModel;
+
+    fn small_key(err: &str, shots: u64, seed: u64) -> PanelKey {
+        PanelKey {
+            op: "add".into(),
+            n: 2,
+            m: 3,
+            ox: 1,
+            oy: 1,
+            err: err.into(),
+            shots,
+            seed,
+        }
+    }
+
+    /// Runs instance 0 of the keyed panel at one (rate, depth) cell and
+    /// wraps the logged record as a `ShotsCell`.
+    fn run_cell(key: &PanelKey, rate: f64, ri: u64, depth: AqftDepth, di: u64) -> ShotsCell {
+        let v = add_ensemble(
+            key.seed,
+            key.n as u32,
+            key.m as u32,
+            key.ox as usize,
+            key.oy as usize,
+            1,
+        );
+        let inst = &v[0];
+        let model = model_for(parse_target(&key.err).unwrap(), rate);
+        let config = RunConfig {
+            shots: key.shots,
+            shots_ledger: true,
+            ..RunConfig::default()
+        };
+        let run = NoisyRun::prepare(&inst.circuit(depth), inst.initial_state(), &model, &config);
+        let mut rng = Xoshiro256StarStar::for_stream(key.seed, ri + 1);
+        let (_, log) = run.sample_counts_logged(key.shots, &mut rng);
+        let record = ShotsRecord::from_log(
+            &log,
+            run.plan(),
+            &inst.expected_outputs(),
+            run.transpiled_gates() as u64,
+        );
+        ShotsCell {
+            panel: key.clone(),
+            optimize: false,
+            inst: 0,
+            ri,
+            rate,
+            di,
+            depth: depth.paper_label(),
+            record,
+        }
+    }
+
+    fn data_of(cells: Vec<ShotsCell>) -> ShotsData {
+        ShotsData {
+            records: cells.len() as u64,
+            cells,
+            rejected: 0,
+        }
+    }
+
+    #[test]
+    fn budgets_sum_exactly_to_observed_failures() {
+        let key = small_key("2q", 400, 11);
+        let data = data_of(vec![
+            run_cell(&key, 0.0, 0, AqftDepth::Full, 0),
+            run_cell(&key, 0.05, 1, AqftDepth::Full, 0),
+            run_cell(&key, 0.05, 1, AqftDepth::Limited(1), 1),
+        ]);
+        let report = attribute(&data);
+        assert_eq!(report.panels.len(), 1);
+        let panel = &report.panels[0];
+        assert_eq!(panel.groups.len(), 3);
+        let mut saw_sites = false;
+        for g in &panel.groups {
+            assert_eq!(g.shots, 400);
+            assert_eq!(
+                g.clean_fail + g.logged_fail + g.truncated_fail,
+                g.fails,
+                "bucket totals must cover every failure"
+            );
+            assert!(
+                (g.site_budget() - g.logged_fail as f64).abs() < 1e-9,
+                "per-site budgets must sum exactly to attributable failures"
+            );
+            if !g.sites.is_empty() {
+                saw_sites = true;
+                for s in &g.sites {
+                    assert!(s.gate < g.gates);
+                    assert!(s.lift_lo <= s.lift && s.lift <= s.lift_hi);
+                }
+            }
+        }
+        assert!(saw_sites, "the noisy cells must attribute something");
+        // The report renders without panicking and mentions the panel.
+        let text = format_report(&report, 5);
+        assert!(text.contains("add 2x3"));
+        assert!(text.contains("order budget share by depth"));
+    }
+
+    #[test]
+    fn gate_classes_are_recovered_from_the_rebuilt_circuit() {
+        let key = small_key("2q", 300, 5);
+        let data = data_of(vec![run_cell(&key, 0.08, 1, AqftDepth::Full, 0)]);
+        let report = attribute(&data);
+        let g = &report.panels[0].groups[0];
+        assert!(!g.sites.is_empty());
+        // Rebuild matched: no site is unclassified, and 2q noise sits
+        // on the CX sites by construction.
+        for s in &g.sites {
+            assert_eq!(
+                s.order, "cx",
+                "2q-only noise fires on cx sites, got {}",
+                s.order
+            );
+        }
+        // The full transpiled circuit contains h / cx / rotation slices.
+        let labels = classify_gates(&key, false, "full", g.gates).expect("rebuild matches");
+        assert!(labels.iter().any(|l| l == "h"));
+        assert!(labels.iter().any(|l| l == "cx"));
+        assert!(labels.iter().any(|l| l.starts_with('r')));
+    }
+
+    #[test]
+    fn single_forced_site_concentrates_the_budget() {
+        // Only-2q noise on a circuit with exactly one CX: every unit of
+        // attributable budget must land on that one site.
+        let mut c = qfab_circuit::Circuit::new(3);
+        c.h(0).h(1).h(2).cx(0, 1).h(2).h(1);
+        let model = NoiseModel::only_2q_depolarizing(0.4);
+        let run = NoisyRun::prepare(
+            &c,
+            qfab_sim::StateVector::zero_state(3),
+            &model,
+            &RunConfig::default(),
+        );
+        let mut rng = Xoshiro256StarStar::new(17);
+        let (_, log) = run.sample_counts_logged(500, &mut rng);
+        // Accept only |000>: plenty of failures, clean and noisy.
+        let record = ShotsRecord::from_log(&log, run.plan(), &[0], 6);
+        let cell = ShotsCell {
+            panel: small_key("2q", 500, 17),
+            optimize: false,
+            inst: 0,
+            ri: 1,
+            rate: 0.4,
+            di: 0,
+            depth: "full".into(),
+            record,
+        };
+        let report = attribute(&data_of(vec![cell]));
+        let g = &report.panels[0].groups[0];
+        assert!(g.logged_fail > 0);
+        assert_eq!(g.sites.len(), 1, "exactly one site can fire");
+        let share = g.sites[0].budget / g.site_budget();
+        assert!(share >= 0.99, "forced site holds the budget, got {share}");
+        assert_eq!(g.sites[0].gate, 3, "the lone CX is gate 3");
+    }
+
+    #[test]
+    fn zero_noise_panel_reports_an_empty_budget() {
+        let key = small_key("2q", 200, 23);
+        let data = data_of(vec![
+            run_cell(&key, 0.0, 0, AqftDepth::Full, 0),
+            run_cell(&key, 0.0, 0, AqftDepth::Limited(1), 1),
+        ]);
+        let report = attribute(&data);
+        let panel = &report.panels[0];
+        assert!(panel.empty_budget());
+        for g in &panel.groups {
+            assert!(g.sites.is_empty());
+            assert_eq!(g.fails, g.clean_fail, "only approximation error remains");
+        }
+        let text = format_report(&report, 5);
+        assert!(text.contains("error budget is empty"));
+        // And the truncated depth still shows approximation failures.
+        assert!(panel.groups.iter().any(|g| g.depth == "1" && g.fails > 0));
+    }
+
+    #[test]
+    fn density_cross_check_covers_the_exact_loss() {
+        let key = small_key("2q", 800, 29);
+        let data = data_of(vec![
+            run_cell(&key, 0.0, 0, AqftDepth::Full, 0),
+            run_cell(&key, 0.05, 1, AqftDepth::Full, 0),
+        ]);
+        let checks = density_cross_check(&data, 16);
+        assert_eq!(checks.len(), 2, "2+3 qubits fits the density engine");
+        for c in &checks {
+            assert!(
+                c.within(),
+                "exact {} outside Wilson [{}, {}] at rate {}",
+                c.exact_fail,
+                c.mc_lo,
+                c.mc_hi,
+                c.rate
+            );
+            assert!(c.error() < 0.08, "MC error {} too large", c.error());
+        }
+        // Rate 0: the exact loss is the pure approximation error.
+        assert!(
+            checks[0].exact_fail < 1e-9,
+            "full-depth clean adder is exact"
+        );
+        let text = format_cross_check(&checks);
+        assert!(text.contains("2/2 cell(s)"));
+    }
+
+    #[test]
+    fn limit_and_width_guards_skip_cells() {
+        let key = small_key("2q", 100, 31);
+        let data = data_of(vec![
+            run_cell(&key, 0.05, 1, AqftDepth::Full, 0),
+            run_cell(&key, 0.1, 2, AqftDepth::Full, 0),
+        ]);
+        assert_eq!(density_cross_check(&data, 1).len(), 1);
+        // A too-wide panel yields no checks.
+        let wide = PanelKey {
+            n: 7,
+            m: 8,
+            ..small_key("2q", 100, 31)
+        };
+        let mut cell = run_cell(&key, 0.05, 1, AqftDepth::Full, 0);
+        cell.panel = wide;
+        assert!(density_cross_check(&data_of(vec![cell]), 16).is_empty());
+        assert!(format_cross_check(&[]).contains("no cell"));
+    }
+
+    #[test]
+    fn order_labels_follow_the_rotation_ladder() {
+        use std::f64::consts::PI;
+        assert_eq!(order_label(&Gate::H(0)), "h");
+        assert_eq!(
+            order_label(&Gate::Cx {
+                control: 0,
+                target: 1
+            }),
+            "cx"
+        );
+        // CP(2π/2^l) lowers to ±π/2^l slices → r{l}.
+        assert_eq!(order_label(&Gate::Rz(0, PI / 4.0)), "r2");
+        assert_eq!(order_label(&Gate::Phase(0, -PI / 8.0)), "r3");
+        assert_eq!(order_label(&Gate::Rz(0, PI)), "r0");
+        // Ladder ordering: h, cx, then ascending rotation order.
+        let mut v = vec!["r3", "cx", "r2", "h", "r10"];
+        v.sort_by_key(|l| order_sort_key(l));
+        assert_eq!(v, vec!["h", "cx", "r2", "r3", "r10"]);
+    }
+}

@@ -43,8 +43,9 @@ use qfab_experiments::servecmd;
 use qfab_experiments::sweep::panel_by_id;
 use qfab_experiments::table1::{format_table1, run_table1};
 use qfab_experiments::{
-    dashboard, drift, fig1_panels, fig2_panels, ledger, progress_line, run_panel_with,
-    verify_store, watch, CellCache, OpKind, PanelSpec, Scale,
+    attrib, dashboard, drift, fig1_panels, fig2_panels, ledger, perfledger, progress_line,
+    run_panel_opts, run_panel_with, shots, verify_store, watch, CellCache, OpKind, PanelSpec,
+    Scale,
 };
 use qfab_telemetry as telemetry;
 use std::path::{Path, PathBuf};
@@ -60,6 +61,7 @@ struct Options {
     store: Option<PathBuf>,
     resume: bool,
     no_cache: bool,
+    shots_ledger: bool,
     watch: Option<String>,
     watch_hold: u64,
     /// Whether this run prints the metrics summary and writes manifests.
@@ -103,6 +105,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         store: None,
         resume: false,
         no_cache: false,
+        shots_ledger: false,
         watch: None,
         watch_hold: 0,
         emit_metrics: false,
@@ -164,6 +167,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.no_cache = true;
                 i += 1;
             }
+            "--shots-ledger" => {
+                opts.shots_ledger = true;
+                i += 1;
+            }
             "--watch" => {
                 // ADDR:PORT is optional; a following option (or nothing)
                 // means "pick a free local port".
@@ -189,6 +196,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     }
     if opts.store.is_none() && (opts.resume || opts.no_cache) {
         return Err("--resume and --no-cache require --store DIR".to_string());
+    }
+    if opts.store.is_none() && opts.shots_ledger {
+        // The ledger is store-backed: without a store there is nowhere
+        // for the provenance records to live.
+        return Err("--shots-ledger requires --store DIR".to_string());
     }
     if opts.resume && opts.no_cache {
         return Err("--resume and --no-cache are mutually exclusive".to_string());
@@ -245,7 +257,7 @@ fn run_one(spec: &PanelSpec, opts: &Options, cache: Option<&CellCache>) {
         spec.rates.len() * spec.depths.len(),
     );
     let started = std::time::Instant::now();
-    let result = run_panel_with(spec, scale, opts.seed, cache, |p| {
+    let result = run_panel_opts(spec, scale, opts.seed, cache, opts.shots_ledger, |p| {
         let elapsed = started.elapsed().as_secs_f64();
         watch::publish_progress(&p, elapsed);
         eprint!("\r  {}", progress_line(p, elapsed));
@@ -298,6 +310,7 @@ fn list() {
     println!("  dump qfa|qfm|qft <depth|full> [--basis logical|cx|ibm] [--qasm]");
     println!("                       print a circuit (diagram or OpenQASM)");
     println!("  dash DIR             render a run directory to one HTML dashboard");
+    println!("  attrib DIR           per-site error budget from a --shots-ledger store");
     println!("  diff A B             drift gate: compare two runs' success rates");
     println!("  history DIR          list a store's run-history ledger");
     println!("  merge A B... -o DIR  union N result stores into one");
@@ -437,9 +450,21 @@ fn replay_bench(args: &[String]) -> Result<(), String> {
     let mut trajectories = 20usize;
     let mut seed = DEFAULT_SEED;
     let mut min_batched_speedup: Option<f64> = None;
+    // Perf history lands at the repo root by convention, so per-PR
+    // history accrues in one place; --history redirects it.
+    let mut history_dir = PathBuf::from(".");
+    let mut record = true;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--history" => {
+                history_dir = PathBuf::from(args.get(i + 1).ok_or("--history needs a directory")?);
+                i += 2;
+            }
+            "--no-history" => {
+                record = false;
+                i += 1;
+            }
             "--trajectories" => {
                 trajectories = args
                     .get(i + 1)
@@ -477,6 +502,30 @@ fn replay_bench(args: &[String]) -> Result<(), String> {
         "{}",
         qfab_experiments::replaybench::format_report(&results, trajectories)
     );
+    if record {
+        // Best-effort persistence: a read-only checkout must not fail
+        // the timing run itself.
+        let kernels = perfledger::kernels_from_timings(&results);
+        match perfledger::append(
+            &history_dir,
+            trajectories as u64,
+            &kernels,
+            ledger::git_describe().as_deref(),
+        ) {
+            Ok(true) => eprintln!(
+                "perf history: recorded in {}",
+                history_dir.join(perfledger::PERF_FILE).display()
+            ),
+            Ok(false) => eprintln!("perf history: ledger already current"),
+            Err(e) => eprintln!("warning: perf history append failed: {e}"),
+        }
+        let snapshot = history_dir.join(perfledger::REPLAY_SNAPSHOT);
+        let manifest = perfledger::manifest(&kernels, trajectories as u64);
+        match std::fs::write(&snapshot, manifest.encode()) {
+            Ok(()) => eprintln!("wrote {}", snapshot.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", snapshot.display()),
+        }
+    }
     if let Some(min) = min_batched_speedup {
         // Gate on the best kernel: batching targets states past L2
         // residency (the big QFM kernel); the small QFA kernel runs at
@@ -502,16 +551,21 @@ fn replay_bench(args: &[String]) -> Result<(), String> {
 }
 
 fn bench_gate(args: &[String]) -> Result<bool, String> {
-    let current_path = args
-        .first()
-        .ok_or("bench-gate needs a current BENCH_kernels.json")?;
-    let mut baseline_path = DEFAULT_BASELINE.to_string();
+    let mut current_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut history_dir: Option<PathBuf> = None;
     let mut threshold = DEFAULT_THRESHOLD_PCT;
-    let mut i = 1;
+    let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--baseline" => {
-                baseline_path = args.get(i + 1).ok_or("--baseline needs a value")?.clone();
+                baseline_path = Some(args.get(i + 1).ok_or("--baseline needs a value")?.clone());
+                i += 2;
+            }
+            "--history" => {
+                history_dir = Some(PathBuf::from(
+                    args.get(i + 1).ok_or("--history needs a directory")?,
+                ));
                 i += 2;
             }
             "--threshold" => {
@@ -522,11 +576,65 @@ fn bench_gate(args: &[String]) -> Result<bool, String> {
                     .map_err(|e| format!("--threshold: {e}"))?;
                 i += 2;
             }
-            other => return Err(format!("unknown bench-gate option '{other}'")),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown bench-gate option '{other}'"))
+            }
+            path if current_path.is_none() => {
+                current_path = Some(path.to_string());
+                i += 1;
+            }
+            other => return Err(format!("bench-gate takes one FILE, got extra '{other}'")),
         }
     }
-    let baseline = load_json(&baseline_path)?;
-    let current = load_json(current_path)?;
+    // Three modes share one comparator:
+    //   FILE alone           — FILE vs the committed (or --baseline) file
+    //   --history DIR alone  — latest ledger entry vs the previous one
+    //                          (or vs --baseline when given explicitly)
+    //   FILE + --history DIR — FILE vs the latest ledger entry
+    let (baseline, current) = match (&current_path, &history_dir) {
+        (Some(path), None) => {
+            let base = baseline_path.unwrap_or_else(|| DEFAULT_BASELINE.to_string());
+            (load_json(&base)?, load_json(path)?)
+        }
+        (Some(path), Some(dir)) => {
+            let history = perfledger::read(dir)
+                .map_err(|e| format!("cannot read perf history in {}: {e}", dir.display()))?;
+            let latest = perfledger::resolve(&history, -1).ok_or_else(|| {
+                format!(
+                    "no perf history in {} (run 'repro bench' there first)",
+                    dir.display()
+                )
+            })?;
+            (perfledger::entry_manifest(latest), load_json(path)?)
+        }
+        (None, Some(dir)) => {
+            let history = perfledger::read(dir)
+                .map_err(|e| format!("cannot read perf history in {}: {e}", dir.display()))?;
+            let latest = perfledger::resolve(&history, -1).ok_or_else(|| {
+                format!(
+                    "no perf history in {} (run 'repro bench' there first)",
+                    dir.display()
+                )
+            })?;
+            let baseline = match &baseline_path {
+                Some(path) => load_json(path)?,
+                None => {
+                    let previous = perfledger::resolve(&history, -2).ok_or_else(|| {
+                        format!(
+                            "perf history in {} has a single entry — nothing to \
+                             compare against (pass --baseline FILE, or bench again)",
+                            dir.display()
+                        )
+                    })?;
+                    perfledger::entry_manifest(previous)
+                }
+            };
+            (baseline, perfledger::entry_manifest(latest))
+        }
+        (None, None) => {
+            return Err("bench-gate needs a BENCH file or --history DIR".into());
+        }
+    };
     let report = qfab_experiments::benchgate::compare(&baseline, &current, threshold)?;
     print!("{}", qfab_experiments::benchgate::format_report(&report));
     Ok(report.passed())
@@ -623,6 +731,7 @@ fn diff(args: &[String]) -> Result<bool, String> {
         return Err("diff needs two runs (store DIR or DIR@N ledger ref)".into());
     };
     let mut alpha = drift::DEFAULT_ALPHA;
+    let mut json = false;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -634,6 +743,10 @@ fn diff(args: &[String]) -> Result<bool, String> {
                     .map_err(|e| format!("--alpha: {e}"))?;
                 i += 2;
             }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
             other => return Err(format!("unknown diff option '{other}'")),
         }
     }
@@ -643,8 +756,77 @@ fn diff(args: &[String]) -> Result<bool, String> {
     let a = resolve_run_ref(a_spec)?;
     let b = resolve_run_ref(b_spec)?;
     let report = drift::compare(&a, &b, alpha);
-    print!("{}", drift::format_report(&report));
+    if json {
+        // Machine-readable drift: one qfab.drift.v1 document on stdout,
+        // same exit semantics as the text report.
+        println!("{}", drift::json_report(&report).encode());
+    } else {
+        print!("{}", drift::format_report(&report));
+    }
     Ok(report.passed())
+}
+
+fn attrib_cmd(args: &[String]) -> Result<(), String> {
+    let dir = args.first().ok_or("attrib needs a store directory")?;
+    let mut top_k = 5usize;
+    let mut cross_check: Option<usize> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--top" => {
+                top_k = args
+                    .get(i + 1)
+                    .ok_or("--top needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?;
+                i += 2;
+            }
+            "--cross-check" => {
+                // Optional cell budget; bare --cross-check uses the default.
+                match args.get(i + 1).map(|v| v.parse::<usize>()) {
+                    Some(Ok(n)) => {
+                        cross_check = Some(n);
+                        i += 2;
+                    }
+                    _ => {
+                        cross_check = Some(attrib::DEFAULT_CROSS_CHECK_CELLS);
+                        i += 1;
+                    }
+                }
+            }
+            other => return Err(format!("unknown attrib option '{other}'")),
+        }
+    }
+    let dir = Path::new(dir);
+    if !dir.is_dir() {
+        return Err(format!("{} is not a directory", dir.display()));
+    }
+    let data = shots::load_shots(dir).map_err(|e| format!("cannot read store: {e}"))?;
+    if data.cells.is_empty() {
+        // A store without provenance is the normal state for most runs;
+        // report it plainly and exit clean so scripted pipelines can
+        // probe stores without special-casing.
+        println!(
+            "no {} records in {} (sweep with --store {} --shots-ledger first)",
+            shots::SHOTS_SCHEMA,
+            dir.display(),
+            dir.display()
+        );
+        return Ok(());
+    }
+    let report = attrib::attribute(&data);
+    print!("{}", attrib::format_report(&report, top_k));
+    if let Some(limit) = cross_check {
+        eprintln!("cross-checking up to {limit} cell(s) on the density engine ...");
+        let checks = attrib::density_cross_check(&data, limit);
+        print!("{}", attrib::format_cross_check(&checks));
+        if checks.iter().any(|c| !c.within()) {
+            return Err(
+                "density cross-check: exact noisy loss outside the Monte-Carlo interval".into(),
+            );
+        }
+    }
+    Ok(())
 }
 
 fn history_cmd(args: &[String]) -> Result<(), String> {
@@ -756,6 +938,7 @@ fn main() -> ExitCode {
         Some(Command::Bench) => return simple(replay_bench(rest)),
         Some(Command::BenchGate) => return gate(bench_gate(rest)),
         Some(Command::Dash) => return simple(dash(rest)),
+        Some(Command::Attrib) => return simple(attrib_cmd(rest)),
         Some(Command::Diff) => return gate(diff(rest)),
         Some(Command::History) => return simple(history_cmd(rest)),
         Some(Command::Merge) => {

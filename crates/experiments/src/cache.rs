@@ -81,9 +81,30 @@ pub fn cell_identity(
     depth_idx: usize,
     depth: AqftDepth,
 ) -> Json {
+    cell_identity_with_salt(
+        CODE_SALT, spec, config, seed, instance, rate_idx, rate, depth_idx, depth,
+    )
+}
+
+/// The canonical cell identity under an explicit salt — shared with the
+/// shot-provenance ledger, whose records cover the same cell coordinates
+/// but live under their own salt (so the two record families can never
+/// alias).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cell_identity_with_salt(
+    salt: &str,
+    spec: &PanelSpec,
+    config: &RunConfig,
+    seed: u64,
+    instance: usize,
+    rate_idx: usize,
+    rate: f64,
+    depth_idx: usize,
+    depth: AqftDepth,
+) -> Json {
     let rate = f64_identity(rate).expect("sweep rates are finite");
     Json::Obj(vec![
-        ("salt".into(), Json::Str(CODE_SALT.into())),
+        ("salt".into(), Json::Str(salt.into())),
         ("op".into(), Json::Str(op_tag(spec.op).into())),
         ("n".into(), Json::U64(spec.n as u64)),
         ("m".into(), Json::U64(spec.m as u64)),
@@ -276,6 +297,36 @@ impl CellCache {
         store.sync()
     }
 
+    /// Appends one instance's shot-provenance records (`qfab.shots.v1`)
+    /// next to its cell outcomes, one record per cell, under the
+    /// [`crate::shots::SHOTS_SALT`] identity family. A no-op on an
+    /// empty grid (the ledger was off for this run).
+    pub fn store_instance_shots(
+        &self,
+        spec: &PanelSpec,
+        config: &RunConfig,
+        seed: u64,
+        instance: usize,
+        grid: &[Vec<crate::shots::ShotsRecord>],
+    ) -> io::Result<()> {
+        if grid.is_empty() {
+            return Ok(());
+        }
+        let mut store = self.lock();
+        for (ri, &rate) in spec.rates.iter().enumerate() {
+            for (di, &depth) in spec.depths.iter().enumerate() {
+                let identity =
+                    crate::shots::shots_identity(spec, config, seed, instance, ri, rate, di, depth);
+                let key = identity_key(&identity);
+                store.put(
+                    key,
+                    crate::shots::encode_shots_record(&identity, &grid[ri][di]),
+                )?;
+            }
+        }
+        store.sync()
+    }
+
     /// Durability + space checkpoint: syncs the journal and compacts it
     /// into the index segment once it outgrows the threshold.
     pub fn checkpoint(&self) -> io::Result<()> {
@@ -315,7 +366,7 @@ pub fn verify_store(dir: &Path) -> io::Result<StoreVerification> {
         let identity = value
             .get("id")
             .ok_or_else(|| format!("record {} has no identity", qfab_store::to_hex(key)))?;
-        identity
+        let salt = identity
             .get("salt")
             .and_then(Json::as_str)
             .ok_or_else(|| format!("record {} has no salt", qfab_store::to_hex(key)))?;
@@ -324,6 +375,18 @@ pub fn verify_store(dir: &Path) -> io::Result<StoreVerification> {
                 "record {} identity does not digest to its key",
                 qfab_store::to_hex(key)
             ));
+        }
+        if salt == crate::shots::SHOTS_SALT {
+            // Shot-provenance records carry the shots schema instead of
+            // the cell-outcome fields.
+            return match crate::shots::decode_shots_record(key, payload) {
+                Some(_) => Ok(()),
+                None => Err(format!(
+                    "record {} is not a valid {} record",
+                    qfab_store::to_hex(key),
+                    crate::shots::SHOTS_SCHEMA
+                )),
+            };
         }
         for (field, check) in [
             (

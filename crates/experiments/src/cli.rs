@@ -38,6 +38,9 @@ pub enum Command {
     Dump,
     /// `dash` — render a run directory to one HTML dashboard.
     Dash,
+    /// `attrib` — per-site error-budget attribution from the
+    /// shot-provenance ledger.
+    Attrib,
     /// `diff` — statistical drift gate between two runs.
     Diff,
     /// `history` — list a store's run-history ledger.
@@ -131,9 +134,15 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
         blurb: "render a run directory to one self-contained HTML dashboard",
     },
     Subcommand {
+        command: Command::Attrib,
+        name: "attrib",
+        synopsis: "attrib DIR [--top N] [--cross-check [N]]",
+        blurb: "error-budget attribution from a --shots-ledger store",
+    },
+    Subcommand {
         command: Command::Diff,
         name: "diff",
-        synopsis: "diff A B [--alpha P]",
+        synopsis: "diff A B [--alpha P] [--json]",
         blurb: "drift gate: compare two runs' success rates (A/B: DIR or DIR@N)",
     },
     Subcommand {
@@ -175,14 +184,14 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
     Subcommand {
         command: Command::Bench,
         name: "bench",
-        synopsis: "bench [--trajectories N] [--seed N]",
-        blurb: "time fused vs per-gate trajectory replay",
+        synopsis: "bench [--trajectories N] [--seed N] [--history DIR]",
+        blurb: "time fused vs per-gate trajectory replay (+ perf ledger)",
     },
     Subcommand {
         command: Command::BenchGate,
         name: "bench-gate",
-        synopsis: "bench-gate FILE [--baseline FILE] [--threshold PCT]",
-        blurb: "kernel-bench regression gate",
+        synopsis: "bench-gate [FILE] [--baseline FILE] [--threshold PCT] [--history DIR]",
+        blurb: "kernel-bench regression gate (file- or history-based)",
     },
     Subcommand {
         command: Command::StoreVerify,
@@ -232,6 +241,9 @@ pub fn usage() -> String {
          \x20                               (requires the store to already exist)\n\
          \x20 --no-cache                    with --store: recompute every cell and\n\
          \x20                               overwrite its record (refresh)\n\
+         \x20 --shots-ledger                with --store: record per-shot provenance\n\
+         \x20                               (qfab.shots.v1) for 'repro attrib'; never\n\
+         \x20                               changes sampled outcomes\n\
          \x20 --watch [ADDR:PORT]           live read-only status server + status.json\n\
          \x20                               heartbeat (default 127.0.0.1:0 = free port);\n\
          \x20                               never changes the sweep's outputs\n\
@@ -291,6 +303,7 @@ mod tests {
     fn every_required_subcommand_is_listed() {
         for name in [
             "dash",
+            "attrib",
             "diff",
             "history",
             "merge",
@@ -311,6 +324,7 @@ mod tests {
         assert!(text.contains("--metrics"));
         assert!(text.contains("--watch [ADDR:PORT]"));
         assert!(text.contains("--watch-hold SECS"));
+        assert!(text.contains("--shots-ledger"));
     }
 
     #[test]

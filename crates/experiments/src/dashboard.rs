@@ -18,8 +18,10 @@
 //! output** — `cmp a.html b.html` is a valid regression check, and the
 //! dashboard can be archived next to the data it describes.
 
+use crate::attrib;
 use crate::ledger;
 use crate::rundata::{load_run, PanelData, RunData};
+use crate::shots::{load_shots, ShotsData};
 use crate::table1::{format_table1, run_table1};
 use crate::tracereport::{self, Analysis};
 use qfab_core::AqftDepth;
@@ -40,6 +42,9 @@ pub struct DashboardInput {
     pub traces: Vec<(String, Analysis)>,
     /// The run-history ledger.
     pub history: ledger::History,
+    /// The shot-provenance ledger (empty unless the sweep ran with
+    /// `--shots-ledger`).
+    pub shots: ShotsData,
     /// Files that looked relevant but could not be parsed.
     pub unreadable: Vec<String>,
 }
@@ -49,6 +54,7 @@ pub fn collect(dir: &Path) -> io::Result<DashboardInput> {
     let mut input = DashboardInput {
         run: load_run(dir)?,
         history: ledger::read(dir)?,
+        shots: load_shots(dir)?,
         ..DashboardInput::default()
     };
     let mut names: Vec<String> = std::fs::read_dir(dir)?
@@ -196,6 +202,7 @@ fn html_head(out: &mut String) {
          .panel{border:1px solid #ddd;padding:8px;border-radius:4px}\n\
          .ok{color:#2e7d32}.bad{color:#b23a48}\n\
          .note{color:#666;font-size:12px}\n\
+         .bar{background:#1b6ca8;height:10px;display:inline-block}\n\
          pre{background:#f7f7f7;padding:8px;font-size:12px;overflow-x:auto}\n",
     );
     out.push_str("</style></head><body>\n");
@@ -261,6 +268,193 @@ fn render_optimal_strip(out: &mut String, run: &RunData) {
         }
     }
     out.push_str("</table>\n");
+}
+
+/// Width of a 100%-share bar in the channel/class tables, px.
+const BAR_FULL_PX: f64 = 120.0;
+
+/// The per-gate-position budget strip for one panel: gate index on x,
+/// each site's share of the group's attributed failure budget on y,
+/// one series per `(depth, rate)` group that saw sites fire (noisiest
+/// groups first, capped at the palette).
+fn budget_strip(panel: &attrib::PanelAttribution) -> Option<LineChart> {
+    let mut groups: Vec<&attrib::GroupAttribution> = panel
+        .groups
+        .iter()
+        .filter(|g| !g.sites.is_empty() && g.logged_fail > 0)
+        .collect();
+    if groups.is_empty() {
+        return None;
+    }
+    groups.sort_by(|a, b| {
+        b.logged_fail
+            .cmp(&a.logged_fail)
+            .then(a.di.cmp(&b.di))
+            .then(a.ri.cmp(&b.ri))
+    });
+    groups.truncate(PALETTE.len());
+    // Redraw in grid order so the legend reads naturally.
+    groups.sort_by_key(|g| (g.di, g.ri));
+    let mut chart = LineChart::new(format!("{} — failure budget by gate position", panel.id));
+    chart.x_label = "transpiled gate index".into();
+    chart.y_label = "budget share (%)".into();
+    let gates = groups.iter().map(|g| g.gates).max().unwrap_or(0);
+    let mut y_max = 0.0f64;
+    for (gi, group) in groups.iter().enumerate() {
+        let total = group.site_budget();
+        let mut points = Vec::with_capacity(group.sites.len());
+        for site in &group.sites {
+            let share = if total > 0.0 {
+                site.budget / total * 100.0
+            } else {
+                0.0
+            };
+            y_max = y_max.max(share);
+            let mut point = DataPoint::new(site.gate as f64, share);
+            point.note = Some(format!(
+                "gate {} ({}): budget {:.2} of {:.0}",
+                site.gate, site.order, site.budget, total
+            ));
+            points.push(point);
+        }
+        chart.series.push(Series {
+            label: format!(
+                "{} @ {}%",
+                depth_series_label(&group.depth),
+                fmt_pct(group.rate * 100.0)
+            ),
+            color: PALETTE[gi % PALETTE.len()].into(),
+            points,
+        });
+    }
+    // Headroom above the tallest spike; ticks at 0 / mid / top.
+    chart.y_max = (y_max * 1.15).max(1.0);
+    chart.y_ticks = vec![
+        (0.0, "0".into()),
+        (chart.y_max / 2.0, fmt_pct(chart.y_max / 2.0)),
+        (chart.y_max, fmt_pct(chart.y_max)),
+    ];
+    let last = gates.saturating_sub(1) as f64;
+    chart.x_ticks = (0..=4)
+        .map(|i| {
+            let x = (last * i as f64 / 4.0).round();
+            (x, format!("{x:.0}"))
+        })
+        .collect();
+    chart.x_ticks.dedup_by(|a, b| a.0 == b.0);
+    Some(chart)
+}
+
+/// A `<td>` pair rendering a share as a number plus an inline bar.
+fn share_cells(out: &mut String, share: f64) {
+    let width = (share / 100.0 * BAR_FULL_PX).clamp(0.0, BAR_FULL_PX);
+    let _ = write!(
+        out,
+        "<td>{:.1}</td><td class=\"l\"><span class=\"bar\" style=\"width:{:.0}px\"></span></td>",
+        share, width
+    );
+}
+
+fn render_attribution(out: &mut String, shots: &ShotsData) {
+    if shots.cells.is_empty() {
+        return;
+    }
+    let report = attrib::attribute(shots);
+    out.push_str("<h2>Error attribution</h2>\n");
+    let _ = writeln!(
+        out,
+        "<p class=\"note\">{} shot-provenance records across {} panels; failing shots \
+         split their budget 1/k over the k noise sites that fired, so per-site budgets \
+         sum exactly to the attributed failures.</p>",
+        report.records,
+        report.panels.len()
+    );
+    for panel in &report.panels {
+        if panel.empty_budget() {
+            let _ = writeln!(
+                out,
+                "<p class=\"note\">{}: no noise sites fired — error budget is empty \
+                 (approximation error only).</p>",
+                escape(&panel.id)
+            );
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "<div class=\"panel\" id=\"attrib-{}\">",
+            escape(&panel.id)
+        );
+        if let Some(chart) = budget_strip(panel) {
+            out.push_str(&chart.render());
+            out.push('\n');
+        }
+        out.push_str("</div>\n");
+        // Channel bars: how much budget each noise channel carries.
+        out.push_str(
+            "<table><tr><th class=\"l\">group</th><th class=\"l\">channel</th>\
+             <th>p</th><th>fired</th><th>failed</th><th>lift</th>\
+             <th>share (%)</th><th class=\"l\"></th></tr>\n",
+        );
+        for group in &panel.groups {
+            let total = group.site_budget();
+            for ch in &group.channel_rows {
+                let _ = write!(
+                    out,
+                    "<tr><td class=\"l\">{} @ {}%</td><td class=\"l\">{}</td>\
+                     <td>{}</td><td>{}</td><td>{}</td><td>{:+.3}</td>",
+                    escape(&depth_series_label(&group.depth)),
+                    fmt_pct(group.rate * 100.0),
+                    escape(&ch.tag),
+                    fmt_pct(ch.error_prob * 100.0),
+                    ch.fired,
+                    ch.fired_fail,
+                    ch.lift,
+                );
+                share_cells(
+                    out,
+                    if total > 0.0 {
+                        ch.budget / total * 100.0
+                    } else {
+                        0.0
+                    },
+                );
+                out.push_str("</tr>\n");
+            }
+        }
+        out.push_str("</table>\n");
+        // Rotation-order bars: which gate classes dominate the loss.
+        out.push_str(
+            "<table><tr><th class=\"l\">group</th><th class=\"l\">class</th>\
+             <th>sites</th><th>fired</th><th>budget</th>\
+             <th>share (%)</th><th class=\"l\"></th></tr>\n",
+        );
+        for group in &panel.groups {
+            let total = group.site_budget();
+            for row in &group.orders {
+                let _ = write!(
+                    out,
+                    "<tr><td class=\"l\">{} @ {}%</td><td class=\"l\">{}</td>\
+                     <td>{}</td><td>{}</td><td>{:.2}</td>",
+                    escape(&depth_series_label(&group.depth)),
+                    fmt_pct(group.rate * 100.0),
+                    escape(&row.order),
+                    row.sites,
+                    row.fired,
+                    row.budget,
+                );
+                share_cells(
+                    out,
+                    if total > 0.0 {
+                        row.budget / total * 100.0
+                    } else {
+                        0.0
+                    },
+                );
+                out.push_str("</tr>\n");
+            }
+        }
+        out.push_str("</table>\n");
+    }
 }
 
 fn render_table1(out: &mut String) {
@@ -432,6 +626,7 @@ pub fn render(input: &DashboardInput) -> String {
     }
     render_panels(&mut out, &input.run);
     render_optimal_strip(&mut out, &input.run);
+    render_attribution(&mut out, &input.shots);
     render_table1(&mut out);
     render_manifests(&mut out, &input.manifests);
     render_traces(&mut out, &input.traces);
@@ -526,6 +721,41 @@ mod tests {
         assert!(a.contains("Table I"));
         assert!(a.contains("Barenco"));
         assert!(!a.contains(dir.to_str().unwrap()), "no absolute paths");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn attribution_section_appears_only_with_a_shots_ledger() {
+        // Ledger off: the page carries no attribution section at all.
+        let plain = tmp("attrib_off");
+        populate(&plain);
+        let off = render_dir(&plain).unwrap();
+        assert!(!off.contains("Error attribution"));
+
+        // Ledger on: the budget strip and channel/class bars render,
+        // deterministically.
+        let dir = tmp("attrib_on");
+        let cache = CellCache::open(&dir, true).unwrap();
+        crate::runner::run_panel_opts(
+            &tiny_spec(),
+            Scale {
+                instances: 2,
+                shots: 64,
+            },
+            7,
+            Some(&cache),
+            true,
+            |_| {},
+        );
+        cache.close().unwrap();
+        let a = render_dir(&dir).unwrap();
+        let b = render_dir(&dir).unwrap();
+        assert_eq!(a, b, "attribution must render to identical bytes");
+        assert_tag_balanced(&a);
+        assert!(a.contains("Error attribution"));
+        assert!(a.contains("failure budget by gate position"));
+        assert!(a.contains("class=\"bar\""));
+        let _ = std::fs::remove_dir_all(&plain);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -229,6 +229,67 @@ pub fn format_report(report: &DriftReport) -> String {
     s
 }
 
+/// The machine-readable form of the drift report (`repro diff --json`):
+/// one stable JSON object with per-cell z, p, and verdict. Field order
+/// is fixed, so equal reports encode to equal bytes.
+pub fn json_report(report: &DriftReport) -> qfab_telemetry::Json {
+    use qfab_telemetry::Json;
+    let cells = report
+        .cells
+        .iter()
+        .map(|c| {
+            Json::Obj(vec![
+                ("panel".into(), Json::Str(c.panel.clone())),
+                ("rate".into(), Json::F64(c.rate)),
+                ("depth".into(), Json::Str(c.depth.clone())),
+                (
+                    "a".into(),
+                    Json::Obj(vec![
+                        ("successes".into(), Json::U64(c.a.0)),
+                        ("instances".into(), Json::U64(c.a.1)),
+                    ]),
+                ),
+                (
+                    "b".into(),
+                    Json::Obj(vec![
+                        ("successes".into(), Json::U64(c.b.0)),
+                        ("instances".into(), Json::U64(c.b.1)),
+                    ]),
+                ),
+                ("z".into(), Json::F64(c.z)),
+                ("p".into(), Json::F64(c.p_value)),
+                (
+                    "verdict".into(),
+                    Json::Str(if c.significant { "drift" } else { "ok" }.into()),
+                ),
+            ])
+        })
+        .collect();
+    let mut fields = vec![
+        ("schema".into(), Json::Str("qfab.drift.v1".into())),
+        ("alpha".into(), Json::F64(report.alpha)),
+        ("compared".into(), Json::U64(report.cells.len() as u64)),
+        ("drifted".into(), Json::U64(report.drifted() as u64)),
+        ("only_a".into(), Json::U64(report.only_a)),
+        ("only_b".into(), Json::U64(report.only_b)),
+        (
+            "verdict".into(),
+            Json::Str(if report.passed() { "ok" } else { "drift" }.into()),
+        ),
+    ];
+    if let Some((sa, sb)) = &report.salt_mismatch {
+        fields.push((
+            "salt_mismatch".into(),
+            Json::Obj(vec![
+                ("a".into(), Json::Str(sa.clone())),
+                ("b".into(), Json::Str(sb.clone())),
+            ]),
+        ));
+    }
+    fields.push(("cells".into(), Json::Arr(cells)));
+    Json::Obj(fields)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +396,42 @@ mod tests {
         assert!(report.salt_mismatch.is_some());
         assert!(report.passed());
         assert!(format_report(&report).contains("code-version salts"));
+    }
+
+    #[test]
+    fn json_report_emits_the_golden_bytes() {
+        let a = summary(vec![(0.0, "1", 40, 40), (0.01, "full", 38, 40)], 1);
+        let b = summary(vec![(0.0, "1", 40, 40), (0.01, "full", 10, 40)], 1);
+        let report = compare(&a, &b, 0.01);
+        let json = json_report(&report);
+        let golden = concat!(
+            r#"{"schema":"qfab.drift.v1","alpha":0.01,"compared":2,"drifted":1,"#,
+            r#""only_a":0,"only_b":0,"verdict":"drift","cells":["#,
+            r#"{"panel":"fig1a","rate":0,"depth":"1","a":{"successes":40,"instances":40},"#,
+            r#""b":{"successes":40,"instances":40},"z":0,"p":1,"verdict":"ok"},"#,
+            r#"{"panel":"fig1a","rate":0.01,"depth":"full","a":{"successes":38,"instances":40},"#,
+            r#""b":{"successes":10,"instances":40},"z":6.390096504226937,"#,
+            r#""p":0.0000000001665458268192937,"verdict":"drift"}]}"#,
+        );
+        assert_eq!(json.encode(), golden, "byte-stable machine output");
+        let reparsed = qfab_telemetry::Json::parse(&json.encode()).expect("valid JSON");
+        assert_eq!(reparsed.encode(), json.encode(), "encoding is stable");
+        assert_eq!(
+            reparsed.get("verdict").and_then(|v| v.as_str()),
+            Some("drift")
+        );
+        assert_eq!(reparsed.get("drifted").and_then(|v| v.as_u64()), Some(1));
+        let cells = match reparsed.get("cells") {
+            Some(qfab_telemetry::Json::Arr(c)) => c,
+            other => panic!("cells array missing: {other:?}"),
+        };
+        assert_eq!(cells.len(), 2);
+        assert_eq!(
+            cells[1].get("verdict").and_then(|v| v.as_str()),
+            Some("drift")
+        );
+        assert!(cells[1].get("z").and_then(|v| v.as_f64()).unwrap() > 5.0);
+        assert!(cells[1].get("p").and_then(|v| v.as_f64()).unwrap() < 0.01);
     }
 
     #[test]

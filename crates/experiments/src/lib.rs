@@ -23,18 +23,21 @@
 //! bars widen.
 
 pub mod analysis;
+pub mod attrib;
 pub mod benchgate;
 pub mod cache;
 pub mod cli;
 pub mod dashboard;
 pub mod drift;
 pub mod ledger;
+pub mod perfledger;
 pub mod replaybench;
 pub mod report;
 pub mod rundata;
 pub mod runner;
 pub mod scale;
 pub mod servecmd;
+pub mod shots;
 pub mod sweep;
 pub mod table1;
 pub mod tracemerge;
@@ -44,8 +47,8 @@ pub mod workload;
 
 pub use cache::{verify_store, CellCache, CODE_SALT};
 pub use runner::{
-    progress_line, run_panel, run_panel_shard, run_panel_with, CacheStats, PanelResult,
-    PointResult, Progress,
+    progress_line, run_panel, run_panel_opts, run_panel_shard, run_panel_shard_opts,
+    run_panel_with, CacheStats, PanelResult, PointResult, Progress,
 };
 pub use scale::Scale;
 pub use sweep::{fig1_panels, fig2_panels, ErrorTarget, OpKind, PanelSpec};

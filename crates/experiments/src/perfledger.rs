@@ -1,0 +1,382 @@
+//! Perf-trajectory ledger: append-only `qfab.perf.v1` bench history.
+//!
+//! Every `repro bench` run appends one record — the replay-kernel mean
+//! timings plus a best-effort `git describe` note — to a WAL-framed
+//! `bench-history.wal`, and snapshots the same numbers as a
+//! `BENCH_replay.json` manifest (the `qfab.run.v1` shape `bench-gate`
+//! already consumes). Per-PR perf history therefore accrues in one
+//! torn-write-safe file, and "did this branch slow the replay path?"
+//! becomes `repro bench-gate --history DIR`: the latest recorded entry
+//! against its predecessor (or any explicit baseline manifest), on the
+//! same machine — so the threshold can be far tighter than the
+//! cross-machine committed baseline allows.
+//!
+//! The framing, dedup, and torn-tail discipline mirror the run-history
+//! ledger in [`crate::ledger`]; only the payload schema differs.
+
+use crate::replaybench::ReplayTimings;
+use qfab_store::wal::{encode_record, scan, Key};
+use qfab_store::{blake2s256, to_hex};
+use qfab_telemetry::Json;
+use std::fmt::Write as _;
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Ledger file name (repo root by convention).
+pub const PERF_FILE: &str = "bench-history.wal";
+
+/// Schema identifier of each perf record.
+pub const PERF_SCHEMA: &str = "qfab.perf.v1";
+
+/// Snapshot manifest file name (repo root by convention).
+pub const REPLAY_SNAPSHOT: &str = "BENCH_replay.json";
+
+/// One timed kernel histogram: full telemetry-style name and its mean.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerfKernel {
+    /// Histogram name, e.g. `bench.replay.qfm_4x4_full.fused_ns`.
+    pub name: String,
+    /// Mean wall nanoseconds per trajectory.
+    pub mean_ns: f64,
+}
+
+/// One recorded bench run.
+#[derive(Clone, Debug)]
+pub struct PerfEntry {
+    /// Digest of the measurement payload (hex), the entry's identity.
+    pub digest: String,
+    /// Trajectories per kernel per path.
+    pub trajectories: u64,
+    /// Kernel means, sorted by name.
+    pub kernels: Vec<PerfKernel>,
+    /// `git describe` output at record time, when available.
+    pub git: Option<String>,
+}
+
+/// The decoded perf history.
+#[derive(Clone, Debug, Default)]
+pub struct PerfHistory {
+    /// Entries in append order.
+    pub entries: Vec<PerfEntry>,
+    /// Whether a torn tail was detected (and ignored) on read.
+    pub truncated: bool,
+    /// Well-framed records whose payload was not a valid perf entry.
+    pub skipped: u64,
+}
+
+/// Flattens `repro bench` timings into named kernel means, one
+/// histogram per (kernel, path), matching the `bench.replay.*` naming
+/// the criterion bench and `bench-gate` use.
+pub fn kernels_from_timings(results: &[ReplayTimings]) -> Vec<PerfKernel> {
+    let mut out = Vec::new();
+    for r in results {
+        let slug: String = r
+            .label
+            .chars()
+            .map(|c| if c == ' ' { '_' } else { c })
+            .collect();
+        for (path, ms) in [
+            ("fused_ns", r.fused_ms),
+            ("per_gate_ns", r.per_gate_ms),
+            ("batched_ns", r.batched_ms),
+        ] {
+            out.push(PerfKernel {
+                name: format!("bench.replay.{slug}.{path}"),
+                mean_ns: ms * 1e6,
+            });
+        }
+    }
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+/// Builds the `qfab.run.v1` manifest holding these kernel means — the
+/// exact shape [`crate::benchgate::compare`] consumes, so a history
+/// entry and a `BENCH_kernels.json` file are interchangeable operands.
+pub fn manifest(kernels: &[PerfKernel], trajectories: u64) -> Json {
+    let hists = kernels
+        .iter()
+        .map(|k| {
+            // Only `mean` is load-bearing for the gate; the rest keeps
+            // the histogram shape consistent with real manifests.
+            let h = Json::Obj(vec![
+                ("count".into(), Json::U64(trajectories)),
+                ("sum".into(), Json::F64(k.mean_ns * trajectories as f64)),
+                ("mean".into(), Json::F64(k.mean_ns)),
+            ]);
+            (k.name.clone(), h)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("qfab.run.v1".into())),
+        ("id".into(), Json::Str("BENCH_replay".into())),
+        ("trajectories".into(), Json::U64(trajectories)),
+        (
+            "metrics".into(),
+            Json::Obj(vec![
+                ("counters".into(), Json::Obj(vec![])),
+                ("gauges".into(), Json::Obj(vec![])),
+                ("histograms".into(), Json::Obj(hists)),
+            ]),
+        ),
+    ])
+}
+
+/// The manifest view of a recorded entry (for gating against it).
+pub fn entry_manifest(entry: &PerfEntry) -> Json {
+    manifest(&entry.kernels, entry.trajectories)
+}
+
+fn measurement_json(trajectories: u64, kernels: &[PerfKernel]) -> Json {
+    let ks = kernels
+        .iter()
+        .map(|k| (k.name.clone(), Json::F64(k.mean_ns)))
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(PERF_SCHEMA.into())),
+        ("trajectories".into(), Json::U64(trajectories)),
+        ("kernels".into(), Json::Obj(ks)),
+    ])
+}
+
+fn encode_entry(trajectories: u64, kernels: &[PerfKernel], git: Option<&str>) -> (Key, Vec<u8>) {
+    let measurement = measurement_json(trajectories, kernels);
+    let key = blake2s256(measurement.encode().as_bytes());
+    let Json::Obj(mut fields) = measurement else {
+        unreachable!("measurements encode as objects")
+    };
+    if let Some(note) = git {
+        fields.push(("git".into(), Json::Str(note.into())));
+    }
+    (key, Json::Obj(fields).encode().into_bytes())
+}
+
+fn decode_entry(key: &Key, value: &[u8]) -> Option<PerfEntry> {
+    let doc = Json::parse(std::str::from_utf8(value).ok()?).ok()?;
+    if doc.get("schema")?.as_str()? != PERF_SCHEMA {
+        return None;
+    }
+    let Some(Json::Obj(ks)) = doc.get("kernels") else {
+        return None;
+    };
+    let mut kernels = ks
+        .iter()
+        .map(|(name, v)| {
+            Some(PerfKernel {
+                name: name.clone(),
+                mean_ns: v.as_f64()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    kernels.sort_by(|a, b| a.name.cmp(&b.name));
+    Some(PerfEntry {
+        digest: to_hex(key),
+        trajectories: doc.get("trajectories")?.as_u64()?,
+        kernels,
+        git: doc.get("git").and_then(Json::as_str).map(str::to_string),
+    })
+}
+
+/// Reads the perf ledger at `dir`; a missing file is an empty history.
+pub fn read(dir: &Path) -> io::Result<PerfHistory> {
+    let bytes = match std::fs::read(dir.join(PERF_FILE)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(PerfHistory::default()),
+        Err(e) => return Err(e),
+    };
+    let outcome = scan(&bytes);
+    let mut history = PerfHistory {
+        truncated: outcome.truncated > 0,
+        ..PerfHistory::default()
+    };
+    for record in &outcome.records {
+        match decode_entry(&record.key, &record.value) {
+            Some(entry) => history.entries.push(entry),
+            None => history.skipped += 1,
+        }
+    }
+    Ok(history)
+}
+
+/// Appends one bench run unless it is identical to the most recent
+/// entry. Returns whether a record was written.
+pub fn append(
+    dir: &Path,
+    trajectories: u64,
+    kernels: &[PerfKernel],
+    git: Option<&str>,
+) -> io::Result<bool> {
+    let (key, value) = encode_entry(trajectories, kernels, git);
+    if let Some(last) = read(dir)?.entries.last() {
+        if last.digest == to_hex(&key) {
+            return Ok(false);
+        }
+    }
+    fs::create_dir_all(dir)?;
+    let mut file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join(PERF_FILE))?;
+    file.write_all(&encode_record(&key, &value))?;
+    file.sync_all()?;
+    Ok(true)
+}
+
+/// Resolves an entry index: non-negative from the start, negative from
+/// the end (`-1` = latest).
+pub fn resolve(history: &PerfHistory, index: i64) -> Option<&PerfEntry> {
+    let len = history.entries.len() as i64;
+    let i = if index < 0 { len + index } else { index };
+    (0..len).contains(&i).then(|| &history.entries[i as usize])
+}
+
+/// Renders a short listing of the perf history.
+pub fn format_history(history: &PerfHistory) -> String {
+    let mut s = format!("bench history: {} entr", history.entries.len());
+    s.push_str(if history.entries.len() == 1 {
+        "y"
+    } else {
+        "ies"
+    });
+    if history.skipped > 0 {
+        let _ = write!(s, " ({} unreadable records skipped)", history.skipped);
+    }
+    if history.truncated {
+        s.push_str(" [torn tail ignored]");
+    }
+    s.push('\n');
+    for (i, entry) in history.entries.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "[{i}] digest {}  git {}  {} kernels x {} trajectories",
+            &entry.digest[..12.min(entry.digest.len())],
+            entry.git.as_deref().unwrap_or("-"),
+            entry.kernels.len(),
+            entry.trajectories
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timings(fused: f64) -> Vec<ReplayTimings> {
+        vec![ReplayTimings {
+            label: "qfm 4x4 full".into(),
+            gates: 1000,
+            ops: 300,
+            fused_ms: fused,
+            per_gate_ms: fused * 3.0,
+            batched_ms: fused / 2.0,
+        }]
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("qfab_perf_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn timings_flatten_to_replay_histogram_names() {
+        let kernels = kernels_from_timings(&timings(2.0));
+        let names: Vec<&str> = kernels.iter().map(|k| k.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "bench.replay.qfm_4x4_full.batched_ns",
+                "bench.replay.qfm_4x4_full.fused_ns",
+                "bench.replay.qfm_4x4_full.per_gate_ns",
+            ]
+        );
+        let fused = kernels
+            .iter()
+            .find(|k| k.name.ends_with("fused_ns"))
+            .unwrap();
+        assert!((fused.mean_ns - 2e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn manifest_is_gateable_and_append_read_round_trips() {
+        let dir = tmp("roundtrip");
+        let k1 = kernels_from_timings(&timings(2.0));
+        let k2 = kernels_from_timings(&timings(9.0));
+        assert!(append(&dir, 20, &k1, Some("v1-g1234")).unwrap());
+        assert!(append(&dir, 20, &k2, None).unwrap());
+        // Identical re-measurement dedups against the tail.
+        assert!(!append(&dir, 20, &k2, Some("other-note")).unwrap());
+        let history = read(&dir).unwrap();
+        assert_eq!(history.entries.len(), 2);
+        assert_eq!(history.entries[0].git.as_deref(), Some("v1-g1234"));
+        assert_eq!(history.entries[0].kernels, k1);
+        assert_eq!(history.entries[1].trajectories, 20);
+        // The latest entry gates against its predecessor: 4.5x slower
+        // fused path must trip a 100% threshold.
+        let base = entry_manifest(resolve(&history, -2).unwrap());
+        let cur = entry_manifest(resolve(&history, -1).unwrap());
+        let report = crate::benchgate::compare(&base, &cur, 100.0).unwrap();
+        assert_eq!(report.deltas.len(), 3);
+        assert!(!report.passed());
+        let listing = format_history(&history);
+        assert!(listing.contains("bench history: 2 entries"), "{listing}");
+        assert!(listing.contains("v1-g1234"), "{listing}");
+        assert!(listing.contains("3 kernels x 20 trajectories"), "{listing}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_creates_a_missing_history_dir() {
+        let dir = tmp("mkdir").join("nested").join("history");
+        let k = kernels_from_timings(&timings(2.0));
+        assert!(append(&dir, 4, &k, None).unwrap());
+        assert_eq!(read(&dir).unwrap().entries.len(), 1);
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap().parent().unwrap());
+    }
+
+    #[test]
+    fn torn_tail_and_foreign_records_are_tolerated() {
+        let dir = tmp("torn");
+        let k = kernels_from_timings(&timings(2.0));
+        append(&dir, 20, &k, None).unwrap();
+        // A foreign well-framed record is skipped, not fatal.
+        let value = br#"{"schema":"qfab.other.v1"}"#;
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(dir.join(PERF_FILE))
+            .unwrap();
+        file.write_all(&encode_record(&blake2s256(value), value))
+            .unwrap();
+        drop(file);
+        let history = read(&dir).unwrap();
+        assert_eq!(history.entries.len(), 1);
+        assert_eq!(history.skipped, 1);
+        // Tear the tail: the scan stops cleanly at the last good frame.
+        let path = dir.join(PERF_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let history = read(&dir).unwrap();
+        assert_eq!(history.entries.len(), 1);
+        assert!(history.truncated);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_manifest_has_the_qfab_run_shape() {
+        let kernels = kernels_from_timings(&timings(2.0));
+        let doc = manifest(&kernels, 20);
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("qfab.run.v1"));
+        assert_eq!(doc.get("id").unwrap().as_str(), Some("BENCH_replay"));
+        let mean = doc
+            .get("metrics")
+            .and_then(|m| m.get("histograms"))
+            .and_then(|h| h.get("bench.replay.qfm_4x4_full.batched_ns"))
+            .and_then(|h| h.get("mean"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((mean - 1e6).abs() < 1e-6);
+    }
+}

@@ -171,6 +171,12 @@ fn build_run(live: &BTreeMap<Key, Vec<u8>>) -> RunData {
     let mut records = 0u64;
     let mut panels: BTreeMap<PanelKey, Vec<Observation>> = BTreeMap::new();
     for (key, payload) in live {
+        if crate::shots::is_shots_payload(payload) {
+            // Shot-provenance records share the store but belong to the
+            // attribution reader ([`crate::shots::load_shots`]); they
+            // are a different record family, not stale cells.
+            continue;
+        }
         match decode_observation(key, payload) {
             Some((panel_key, obs)) => {
                 records += 1;
@@ -236,10 +242,7 @@ fn build_panel(key: PanelKey, mut obs: Vec<Observation>) -> PanelData {
     let (id, title, reference_rate) = match spec {
         Some(spec) => (spec.id.to_string(), spec.title, Some(spec.reference_rate)),
         None => (
-            format!(
-                "{}-{}x{}-{}:{}-{}",
-                key.op, key.n, key.m, key.ox, key.oy, key.err
-            ),
+            panel_id_for(&key),
             format!(
                 "custom {} n={} m={} {}:{} {} sweep",
                 key.op, key.n, key.m, key.ox, key.oy, key.err
@@ -255,6 +258,18 @@ fn build_panel(key: PanelKey, mut obs: Vec<Observation>) -> PanelData {
         rows,
         cols,
         cells,
+    }
+}
+
+/// The display id of a panel key: the paper's figure id when the
+/// geometry matches a known spec, else a synthesized slug.
+pub fn panel_id_for(key: &PanelKey) -> String {
+    match known_spec(key) {
+        Some(spec) => spec.id.to_string(),
+        None => format!(
+            "{}-{}x{}-{}:{}-{}",
+            key.op, key.n, key.m, key.ox, key.oy, key.err
+        ),
     }
 }
 

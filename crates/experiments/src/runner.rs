@@ -16,6 +16,7 @@
 
 use crate::cache::{CellCache, CellRecord};
 use crate::scale::Scale;
+use crate::shots::ShotsRecord;
 use crate::sweep::{ErrorTarget, PanelSpec};
 use crate::workload::{ensemble_for, Ensemble};
 use qfab_core::{
@@ -108,7 +109,11 @@ impl PanelResult {
     }
 }
 
-fn model_for(target: ErrorTarget, rate: f64) -> NoiseModel {
+/// The per-cell noise model the sweep binds: a depolarizing channel on
+/// the panel's error class, or the ideal model at rate 0. Shared with
+/// the attribution cross-check so the exact density-engine rerun
+/// evaluates precisely the model the Monte-Carlo cells sampled.
+pub fn model_for(target: ErrorTarget, rate: f64) -> NoiseModel {
     if rate == 0.0 {
         return NoiseModel::ideal();
     }
@@ -145,6 +150,25 @@ pub fn run_panel_with(
     cache: Option<&CellCache>,
     progress: impl Fn(Progress) + Sync,
 ) -> PanelResult {
+    run_panel_opts(spec, scale, seed, cache, false, progress)
+}
+
+/// [`run_panel_with`] plus the shot-provenance ledger switch.
+///
+/// With `shots_ledger` on (and a store attached), every *computed*
+/// instance also appends one `qfab.shots.v1` record per cell. Cells
+/// served from the store skip ledger writes — their shots were never
+/// resampled, so there is nothing truthful to record. The ledger is
+/// pure observability: panel outcomes are byte-identical with it on or
+/// off (the samplers log values they already produce).
+pub fn run_panel_opts(
+    spec: &PanelSpec,
+    scale: Scale,
+    seed: u64,
+    cache: Option<&CellCache>,
+    shots_ledger: bool,
+    progress: impl Fn(Progress) + Sync,
+) -> PanelResult {
     let start = std::time::Instant::now();
     telemetry::gauge("exp.threads").set(rayon::current_num_threads() as u64);
     let panel_trace = trace::span_args(
@@ -157,6 +181,7 @@ pub fn run_panel_with(
     let ensemble = ensemble_for(spec, seed, scale.instances);
     let config = RunConfig {
         shots: scale.shots,
+        shots_ledger,
         ..RunConfig::default()
     };
     let cells_per_instance = (spec.rates.len() * spec.depths.len()) as u64;
@@ -196,7 +221,7 @@ pub fn run_panel_with(
                                 "exp.cache.miss",
                                 &[("instance", trace::ArgValue::U64(i as u64))],
                             );
-                            let grid = compute_instance(spec, &ensemble, i, &config, seed);
+                            let (grid, shots) = compute_instance(spec, &ensemble, i, &config, seed);
                             misses.fetch_add(cells_per_instance, Ordering::Relaxed);
                             telemetry::counter("exp.cache.misses").add(cells_per_instance);
                             if let Some(c) = cache {
@@ -212,13 +237,21 @@ pub fn run_panel_with(
                                         &[("instance", trace::ArgValue::U64(i as u64))],
                                     );
                                     eprintln!("warning: store append failed: {e}");
+                                } else if let Err(e) =
+                                    c.store_instance_shots(spec, &config, seed, i, &shots)
+                                {
+                                    // Ledger records ride along with the same
+                                    // lossy-persistence contract as outcomes.
+                                    append_failed.fetch_add(1, Ordering::Relaxed);
+                                    telemetry::counter("exp.store.append_failed").incr();
+                                    eprintln!("warning: shots-ledger append failed: {e}");
                                 }
                             }
                             grid
                         }
                     }
                 }
-                None => compute_instance(spec, &ensemble, i, &config, seed),
+                None => compute_instance(spec, &ensemble, i, &config, seed).0,
             };
             let d = done.fetch_add(1, Ordering::Relaxed) + 1;
             progress(Progress {
@@ -287,6 +320,24 @@ pub fn run_panel_shard(
     shards: usize,
     progress: impl Fn(Progress) + Sync,
 ) -> CacheStats {
+    run_panel_shard_opts(spec, scale, seed, cache, shard, shards, false, progress)
+}
+
+/// [`run_panel_shard`] plus the shot-provenance ledger switch — the
+/// worker-side counterpart of [`run_panel_opts`], so sharded sweeps
+/// record identical `qfab.shots.v1` records to a single-process run
+/// (same cell RNG streams, same logged draws).
+#[allow(clippy::too_many_arguments)]
+pub fn run_panel_shard_opts(
+    spec: &PanelSpec,
+    scale: Scale,
+    seed: u64,
+    cache: &CellCache,
+    shard: usize,
+    shards: usize,
+    shots_ledger: bool,
+    progress: impl Fn(Progress) + Sync,
+) -> CacheStats {
     assert!(shard < shards, "shard {shard} out of range 0..{shards}");
     let panel_trace = trace::span_args(
         "exp.panel_shard",
@@ -298,6 +349,7 @@ pub fn run_panel_shard(
     let ensemble = ensemble_for(spec, seed, scale.instances);
     let config = RunConfig {
         shots: scale.shots,
+        shots_ledger,
         ..RunConfig::default()
     };
     let cells_per_instance = (spec.rates.len() * spec.depths.len()) as u64;
@@ -325,13 +377,17 @@ pub fn run_panel_shard(
             hits.fetch_add(cells_per_instance, Ordering::Relaxed);
             telemetry::counter("exp.cache.hits").add(cells_per_instance);
         } else {
-            let grid = compute_instance(spec, &ensemble, i, &config, seed);
+            let (grid, shots) = compute_instance(spec, &ensemble, i, &config, seed);
             misses.fetch_add(cells_per_instance, Ordering::Relaxed);
             telemetry::counter("exp.cache.misses").add(cells_per_instance);
             if let Err(e) = cache.store_instance(spec, &config, seed, i, &grid) {
                 append_failed.fetch_add(1, Ordering::Relaxed);
                 telemetry::counter("exp.store.append_failed").incr();
                 eprintln!("warning: store append failed: {e}");
+            } else if let Err(e) = cache.store_instance_shots(spec, &config, seed, i, &shots) {
+                append_failed.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter("exp.store.append_failed").incr();
+                eprintln!("warning: shots-ledger append failed: {e}");
             }
         }
         let d = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -346,14 +402,16 @@ pub fn run_panel_shard(
     stats_now()
 }
 
-/// Computes one instance's full grid, with telemetry.
+/// Computes one instance's full grid, with telemetry. The second grid
+/// holds the cells' shot-provenance records and is empty unless
+/// `config.shots_ledger` is set.
 fn compute_instance(
     spec: &PanelSpec,
     ensemble: &Ensemble,
     index: usize,
     config: &RunConfig,
     seed: u64,
-) -> Vec<Vec<CellRecord>> {
+) -> (Vec<Vec<CellRecord>>, Vec<Vec<ShotsRecord>>) {
     let inst_span = telemetry::histogram("exp.instance_ns").span();
     let inst_trace = trace::span_args(
         "exp.instance",
@@ -377,7 +435,7 @@ fn run_instance_grid(
     index: usize,
     config: &RunConfig,
     seed: u64,
-) -> Vec<Vec<CellRecord>> {
+) -> (Vec<Vec<CellRecord>>, Vec<Vec<ShotsRecord>>) {
     let (circuit_for, initial, expected): (CircuitBuilder, qfab_sim::StateVector, Vec<usize>) =
         match ensemble {
             Ensemble::Add(v) => {
@@ -408,6 +466,11 @@ fn run_instance_grid(
         ];
         spec.rates.len()
     ];
+    let mut shots_out = if config.shots_ledger {
+        vec![vec![ShotsRecord::default(); spec.depths.len()]; spec.rates.len()]
+    } else {
+        Vec::new()
+    };
     for (di, &depth) in spec.depths.iter().enumerate() {
         let prep = PreparedInstance::new(&circuit_for(depth), initial.clone(), config);
         for (ri, &rate) in spec.rates.iter().enumerate() {
@@ -430,7 +493,21 @@ fn run_instance_grid(
             // Stream id: unique per (instance, depth, rate) cell.
             let stream = ((index as u64) << 24) | ((di as u64) << 16) | (ri as u64 + 1);
             let mut rng = Xoshiro256StarStar::for_stream(seed ^ 0xA5A5_5A5A, stream);
-            let counts = run.sample_counts(config.shots, &mut rng);
+            // The logged and unlogged samplers consume the identical RNG
+            // stream and tabulate identical counts — the ledger can only
+            // add a record, never change an outcome.
+            let counts = if config.shots_ledger {
+                let (counts, log) = run.sample_counts_logged(config.shots, &mut rng);
+                shots_out[ri][di] = ShotsRecord::from_log(
+                    &log,
+                    run.plan(),
+                    &expected,
+                    prep.transpiled_gates() as u64,
+                );
+                counts
+            } else {
+                run.sample_counts(config.shots, &mut rng)
+            };
             let wall = cell_start.elapsed();
             telemetry::histogram("exp.cell.wall_ns").record(wall.as_nanos() as u64);
             out[ri][di] = CellRecord {
@@ -439,7 +516,7 @@ fn run_instance_grid(
             };
         }
     }
-    out
+    (out, shots_out)
 }
 
 /// Formats the live progress line the `repro` binary prints after each
@@ -641,6 +718,7 @@ mod tests {
             (0..2)
                 .map(|i| {
                     run_instance_grid(&spec, &ensemble, i, &config, 11)
+                        .0
                         .into_iter()
                         .map(|row| row.into_iter().map(|c| c.outcome).collect())
                         .collect()
@@ -648,6 +726,56 @@ mod tests {
                 .collect()
         };
         assert_eq!(run(8), run(1), "outcomes must not depend on batching");
+    }
+
+    #[test]
+    fn shots_ledger_never_perturbs_outcomes() {
+        // The flag is pure observability: outcomes byte-identical with
+        // the ledger on or off, on both replay paths — and the logged
+        // records themselves are identical across batching widths.
+        let spec = tiny_spec();
+        let ensemble = ensemble_for(&spec, 13, 2);
+        let run = |shots_ledger: bool, batch_shots: usize| {
+            let config = RunConfig {
+                shots: 64,
+                batch_shots,
+                shots_ledger,
+                ..RunConfig::default()
+            };
+            run_instance_grid(&spec, &ensemble, 0, &config, 13)
+        };
+        let (plain, no_log) = run(false, 8);
+        let (logged, log_batched) = run(true, 8);
+        let (_, log_seq) = run(true, 1);
+        assert!(no_log.is_empty(), "ledger off records nothing");
+        assert_eq!(
+            plain
+                .iter()
+                .flatten()
+                .map(|c| c.outcome)
+                .collect::<Vec<_>>(),
+            logged
+                .iter()
+                .flatten()
+                .map(|c| c.outcome)
+                .collect::<Vec<_>>(),
+            "ledger must not change outcomes"
+        );
+        assert_eq!(log_batched, log_seq, "records must not depend on batching");
+        for (ri, row) in log_batched.iter().enumerate() {
+            for cell in row {
+                assert_eq!(cell.total_shots(), 64);
+                if spec.rates[ri] == 0.0 {
+                    assert!(cell.noisy.is_empty(), "rate 0 draws no noisy shots");
+                }
+            }
+        }
+        // The heavy-noise row actually logged noisy shots.
+        assert!(log_batched
+            .last()
+            .unwrap()
+            .iter()
+            .any(|c| !c.noisy.is_empty()));
     }
 
     #[test]

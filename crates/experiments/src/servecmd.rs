@@ -17,13 +17,14 @@ use crate::cache::{CellCache, CODE_SALT};
 use crate::cli::DEFAULT_SEED;
 use crate::report::write_panel;
 use crate::rundata::{load_run, RunSummary};
-use crate::runner::{eta_secs, progress_line, run_panel_shard, run_panel_with, Progress};
+use crate::runner::{eta_secs, progress_line, run_panel_shard_opts, run_panel_with, Progress};
 use crate::scale::OpCost;
+use crate::shots::SHOTS_SALT;
 use crate::sweep::{fig1_panels, fig2_panels, panel_by_id, OpKind, PanelSpec};
 use crate::watch::STATUS_SCHEMA;
 use crate::{dashboard, drift, ledger, Scale};
 use qfab_serve::service::{start, Hooks, ServiceConfig};
-use qfab_serve::{merge_stores, salt_validator, JobSpec, MergeReport};
+use qfab_serve::{merge_stores, salts_validator, JobSpec, MergeReport};
 use qfab_telemetry::monitor::{self, MonitorConfig};
 use qfab_telemetry::trace::{self, TraceMode};
 use qfab_telemetry::Json;
@@ -182,6 +183,9 @@ pub fn hooks() -> Hooks {
                 .arg(format!("{shard}/{shards}"))
                 .arg("--store")
                 .arg(dir);
+            if job.shots_ledger {
+                cmd.arg("--shots-ledger");
+            }
             // Cross-shard trace federation: when the service itself was
             // asked to trace (`QFAB_TRACE=on`), each worker traces into
             // a per-shard file *outside* the shard dir — shard dirs are
@@ -322,6 +326,7 @@ pub fn worker_cmd(args: &[String]) -> Result<(), String> {
     let mut job_text: Option<String> = None;
     let mut shard_spec: Option<String> = None;
     let mut store: Option<PathBuf> = None;
+    let mut shots_ledger = false;
     let mut i = 0;
     while i < args.len() {
         let need_value = |i: usize| -> Result<&String, String> {
@@ -341,6 +346,10 @@ pub fn worker_cmd(args: &[String]) -> Result<(), String> {
                 store = Some(PathBuf::from(need_value(i)?));
                 i += 2;
             }
+            "--shots-ledger" => {
+                shots_ledger = true;
+                i += 1;
+            }
             other => return Err(format!("unknown worker option '{other}'")),
         }
     }
@@ -349,6 +358,9 @@ pub fn worker_cmd(args: &[String]) -> Result<(), String> {
     let (shard, shards) = parse_shard(shard_spec.as_deref().unwrap_or("0/1"))?;
     let job =
         JobSpec::parse(job_text.as_bytes(), DEFAULT_SEED).map_err(|e| format!("--job: {e}"))?;
+    // Either side may request provenance: the service via the job spec,
+    // an offline federation by hand via the flag.
+    let shots_ledger = shots_ledger || job.shots_ledger;
     let panels = expand_grid(&job.grid)?;
     let cache = CellCache::open(&store, true).map_err(|e| format!("cannot open store: {e}"))?;
     // Shard-local observability: the monitor heartbeats this worker's
@@ -390,17 +402,26 @@ pub fn worker_cmd(args: &[String]) -> Result<(), String> {
             });
             monitor::publish_now();
             let started = std::time::Instant::now();
-            let stats = run_panel_shard(spec, scale, job.seed, &cache, shard, shards, |p| {
-                update(&|wp| {
-                    if let Some((_, _, progress)) = wp.panel.as_mut() {
-                        *progress = p;
+            let stats = run_panel_shard_opts(
+                spec,
+                scale,
+                job.seed,
+                &cache,
+                shard,
+                shards,
+                shots_ledger,
+                |p| {
+                    update(&|wp| {
+                        if let Some((_, _, progress)) = wp.panel.as_mut() {
+                            *progress = p;
+                        }
+                    });
+                    eprint!("\r  {}", progress_line(p, started.elapsed().as_secs_f64()));
+                    if p.done == p.total {
+                        eprintln!();
                     }
-                });
-                eprint!("\r  {}", progress_line(p, started.elapsed().as_secs_f64()));
-                if p.done == p.total {
-                    eprintln!();
-                }
-            });
+                },
+            );
             // Durability point per panel: a killed worker resumes from here.
             cache
                 .checkpoint()
@@ -481,7 +502,10 @@ pub fn merge_cmd(args: &[String]) -> Result<MergeReport, String> {
             return Err(format!("source {} is not a directory", src.display()));
         }
     }
-    merge_stores(&sources, &dest, salt_validator(CODE_SALT))
+    // Both record families written under the current semantics merge:
+    // result cells and (when a sweep ran with --shots-ledger) the
+    // shot-provenance records attribution reads.
+    merge_stores(&sources, &dest, salts_validator(&[CODE_SALT, SHOTS_SALT]))
         .map_err(|e| format!("merge failed: {e}"))
 }
 
@@ -529,7 +553,7 @@ pub fn serve_cmd(args: &[String]) -> Result<(), String> {
         addr,
         store_dir: store,
         workers,
-        salt: CODE_SALT.to_string(),
+        salts: vec![CODE_SALT.to_string(), SHOTS_SALT.to_string()],
         default_seed: seed,
         poll: Duration::from_millis(200),
     };
@@ -567,6 +591,7 @@ mod tests {
             instances: None,
             shots: None,
             seed: DEFAULT_SEED,
+            shots_ledger: false,
         }
     }
 
@@ -669,30 +694,39 @@ mod tests {
         let reference = run_panel_with(&spec, scale, seed, Some(&cache), |_| {});
         cache.close().unwrap();
 
-        // Two worker shards into isolated stores.
+        // Two worker shards into isolated stores, both recording shot
+        // provenance — the ledger records must federate alongside the
+        // cells without perturbing them.
         let mut shards = Vec::new();
         for w in 0..2usize {
             let dir = base.join(format!("w{w}"));
             let cache = CellCache::open(&dir, true).unwrap();
-            run_panel_shard(&spec, scale, seed, &cache, w, 2, |_| {});
+            run_panel_shard_opts(&spec, scale, seed, &cache, w, 2, true, |_| {});
             cache.close().unwrap();
             shards.push(dir);
         }
 
         // Merge and replay: every cell cached, stats identical.
         let merged = base.join("merged");
-        let report = merge_stores(&shards, &merged, salt_validator(CODE_SALT)).unwrap();
+        let report =
+            merge_stores(&shards, &merged, salts_validator(&[CODE_SALT, SHOTS_SALT])).unwrap();
         assert_eq!(report.conflicts, 0);
         assert_eq!(report.rejected, 0);
         let cache = CellCache::open(&merged, true).unwrap();
         let replay = run_panel_with(&spec, scale, seed, Some(&cache), |_| {});
         let stats = replay.cache.unwrap();
         assert_eq!(stats.misses, 0, "merged store must cover every cell");
-        assert_eq!(stats.hits, report.added);
+        let cells = (scale.instances * spec.rates.len() * spec.depths.len()) as u64;
+        assert_eq!(stats.hits, cells);
+        // The merge carried both families: every result cell plus the
+        // per-cell provenance records the shards wrote alongside them.
+        assert_eq!(report.added, 2 * cells);
         for (a, b) in reference.points.iter().zip(&replay.points) {
             assert_eq!(a.stats, b.stats);
         }
         cache.close().unwrap();
+        let provenance = crate::shots::load_shots(&merged).unwrap();
+        assert_eq!(provenance.cells.len(), cells as usize);
         let _ = std::fs::remove_dir_all(&base);
     }
 }

@@ -1,0 +1,604 @@
+//! The shot-provenance ledger: store-backed `qfab.shots.v1` records.
+//!
+//! A sweep run with `--shots-ledger` appends, next to every cell's
+//! outcome record, one *shots record* describing where that cell's
+//! error budget went: for each sampled noisy shot, whether it failed
+//! and which noise sites fired (gate index, channel, Pauli label), plus
+//! the clean-shot outcome tally (clean shots can still fail — that is
+//! the AQFT approximation error the paper trades against noise).
+//!
+//! ## Why the ledger cannot perturb results
+//!
+//! The record is built from a [`ShotLog`], which the pipeline fills
+//! with values the sampler produces anyway (the trajectory each noisy
+//! shot replays, and the outcome that entered the count table). Fired
+//! sites are *derived after the fact* from each trajectory's insertion
+//! list by matching `after_gate` against the plan's site metadata — the
+//! samplers are untouched, so panel outputs are byte-identical with the
+//! ledger on or off.
+//!
+//! ## Keying
+//!
+//! Shots records share the cell identity fields (`op`, `n`, `m`, …,
+//! `ri`, `di`) but carry their own salt, [`SHOTS_SALT`] — their digests
+//! can therefore never collide with outcome records, and every reader
+//! of the store distinguishes the two families by salt alone.
+//! Detail is bounded: at most [`qfab_core::MAX_LOGGED_SHOTS`] noisy
+//! shots per cell carry their insertion multiset; the rest contribute
+//! only to the `truncated` / `truncated_fail` tallies, so aggregate
+//! failure rates stay exact while record size stays bounded.
+
+use crate::cache::cell_identity_with_salt;
+use crate::rundata::PanelKey;
+use crate::sweep::PanelSpec;
+use qfab_circuit::Gate;
+use qfab_core::{AqftDepth, RunConfig, ShotLog};
+use qfab_noise::TrajectoryPlan;
+use qfab_store::wal::scan;
+use qfab_store::{blake2s256, Key};
+use qfab_telemetry::Json;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// The code-version salt of shot-provenance records. Distinct from
+/// [`crate::cache::CODE_SALT`] so ledger records can never alias cell
+/// outcome records; versioned independently because the provenance
+/// format can evolve without retiring cached outcomes.
+pub const SHOTS_SALT: &str = "qfab-shots-v1";
+
+/// Schema identifier embedded in every shots record payload.
+pub const SHOTS_SCHEMA: &str = "qfab.shots.v1";
+
+/// One fired noise site within a shot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SiteFire {
+    /// Transpiled-circuit gate index the channel is attached to.
+    pub gate: u64,
+    /// Channel index into [`ShotsRecord::channels`].
+    pub channel: u64,
+    /// Pauli label over the site's operand qubits, e.g. `"X"` (1q) or
+    /// `"IZ"` / `"XY"` (2q, first operand first). Never all-`I`.
+    pub pauli: String,
+}
+
+/// One logged noisy shot: did it fail, and which sites fired.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShotDetail {
+    /// True when the tabulated outcome was not an accepted output.
+    pub fail: bool,
+    /// Fired sites, in circuit order.
+    pub sites: Vec<SiteFire>,
+}
+
+/// A channel referenced by the record's sites.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChannelInfo {
+    /// Channel family tag (`"pauli1q"` / `"pauli2q"`).
+    pub tag: String,
+    /// Probability that the channel fires at a site.
+    pub error_prob: f64,
+}
+
+/// The per-cell shot-provenance record (`qfab.shots.v1`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShotsRecord {
+    /// Channels the sites reference.
+    pub channels: Vec<ChannelInfo>,
+    /// Transpiled gate count of the cell's circuit (site indices are
+    /// positions in this gate list).
+    pub gates: u64,
+    /// Error-free shots.
+    pub clean: u64,
+    /// Error-free shots whose outcome was still wrong (approximation /
+    /// truncation error, plus readout error when modeled).
+    pub clean_fail: u64,
+    /// Detailed noisy shots, in draw order (bounded).
+    pub noisy: Vec<ShotDetail>,
+    /// Noisy shots beyond the detail cap.
+    pub truncated: u64,
+    /// Failures among the truncated shots.
+    pub truncated_fail: u64,
+}
+
+impl ShotsRecord {
+    /// Builds a record from a pipeline [`ShotLog`].
+    ///
+    /// `expected` is the cell's sorted accepted-output list;
+    /// `plan` supplies the site → (channel, qubits) metadata the fired
+    /// sites are derived from.
+    pub fn from_log(log: &ShotLog, plan: &TrajectoryPlan, expected: &[usize], gates: u64) -> Self {
+        debug_assert!(expected.windows(2).all(|w| w[0] < w[1]), "sorted expected");
+        let fails = |outcome: usize| expected.binary_search(&outcome).is_err();
+        let tally_fails = |tally: &BTreeMap<usize, u64>| {
+            tally
+                .iter()
+                .filter(|(&o, _)| fails(o))
+                .map(|(_, &c)| c)
+                .sum::<u64>()
+        };
+        let channels = (0..plan.num_channels())
+            .map(|i| {
+                let ch = plan.channel(i);
+                ChannelInfo {
+                    tag: format!("pauli{}q", ch.arity()),
+                    error_prob: ch.error_prob(),
+                }
+            })
+            .collect();
+        // Site metadata by gate index, for post-hoc derivation.
+        let sites: BTreeMap<usize, (usize, Vec<u32>)> = plan
+            .sites()
+            .map(|s| (s.gate_index, (s.channel, s.qubits.to_vec())))
+            .collect();
+        let noisy = log
+            .noisy
+            .iter()
+            .map(|shot| {
+                let mut fired: Vec<SiteFire> = Vec::new();
+                // Insertions arrive sorted by `after_gate`; one run of
+                // equal indices = one fired site.
+                let ins = &shot.insertions;
+                let mut i = 0;
+                while i < ins.len() {
+                    let gate_index = ins[i].after_gate;
+                    let mut j = i;
+                    while j < ins.len() && ins[j].after_gate == gate_index {
+                        j += 1;
+                    }
+                    let (channel, qubits) = sites
+                        .get(&gate_index)
+                        .expect("insertion lands on a plan site");
+                    let pauli: String = qubits
+                        .iter()
+                        .map(|&q| {
+                            ins[i..j]
+                                .iter()
+                                .find_map(|x| match x.gate {
+                                    Gate::X(p) if p == q => Some('X'),
+                                    Gate::Y(p) if p == q => Some('Y'),
+                                    Gate::Z(p) if p == q => Some('Z'),
+                                    _ => None,
+                                })
+                                .unwrap_or('I')
+                        })
+                        .collect();
+                    fired.push(SiteFire {
+                        gate: gate_index as u64,
+                        channel: *channel as u64,
+                        pauli,
+                    });
+                    i = j;
+                }
+                ShotDetail {
+                    fail: fails(shot.outcome),
+                    sites: fired,
+                }
+            })
+            .collect();
+        Self {
+            channels,
+            gates,
+            clean: log.clean_shots(),
+            clean_fail: tally_fails(&log.clean),
+            noisy,
+            truncated: log.truncated_shots(),
+            truncated_fail: tally_fails(&log.truncated),
+        }
+    }
+
+    /// Total shots the record accounts for.
+    pub fn total_shots(&self) -> u64 {
+        self.clean + self.noisy.len() as u64 + self.truncated
+    }
+
+    /// Total failing shots.
+    pub fn total_fails(&self) -> u64 {
+        self.clean_fail + self.noisy.iter().filter(|s| s.fail).count() as u64 + self.truncated_fail
+    }
+
+    /// Encodes the record body (everything but the identity).
+    fn body_json(&self) -> Vec<(String, Json)> {
+        let channels = self
+            .channels
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("tag".into(), Json::Str(c.tag.clone())),
+                    ("p".into(), Json::F64(c.error_prob)),
+                ])
+            })
+            .collect();
+        // Compact array form: one shot = [fail, [[gate, channel,
+        // pauli], …]] — the dominant payload, kept terse.
+        let noisy = self
+            .noisy
+            .iter()
+            .map(|s| {
+                let sites = s
+                    .sites
+                    .iter()
+                    .map(|f| {
+                        Json::Arr(vec![
+                            Json::U64(f.gate),
+                            Json::U64(f.channel),
+                            Json::Str(f.pauli.clone()),
+                        ])
+                    })
+                    .collect();
+                Json::Arr(vec![Json::U64(s.fail as u64), Json::Arr(sites)])
+            })
+            .collect();
+        vec![
+            ("schema".into(), Json::Str(SHOTS_SCHEMA.into())),
+            ("channels".into(), Json::Arr(channels)),
+            ("gates".into(), Json::U64(self.gates)),
+            ("clean".into(), Json::U64(self.clean)),
+            ("clean_fail".into(), Json::U64(self.clean_fail)),
+            ("noisy".into(), Json::Arr(noisy)),
+            ("truncated".into(), Json::U64(self.truncated)),
+            ("truncated_fail".into(), Json::U64(self.truncated_fail)),
+        ]
+    }
+
+    fn from_body(value: &Json) -> Option<Self> {
+        if value.get("schema")?.as_str()? != SHOTS_SCHEMA {
+            return None;
+        }
+        let Some(Json::Arr(channels)) = value.get("channels") else {
+            return None;
+        };
+        let channels = channels
+            .iter()
+            .map(|c| {
+                Some(ChannelInfo {
+                    tag: c.get("tag")?.as_str()?.to_string(),
+                    error_prob: c.get("p")?.as_f64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let Some(Json::Arr(noisy)) = value.get("noisy") else {
+            return None;
+        };
+        let noisy = noisy
+            .iter()
+            .map(|s| {
+                let Json::Arr(pair) = s else { return None };
+                let [fail, Json::Arr(sites)] = pair.as_slice() else {
+                    return None;
+                };
+                let sites = sites
+                    .iter()
+                    .map(|f| {
+                        let Json::Arr(triple) = f else { return None };
+                        let [gate, channel, pauli] = triple.as_slice() else {
+                            return None;
+                        };
+                        Some(SiteFire {
+                            gate: gate.as_u64()?,
+                            channel: channel.as_u64()?,
+                            pauli: pauli.as_str()?.to_string(),
+                        })
+                    })
+                    .collect::<Option<Vec<_>>>()?;
+                Some(ShotDetail {
+                    fail: fail.as_u64()? != 0,
+                    sites,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(Self {
+            channels,
+            gates: value.get("gates")?.as_u64()?,
+            clean: value.get("clean")?.as_u64()?,
+            clean_fail: value.get("clean_fail")?.as_u64()?,
+            noisy,
+            truncated: value.get("truncated")?.as_u64()?,
+            truncated_fail: value.get("truncated_fail")?.as_u64()?,
+        })
+    }
+}
+
+/// The canonical identity JSON of one cell's shots record — the same
+/// coordinates as the cell outcome record, under [`SHOTS_SALT`].
+#[allow(clippy::too_many_arguments)]
+pub fn shots_identity(
+    spec: &PanelSpec,
+    config: &RunConfig,
+    seed: u64,
+    instance: usize,
+    rate_idx: usize,
+    rate: f64,
+    depth_idx: usize,
+    depth: AqftDepth,
+) -> Json {
+    cell_identity_with_salt(
+        SHOTS_SALT, spec, config, seed, instance, rate_idx, rate, depth_idx, depth,
+    )
+}
+
+/// Serializes a shots record payload: identity plus body.
+pub fn encode_shots_record(identity: &Json, record: &ShotsRecord) -> Vec<u8> {
+    let mut fields = vec![("id".to_string(), identity.clone())];
+    fields.extend(record.body_json());
+    Json::Obj(fields).encode().into_bytes()
+}
+
+/// Decodes and validates a shots payload against its key. `None` on
+/// parse failure, foreign salt, digest mismatch, or schema mismatch.
+pub fn decode_shots_record(key: &Key, payload: &[u8]) -> Option<ShotsRecord> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let value = Json::parse(text).ok()?;
+    let identity = value.get("id")?;
+    if identity.get("salt")?.as_str()? != SHOTS_SALT {
+        return None;
+    }
+    if &blake2s256(identity.encode().as_bytes()) != key {
+        return None;
+    }
+    ShotsRecord::from_body(&value)
+}
+
+/// True when a store payload is a shots-ledger record (by salt) —
+/// readers of cell records use this to skip the other family without
+/// counting it as rejected.
+pub fn is_shots_payload(payload: &[u8]) -> bool {
+    payload_salt(payload).as_deref() == Some(SHOTS_SALT)
+}
+
+/// The `id.salt` of any record payload, if it parses.
+pub fn payload_salt(payload: &[u8]) -> Option<String> {
+    let value = Json::parse(std::str::from_utf8(payload).ok()?).ok()?;
+    Some(value.get("id")?.get("salt")?.as_str()?.to_string())
+}
+
+/// One shots record with its cell coordinates.
+#[derive(Clone, Debug)]
+pub struct ShotsCell {
+    /// The identity fields shared across a panel.
+    pub panel: PanelKey,
+    /// Whether the run transpiled through the peephole optimizer
+    /// (attribution must rebuild the same gate list).
+    pub optimize: bool,
+    /// Instance index.
+    pub inst: u64,
+    /// Rate grid index.
+    pub ri: u64,
+    /// Error rate (fraction).
+    pub rate: f64,
+    /// Depth grid index.
+    pub di: u64,
+    /// Depth identity tag (`"full"` or the cap).
+    pub depth: String,
+    /// The record itself.
+    pub record: ShotsRecord,
+}
+
+/// Everything the ledger holds for one store directory.
+#[derive(Clone, Debug, Default)]
+pub struct ShotsData {
+    /// Cells sorted by `(panel, ri, di, inst)`.
+    pub cells: Vec<ShotsCell>,
+    /// Live shots records decoded.
+    pub records: u64,
+    /// Live shots-salted records that failed validation.
+    pub rejected: u64,
+}
+
+/// Reads every shots record from the store at `dir`, read-only —
+/// the same scan discipline as [`crate::rundata::load_run`].
+pub fn load_shots(dir: &Path) -> io::Result<ShotsData> {
+    let mut live: BTreeMap<Key, Vec<u8>> = BTreeMap::new();
+    for file in ["index.seg", "journal.wal"] {
+        let path = dir.join(file);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        for record in scan(&bytes).records {
+            live.insert(record.key, record.value);
+        }
+    }
+    let mut data = ShotsData::default();
+    for (key, payload) in &live {
+        if !is_shots_payload(payload) {
+            continue;
+        }
+        match decode_shots_cell(key, payload) {
+            Some(cell) => {
+                data.records += 1;
+                data.cells.push(cell);
+            }
+            None => data.rejected += 1,
+        }
+    }
+    data.cells
+        .sort_by(|a, b| (&a.panel, a.ri, a.di, a.inst).cmp(&(&b.panel, b.ri, b.di, b.inst)));
+    Ok(data)
+}
+
+fn decode_shots_cell(key: &Key, payload: &[u8]) -> Option<ShotsCell> {
+    let record = decode_shots_record(key, payload)?;
+    let value = Json::parse(std::str::from_utf8(payload).ok()?).ok()?;
+    let id = value.get("id")?;
+    Some(ShotsCell {
+        panel: PanelKey {
+            op: id.get("op")?.as_str()?.to_string(),
+            n: id.get("n")?.as_u64()?,
+            m: id.get("m")?.as_u64()?,
+            ox: id.get("ox")?.as_u64()?,
+            oy: id.get("oy")?.as_u64()?,
+            err: id.get("err")?.as_str()?.to_string(),
+            shots: id.get("config")?.get("shots")?.as_u64()?,
+            seed: id.get("seed")?.as_u64()?,
+        },
+        optimize: id
+            .get("config")?
+            .get("optimize")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+        inst: id.get("inst")?.as_u64()?,
+        ri: id.get("ri")?.as_u64()?,
+        rate: id.get("rate")?.as_f64()?,
+        di: id.get("di")?.as_u64()?,
+        depth: id.get("depth")?.as_str()?.to_string(),
+        record,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{ErrorTarget, OpKind};
+    use qfab_core::{AddInstance, NoisyRun, Qinteger};
+    use qfab_math::rng::Xoshiro256StarStar;
+    use qfab_noise::NoiseModel;
+
+    fn tiny_spec() -> PanelSpec {
+        PanelSpec {
+            id: "shotstest",
+            title: "tiny".into(),
+            op: OpKind::Add,
+            n: 3,
+            m: 4,
+            order_x: 1,
+            order_y: 1,
+            error_target: ErrorTarget::TwoQubit,
+            rates: vec![0.0, 0.02],
+            depths: vec![AqftDepth::Full],
+            reference_rate: 0.02,
+        }
+    }
+
+    fn sample_log() -> (ShotsRecord, u64) {
+        let inst = AddInstance {
+            n: 3,
+            m: 4,
+            x: Qinteger::new(3, vec![5]),
+            y: Qinteger::new(4, vec![6]),
+        };
+        let model = NoiseModel::depolarizing(0.02, 0.05);
+        let run = NoisyRun::prepare(
+            &inst.circuit(AqftDepth::Full),
+            inst.initial_state(),
+            &model,
+            &RunConfig::default(),
+        );
+        let mut rng = Xoshiro256StarStar::new(3);
+        let (_, log) = run.sample_counts_logged(300, &mut rng);
+        let expected = inst.expected_outputs();
+        let record =
+            ShotsRecord::from_log(&log, run.plan(), &expected, run.transpiled_gates() as u64);
+        (record, 300)
+    }
+
+    #[test]
+    fn record_accounts_for_every_shot_and_site() {
+        let (record, shots) = sample_log();
+        assert_eq!(record.total_shots(), shots);
+        assert!(!record.noisy.is_empty());
+        // Depolarizing 1q+2q: two channels.
+        assert_eq!(record.channels.len(), 2);
+        for shot in &record.noisy {
+            assert!(!shot.sites.is_empty(), "noisy shots fire at least once");
+            for site in &shot.sites {
+                assert!(site.gate < record.gates);
+                assert!((site.channel as usize) < record.channels.len());
+                let arity = match record.channels[site.channel as usize].tag.as_str() {
+                    "pauli1q" => 1,
+                    "pauli2q" => 2,
+                    other => panic!("unknown tag {other}"),
+                };
+                assert_eq!(site.pauli.len(), arity);
+                assert!(site.pauli.chars().all(|c| "IXYZ".contains(c)));
+                assert!(
+                    site.pauli.chars().any(|c| c != 'I'),
+                    "a fired site inserts at least one Pauli"
+                );
+            }
+            // Sites arrive in circuit order, no duplicates.
+            assert!(shot.sites.windows(2).all(|w| w[0].gate < w[1].gate));
+        }
+    }
+
+    #[test]
+    fn record_json_round_trips_byte_stably() {
+        let (record, _) = sample_log();
+        let spec = tiny_spec();
+        let cfg = RunConfig {
+            shots: 300,
+            ..RunConfig::default()
+        };
+        let identity = shots_identity(&spec, &cfg, 7, 0, 1, 0.02, 0, AqftDepth::Full);
+        let key = blake2s256(identity.encode().as_bytes());
+        let payload = encode_shots_record(&identity, &record);
+        let decoded = decode_shots_record(&key, &payload).expect("round trip");
+        assert_eq!(decoded, record);
+        // Re-encoding is byte-stable.
+        assert_eq!(encode_shots_record(&identity, &decoded), payload);
+        assert!(is_shots_payload(&payload));
+    }
+
+    #[test]
+    fn shots_identity_never_aliases_cell_identity() {
+        let spec = tiny_spec();
+        let cfg = RunConfig {
+            shots: 300,
+            ..RunConfig::default()
+        };
+        let shots = shots_identity(&spec, &cfg, 7, 0, 1, 0.02, 0, AqftDepth::Full);
+        let cell = crate::cache::cell_identity(&spec, &cfg, 7, 0, 1, 0.02, 0, AqftDepth::Full);
+        assert_ne!(
+            blake2s256(shots.encode().as_bytes()),
+            blake2s256(cell.encode().as_bytes())
+        );
+    }
+
+    #[test]
+    fn decode_rejects_foreign_salt_and_wrong_key() {
+        let (record, _) = sample_log();
+        let spec = tiny_spec();
+        let cfg = RunConfig {
+            shots: 300,
+            ..RunConfig::default()
+        };
+        let identity = shots_identity(&spec, &cfg, 7, 0, 1, 0.02, 0, AqftDepth::Full);
+        let key = blake2s256(identity.encode().as_bytes());
+        let payload = encode_shots_record(&identity, &record);
+        let mut wrong = key;
+        wrong[0] ^= 1;
+        assert!(decode_shots_record(&wrong, &payload).is_none());
+        // A cell-salted payload is not a shots record.
+        let cell_id = crate::cache::cell_identity(&spec, &cfg, 7, 0, 1, 0.02, 0, AqftDepth::Full);
+        let cell_key = blake2s256(cell_id.encode().as_bytes());
+        let cell_payload = encode_shots_record(&cell_id, &record);
+        assert!(decode_shots_record(&cell_key, &cell_payload).is_none());
+        assert!(decode_shots_record(&key, b"garbage").is_none());
+    }
+
+    #[test]
+    fn single_channel_single_site_paulis_are_nontrivial() {
+        // A one-CX circuit under a 2q channel: every fired site is the
+        // lone CX with a 2-character Pauli.
+        let mut c = qfab_circuit::Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let model = NoiseModel::only_2q_depolarizing(0.5);
+        let run = NoisyRun::prepare(
+            &c,
+            qfab_sim::StateVector::zero_state(2),
+            &model,
+            &RunConfig::default(),
+        );
+        let mut rng = Xoshiro256StarStar::new(1);
+        let (_, log) = run.sample_counts_logged(200, &mut rng);
+        let record = ShotsRecord::from_log(&log, run.plan(), &[0, 1, 2, 3], 2);
+        for shot in &record.noisy {
+            assert_eq!(shot.sites.len(), 1);
+            assert_eq!(shot.sites[0].gate, 1);
+            assert_eq!(shot.sites[0].pauli.len(), 2);
+        }
+        // Accepting every outcome: no failures.
+        assert_eq!(record.total_fails(), 0);
+    }
+}

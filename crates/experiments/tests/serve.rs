@@ -285,6 +285,7 @@ fn a_job_queued_by_a_dead_service_resumes_on_restart() {
         instances: Some(2),
         shots: Some(16),
         seed: 11,
+        shots_ledger: false,
     };
     let cells = qfab_experiments::servecmd::job_cells(&job).expect("job validates");
     let id = {

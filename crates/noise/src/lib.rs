@@ -33,4 +33,4 @@ pub mod trajectory;
 pub use channel::{KrausChannel, PauliChannel};
 pub use model::NoiseModel;
 pub use readout::ReadoutError;
-pub use trajectory::{TrajectoryPlan, TrajectorySampler};
+pub use trajectory::{SiteInfo, TrajectoryPlan, TrajectorySampler};

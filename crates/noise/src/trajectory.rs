@@ -36,6 +36,23 @@ struct Site {
     channel: usize,
 }
 
+/// Read-only view of one noise site, for provenance and attribution.
+///
+/// Sites are ordered by `gate_index` (circuit order), so a fired site
+/// can be recovered from a sampled [`Insertion`] list by matching
+/// `after_gate` against `gate_index` — the sampler itself never needs
+/// to record anything.
+#[derive(Clone, Copy, Debug)]
+pub struct SiteInfo<'a> {
+    /// Index of the circuit gate carrying the channel.
+    pub gate_index: usize,
+    /// Operand qubits of that gate (channel Paulis land here).
+    pub qubits: &'a [u32],
+    /// Index into the plan's channel table (see
+    /// [`TrajectoryPlan::channel`]).
+    pub channel: usize,
+}
+
 /// Precomputed trajectory-sampling tables for one circuit × model pair.
 #[derive(Clone, Debug)]
 pub struct TrajectoryPlan {
@@ -115,6 +132,25 @@ impl TrajectoryPlan {
     /// Number of noise sites (gates carrying a channel).
     pub fn num_sites(&self) -> usize {
         self.sites.len()
+    }
+
+    /// Read-only views of every noise site, in circuit order.
+    pub fn sites(&self) -> impl Iterator<Item = SiteInfo<'_>> + '_ {
+        self.sites.iter().map(|s| SiteInfo {
+            gate_index: s.gate_index,
+            qubits: &s.qubits,
+            channel: s.channel,
+        })
+    }
+
+    /// Number of distinct channels referenced by the sites.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The channel behind index `idx` of [`SiteInfo::channel`].
+    pub fn channel(&self, idx: usize) -> &PauliChannel {
+        &self.channels[idx].channel
     }
 
     /// Samples a trajectory by independent per-site Bernoulli draws

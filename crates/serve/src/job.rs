@@ -25,6 +25,9 @@ pub struct JobSpec {
     pub shots: Option<u64>,
     /// Base RNG seed.
     pub seed: u64,
+    /// Whether workers also record per-shot provenance (`qfab.shots.v1`
+    /// records) alongside the result cells. Never changes the cells.
+    pub shots_ledger: bool,
 }
 
 impl JobSpec {
@@ -44,6 +47,11 @@ impl JobSpec {
         }
         if let Some(s) = self.shots {
             fields.push(("shots".to_string(), Json::U64(s)));
+        }
+        // Encoded only when set so pre-existing job ids (digests of this
+        // encoding) are unchanged for jobs that never asked for it.
+        if self.shots_ledger {
+            fields.push(("shots_ledger".to_string(), Json::Bool(true)));
         }
         fields.push(("seed".to_string(), Json::U64(self.seed)));
         Json::Obj(fields)
@@ -100,6 +108,10 @@ impl JobSpec {
         if shots == Some(0) {
             return Err("shots must be positive".to_string());
         }
+        let shots_ledger = match doc.get("shots_ledger") {
+            Some(v) => v.as_bool().ok_or("shots_ledger must be a boolean")?,
+            None => false,
+        };
         let seed = field_u64("seed")?.unwrap_or(default_seed);
         Ok(JobSpec {
             grid,
@@ -107,6 +119,7 @@ impl JobSpec {
             instances,
             shots,
             seed,
+            shots_ledger,
         })
     }
 
@@ -130,10 +143,16 @@ mod tests {
             instances: Some(12),
             shots: None,
             seed: 42,
+            shots_ledger: true,
         };
         let back = JobSpec::from_json(&spec.to_json(), 0).unwrap();
         assert_eq!(back, spec);
         assert!(spec.to_json().encode().contains("qfab.job.v1"));
+        // The flag is elided when false, keeping legacy job encodings
+        // (and therefore job-id digests) byte-identical.
+        let mut plain = spec.clone();
+        plain.shots_ledger = false;
+        assert!(!plain.to_json().encode().contains("shots_ledger"));
     }
 
     #[test]
@@ -143,6 +162,7 @@ mod tests {
         assert_eq!(spec.seed, 777);
         assert_eq!(spec.instances, None);
         assert_eq!(spec.shots, None);
+        assert!(!spec.shots_ledger);
     }
 
     #[test]
@@ -165,6 +185,7 @@ mod tests {
             (br#"{"grid":["fig1"],"instances":0}"#, "positive"),
             (br#"{"grid":["fig1"],"shots":0}"#, "positive"),
             (br#"{"grid":["fig1"],"seed":-3}"#, "non-negative"),
+            (br#"{"grid":["fig1"],"shots_ledger":1}"#, "boolean"),
         ] {
             let err = JobSpec::parse(body, 1).unwrap_err();
             assert!(

@@ -40,7 +40,7 @@ pub mod queue;
 pub mod service;
 
 pub use job::{JobSpec, JOB_SCHEMA};
-pub use merge::{count_live, merge_stores, salt_validator, MergeReport};
+pub use merge::{count_live, merge_stores, salt_validator, salts_validator, MergeReport};
 pub use progress::{events_json, job_progress_json, stale_workers, EVENTS_SCHEMA, PROGRESS_SCHEMA};
 pub use queue::{JobEntry, JobQueue, JobState, QUEUE_FILE};
 pub use service::{start, Hooks, ServiceConfig, ServiceHandle, SERVICE_FILE};

@@ -91,18 +91,44 @@ impl MergeReport {
 /// provenance lie at worst.
 pub fn salt_validator(expected: &str) -> impl Fn(&Key, &[u8]) -> Result<(), String> + '_ {
     move |_key, payload| {
-        let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
-        let doc = Json::parse(text).map_err(|e| format!("payload is not JSON: {e}"))?;
-        let salt = doc
-            .get("id")
-            .and_then(|id| id.get("salt"))
-            .and_then(Json::as_str)
-            .ok_or_else(|| "payload has no id.salt".to_string())?;
+        let salt = payload_salt(payload)?;
         if salt != expected {
             return Err(format!("salt '{salt}' != expected '{expected}'"));
         }
         Ok(())
     }
+}
+
+/// Multi-family variant of [`salt_validator`]: accepts a record whose
+/// `id.salt` matches *any* entry of `expected`.
+///
+/// One store can hold sibling record families written under the same
+/// simulation semantics — cell results and shot-provenance records, for
+/// example — and a federation merge must carry all of them, while still
+/// rejecting records from a different code version.
+pub fn salts_validator<S: AsRef<str>>(
+    expected: &[S],
+) -> impl Fn(&Key, &[u8]) -> Result<(), String> + '_ {
+    move |_key, payload| {
+        let salt = payload_salt(payload)?;
+        if expected.iter().any(|e| e.as_ref() == salt) {
+            return Ok(());
+        }
+        let accepted: Vec<&str> = expected.iter().map(AsRef::as_ref).collect();
+        Err(format!("salt '{salt}' not in accepted set {accepted:?}"))
+    }
+}
+
+/// Extracts `id.salt` from a JSON payload, the provenance field every
+/// mergeable record family carries.
+fn payload_salt(payload: &[u8]) -> Result<String, String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+    let doc = Json::parse(text).map_err(|e| format!("payload is not JSON: {e}"))?;
+    doc.get("id")
+        .and_then(|id| id.get("salt"))
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| "payload has no id.salt".to_string())
 }
 
 /// Reads a source directory's live records: segment replayed first,

@@ -469,6 +469,7 @@ mod tests {
                 instances: None,
                 shots: None,
                 seed: 7,
+                shots_ledger: false,
             },
             state,
             cells_total,

@@ -285,6 +285,7 @@ mod tests {
             instances: None,
             shots: None,
             seed: 7,
+            shots_ledger: false,
         }
     }
 

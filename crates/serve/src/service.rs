@@ -16,7 +16,7 @@
 //! only sequences processes, files, and HTTP.
 
 use crate::job::JobSpec;
-use crate::merge::{count_live, merge_stores, salt_validator};
+use crate::merge::{count_live, merge_stores, salts_validator};
 use crate::progress;
 use crate::queue::{JobEntry, JobQueue, JobState};
 use qfab_telemetry::httpd::{self, Method, Request, Response};
@@ -48,8 +48,10 @@ pub struct ServiceConfig {
     pub store_dir: PathBuf,
     /// Worker subprocesses per job.
     pub workers: usize,
-    /// Code-version salt records must carry to merge into the store.
-    pub salt: String,
+    /// Code-version salts records may carry to merge into the store —
+    /// one per record family (result cells, shot provenance, ...), all
+    /// written under the same simulation semantics.
+    pub salts: Vec<String>,
     /// Seed applied to jobs that do not name one.
     pub default_seed: u64,
     /// Dispatcher poll interval between queue checks.
@@ -250,7 +252,7 @@ fn process_job(entry: &JobEntry, config: &ServiceConfig, hooks: &Hooks) -> Resul
         // their cached cells instead of recomputing.
         return Err(failures.join("; "));
     }
-    let report = merge_stores(&shards, &config.store_dir, salt_validator(&config.salt))
+    let report = merge_stores(&shards, &config.store_dir, salts_validator(&config.salts))
         .map_err(|e| format!("merge: {e}"))?;
     if report.conflicts > 0 {
         return Err(format!(
@@ -542,7 +544,7 @@ mod tests {
             addr: "127.0.0.1:0".to_string(),
             store_dir: store.to_path_buf(),
             workers: 2,
-            salt: "v2".to_string(),
+            salts: vec!["v2".to_string()],
             default_seed: 7,
             poll: Duration::from_millis(20),
         }
@@ -794,6 +796,7 @@ mod tests {
                 instances: None,
                 shots: None,
                 seed: 7,
+                shots_ledger: false,
             };
             q.submit(spec.clone(), 8).unwrap();
             let b = q.submit(spec, 8).unwrap();
